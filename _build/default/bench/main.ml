@@ -1,0 +1,153 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's
+   evaluation (the same rows/series, on the simulated substrate) via
+   the experiment registry — run `dune exec bench/main.exe` and diff
+   against EXPERIMENTS.md.
+
+   Part 2 runs Bechamel micro-benchmarks of the substrate primitives
+   the experiments lean on — one Test.make per component — so
+   regressions in the simulator itself are visible. Pass
+   `--micro-only` or `--tables-only` to run half of it. *)
+
+module Desc = Hipstr_isa.Desc
+module Minstr = Hipstr_isa.Minstr
+module System = Hipstr.System
+module Config = Hipstr_psr.Config
+module Workloads = Hipstr_workloads.Workloads
+module Registry = Hipstr_experiments.Registry
+module Mem = Hipstr_machine.Mem
+module Machine = Hipstr_machine.Machine
+module Fatbin = Hipstr_compiler.Fatbin
+module Galileo = Hipstr_galileo.Galileo
+module Rng = Hipstr_util.Rng
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: the paper's tables and figures. *)
+
+let run_tables () =
+  print_endline "=====================================================================";
+  print_endline " HIPStR reproduction: every table and figure of the evaluation";
+  print_endline "=====================================================================";
+  List.iter
+    (fun e ->
+      let t0 = Unix.gettimeofday () in
+      Registry.run_and_print e;
+      Printf.printf "[%s regenerated in %.1fs]\n" e.Registry.ex_id (Unix.gettimeofday () -. t0))
+    Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks of the substrate. *)
+
+let prepared_httpd =
+  lazy
+    (let fb = Workloads.fatbin Workloads.httpd in
+     let mem = Mem.create Hipstr_machine.Layout.mem_size in
+     Fatbin.load fb mem;
+     (fb, mem))
+
+let bench_decode =
+  Test.make ~name:"cisc-decode-1k"
+    (Staged.stage @@ fun () ->
+    let fb, mem = Lazy.force prepared_httpd in
+    let read a = try Mem.read8 mem a with Mem.Fault _ -> -1 in
+    let base = (Fatbin.find_func fb "main").fs_cisc.im_entry in
+    let acc = ref 0 in
+    for i = 0 to 999 do
+      match Hipstr_cisc.Isa.decode ~read (base + (i mod 256)) with
+      | Some (_, len) -> acc := !acc + len
+      | None -> ()
+    done;
+    !acc)
+
+let bench_encode =
+  Test.make ~name:"cisc-encode-1k"
+    (Staged.stage @@ fun () ->
+    let acc = ref 0 in
+    for i = 0 to 999 do
+      let s = Hipstr_cisc.Isa.encode ~at:0x10000 (Minstr.Mov (Reg (i mod 5), Imm i)) in
+      acc := !acc + String.length s
+    done;
+    !acc)
+
+let bench_machine_steps =
+  Test.make ~name:"simulator-10k-steps"
+    (Staged.stage @@ fun () ->
+    let w = Workloads.find "bzip2" in
+    let sys = System.of_fatbin ~start_isa:Desc.Cisc ~mode:System.Native (Workloads.fatbin w) in
+    ignore (System.run sys ~fuel:10_000);
+    System.instructions sys)
+
+let bench_translator =
+  Test.make ~name:"psr-translate-program"
+    (Staged.stage @@ fun () ->
+    let w = Workloads.find "mcf" in
+    let sys = System.of_fatbin ~seed:3 ~start_isa:Desc.Cisc ~mode:System.Psr_only (Workloads.fatbin w) in
+    ignore (System.run sys ~fuel:50_000);
+    (Hipstr_psr.Vm.stats (System.vm sys Desc.Cisc)).translations)
+
+let bench_reloc_map =
+  Test.make ~name:"reloc-map-generate"
+    (Staged.stage @@ fun () ->
+    let fb, _ = Lazy.force prepared_httpd in
+    let fs = Fatbin.find_func fb "handle_request" in
+    let rng = Rng.create 77 in
+    Hipstr_psr.Reloc_map.generate Config.default rng Hipstr_cisc.Isa.desc fs ~hot_regs:[])
+
+let bench_galileo =
+  Test.make ~name:"galileo-mine-httpd"
+    (Staged.stage @@ fun () ->
+    let fb, mem = Lazy.force prepared_httpd in
+    List.length (Galileo.mine_program mem fb Desc.Cisc))
+
+let bench_migration =
+  Test.make ~name:"forced-migration"
+    (Staged.stage @@ fun () ->
+    let w = Workloads.find "hmmer" in
+    let cfg = { Config.default with migrate_prob = 0.0 } in
+    let sys =
+      System.of_fatbin ~cfg ~seed:7 ~start_isa:Desc.Cisc ~mode:System.Hipstr (Workloads.fatbin w)
+    in
+    ignore (System.run sys ~fuel:20_000);
+    System.request_migration sys;
+    ignore (System.run sys ~fuel:200_000);
+    System.forced_migrations sys)
+
+let run_micro () =
+  print_endline "";
+  print_endline "=====================================================================";
+  print_endline " Bechamel micro-benchmarks of the substrate";
+  print_endline "=====================================================================";
+  let test =
+    Test.make_grouped ~name:"substrate"
+      [
+        bench_decode;
+        bench_encode;
+        bench_machine_steps;
+        bench_translator;
+        bench_reloc_map;
+        bench_galileo;
+        bench_migration;
+      ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+  let raw = Benchmark.all cfg instances test in
+  let results =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]) Instance.monotonic_clock raw
+  in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "  %-36s %14.1f ns/run\n" name est
+      | _ -> Printf.printf "  %-36s (no estimate)\n" name)
+    results
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let tables = not (List.mem "--micro-only" args) in
+  let micro = not (List.mem "--tables-only" args) in
+  if tables then run_tables ();
+  if micro then run_micro ()

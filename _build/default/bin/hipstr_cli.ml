@@ -1,0 +1,249 @@
+(* The HIPStR command-line front end.
+
+   Subcommands:
+     run        — execute a workload natively / under PSR / under HIPStR
+     gadgets    — Galileo gadget-mining summary for a workload image
+     attack     — deliver the execve ROP exploit against httpd
+     experiment — regenerate one of the paper's tables/figures (or all)
+     disasm     — disassemble a function from a workload's fat binary
+     list       — workloads and experiments *)
+
+open Cmdliner
+module Desc = Hipstr_isa.Desc
+module Minstr = Hipstr_isa.Minstr
+module System = Hipstr.System
+module Config = Hipstr_psr.Config
+module Workloads = Hipstr_workloads.Workloads
+module Galileo = Hipstr_galileo.Galileo
+module Fatbin = Hipstr_compiler.Fatbin
+module Mem = Hipstr_machine.Mem
+module Machine = Hipstr_machine.Machine
+module Registry = Hipstr_experiments.Registry
+module Rop = Hipstr_attacks.Rop
+
+let isa_conv =
+  Arg.conv
+    ( (fun s ->
+        match String.lowercase_ascii s with
+        | "cisc" | "x86" -> Ok Desc.Cisc
+        | "risc" | "arm" -> Ok Desc.Risc
+        | _ -> Error (`Msg "isa must be cisc/x86 or risc/arm")),
+      fun ppf w -> Format.pp_print_string ppf (match w with Desc.Cisc -> "cisc" | Desc.Risc -> "risc") )
+
+let mode_conv =
+  Arg.conv
+    ( (fun s ->
+        match String.lowercase_ascii s with
+        | "native" -> Ok System.Native
+        | "psr" -> Ok System.Psr_only
+        | "hipstr" -> Ok System.Hipstr
+        | _ -> Error (`Msg "mode must be native, psr or hipstr")),
+      fun ppf m ->
+        Format.pp_print_string ppf
+          (match m with System.Native -> "native" | System.Psr_only -> "psr" | System.Hipstr -> "hipstr") )
+
+let workload_arg =
+  let doc = "Workload name (see `list')." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+
+let isa_arg = Arg.(value & opt isa_conv Desc.Cisc & info [ "isa" ] ~doc:"ISA/core to start on.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Randomization seed.")
+
+let outcome_string = function
+  | System.Finished c -> Printf.sprintf "finished (exit %d)" c
+  | System.Shell_spawned -> "SHELL SPAWNED (attack succeeded)"
+  | System.Killed m -> "killed: " ^ m
+  | System.Out_of_fuel -> "out of fuel"
+
+let run_cmd =
+  let mode_arg =
+    Arg.(value & opt mode_conv System.Hipstr & info [ "mode" ] ~doc:"native, psr or hipstr.")
+  in
+  let opt_arg = Arg.(value & opt int 3 & info [ "opt" ] ~doc:"PSR optimization level (0-3).") in
+  let action name mode isa seed opt_level =
+    match Workloads.find name with
+    | exception Not_found ->
+      Printf.eprintf "unknown workload %s\n" name;
+      exit 1
+    | w ->
+      let cfg = { Config.default with opt_level } in
+      let sys = System.of_fatbin ~cfg ~seed ~start_isa:isa ~mode (Workloads.fatbin w) in
+      let outcome = System.run sys ~fuel:(3 * w.w_fuel) in
+      Printf.printf "%s [%s]: %s\n" w.w_name w.w_description (outcome_string outcome);
+      Printf.printf "output: %s\n"
+        (String.concat " " (List.map string_of_int (System.output sys)));
+      Printf.printf "instructions: %d  cycles: %.0f  simulated time: %.3f ms\n"
+        (System.instructions sys) (System.cycles sys) (1000. *. System.seconds sys);
+      if mode <> System.Native then begin
+        let vm = System.vm sys isa in
+        let st = Hipstr_psr.Vm.stats vm in
+        Printf.printf
+          "translations: %d  source instrs: %d -> emitted: %d  traps: %d  suspicious: %d\n"
+          st.translations st.source_instrs st.emitted_instrs st.traps st.suspicious;
+        if mode = System.Hipstr then
+          Printf.printf "migrations: %d security + %d forced\n" (System.security_migrations sys)
+            (System.forced_migrations sys)
+      end
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a workload on the simulated heterogeneous-ISA CMP.")
+    Term.(const action $ workload_arg $ mode_arg $ isa_arg $ seed_arg $ opt_arg)
+
+let gadgets_cmd =
+  let action name isa =
+    match Workloads.find name with
+    | exception Not_found ->
+      Printf.eprintf "unknown workload %s\n" name;
+      exit 1
+    | w ->
+      let fb = Workloads.fatbin w in
+      let mem = Mem.create Hipstr_machine.Layout.mem_size in
+      Fatbin.load fb mem;
+      let gadgets = Galileo.mine_program mem fb isa in
+      let rets = List.filter (fun g -> g.Galileo.g_kind = Galileo.Ret_gadget) gadgets in
+      let sp = (match isa with Desc.Cisc -> Hipstr_cisc.Isa.desc | Desc.Risc -> Hipstr_risc.Isa.desc).sp in
+      let viable = List.filter (fun g -> Galileo.is_viable (Galileo.classify ~sp g)) rets in
+      Printf.printf "%s (%s): %d return gadgets, %d JOP gadgets, %d viable, %d unintentional\n"
+        w.w_name
+        (match isa with Desc.Cisc -> "cisc" | Desc.Risc -> "risc")
+        (List.length rets)
+        (Galileo.count gadgets Galileo.Jop_gadget)
+        (List.length viable)
+        (List.length (List.filter (fun g -> not g.Galileo.g_aligned) rets));
+      List.iteri
+        (fun i g ->
+          if i < 10 then
+            Printf.printf "  0x%x: %s\n" g.Galileo.g_addr
+              (String.concat " ; "
+                 (List.map
+                    (Minstr.to_string
+                       ~reg_name:
+                         (Desc.reg_name
+                            (match isa with Desc.Cisc -> Hipstr_cisc.Isa.desc | _ -> Hipstr_risc.Isa.desc)))
+                    g.Galileo.g_instrs)))
+        viable
+  in
+  Cmd.v
+    (Cmd.info "gadgets" ~doc:"Mine a workload image with the Galileo algorithm.")
+    Term.(const action $ workload_arg $ isa_arg)
+
+let attack_cmd =
+  let mode_arg =
+    Arg.(value & opt mode_conv System.Native & info [ "mode" ] ~doc:"Defense to attack.")
+  in
+  let action mode seed =
+    let fb = Workloads.fatbin Workloads.httpd in
+    let mem = Mem.create Hipstr_machine.Layout.mem_size in
+    Fatbin.load fb mem;
+    match Rop.build_chain mem fb Desc.Cisc ~victim_func:"handle_request" with
+    | None ->
+      Printf.eprintf "could not construct an execve chain\n";
+      exit 1
+    | Some chain ->
+      Printf.printf "execve chain: %d payload words, return slot at word %d\n"
+        (List.length chain.Rop.c_payload) chain.Rop.c_ret_index;
+      List.iter
+        (fun s ->
+          Printf.printf "  gadget 0x%x pops r%d := %d\n" s.Rop.s_gadget s.Rop.s_reg s.Rop.s_value)
+        chain.Rop.c_steps;
+      Printf.printf "  final return into syscall at 0x%x\n" chain.Rop.c_syscall_addr;
+      let cfg = { Config.default with migrate_prob = 1.0 } in
+      let sys = System.of_fatbin ~cfg ~seed ~start_isa:Desc.Cisc ~mode fb in
+      (match Rop.deliver sys chain ~fuel:4_000_000 with
+      | Rop.Shell -> Printf.printf "result: SHELL SPAWNED — the exploit won\n"
+      | Rop.Crashed m -> Printf.printf "result: process killed (%s)\n" m
+      | Rop.Survived -> Printf.printf "result: overflow silently absorbed; program completed\n")
+  in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Deliver the ROP exploit against httpd.")
+    Term.(const action $ mode_arg $ seed_arg)
+
+let experiment_cmd =
+  let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id or 'all'.") in
+  let action id =
+    if id = "all" then List.iter Registry.run_and_print Registry.all
+    else
+      match Registry.find id with
+      | Some e -> Registry.run_and_print e
+      | None ->
+        Printf.eprintf "unknown experiment %s (see `list')\n" id;
+        exit 1
+  in
+  Cmd.v (Cmd.info "experiment" ~doc:"Regenerate a table/figure from the paper.") Term.(const action $ id_arg)
+
+let disasm_cmd =
+  let func_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"FUNC" ~doc:"Function name.") in
+  let action name func isa =
+    match Workloads.find name with
+    | exception Not_found ->
+      Printf.eprintf "unknown workload %s\n" name;
+      exit 1
+    | w -> (
+      let fb = Workloads.fatbin w in
+      match Fatbin.find_func fb func with
+      | exception Not_found ->
+        Printf.eprintf "no function %s\n" func;
+        exit 1
+      | fs ->
+        let im = Fatbin.image fs isa in
+        let mem = Mem.create Hipstr_machine.Layout.mem_size in
+        Fatbin.load fb mem;
+        let desc = match isa with Desc.Cisc -> Hipstr_cisc.Isa.desc | Desc.Risc -> Hipstr_risc.Isa.desc in
+        let pos = ref im.im_entry in
+        let stop = im.im_entry + im.im_size in
+        let continue_ = ref true in
+        while !continue_ && !pos < stop do
+          match Hipstr_machine.Exec.decode isa mem !pos with
+          | None -> continue_ := false
+          | Some (i, len) ->
+            Printf.printf "0x%x: %s\n" !pos (Minstr.to_string ~reg_name:(Desc.reg_name desc) i);
+            pos := !pos + len
+        done)
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble a function from a workload's fat binary.")
+    Term.(const action $ workload_arg $ func_arg $ isa_arg)
+
+let run_file_cmd =
+  let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniC source file.") in
+  let mode_arg =
+    Arg.(value & opt mode_conv System.Hipstr & info [ "mode" ] ~doc:"native, psr or hipstr.")
+  in
+  let fuel_arg = Arg.(value & opt int 10_000_000 & info [ "fuel" ] ~doc:"Instruction budget.") in
+  let action file mode isa seed fuel =
+    let src = In_channel.with_open_text file In_channel.input_all in
+    match System.create ~seed ~start_isa:isa ~mode ~src () with
+    | exception Hipstr_compiler.Compile.Error m ->
+      Printf.eprintf "%s: %s\n" file m;
+      exit 1
+    | sys ->
+      let outcome = System.run sys ~fuel in
+      Printf.printf "%s: %s\n" file (outcome_string outcome);
+      Printf.printf "output: %s\n" (String.concat " " (List.map string_of_int (System.output sys)));
+      Printf.printf "instructions: %d  cycles: %.0f  simulated time: %.3f ms\n"
+        (System.instructions sys) (System.cycles sys) (1000. *. System.seconds sys)
+  in
+  Cmd.v
+    (Cmd.info "run-file" ~doc:"Compile and run a MiniC source file.")
+    Term.(const action $ file_arg $ mode_arg $ isa_arg $ seed_arg $ fuel_arg)
+
+let list_cmd =
+  let action () =
+    Printf.printf "workloads:\n";
+    List.iter
+      (fun n ->
+        let w = Workloads.find n in
+        Printf.printf "  %-12s %s (%s)\n" w.w_name w.w_description w.w_paper_name)
+      Workloads.names;
+    Printf.printf "\nexperiments:\n";
+    List.iter (fun e -> Printf.printf "  %-8s %s\n" e.Registry.ex_id e.Registry.ex_title) Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List workloads and experiments.") Term.(const action $ const ())
+
+let () =
+  let info =
+    Cmd.info "hipstr"
+      ~doc:"HIPStR: heterogeneous-ISA program state relocation (ASPLOS 2016 reproduction)"
+  in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; run_file_cmd; gadgets_cmd; attack_cmd; experiment_cmd; disasm_cmd; list_cmd ]))

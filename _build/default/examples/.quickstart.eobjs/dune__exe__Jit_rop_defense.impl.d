@@ -1,0 +1,1 @@
+examples/jit_rop_defense.ml: Hipstr Hipstr_attacks Hipstr_isa Hipstr_psr Hipstr_workloads List Printf

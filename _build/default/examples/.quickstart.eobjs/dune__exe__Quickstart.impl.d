@@ -1,0 +1,1 @@
+examples/quickstart.ml: Hipstr Hipstr_isa List Printf String

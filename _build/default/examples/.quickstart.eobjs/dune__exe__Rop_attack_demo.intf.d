@@ -1,0 +1,1 @@
+examples/rop_attack_demo.mli:

@@ -1,0 +1,72 @@
+(* The paper's Figure 1 scenario, end to end: a return-oriented
+   execve() exploit against the httpd daemon.
+
+   The attacker (full-disclosure threat model) mines the binary with
+   Galileo, builds a four-register gadget chain, and delivers it
+   through httpd's unchecked request-copy loop. Against the native
+   machine the shell spawns; under PSR the overflow lands in a
+   randomized frame and the gadgets execute relocated; under HIPStR a
+   suspicious code-cache miss can migrate the process mid-exploit.
+
+     dune exec examples/rop_attack_demo.exe *)
+
+module Desc = Hipstr_isa.Desc
+module System = Hipstr.System
+module Config = Hipstr_psr.Config
+module Workloads = Hipstr_workloads.Workloads
+module Fatbin = Hipstr_compiler.Fatbin
+module Mem = Hipstr_machine.Mem
+module Rop = Hipstr_attacks.Rop
+
+let () =
+  let fb = Workloads.fatbin Workloads.httpd in
+  let mem = Mem.create Hipstr_machine.Layout.mem_size in
+  Fatbin.load fb mem;
+  print_endline "[1] mining httpd with Galileo and compiling the exploit...";
+  let chain =
+    match Rop.build_chain mem fb Desc.Cisc ~victim_func:"handle_request" with
+    | Some c -> c
+    | None -> failwith "no chain — gadget population too small"
+  in
+  Printf.printf "    chain: %d payload words; saved return address at word %d\n"
+    (List.length chain.Rop.c_payload) chain.Rop.c_ret_index;
+  List.iter
+    (fun s -> Printf.printf "    gadget 0x%05x pops r%d := %d\n" s.Rop.s_gadget s.Rop.s_reg s.Rop.s_value)
+    chain.Rop.c_steps;
+  Printf.printf "    final return into the syscall instruction at 0x%05x (eax=11: execve)\n\n"
+    chain.Rop.c_syscall_addr;
+
+  print_endline "[2] delivering against the NATIVE machine:";
+  let native = System.of_fatbin ~start_isa:Desc.Cisc ~mode:System.Native fb in
+  (match Rop.deliver native chain ~fuel:2_000_000 with
+  | Rop.Shell ->
+    let a1, a2, a3 = match System.shell native with Some t -> t | None -> (0, 0, 0) in
+    Printf.printf "    execve(%d, %d, %d) reached — SHELL SPAWNED.\n\n" a1 a2 a3
+  | o -> Printf.printf "    unexpected: %s\n\n" (match o with Rop.Crashed m -> m | _ -> "survived"));
+
+  print_endline "[3] the same payload against PSR (10 randomization epochs):";
+  for seed = 1 to 10 do
+    let sys = System.of_fatbin ~seed ~start_isa:Desc.Cisc ~mode:System.Psr_only fb in
+    Printf.printf "    epoch %2d: %s\n" seed
+      (match Rop.deliver sys chain ~fuel:4_000_000 with
+      | Rop.Shell -> "SHELL (!!)"
+      | Rop.Crashed m -> "process killed — " ^ m
+      | Rop.Survived -> "overflow absorbed, daemon completed normally")
+  done;
+
+  print_endline "\n[4] and against full HIPStR (migration probability 1.0):";
+  let cfg = { Config.default with migrate_prob = 1.0 } in
+  for seed = 1 to 5 do
+    let sys = System.of_fatbin ~cfg ~seed ~start_isa:Desc.Cisc ~mode:System.Hipstr fb in
+    let verdict =
+      match Rop.deliver sys chain ~fuel:4_000_000 with
+      | Rop.Shell -> "SHELL (!!)"
+      | Rop.Crashed m -> "process killed — " ^ m
+      | Rop.Survived -> "overflow absorbed, daemon completed normally"
+    in
+    Printf.printf "    epoch %2d: %s (%d security migrations)\n" seed verdict
+      (System.security_migrations sys)
+  done;
+  print_endline "\nThe identical bytes that own the native machine are noise under PSR:";
+  print_endline "the buffer lives at a randomized offset, the return address at another,";
+  print_endline "and any gadget that does run has had its operands relocated."

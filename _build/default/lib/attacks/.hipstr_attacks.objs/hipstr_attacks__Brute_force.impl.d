@@ -1,0 +1,1 @@
+lib/attacks/brute_force.ml: Hipstr_galileo Hipstr_psr Hipstr_util List Surface

@@ -1,0 +1,1 @@
+lib/attacks/brute_force.mli: Hipstr_psr Surface

@@ -1,0 +1,1 @@
+lib/attacks/entropy.ml: Hipstr_psr List

@@ -1,0 +1,1 @@
+lib/attacks/entropy.mli: Hipstr_psr

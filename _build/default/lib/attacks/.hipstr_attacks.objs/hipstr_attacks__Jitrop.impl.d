@@ -1,0 +1,1 @@
+lib/attacks/jitrop.ml: Desc Hashtbl Hipstr Hipstr_cisc Hipstr_compiler Hipstr_galileo Hipstr_isa Hipstr_machine Hipstr_migration Hipstr_psr Hipstr_workloads List

@@ -1,0 +1,1 @@
+lib/attacks/jitrop.mli: Hipstr_workloads

@@ -1,0 +1,1 @@
+lib/attacks/rop.ml: Desc Hashtbl Hipstr Hipstr_cisc Hipstr_compiler Hipstr_galileo Hipstr_isa Hipstr_machine Hipstr_risc Int List Map Minstr

@@ -1,0 +1,1 @@
+lib/attacks/rop.mli: Hipstr Hipstr_compiler Hipstr_isa Hipstr_machine

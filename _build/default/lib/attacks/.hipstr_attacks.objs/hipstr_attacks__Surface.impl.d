@@ -1,0 +1,1 @@
+lib/attacks/surface.ml: Desc Hashtbl Hipstr_cisc Hipstr_compiler Hipstr_galileo Hipstr_isa Hipstr_machine Hipstr_psr Hipstr_risc Hipstr_util List

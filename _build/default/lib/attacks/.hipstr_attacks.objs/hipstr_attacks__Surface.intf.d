@@ -1,0 +1,1 @@
+lib/attacks/surface.mli: Hipstr_compiler Hipstr_galileo Hipstr_isa Hipstr_psr

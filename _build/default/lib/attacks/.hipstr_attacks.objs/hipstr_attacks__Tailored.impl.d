@@ -1,0 +1,1 @@
+lib/attacks/tailored.ml: Hipstr_galileo Hipstr_isomeron List

@@ -1,0 +1,1 @@
+lib/attacks/tailored.mli: Hipstr_galileo

@@ -1,0 +1,123 @@
+module Galileo = Hipstr_galileo.Galileo
+module Config = Hipstr_psr.Config
+module Stats = Hipstr_util.Stats
+
+type chain_step = { st_reg : int; st_gadget_addr : int; st_params : int; st_clobbers : int list }
+
+type result = {
+  bf_name : string;
+  bf_viable : int;
+  bf_params_avg : float;
+  bf_entropy_bits : float;
+  bf_attempts_nobias : float;
+  bf_attempts_bias : float;
+  bf_chain : chain_step list option;
+}
+
+(* ~1e9 attempts/second for ~30 years *)
+let infeasible_threshold = 1e18
+
+let is_infeasible r = r.bf_attempts_nobias > infeasible_threshold && r.bf_attempts_bias > infeasible_threshold
+
+(* Deterministic stand-in for the randomized return-slot position
+   A(g): the attacker cannot observe it, the algorithm just needs a
+   total order to "prefer" gadgets. *)
+let ret_position g =
+  let h = g.Galileo.g_addr * 0x9E3779B1 in
+  (h lxor (h lsr 13)) land 0xFFF
+
+let execve_regs = [ 0; 1; 2; 3 ]
+
+(* Algorithm 1 fixes an order; clobber constraints can make one order
+   infeasible while another works, so all orders are tried (the
+   attacker would too). *)
+let reg_orders =
+  let rec perms = function
+    | [] -> [ [] ]
+    | l -> List.concat_map (fun x -> List.map (fun p -> x :: p) (perms (List.filter (( <> ) x) l))) l
+  in
+  perms execve_regs
+
+let run_algorithm_1 (infos : Surface.gadget_info list) =
+  let viable = List.filter (fun i -> i.Surface.gi_viable) infos in
+  let rec build established steps = function
+    | [] -> Some (List.rev steps)
+    | reg :: rest ->
+      let candidates =
+        List.filter
+          (fun i ->
+            let eff = i.Surface.gi_effect in
+            List.exists (fun (r, _) -> r = reg) eff.Galileo.e_pops
+            && not
+                 (List.exists
+                    (fun c -> c <> reg && List.mem c established)
+                    eff.Galileo.e_reg_writes))
+          viable
+      in
+      let sorted =
+        List.sort
+          (fun a b ->
+            compare (ret_position a.Surface.gi_gadget) (ret_position b.Surface.gi_gadget))
+          candidates
+      in
+      (match sorted with
+      | [] -> None
+      | best :: _ ->
+        let eff = best.Surface.gi_effect in
+        let step =
+          {
+            st_reg = reg;
+            st_gadget_addr = best.Surface.gi_gadget.Galileo.g_addr;
+            st_params = best.Surface.gi_params;
+            st_clobbers = List.filter (fun c -> c <> reg) eff.Galileo.e_reg_writes;
+          }
+        in
+        build (reg :: established) (step :: steps) rest)
+  in
+  let chain =
+    List.fold_left
+      (fun acc order -> match acc with Some _ -> acc | None -> build [] [] order)
+      None reg_orders
+  in
+  (viable, chain)
+
+let attempts_for (cfg : Config.t) ~bias steps =
+  let positions = float_of_int (cfg.pad_bytes / 4) in
+  (* Register parameters under the bias: register-resident with
+     probability ~0.65 over a handful of registers, otherwise in the
+     pad. *)
+  let reg_param_states =
+    if bias then (0.65 *. 5.) +. (0.35 *. positions) else positions
+  in
+  List.fold_left
+    (fun acc step ->
+      (* params = registers + slots + ret; the sprayed data slot is
+         free, so one parameter costs nothing *)
+      let free = 1 in
+      let regs = List.length step.st_clobbers + 1 in
+      let others = max 0 (step.st_params - regs - free) in
+      acc *. (reg_param_states ** float_of_int regs) *. (positions ** float_of_int others))
+    1. steps
+
+let simulate ?(cfg = Config.default) ~name (report : Surface.report) =
+  let viable, chain = run_algorithm_1 report.Surface.r_infos in
+  let params =
+    List.map (fun i -> float_of_int i.Surface.gi_params)
+      (List.filter (fun i -> i.Surface.gi_viable) report.Surface.r_infos)
+  in
+  let params_avg = Stats.mean params in
+  let bits_per_param = Hipstr_psr.Reloc_map.entropy_bits_per_param cfg in
+  let nobias, bias =
+    match chain with
+    | Some steps -> (attempts_for cfg ~bias:false steps, attempts_for cfg ~bias:true steps)
+    | None -> (infinity, infinity)
+  in
+  {
+    bf_name = name;
+    bf_viable = List.length viable;
+    bf_params_avg = params_avg;
+    bf_entropy_bits = params_avg *. bits_per_param;
+    bf_attempts_nobias = nobias;
+    bf_attempts_bias = bias;
+    bf_chain = chain;
+  }

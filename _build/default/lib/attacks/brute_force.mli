@@ -1,0 +1,52 @@
+(** The brute-force simulation of Algorithm 1 and Table 2.
+
+    Models the Blind-ROP-style attacker of Section 4: the victim
+    re-spawns on a crash, the attacker sprays one register's value
+    across an entire frame and brute-forces (a) which gadget to use,
+    (b) the position of the gadget's remaining randomized parameters,
+    and (c) the relocated return-address slot used to chain the next
+    gadget. The goal is the four-gadget execve shellcode: populate
+    ax, bx, cx and dx with attacker-chosen values.
+
+    Gadget selection follows Algorithm 1: for each register, among the
+    viable gadgets that populate it without clobbering the registers
+    already established, pick the one whose (randomized) return-slot
+    position sorts first; the search accounts for register and stack
+    clobbering.
+
+    The expected attempt count multiplies, per chained gadget, one
+    factor of [pad/4] for every randomizable parameter except the
+    sprayed data slot. With a register bias, register parameters are
+    register-resident with the bias probability and then range over
+    the register file instead of the pad. The paper's conservative
+    assumption is kept: a failed attempt does *not* re-randomize. *)
+
+type chain_step = {
+  st_reg : int;
+  st_gadget_addr : int;
+  st_params : int;
+  st_clobbers : int list;
+}
+
+type result = {
+  bf_name : string;
+  bf_viable : int;  (** gadgets entering the search *)
+  bf_params_avg : float;  (** avg randomizable parameters (Table 2 col 1) *)
+  bf_entropy_bits : float;  (** avg params x bits/param (Table 2 col 2) *)
+  bf_attempts_nobias : float;
+  bf_attempts_bias : float;
+  bf_chain : chain_step list option;
+      (** the four-gadget chain Algorithm 1 found, if one exists *)
+}
+
+val simulate :
+  ?cfg:Hipstr_psr.Config.t ->
+  name:string ->
+  Surface.report ->
+  result
+
+val infeasible_threshold : float
+(** Attempts beyond this count as computationally infeasible even for
+    exascale attackers (the paper's 1 ns/attempt for centuries). *)
+
+val is_infeasible : result -> bool

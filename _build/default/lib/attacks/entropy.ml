@@ -1,0 +1,23 @@
+type curve = { label : string; values : (int * float) list }
+
+let cap = 1024.
+
+let capped v = if v > cap then cap else v
+
+let curve label per_step max_chain =
+  { label; values = List.init max_chain (fun i -> (i + 1, capped (per_step ** float_of_int (i + 1)))) }
+
+let isomeron ~max_chain = curve "Isomeron" 2. max_chain
+
+let het_isa ~max_chain = curve "Heterogeneous-ISA migration" 2. max_chain
+
+(* Per-gadget chaining entropy under PSR: the relocated return slot
+   ranges over the pad. *)
+let psr_step (cfg : Hipstr_psr.Config.t) = float_of_int (cfg.pad_bytes / 4)
+
+let psr_isomeron ~cfg ~max_chain = curve "PSR + Isomeron" (2. *. psr_step cfg) max_chain
+
+let hipstr ~cfg ~max_chain = curve "HIPStR" (2. *. psr_step cfg *. 1.5) max_chain
+
+let all ~cfg ~max_chain =
+  [ isomeron ~max_chain; het_isa ~max_chain; psr_isomeron ~cfg ~max_chain; hipstr ~cfg ~max_chain ]

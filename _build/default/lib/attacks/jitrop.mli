@@ -1,0 +1,34 @@
+(** Just-in-time code reuse analysis (Figure 5 and the surrounding
+    discussion in Section 7.1).
+
+    A JIT-ROP attacker with an arbitrary-read primitive harvests
+    *code-cache* pages — the only code whose randomized form is
+    concretely observable — so the attack surface is whatever gadgets
+    are minable from the translated code after the program reaches
+    steady state:
+
+    - the translated units are mined with Galileo (returns in cache
+      include [Retrat] and stray 0xC3 bytes inside translated
+      immediates);
+    - a gadget "flags" the VM if using it requires an indirect control
+      transfer that misses the code cache's structures — everything
+      except gadgets starting exactly at translated indirect-transfer
+      targets (call-site continuations and function entries);
+    - under HIPStR, flagged gadgets trigger probabilistic migration,
+      so the tailored attacker is left with the non-flagging residue,
+      further thinned to those inside blocks where migration cannot
+      follow them (the migration-unsafe 22%). *)
+
+type report = {
+  jr_name : string;
+  jr_static_total : int;  (** all static ret-gadgets, for the fraction *)
+  jr_in_cache : int;  (** gadgets harvestable from the code cache *)
+  jr_flagging : int;  (** in-cache gadgets whose use causes a cache miss *)
+  jr_survive_migration : int;  (** non-flagging *)
+  jr_final : int;  (** non-flagging and in migration-unsafe source blocks *)
+  jr_execve_feasible : bool;  (** 4-register chain possible from the residue *)
+}
+
+val analyze : name:string -> Hipstr_workloads.Workloads.t -> seed:int -> report
+(** Run the workload under PSR to steady state on the CISC core and
+    analyze its code cache. *)

@@ -1,0 +1,45 @@
+module Galileo = Hipstr_galileo.Galileo
+module Isomeron = Hipstr_isomeron.Isomeron
+
+type technique = Isomeron_only | Psr_only | Psr_isomeron | Hipstr
+
+type point = { p_prob : float; p_surface : float }
+
+type curve = { t_label : string; t_points : point list }
+
+let reg_operands (e : Galileo.effect) =
+  List.length (List.sort_uniq compare (e.e_reg_reads @ e.e_reg_writes))
+
+let invariant_same_isa e = Isomeron.gadget_unaffected_probability ~reg_operands:(reg_operands e)
+
+let invariant_cross_isa (e : Galileo.effect) =
+  (* Across ISAs the code sections are disjoint: a gadget address in
+     one ISA's section is wild on the other core, and the migration's
+     stack transformation has relocated the payload besides. Nothing
+     meaningful is invariant (the paper found at most a couple of
+     all-nop survivors per benchmark, and none in five of eight). *)
+  ignore e;
+  0.0
+
+let label = function
+  | Isomeron_only -> "Isomeron"
+  | Psr_only -> "PSR"
+  | Psr_isomeron -> "PSR + Isomeron"
+  | Hipstr -> "HIPStR"
+
+let surface technique ~base_gadgets ~psr_gadgets ~prob =
+  let expect invariant gadgets =
+    List.fold_left (fun acc e -> acc +. (1. -. prob +. (prob *. invariant e))) 0. gadgets
+  in
+  match technique with
+  | Isomeron_only -> expect invariant_same_isa base_gadgets
+  | Psr_only -> float_of_int (List.length psr_gadgets) (* no diversification coin *)
+  | Psr_isomeron -> expect invariant_same_isa psr_gadgets
+  | Hipstr -> expect invariant_cross_isa psr_gadgets
+
+let curve technique ~base_gadgets ~psr_gadgets ~probs =
+  {
+    t_label = label technique;
+    t_points =
+      List.map (fun p -> { p_prob = p; p_surface = surface technique ~base_gadgets ~psr_gadgets ~prob:p }) probs;
+  }

@@ -1,0 +1,1 @@
+lib/cisc/isa.ml: Buffer Char Desc Hipstr_isa Hipstr_util Minstr

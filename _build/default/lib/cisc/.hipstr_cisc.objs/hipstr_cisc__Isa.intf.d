@@ -1,0 +1,1 @@
+lib/cisc/isa.mli: Hipstr_isa

@@ -1,0 +1,419 @@
+open Hipstr_isa
+module W32 = Hipstr_util.Wrap32
+
+let desc =
+  {
+    Desc.which = Desc.Cisc;
+    name = "cisc32";
+    nregs = 8;
+    sp = 7;
+    lr = None;
+    call_pushes_ret = true;
+    scratch = 6 (* bp *);
+    scratch2 = 5 (* di *);
+    arg_regs = [];
+    ret_reg = 0 (* ax *);
+    callee_saved = [ 1; 4 ] (* bx si *);
+    caller_saved = [ 0; 2; 3 ] (* ax cx dx *);
+    (* callee-class registers first: long-lived values prefer them,
+       which is also what keeps blocks migration-safe *)
+    allocatable = [ 1; 4; 0; 2; 3 ];
+    align = 1;
+    freq_ghz = 3.3;
+  }
+
+let ret_opcode = 0xC3
+
+let binop_index : Minstr.binop -> int = function
+  | Add -> 0
+  | Sub -> 1
+  | Mul -> 2
+  | Divs -> 3
+  | Rems -> 4
+  | And -> 5
+  | Or -> 6
+  | Xor -> 7
+  | Shl -> 8
+  | Shr -> 9
+  | Sar -> 10
+
+let binop_of_index = function
+  | 0 -> Some Minstr.Add
+  | 1 -> Some Minstr.Sub
+  | 2 -> Some Minstr.Mul
+  | 3 -> Some Minstr.Divs
+  | 4 -> Some Minstr.Rems
+  | 5 -> Some Minstr.And
+  | 6 -> Some Minstr.Or
+  | 7 -> Some Minstr.Xor
+  | 8 -> Some Minstr.Shl
+  | 9 -> Some Minstr.Shr
+  | 10 -> Some Minstr.Sar
+  | _ -> None
+
+let cond_index : Minstr.cond -> int = function
+  | Eq -> 0
+  | Ne -> 1
+  | Lt -> 2
+  | Ge -> 3
+  | Gt -> 4
+  | Le -> 5
+  | Ult -> 6
+  | Uge -> 7
+
+let cond_of_index = function
+  | 0 -> Some Minstr.Eq
+  | 1 -> Some Minstr.Ne
+  | 2 -> Some Minstr.Lt
+  | 3 -> Some Minstr.Ge
+  | 4 -> Some Minstr.Gt
+  | 5 -> Some Minstr.Le
+  | 6 -> Some Minstr.Ult
+  | 7 -> Some Minstr.Uge
+  | _ -> None
+
+let length (i : Minstr.t) =
+  match i with
+  | Mov (Reg _, Reg _) -> 2
+  | Mov (Reg _, Imm _) -> 6
+  | Mov (Reg _, Mem _) -> 6
+  | Mov (Mem _, Reg _) -> 6
+  | Mov (Mem _, Imm _) -> 10
+  | Mov (Imm _, _) | Mov (Mem _, Mem _) -> invalid_arg "cisc: bad mov operands"
+  | Lea _ -> 6
+  | Binop (_, Reg _, Reg _) -> 2
+  | Binop (_, Reg _, Imm _) -> 6
+  | Binop (_, Reg _, Mem _) -> 6
+  | Binop (_, Mem _, Reg _) -> 6
+  | Binop (_, Mem _, Imm _) -> 10
+  | Binop (_, Imm _, _) | Binop (_, Mem _, Mem _) -> invalid_arg "cisc: bad binop operands"
+  | Cmp (Reg _, Reg _) -> 2
+  | Cmp (Reg _, Imm _) -> 6
+  | Cmp (Reg _, Mem _) -> 6
+  | Cmp (Mem _, Imm _) -> 10
+  | Cmp (Mem _, Reg _) -> 6
+  | Cmp (Imm _, _) | Cmp (Mem _, Mem _) -> invalid_arg "cisc: bad cmp operands"
+  | Push (Reg _) -> 2
+  | Push (Imm _) -> 6
+  | Push (Mem _) -> 6
+  | Pop (Reg _) -> 2
+  | Pop (Mem _) -> 6
+  | Pop (Imm _) -> invalid_arg "cisc: pop imm"
+  | Jmp _ -> 5
+  | Jcc _ -> 5
+  | Jmpr (Reg _) -> 2
+  | Jmpr (Mem _) -> 6
+  | Jmpr (Imm _) -> invalid_arg "cisc: jmpr imm"
+  | Call _ -> 5
+  | Callr (Reg _) -> 2
+  | Callr (Mem _) -> 6
+  | Callr (Imm _) -> invalid_arg "cisc: callr imm"
+  | Ret -> 1
+  | Retr _ -> invalid_arg "cisc: retr is RISC-only"
+  | Syscall -> 1
+  | Nop -> 1
+  | Trap _ -> 5
+  | Callrat _ -> 9
+  | Retrat (Reg _) -> 2
+  | Retrat (Mem _) -> 6
+  | Retrat (Imm _) -> invalid_arg "cisc: retrat imm"
+
+let check_reg r = if r < 0 || r > 7 then invalid_arg "cisc: register out of range"
+
+(* The operand byte mimics x86's modrm: reg-reg forms carry mod=11
+   (byte 0xC0..0xFF — the reason 0xC3 ret bytes pervade real x86
+   code), memory forms mod=01 (0x40..0x7F). *)
+let modrr a b = 0xC0 lor (a lsl 3) lor b
+let modrm a b = 0x40 lor (a lsl 3) lor b
+
+let add_i32 buf v =
+  let v = W32.unsigned v in
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF))
+
+let add_op buf op = Buffer.add_char buf (Char.chr op)
+
+let add_rr buf a b =
+  check_reg a;
+  check_reg b;
+  Buffer.add_char buf (Char.chr (modrr a b))
+
+let add_rm buf a b =
+  check_reg a;
+  check_reg b;
+  Buffer.add_char buf (Char.chr (modrm a b))
+
+let encode ~at (i : Minstr.t) =
+  let buf = Buffer.create 10 in
+  let rel target len = target - (at + len) in
+  (match i with
+  | Mov (Reg d, Reg s) ->
+    add_op buf 0x01;
+    add_rr buf d s
+  | Mov (Reg d, Imm k) ->
+    add_op buf 0x02;
+    add_rr buf d 0;
+    add_i32 buf k
+  | Mov (Reg d, Mem { base; disp }) ->
+    add_op buf 0x03;
+    add_rm buf d base;
+    add_i32 buf disp
+  | Mov (Mem { base; disp }, Reg s) ->
+    add_op buf 0x04;
+    add_rm buf s base;
+    add_i32 buf disp
+  | Mov (Mem { base; disp }, Imm k) ->
+    add_op buf 0x05;
+    add_rm buf 0 base;
+    add_i32 buf disp;
+    add_i32 buf k
+  | Mov (Imm _, _) | Mov (Mem _, Mem _) -> invalid_arg "cisc: bad mov operands"
+  | Lea (d, b, k) ->
+    add_op buf 0x06;
+    add_rm buf d b;
+    add_i32 buf k
+  | Binop (op, Reg d, Reg s) ->
+    add_op buf (0x10 + binop_index op);
+    add_rr buf d s
+  | Binop (op, Reg d, Imm k) ->
+    add_op buf (0x20 + binop_index op);
+    add_rr buf d 0;
+    add_i32 buf k
+  | Binop (op, Reg d, Mem { base; disp }) ->
+    add_op buf (0x30 + binop_index op);
+    add_rm buf d base;
+    add_i32 buf disp
+  | Binop (op, Mem { base; disp }, Reg s) ->
+    add_op buf (0x40 + binop_index op);
+    add_rm buf s base;
+    add_i32 buf disp
+  | Binop (op, Mem { base; disp }, Imm k) ->
+    add_op buf (0x50 + binop_index op);
+    add_rm buf 0 base;
+    add_i32 buf disp;
+    add_i32 buf k
+  | Binop (_, Imm _, _) | Binop (_, Mem _, Mem _) -> invalid_arg "cisc: bad binop operands"
+  | Cmp (Reg a, Reg b) ->
+    add_op buf 0x60;
+    add_rr buf a b
+  | Cmp (Reg a, Imm k) ->
+    add_op buf 0x61;
+    add_rr buf a 0;
+    add_i32 buf k
+  | Cmp (Reg a, Mem { base; disp }) ->
+    add_op buf 0x62;
+    add_rm buf a base;
+    add_i32 buf disp
+  | Cmp (Mem { base; disp }, Imm k) ->
+    add_op buf 0x63;
+    add_rm buf 0 base;
+    add_i32 buf disp;
+    add_i32 buf k
+  | Cmp (Mem { base; disp }, Reg b) ->
+    add_op buf 0x64;
+    add_rm buf b base;
+    add_i32 buf disp
+  | Cmp (Imm _, _) | Cmp (Mem _, Mem _) -> invalid_arg "cisc: bad cmp operands"
+  | Push (Reg r) ->
+    add_op buf 0x70;
+    add_rr buf r 0
+  | Push (Imm k) ->
+    add_op buf 0x71;
+    add_rr buf 0 0;
+    add_i32 buf k
+  | Push (Mem { base; disp }) ->
+    add_op buf 0x72;
+    add_rm buf 0 base;
+    add_i32 buf disp
+  | Pop (Reg r) ->
+    add_op buf 0x73;
+    add_rr buf r 0
+  | Pop (Mem { base; disp }) ->
+    add_op buf 0x74;
+    add_rm buf 0 base;
+    add_i32 buf disp
+  | Pop (Imm _) -> invalid_arg "cisc: pop imm"
+  | Jmp t ->
+    add_op buf 0x80;
+    add_i32 buf (rel t 5)
+  | Jcc (c, t) ->
+    add_op buf (0x81 + cond_index c);
+    add_i32 buf (rel t 5)
+  | Jmpr (Reg r) ->
+    add_op buf 0x90;
+    add_rr buf r 0
+  | Jmpr (Mem { base; disp }) ->
+    add_op buf 0x91;
+    add_rm buf 0 base;
+    add_i32 buf disp
+  | Jmpr (Imm _) -> invalid_arg "cisc: jmpr imm"
+  | Call t ->
+    add_op buf 0x92;
+    add_i32 buf (rel t 5)
+  | Callr (Reg r) ->
+    add_op buf 0x93;
+    add_rr buf r 0
+  | Callr (Mem { base; disp }) ->
+    add_op buf 0x94;
+    add_rm buf 0 base;
+    add_i32 buf disp
+  | Callr (Imm _) -> invalid_arg "cisc: callr imm"
+  | Ret -> add_op buf ret_opcode
+  | Retr _ -> invalid_arg "cisc: retr is RISC-only"
+  | Syscall -> add_op buf 0xA0
+  | Nop -> add_op buf 0x99
+  | Trap a ->
+    add_op buf 0xA1;
+    add_i32 buf a
+  | Callrat { target; src_ret } ->
+    add_op buf 0xA2;
+    add_i32 buf target;
+    add_i32 buf src_ret
+  | Retrat (Reg r) ->
+    add_op buf 0xA3;
+    add_rr buf r 0
+  | Retrat (Mem { base; disp }) ->
+    add_op buf 0xA4;
+    add_rm buf 0 base;
+    add_i32 buf disp
+  | Retrat (Imm _) -> invalid_arg "cisc: retrat imm");
+  Buffer.contents buf
+
+(* Decoding. Any byte sequence may be presented (Galileo decodes at
+   every offset), so every field is validated and [None] returned on
+   anything malformed. *)
+
+let decode ~read addr =
+  let byte k = read (addr + k) land 0xFF in
+  let i32 k = W32.of_bytes (byte k) (byte (k + 1)) (byte (k + 2)) (byte (k + 3)) in
+  let operand_byte k ~mem =
+    let b = byte k in
+    let mode = b lsr 6 in
+    let want = if mem then 1 else 3 in
+    if mode <> want then None else Some ((b lsr 3) land 7, b land 7)
+  in
+  let reg_pair k f = match operand_byte k ~mem:false with None -> None | Some (a, b) -> f a b in
+  let rm_pair k f = match operand_byte k ~mem:true with None -> None | Some (a, b) -> f a b in
+  let mem base disp = Minstr.Mem { base; disp } in
+  let abs len = addr + len + i32 1 in
+  let op = byte 0 in
+  match op with
+  | 0x01 -> reg_pair 1 (fun d s -> Some (Minstr.Mov (Reg d, Reg s), 2))
+  | 0x02 -> reg_pair 1 (fun d z -> if z <> 0 then None else Some (Minstr.Mov (Reg d, Imm (i32 2)), 6))
+  | 0x03 -> rm_pair 1 (fun d b -> Some (Minstr.Mov (Reg d, mem b (i32 2)), 6))
+  | 0x04 -> rm_pair 1 (fun s b -> Some (Minstr.Mov (mem b (i32 2), Reg s), 6))
+  | 0x05 ->
+    rm_pair 1 (fun z b -> if z <> 0 then None else Some (Minstr.Mov (mem b (i32 2), Imm (i32 6)), 10))
+  | 0x06 -> rm_pair 1 (fun d b -> Some (Minstr.Lea (d, b, i32 2), 6))
+  | _ when op >= 0x10 && op <= 0x1A -> (
+    match binop_of_index (op - 0x10) with
+    | None -> None
+    | Some bop -> reg_pair 1 (fun d s -> Some (Minstr.Binop (bop, Reg d, Reg s), 2)))
+  | _ when op >= 0x20 && op <= 0x2A -> (
+    match binop_of_index (op - 0x20) with
+    | None -> None
+    | Some bop ->
+      reg_pair 1 (fun d z -> if z <> 0 then None else Some (Minstr.Binop (bop, Reg d, Imm (i32 2)), 6)))
+  | _ when op >= 0x30 && op <= 0x3A -> (
+    match binop_of_index (op - 0x30) with
+    | None -> None
+    | Some bop -> rm_pair 1 (fun d b -> Some (Minstr.Binop (bop, Reg d, mem b (i32 2)), 6)))
+  | _ when op >= 0x40 && op <= 0x4A -> (
+    match binop_of_index (op - 0x40) with
+    | None -> None
+    | Some bop -> rm_pair 1 (fun s b -> Some (Minstr.Binop (bop, mem b (i32 2), Reg s), 6)))
+  | _ when op >= 0x50 && op <= 0x5A -> (
+    match binop_of_index (op - 0x50) with
+    | None -> None
+    | Some bop ->
+      rm_pair 1 (fun z b ->
+          if z <> 0 then None else Some (Minstr.Binop (bop, mem b (i32 2), Imm (i32 6)), 10)))
+  | 0x60 -> reg_pair 1 (fun a b -> Some (Minstr.Cmp (Reg a, Reg b), 2))
+  | 0x61 -> reg_pair 1 (fun a z -> if z <> 0 then None else Some (Minstr.Cmp (Reg a, Imm (i32 2)), 6))
+  | 0x62 -> rm_pair 1 (fun a b -> Some (Minstr.Cmp (Reg a, mem b (i32 2)), 6))
+  | 0x63 ->
+    rm_pair 1 (fun z b -> if z <> 0 then None else Some (Minstr.Cmp (mem b (i32 2), Imm (i32 6)), 10))
+  | 0x64 -> rm_pair 1 (fun r b -> Some (Minstr.Cmp (mem b (i32 2), Reg r), 6))
+  | 0x70 -> reg_pair 1 (fun r z -> if z <> 0 then None else Some (Minstr.Push (Reg r), 2))
+  | 0x71 -> reg_pair 1 (fun z z' -> if z <> 0 || z' <> 0 then None else Some (Minstr.Push (Imm (i32 2)), 6))
+  | 0x72 -> rm_pair 1 (fun z b -> if z <> 0 then None else Some (Minstr.Push (mem b (i32 2)), 6))
+  | 0x73 -> reg_pair 1 (fun r z -> if z <> 0 then None else Some (Minstr.Pop (Reg r), 2))
+  | 0x74 -> rm_pair 1 (fun z b -> if z <> 0 then None else Some (Minstr.Pop (mem b (i32 2)), 6))
+  | 0x80 -> Some (Minstr.Jmp (abs 5), 5)
+  | _ when op >= 0x81 && op <= 0x88 -> (
+    match cond_of_index (op - 0x81) with
+    | None -> None
+    | Some c -> Some (Minstr.Jcc (c, abs 5), 5))
+  | 0x90 -> reg_pair 1 (fun r z -> if z <> 0 then None else Some (Minstr.Jmpr (Reg r), 2))
+  | 0x91 -> rm_pair 1 (fun z b -> if z <> 0 then None else Some (Minstr.Jmpr (mem b (i32 2)), 6))
+  | 0x92 -> Some (Minstr.Call (abs 5), 5)
+  | 0x93 -> reg_pair 1 (fun r z -> if z <> 0 then None else Some (Minstr.Callr (Reg r), 2))
+  | 0x94 -> rm_pair 1 (fun z b -> if z <> 0 then None else Some (Minstr.Callr (mem b (i32 2)), 6))
+  | 0xC3 -> Some (Minstr.Ret, 1)
+  | 0xA0 -> Some (Minstr.Syscall, 1)
+  | 0x99 -> Some (Minstr.Nop, 1)
+  (* Decode-only aliases. Real x86 has a dense one-byte opcode map
+     (58+r pop, B8+r mov imm32, C2 ret-imm16, ...) which is what makes
+     unintended gadgets abundant; these compact forms are never
+     emitted by the encoder but decode validly, reproducing that
+     density. *)
+  | _ when op >= 0xC8 && op <= 0xCF -> Some (Minstr.Pop (Reg (op - 0xC8)), 1)
+  | _ when op >= 0xD0 && op <= 0xD7 -> Some (Minstr.Push (Reg (op - 0xD0)), 1)
+  | _ when op >= 0xB8 && op <= 0xBF -> Some (Minstr.Mov (Reg (op - 0xB8), Imm (i32 1)), 5)
+  | _ when op >= 0xB0 && op <= 0xB7 ->
+    let v = byte 1 in
+    let v = if v land 0x80 <> 0 then v - 0x100 else v in
+    Some (Minstr.Mov (Reg (op - 0xB0), Imm v), 2)
+  | 0xC2 -> Some (Minstr.Ret, 3) (* ret imm16: pops shown as plain ret *)
+  | _ when op >= 0x04 && op <= 0x0B ->
+    let v = byte 1 in
+    let v = if v land 0x80 <> 0 then v - 0x100 else v in
+    Some (Minstr.Binop (Minstr.Add, Reg (op - 0x04), Imm v), 2)
+  | _ when op >= 0xE0 && op <= 0xE7 ->
+    let v = byte 1 in
+    let v = if v land 0x80 <> 0 then v - 0x100 else v in
+    Some (Minstr.Binop (Minstr.Xor, Reg (op - 0xE0), Imm v), 2)
+  | _ when op >= 0xF0 && op <= 0xFF ->
+    Some (Minstr.Mov (Reg (op land 7), Mem { base = 7; disp = byte 1 land 0x7C }), 2)
+    (* short stack load: mov r, [sp+disp7] *)
+  | 0x00 -> Some (Minstr.Binop (Minstr.Add, Reg 0, Reg 0), 1)
+  | _ when op >= 0x0C && op <= 0x0F ->
+    Some (Minstr.Binop (Minstr.Or, Reg (op land 3), Imm (byte 1)), 2)
+  | _ when op >= 0x1B && op <= 0x1F ->
+    Some (Minstr.Binop (Minstr.Sub, Reg (op land 7), Imm (byte 1)), 2)
+  | _ when op >= 0x2B && op <= 0x2F ->
+    Some (Minstr.Binop (Minstr.And, Reg (op land 7), Imm (byte 1)), 2)
+  | _ when op >= 0x3B && op <= 0x3F -> Some (Minstr.Cmp (Reg (op land 7), Imm (byte 1)), 2)
+  | _ when op >= 0x4B && op <= 0x4F -> Some (Minstr.Mov (Reg (op land 7), Reg (op land 3)), 1)
+  | _ when op >= 0x5B && op <= 0x5F ->
+    (* like x86's one-byte 58+r pops *)
+    Some (Minstr.Pop (Reg (op land 7)), 1)
+  | _ when op >= 0x65 && op <= 0x6F ->
+    Some (Minstr.Binop (Minstr.Xor, Reg (op land 7), Reg ((op lsr 1) land 7)), 1)
+  | _ when op >= 0x75 && op <= 0x79 -> (
+    match cond_of_index (op - 0x75) with
+    | None -> None
+    | Some c ->
+      let rel = byte 1 in
+      let rel = if rel land 0x80 <> 0 then rel - 0x100 else rel in
+      Some (Minstr.Jcc (c, addr + 2 + rel), 2))
+  | _ when op >= 0x7A && op <= 0x7F ->
+    Some (Minstr.Binop (Minstr.Or, Reg (op land 7), Imm (byte 1)), 2)
+  | _ when op >= 0x89 && op <= 0x8F ->
+    Some (Minstr.Mov (Reg (op land 7), Mem { base = 7; disp = byte 1 land 0x7C }), 2)
+  | _ when op >= 0x95 && op <= 0x9F && op <> 0x99 -> Some (Minstr.Push (Reg (op land 7)), 1)
+  | _ when op >= 0xA5 && op <= 0xAF -> Some (Minstr.Lea (op land 7, 7, byte 1 land 0x7C), 2)
+  | 0xC0 | 0xC1 -> Some (Minstr.Nop, 1)
+  | _ when op >= 0xC4 && op <= 0xC7 ->
+    Some (Minstr.Binop (Minstr.Add, Reg (op land 3), Reg ((op lsr 1) land 3)), 1)
+  | _ when op >= 0xD8 && op <= 0xDF ->
+    Some (Minstr.Binop (Minstr.Mul, Reg (op land 7), Imm (byte 1)), 2)
+  | _ when op >= 0xE8 && op <= 0xEF ->
+    Some (Minstr.Mov (Mem { base = 7; disp = byte 1 land 0x7C }, Reg (op land 7)), 2)
+  | 0xA1 -> Some (Minstr.Trap (i32 1), 5)
+  | 0xA2 -> Some (Minstr.Callrat { target = i32 1; src_ret = i32 5 }, 9)
+  | 0xA3 -> reg_pair 1 (fun r z -> if z <> 0 then None else Some (Minstr.Retrat (Reg r), 2))
+  | 0xA4 -> rm_pair 1 (fun z b -> if z <> 0 then None else Some (Minstr.Retrat (mem b (i32 2)), 6))
+  | _ -> None

@@ -1,0 +1,1 @@
+lib/compiler/codegen.ml: Array Buffer Desc Frame Hipstr_cisc Hipstr_isa Hipstr_risc Ir List Liveness Minstr Regalloc String

@@ -1,0 +1,1 @@
+lib/compiler/codegen.mli: Frame Hipstr_isa Ir Liveness Regalloc

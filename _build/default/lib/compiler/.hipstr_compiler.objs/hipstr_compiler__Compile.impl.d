@@ -1,0 +1,1 @@
+lib/compiler/compile.ml: Fatbin Hipstr_machine Hipstr_minic Ir Lower

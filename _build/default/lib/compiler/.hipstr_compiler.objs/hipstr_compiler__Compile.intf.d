@@ -1,0 +1,1 @@
+lib/compiler/compile.mli: Fatbin Hipstr_isa Hipstr_machine Ir

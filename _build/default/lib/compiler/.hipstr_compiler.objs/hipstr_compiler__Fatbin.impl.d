@@ -1,0 +1,1 @@
+lib/compiler/fatbin.ml: Array Codegen Desc Frame Hashtbl Hipstr_cisc Hipstr_isa Hipstr_machine Hipstr_risc Ir List Liveness Regalloc Seq

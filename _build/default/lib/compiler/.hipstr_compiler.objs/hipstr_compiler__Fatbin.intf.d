@@ -1,0 +1,1 @@
+lib/compiler/fatbin.mli: Frame Hipstr_isa Hipstr_machine Ir

@@ -1,0 +1,1 @@
+lib/compiler/frame.ml: Array Ir List

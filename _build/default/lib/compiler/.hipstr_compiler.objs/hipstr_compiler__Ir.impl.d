@@ -1,0 +1,1 @@
+lib/compiler/ir.ml: Array Format Hashtbl Hipstr_isa List Minstr Printf String

@@ -1,0 +1,1 @@
+lib/compiler/liveness.ml: Array Int Ir List Set

@@ -1,0 +1,1 @@
+lib/compiler/liveness.mli: Ir

@@ -1,0 +1,1 @@
+lib/compiler/lower.ml: Array Hashtbl Hipstr_isa Hipstr_minic Ir List Minstr Option Printf

@@ -1,0 +1,1 @@
+lib/compiler/lower.mli: Hipstr_minic Ir

@@ -1,0 +1,1 @@
+lib/compiler/regalloc.ml: Array Hipstr_isa Int Ir List Liveness Set

@@ -1,0 +1,1 @@
+lib/compiler/regalloc.mli: Hipstr_isa Ir Liveness

@@ -1,0 +1,22 @@
+module Machine = Hipstr_machine.Machine
+
+exception Error of string
+
+let to_ir src =
+  let ast =
+    try Hipstr_minic.Parser.parse src
+    with Hipstr_minic.Parser.Error m -> raise (Error ("parse: " ^ m))
+  in
+  let ir = try Lower.program ast with Lower.Error m -> raise (Error ("lower: " ^ m)) in
+  match Ir.validate ir with Ok () -> ir | Error m -> raise (Error ("validate: " ^ m))
+
+let to_fatbin src =
+  let ir = to_ir src in
+  try Fatbin.link ir with Failure m -> raise (Error ("link: " ^ m))
+
+let load_program src ~active ?(rat_capacity = None) () =
+  let fb = to_fatbin src in
+  let m = Machine.create ~rat_capacity ~active () in
+  Fatbin.load fb (Machine.mem m);
+  Machine.boot m ~entry:(Fatbin.entry fb active);
+  (fb, m)

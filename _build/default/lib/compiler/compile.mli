@@ -1,0 +1,15 @@
+(** One-call front door: MiniC source to loaded fat binary. *)
+
+exception Error of string
+
+val to_ir : string -> Ir.program
+(** Parse, lower and validate. @raise Error with a message naming the
+    phase that failed. *)
+
+val to_fatbin : string -> Fatbin.t
+
+val load_program :
+  string -> active:Hipstr_isa.Desc.which -> ?rat_capacity:int option -> unit ->
+  Fatbin.t * Hipstr_machine.Machine.t
+(** Compile, create a machine, load the fat binary, and boot at
+    [main] on the requested core. The caller runs it. *)

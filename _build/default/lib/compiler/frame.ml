@@ -1,0 +1,57 @@
+type t = {
+  outgoing_words : int;
+  locals_off : int;
+  locals_bytes : int;
+  slot_off : int array;
+  scratch_off : int;
+  ret_off : int;
+  frame_bytes : int;
+}
+
+let align16 n = (n + 15) land lnot 15
+
+let max_outgoing (f : Ir.func) =
+  let worst = ref 0 in
+  Array.iter
+    (fun b ->
+      Array.iter
+        (fun (i : Ir.instr) ->
+          match i with
+          | Call { args; _ } | Calli { args; _ } -> worst := max !worst (List.length args)
+          | Syscall { args; _ } -> worst := max !worst (1 + List.length args)
+          | Def _ | Bin _ | Cmpset _ | Load _ | Store _ | Addr_local _ | Addr_global _
+          | Addr_func _ ->
+            ())
+        b.Ir.b_instrs)
+    f.fn_blocks;
+  !worst
+
+let layout (f : Ir.func) ~needs_slot =
+  let outgoing_words = max_outgoing f in
+  let locals_off = 4 * outgoing_words in
+  let locals_bytes = (f.fn_locals_bytes + 3) land lnot 3 in
+  let cursor = ref (locals_off + locals_bytes) in
+  let slot_off =
+    Array.init
+      (max 1 f.fn_nvals)
+      (fun v ->
+        if v < f.fn_nvals && needs_slot.(v) then begin
+          let off = !cursor in
+          cursor := off + 4;
+          off
+        end
+        else -1)
+  in
+  let scratch_off = !cursor in
+  let frame_bytes = align16 (scratch_off + 8 + 4) in
+  {
+    outgoing_words;
+    locals_off;
+    locals_bytes;
+    slot_off;
+    scratch_off;
+    ret_off = frame_bytes - 4;
+    frame_bytes;
+  }
+
+let incoming_arg_off t j = t.frame_bytes + (4 * j)

@@ -1,0 +1,127 @@
+module IntSet = Set.Make (Int)
+
+type t = {
+  nblocks : int;
+  live_in_sets : IntSet.t array;
+  live_out_sets : IntSet.t array;
+  across_call : IntSet.t;
+  across_syscall : IntSet.t;
+}
+
+let rv_uses rvs = IntSet.of_list (Ir.values_of_rvs rvs)
+
+let transfer_instr (i : Ir.instr) live =
+  let live = List.fold_left (fun s d -> IntSet.remove d s) live (Ir.defs i) in
+  IntSet.union live (rv_uses (Ir.uses i))
+
+let analyze (f : Ir.func) =
+  let n = Array.length f.fn_blocks in
+  let live_in_sets = Array.make n IntSet.empty in
+  let live_out_sets = Array.make n IntSet.empty in
+  let block_live_in b live_out =
+    let live = IntSet.union live_out (rv_uses (Ir.term_uses b.Ir.b_term)) in
+    Array.fold_right transfer_instr b.Ir.b_instrs live
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let b = f.fn_blocks.(i) in
+      let out =
+        List.fold_left
+          (fun acc l -> IntSet.union acc live_in_sets.(l))
+          IntSet.empty
+          (Ir.successors b.b_term)
+      in
+      let inn = block_live_in b out in
+      if not (IntSet.equal out live_out_sets.(i)) || not (IntSet.equal inn live_in_sets.(i))
+      then begin
+        live_out_sets.(i) <- out;
+        live_in_sets.(i) <- inn;
+        changed := true
+      end
+    done
+  done;
+  (* Values crossing calls / syscalls: scan each block backward with
+     the running live set; at a call, everything live after it that
+     the call does not define crosses it. *)
+  let across_call = ref IntSet.empty in
+  let across_syscall = ref IntSet.empty in
+  for i = 0 to n - 1 do
+    let b = f.fn_blocks.(i) in
+    let live = ref (IntSet.union live_out_sets.(i) (rv_uses (Ir.term_uses b.b_term))) in
+    for j = Array.length b.b_instrs - 1 downto 0 do
+      let ins = b.b_instrs.(j) in
+      let after = !live in
+      live := transfer_instr ins after;
+      if Ir.instr_has_call ins then begin
+        let crossing = List.fold_left (fun s d -> IntSet.remove d s) after (Ir.defs ins) in
+        across_call := IntSet.union !across_call crossing;
+        match ins with
+        | Syscall _ -> across_syscall := IntSet.union !across_syscall crossing
+        | Call _ | Calli _ | Def _ | Bin _ | Cmpset _ | Load _ | Store _ | Addr_local _
+        | Addr_global _ | Addr_func _ ->
+          ()
+      end
+    done
+  done;
+  {
+    nblocks = n;
+    live_in_sets;
+    live_out_sets;
+    across_call = !across_call;
+    across_syscall = !across_syscall;
+  }
+
+let live_in t l =
+  if l < 0 || l >= t.nblocks then invalid_arg "Liveness.live_in";
+  IntSet.elements t.live_in_sets.(l)
+
+let live_out t l =
+  if l < 0 || l >= t.nblocks then invalid_arg "Liveness.live_out";
+  IntSet.elements t.live_out_sets.(l)
+
+let crossing_at t (f : Ir.func) l j =
+  let b = f.fn_blocks.(l) in
+  let live = ref (IntSet.union t.live_out_sets.(l) (rv_uses (Ir.term_uses b.b_term))) in
+  let result = ref IntSet.empty in
+  for k = Array.length b.b_instrs - 1 downto 0 do
+    let ins = b.b_instrs.(k) in
+    if k = j then
+      result := List.fold_left (fun s d -> IntSet.remove d s) !live (Ir.defs ins);
+    live := transfer_instr ins !live
+  done;
+  IntSet.elements !result
+
+let live_across_call t = IntSet.elements t.across_call
+let live_across_syscall t = IntSet.elements t.across_syscall
+
+let use_counts (f : Ir.func) =
+  let n = Array.length f.fn_blocks in
+  (* Back-edge ranges approximate loop bodies: an edge b -> h with
+     h <= b encloses blocks h..b. *)
+  let depth = Array.make n 0 in
+  Array.iter
+    (fun b ->
+      List.iter
+        (fun l ->
+          if l <= b.Ir.b_label then
+            for k = l to b.Ir.b_label do
+              depth.(k) <- min 3 (depth.(k) + 1)
+            done)
+        (Ir.successors b.Ir.b_term))
+    f.fn_blocks;
+  let counts = Array.make (max 1 f.fn_nvals) 0 in
+  let weight_of l = 1 lsl (3 * depth.(l)) in
+  Array.iter
+    (fun b ->
+      let w = weight_of b.Ir.b_label in
+      let bump v = counts.(v) <- counts.(v) + w in
+      Array.iter
+        (fun i ->
+          List.iter bump (Ir.defs i);
+          List.iter bump (Ir.values_of_rvs (Ir.uses i)))
+        b.Ir.b_instrs;
+      List.iter bump (Ir.values_of_rvs (Ir.term_uses b.b_term)))
+    f.fn_blocks;
+  counts

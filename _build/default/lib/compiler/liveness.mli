@@ -1,0 +1,34 @@
+(** Backward liveness dataflow over IR values.
+
+    The per-block live-in sets become the extended symbol table's
+    basic-block records: they are exactly the state the multi-ISA
+    runtime must transform when migrating at that block's entry, and
+    the state the PSR translator's single-basic-block look-ahead
+    liveness analysis consults at procedure call transformation. *)
+
+type t
+
+val analyze : Ir.func -> t
+
+val live_in : t -> Ir.label -> int list
+(** Sorted value ids live at block entry. *)
+
+val live_out : t -> Ir.label -> int list
+
+val live_across_call : t -> int list
+(** Values live across at least one call or syscall (they must not be
+    homed in caller-saved registers). *)
+
+val live_across_syscall : t -> int list
+(** Values live across at least one syscall (they must additionally
+    avoid the syscall argument registers). *)
+
+val crossing_at : t -> Ir.func -> Ir.label -> int -> int list
+(** [crossing_at lv f l j] — values live across instruction [j] of
+    block [l] (live after it, not defined by it). Used by the code
+    generators at call and syscall instructions. *)
+
+val use_counts : Ir.func -> int array
+(** Static use+def counts per value, weighted by an approximation of
+    loop depth (blocks that are targets of back edges and their
+    bodies count 8x); drives register-allocation priority. *)

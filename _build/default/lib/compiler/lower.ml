@@ -1,0 +1,591 @@
+module Ast = Hipstr_minic.Ast
+open Hipstr_isa
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type binding =
+  | Scalar of Ir.value
+  | Slot of int  (* address-taken scalar: locals-area byte offset *)
+  | Arr of int  (* locals-area byte offset of a local array *)
+  | Gscalar of string
+  | Garr of string
+
+type binfo = { id : int; mutable rev_instrs : Ir.instr list; mutable term : Ir.term option }
+
+type st = {
+  mutable nvals : int;
+  mutable blocks : binfo list; (* reverse creation order *)
+  mutable cur : binfo;
+  mutable nsites : int;
+  mutable locals_bytes : int;
+  func_names : (string, unit) Hashtbl.t;
+  global_kinds : (string, [ `Scalar | `Array ]) Hashtbl.t;
+}
+
+let new_value st =
+  let v = st.nvals in
+  st.nvals <- v + 1;
+  v
+
+let new_block st =
+  let b = { id = List.length st.blocks; rev_instrs = []; term = None } in
+  st.blocks <- b :: st.blocks;
+  b
+
+let switch st b = st.cur <- b
+
+let emit st i =
+  (* Code after a terminator (e.g. after [return]) lands in a fresh
+     unreachable block so the builder state stays consistent. *)
+  if st.cur.term <> None then switch st (new_block st);
+  st.cur.rev_instrs <- i :: st.cur.rev_instrs
+
+let terminate st t = if st.cur.term = None then st.cur.term <- Some t
+
+let new_site st =
+  let s = st.nsites in
+  st.nsites <- s + 1;
+  s
+
+let alloc_local st bytes =
+  let off = st.locals_bytes in
+  st.locals_bytes <- off + bytes;
+  off
+
+let lookup env name =
+  match List.assoc_opt name env with
+  | Some b -> b
+  | None ->
+    if false then assert false;
+    fail "undeclared variable %s" name
+
+let binop_of_ast : Ast.binop -> Minstr.binop option = function
+  | Add -> Some Add
+  | Sub -> Some Sub
+  | Mul -> Some Mul
+  | Div -> Some Divs
+  | Mod -> Some Rems
+  | And -> Some And
+  | Or -> Some Or
+  | Xor -> Some Xor
+  | Shl -> Some Shl
+  | Shr -> Some Sar (* C >> on int is arithmetic here *)
+  | Eq | Ne | Lt | Le | Gt | Ge | Land | Lor -> None
+
+let cond_of_ast : Ast.binop -> Minstr.cond option = function
+  | Eq -> Some Eq
+  | Ne -> Some Ne
+  | Lt -> Some Lt
+  | Le -> Some Le
+  | Gt -> Some Gt
+  | Ge -> Some Ge
+  | Add | Sub | Mul | Div | Mod | And | Or | Xor | Shl | Shr | Land | Lor -> None
+
+type loop_ctx = { break_to : binfo; continue_to : binfo }
+
+let rec lower_expr st env (e : Ast.expr) : Ir.rv =
+  match e with
+  | Num k -> C k
+  | Var x -> (
+    match lookup env x with
+    | Scalar v -> V v
+    | Slot off ->
+      let a = new_value st in
+      emit st (Addr_local (a, off));
+      let d = new_value st in
+      emit st (Load (d, V a, 0));
+      V d
+    | Arr off ->
+      (* An array used as a value decays to its address. *)
+      let a = new_value st in
+      emit st (Addr_local (a, off));
+      V a
+    | Gscalar g ->
+      let a = new_value st in
+      emit st (Addr_global (a, g));
+      let d = new_value st in
+      emit st (Load (d, V a, 0));
+      V d
+    | Garr g ->
+      let a = new_value st in
+      emit st (Addr_global (a, g));
+      V a)
+  | Addr_var x ->
+    if Hashtbl.mem st.func_names x then begin
+      let d = new_value st in
+      emit st (Addr_func (d, x));
+      V d
+    end
+    else (
+      match lookup env x with
+      | Slot off | Arr off ->
+        let d = new_value st in
+        emit st (Addr_local (d, off));
+        V d
+      | Gscalar g | Garr g ->
+        let d = new_value st in
+        emit st (Addr_global (d, g));
+        V d
+      | Scalar _ -> fail "internal: address-taken scalar %s was not slotted" x)
+  | Addr_fun f ->
+    let d = new_value st in
+    emit st (Addr_func (d, f));
+    V d
+  | Addr_index (a, i) -> (
+    (* &a[i] = base + 4*i, folded when i is constant *)
+    let base, off = lower_index_addr st env a i in
+    match (base, off) with
+    | b, 0 -> b
+    | b, k ->
+      let d = new_value st in
+      emit st (Bin (Add, d, b, C k));
+      V d)
+  | Bin (op, a, b) -> (
+    match binop_of_ast op with
+    | Some mop ->
+      let ra = lower_expr st env a in
+      let rb = lower_expr st env b in
+      let d = new_value st in
+      emit st (Bin (mop, d, ra, rb));
+      V d
+    | None -> (
+      match cond_of_ast op with
+      | Some c ->
+        let ra = lower_expr st env a in
+        let rb = lower_expr st env b in
+        let d = new_value st in
+        emit st (Cmpset (c, d, ra, rb));
+        V d
+      | None ->
+        (* Short-circuit && / || materialized through control flow. *)
+        let d = new_value st in
+        let bt = new_block st in
+        let bf = new_block st in
+        let join = new_block st in
+        lower_cond st env e bt bf;
+        switch st bt;
+        emit st (Def (d, C 1));
+        terminate st (Jmp join.id);
+        switch st bf;
+        emit st (Def (d, C 0));
+        terminate st (Jmp join.id);
+        switch st join;
+        V d))
+  | Un (Neg, a) ->
+    let ra = lower_expr st env a in
+    let d = new_value st in
+    emit st (Bin (Sub, d, C 0, ra));
+    V d
+  | Un (Bnot, a) ->
+    let ra = lower_expr st env a in
+    let d = new_value st in
+    emit st (Bin (Xor, d, ra, C (-1)));
+    V d
+  | Un (Not, a) ->
+    let ra = lower_expr st env a in
+    let d = new_value st in
+    emit st (Cmpset (Eq, d, ra, C 0));
+    V d
+  | Cond (c, a, b) ->
+    let d = new_value st in
+    let bt = new_block st in
+    let bf = new_block st in
+    let join = new_block st in
+    lower_cond st env c bt bf;
+    switch st bt;
+    let ra = lower_expr st env a in
+    emit st (Def (d, ra));
+    terminate st (Jmp join.id);
+    switch st bf;
+    let rb = lower_expr st env b in
+    emit st (Def (d, rb));
+    terminate st (Jmp join.id);
+    switch st join;
+    V d
+  | Assign (lv, e) ->
+    let rv = lower_expr st env e in
+    lower_store st env lv rv;
+    rv
+  | Call (name, args) -> lower_call st env ~dst:`Value name args
+  | Call_ptr (f, args) ->
+    let rf = lower_expr st env f in
+    let rargs = List.map (lower_expr st env) args in
+    let d = new_value st in
+    emit st (Calli { dst = Some d; fp = rf; args = rargs; site = new_site st });
+    V d
+  | Index (a, i) ->
+    let addr, off = lower_index_addr st env a i in
+    let d = new_value st in
+    emit st (Load (d, addr, off));
+    V d
+  | Deref e ->
+    let ra = lower_expr st env e in
+    let d = new_value st in
+    emit st (Load (d, ra, 0));
+    V d
+
+and lower_index_addr st env name idx : Ir.rv * int =
+  (* Returns a base rv and a constant byte offset. *)
+  let base : Ir.rv =
+    match lookup env name with
+    | Arr off ->
+      let a = new_value st in
+      emit st (Addr_local (a, off));
+      V a
+    | Garr g ->
+      let a = new_value st in
+      emit st (Addr_global (a, g));
+      V a
+    | Scalar v -> V v
+    | Slot off ->
+      let a = new_value st in
+      emit st (Addr_local (a, off));
+      let d = new_value st in
+      emit st (Load (d, V a, 0));
+      V d
+    | Gscalar g ->
+      let a = new_value st in
+      emit st (Addr_global (a, g));
+      let d = new_value st in
+      emit st (Load (d, V a, 0));
+      V d
+  in
+  match idx with
+  | Ast.Num k -> (base, 4 * k)
+  | _ ->
+    let ri = lower_expr st env idx in
+    let scaled = new_value st in
+    emit st (Bin (Shl, scaled, ri, C 2));
+    let addr = new_value st in
+    emit st (Bin (Add, addr, base, V scaled));
+    (V addr, 0)
+
+and lower_store st env (lv : Ast.lvalue) (rv : Ir.rv) =
+  match lv with
+  | Lvar x -> (
+    match lookup env x with
+    | Scalar v -> emit st (Def (v, rv))
+    | Slot off ->
+      let a = new_value st in
+      emit st (Addr_local (a, off));
+      emit st (Store (V a, 0, rv))
+    | Arr _ -> fail "cannot assign to array %s" x
+    | Gscalar g ->
+      let a = new_value st in
+      emit st (Addr_global (a, g));
+      emit st (Store (V a, 0, rv))
+    | Garr g -> fail "cannot assign to array %s" g)
+  | Lindex (a, i) ->
+    let addr, off = lower_index_addr st env a i in
+    emit st (Store (addr, off, rv))
+  | Lderef e ->
+    let ra = lower_expr st env e in
+    emit st (Store (ra, 0, rv))
+
+and lower_call st env ~dst name args : Ir.rv =
+  let rargs = List.map (lower_expr st env) args in
+  let want_dst = match dst with `Value -> true | `Drop -> false in
+  let builtin number nargs =
+    if List.length rargs <> nargs then fail "%s expects %d arguments" name nargs;
+    let d = if want_dst then Some (new_value st) else None in
+    emit st (Syscall { dst = d; number = C number; args = rargs });
+    match d with Some d -> Ir.V d | None -> C 0
+  in
+  match name with
+  | "exit" -> builtin 1 1
+  | "brk" -> builtin 3 1
+  | "execve" -> builtin 11 3
+  | _ ->
+    if not (Hashtbl.mem st.func_names name) then fail "call to unknown function %s" name;
+    let d = if want_dst then Some (new_value st) else None in
+    emit st (Call { dst = d; callee = name; args = rargs; site = new_site st });
+    (match d with Some d -> Ir.V d | None -> C 0)
+
+and lower_cond st env (e : Ast.expr) (bt : binfo) (bf : binfo) =
+  match e with
+  | Bin (op, a, b) when cond_of_ast op <> None ->
+    let c = match cond_of_ast op with Some c -> c | None -> assert false in
+    let ra = lower_expr st env a in
+    let rb = lower_expr st env b in
+    terminate st (Br (c, ra, rb, bt.id, bf.id))
+  | Bin (Land, a, b) ->
+    let mid = new_block st in
+    lower_cond st env a mid bf;
+    switch st mid;
+    lower_cond st env b bt bf
+  | Bin (Lor, a, b) ->
+    let mid = new_block st in
+    lower_cond st env a bt mid;
+    switch st mid;
+    lower_cond st env b bt bf
+  | Un (Not, a) -> lower_cond st env a bf bt
+  | Num k -> terminate st (Jmp (if k <> 0 then bt.id else bf.id))
+  | _ ->
+    let r = lower_expr st env e in
+    terminate st (Br (Ne, r, C 0, bt.id, bf.id))
+
+(* Statement lowering threads the environment downward: a declaration
+   extends the environment for the remaining statements of its list. *)
+
+let rec lower_stmts st env loops addressed stmts =
+  match stmts with
+  | [] -> ()
+  | s :: rest ->
+    let env' = lower_stmt st env loops addressed s in
+    lower_stmts st env' loops addressed rest
+
+and lower_stmt st env loops addressed (s : Ast.stmt) =
+  match s with
+  | Decl (name, None, init) ->
+    if Hashtbl.mem addressed name then begin
+      let off = alloc_local st 4 in
+      (match init with
+      | Some e ->
+        let rv = lower_expr st env e in
+        let a = new_value st in
+        emit st (Addr_local (a, off));
+        emit st (Store (V a, 0, rv))
+      | None -> ());
+      (name, Slot off) :: env
+    end
+    else begin
+      let v = new_value st in
+      (match init with
+      | Some e ->
+        let rv = lower_expr st env e in
+        emit st (Def (v, rv))
+      | None -> emit st (Def (v, C 0)));
+      (name, Scalar v) :: env
+    end
+  | Decl (name, Some words, _) ->
+    if words <= 0 then fail "array %s must have positive size" name;
+    let off = alloc_local st (4 * words) in
+    (name, Arr off) :: env
+  | Expr (Ast.Call (name, args)) ->
+    ignore (lower_call st env ~dst:`Drop name args);
+    env
+  | Expr e ->
+    ignore (lower_expr st env e);
+    env
+  | Print e ->
+    let rv = lower_expr st env e in
+    emit st (Syscall { dst = None; number = C 4; args = [ rv ] });
+    env
+  | If (c, then_s, else_s) ->
+    let bt = new_block st in
+    let bf = new_block st in
+    let join = new_block st in
+    lower_cond st env c bt bf;
+    switch st bt;
+    lower_stmts st env loops addressed then_s;
+    terminate st (Jmp join.id);
+    switch st bf;
+    lower_stmts st env loops addressed else_s;
+    terminate st (Jmp join.id);
+    switch st join;
+    env
+  | While (c, body) ->
+    let head = new_block st in
+    let bbody = new_block st in
+    let exit_b = new_block st in
+    terminate st (Jmp head.id);
+    switch st head;
+    lower_cond st env c bbody exit_b;
+    switch st bbody;
+    lower_stmts st env { break_to = exit_b; continue_to = head } addressed body;
+    terminate st (Jmp head.id);
+    switch st exit_b;
+    env
+  | Do_while (body, c) ->
+    let bbody = new_block st in
+    let head = new_block st in
+    let exit_b = new_block st in
+    terminate st (Jmp bbody.id);
+    switch st bbody;
+    lower_stmts st env { break_to = exit_b; continue_to = head } addressed body;
+    terminate st (Jmp head.id);
+    switch st head;
+    lower_cond st env c bbody exit_b;
+    switch st exit_b;
+    env
+  | For (init, cond, step, body) ->
+    let env' = match init with None -> env | Some s -> lower_stmt st env loops addressed s in
+    let head = new_block st in
+    let bbody = new_block st in
+    let bstep = new_block st in
+    let exit_b = new_block st in
+    terminate st (Jmp head.id);
+    switch st head;
+    (match cond with
+    | None -> terminate st (Jmp bbody.id)
+    | Some c -> lower_cond st env' c bbody exit_b);
+    switch st bbody;
+    lower_stmts st env' { break_to = exit_b; continue_to = bstep } addressed body;
+    terminate st (Jmp bstep.id);
+    switch st bstep;
+    (match step with None -> () | Some e -> ignore (lower_expr st env' e));
+    terminate st (Jmp head.id);
+    switch st exit_b;
+    env
+  | Return None ->
+    terminate st (Ret (Some (C 0)));
+    env
+  | Return (Some e) ->
+    let rv = lower_expr st env e in
+    terminate st (Ret (Some rv));
+    env
+  | Break ->
+    terminate st (Jmp loops.break_to.id);
+    env
+  | Continue ->
+    terminate st (Jmp loops.continue_to.id);
+    env
+
+(* Which names have their address taken anywhere in the function?
+   Name-based and conservative (shadowed names share the flag). *)
+let addressed_names body =
+  let tbl = Hashtbl.create 8 in
+  let rec expr (e : Ast.expr) =
+    match e with
+    | Num _ | Var _ | Addr_fun _ -> ()
+    | Addr_var x -> Hashtbl.replace tbl x ()
+    | Addr_index (_, i) -> expr i
+    | Bin (_, a, b) -> expr a; expr b
+    | Un (_, a) -> expr a
+    | Assign (lv, e) -> lvalue lv; expr e
+    | Cond (a, b, c) -> expr a; expr b; expr c
+    | Call (_, args) -> List.iter expr args
+    | Call_ptr (f, args) -> expr f; List.iter expr args
+    | Index (_, i) -> expr i
+    | Deref e -> expr e
+  and lvalue = function
+    | Ast.Lvar _ -> ()
+    | Lindex (_, i) -> expr i
+    | Lderef e -> expr e
+  and stmt (s : Ast.stmt) =
+    match s with
+    | Decl (_, _, init) -> Option.iter expr init
+    | Expr e | Print e -> expr e
+    | If (c, a, b) -> expr c; List.iter stmt a; List.iter stmt b
+    | While (c, b) -> expr c; List.iter stmt b
+    | Do_while (b, c) -> List.iter stmt b; expr c
+    | For (i, c, st_e, b) ->
+      Option.iter stmt i;
+      Option.iter expr c;
+      Option.iter expr st_e;
+      List.iter stmt b
+    | Return e -> Option.iter expr e
+    | Break | Continue -> ()
+  in
+  List.iter stmt body;
+  tbl
+
+(* Function-pointer taint: values defined by Addr_func, propagated
+   through plain moves. *)
+let fp_taint blocks nvals =
+  let tainted = Array.make (max 1 nvals) false in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        List.iter
+          (fun (i : Ir.instr) ->
+            match i with
+            | Addr_func (d, _) ->
+              if not tainted.(d) then begin
+                tainted.(d) <- true;
+                changed := true
+              end
+            | Def (d, V s) ->
+              if tainted.(s) && not tainted.(d) then begin
+                tainted.(d) <- true;
+                changed := true
+              end
+            | Def _ | Bin _ | Cmpset _ | Load _ | Store _ | Addr_local _ | Addr_global _
+            | Call _ | Calli _ | Syscall _ ->
+              ())
+          (List.rev b.rev_instrs))
+      blocks
+  done;
+  List.filter (fun v -> tainted.(v)) (List.init nvals (fun i -> i))
+
+let lower_func func_names global_kinds (f : Ast.func) : Ir.func =
+  let entry = { id = 0; rev_instrs = []; term = None } in
+  let st =
+    {
+      nvals = 0;
+      blocks = [ entry ];
+      cur = entry;
+      nsites = 0;
+      locals_bytes = 0;
+      func_names;
+      global_kinds;
+    }
+  in
+  let addressed = addressed_names f.f_body in
+  (* Parameters are the first values; address-taken parameters are
+     copied to a locals slot at entry. *)
+  let params = List.map (fun _ -> new_value st) f.f_params in
+  let env =
+    List.map2
+      (fun name v ->
+        if Hashtbl.mem addressed name then begin
+          let off = alloc_local st 4 in
+          let a = new_value st in
+          emit st (Addr_local (a, off));
+          emit st (Store (V a, 0, Ir.V v));
+          (name, Slot off)
+        end
+        else (name, Scalar v))
+      f.f_params params
+  in
+  let genv =
+    Hashtbl.fold
+      (fun g kind acc ->
+        match kind with
+        | `Scalar -> (g, Gscalar g) :: acc
+        | `Array -> (g, Garr g) :: acc)
+      global_kinds []
+  in
+  lower_stmts st (env @ genv) { break_to = entry; continue_to = entry } addressed f.f_body;
+  terminate st (Ret (Some (C 0)));
+  let blocks_in_order = List.rev st.blocks in
+  (* Seal every unterminated block (unreachable continuations). *)
+  List.iter (fun b -> if b.term = None then b.term <- Some (Ir.Ret (Some (C 0)))) blocks_in_order;
+  let fp_values = fp_taint blocks_in_order st.nvals in
+  let blocks =
+    Array.of_list
+      (List.map
+         (fun b ->
+           {
+             Ir.b_label = b.id;
+             b_instrs = Array.of_list (List.rev b.rev_instrs);
+             b_term = (match b.term with Some t -> t | None -> assert false);
+           })
+         blocks_in_order)
+  in
+  {
+    Ir.fn_name = f.f_name;
+    fn_params = params;
+    fn_nvals = st.nvals;
+    fn_locals_bytes = st.locals_bytes;
+    fn_blocks = blocks;
+    fn_nsites = st.nsites;
+    fn_fp_values = fp_values;
+  }
+
+let program (p : Ast.program) : Ir.program =
+  let func_names = Hashtbl.create 16 in
+  List.iter (fun (f : Ast.func) -> Hashtbl.replace func_names f.f_name ()) p.funcs;
+  let global_kinds = Hashtbl.create 16 in
+  List.iter
+    (fun (g : Ast.global) ->
+      Hashtbl.replace global_kinds g.g_name (if g.g_size = 1 then `Scalar else `Array))
+    p.globals;
+  if not (Hashtbl.mem func_names "main") then fail "program has no main function";
+  let funcs = List.map (lower_func func_names global_kinds) p.funcs in
+  let globals = List.map (fun (g : Ast.global) -> (g.g_name, g.g_size, g.g_init)) p.globals in
+  { Ir.pr_funcs = funcs; pr_globals = globals }

@@ -1,0 +1,20 @@
+(** Lowering MiniC to the IR.
+
+    Responsibilities beyond straightforward translation:
+    - address-taken scalars (and all arrays) are placed in the
+      ISA-agnostic locals area; everything else becomes a virtual
+      register;
+    - short-circuit operators, ternaries and conditions lower to
+      explicit control flow, so flags never cross block boundaries;
+    - the builtins [exit(n)], [brk(n)] and [execve(a,b,c)] lower to
+      syscalls, [print(e)] to the print syscall;
+    - taking the address of a function lowers to [Addr_func] and
+      taints the destination value as a function pointer (the symbol
+      table needs this to transform code addresses during cross-ISA
+      migration). *)
+
+exception Error of string
+
+val program : Hipstr_minic.Ast.program -> Ir.program
+(** @raise Error on undeclared variables, unknown callees, or a
+    missing [main]. *)

@@ -1,0 +1,77 @@
+module IntSet = Set.Make (Int)
+
+type home = Hreg of int | Hslot
+
+type result = { homes : home array; needs_slot : bool array }
+
+let build_interference (f : Ir.func) (lv : Liveness.t) =
+  let n = f.fn_nvals in
+  let adj = Array.make (max 1 n) IntSet.empty in
+  let edge a b =
+    if a <> b then begin
+      adj.(a) <- IntSet.add b adj.(a);
+      adj.(b) <- IntSet.add a adj.(b)
+    end
+  in
+  let clique vs = List.iteri (fun i a -> List.iteri (fun j b -> if j > i then edge a b) vs) vs in
+  (* Parameters are all defined at entry, simultaneously with the
+     entry live-ins. *)
+  clique (List.sort_uniq compare (f.fn_params @ Liveness.live_in lv 0));
+  Array.iter
+    (fun b ->
+      let live =
+        ref
+          (IntSet.union
+             (IntSet.of_list (Liveness.live_out lv b.Ir.b_label))
+             (IntSet.of_list (Ir.values_of_rvs (Ir.term_uses b.Ir.b_term))))
+      in
+      for j = Array.length b.Ir.b_instrs - 1 downto 0 do
+        let ins = b.Ir.b_instrs.(j) in
+        let after = !live in
+        List.iter (fun d -> IntSet.iter (fun u -> edge d u) (IntSet.remove d after)) (Ir.defs ins);
+        let removed = List.fold_left (fun s d -> IntSet.remove d s) after (Ir.defs ins) in
+        live := IntSet.union removed (IntSet.of_list (Ir.values_of_rvs (Ir.uses ins)))
+      done)
+    f.fn_blocks;
+  adj
+
+let allocate (desc : Hipstr_isa.Desc.t) (f : Ir.func) (lv : Liveness.t) =
+  let n = f.fn_nvals in
+  let adj = build_interference f lv in
+  let counts = Liveness.use_counts f in
+  let across_call = IntSet.of_list (Liveness.live_across_call lv) in
+  let across_syscall = IntSet.of_list (Liveness.live_across_syscall lv) in
+  let homes = Array.make (max 1 n) Hslot in
+  let assigned = Array.make (max 1 n) false in
+  let order = List.init n (fun i -> i) in
+  let order = List.sort (fun a b -> compare counts.(b) counts.(a)) order in
+  let syscall_regs = IntSet.of_list [ 0; 1; 2; 3 ] in
+  List.iter
+    (fun v ->
+      let allowed =
+        List.filter
+          (fun r -> not (IntSet.mem v across_syscall && IntSet.mem r syscall_regs))
+          desc.allocatable
+      in
+      let taken =
+        IntSet.fold
+          (fun u acc ->
+            if assigned.(u) then
+              match homes.(u) with Hreg r -> IntSet.add r acc | Hslot -> acc
+            else acc)
+          adj.(v) IntSet.empty
+      in
+      (match List.find_opt (fun r -> not (IntSet.mem r taken)) allowed with
+      | Some r -> homes.(v) <- Hreg r
+      | None -> homes.(v) <- Hslot);
+      assigned.(v) <- true)
+    order;
+  let needs_slot =
+    Array.init (max 1 n) (fun v ->
+        if n = 0 then false
+        else
+          match homes.(v) with
+          | Hslot -> true
+          | Hreg _ -> IntSet.mem v across_call)
+  in
+  { homes; needs_slot }

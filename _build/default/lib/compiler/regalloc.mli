@@ -1,0 +1,31 @@
+(** Per-ISA register allocation.
+
+    Every value gets a "home": an allocatable register or a frame
+    slot. Homes are function-global (no live-range splitting), which
+    keeps the extended symbol table simple — value v is *always* found
+    at its home at block boundaries — and gives the PSR translator a
+    well-defined object to relocate.
+
+    Calling discipline is caller-save-everything: a register-homed
+    value that is live across a call is saved to its shadow frame slot
+    before the call and reloaded after (the paper's "randomized
+    scatter of callee saves at the function call site" corresponds to
+    PSR randomizing exactly these shadow slots). Consequence: while a
+    call is in progress, all of the caller's live state is in frame
+    slots, which is what makes whole-stack cross-ISA transformation
+    possible.
+
+    Values live across a syscall may not be homed in the syscall
+    argument registers (r0-r3 / ax,bx,cx,dx), which the syscall
+    sequence clobbers. *)
+
+type home = Hreg of int | Hslot
+
+type result = {
+  homes : home array;  (** indexed by value id *)
+  needs_slot : bool array;
+      (** value needs a frame slot: spilled, or register-homed and
+          live across a call (shadow slot) *)
+}
+
+val allocate : Hipstr_isa.Desc.t -> Ir.func -> Liveness.t -> result

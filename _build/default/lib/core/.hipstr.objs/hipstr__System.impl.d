@@ -1,0 +1,1 @@
+lib/core/system.ml: Array Desc Hipstr_compiler Hipstr_isa Hipstr_machine Hipstr_migration Hipstr_psr Hipstr_util List

@@ -1,0 +1,1 @@
+lib/core/system.mli: Hipstr_compiler Hipstr_isa Hipstr_machine Hipstr_migration Hipstr_psr

@@ -1,0 +1,239 @@
+open Hipstr_isa
+module Compile = Hipstr_compiler.Compile
+module Fatbin = Hipstr_compiler.Fatbin
+module Machine = Hipstr_machine.Machine
+module Exec = Hipstr_machine.Exec
+module Sys' = Hipstr_machine.Sys
+module Config = Hipstr_psr.Config
+module Vm = Hipstr_psr.Vm
+module Transform = Hipstr_migration.Transform
+module Rng = Hipstr_util.Rng
+
+type mode = Native | Psr_only | Hipstr
+
+type outcome = Finished of int | Shell_spawned | Killed of string | Out_of_fuel
+
+type t = {
+  sys_mode : mode;
+  cfg : Config.t;
+  fb : Fatbin.t;
+  m : Machine.t;
+  vms : (Desc.which * Vm.t) list;
+  rng : Rng.t;
+  mutable started : bool;
+  mutable security_migrations : int;
+  mutable forced_migrations : int;
+  mutable migration_requested : bool;
+  mutable last_migration : Transform.result option;
+}
+
+let boot_system ?(cfg = Config.default) ?(seed = 1) ?(start_isa = Desc.Cisc) ~mode fb =
+  let rat_capacity = match mode with Native -> None | Psr_only | Hipstr -> Some cfg.rat_capacity in
+  let m = Machine.create ~rat_capacity ~active:start_isa () in
+  Fatbin.load fb (Machine.mem m);
+  Machine.boot m ~entry:(Fatbin.entry fb start_isa);
+  let vms =
+    match mode with
+    | Native -> []
+    | Psr_only -> [ (start_isa, Vm.create cfg ~seed start_isa fb m) ]
+    | Hipstr ->
+      [
+        (Desc.Cisc, Vm.create cfg ~seed Desc.Cisc fb m);
+        (Desc.Risc, Vm.create cfg ~seed Desc.Risc fb m);
+      ]
+  in
+  {
+    sys_mode = mode;
+    cfg;
+    fb;
+    m;
+    vms;
+    rng = Rng.create (seed lxor 0x600D);
+    started = false;
+    security_migrations = 0;
+    forced_migrations = 0;
+    migration_requested = false;
+    last_migration = None;
+  }
+
+let of_fatbin ?cfg ?seed ?start_isa ~mode fb = boot_system ?cfg ?seed ?start_isa ~mode fb
+
+let create ?cfg ?seed ?start_isa ~mode ~src () =
+  boot_system ?cfg ?seed ?start_isa ~mode (Compile.to_fatbin src)
+
+let fatbin t = t.fb
+let machine t = t.m
+let mode t = t.sys_mode
+let config t = t.cfg
+
+let vm t which =
+  match List.assoc_opt which t.vms with
+  | Some v -> v
+  | None -> invalid_arg "System.vm: no PSR VM in this mode/ISA"
+
+let active_vm t = vm t (Machine.active t.m)
+let other_vm t = List.assoc_opt (Desc.other (Machine.active t.m)) t.vms
+
+let output t = Sys'.output (Machine.os t.m)
+let shell t = (Machine.os t.m).Sys'.shell
+let cycles t = Machine.cycles t.m
+let instructions t = Machine.instructions t.m
+let seconds t = Machine.seconds t.m
+let security_migrations t = t.security_migrations
+let forced_migrations t = t.forced_migrations
+let last_migration t = t.last_migration
+
+let suspicious_events t =
+  List.fold_left (fun acc (_, v) -> acc + (Vm.stats v).Vm.suspicious) 0 t.vms
+
+let request_migration t =
+  if t.sys_mode = Hipstr then begin
+    t.migration_requested <- true;
+    (* force the next return through the VM so we get a hook *)
+    match (Machine.env t.m).Exec.rat with
+    | Some rat -> Hipstr_machine.Rat.clear rat
+    | None -> ()
+  end
+
+(* Mirror compulsory translations onto the idle core: a unit start
+   that is a block entry or call-site return on this ISA has a
+   well-defined counterpart on the other. *)
+let mirror_translations t =
+  match (t.sys_mode, other_vm t) with
+  | Hipstr, Some ovm ->
+    let from_isa = Machine.active t.m in
+    let to_isa = Desc.other from_isa in
+    List.iter
+      (fun src ->
+        let counterpart =
+          match Fatbin.block_starting_at t.fb from_isa src with
+          | Some (fs, l) -> Some (Fatbin.image fs to_isa).Fatbin.im_block_addr.(l)
+          | None -> (
+            match Fatbin.callsite_of_ret t.fb from_isa src with
+            | Some (fs, site) ->
+              Array.to_list (Fatbin.image fs to_isa).Fatbin.im_callsite_ret
+              |> List.assoc_opt site
+            | None -> None)
+        in
+        match counterpart with
+        | Some dst -> ignore (Vm.pretranslate ovm dst)
+        | None -> ())
+      (Vm.drain_new_units (active_vm t))
+  | _ -> (
+    match t.vms with
+    | [ (_, v) ] -> ignore (Vm.drain_new_units v)
+    | _ -> ())
+
+let psr_mode t =
+  Transform.Psr
+    {
+      map_from = (fun fs -> Vm.map_of (vm t (Machine.active t.m)) fs);
+      map_to = (fun fs -> Vm.map_of (vm t (Desc.other (Machine.active t.m))) fs);
+    }
+
+(* Perform a migration for a suspicious (or forced) event. Returns the
+   outcome if the process dies, None to continue. *)
+let migrate t kind target_src =
+  let mode_ = psr_mode t in
+  let result =
+    match kind with
+    | Vm.Kreturn -> Transform.at_return t.m t.fb mode_ ~target_src
+    | Vm.Kicall { call_src; nargs; _ } ->
+      Transform.at_call t.m t.fb mode_ ~call_src ~target_src ~nargs
+  in
+  t.last_migration <- Some result;
+  match result.Transform.r_resume_src with
+  | None -> Some (Killed "migration: unmappable control-flow target (exploit destroyed)")
+  | Some resume -> (
+    let nvm = active_vm t in
+    match kind with
+    | Vm.Kreturn ->
+      Vm.enter nvm resume;
+      None
+    | Vm.Kicall { src_ret; is_call; _ } ->
+      if is_call then begin
+        let from_isa = Desc.other (Machine.active t.m) in
+        let src_ret' =
+          match Fatbin.callsite_of_ret t.fb from_isa src_ret with
+          | Some (fs, site) -> (
+            match
+              Array.to_list (Fatbin.image fs (Machine.active t.m)).Fatbin.im_callsite_ret
+              |> List.assoc_opt site
+            with
+            | Some r -> r
+            | None -> src_ret)
+          | None -> src_ret
+        in
+        Vm.complete_call nvm ~callee_src:resume ~src_ret:src_ret';
+        None
+      end
+      else begin
+        Vm.enter nvm resume;
+        None
+      end)
+
+let run_native t ~fuel =
+  match Machine.run t.m ~fuel with
+  | None -> Out_of_fuel
+  | Some (Exec.Exit c) -> Finished c
+  | Some Exec.Shell -> Shell_spawned
+  | Some (Exec.Fault _ as trap) -> Killed (Exec.string_of_trap trap)
+  | Some (Exec.Trap_stub _ | Exec.Rat_miss _) -> Killed "unexpected trap in native mode"
+
+let run_protected t ~fuel =
+  if not t.started then begin
+    t.started <- true;
+    Vm.enter (active_vm t) (Fatbin.entry t.fb (Machine.active t.m));
+    mirror_translations t
+  end;
+  let remaining = ref fuel in
+  let result = ref None in
+  while !result = None && !remaining > 0 do
+    let before = Machine.instructions t.m in
+    let stop = Machine.run t.m ~fuel:!remaining in
+    remaining := !remaining - (Machine.instructions t.m - before);
+    match stop with
+    | None -> result := Some Out_of_fuel
+    | Some (Exec.Exit c) -> result := Some (Finished c)
+    | Some Exec.Shell -> result := Some Shell_spawned
+    | Some (Exec.Fault _ as trap) -> result := Some (Killed (Exec.string_of_trap trap))
+    | Some ((Exec.Trap_stub _ | Exec.Rat_miss _) as trap) -> (
+      let v = active_vm t in
+      let finish_resolution = function
+        | Vm.Continue -> mirror_translations t
+        | Vm.Exit c -> result := Some (Finished c)
+        | Vm.Fault f -> result := Some (Killed f)
+      in
+      (* A requested (performance/measurement) migration fires at the
+         next return event, suspicious or not. *)
+      match trap with
+      | Exec.Rat_miss src
+        when t.migration_requested && t.sys_mode = Hipstr
+             && src <> Hipstr_machine.Layout.exit_sentinel
+             && Fatbin.callsite_of_ret t.fb (Machine.active t.m) src <> None -> (
+        t.migration_requested <- false;
+        t.forced_migrations <- t.forced_migrations + 1;
+        match migrate t Vm.Kreturn src with
+        | Some final -> result := Some final
+        | None -> mirror_translations t)
+      | _ -> (
+      match Vm.on_trap v trap with
+      | Vm.Benign r -> finish_resolution r
+      | Vm.Suspicious { target_src; kind; resolve } ->
+        let forced = t.migration_requested in
+        let probabilistic =
+          t.sys_mode = Hipstr && Rng.float t.rng < t.cfg.Config.migrate_prob
+        in
+        if t.sys_mode = Hipstr && (forced || probabilistic) then begin
+          t.migration_requested <- false;
+          if forced then t.forced_migrations <- t.forced_migrations + 1
+          else t.security_migrations <- t.security_migrations + 1;
+          match migrate t kind target_src with
+          | Some final -> result := Some final
+          | None -> mirror_translations t
+        end
+        else finish_resolution (resolve ())))
+  done;
+  match !result with Some r -> r | None -> Out_of_fuel
+
+let run t ~fuel = match t.sys_mode with Native -> run_native t ~fuel | Psr_only | Hipstr -> run_protected t ~fuel

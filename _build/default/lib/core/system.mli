@@ -1,0 +1,87 @@
+(** HIPStR — the paper's primary contribution, assembled.
+
+    A {!t} is one simulated process: a fat binary loaded into a
+    heterogeneous-ISA machine, optionally running under Program State
+    Relocation with non-deterministic cross-ISA migration. Three
+    protection modes are supported, matching the paper's evaluation
+    configurations:
+
+    - {!Native}: no defense — the victim baseline and the performance
+      reference;
+    - {!Psr_only}: single-ISA PSR (the "PSR" lines of Figures 7/8);
+    - {!Hipstr}: PSR on both cores plus probabilistic migration on
+      suspicious code-cache misses — the full defense.
+
+    Example:
+    {[
+      let sys = System.create ~mode:System.Hipstr ~src:program () in
+      match System.run sys ~fuel:10_000_000 with
+      | System.Finished 0 -> Format.printf "ok, %.2f ms" (1000. *. System.seconds sys)
+      | outcome -> ...
+    ]} *)
+
+type mode = Native | Psr_only | Hipstr
+
+type outcome =
+  | Finished of int  (** exit code *)
+  | Shell_spawned  (** the attack goal: execve reached *)
+  | Killed of string  (** fault — wild control flow, SFI violation, ... *)
+  | Out_of_fuel
+
+type t
+
+val create :
+  ?cfg:Hipstr_psr.Config.t ->
+  ?seed:int ->
+  ?start_isa:Hipstr_isa.Desc.which ->
+  mode:mode ->
+  src:string ->
+  unit ->
+  t
+(** Compile [src] (MiniC), load, and boot. [seed] drives every
+    randomized decision (default 1).
+    @raise Hipstr_compiler.Compile.Error on bad source. *)
+
+val of_fatbin :
+  ?cfg:Hipstr_psr.Config.t ->
+  ?seed:int ->
+  ?start_isa:Hipstr_isa.Desc.which ->
+  mode:mode ->
+  Hipstr_compiler.Fatbin.t ->
+  t
+(** Boot an already-linked binary — used by the attack harness to
+    re-spawn a victim with fresh randomization without recompiling
+    (the paper's crash/re-spawn model: PSR re-randomizes, a load-time
+    scheme would not). *)
+
+val fatbin : t -> Hipstr_compiler.Fatbin.t
+val machine : t -> Hipstr_machine.Machine.t
+val mode : t -> mode
+val config : t -> Hipstr_psr.Config.t
+
+val vm : t -> Hipstr_isa.Desc.which -> Hipstr_psr.Vm.t
+(** The PSR VM of a core. @raise Invalid_argument in [Native] mode. *)
+
+val run : t -> fuel:int -> outcome
+(** Execute up to [fuel] instructions (cumulative across calls). *)
+
+val request_migration : t -> unit
+(** Force a migration at the next return event (used to measure
+    migration overhead at arbitrary checkpoints, Figure 12). Only
+    meaningful in [Hipstr] mode. *)
+
+val output : t -> int list
+(** The print-syscall trace. *)
+
+val shell : t -> (int * int * int) option
+
+val cycles : t -> float
+val instructions : t -> int
+val seconds : t -> float
+
+val security_migrations : t -> int
+val forced_migrations : t -> int
+
+val last_migration : t -> Hipstr_migration.Transform.result option
+
+val suspicious_events : t -> int

@@ -1,0 +1,1 @@
+lib/experiments/exp_performance.ml: Array Desc Harness Hashtbl Hipstr Hipstr_isa Hipstr_isomeron Hipstr_machine Hipstr_migration Hipstr_psr Hipstr_util Hipstr_workloads List Printf

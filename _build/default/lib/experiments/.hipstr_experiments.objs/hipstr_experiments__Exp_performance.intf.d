@@ -1,0 +1,1 @@
+lib/experiments/exp_performance.mli: Hipstr_util

@@ -1,0 +1,1 @@
+lib/experiments/exp_security.ml: Desc Harness Hipstr Hipstr_attacks Hipstr_compiler Hipstr_galileo Hipstr_isa Hipstr_machine Hipstr_psr Hipstr_util Hipstr_workloads List Printf

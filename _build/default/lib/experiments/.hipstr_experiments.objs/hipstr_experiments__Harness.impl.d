@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Desc Hashtbl Hipstr Hipstr_attacks Hipstr_isa Hipstr_machine Hipstr_util Hipstr_workloads Printf

@@ -1,0 +1,1 @@
+lib/experiments/harness.mli: Hipstr Hipstr_attacks Hipstr_isa Hipstr_psr Hipstr_workloads

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Exp_performance Exp_security Hipstr_util List Printf

@@ -1,0 +1,26 @@
+(** The performance experiments: Figures 6 and 9-14. *)
+
+val fig6_migration_safety : unit -> Hipstr_util.Table.t
+(** Percentage of migration-safe basic blocks per direction, baseline
+    (call boundaries, prior work) vs on-demand. *)
+
+val fig9_opt_levels : unit -> Hipstr_util.Table.t
+(** Steady-state performance relative to native at PSR-O1/O2/O3. *)
+
+val fig10_stack_sizes : unit -> Hipstr_util.Table.t
+(** Performance at randomization pads of 8/16/32/64 KB (PSR-S8..S64). *)
+
+val fig11_rat_sizes : unit -> Hipstr_util.Table.t
+(** Performance overhead vs an unbounded RAT for 32..2048 entries. *)
+
+val fig12_migration_overhead : unit -> Hipstr_util.Table.t
+(** Forced migrations at random checkpoints: microseconds per
+    direction (average of 10 checkpoints). *)
+
+val fig13_cache_sizes : unit -> Hipstr_util.Table.t
+(** Security-induced migration overhead vs code-cache capacity
+    (capacities scaled to this repository's binary sizes). *)
+
+val fig14_vs_isomeron : unit -> Hipstr_util.Table.t
+(** Relative performance vs diversification probability: Isomeron,
+    PSR+Isomeron, HIPStR with small and large code caches. *)

@@ -1,0 +1,38 @@
+(** The security experiments: Figures 3, 4, 5, 7, 8, Table 2, and the
+    httpd case study of Section 7.1. Each function regenerates the
+    rows/series the paper reports, as a printable table. *)
+
+val table1 : unit -> Hipstr_util.Table.t
+(** Core configurations (Table 1) — printed for reference. *)
+
+val fig3_classic_rop : unit -> Hipstr_util.Table.t
+(** Per benchmark: gadgets obfuscated vs unobfuscated under PSR. *)
+
+val fig4_brute_force_surface : unit -> Hipstr_util.Table.t
+(** Per benchmark: gadgets eliminated vs surviving (viable for brute
+    force). *)
+
+val table2_brute_force : unit -> Hipstr_util.Table.t
+(** Per benchmark: randomizable parameters, entropy, attempts with and
+    without register bias (Algorithm 1). *)
+
+val fig5_jitrop : unit -> Hipstr_util.Table.t
+(** Per benchmark: JIT-ROP attack surface in the code cache, gadgets
+    flagging the VM, survivors under HIPStR, final residue. *)
+
+val fig7_entropy : unit -> Hipstr_util.Table.t
+(** Entropy vs gadget-chain length for the four defenses. *)
+
+val fig8_tailored : unit -> Hipstr_util.Table.t
+(** Attack surface vs diversification probability for tailored
+    attacks. *)
+
+val httpd_case_study : unit -> Hipstr_util.Table.t
+(** The Section 7.1 httpd numbers plus a live exploit run: shell
+    natively, stopped under PSR and HIPStR. *)
+
+val ablation_pad_entropy : unit -> Hipstr_util.Table.t
+(** Ablation: the security side of the pad-size dial (Figure 10 shows
+    its cost side) — per-parameter entropy and brute-force attempts at
+    2-64 KB pads, including the paper's observation that even a bare
+    ret gadget faces pad-sized entropy. *)

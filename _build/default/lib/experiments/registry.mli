@@ -1,0 +1,16 @@
+(** The experiment registry: every table and figure of the paper's
+    evaluation, addressable by id (used by the CLI and the bench
+    harness). *)
+
+type experiment = {
+  ex_id : string;  (** e.g. "fig9" *)
+  ex_title : string;
+  ex_paper : string;  (** what the paper reports there *)
+  ex_run : unit -> Hipstr_util.Table.t;
+}
+
+val all : experiment list
+
+val find : string -> experiment option
+
+val run_and_print : experiment -> unit

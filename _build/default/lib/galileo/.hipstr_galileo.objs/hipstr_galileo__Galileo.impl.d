@@ -1,0 +1,1 @@
+lib/galileo/galileo.ml: Array Desc Hashtbl Hipstr_cisc Hipstr_compiler Hipstr_isa Hipstr_machine Hipstr_risc List Minstr

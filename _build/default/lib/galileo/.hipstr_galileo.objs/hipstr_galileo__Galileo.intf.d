@@ -1,0 +1,1 @@
+lib/galileo/galileo.mli: Hipstr_compiler Hipstr_isa Hipstr_machine

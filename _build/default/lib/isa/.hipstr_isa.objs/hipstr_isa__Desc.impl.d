@@ -1,0 +1,1 @@
+lib/isa/desc.ml: Array Minstr Printf

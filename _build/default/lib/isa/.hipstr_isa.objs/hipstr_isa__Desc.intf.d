@@ -1,0 +1,1 @@
+lib/isa/desc.mli: Minstr

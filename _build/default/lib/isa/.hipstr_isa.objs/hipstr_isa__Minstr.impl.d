@@ -1,0 +1,1 @@
+lib/isa/minstr.ml: Format

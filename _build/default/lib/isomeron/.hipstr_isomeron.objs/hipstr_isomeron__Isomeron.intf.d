@@ -1,0 +1,1 @@
+lib/isomeron/isomeron.mli:

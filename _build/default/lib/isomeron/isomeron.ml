@@ -1,0 +1,40 @@
+type t = { prob : float }
+
+let create ~diversification_prob =
+  if diversification_prob < 0. || diversification_prob > 1. then
+    invalid_arg "Isomeron.create: probability out of range";
+  { prob = diversification_prob }
+
+let diversification_prob t = t.prob
+
+(* Calibration: Davi et al. report roughly 19% overhead on SPEC from
+   per-call/return shepherding with branch prediction defeated. Our
+   workloads make fewer calls per instruction than SPEC, so the
+   per-event cost is set to land Isomeron's total overhead in the same
+   band (the dispatcher indirection, twin-table lookup and lost
+   return-address-stack prediction together). *)
+let shepherd_cycles_per_event = 55.
+let mispredict_cycles = 18.
+
+let overhead_cycles t ~calls ~returns =
+  let events = float_of_int (calls + returns) in
+  (* The dispatcher runs on every event; the misprediction cost is
+     paid only when the coin actually diverts execution. *)
+  (events *. shepherd_cycles_per_event) +. (events *. t.prob *. mispredict_cycles)
+
+let relative_performance t ~native_cycles ~calls ~returns =
+  native_cycles /. (native_cycles +. overhead_cycles t ~calls ~returns)
+
+let chain_success_probability t ~chain_len =
+  let per_gadget = 1. -. (t.prob /. 2.) in
+  per_gadget ** float_of_int chain_len
+
+let entropy_bits t ~chain_len =
+  let p = chain_success_probability t ~chain_len in
+  if p <= 0. then infinity else -.(log p /. log 2.)
+
+let gadget_unaffected_probability ~reg_operands =
+  (* A register-permuted twin over an 8-register file fixes a given
+     register with probability ~1/8; a gadget is unaffected only if
+     every register operand is fixed. *)
+  if reg_operands <= 0 then 1.0 else (1. /. 8.) ** float_of_int reg_operands

@@ -1,0 +1,1 @@
+lib/machine/core_desc.ml: Hipstr_isa Printf

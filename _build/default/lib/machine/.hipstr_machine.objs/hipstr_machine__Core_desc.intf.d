@@ -1,0 +1,1 @@
+lib/machine/core_desc.mli: Hipstr_isa

@@ -1,0 +1,1 @@
+lib/machine/exec.ml: Array Bpred Cache Core_desc Cpu Desc Hipstr_cisc Hipstr_isa Hipstr_risc Hipstr_util Layout Mem Minstr Printf Rat Sys

@@ -1,0 +1,1 @@
+lib/machine/exec.mli: Bpred Cache Core_desc Cpu Hipstr_isa Mem Rat Sys

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Bpred Cache Core_desc Cpu Desc Exec Hipstr_cisc Hipstr_isa Hipstr_risc Layout Mem Rat Sys

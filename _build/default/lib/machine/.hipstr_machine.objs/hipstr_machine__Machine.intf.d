@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Cpu Exec Hipstr_isa Mem Rat Sys

@@ -1,0 +1,1 @@
+lib/machine/mem.ml: Buffer Bytes Char Hipstr_util String

@@ -1,0 +1,1 @@
+lib/machine/sys.ml: Layout List

@@ -1,0 +1,58 @@
+let table_size = 4096
+let btb_size = 1024
+let ras_depth = 32
+
+type t = {
+  counters : int array; (* 2-bit saturating *)
+  btb : int array;
+  ras : int array;
+  mutable ras_top : int;
+  mutable mispredicts : int;
+  mutable lookups : int;
+}
+
+let create () =
+  {
+    counters = Array.make table_size 1;
+    btb = Array.make btb_size (-1);
+    ras = Array.make ras_depth (-1);
+    ras_top = 0;
+    mispredicts = 0;
+    lookups = 0;
+  }
+
+let note t correct =
+  t.lookups <- t.lookups + 1;
+  if not correct then t.mispredicts <- t.mispredicts + 1;
+  correct
+
+let predict_cond t ~pc ~taken =
+  let i = pc land (table_size - 1) in
+  let predicted = t.counters.(i) >= 2 in
+  let c = t.counters.(i) in
+  t.counters.(i) <- (if taken then min 3 (c + 1) else max 0 (c - 1));
+  note t (predicted = taken)
+
+let predict_indirect t ~pc ~target =
+  let i = pc land (btb_size - 1) in
+  let predicted = t.btb.(i) in
+  t.btb.(i) <- target;
+  note t (predicted = target)
+
+let push_ras t addr =
+  t.ras.(t.ras_top mod ras_depth) <- addr;
+  t.ras_top <- t.ras_top + 1
+
+let predict_return t ~target =
+  if t.ras_top = 0 then note t false
+  else begin
+    t.ras_top <- t.ras_top - 1;
+    note t (t.ras.(t.ras_top mod ras_depth) = target)
+  end
+
+let mispredicts t = t.mispredicts
+let lookups t = t.lookups
+
+let reset_stats t =
+  t.mispredicts <- 0;
+  t.lookups <- 0

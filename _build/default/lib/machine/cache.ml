@@ -1,0 +1,62 @@
+type t = {
+  line_bits : int;
+  nsets : int;
+  assoc : int;
+  tags : int array; (* nsets * assoc; -1 = invalid *)
+  stamps : int array; (* LRU timestamps *)
+  miss_penalty : int;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let log2i n =
+  let rec go k v = if v >= n then k else go (k + 1) (v * 2) in
+  go 0 1
+
+let create ?(line = 64) ~size_kb ~assoc ~miss_penalty () =
+  let nlines = max assoc (size_kb * 1024 / line) in
+  let nsets = max 1 (nlines / assoc) in
+  {
+    line_bits = log2i line;
+    nsets;
+    assoc;
+    tags = Array.make (nsets * assoc) (-1);
+    stamps = Array.make (nsets * assoc) 0;
+    miss_penalty;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let access t addr =
+  t.clock <- t.clock + 1;
+  let line = addr lsr t.line_bits in
+  let set = line mod t.nsets in
+  let base = set * t.assoc in
+  let rec find i = if i >= t.assoc then None else if t.tags.(base + i) = line then Some i else find (i + 1) in
+  match find 0 with
+  | Some i ->
+    t.stamps.(base + i) <- t.clock;
+    t.hits <- t.hits + 1;
+    true
+  | None ->
+    t.misses <- t.misses + 1;
+    (* Evict the least recently used way. *)
+    let victim = ref 0 in
+    for i = 1 to t.assoc - 1 do
+      if t.stamps.(base + i) < t.stamps.(base + !victim) then victim := i
+    done;
+    t.tags.(base + !victim) <- line;
+    t.stamps.(base + !victim) <- t.clock;
+    false
+
+let miss_penalty t = t.miss_penalty
+let hits t = t.hits
+let misses t = t.misses
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0
+
+let flush t = Array.fill t.tags 0 (Array.length t.tags) (-1)

@@ -1,0 +1,20 @@
+(** Set-associative cache timing model with LRU replacement.
+
+    Only timing is modelled (data always comes from {!Mem}); an access
+    returns whether it hit, and the machine charges the configured
+    penalty on a miss. *)
+
+type t
+
+val create : ?line:int -> size_kb:int -> assoc:int -> miss_penalty:int -> unit -> t
+(** [line] defaults to 64 bytes. *)
+
+val access : t -> int -> bool
+(** [access t addr] touches the line containing [addr]; true on hit. *)
+
+val miss_penalty : t -> int
+val hits : t -> int
+val misses : t -> int
+val reset_stats : t -> unit
+val flush : t -> unit
+(** Invalidate all lines (used when the PSR code cache is flushed). *)

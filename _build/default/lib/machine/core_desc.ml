@@ -1,0 +1,69 @@
+type t = {
+  name : string;
+  freq_ghz : float;
+  fetch_width : int;
+  issue_width : int;
+  rob_size : int;
+  lq_size : int;
+  sq_size : int;
+  int_alus : int;
+  throughput : float;
+  mispredict_penalty : int;
+  icache_size_kb : int;
+  dcache_size_kb : int;
+  cache_assoc : int;
+  icache_miss_penalty : int;
+  dcache_miss_penalty : int;
+  div_latency : int;
+  mul_latency : int;
+}
+
+let arm =
+  {
+    name = "ARM core (Cortex A-9 class)";
+    freq_ghz = 2.0;
+    fetch_width = 2;
+    issue_width = 4;
+    rob_size = 20;
+    lq_size = 16;
+    sq_size = 16;
+    int_alus = 2;
+    throughput = 1.3;
+    mispredict_penalty = 8;
+    icache_size_kb = 32;
+    dcache_size_kb = 32;
+    cache_assoc = 2;
+    icache_miss_penalty = 20;
+    dcache_miss_penalty = 20;
+    div_latency = 20;
+    mul_latency = 4;
+  }
+
+let x86 =
+  {
+    name = "x86 core (Xeon class)";
+    freq_ghz = 3.3;
+    fetch_width = 4;
+    issue_width = 4;
+    rob_size = 128;
+    lq_size = 48;
+    sq_size = 96;
+    int_alus = 6;
+    throughput = 2.2;
+    mispredict_penalty = 14;
+    icache_size_kb = 32;
+    dcache_size_kb = 32;
+    cache_assoc = 2;
+    icache_miss_penalty = 30;
+    dcache_miss_penalty = 30;
+    div_latency = 22;
+    mul_latency = 3;
+  }
+
+let for_isa = function Hipstr_isa.Desc.Cisc -> x86 | Risc -> arm
+
+let describe t =
+  Printf.sprintf
+    "%s: %.1f GHz, fetch %d, issue %d, ROB %d, LQ/SQ %d/%d, I$/D$ %d/%d KB %d-way"
+    t.name t.freq_ghz t.fetch_width t.issue_width t.rob_size t.lq_size t.sq_size t.icache_size_kb
+    t.dcache_size_kb t.cache_assoc

@@ -1,0 +1,41 @@
+(** Core timing descriptors, from Table 1 of the paper.
+
+    The simulator is cycle-approximate: each instruction class has a
+    base latency which is divided by the core's sustained superscalar
+    throughput factor (derived from fetch/issue width and ROB size),
+    and cache-miss / branch-misprediction penalties are added on top.
+    This preserves the relative performance effects the evaluation
+    measures (PSR-inserted instructions, I-cache locality of the code
+    cache, sparse-stack D-cache behaviour, RAT penalties) without
+    modelling a full out-of-order pipeline. *)
+
+type t = {
+  name : string;
+  freq_ghz : float;
+  fetch_width : int;
+  issue_width : int;
+  rob_size : int;
+  lq_size : int;
+  sq_size : int;
+  int_alus : int;
+  throughput : float;  (** sustained instructions per cycle *)
+  mispredict_penalty : int;
+  icache_size_kb : int;
+  dcache_size_kb : int;
+  cache_assoc : int;
+  icache_miss_penalty : int;
+  dcache_miss_penalty : int;
+  div_latency : int;
+  mul_latency : int;
+}
+
+val arm : t
+(** Cortex A-9-like little core: 2 GHz, 2-wide fetch, 20-entry ROB. *)
+
+val x86 : t
+(** Xeon-like big core: 3.3 GHz, 4-wide fetch, 128-entry ROB. *)
+
+val for_isa : Hipstr_isa.Desc.which -> t
+
+val describe : t -> string
+(** Multi-line rendering of the Table 1 row. *)

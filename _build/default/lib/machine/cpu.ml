@@ -1,0 +1,64 @@
+type flags = { mutable zf : bool; mutable sf : bool; mutable cf : bool; mutable vf : bool }
+
+type perf = {
+  mutable cycles : float;
+  mutable instructions : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable branches : int;
+  mutable calls : int;
+  mutable returns : int;
+  mutable indirects : int;
+  mutable syscalls : int;
+}
+
+type t = { mutable pc : int; regs : int array; flags : flags; perf : perf }
+
+let fresh_perf () =
+  {
+    cycles = 0.;
+    instructions = 0;
+    loads = 0;
+    stores = 0;
+    branches = 0;
+    calls = 0;
+    returns = 0;
+    indirects = 0;
+    syscalls = 0;
+  }
+
+let create () =
+  {
+    pc = 0;
+    regs = Array.make 16 0;
+    flags = { zf = false; sf = false; cf = false; vf = false };
+    perf = fresh_perf ();
+  }
+
+let reset_perf t =
+  let p = t.perf in
+  p.cycles <- 0.;
+  p.instructions <- 0;
+  p.loads <- 0;
+  p.stores <- 0;
+  p.branches <- 0;
+  p.calls <- 0;
+  p.returns <- 0;
+  p.indirects <- 0;
+  p.syscalls <- 0
+
+let snapshot_perf t =
+  let p = t.perf in
+  {
+    cycles = p.cycles;
+    instructions = p.instructions;
+    loads = p.loads;
+    stores = p.stores;
+    branches = p.branches;
+    calls = p.calls;
+    returns = p.returns;
+    indirects = p.indirects;
+    syscalls = p.syscalls;
+  }
+
+let copy_regs t = Array.copy t.regs

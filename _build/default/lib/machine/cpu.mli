@@ -1,0 +1,31 @@
+(** Architectural CPU state and performance counters. *)
+
+type flags = { mutable zf : bool; mutable sf : bool; mutable cf : bool; mutable vf : bool }
+
+type perf = {
+  mutable cycles : float;
+  mutable instructions : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable branches : int;
+  mutable calls : int;
+  mutable returns : int;
+  mutable indirects : int;
+  mutable syscalls : int;
+}
+
+type t = {
+  mutable pc : int;
+  regs : int array;  (** 16 slots; the active ISA uses a prefix *)
+  flags : flags;
+  perf : perf;
+}
+
+val create : unit -> t
+
+val reset_perf : t -> unit
+
+val snapshot_perf : t -> perf
+(** A copy of the current counters. *)
+
+val copy_regs : t -> int array

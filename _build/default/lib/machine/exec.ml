@@ -1,0 +1,317 @@
+open Hipstr_isa
+module W32 = Hipstr_util.Wrap32
+
+type fault = Bad_fetch of int | Bad_access of int | Cache_jump of int
+
+type trap = Trap_stub of int | Rat_miss of int | Exit of int | Shell | Fault of fault
+
+type env = {
+  cpu : Cpu.t;
+  mem : Mem.t;
+  desc : Desc.t;
+  core : Core_desc.t;
+  icache : Cache.t;
+  dcache : Cache.t;
+  bpred : Bpred.t;
+  rat : Rat.t option;
+  os : Sys.t;
+}
+
+type outcome = Running | Stopped of trap
+
+let string_of_trap = function
+  | Trap_stub a -> Printf.sprintf "trap-stub(0x%x)" a
+  | Rat_miss a -> Printf.sprintf "rat-miss(0x%x)" a
+  | Exit c -> Printf.sprintf "exit(%d)" c
+  | Shell -> "shell-spawned"
+  | Fault (Bad_fetch a) -> Printf.sprintf "fault: bad fetch at 0x%x" a
+  | Fault (Bad_access a) -> Printf.sprintf "fault: bad access at 0x%x" a
+  | Fault (Cache_jump a) -> Printf.sprintf "fault: indirect jump into code cache 0x%x" a
+
+let decode which mem addr =
+  let read a = try Mem.read8 mem a with Mem.Fault _ -> -1 in
+  match which with
+  | Desc.Cisc -> Hipstr_cisc.Isa.decode ~read addr
+  | Desc.Risc -> Hipstr_risc.Isa.decode ~read addr
+
+exception Stop of trap
+
+let charge env lat = env.cpu.perf.cycles <- env.cpu.perf.cycles +. (lat /. env.core.throughput)
+
+let charge_flat env lat = env.cpu.perf.cycles <- env.cpu.perf.cycles +. lat
+
+let dcache_access env addr =
+  if not (Cache.access env.dcache addr) then
+    charge_flat env (float_of_int env.core.dcache_miss_penalty)
+
+let read_mem32 env addr =
+  dcache_access env addr;
+  env.cpu.perf.loads <- env.cpu.perf.loads + 1;
+  Mem.read32 env.mem addr
+
+let write_mem32 env addr v =
+  dcache_access env addr;
+  env.cpu.perf.stores <- env.cpu.perf.stores + 1;
+  Mem.write32 env.mem addr v
+
+let rval env = function
+  | Minstr.Reg r -> env.cpu.regs.(r)
+  | Minstr.Imm k -> k
+  | Minstr.Mem { base; disp } -> read_mem32 env (env.cpu.regs.(base) + disp)
+
+let wval env op v =
+  match op with
+  | Minstr.Reg r -> env.cpu.regs.(r) <- v
+  | Minstr.Mem { base; disp } -> write_mem32 env (env.cpu.regs.(base) + disp) v
+  | Minstr.Imm _ -> raise (Stop (Fault (Bad_fetch env.cpu.pc)))
+
+let set_zs env v =
+  env.cpu.flags.zf <- v = 0;
+  env.cpu.flags.sf <- v < 0
+
+let eval_cond env (c : Minstr.cond) =
+  let f = env.cpu.flags in
+  match c with
+  | Eq -> f.zf
+  | Ne -> not f.zf
+  | Lt -> f.sf <> f.vf
+  | Ge -> f.sf = f.vf
+  | Gt -> (not f.zf) && f.sf = f.vf
+  | Le -> f.zf || f.sf <> f.vf
+  | Ult -> f.cf
+  | Uge -> not f.cf
+
+let apply_binop env (op : Minstr.binop) a b =
+  let f = env.cpu.flags in
+  let r =
+    match op with
+    | Add ->
+      f.cf <- W32.carry_add a b;
+      f.vf <- W32.overflow_add a b;
+      W32.add a b
+    | Sub ->
+      f.cf <- W32.borrow_sub a b;
+      f.vf <- W32.overflow_sub a b;
+      W32.sub a b
+    | Mul ->
+      f.cf <- false;
+      f.vf <- false;
+      W32.mul a b
+    | Divs ->
+      f.cf <- false;
+      f.vf <- false;
+      W32.sdiv a b
+    | Rems ->
+      f.cf <- false;
+      f.vf <- false;
+      W32.srem a b
+    | And ->
+      f.cf <- false;
+      f.vf <- false;
+      W32.logand a b
+    | Or ->
+      f.cf <- false;
+      f.vf <- false;
+      W32.logor a b
+    | Xor ->
+      f.cf <- false;
+      f.vf <- false;
+      W32.logxor a b
+    | Shl ->
+      f.cf <- false;
+      f.vf <- false;
+      W32.shl a b
+    | Shr ->
+      f.cf <- false;
+      f.vf <- false;
+      W32.shr a b
+    | Sar ->
+      f.cf <- false;
+      f.vf <- false;
+      W32.sar a b
+  in
+  set_zs env r;
+  r
+
+let binop_latency env : Minstr.binop -> float = function
+  | Mul -> float_of_int env.core.mul_latency
+  | Divs | Rems -> float_of_int env.core.div_latency
+  | Add | Sub | And | Or | Xor | Shl | Shr | Sar -> 1.
+
+let push env v =
+  let sp = env.desc.sp in
+  env.cpu.regs.(sp) <- env.cpu.regs.(sp) - 4;
+  write_mem32 env env.cpu.regs.(sp) v
+
+let pop env =
+  let sp = env.desc.sp in
+  let v = read_mem32 env env.cpu.regs.(sp) in
+  env.cpu.regs.(sp) <- env.cpu.regs.(sp) + 4;
+  v
+
+let goto env target = env.cpu.pc <- target
+
+(* Every return consults the RAT when one is present (the modified
+   return macro-op): the popped value is a source address that must be
+   translated before control transfer. *)
+let return_to env src_target =
+  env.cpu.perf.returns <- env.cpu.perf.returns + 1;
+  match env.rat with
+  | None ->
+    if Layout.in_cache_region src_target then raise (Stop (Fault (Cache_jump src_target)));
+    if not (Bpred.predict_return env.bpred ~target:src_target) then
+      charge_flat env (float_of_int env.core.mispredict_penalty);
+    goto env src_target
+  | Some rat -> (
+    charge_flat env 1. (* the extra RAT-lookup cycle *);
+    match Rat.lookup rat src_target with
+    | Some translated ->
+      if not (Bpred.predict_return env.bpred ~target:translated) then
+        charge_flat env (float_of_int env.core.mispredict_penalty);
+      goto env translated
+    | None -> raise (Stop (Rat_miss src_target)))
+
+let do_call env ~ret_addr ~target =
+  env.cpu.perf.calls <- env.cpu.perf.calls + 1;
+  if env.desc.call_pushes_ret then push env ret_addr
+  else
+    (match env.desc.lr with
+    | Some lr -> env.cpu.regs.(lr) <- ret_addr
+    | None -> assert false);
+  goto env target
+
+let do_syscall env =
+  env.cpu.perf.syscalls <- env.cpu.perf.syscalls + 1;
+  charge_flat env 40.;
+  let number = env.cpu.regs.(0) in
+  let args = (env.cpu.regs.(1), env.cpu.regs.(2), env.cpu.regs.(3)) in
+  let result, outcome = Sys.handle env.os ~number ~args in
+  env.cpu.regs.(0) <- result;
+  match outcome with
+  | Sys.Continue -> ()
+  | Sys.Halt_exit c -> raise (Stop (Exit c))
+  | Sys.Halt_shell -> raise (Stop Shell)
+
+let exec env (i : Minstr.t) len =
+  let pc = env.cpu.pc in
+  let next = pc + len in
+  match i with
+  | Nop ->
+    charge env 1.;
+    goto env next
+  | Mov (d, s) ->
+    charge env 1.;
+    let v = rval env s in
+    wval env d v;
+    goto env next
+  | Lea (d, b, k) ->
+    charge env 1.;
+    env.cpu.regs.(d) <- W32.add env.cpu.regs.(b) k;
+    goto env next
+  | Binop (op, d, s) ->
+    charge env (binop_latency env op);
+    let a = rval env d in
+    let b = rval env s in
+    wval env d (apply_binop env op a b);
+    goto env next
+  | Cmp (a, b) ->
+    charge env 1.;
+    let va = rval env a in
+    let vb = rval env b in
+    let f = env.cpu.flags in
+    f.cf <- W32.borrow_sub va vb;
+    f.vf <- W32.overflow_sub va vb;
+    set_zs env (W32.sub va vb);
+    goto env next
+  | Push s ->
+    charge env 1.;
+    let v = rval env s in
+    push env v;
+    goto env next
+  | Pop d ->
+    charge env 1.;
+    let v = pop env in
+    wval env d v;
+    goto env next
+  | Jmp t ->
+    charge env 1.;
+    env.cpu.perf.branches <- env.cpu.perf.branches + 1;
+    goto env t
+  | Jcc (c, t) ->
+    charge env 1.;
+    env.cpu.perf.branches <- env.cpu.perf.branches + 1;
+    let taken = eval_cond env c in
+    if not (Bpred.predict_cond env.bpred ~pc ~taken) then
+      charge_flat env (float_of_int env.core.mispredict_penalty);
+    goto env (if taken then t else next)
+  | Jmpr s ->
+    charge env 1.;
+    env.cpu.perf.indirects <- env.cpu.perf.indirects + 1;
+    let t = rval env s in
+    if Layout.in_cache_region t then raise (Stop (Fault (Cache_jump t)));
+    if not (Bpred.predict_indirect env.bpred ~pc ~target:t) then
+      charge_flat env (float_of_int env.core.mispredict_penalty);
+    goto env t
+  | Call t ->
+    charge env 2.;
+    Bpred.push_ras env.bpred next;
+    do_call env ~ret_addr:next ~target:t
+  | Callr s ->
+    charge env 2.;
+    env.cpu.perf.indirects <- env.cpu.perf.indirects + 1;
+    let t = rval env s in
+    if Layout.in_cache_region t then raise (Stop (Fault (Cache_jump t)));
+    if not (Bpred.predict_indirect env.bpred ~pc ~target:t) then
+      charge_flat env (float_of_int env.core.mispredict_penalty);
+    Bpred.push_ras env.bpred next;
+    do_call env ~ret_addr:next ~target:t
+  | Ret ->
+    charge env 2.;
+    let v = pop env in
+    return_to env v
+  | Retr r ->
+    charge env 2.;
+    return_to env env.cpu.regs.(r)
+  | Retrat s ->
+    charge env 2.;
+    let v = rval env s in
+    return_to env v
+  | Callrat { target; src_ret } ->
+    charge env 2.;
+    (match env.rat with
+    | Some rat -> Rat.insert rat ~src:src_ret ~translated:next
+    | None -> ());
+    Bpred.push_ras env.bpred next;
+    do_call env ~ret_addr:src_ret ~target
+  | Syscall ->
+    do_syscall env;
+    goto env next
+  | Trap a -> raise (Stop (Trap_stub a))
+
+let step env =
+  let pc = env.cpu.pc in
+  if pc = Layout.exit_sentinel then Stopped (Exit env.cpu.regs.(env.desc.ret_reg))
+  else begin
+    if not (Cache.access env.icache pc) then
+      charge_flat env (float_of_int env.core.icache_miss_penalty);
+    match decode env.desc.which env.mem pc with
+    | None -> Stopped (Fault (Bad_fetch pc))
+    | Some (i, len) -> (
+      env.cpu.perf.instructions <- env.cpu.perf.instructions + 1;
+      try
+        exec env i len;
+        Running
+      with
+      | Stop t -> Stopped t
+      | Mem.Fault a -> Stopped (Fault (Bad_access a)))
+  end
+
+let run env ~fuel =
+  let rec go n =
+    if n <= 0 then None
+    else
+      match step env with
+      | Running -> go (n - 1)
+      | Stopped t -> Some t
+  in
+  go fuel

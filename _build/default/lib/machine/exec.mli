@@ -1,0 +1,50 @@
+(** The fetch-decode-execute engine.
+
+    One {!step} executes a single instruction of the active ISA
+    against the CPU, memory, timing structures and OS, and reports
+    whether control stays in simulated code or leaves it (trap). The
+    PSR virtual machine drives this function directly so it can
+    interpose on traps; native runs just loop it.
+
+    When a Return Address Table is present ([rat <> None]) the machine
+    models the paper's modified return macro-op: *every* return —
+    including a stray 0xC3 reached mid-instruction by a gadget —
+    translates its target through the RAT, and a miss traps to the
+    translator. Without a RAT, returns jump directly (native mode). *)
+
+type fault =
+  | Bad_fetch of int  (** undecodable bytes at pc *)
+  | Bad_access of int  (** memory access outside the address space *)
+  | Cache_jump of int  (** indirect control transfer into a code-cache region, native mode *)
+
+type trap =
+  | Trap_stub of int  (** translated code hit an exit stub for this source address *)
+  | Rat_miss of int  (** a return's source target had no RAT entry *)
+  | Exit of int  (** program exited (syscall or fell off main) *)
+  | Shell  (** execve reached: the attack goal *)
+  | Fault of fault
+
+type env = {
+  cpu : Cpu.t;
+  mem : Mem.t;
+  desc : Hipstr_isa.Desc.t;
+  core : Core_desc.t;
+  icache : Cache.t;
+  dcache : Cache.t;
+  bpred : Bpred.t;
+  rat : Rat.t option;
+  os : Sys.t;
+}
+
+type outcome = Running | Stopped of trap
+
+val step : env -> outcome
+
+val run : env -> fuel:int -> trap option
+(** Step until something stops execution or [fuel] instructions have
+    retired; [None] means fuel ran out. *)
+
+val string_of_trap : trap -> string
+
+val decode : Hipstr_isa.Desc.which -> Mem.t -> int -> (Hipstr_isa.Minstr.t * int) option
+(** Decode one instruction of the given ISA from simulated memory. *)

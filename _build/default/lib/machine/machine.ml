@@ -1,0 +1,126 @@
+open Hipstr_isa
+
+type core_ctx = {
+  desc : Desc.t;
+  core : Core_desc.t;
+  icache : Cache.t;
+  dcache : Cache.t;
+  bpred : Bpred.t;
+  rat : Rat.t option;
+}
+
+type t = {
+  cpu : Cpu.t;
+  memory : Mem.t;
+  os_state : Sys.t;
+  cisc_ctx : core_ctx;
+  risc_ctx : core_ctx;
+  mutable active : Desc.which;
+  mutable migrations : int;
+  (* cycle attribution for converting to seconds per-core *)
+  mutable cisc_cycles : float;
+  mutable risc_cycles : float;
+  mutable cycle_mark : float;
+}
+
+let make_ctx ~rat_capacity ~icache_kb ~dcache_kb which =
+  let desc = match which with Desc.Cisc -> Hipstr_cisc.Isa.desc | Risc -> Hipstr_risc.Isa.desc in
+  let core = Core_desc.for_isa which in
+  {
+    desc;
+    core;
+    icache =
+      Cache.create ~size_kb:icache_kb ~assoc:core.cache_assoc
+        ~miss_penalty:core.icache_miss_penalty ();
+    dcache =
+      Cache.create ~size_kb:dcache_kb ~assoc:core.cache_assoc
+        ~miss_penalty:core.dcache_miss_penalty ();
+    bpred = Bpred.create ();
+    rat = (match rat_capacity with None -> None | Some n -> Some (Rat.create ~capacity:n));
+  }
+
+let create ?(rat_capacity = None) ?(icache_kb = 32) ?(dcache_kb = 32) ~active () =
+  {
+    cpu = Cpu.create ();
+    memory = Mem.create Layout.mem_size;
+    os_state = Sys.create ();
+    cisc_ctx = make_ctx ~rat_capacity ~icache_kb ~dcache_kb Desc.Cisc;
+    risc_ctx = make_ctx ~rat_capacity ~icache_kb ~dcache_kb Desc.Risc;
+    active;
+    migrations = 0;
+    cisc_cycles = 0.;
+    risc_cycles = 0.;
+    cycle_mark = 0.;
+  }
+
+let mem t = t.memory
+let cpu t = t.cpu
+let os t = t.os_state
+let active t = t.active
+
+let ctx t = match t.active with Desc.Cisc -> t.cisc_ctx | Risc -> t.risc_ctx
+
+let desc t = (ctx t).desc
+
+let env_of t which =
+  let c = match which with Desc.Cisc -> t.cisc_ctx | Desc.Risc -> t.risc_ctx in
+  {
+    Exec.cpu = t.cpu;
+    mem = t.memory;
+    desc = c.desc;
+    core = c.core;
+    icache = c.icache;
+    dcache = c.dcache;
+    bpred = c.bpred;
+    rat = c.rat;
+    os = t.os_state;
+  }
+
+let env t = env_of t t.active
+
+let rat t = (ctx t).rat
+
+let account_cycles t =
+  let delta = t.cpu.perf.cycles -. t.cycle_mark in
+  (match t.active with
+  | Desc.Cisc -> t.cisc_cycles <- t.cisc_cycles +. delta
+  | Desc.Risc -> t.risc_cycles <- t.risc_cycles +. delta);
+  t.cycle_mark <- t.cpu.perf.cycles
+
+let switch_core t which =
+  if which <> t.active then begin
+    account_cycles t;
+    t.active <- which;
+    t.migrations <- t.migrations + 1
+  end
+
+let migrations t = t.migrations
+
+let boot t ~entry =
+  let d = desc t in
+  t.cpu.regs.(d.sp) <- Layout.stack_top;
+  (if d.call_pushes_ret then begin
+     t.cpu.regs.(d.sp) <- t.cpu.regs.(d.sp) - 4;
+     Mem.write32 t.memory t.cpu.regs.(d.sp) Layout.exit_sentinel
+   end
+   else
+     match d.lr with
+     | Some lr -> t.cpu.regs.(lr) <- Layout.exit_sentinel
+     | None -> assert false);
+  t.cpu.pc <- entry
+
+let step t = Exec.step (env t)
+
+let run t ~fuel =
+  let r = Exec.run (env t) ~fuel in
+  account_cycles t;
+  r
+
+let cycles t = t.cpu.perf.cycles
+
+let instructions t = t.cpu.perf.instructions
+
+let seconds t =
+  account_cycles t;
+  (t.cisc_cycles /. (Core_desc.x86.freq_ghz *. 1e9))
+  +. (t.risc_cycles /. (Core_desc.arm.freq_ghz *. 1e9))

@@ -1,0 +1,62 @@
+(** The simulated heterogeneous-ISA chip multiprocessor.
+
+    One process (memory, architectural register state, OS) and two
+    cores — a CISC big core and a RISC little core, each with its own
+    caches, branch predictor and (when PSR is enabled) Return Address
+    Table. Exactly one core is active at a time; {!switch_core} models
+    the hardware side of execution migration (the software side — state
+    transformation — is [Hipstr_migration]).
+
+    The register file is shared storage: the migration engine rewrites
+    it during a switch, so no transfer is modelled here beyond the
+    cold caches the incoming core starts with. *)
+
+type t
+
+val create :
+  ?rat_capacity:int option ->
+  ?icache_kb:int ->
+  ?dcache_kb:int ->
+  active:Hipstr_isa.Desc.which ->
+  unit ->
+  t
+(** [rat_capacity] defaults to [None] (native mode, no RAT);
+    [Some n] enables the modified call/return macro-ops on both
+    cores. *)
+
+val mem : t -> Mem.t
+val cpu : t -> Cpu.t
+val os : t -> Sys.t
+val active : t -> Hipstr_isa.Desc.which
+val desc : t -> Hipstr_isa.Desc.t
+val env : t -> Exec.env
+(** The execution environment of the active core. *)
+
+val rat : t -> Rat.t option
+(** The active core's RAT. *)
+
+val env_of : t -> Hipstr_isa.Desc.which -> Exec.env
+
+val switch_core : t -> Hipstr_isa.Desc.which -> unit
+(** Make the other core active. Counts a migration; register/flag
+    reinterpretation is the migration engine's job. *)
+
+val migrations : t -> int
+
+val boot : t -> entry:int -> unit
+(** Initialize SP to the stack top, arrange for a return from the
+    entry function to reach the exit sentinel, and set the PC. *)
+
+val step : t -> Exec.outcome
+
+val run : t -> fuel:int -> Exec.trap option
+
+val cycles : t -> float
+(** Total cycles accumulated (across both cores). *)
+
+val instructions : t -> int
+
+val seconds : t -> float
+(** Wall-clock seconds of simulated execution, respecting each core's
+    clock frequency: cycles are converted at the frequency of the core
+    they were accumulated on. *)

@@ -1,0 +1,57 @@
+module W32 = Hipstr_util.Wrap32
+
+exception Fault of int
+
+type t = { bytes : Bytes.t; size : int }
+
+let create size = { bytes = Bytes.make size '\000'; size }
+
+let size t = t.size
+
+let check t a = if a < 0 || a >= t.size then raise (Fault a)
+
+let read8 t a =
+  check t a;
+  Char.code (Bytes.unsafe_get t.bytes a)
+
+let write8 t a v =
+  check t a;
+  Bytes.unsafe_set t.bytes a (Char.unsafe_chr (v land 0xFF))
+
+let read32 t a =
+  check t a;
+  check t (a + 3);
+  W32.of_bytes (read8 t a) (read8 t (a + 1)) (read8 t (a + 2)) (read8 t (a + 3))
+
+let write32 t a v =
+  check t a;
+  check t (a + 3);
+  let v = W32.unsigned v in
+  write8 t a (v land 0xFF);
+  write8 t (a + 1) ((v lsr 8) land 0xFF);
+  write8 t (a + 2) ((v lsr 16) land 0xFF);
+  write8 t (a + 3) ((v lsr 24) land 0xFF)
+
+let blit_string t a s =
+  check t a;
+  check t (a + String.length s - 1);
+  Bytes.blit_string s 0 t.bytes a (String.length s)
+
+let read_string t a n =
+  check t a;
+  check t (a + n - 1);
+  Bytes.sub_string t.bytes a n
+
+let read_cstring t a =
+  let buf = Buffer.create 16 in
+  let rec go i =
+    if i >= 4096 then Buffer.contents buf
+    else
+      let c = read8 t (a + i) in
+      if c = 0 then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Char.chr c);
+        go (i + 1)
+      end
+  in
+  go 0

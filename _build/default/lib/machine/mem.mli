@@ -1,0 +1,34 @@
+(** Simulated flat byte-addressable memory.
+
+    Accesses outside the configured size raise {!Fault}, which the
+    execution engine converts into a simulated machine fault — this is
+    how wild gadget chains crash, so the brute-force experiments
+    depend on it. *)
+
+exception Fault of int
+(** Raised with the offending address. *)
+
+type t
+
+val create : int -> t
+(** [create size] is zero-initialized memory of [size] bytes. *)
+
+val size : t -> int
+
+val read8 : t -> int -> int
+(** Unsigned byte. *)
+
+val write8 : t -> int -> int -> unit
+
+val read32 : t -> int -> int
+(** Signed 32-bit little-endian load. *)
+
+val write32 : t -> int -> int -> unit
+
+val blit_string : t -> int -> string -> unit
+(** Copy a string into memory at an address. *)
+
+val read_string : t -> int -> int -> string
+
+val read_cstring : t -> int -> string
+(** Read a NUL-terminated string (capped at 4096 bytes). *)

@@ -1,0 +1,46 @@
+type t = {
+  capacity : int;
+  table : (int, int * int ref) Hashtbl.t; (* src -> translated, last-use stamp *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity = { capacity; table = Hashtbl.create 64; clock = 0; hits = 0; misses = 0 }
+
+let capacity t = t.capacity
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun src (_, stamp) ->
+      match !victim with
+      | None -> victim := Some (src, !stamp)
+      | Some (_, s) -> if !stamp < s then victim := Some (src, !stamp))
+    t.table;
+  match !victim with None -> () | Some (src, _) -> Hashtbl.remove t.table src
+
+let insert t ~src ~translated =
+  t.clock <- t.clock + 1;
+  if (not (Hashtbl.mem t.table src)) && Hashtbl.length t.table >= t.capacity then evict_lru t;
+  Hashtbl.replace t.table src (translated, ref t.clock)
+
+let lookup t src =
+  t.clock <- t.clock + 1;
+  match Hashtbl.find_opt t.table src with
+  | Some (translated, stamp) ->
+    stamp := t.clock;
+    t.hits <- t.hits + 1;
+    Some translated
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let hits t = t.hits
+let misses t = t.misses
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0
+
+let clear t = Hashtbl.reset t.table

@@ -1,0 +1,25 @@
+(** Hardware Return Address Table (Section 5.1 of the paper).
+
+    Maps *source* return addresses (what translated code stores on the
+    stack) to their translated code-cache targets. The modified call
+    macro-op ([Callrat]) inserts entries and the modified return
+    macro-op ([Retrat]) looks them up with a 1-cycle penalty; a miss
+    traps to the translator. The table has a bounded capacity with
+    LRU replacement — Figure 11 sweeps this capacity. *)
+
+type t
+
+val create : capacity:int -> t
+
+val capacity : t -> int
+
+val insert : t -> src:int -> translated:int -> unit
+
+val lookup : t -> int -> int option
+(** Looks up a source return address; updates recency and hit/miss
+    statistics. *)
+
+val hits : t -> int
+val misses : t -> int
+val reset_stats : t -> unit
+val clear : t -> unit

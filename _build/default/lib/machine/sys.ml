@@ -1,0 +1,41 @@
+type outcome = Continue | Halt_exit of int | Halt_shell
+
+type t = {
+  mutable brk : int;
+  mutable output : int list;
+  mutable shell : (int * int * int) option;
+  mutable exit_code : int option;
+}
+
+let sys_exit = 1
+let sys_brk = 3
+let sys_print_int = 4
+let sys_execve = 11
+
+let create () = { brk = Layout.heap_base; output = []; shell = None; exit_code = None }
+
+let output t = List.rev t.output
+
+let handle t ~number ~args:(a1, a2, a3) =
+  if number = sys_exit then begin
+    t.exit_code <- Some a1;
+    (0, Halt_exit a1)
+  end
+  else if number = sys_brk then begin
+    let old = t.brk in
+    let requested = max 0 a1 in
+    if old + requested > Layout.heap_limit then (-1, Continue)
+    else begin
+      t.brk <- old + requested;
+      (old, Continue)
+    end
+  end
+  else if number = sys_print_int then begin
+    t.output <- a1 :: t.output;
+    (0, Continue)
+  end
+  else if number = sys_execve then begin
+    t.shell <- Some (a1, a2, a3);
+    (0, Halt_shell)
+  end
+  else (-1, Continue)

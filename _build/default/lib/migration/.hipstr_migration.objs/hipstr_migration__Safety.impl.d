@@ -1,0 +1,1 @@
+lib/migration/safety.ml: Array Desc Hipstr_cisc Hipstr_compiler Hipstr_isa Hipstr_risc List

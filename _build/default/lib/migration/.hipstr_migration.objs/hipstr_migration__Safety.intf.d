@@ -1,0 +1,1 @@
+lib/migration/safety.mli: Hipstr_compiler Hipstr_isa

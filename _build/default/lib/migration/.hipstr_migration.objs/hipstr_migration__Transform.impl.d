@@ -1,0 +1,1 @@
+lib/migration/transform.ml: Array Desc Hipstr_cisc Hipstr_compiler Hipstr_isa Hipstr_machine Hipstr_psr Hipstr_risc List

@@ -1,0 +1,1 @@
+lib/migration/transform.mli: Hipstr_compiler Hipstr_machine Hipstr_psr

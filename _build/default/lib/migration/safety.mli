@@ -1,0 +1,39 @@
+(** Migration-safety analysis (Section 5.2, Figure 6).
+
+    A basic block's entry is an *equivalence point* where the
+    multi-ISA runtime can transform the program state from one ISA's
+    representation to the other's. Two policies are analyzed:
+
+    - {e baseline} (prior work, DeVuyst et al. / Venkat & Tullsen):
+      migration only at call boundaries — function entries and blocks
+      containing a call — which the paper reports as ~45% of blocks;
+    - {e on-demand}: migration at any block entry where every live-in
+      value is transformable. Our runtime transforms slot-homed values
+      and values in callee-class registers; values cached in
+      caller-class (volatile) registers by the two ISAs' independent
+      register-caching are declared non-transformable at arbitrary
+      points, mirroring the residual limitation the paper reports
+      (~78% safe). Condition-flag state is dead at every block entry
+      by IR construction, so flags never block migration.
+
+    Directionality: migrating *out of* an ISA requires that ISA's
+    homes to be stable, so each direction is judged against the source
+    ISA's allocation. *)
+
+type verdict = { v_baseline : bool; v_ondemand : bool }
+
+val block_safety :
+  Hipstr_compiler.Fatbin.func_sym -> Hipstr_isa.Desc.which -> int -> verdict
+(** Safety of migrating *from* the given ISA at this block's entry. *)
+
+type summary = {
+  s_blocks : int;
+  s_baseline_safe : int;
+  s_ondemand_safe : int;
+}
+
+val summarize : Hipstr_compiler.Fatbin.t -> from_isa:Hipstr_isa.Desc.which -> summary
+(** Aggregate over every block of every function. *)
+
+val fraction_ondemand : summary -> float
+val fraction_baseline : summary -> float

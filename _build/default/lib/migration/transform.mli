@@ -1,0 +1,78 @@
+(** PSR-aware cross-ISA program state transformation (Sections 3.2
+    and 5.2).
+
+    Migration happens at equivalence points — return events and
+    indirect-call events — where, by the compiler's caller-save
+    discipline, every live caller value sits in a frame slot. The
+    transformation walks the stack frame by frame and, for each frame:
+
+    - moves every value slot from its source-ISA (possibly
+      PSR-relocated) offset to its destination-ISA offset;
+    - moves the locals and outgoing regions as blocks;
+    - rewrites the frame's return address from a source-ISA call-site
+      address to the matching destination-ISA call-site address (the
+      fat binary's call-site table matches sites across ISAs);
+    - rewrites function-pointer-tainted slot values from source-ISA
+      entry addresses to destination-ISA entries.
+
+    Because the two ISAs share the symmetric frame layout and the same
+    randomization pad size, the stack pointer itself is valid on both
+    sides and frames are transformed in place (read-all-then-write-all
+    per frame).
+
+    When the walk meets a return address that is not a known call
+    site — the attack case — transformation stops there and the
+    migration reports the resume target as unmappable: the exploit's
+    payload has just been relocated out from under it.
+
+    The fixed VM cost of a migration is charged on the *destination*
+    core, which is what makes an ARM-to-x86 migration cheaper in wall
+    clock than x86-to-ARM (Figure 12): the same cycle count at 3.3 GHz
+    vs 2 GHz. *)
+
+type mode =
+  | Native  (** identity maps: heterogeneous-ISA migration without PSR *)
+  | Psr of {
+      map_from : Hipstr_compiler.Fatbin.func_sym -> Hipstr_psr.Reloc_map.t;
+      map_to : Hipstr_compiler.Fatbin.func_sym -> Hipstr_psr.Reloc_map.t;
+    }
+
+type result = {
+  r_frames : int;  (** frames transformed *)
+  r_words : int;  (** words moved *)
+  r_resume_src : int option;
+      (** destination-ISA source address to resume at; [None] when the
+          migration target was not legitimate (attack) *)
+  r_complete : bool;  (** false when the stack walk hit an unmappable frame *)
+  r_cycles : float;  (** cycles charged on the destination core *)
+}
+
+val fixed_cycles : float
+(** The per-migration VM constant (documented calibration: ~3M cycles,
+    i.e. ~0.9 ms onto the 3.3 GHz core and ~1.5 ms onto the 2 GHz
+    core). *)
+
+val at_return :
+  Hipstr_machine.Machine.t ->
+  Hipstr_compiler.Fatbin.t ->
+  mode ->
+  target_src:int ->
+  result
+(** Migrate at a return event whose source-ISA return target is
+    [target_src]. Transforms memory, switches the active core, and
+    charges the migration cost. The caller resumes execution at
+    [r_resume_src] (or kills the process). *)
+
+val at_call :
+  Hipstr_machine.Machine.t ->
+  Hipstr_compiler.Fatbin.t ->
+  mode ->
+  call_src:int ->
+  target_src:int ->
+  nargs:int ->
+  result
+(** Migrate at an indirect-call event at source address [call_src]
+    whose runtime target is [target_src]. Also moves the staged
+    arguments into the destination callee's randomized argument slots
+    when the target is a legitimate function entry ([r_resume_src] is
+    then the destination entry). *)

@@ -1,0 +1,46 @@
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | And | Or | Xor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor
+
+type unop = Neg | Not | Bnot
+
+type expr =
+  | Num of int
+  | Var of string
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Assign of lvalue * expr
+  | Cond of expr * expr * expr
+  | Call of string * expr list
+  | Call_ptr of expr * expr list
+  | Index of string * expr
+  | Deref of expr
+  | Addr_var of string
+  | Addr_index of string * expr
+  | Addr_fun of string
+
+and lvalue = Lvar of string | Lindex of string * expr | Lderef of expr
+
+type stmt =
+  | Decl of string * int option * expr option
+  | Expr of expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Do_while of stmt list * expr
+  | For of stmt option * expr option * expr option * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+  | Print of expr
+
+type func = { f_name : string; f_params : string list; f_body : stmt list }
+
+type global = { g_name : string; g_size : int; g_init : int list }
+
+type program = { globals : global list; funcs : func list }
+
+let func_names p = List.map (fun f -> f.f_name) p.funcs
+
+let find_func p name = List.find_opt (fun f -> f.f_name = name) p.funcs

@@ -1,0 +1,68 @@
+(** MiniC abstract syntax.
+
+    MiniC is the C subset the workloads are written in: [int] scalars,
+    fixed-size [int] arrays (local and global), pointers as integers,
+    function definitions, function pointers (address-of a function
+    plus indirect calls),
+    and the usual statements and operators. The paper compiles SPEC C
+    benchmarks with an LLVM-based multi-ISA compiler; MiniC plays the
+    role of C here, compiled by [Hipstr_compiler] to both ISAs.
+
+    There is no [alloca] and no variable-length arrays — the paper
+    excludes gcc and sjeng for using them, and the PSR implementation
+    requires fixed-size frames. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | And | Or | Xor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor  (** short-circuit *)
+
+type unop = Neg | Not | Bnot
+
+type expr =
+  | Num of int
+  | Var of string
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Assign of lvalue * expr
+  | Cond of expr * expr * expr  (** [c ? a : b] *)
+  | Call of string * expr list
+  | Call_ptr of expr * expr list  (** indirect call through [e] *)
+  | Index of string * expr  (** [a\[i\]] for array or pointer variable [a] *)
+  | Deref of expr  (** [*e] *)
+  | Addr_var of string  (** [&x] — also takes the address of an array *)
+  | Addr_index of string * expr  (** [&a\[i\]] *)
+  | Addr_fun of string  (** [&f] where [f] is a function *)
+
+and lvalue =
+  | Lvar of string
+  | Lindex of string * expr
+  | Lderef of expr
+
+type stmt =
+  | Decl of string * int option * expr option
+      (** [int x;], [int a\[n\];], [int x = e;] *)
+  | Expr of expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Do_while of stmt list * expr
+  | For of stmt option * expr option * expr option * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+  | Print of expr  (** [print(e);] — the observable output trace *)
+
+type func = { f_name : string; f_params : string list; f_body : stmt list }
+
+type global = {
+  g_name : string;
+  g_size : int;  (** in words; 1 for a scalar *)
+  g_init : int list;  (** initial words; zero-filled to [g_size] *)
+}
+
+type program = { globals : global list; funcs : func list }
+
+val func_names : program -> string list
+
+val find_func : program -> string -> func option

@@ -1,0 +1,164 @@
+type token =
+  | INT_KW | IF | ELSE | WHILE | DO | FOR | RETURN | BREAK | CONTINUE | PRINT
+  | IDENT of string
+  | NUM of int
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | SHL | SHR
+  | ASSIGN | EQ | NE | LT | LE | GT | GE
+  | ANDAND | OROR | BANG | TILDE | QUESTION | COLON
+  | EOF
+
+exception Error of string
+
+let keyword = function
+  | "int" -> Some INT_KW
+  | "if" -> Some IF
+  | "else" -> Some ELSE
+  | "while" -> Some WHILE
+  | "do" -> Some DO
+  | "for" -> Some FOR
+  | "return" -> Some RETURN
+  | "break" -> Some BREAK
+  | "continue" -> Some CONTINUE
+  | "print" -> Some PRINT
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let toks = ref [] in
+  let emit t = toks := (t, !line) :: !toks in
+  let fail msg = raise (Error (Printf.sprintf "line %d: %s" !line msg)) in
+  let rec go i =
+    if i >= n then emit EOF
+    else
+      let c = src.[i] in
+      match c with
+      | '\n' ->
+        incr line;
+        go (i + 1)
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip (i + 2))
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+        let rec skip j =
+          if j + 1 >= n then fail "unterminated comment"
+          else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+          else begin
+            if src.[j] = '\n' then incr line;
+            skip (j + 1)
+          end
+        in
+        go (skip (i + 2))
+      | '0' when i + 1 < n && (src.[i + 1] = 'x' || src.[i + 1] = 'X') ->
+        let rec scan j = if j < n && is_hex src.[j] then scan (j + 1) else j in
+        let j = scan (i + 2) in
+        if j = i + 2 then fail "bad hex literal";
+        emit (NUM (int_of_string (String.sub src i (j - i))));
+        go j
+      | c when is_digit c ->
+        let rec scan j = if j < n && is_digit src.[j] then scan (j + 1) else j in
+        let j = scan i in
+        emit (NUM (int_of_string (String.sub src i (j - i))));
+        go j
+      | c when is_ident_start c ->
+        let rec scan j = if j < n && is_ident_char src.[j] then scan (j + 1) else j in
+        let j = scan i in
+        let word = String.sub src i (j - i) in
+        emit (match keyword word with Some k -> k | None -> IDENT word);
+        go j
+      | '(' -> emit LPAREN; go (i + 1)
+      | ')' -> emit RPAREN; go (i + 1)
+      | '{' -> emit LBRACE; go (i + 1)
+      | '}' -> emit RBRACE; go (i + 1)
+      | '[' -> emit LBRACKET; go (i + 1)
+      | ']' -> emit RBRACKET; go (i + 1)
+      | ';' -> emit SEMI; go (i + 1)
+      | ',' -> emit COMMA; go (i + 1)
+      | '+' -> emit PLUS; go (i + 1)
+      | '-' -> emit MINUS; go (i + 1)
+      | '*' -> emit STAR; go (i + 1)
+      | '/' -> emit SLASH; go (i + 1)
+      | '%' -> emit PERCENT; go (i + 1)
+      | '^' -> emit CARET; go (i + 1)
+      | '~' -> emit TILDE; go (i + 1)
+      | '?' -> emit QUESTION; go (i + 1)
+      | ':' -> emit COLON; go (i + 1)
+      | '&' ->
+        if i + 1 < n && src.[i + 1] = '&' then begin emit ANDAND; go (i + 2) end
+        else begin emit AMP; go (i + 1) end
+      | '|' ->
+        if i + 1 < n && src.[i + 1] = '|' then begin emit OROR; go (i + 2) end
+        else begin emit PIPE; go (i + 1) end
+      | '<' ->
+        if i + 1 < n && src.[i + 1] = '<' then begin emit SHL; go (i + 2) end
+        else if i + 1 < n && src.[i + 1] = '=' then begin emit LE; go (i + 2) end
+        else begin emit LT; go (i + 1) end
+      | '>' ->
+        if i + 1 < n && src.[i + 1] = '>' then begin emit SHR; go (i + 2) end
+        else if i + 1 < n && src.[i + 1] = '=' then begin emit GE; go (i + 2) end
+        else begin emit GT; go (i + 1) end
+      | '=' ->
+        if i + 1 < n && src.[i + 1] = '=' then begin emit EQ; go (i + 2) end
+        else begin emit ASSIGN; go (i + 1) end
+      | '!' ->
+        if i + 1 < n && src.[i + 1] = '=' then begin emit NE; go (i + 2) end
+        else begin emit BANG; go (i + 1) end
+      | c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0;
+  List.rev !toks
+
+let describe = function
+  | INT_KW -> "'int'"
+  | IF -> "'if'"
+  | ELSE -> "'else'"
+  | WHILE -> "'while'"
+  | DO -> "'do'"
+  | FOR -> "'for'"
+  | RETURN -> "'return'"
+  | BREAK -> "'break'"
+  | CONTINUE -> "'continue'"
+  | PRINT -> "'print'"
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | NUM k -> Printf.sprintf "number %d" k
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | SEMI -> "';'"
+  | COMMA -> "','"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | AMP -> "'&'"
+  | PIPE -> "'|'"
+  | CARET -> "'^'"
+  | SHL -> "'<<'"
+  | SHR -> "'>>'"
+  | ASSIGN -> "'='"
+  | EQ -> "'=='"
+  | NE -> "'!='"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | ANDAND -> "'&&'"
+  | OROR -> "'||'"
+  | BANG -> "'!'"
+  | TILDE -> "'~'"
+  | QUESTION -> "'?'"
+  | COLON -> "':'"
+  | EOF -> "end of input"

@@ -1,0 +1,22 @@
+(** MiniC lexical analysis. *)
+
+type token =
+  | INT_KW | IF | ELSE | WHILE | DO | FOR | RETURN | BREAK | CONTINUE | PRINT
+  | IDENT of string
+  | NUM of int
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | SHL | SHR
+  | ASSIGN | EQ | NE | LT | LE | GT | GE
+  | ANDAND | OROR | BANG | TILDE | QUESTION | COLON
+  | EOF
+
+exception Error of string
+(** Carries a message with the line number. *)
+
+val tokenize : string -> (token * int) list
+(** All tokens with their line numbers, ending with [EOF].
+    Handles decimal and hex literals, [//] and [/* */] comments. *)
+
+val describe : token -> string

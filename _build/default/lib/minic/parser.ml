@@ -1,0 +1,468 @@
+open Lexer
+
+exception Error of string
+
+type state = { mutable toks : (token * int) list }
+
+let fail_at line msg = raise (Error (Printf.sprintf "line %d: %s" line msg))
+
+let peek st = match st.toks with [] -> (EOF, 0) | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok =
+  let got, line = next st in
+  if got <> tok then
+    fail_at line (Printf.sprintf "expected %s but found %s" (describe tok) (describe got))
+
+let expect_ident st =
+  match next st with
+  | IDENT s, _ -> s
+  | got, line -> fail_at line (Printf.sprintf "expected identifier, found %s" (describe got))
+
+let expect_num st =
+  match next st with
+  | NUM k, _ -> k
+  | MINUS, _ -> (
+    match next st with
+    | NUM k, _ -> -k
+    | got, line -> fail_at line (Printf.sprintf "expected number, found %s" (describe got)))
+  | got, line -> fail_at line (Printf.sprintf "expected number, found %s" (describe got))
+
+let lvalue_of_expr line = function
+  | Ast.Var x -> Ast.Lvar x
+  | Ast.Index (a, i) -> Ast.Lindex (a, i)
+  | Ast.Deref e -> Ast.Lderef e
+  | _ -> fail_at line "left side of assignment is not assignable"
+
+(* Expression parsing: precedence climbing. *)
+
+let rec parse_expression st = parse_assign st
+
+and parse_assign st =
+  let lhs = parse_ternary st in
+  match peek st with
+  | ASSIGN, line ->
+    advance st;
+    let rhs = parse_assign st in
+    Ast.Assign (lvalue_of_expr line lhs, rhs)
+  | _ -> lhs
+
+and parse_ternary st =
+  let c = parse_lor st in
+  match peek st with
+  | QUESTION, _ ->
+    advance st;
+    let a = parse_assign st in
+    expect st COLON;
+    let b = parse_ternary st in
+    Ast.Cond (c, a, b)
+  | _ -> c
+
+and parse_lor st =
+  let rec loop acc =
+    match peek st with
+    | OROR, _ ->
+      advance st;
+      loop (Ast.Bin (Ast.Lor, acc, parse_land st))
+    | _ -> acc
+  in
+  loop (parse_land st)
+
+and parse_land st =
+  let rec loop acc =
+    match peek st with
+    | ANDAND, _ ->
+      advance st;
+      loop (Ast.Bin (Ast.Land, acc, parse_bitor st))
+    | _ -> acc
+  in
+  loop (parse_bitor st)
+
+and parse_bitor st =
+  let rec loop acc =
+    match peek st with
+    | PIPE, _ ->
+      advance st;
+      loop (Ast.Bin (Ast.Or, acc, parse_bitxor st))
+    | _ -> acc
+  in
+  loop (parse_bitxor st)
+
+and parse_bitxor st =
+  let rec loop acc =
+    match peek st with
+    | CARET, _ ->
+      advance st;
+      loop (Ast.Bin (Ast.Xor, acc, parse_bitand st))
+    | _ -> acc
+  in
+  loop (parse_bitand st)
+
+and parse_bitand st =
+  let rec loop acc =
+    match peek st with
+    | AMP, _ ->
+      advance st;
+      loop (Ast.Bin (Ast.And, acc, parse_equality st))
+    | _ -> acc
+  in
+  loop (parse_equality st)
+
+and parse_equality st =
+  let rec loop acc =
+    match peek st with
+    | EQ, _ ->
+      advance st;
+      loop (Ast.Bin (Ast.Eq, acc, parse_relational st))
+    | NE, _ ->
+      advance st;
+      loop (Ast.Bin (Ast.Ne, acc, parse_relational st))
+    | _ -> acc
+  in
+  loop (parse_relational st)
+
+and parse_relational st =
+  let rec loop acc =
+    match peek st with
+    | LT, _ ->
+      advance st;
+      loop (Ast.Bin (Ast.Lt, acc, parse_shift st))
+    | LE, _ ->
+      advance st;
+      loop (Ast.Bin (Ast.Le, acc, parse_shift st))
+    | GT, _ ->
+      advance st;
+      loop (Ast.Bin (Ast.Gt, acc, parse_shift st))
+    | GE, _ ->
+      advance st;
+      loop (Ast.Bin (Ast.Ge, acc, parse_shift st))
+    | _ -> acc
+  in
+  loop (parse_shift st)
+
+and parse_shift st =
+  let rec loop acc =
+    match peek st with
+    | SHL, _ ->
+      advance st;
+      loop (Ast.Bin (Ast.Shl, acc, parse_additive st))
+    | SHR, _ ->
+      advance st;
+      loop (Ast.Bin (Ast.Shr, acc, parse_additive st))
+    | _ -> acc
+  in
+  loop (parse_additive st)
+
+and parse_additive st =
+  let rec loop acc =
+    match peek st with
+    | PLUS, _ ->
+      advance st;
+      loop (Ast.Bin (Ast.Add, acc, parse_multiplicative st))
+    | MINUS, _ ->
+      advance st;
+      loop (Ast.Bin (Ast.Sub, acc, parse_multiplicative st))
+    | _ -> acc
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop acc =
+    match peek st with
+    | STAR, _ ->
+      advance st;
+      loop (Ast.Bin (Ast.Mul, acc, parse_unary st))
+    | SLASH, _ ->
+      advance st;
+      loop (Ast.Bin (Ast.Div, acc, parse_unary st))
+    | PERCENT, _ ->
+      advance st;
+      loop (Ast.Bin (Ast.Mod, acc, parse_unary st))
+    | _ -> acc
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | MINUS, _ ->
+    advance st;
+    Ast.Un (Ast.Neg, parse_unary st)
+  | BANG, _ ->
+    advance st;
+    Ast.Un (Ast.Not, parse_unary st)
+  | TILDE, _ ->
+    advance st;
+    Ast.Un (Ast.Bnot, parse_unary st)
+  | STAR, _ ->
+    advance st;
+    Ast.Deref (parse_unary st)
+  | AMP, line -> (
+    advance st;
+    match next st with
+    | IDENT name, _ -> (
+      match peek st with
+      | LBRACKET, _ ->
+        advance st;
+        let i = parse_expression st in
+        expect st RBRACKET;
+        Ast.Addr_index (name, i)
+      | _ -> Ast.Addr_var name)
+    | got, l -> fail_at (max line l) (Printf.sprintf "expected identifier after '&', found %s" (describe got)))
+  | _ -> parse_postfix st
+
+and parse_args st =
+  expect st LPAREN;
+  match peek st with
+  | RPAREN, _ ->
+    advance st;
+    []
+  | _ ->
+    let rec loop acc =
+      let e = parse_assign st in
+      match next st with
+      | COMMA, _ -> loop (e :: acc)
+      | RPAREN, _ -> List.rev (e :: acc)
+      | got, line -> fail_at line (Printf.sprintf "expected ',' or ')', found %s" (describe got))
+    in
+    loop []
+
+and parse_postfix st =
+  let base = parse_primary st in
+  match (base, peek st) with
+  | Ast.Deref f, (LPAREN, _) -> Ast.Call_ptr (f, parse_args st)
+  | _ -> base
+
+and parse_primary st =
+  match next st with
+  | NUM k, _ -> Ast.Num k
+  | IDENT name, _ -> (
+    match peek st with
+    | LPAREN, _ -> Ast.Call (name, parse_args st)
+    | LBRACKET, _ ->
+      advance st;
+      let i = parse_expression st in
+      expect st RBRACKET;
+      Ast.Index (name, i)
+    | _ -> Ast.Var name)
+  | LPAREN, _ ->
+    let e = parse_expression st in
+    expect st RPAREN;
+    e
+  | got, line -> fail_at line (Printf.sprintf "expected expression, found %s" (describe got))
+
+(* Statements. *)
+
+let rec parse_stmt st =
+  match peek st with
+  | INT_KW, _ ->
+    advance st;
+    let name = expect_ident st in
+    let size =
+      match peek st with
+      | LBRACKET, _ ->
+        advance st;
+        let n = expect_num st in
+        expect st RBRACKET;
+        Some n
+      | _ -> None
+    in
+    let init =
+      match peek st with
+      | ASSIGN, line ->
+        advance st;
+        if size <> None then fail_at line "local arrays cannot have initializers";
+        Some (parse_expression st)
+      | _ -> None
+    in
+    expect st SEMI;
+    Ast.Decl (name, size, init)
+  | IF, _ ->
+    advance st;
+    expect st LPAREN;
+    let c = parse_expression st in
+    expect st RPAREN;
+    let then_branch = parse_block_or_stmt st in
+    let else_branch =
+      match peek st with
+      | ELSE, _ ->
+        advance st;
+        parse_block_or_stmt st
+      | _ -> []
+    in
+    Ast.If (c, then_branch, else_branch)
+  | WHILE, _ ->
+    advance st;
+    expect st LPAREN;
+    let c = parse_expression st in
+    expect st RPAREN;
+    Ast.While (c, parse_block_or_stmt st)
+  | DO, _ ->
+    advance st;
+    let body = parse_block_or_stmt st in
+    expect st WHILE;
+    expect st LPAREN;
+    let c = parse_expression st in
+    expect st RPAREN;
+    expect st SEMI;
+    Ast.Do_while (body, c)
+  | FOR, _ ->
+    advance st;
+    expect st LPAREN;
+    let init =
+      match peek st with
+      | SEMI, _ ->
+        advance st;
+        None
+      | INT_KW, _ -> Some (parse_stmt st) (* Decl consumes its ';' *)
+      | _ ->
+        let e = parse_expression st in
+        expect st SEMI;
+        Some (Ast.Expr e)
+    in
+    let cond =
+      match peek st with
+      | SEMI, _ -> None
+      | _ -> Some (parse_expression st)
+    in
+    expect st SEMI;
+    let step =
+      match peek st with
+      | RPAREN, _ -> None
+      | _ -> Some (parse_expression st)
+    in
+    expect st RPAREN;
+    Ast.For (init, cond, step, parse_block_or_stmt st)
+  | RETURN, _ ->
+    advance st;
+    let v =
+      match peek st with
+      | SEMI, _ -> None
+      | _ -> Some (parse_expression st)
+    in
+    expect st SEMI;
+    Ast.Return v
+  | BREAK, _ ->
+    advance st;
+    expect st SEMI;
+    Ast.Break
+  | CONTINUE, _ ->
+    advance st;
+    expect st SEMI;
+    Ast.Continue
+  | PRINT, _ ->
+    advance st;
+    expect st LPAREN;
+    let e = parse_expression st in
+    expect st RPAREN;
+    expect st SEMI;
+    Ast.Print e
+  | _ ->
+    let e = parse_expression st in
+    expect st SEMI;
+    Ast.Expr e
+
+and parse_block st =
+  expect st LBRACE;
+  let rec loop acc =
+    match peek st with
+    | RBRACE, _ ->
+      advance st;
+      List.rev acc
+    | EOF, line -> fail_at line "unterminated block"
+    | _ -> loop (parse_stmt st :: acc)
+  in
+  loop []
+
+and parse_block_or_stmt st =
+  match peek st with
+  | LBRACE, _ -> parse_block st
+  | _ -> [ parse_stmt st ]
+
+(* Top level. *)
+
+let parse_global_init st =
+  match peek st with
+  | LBRACE, _ ->
+    advance st;
+    let rec loop acc =
+      let k = expect_num st in
+      match next st with
+      | COMMA, _ -> loop (k :: acc)
+      | RBRACE, _ -> List.rev (k :: acc)
+      | got, line -> fail_at line (Printf.sprintf "expected ',' or '}', found %s" (describe got))
+    in
+    loop []
+  | _ -> [ expect_num st ]
+
+let parse_toplevel st =
+  expect st INT_KW;
+  let name = expect_ident st in
+  match peek st with
+  | LPAREN, _ ->
+    advance st;
+    let params =
+      match peek st with
+      | RPAREN, _ ->
+        advance st;
+        []
+      | _ ->
+        let rec loop acc =
+          expect st INT_KW;
+          let p = expect_ident st in
+          match next st with
+          | COMMA, _ -> loop (p :: acc)
+          | RPAREN, _ -> List.rev (p :: acc)
+          | got, line -> fail_at line (Printf.sprintf "expected ',' or ')', found %s" (describe got))
+        in
+        loop []
+    in
+    let body = parse_block st in
+    `Func { Ast.f_name = name; f_params = params; f_body = body }
+  | LBRACKET, _ ->
+    advance st;
+    let size = expect_num st in
+    expect st RBRACKET;
+    let init =
+      match peek st with
+      | ASSIGN, _ ->
+        advance st;
+        parse_global_init st
+      | _ -> []
+    in
+    expect st SEMI;
+    `Global { Ast.g_name = name; g_size = size; g_init = init }
+  | ASSIGN, _ ->
+    advance st;
+    let init = parse_global_init st in
+    expect st SEMI;
+    `Global { Ast.g_name = name; g_size = 1; g_init = init }
+  | SEMI, _ ->
+    advance st;
+    `Global { Ast.g_name = name; g_size = 1; g_init = [] }
+  | got, line -> fail_at line (Printf.sprintf "unexpected %s at top level" (describe got))
+
+let parse src =
+  let st = { toks = (try Lexer.tokenize src with Lexer.Error m -> raise (Error m)) } in
+  let rec loop globals funcs =
+    match peek st with
+    | EOF, _ -> { Ast.globals = List.rev globals; funcs = List.rev funcs }
+    | _ -> (
+      match parse_toplevel st with
+      | `Func f -> loop globals (f :: funcs)
+      | `Global g -> loop (g :: globals) funcs)
+  in
+  loop [] []
+
+let parse_expr src =
+  let st = { toks = (try Lexer.tokenize src with Lexer.Error m -> raise (Error m)) } in
+  let e = parse_expression st in
+  (match peek st with
+  | EOF, _ -> ()
+  | got, line -> fail_at line (Printf.sprintf "trailing %s after expression" (describe got)));
+  e

@@ -1,0 +1,12 @@
+(** MiniC recursive-descent parser.
+
+    Produces an {!Ast.program}; all syntax errors raise {!Error} with
+    a line number. Operator precedence follows C. *)
+
+exception Error of string
+
+val parse : string -> Ast.program
+(** Parse a complete translation unit. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (used by tests). *)

@@ -1,0 +1,1 @@
+lib/psr/code_cache.mli:

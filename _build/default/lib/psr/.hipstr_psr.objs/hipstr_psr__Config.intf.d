@@ -1,0 +1,1 @@
+lib/psr/config.mli:

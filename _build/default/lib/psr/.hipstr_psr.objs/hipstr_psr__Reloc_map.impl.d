@@ -1,0 +1,1 @@
+lib/psr/reloc_map.ml: Array Config Desc Hashtbl Hipstr_compiler Hipstr_isa Hipstr_util List

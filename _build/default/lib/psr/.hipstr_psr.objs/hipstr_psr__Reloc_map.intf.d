@@ -1,0 +1,1 @@
+lib/psr/reloc_map.mli: Config Hipstr_compiler Hipstr_isa Hipstr_util

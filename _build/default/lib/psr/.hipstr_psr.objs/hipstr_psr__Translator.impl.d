@@ -1,0 +1,1 @@
+lib/psr/translator.ml: Array Buffer Config Desc Hashtbl Hipstr_cisc Hipstr_compiler Hipstr_isa Hipstr_risc List Minstr Reloc_map String

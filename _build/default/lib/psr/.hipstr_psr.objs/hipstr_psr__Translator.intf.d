@@ -1,0 +1,1 @@
+lib/psr/translator.mli: Config Hipstr_compiler Hipstr_isa Reloc_map

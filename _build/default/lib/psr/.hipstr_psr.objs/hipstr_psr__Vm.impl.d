@@ -1,0 +1,1 @@
+lib/psr/vm.ml: Array Code_cache Config Desc Hashtbl Hipstr_cisc Hipstr_compiler Hipstr_isa Hipstr_machine Hipstr_risc Hipstr_util List Minstr Printf Reloc_map Translator

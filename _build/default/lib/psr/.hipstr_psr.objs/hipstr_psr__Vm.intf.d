@@ -1,0 +1,1 @@
+lib/psr/vm.mli: Code_cache Config Hipstr_compiler Hipstr_isa Hipstr_machine Reloc_map

@@ -1,0 +1,47 @@
+type block = {
+  cb_src : int;
+  cb_cache : int;
+  cb_size : int;
+  cb_func : string;
+  cb_src_spans : (int * int) list;
+}
+
+type t = {
+  cc_base : int;
+  cc_capacity : int;
+  mutable cursor : int;
+  by_src : (int, int) Hashtbl.t;
+  mutable block_list : block list;
+  mutable nflushes : int;
+}
+
+let create ~base ~capacity =
+  { cc_base = base; cc_capacity = capacity; cursor = base; by_src = Hashtbl.create 256; block_list = []; nflushes = 0 }
+
+let lookup t src = Hashtbl.find_opt t.by_src src
+
+let align_up a n = (n + a - 1) / a * a
+
+let has_room t size = t.cursor + size + 64 <= t.cc_base + t.cc_capacity
+
+let alloc t ?(align = 1) ~src ~func ~size ~src_spans () =
+  let start = align_up align t.cursor in
+  if start + size > t.cc_base + t.cc_capacity then invalid_arg "code_cache: full";
+  t.cursor <- start + size;
+  Hashtbl.replace t.by_src src start;
+  t.block_list <-
+    { cb_src = src; cb_cache = start; cb_size = size; cb_func = func; cb_src_spans = src_spans }
+    :: t.block_list;
+  start
+
+let flush t =
+  t.cursor <- t.cc_base;
+  Hashtbl.reset t.by_src;
+  t.block_list <- [];
+  t.nflushes <- t.nflushes + 1
+
+let blocks t = t.block_list
+let used_bytes t = t.cursor - t.cc_base
+let capacity t = t.cc_capacity
+let flushes t = t.nflushes
+let base t = t.cc_base

@@ -1,0 +1,41 @@
+(** The PSR virtual machine's code cache.
+
+    A bump allocator over the ISA's cache region in simulated memory.
+    Translated units are looked up by *source* address. When the
+    configured capacity is exhausted the whole cache is flushed (the
+    classic DBT strategy), which is what makes small caches produce
+    repeated translation and migration events (Figure 13). *)
+
+type block = {
+  cb_src : int;  (** source address this unit translates *)
+  cb_cache : int;
+  cb_size : int;
+  cb_func : string;
+  cb_src_spans : (int * int) list;
+      (** source (addr, len) ranges covered, including superblock
+          inlining — the JIT-ROP analysis walks these *)
+}
+
+type t
+
+val create : base:int -> capacity:int -> t
+
+val lookup : t -> int -> int option
+(** Translated cache address for a source unit start. *)
+
+val has_room : t -> int -> bool
+
+val alloc :
+  t -> ?align:int -> src:int -> func:string -> size:int -> src_spans:(int * int) list -> unit -> int
+(** Reserve [size] bytes; returns the cache address.
+    @raise Invalid_argument if it does not fit (check {!has_room}). *)
+
+val flush : t -> unit
+(** Drop all translations. Counts a flush; the VM must also clear its
+    RAT and stub tables and re-randomize. *)
+
+val blocks : t -> block list
+val used_bytes : t -> int
+val capacity : t -> int
+val flushes : t -> int
+val base : t -> int

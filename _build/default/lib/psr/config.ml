@@ -1,0 +1,30 @@
+type t = {
+  opt_level : int;
+  pad_bytes : int;
+  rat_capacity : int;
+  cache_bytes : int;
+  migrate_prob : float;
+  seed : int;
+  superblock_budget : int;
+}
+
+let default =
+  {
+    opt_level = 3;
+    pad_bytes = 8192;
+    rat_capacity = 512;
+    cache_bytes = 2 * 1024 * 1024;
+    migrate_prob = 0.5;
+    seed = 0x5EED;
+    superblock_budget = 24;
+  }
+
+let validate t =
+  if t.opt_level < 0 || t.opt_level > 3 then Error "opt_level must be 0..3"
+  else if t.pad_bytes < 256 || t.pad_bytes > 1024 * 1024 then Error "pad_bytes out of range"
+  else if t.pad_bytes land 3 <> 0 then Error "pad_bytes must be word-aligned"
+  else if t.rat_capacity < 1 then Error "rat_capacity must be positive"
+  else if t.cache_bytes < 4096 then Error "cache_bytes too small"
+  else if t.migrate_prob < 0. || t.migrate_prob > 1. then Error "migrate_prob must be in [0,1]"
+  else if t.superblock_budget < 1 then Error "superblock_budget must be positive"
+  else Ok ()

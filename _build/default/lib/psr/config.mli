@@ -1,0 +1,32 @@
+(** PSR virtual-machine configuration.
+
+    The optimization levels follow Table 3 of the paper:
+
+    - O0: no optimization;
+    - O1: machine block placement, branch inlining and superblock
+      formation;
+    - O2: O1 plus the 3-entry global register cache (the hottest
+      relocated registers stay in registers);
+    - O3: O2 plus PSR with a register bias (at least three registers
+      are always relocated to other registers). *)
+
+type t = {
+  opt_level : int;  (** 0..3 *)
+  pad_bytes : int;
+      (** per-frame randomization space; 8 KB default = 13 bits of
+          entropy per relocated parameter (Section 5.1 allows 2-16
+          pages) *)
+  rat_capacity : int;  (** hardware Return Address Table entries *)
+  cache_bytes : int;  (** effective code-cache capacity per ISA *)
+  migrate_prob : float;
+      (** probability of switching ISAs on a suspicious code-cache
+          miss (an indirect control transfer with no translation) *)
+  seed : int;  (** randomization seed; re-seeded on re-spawn *)
+  superblock_budget : int;  (** max instructions inlined across direct jumps at O1+ *)
+}
+
+val default : t
+(** O3, 8 KB pad, 512-entry RAT, 2 MB cache, migration probability
+    0.5. *)
+
+val validate : t -> (unit, string) result

@@ -1,0 +1,72 @@
+(** The PSR basic-block translator.
+
+    Translates one unit — a straight-line run of source instructions
+    ending at a control transfer — into relocated code for the code
+    cache, applying the function's relocation map to every operand
+    (Section 5.1):
+
+    - {e addressing-mode transformation}: register operands move to
+      their relocated registers or pad slots; sp-relative operands go
+      through the slot coloring; when the result is not encodable in
+      the ISA, the translator emulates it with scratch-register
+      sequences that spill through a translator-private pad slot;
+    - {e procedure-call transformation}: argument stores are
+      redirected to the callee's randomized argument slots, calls
+      become RAT-maintaining [Callrat] macro-ops, and return addresses
+      are relocated by prologue/epilogue rewriting so that even a bare
+      [ret] gadget faces pad-sized entropy;
+    - {e indirect control transfers} always exit to the VM ([Trap]),
+      which is both a DBT necessity and the paper's attack-detection
+      point;
+    - at O1+ the translator forms superblocks by inlining direct
+      jumps and conditional fall-throughs, and the VM aligns units to
+      I-cache lines (machine block placement).
+
+    Any unit exit is emitted as a patchable [Trap] of fixed jump size
+    so the VM can chain units in place once targets are translated.
+
+    Unit entries need not be intended instruction boundaries: a
+    translated gadget gets the same treatment, with unknown operands
+    relocated through the map's keyed hash — precisely why a gadget
+    "fails to work as intended" under PSR. *)
+
+exception Wild of int
+(** The address to translate lies in no known function's code. *)
+
+type exit_stub = { es_off : int;  (** unit-relative offset of the Trap *) es_target_src : int }
+
+type icall_site = {
+  is_off : int;  (** unit-relative offset of the Trap *)
+  is_src : int;  (** source address of the indirect transfer *)
+  is_src_ret : int;  (** source return address (0 for indirect jumps) *)
+  is_nargs : int;
+  is_call : bool;
+}
+
+type unit_code = {
+  u_src : int;
+  u_bytes : string;
+  u_size : int;
+  u_stubs : exit_stub list;
+  u_icalls : icall_site list;
+  u_src_spans : (int * int) list;
+  u_instrs : int;  (** source instructions consumed *)
+  u_emitted : int;  (** instructions emitted *)
+}
+
+val translate :
+  Config.t ->
+  Hipstr_isa.Desc.t ->
+  read:(int -> int) ->
+  fatbin:Hipstr_compiler.Fatbin.t ->
+  map_of:(Hipstr_compiler.Fatbin.func_sym -> Reloc_map.t) ->
+  src:int ->
+  base:int ->
+  unit_code
+(** Translate the unit starting at source address [src] for placement
+    at cache address [base].
+    @raise Wild if [src] is not inside any function of the binary. *)
+
+val jmp_same_size : Hipstr_isa.Desc.t -> bool
+(** Sanity invariant the VM's patching relies on: an encoded [Jmp]
+    occupies exactly as many bytes as an encoded [Trap]. *)

@@ -1,0 +1,395 @@
+open Hipstr_isa
+module Fatbin = Hipstr_compiler.Fatbin
+module Machine = Hipstr_machine.Machine
+module Mem = Hipstr_machine.Mem
+module Exec = Hipstr_machine.Exec
+module Rat = Hipstr_machine.Rat
+module Layout = Hipstr_machine.Layout
+module Rng = Hipstr_util.Rng
+
+(* VM service costs, in cycles, charged to the executing core. *)
+let trap_overhead = 150.
+let translate_per_instr = 25.
+let patch_cost = 15.
+let icall_cost = 100.
+let flush_cost = 10_000.
+
+type stats = {
+  mutable translations : int;
+  mutable source_instrs : int;
+  mutable emitted_instrs : int;
+  mutable traps : int;
+  mutable patches : int;
+  mutable rat_miss_translated : int;
+  mutable icalls : int;
+  mutable suspicious : int;
+  mutable compulsory_misses : int;
+  mutable capacity_misses : int;
+}
+
+type stub_info = Sexit of int | Sicall of Translator.icall_site
+
+type t = {
+  cfg : Config.t;
+  which : Desc.which;
+  desc : Desc.t;
+  fatbin : Fatbin.t;
+  machine : Machine.t;
+  cache : Code_cache.t;
+  maps : (string, Reloc_map.t) Hashtbl.t;
+  hot : (string, int list) Hashtbl.t;
+  stub_at : (int, stub_info) Hashtbl.t;
+  rng : Rng.t;
+  st : stats;
+  mutable ever_translated : (int, unit) Hashtbl.t;
+  mutable new_units : int list;
+}
+
+type resolution = Continue | Exit of int | Fault of string
+
+type suspicious_kind =
+  | Kreturn
+  | Kicall of { call_src : int; src_ret : int; nargs : int; is_call : bool }
+
+type event =
+  | Benign of resolution
+  | Suspicious of { target_src : int; kind : suspicious_kind; resolve : unit -> resolution }
+
+let create cfg ~seed which fatbin machine =
+  let desc = match which with Desc.Cisc -> Hipstr_cisc.Isa.desc | Risc -> Hipstr_risc.Isa.desc in
+  assert (Translator.jmp_same_size desc);
+  {
+    cfg;
+    which;
+    desc;
+    fatbin;
+    machine;
+    cache = Code_cache.create ~base:(Layout.cache_base which) ~capacity:cfg.cache_bytes;
+    maps = Hashtbl.create 64;
+    hot = Hashtbl.create 64;
+    stub_at = Hashtbl.create 256;
+    rng = Rng.create (seed lxor (match which with Desc.Cisc -> 0x11111 | Risc -> 0x22222));
+    st =
+      {
+        translations = 0;
+        source_instrs = 0;
+        emitted_instrs = 0;
+        traps = 0;
+        patches = 0;
+        rat_miss_translated = 0;
+        icalls = 0;
+        suspicious = 0;
+        compulsory_misses = 0;
+        capacity_misses = 0;
+      };
+    ever_translated = Hashtbl.create 256;
+    new_units = [];
+  }
+
+let cache t = t.cache
+let stats t = t.st
+let config t = t.cfg
+
+let env t = Machine.env_of t.machine t.which
+let mem t = Machine.mem t.machine
+let cpu t = Machine.cpu t.machine
+
+let charge t c =
+  let e = env t in
+  e.Exec.cpu.perf.cycles <- e.Exec.cpu.perf.cycles +. c
+
+let rat t =
+  match (env t).Exec.rat with
+  | Some r -> r
+  | None -> failwith "psr: machine must be created with a RAT"
+
+(* Most-used allocatable registers in the function's source code. *)
+let hot_regs t (fs : Fatbin.func_sym) =
+  match Hashtbl.find_opt t.hot fs.fs_name with
+  | Some l -> l
+  | None ->
+    let im = Fatbin.image fs t.which in
+    let counts = Array.make 16 0 in
+    let read a = try Mem.read8 (mem t) a with Mem.Fault _ -> -1 in
+    let decode addr =
+      match t.which with
+      | Desc.Cisc -> Hipstr_cisc.Isa.decode ~read addr
+      | Desc.Risc -> Hipstr_risc.Isa.decode ~read addr
+    in
+    let pos = ref im.im_entry in
+    let stop = im.im_entry + im.im_size in
+    let continue_ = ref true in
+    while !continue_ && !pos < stop do
+      match decode !pos with
+      | None -> continue_ := false
+      | Some (i, len) ->
+        let bump r = if r >= 0 && r < 16 then counts.(r) <- counts.(r) + 1 in
+        List.iter
+          (fun (op : Minstr.operand) ->
+            match op with
+            | Reg r -> bump r
+            | Mem { base; _ } -> bump base
+            | Imm _ -> ())
+          (Minstr.operands i);
+        pos := !pos + len
+    done;
+    let ranked =
+      List.sort
+        (fun a b -> compare counts.(b) counts.(a))
+        (List.filter (fun r -> counts.(r) > 0) t.desc.allocatable)
+    in
+    Hashtbl.replace t.hot fs.fs_name ranked;
+    ranked
+
+let map_of t (fs : Fatbin.func_sym) =
+  match Hashtbl.find_opt t.maps fs.fs_name with
+  | Some m -> m
+  | None ->
+    let m = Reloc_map.generate t.cfg t.rng t.desc fs ~hot_regs:(hot_regs t fs) in
+    Hashtbl.replace t.maps fs.fs_name m;
+    m
+
+let flush t =
+  Code_cache.flush t.cache;
+  Hashtbl.reset t.stub_at;
+  Hashtbl.reset t.ever_translated;
+  Rat.clear (rat t);
+  (* Relocation maps survive: live stack frames hold state at
+     map-specified offsets. *)
+  charge t flush_cost
+
+(* Maximum unit footprint; flushing below this headroom keeps
+   translation single-pass. *)
+let unit_headroom = 4096
+
+exception Wild_target = Translator.Wild
+
+let translate_unit t src =
+  match Code_cache.lookup t.cache src with
+  | Some cache_addr -> cache_addr
+  | None ->
+    if not (Code_cache.has_room t.cache unit_headroom) then flush t;
+    if Hashtbl.mem t.ever_translated src then t.st.capacity_misses <- t.st.capacity_misses + 1
+    else t.st.compulsory_misses <- t.st.compulsory_misses + 1;
+    Hashtbl.replace t.ever_translated src ();
+    let align = if t.cfg.opt_level >= 1 then 64 else 1 in
+    let read a = try Mem.read8 (mem t) a with Mem.Fault _ -> -1 in
+    (* Tentative base must match what alloc will return. *)
+    let base =
+      let cur = Code_cache.base t.cache + Code_cache.used_bytes t.cache in
+      (cur + align - 1) / align * align
+    in
+    let unit =
+      Translator.translate t.cfg t.desc ~read ~fatbin:t.fatbin
+        ~map_of:(fun fs -> map_of t fs)
+        ~src ~base
+    in
+    let fs =
+      match Fatbin.func_at t.fatbin t.which src with Some fs -> fs | None -> assert false
+    in
+    let placed =
+      Code_cache.alloc t.cache ~align ~src ~func:fs.fs_name ~size:unit.u_size
+        ~src_spans:unit.u_src_spans ()
+    in
+    assert (placed = base);
+    Mem.blit_string (mem t) base unit.u_bytes;
+    List.iter
+      (fun (s : Translator.exit_stub) ->
+        Hashtbl.replace t.stub_at (base + s.es_off) (Sexit s.es_target_src))
+      unit.u_stubs;
+    List.iter
+      (fun (ic : Translator.icall_site) ->
+        Hashtbl.replace t.stub_at (base + ic.is_off) (Sicall ic))
+      unit.u_icalls;
+    t.st.translations <- t.st.translations + 1;
+    t.new_units <- src :: t.new_units;
+    t.st.source_instrs <- t.st.source_instrs + unit.u_instrs;
+    t.st.emitted_instrs <- t.st.emitted_instrs + unit.u_emitted;
+    charge t (translate_per_instr *. float_of_int unit.u_instrs);
+    base
+
+let enter t src = (cpu t).pc <- translate_unit t src
+
+let encode_at t ~at ins =
+  match t.which with
+  | Desc.Cisc -> Hipstr_cisc.Isa.encode ~at ins
+  | Desc.Risc -> Hipstr_risc.Isa.encode ~at ins
+
+let patch_stub t ~stub_pc ~target_cache =
+  let bytes = encode_at t ~at:stub_pc (Minstr.Jmp target_cache) in
+  Mem.blit_string (mem t) stub_pc bytes;
+  Hashtbl.remove t.stub_at stub_pc;
+  t.st.patches <- t.st.patches + 1;
+  charge t patch_cost
+
+let has_translation t src = Code_cache.lookup t.cache src <> None
+
+let translated_call_targets t =
+  Hashtbl.fold
+    (fun _pc info acc -> match info with Sexit s -> s :: acc | Sicall _ -> acc)
+    t.stub_at
+    (List.map (fun (b : Code_cache.block) -> b.cb_src) (Code_cache.blocks t.cache))
+
+(* Indirect-call/jump handling: validate the runtime target, apply the
+   callee's randomized calling convention, maintain the RAT. *)
+let resolve_icall t (ic : Translator.icall_site) () =
+  let m = mem t in
+  let c = cpu t in
+  let sp = c.regs.(t.desc.sp) in
+  t.st.icalls <- t.st.icalls + 1;
+  charge t icall_cost;
+  let caller_fs =
+    match Fatbin.func_at t.fatbin t.which ic.is_src with Some fs -> fs | None -> assert false
+  in
+  let caller_map = map_of t caller_fs in
+  let target = Mem.read32 m (sp + Reloc_map.vm_temp_off caller_map + 16) in
+  if Layout.in_cache_region target then Fault "indirect transfer into code cache (SFI)"
+  else
+    match Fatbin.func_at t.fatbin t.which target with
+    | None -> Fault (Printf.sprintf "indirect transfer to wild address 0x%x" target)
+    | Some callee_fs ->
+      let callee_entry = (Fatbin.image callee_fs t.which).im_entry in
+      if ic.is_call && target = callee_entry then begin
+        (* legitimate-shaped call: move staged arguments from the
+           caller's relocated outgoing slots into the callee's
+           randomized argument slots *)
+        let callee_map = map_of t callee_fs in
+        let fpad = Reloc_map.padded_frame callee_map in
+        for j = 0 to ic.is_nargs - 1 do
+          let v = Mem.read32 m (sp + Reloc_map.map_slot caller_map (4 * j)) in
+          Mem.write32 m (sp - fpad + Reloc_map.arg_off callee_map j) v
+        done;
+        (* call side effect with the *source* return address *)
+        (if t.desc.call_pushes_ret then begin
+           c.regs.(t.desc.sp) <- sp - 4;
+           Mem.write32 m c.regs.(t.desc.sp) ic.is_src_ret
+         end
+         else
+           match t.desc.lr with
+           | Some lr -> c.regs.(lr) <- ic.is_src_ret
+           | None -> assert false);
+        (* continuation for the eventual return *)
+        let cont = translate_unit t ic.is_src_ret in
+        Rat.insert (rat t) ~src:ic.is_src_ret ~translated:cont;
+        c.pc <- translate_unit t target;
+        Continue
+      end
+      else begin
+        (* mid-function target: translate it as a unit (a gadget gets
+           relocated like everything else); call side effect still
+           happens for a Callr *)
+        (if ic.is_call then
+           if t.desc.call_pushes_ret then begin
+             c.regs.(t.desc.sp) <- sp - 4;
+             Mem.write32 m c.regs.(t.desc.sp) ic.is_src_ret
+           end
+           else
+             match t.desc.lr with
+             | Some lr -> c.regs.(lr) <- ic.is_src_ret
+             | None -> ());
+        match translate_unit t target with
+        | cache_addr ->
+          c.pc <- cache_addr;
+          Continue
+        | exception Wild_target a -> Fault (Printf.sprintf "wild gadget target 0x%x" a)
+      end
+
+let resolve_return t src () =
+  match Code_cache.lookup t.cache src with
+  | Some cache_addr ->
+    Rat.insert (rat t) ~src ~translated:cache_addr;
+    (cpu t).pc <- cache_addr;
+    Continue
+  | None -> (
+    t.st.rat_miss_translated <- t.st.rat_miss_translated + 1;
+    match translate_unit t src with
+    | cache_addr ->
+      Rat.insert (rat t) ~src ~translated:cache_addr;
+      (cpu t).pc <- cache_addr;
+      Continue
+    | exception Wild_target a -> Fault (Printf.sprintf "return to wild address 0x%x" a))
+
+let on_trap t (trap : Exec.trap) =
+  t.st.traps <- t.st.traps + 1;
+  charge t trap_overhead;
+  match trap with
+  | Exec.Exit code -> Benign (Exit code)
+  | Exec.Shell -> Benign (Fault "shell")
+  | Exec.Fault f -> Benign (Fault (Exec.string_of_trap (Exec.Fault f)))
+  | Exec.Trap_stub _ -> (
+    let pc = (cpu t).pc in
+    match Hashtbl.find_opt t.stub_at pc with
+    | Some (Sexit target_src) -> (
+      (* direct control flow: never suspicious *)
+      match translate_unit t target_src with
+      | cache_addr ->
+        (* the translation may have flushed the cache, erasing the
+           stub's own unit; patching then would corrupt whatever now
+           occupies those bytes *)
+        if Hashtbl.mem t.stub_at pc then patch_stub t ~stub_pc:pc ~target_cache:cache_addr;
+        (cpu t).pc <- cache_addr;
+        Benign Continue
+      | exception Wild_target a ->
+        Benign (Fault (Printf.sprintf "direct jump to wild address 0x%x" a)))
+    | Some (Sicall ic) ->
+      (* suspicious iff the runtime target misses the code cache *)
+      let m = mem t in
+      let caller_fs =
+        match Fatbin.func_at t.fatbin t.which ic.is_src with
+        | Some fs -> fs
+        | None -> assert false
+      in
+      let caller_map = map_of t caller_fs in
+      let sp = (cpu t).regs.(t.desc.sp) in
+      let target =
+        try Mem.read32 m (sp + Reloc_map.vm_temp_off caller_map + 16) with Mem.Fault _ -> -1
+      in
+      if has_translation t target then Benign (resolve_icall t ic ())
+      else begin
+        t.st.suspicious <- t.st.suspicious + 1;
+        Suspicious
+          {
+            target_src = target;
+            kind =
+              Kicall
+                { call_src = ic.is_src; src_ret = ic.is_src_ret; nargs = ic.is_nargs; is_call = ic.is_call };
+            resolve = resolve_icall t ic;
+          }
+      end
+    | None ->
+      (* executing data in the cache region (stale or sprayed):
+         treated as a fault *)
+      Benign (Fault (Printf.sprintf "unregistered trap at 0x%x" pc)))
+  | Exec.Rat_miss src ->
+    if src = Layout.exit_sentinel then Benign (Exit (cpu t).regs.(t.desc.ret_reg))
+    else if has_translation t src then Benign (resolve_return t src ())
+    else begin
+      t.st.suspicious <- t.st.suspicious + 1;
+      Suspicious { target_src = src; kind = Kreturn; resolve = resolve_return t src }
+    end
+
+let pretranslate t src =
+  let before = (cpu t).perf.cycles in
+  let ok = match translate_unit t src with _ -> true | exception Wild_target _ -> false in
+  (cpu t).perf.cycles <- before;
+  ok
+
+let complete_call t ~callee_src ~src_ret =
+  let c = cpu t in
+  let m = mem t in
+  (if t.desc.call_pushes_ret then begin
+     c.regs.(t.desc.sp) <- c.regs.(t.desc.sp) - 4;
+     Mem.write32 m c.regs.(t.desc.sp) src_ret
+   end
+   else
+     match t.desc.lr with
+     | Some lr -> c.regs.(lr) <- src_ret
+     | None -> assert false);
+  let cont = translate_unit t src_ret in
+  Rat.insert (rat t) ~src:src_ret ~translated:cont;
+  c.pc <- translate_unit t callee_src
+
+let drain_new_units t =
+  let units = List.rev t.new_units in
+  t.new_units <- [];
+  units

@@ -1,0 +1,106 @@
+(** One core's PSR virtual machine.
+
+    Owns the code cache, the per-function relocation maps, and the
+    exit-stub table for its ISA, and services the machine's traps:
+
+    - [Trap_stub] at an exit stub: translate the target unit (direct
+      control flow — never suspicious), patch the stub into a direct
+      jump (unit chaining), continue;
+    - [Trap_stub] at an indirect-transfer site: validate the runtime
+      target, apply the callee's randomized calling convention to the
+      staged arguments, maintain the RAT, continue — and report the
+      event as *suspicious* iff the target had no translation (the
+      paper's code-cache-miss criterion);
+    - [Rat_miss]: resolve a source return address; suspicious iff
+      untranslated.
+
+    Suspicious events are returned to the caller *before* being
+    resolved so the HIPStR layer can decide to migrate instead.
+
+    The cache flushes wholesale when full; relocation maps survive a
+    flush (live frames hold state at map-specified offsets), and
+    re-randomization happens on process re-spawn by rebuilding the VM
+    with a fresh seed — exactly the paper's crash/reboot story. *)
+
+type t
+
+type stats = {
+  mutable translations : int;
+  mutable source_instrs : int;
+  mutable emitted_instrs : int;
+  mutable traps : int;
+  mutable patches : int;
+  mutable rat_miss_translated : int;
+  mutable icalls : int;
+  mutable suspicious : int;
+  mutable compulsory_misses : int;
+  mutable capacity_misses : int;
+}
+
+type resolution =
+  | Continue  (** pc updated; resume execution *)
+  | Exit of int  (** the program returned from [main] *)
+  | Fault of string  (** attack/wild control flow killed the process *)
+
+type suspicious_kind =
+  | Kreturn  (** a return whose source target has no translation *)
+  | Kicall of { call_src : int; src_ret : int; nargs : int; is_call : bool }
+
+type event =
+  | Benign of resolution
+  | Suspicious of { target_src : int; kind : suspicious_kind; resolve : unit -> resolution }
+      (** an indirect control transfer missed the code cache; the
+          caller chooses: call [resolve] to continue on this ISA, or
+          migrate instead *)
+
+val create :
+  Config.t ->
+  seed:int ->
+  Hipstr_isa.Desc.which ->
+  Hipstr_compiler.Fatbin.t ->
+  Hipstr_machine.Machine.t ->
+  t
+
+val enter : t -> int -> unit
+(** Begin executing at a source address: translate its unit and point
+    the machine's pc at the translation. *)
+
+val on_trap : t -> Hipstr_machine.Exec.trap -> event
+(** Handle a machine stop. [Exit]/[Shell]/[Fault] traps are mapped to
+    resolutions directly; [Trap_stub]/[Rat_miss] run the VM logic. *)
+
+val map_of : t -> Hipstr_compiler.Fatbin.func_sym -> Reloc_map.t
+(** The function's relocation map this epoch (created on first use —
+    "if it is being entered for the first time"). *)
+
+val has_translation : t -> int -> bool
+(** Whether a source address has a current translation (the JIT-ROP
+    analysis and the migration policy consult this). *)
+
+val translated_call_targets : t -> int list
+(** Source addresses with RAT-reachable or stub-reachable
+    translations — the indirect-transfer targets an attacker could
+    use without causing a code-cache miss. *)
+
+val cache : t -> Code_cache.t
+val stats : t -> stats
+val config : t -> Config.t
+
+val hot_regs : t -> Hipstr_compiler.Fatbin.func_sym -> int list
+(** The function's most-used allocatable registers (drives the global
+    register cache at O2+). *)
+
+val pretranslate : t -> int -> bool
+(** Translate a source unit without transferring control and without
+    charging cycles — models the idle core translating concurrently
+    when a compulsory miss translates for both ISAs (Section 3.5).
+    Returns false if the address is wild. *)
+
+val complete_call : t -> callee_src:int -> src_ret:int -> unit
+(** Perform the call side effect (push / link register) with a
+    *source* return address, insert the RAT mapping for it, and enter
+    the callee. Used to finish an indirect call after migration. *)
+
+val drain_new_units : t -> int list
+(** Source unit addresses translated since the last drain (the HIPStR
+    layer mirrors compulsory translations onto the other ISA). *)

@@ -1,0 +1,1 @@
+lib/risc/isa.ml: Buffer Char Desc Hipstr_isa Hipstr_util Minstr

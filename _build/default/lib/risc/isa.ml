@@ -1,0 +1,239 @@
+open Hipstr_isa
+module W32 = Hipstr_util.Wrap32
+
+let desc =
+  {
+    Desc.which = Desc.Risc;
+    name = "risc32";
+    nregs = 16;
+    sp = 13;
+    lr = Some 14;
+    call_pushes_ret = false;
+    scratch = 12;
+    scratch2 = 11;
+    arg_regs = [];
+    ret_reg = 0;
+    callee_saved = [ 4; 5; 6; 7; 8; 9; 10 ];
+    caller_saved = [ 0; 1; 2; 3 ];
+    (* callee-class registers first (see the CISC descriptor) *)
+    allocatable = [ 4; 5; 6; 7; 8; 9; 10; 0; 1; 2; 3 ];
+    align = 4;
+    freq_ghz = 2.0;
+  }
+
+let lr = 14
+
+let binop_index : Minstr.binop -> int = function
+  | Add -> 0
+  | Sub -> 1
+  | Mul -> 2
+  | Divs -> 3
+  | Rems -> 4
+  | And -> 5
+  | Or -> 6
+  | Xor -> 7
+  | Shl -> 8
+  | Shr -> 9
+  | Sar -> 10
+
+let binop_of_index = function
+  | 0 -> Some Minstr.Add
+  | 1 -> Some Minstr.Sub
+  | 2 -> Some Minstr.Mul
+  | 3 -> Some Minstr.Divs
+  | 4 -> Some Minstr.Rems
+  | 5 -> Some Minstr.And
+  | 6 -> Some Minstr.Or
+  | 7 -> Some Minstr.Xor
+  | 8 -> Some Minstr.Shl
+  | 9 -> Some Minstr.Shr
+  | 10 -> Some Minstr.Sar
+  | _ -> None
+
+let cond_index : Minstr.cond -> int = function
+  | Eq -> 0
+  | Ne -> 1
+  | Lt -> 2
+  | Ge -> 3
+  | Gt -> 4
+  | Le -> 5
+  | Ult -> 6
+  | Uge -> 7
+
+let cond_of_index = function
+  | 0 -> Some Minstr.Eq
+  | 1 -> Some Minstr.Ne
+  | 2 -> Some Minstr.Lt
+  | 3 -> Some Minstr.Ge
+  | 4 -> Some Minstr.Gt
+  | 5 -> Some Minstr.Le
+  | 6 -> Some Minstr.Ult
+  | 7 -> Some Minstr.Uge
+  | _ -> None
+
+let fits16 k = k >= -32768 && k <= 32767
+
+let encodable (i : Minstr.t) =
+  match i with
+  | Mov (Reg _, Reg _) | Mov (Reg _, Imm _) | Mov (Reg _, Mem _) | Mov (Mem _, Reg _) -> true
+  | Mov _ -> false
+  | Lea _ -> true
+  | Binop (_, Reg _, Reg _) | Binop (_, Reg _, Imm _) -> true
+  | Binop _ -> false
+  | Cmp (Reg _, Reg _) | Cmp (Reg _, Imm _) -> true
+  | Cmp _ -> false
+  | Push (Reg _) | Pop (Reg _) -> true
+  | Push _ | Pop _ -> false
+  | Jmp _ | Jcc _ -> true
+  | Jmpr (Reg _) | Callr (Reg _) -> true
+  | Jmpr _ | Callr _ -> false
+  | Call _ -> true
+  | Ret -> false (* RISC returns are [Retr lr] *)
+  | Retr _ -> true
+  | Syscall | Nop | Trap _ | Callrat _ -> true
+  | Retrat (Reg _) -> true
+  | Retrat _ -> false
+
+let length (i : Minstr.t) =
+  if not (encodable i) then invalid_arg "risc: unencodable instruction";
+  match i with
+  | Mov (Reg _, Reg _) -> 4
+  | Mov (Reg _, Imm k) -> if fits16 k then 4 else 8
+  | Mov (Reg _, Mem { disp; _ }) | Mov (Mem { disp; _ }, Reg _) -> if fits16 disp then 4 else 8
+  | Lea (_, _, k) -> if fits16 k then 4 else 8
+  | Binop (_, Reg _, Reg _) -> 4
+  | Binop (_, Reg _, Imm k) -> if fits16 k then 4 else 8
+  | Cmp (Reg _, Reg _) -> 4
+  | Cmp (Reg _, Imm k) -> if fits16 k then 4 else 8
+  | Push (Reg _) | Pop (Reg _) -> 4
+  | Jmp _ | Jcc _ | Call _ | Trap _ -> 8
+  | Jmpr (Reg _) | Callr (Reg _) | Retr _ | Retrat (Reg _) -> 4
+  | Syscall | Nop -> 4
+  | Callrat _ -> 12
+  | Mov _ | Binop _ | Cmp _ | Push _ | Pop _ | Jmpr _ | Callr _ | Ret | Retrat _ ->
+    invalid_arg "risc: unencodable instruction"
+
+let check_reg r = if r < 0 || r > 15 then invalid_arg "risc: register out of range"
+
+let word buf op a b imm16 =
+  check_reg a;
+  check_reg b;
+  let imm = imm16 land 0xFFFF in
+  Buffer.add_char buf (Char.chr (op land 0xFF));
+  Buffer.add_char buf (Char.chr ((a lsl 4) lor b));
+  Buffer.add_char buf (Char.chr (imm land 0xFF));
+  Buffer.add_char buf (Char.chr ((imm lsr 8) land 0xFF))
+
+let extra buf v =
+  let v = W32.unsigned v in
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF))
+
+(* Narrow/wide immediate form: [op] if it fits in imm16, else
+   [op lor 0x80] with a zero imm16 field and the value in a second
+   word. *)
+let imm_form buf op a b k =
+  if fits16 k then word buf op a b k
+  else begin
+    word buf (op lor 0x80) a b 0;
+    extra buf k
+  end
+
+let encode ~at:_ (i : Minstr.t) =
+  let buf = Buffer.create 8 in
+  (match i with
+  | Mov (Reg d, Reg s) -> word buf 0x01 d s 0
+  | Mov (Reg d, Imm k) -> imm_form buf 0x02 d 0 k
+  | Mov (Reg d, Mem { base; disp }) -> imm_form buf 0x03 d base disp
+  | Mov (Mem { base; disp }, Reg s) -> imm_form buf 0x04 s base disp
+  | Lea (d, b, k) -> imm_form buf 0x06 d b k
+  | Binop (op, Reg d, Reg s) -> word buf (0x10 + binop_index op) d s 0
+  | Binop (op, Reg d, Imm k) -> imm_form buf (0x20 + binop_index op) d 0 k
+  | Cmp (Reg a, Reg b) -> word buf 0x60 a b 0
+  | Cmp (Reg a, Imm k) -> imm_form buf 0x61 a 0 k
+  | Push (Reg r) -> word buf 0x70 r 0 0
+  | Pop (Reg r) -> word buf 0x73 r 0 0
+  | Jmp t ->
+    word buf 0x7B 0 0 0;
+    extra buf t
+  | Jcc (c, t) ->
+    word buf (0x40 + cond_index c) 0 0 0;
+    extra buf t
+  | Call t ->
+    word buf 0x48 0 0 0;
+    extra buf t
+  | Jmpr (Reg r) -> word buf 0x49 r 0 0
+  | Callr (Reg r) -> word buf 0x4A r 0 0
+  | Retr r -> word buf 0x4B r 0 0
+  | Syscall -> word buf 0x4C 0 0 0
+  | Nop -> word buf 0x4D 0 0 0
+  | Trap a ->
+    word buf 0x4E 0 0 0;
+    extra buf a
+  | Callrat { target; src_ret } ->
+    word buf 0x4F 0 0 0;
+    extra buf target;
+    extra buf src_ret
+  | Retrat (Reg r) -> word buf 0x51 r 0 0
+  | Mov _ | Binop _ | Cmp _ | Push _ | Pop _ | Jmpr _ | Callr _ | Ret | Retrat _ ->
+    invalid_arg "risc: unencodable instruction");
+  Buffer.contents buf
+
+let decode ~read addr =
+  let byte k = read (addr + k) land 0xFF in
+  let op = byte 0 in
+  let ab = byte 1 in
+  let a = ab lsr 4 and b = ab land 0xF in
+  let imm16 =
+    let v = byte 2 lor (byte 3 lsl 8) in
+    if v land 0x8000 <> 0 then v - 0x10000 else v
+  in
+  let imm32 k = W32.of_bytes (byte k) (byte (k + 1)) (byte (k + 2)) (byte (k + 3)) in
+  let wide = op land 0x80 <> 0 in
+  let base_op = op land 0x7F in
+  (* Wide forms must carry a zero imm16 field; the payload is the
+     second word. *)
+  let imm () = if wide then imm32 4 else imm16 in
+  let len = if wide then 8 else 4 in
+  let ok_wide = (not wide) || imm16 = 0 in
+  if not ok_wide then None
+  else
+    let mem base disp = Minstr.Mem { base; disp } in
+    match base_op with
+    | 0x01 when (not wide) && imm16 = 0 -> Some (Minstr.Mov (Reg a, Reg b), 4)
+    | 0x02 when b = 0 -> Some (Minstr.Mov (Reg a, Imm (imm ())), len)
+    | 0x03 -> Some (Minstr.Mov (Reg a, mem b (imm ())), len)
+    | 0x04 -> Some (Minstr.Mov (mem b (imm ()), Reg a), len)
+    | 0x06 -> Some (Minstr.Lea (a, b, imm ()), len)
+    | _ when base_op >= 0x10 && base_op <= 0x1A && (not wide) && imm16 = 0 -> (
+      match binop_of_index (base_op - 0x10) with
+      | None -> None
+      | Some bop -> Some (Minstr.Binop (bop, Reg a, Reg b), 4))
+    | _ when base_op >= 0x20 && base_op <= 0x2A && b = 0 -> (
+      match binop_of_index (base_op - 0x20) with
+      | None -> None
+      | Some bop -> Some (Minstr.Binop (bop, Reg a, Imm (imm ())), len))
+    | 0x60 when (not wide) && imm16 = 0 -> Some (Minstr.Cmp (Reg a, Reg b), 4)
+    | 0x61 when b = 0 -> Some (Minstr.Cmp (Reg a, Imm (imm ())), len)
+    | 0x70 when (not wide) && b = 0 && imm16 = 0 -> Some (Minstr.Push (Reg a), 4)
+    | 0x73 when (not wide) && b = 0 && imm16 = 0 -> Some (Minstr.Pop (Reg a), 4)
+    | 0x7B when (not wide) && a = 0 && b = 0 && imm16 = 0 -> Some (Minstr.Jmp (imm32 4), 8)
+    | _ when base_op >= 0x40 && base_op <= 0x47 && (not wide) && a = 0 && b = 0 && imm16 = 0 -> (
+      match cond_of_index (base_op - 0x40) with
+      | None -> None
+      | Some c -> Some (Minstr.Jcc (c, imm32 4), 8))
+    | 0x48 when (not wide) && a = 0 && b = 0 && imm16 = 0 -> Some (Minstr.Call (imm32 4), 8)
+    | 0x49 when (not wide) && b = 0 && imm16 = 0 -> Some (Minstr.Jmpr (Reg a), 4)
+    | 0x4A when (not wide) && b = 0 && imm16 = 0 -> Some (Minstr.Callr (Reg a), 4)
+    | 0x4B when (not wide) && b = 0 && imm16 = 0 -> Some (Minstr.Retr a, 4)
+    | 0x4C when (not wide) && a = 0 && b = 0 && imm16 = 0 -> Some (Minstr.Syscall, 4)
+    | 0x4D when (not wide) && a = 0 && b = 0 && imm16 = 0 -> Some (Minstr.Nop, 4)
+    | 0x4E when (not wide) && a = 0 && b = 0 && imm16 = 0 -> Some (Minstr.Trap (imm32 4), 8)
+    | 0x4F when (not wide) && a = 0 && b = 0 && imm16 = 0 ->
+      Some (Minstr.Callrat { target = imm32 4; src_ret = imm32 8 }, 12)
+    | 0x51 when (not wide) && b = 0 && imm16 = 0 -> Some (Minstr.Retrat (Reg a), 4)
+    | _ -> None
+
+let _ = lr

@@ -1,0 +1,32 @@
+(** The RISC ("ARM-like") instruction set.
+
+    A 32-bit, 16-register load/store machine. Instructions are one or
+    two 4-byte words (a second word carries a 32-bit immediate or
+    branch target, literal-pool style) and must be 4-byte aligned;
+    there are no memory operands on ALU operations, calls write a link
+    register instead of pushing, and returns are [bx lr]. Strict
+    alignment means gadget mining can only discover *intended*
+    instruction boundaries — the paper measures the resulting attack
+    space to be 52x smaller than x86's, and this encoding reproduces
+    that asymmetry.
+
+    Registers: r0-r11 general purpose (r0-r3 arguments, r0 result,
+    r4-r11 callee-saved), r12 compiler scratch, r13=sp, r14=lr,
+    r15 reserved. *)
+
+val desc : Hipstr_isa.Desc.t
+
+val length : Hipstr_isa.Minstr.t -> int
+(** Encoded length in bytes (4, 8 or 12). Depends on immediate widths
+    but not on layout: branch forms are always wide. *)
+
+val encode : at:int -> Hipstr_isa.Minstr.t -> string
+(** @raise Invalid_argument on operand shapes the ISA cannot encode
+    (memory operands on ALU ops, push of immediate, etc.). *)
+
+val decode : read:(int -> int) -> int -> (Hipstr_isa.Minstr.t * int) option
+
+val encodable : Hipstr_isa.Minstr.t -> bool
+(** Whether the instruction shape is directly encodable; the PSR
+    translator consults this to emulate missing addressing modes with
+    scratch-register sequences. *)

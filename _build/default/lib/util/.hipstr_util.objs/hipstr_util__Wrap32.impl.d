@@ -1,0 +1,1 @@
+lib/util/wrap32.ml:

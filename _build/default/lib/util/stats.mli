@@ -1,0 +1,22 @@
+(** Small numeric helpers used by the experiments. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean; 0 on the empty list. Requires positive inputs. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 on lists shorter than 2. *)
+
+val median : float list -> float
+
+val percent : float -> string
+(** Format a ratio as a percentage with one decimal, e.g. "86.9%". *)
+
+val log2 : float -> float
+
+val human_big : float -> string
+(** Format a huge count in scientific notation, e.g. "9.11e33". *)
+
+val clamp : lo:float -> hi:float -> float -> float

@@ -1,0 +1,20 @@
+(** Plain-text table rendering for experiment output.
+
+    Every experiment prints its paper table/figure as an aligned text
+    table so the bench harness output can be diffed against the
+    paper's reported rows. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells. *)
+
+val render : t -> string
+(** Render with a header rule and right-padded columns. *)
+
+val print : ?title:string -> t -> unit
+(** [print ~title t] writes the optional title then the table to
+    stdout. *)

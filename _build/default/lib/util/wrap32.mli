@@ -1,0 +1,57 @@
+(** 32-bit two's-complement arithmetic carried in native [int]s.
+
+    The simulated machines are 32-bit. Register values are stored as
+    OCaml [int]s constrained to the signed 32-bit range
+    [-2^31, 2^31). Every arithmetic helper here wraps its result back
+    into that range, and the flag helpers compute the x86/ARM-style
+    condition codes for the operation. *)
+
+val wrap : int -> int
+(** Reduce any int to the signed 32-bit range. *)
+
+val unsigned : int -> int
+(** [unsigned v] is the value of the 32-bit pattern of [v] read as an
+    unsigned integer, i.e. in [0, 2^32). *)
+
+val add : int -> int -> int
+val sub : int -> int -> int
+val mul : int -> int -> int
+
+val sdiv : int -> int -> int
+(** Signed division truncating toward zero. Division by zero yields 0
+    (the simulated machines do not fault on it). *)
+
+val srem : int -> int -> int
+
+val logand : int -> int -> int
+val logor : int -> int -> int
+val logxor : int -> int -> int
+
+val shl : int -> int -> int
+(** Shift count is masked to 5 bits, as on real 32-bit hardware. *)
+
+val shr : int -> int -> int
+(** Logical (unsigned) right shift, count masked to 5 bits. *)
+
+val sar : int -> int -> int
+(** Arithmetic right shift, count masked to 5 bits. *)
+
+val carry_add : int -> int -> bool
+(** Unsigned carry-out of 32-bit [a + b]. *)
+
+val borrow_sub : int -> int -> bool
+(** Unsigned borrow of 32-bit [a - b] (the x86 CF after SUB/CMP). *)
+
+val overflow_add : int -> int -> bool
+(** Signed overflow of 32-bit [a + b]. *)
+
+val overflow_sub : int -> int -> bool
+(** Signed overflow of 32-bit [a - b]. *)
+
+val byte : int -> int -> int
+(** [byte v i] is byte [i] (0 = least significant) of the 32-bit
+    pattern of [v]. *)
+
+val of_bytes : int -> int -> int -> int -> int
+(** [of_bytes b0 b1 b2 b3] assembles a signed 32-bit value,
+    little-endian ([b0] least significant). *)

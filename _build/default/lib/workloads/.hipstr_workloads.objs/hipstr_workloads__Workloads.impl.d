@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Hashtbl Hipstr_compiler Libc List

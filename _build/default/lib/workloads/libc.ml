@@ -1,0 +1,270 @@
+(* The MiniC standard library linked into every workload binary.
+
+   The paper mines gadgets over whole program images, where most of
+   the attack surface comes from library code; this module plays that
+   role. The hashing/crypto routines use their genuine published
+   round constants — large immediates are where unintended gadget
+   bytes live in real x86 binaries, and they serve the same purpose
+   here. *)
+
+let source =
+  {|
+// ------- string/memory utilities (word-oriented) -------
+
+int lib_memcpy(int dst, int src, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) { dst[i] = src[i]; }
+  return dst;
+}
+
+int lib_memset(int dst, int v, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) { dst[i] = v; }
+  return dst;
+}
+
+int lib_memcmp(int a, int b, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    if (a[i] != b[i]) { return (a[i] < b[i]) ? 0 - 1 : 1; }
+  }
+  return 0;
+}
+
+int lib_strlen(int s) {
+  int n = 0;
+  while (s[n] != 0) { n = n + 1; }
+  return n;
+}
+
+int lib_strcmp(int a, int b) {
+  int i = 0;
+  while (a[i] != 0 && a[i] == b[i]) { i = i + 1; }
+  return a[i] - b[i];
+}
+
+int lib_strcpy(int dst, int src) {
+  int i = 0;
+  while (src[i] != 0) { dst[i] = src[i]; i = i + 1; }
+  dst[i] = 0;
+  return dst;
+}
+
+int lib_strchr(int s, int c) {
+  int i = 0;
+  while (s[i] != 0) {
+    if (s[i] == c) { return i; }
+    i = i + 1;
+  }
+  return 0 - 1;
+}
+
+int lib_atoi(int s) {
+  int i = 0;
+  int sign = 1;
+  int v = 0;
+  if (s[0] == 45) { sign = 0 - 1; i = 1; }
+  while (s[i] >= 48 && s[i] <= 57) { v = v * 10 + (s[i] - 48); i = i + 1; }
+  return v * sign;
+}
+
+// ------- arithmetic helpers -------
+
+int lib_abs(int x) { return x < 0 ? 0 - x : x; }
+int lib_min(int a, int b) { return a < b ? a : b; }
+int lib_max(int a, int b) { return a > b ? a : b; }
+
+int lib_gcd(int a, int b) {
+  a = lib_abs(a);
+  b = lib_abs(b);
+  while (b != 0) { int t = a % b; a = b; b = t; }
+  return a;
+}
+
+int lib_ipow(int base, int e) {
+  int r = 1;
+  while (e > 0) {
+    if (e & 1) { r = r * base; }
+    base = base * base;
+    e = e >> 1;
+  }
+  return r;
+}
+
+int lib_isqrt(int n) {
+  if (n < 2) { return n; }
+  int x = n;
+  int y = (x + 1) / 2;
+  while (y < x) { x = y; y = (x + n / x) / 2; }
+  return x;
+}
+
+int lib_clz(int x) {
+  if (x == 0) { return 32; }
+  int n = 0;
+  while ((x & 0x40000000) == 0 && n < 31) { x = x << 1; n = n + 1; }
+  return n;
+}
+
+int lib_popcount(int x) {
+  int n = 0;
+  int i;
+  for (i = 0; i < 32; i = i + 1) { n = n + ((x >> i) & 1); }
+  return n;
+}
+
+// ------- sorting and searching -------
+
+int lib_sort(int a, int n) {
+  int i;
+  for (i = 1; i < n; i = i + 1) {
+    int key = a[i];
+    int j = i - 1;
+    while (j >= 0 && a[j] > key) { a[j + 1] = a[j]; j = j - 1; }
+    a[j + 1] = key;
+  }
+  return 0;
+}
+
+int lib_bsearch(int a, int n, int key) {
+  int lo = 0;
+  int hi = n - 1;
+  while (lo <= hi) {
+    int mid = (lo + hi) / 2;
+    if (a[mid] == key) { return mid; }
+    if (a[mid] < key) { lo = mid + 1; } else { hi = mid - 1; }
+  }
+  return 0 - 1;
+}
+
+// ------- hashing: genuine published round constants -------
+
+int lib_fnv1a(int p, int n) {
+  int h = 0x811C9DC5;
+  int i;
+  for (i = 0; i < n; i = i + 1) { h = (h ^ p[i]) * 0x01000193; }
+  return h;
+}
+
+int lib_murmur_mix(int h) {
+  h = h ^ (h >> 16);
+  h = h * 0x85EBCA6B;
+  h = h ^ (h >> 13);
+  h = h * 0xC2B2AE35;
+  h = h ^ (h >> 16);
+  return h;
+}
+
+int lib_farmhash_shift_mix(int v) { return v ^ (v >> 23); }
+
+int lib_farmhash_mul(int a, int b) {
+  // k0/k1/k2 from FarmHash
+  int k0 = 0xC3A5C85C;
+  int k1 = 0xB492B66F;
+  int k2 = 0x9AE16A3B;
+  return (a * k0) ^ (b * k1) ^ ((a + b) * k2);
+}
+
+int lib_xtea_round(int v0, int v1, int key_word, int sum) {
+  return v0 + ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key_word + 0x9E3779B9));
+}
+
+int lib_sha256_sigma(int x) {
+  int a = ((x >> 7) | (x << 25));
+  int b = ((x >> 18) | (x << 14));
+  return a ^ b ^ (x >> 3);
+}
+
+int lib_sha256_round(int h, int w) {
+  // the first sixteen K constants of SHA-256
+  h = lib_murmur_mix(h + w + 0x428A2F98);
+  h = h ^ (h >> 11) ^ 0x71374491;
+  h = h * 5 + 0xB5C0FBCF;
+  h = h ^ 0xE9B5DBA5;
+  h = lib_murmur_mix(h ^ 0x3956C25B);
+  h = h + 0x59F111F1;
+  h = h ^ 0x923F82A4;
+  h = h * 3 + 0xAB1C5ED5;
+  h = h ^ 0xD807AA98;
+  h = h + 0x12835B01;
+  h = h ^ 0x243185BE;
+  h = lib_murmur_mix(h + 0x550C7DC3);
+  h = h ^ 0x72BE5D74;
+  h = h + 0x80DEB1FE;
+  h = h ^ 0x9BDC06A7;
+  h = h * 7 + 0xC19BF174;
+  return h;
+}
+
+int lib_crc32_step(int crc, int byte_v) {
+  int c = (crc ^ byte_v) & 255;
+  int k;
+  for (k = 0; k < 8; k = k + 1) {
+    if (c & 1) { c = (c >> 1) ^ 0xEDB88320; } else { c = c >> 1; }
+  }
+  return (crc >> 8) ^ c;
+}
+
+int lib_adler32(int p, int n) {
+  int a = 1;
+  int b = 0;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    a = (a + p[i]) % 65521;
+    b = (b + a) % 65521;
+  }
+  return (b << 16) | a;
+}
+
+int lib_pcg_next(int state) {
+  return state * 0x5851F42D + 0xC0FFEEC3;
+}
+
+int lib_splitmix(int z) {
+  z = z + 0x9E3779B9;
+  z = (z ^ (z >> 16)) * 0x21F0AAAD;
+  z = (z ^ (z >> 15)) * 0x735A2D97;
+  return z ^ (z >> 15);
+}
+
+int lib_rotl(int x, int k) { return (x << k) | (x >> (32 - k)); }
+
+int lib_xoshiro_scramble(int a, int b) {
+  return lib_rotl(a * 0x0F4C3C2D, 7) * 9 + lib_rotl(b, 11) + 0xD96EB1C3;
+}
+
+int lib_checksum(int p, int n) {
+  int h = 0xCBF29CE4;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    h = lib_xoshiro_scramble(h, p[i]);
+    h = h ^ lib_farmhash_mul(h, p[i] + 0xA0761D64);
+  }
+  return h;
+}
+
+// ------- formatting -------
+
+int lib_itoa(int v, int out) {
+  int i = 0;
+  int neg = 0;
+  if (v < 0) { neg = 1; v = 0 - v; }
+  if (v == 0) { out[0] = 48; i = 1; }
+  while (v > 0) { out[i] = 48 + (v % 10); v = v / 10; i = i + 1; }
+  if (neg) { out[i] = 45; i = i + 1; }
+  // reverse in place
+  int j;
+  for (j = 0; j < i / 2; j = j + 1) {
+    int t = out[j];
+    out[j] = out[i - 1 - j];
+    out[i - 1 - j] = t;
+  }
+  out[i] = 0;
+  return i;
+}
+
+int lib_hex_digit(int v) {
+  v = v & 15;
+  return v < 10 ? 48 + v : 87 + v;
+}
+|}

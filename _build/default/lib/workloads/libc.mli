@@ -1,0 +1,8 @@
+(** The MiniC standard library linked into every workload image. *)
+
+val source : string
+(** String/memory utilities, arithmetic helpers, sorting/searching,
+    and hashing routines with their genuine published round constants
+    (FNV, Murmur3, FarmHash, XTEA, SHA-256 K values, CRC-32, PCG,
+    SplitMix). Real binaries owe most of their gadget mass to library
+    code and constant-rich immediates; this module plays that role. *)

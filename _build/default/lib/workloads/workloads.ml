@@ -1,0 +1,536 @@
+type t = {
+  w_name : string;
+  w_paper_name : string;
+  w_src : string;
+  w_fuel : int;
+  w_description : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* bzip2: run-length encoding + move-to-front + order-0 cost model
+   over a synthetic buffer — the byte-shuffling, table-driven loops of
+   a compressor. *)
+
+let bzip2 =
+  {
+    w_name = "bzip2";
+    w_paper_name = "401.bzip2";
+    w_description = "RLE + move-to-front compression kernel";
+    w_fuel = 3_000_000;
+    w_src =
+      {|
+int data[1024];
+int mtf[64];
+int out[1200];
+
+int fill(int n) {
+  int i;
+  int x = 12345;
+  for (i = 0; i < n; i = i + 1) {
+    x = (x * 1103515245 + 12345) & 0x7fffffff;
+    // runs are common in the synthetic input
+    data[i] = ((x >> 16) & 7) + ((i >> 4) & 3) * 8;
+  }
+  return 0;
+}
+
+int rle(int n) {
+  int i = 0;
+  int w = 0;
+  while (i < n) {
+    int v = data[i];
+    int run = 1;
+    while (i + run < n && data[i + run] == v && run < 255) { run = run + 1; }
+    out[w] = v; w = w + 1;
+    out[w] = run; w = w + 1;
+    i = i + run;
+  }
+  return w;
+}
+
+int move_to_front(int w) {
+  int i;
+  int total = 0;
+  for (i = 0; i < 64; i = i + 1) { mtf[i] = i; }
+  for (i = 0; i < w; i = i + 1) {
+    int v = out[i] & 63;
+    int j = 0;
+    while (mtf[j] != v) { j = j + 1; }
+    total = total + j;
+    while (j > 0) { mtf[j] = mtf[j - 1]; j = j - 1; }
+    mtf[0] = v;
+  }
+  return total;
+}
+
+int main() {
+  fill(1024);
+  int w = rle(1024);
+  print(w);
+  print(move_to_front(w));
+  return 0;
+}
+|};
+  }
+
+(* ------------------------------------------------------------------ *)
+(* gobmk: alpha-beta game-tree search on a tiny board with
+   function-pointer move evaluators — the paper highlights gobmk's
+   65,746 function-pointer calls per second. *)
+
+let gobmk =
+  {
+    w_name = "gobmk";
+    w_paper_name = "445.gobmk";
+    w_description = "game-tree search with function-pointer evaluators";
+    w_fuel = 4_000_000;
+    w_src =
+      {|
+int board[25];
+int nodes;
+
+int eval_territory(int pos) {
+  int i;
+  int s = 0;
+  for (i = 0; i < 25; i = i + 1) { s = s + board[i] * ((i % 5) - 2); }
+  return s + pos;
+}
+
+int eval_influence(int pos) {
+  int i;
+  int s = 0;
+  for (i = 0; i < 25; i = i + 1) { s = s + board[i] * ((i / 5) - 2); }
+  return s - pos;
+}
+
+int eval_capture(int pos) {
+  int s = board[pos % 25];
+  return s * 3 + (pos & 7);
+}
+
+int search(int depth, int alpha, int beta, int player) {
+  nodes = nodes + 1;
+  if (depth == 0) {
+    int which = (nodes % 3 == 0) ? &eval_territory : ((nodes % 3 == 1) ? &eval_influence : &eval_capture);
+    return (*which)(nodes) * player;
+  }
+  int move;
+  int best = 0 - 100000;
+  for (move = 0; move < 4; move = move + 1) {
+    int pos = (nodes * 7 + move * 3) % 25;
+    int saved = board[pos];
+    board[pos] = player;
+    int score = 0 - search(depth - 1, 0 - beta, 0 - alpha, 0 - player);
+    board[pos] = saved;
+    if (score > best) { best = score; }
+    if (best > alpha) { alpha = best; }
+    if (alpha >= beta) { move = 4; }
+  }
+  return best;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 25; i = i + 1) { board[i] = (i * 13 % 3) - 1; }
+  print(search(6, 0 - 100000, 100000, 1));
+  print(nodes);
+  return 0;
+}
+|};
+  }
+
+(* ------------------------------------------------------------------ *)
+(* hmmer: Viterbi dynamic programming over a small profile HMM —
+   nested max-plus loops over score tables. *)
+
+let hmmer =
+  {
+    w_name = "hmmer";
+    w_paper_name = "456.hmmer";
+    w_description = "profile-HMM Viterbi dynamic programming";
+    w_fuel = 3_500_000;
+    w_src =
+      {|
+int match_score[160];
+int insert_score[160];
+int vmat[170];
+int vins[170];
+int seq[120];
+
+int max2(int a, int b) { if (a > b) { return a; } return b; }
+
+int viterbi(int states, int len) {
+  int t;
+  int best = 0 - 1000000;
+  for (t = 0; t < len; t = t + 1) {
+    int s;
+    int obs = seq[t];
+    for (s = states - 1; s > 0; s = s - 1) {
+      int from_match = vmat[s - 1] + match_score[(s * 8 + obs) % 160];
+      int from_ins = vins[s - 1] + insert_score[(s * 8 + obs) % 160];
+      vmat[s] = max2(from_match, from_ins) - 2;
+      vins[s] = max2(vmat[s] - 11, vins[s] - 1);
+    }
+    if (vmat[states - 1] > best) { best = vmat[states - 1]; }
+  }
+  return best;
+}
+
+int main() {
+  int i;
+  int x = 99;
+  for (i = 0; i < 160; i = i + 1) {
+    x = (x * 214013 + 2531011) & 0x7fffffff;
+    match_score[i] = (x >> 20) % 17 - 5;
+    insert_score[i] = (x >> 12) % 9 - 4;
+  }
+  for (i = 0; i < 120; i = i + 1) { seq[i] = (i * 31) % 8; }
+  print(viterbi(20, 120));
+  int total = 0;
+  for (i = 0; i < 20; i = i + 1) { total = total + vmat[i] + vins[i]; }
+  print(total);
+  return 0;
+}
+|};
+  }
+
+(* ------------------------------------------------------------------ *)
+(* lbm: a 2-D lattice stencil relaxation (integer arithmetic standing
+   in for the paper's FP) — streaming array traffic, few branches. *)
+
+let lbm =
+  {
+    w_name = "lbm";
+    w_paper_name = "470.lbm";
+    w_description = "2-D lattice stencil relaxation";
+    w_fuel = 4_000_000;
+    w_src =
+      {|
+int grid[1156];
+int next[1156];
+
+int step(int dim) {
+  int y;
+  for (y = 1; y < dim - 1; y = y + 1) {
+    int x;
+    for (x = 1; x < dim - 1; x = x + 1) {
+      int i = y * dim + x;
+      int acc = grid[i] * 4;
+      acc = acc + grid[i - 1] + grid[i + 1] + grid[i - dim] + grid[i + dim];
+      next[i] = (acc * 7 + 4) >> 3;
+    }
+  }
+  for (y = 0; y < dim * dim; y = y + 1) { grid[y] = next[y]; }
+  return 0;
+}
+
+int main() {
+  int dim = 34;
+  int i;
+  for (i = 0; i < dim * dim; i = i + 1) { grid[i] = ((i * 2654435761) >> 24) & 255; }
+  int iter;
+  for (iter = 0; iter < 12; iter = iter + 1) { step(dim); }
+  int cksum = 0;
+  for (i = 0; i < dim * dim; i = i + 1) { cksum = (cksum + grid[i] * (i & 15)) & 0xffffff; }
+  print(cksum);
+  return 0;
+}
+|};
+  }
+
+(* ------------------------------------------------------------------ *)
+(* libquantum: quantum register simulation — gate application as bit
+   manipulation over a state table. *)
+
+let libquantum =
+  {
+    w_name = "libquantum";
+    w_paper_name = "462.libquantum";
+    w_description = "quantum register gate simulation (bit manipulation)";
+    w_fuel = 3_000_000;
+    w_src =
+      {|
+int state[512];
+int amp[512];
+
+int sigma_x(int nstates, int target) {
+  int i;
+  for (i = 0; i < nstates; i = i + 1) { state[i] = state[i] ^ (1 << target); }
+  return 0;
+}
+
+int cnot(int nstates, int control, int target) {
+  int i;
+  for (i = 0; i < nstates; i = i + 1) {
+    if (state[i] & (1 << control)) { state[i] = state[i] ^ (1 << target); }
+  }
+  return 0;
+}
+
+int toffoli(int nstates, int c1, int c2, int target) {
+  int i;
+  for (i = 0; i < nstates; i = i + 1) {
+    if ((state[i] & (1 << c1)) && (state[i] & (1 << c2))) {
+      state[i] = state[i] ^ (1 << target);
+    }
+  }
+  return 0;
+}
+
+int main() {
+  int n = 512;
+  int i;
+  for (i = 0; i < n; i = i + 1) { state[i] = i; amp[i] = (i * 37) & 1023; }
+  int round;
+  for (round = 0; round < 9; round = round + 1) {
+    sigma_x(n, round % 9);
+    cnot(n, round % 9, (round + 3) % 9);
+    toffoli(n, round % 9, (round + 1) % 9, (round + 5) % 9);
+  }
+  int cksum = 0;
+  for (i = 0; i < n; i = i + 1) { cksum = cksum ^ (state[i] * amp[i]); }
+  print(cksum);
+  return 0;
+}
+|};
+  }
+
+(* ------------------------------------------------------------------ *)
+(* mcf: Bellman-Ford relaxation over a sparse graph — the
+   pointer-chasing, cache-unfriendly access pattern of min-cost
+   flow. *)
+
+let mcf =
+  {
+    w_name = "mcf";
+    w_paper_name = "429.mcf";
+    w_description = "shortest-path relaxation over a sparse network";
+    w_fuel = 4_000_000;
+    w_src =
+      {|
+int head[640];
+int tail[640];
+int cost[640];
+int dist[160];
+
+int relax(int nodes, int arcs) {
+  int changed = 0;
+  int a;
+  for (a = 0; a < arcs; a = a + 1) {
+    int u = tail[a];
+    int v = head[a];
+    int nd = dist[u] + cost[a];
+    if (nd < dist[v]) { dist[v] = nd; changed = changed + 1; }
+  }
+  return changed;
+}
+
+int main() {
+  int nodes = 160;
+  int arcs = 640;
+  int i;
+  int x = 7;
+  for (i = 0; i < arcs; i = i + 1) {
+    x = (x * 1103515245 + 12345) & 0x7fffffff;
+    tail[i] = (x >> 8) % nodes;
+    head[i] = ((x >> 8) % nodes + 1 + (x >> 20) % 7) % nodes;
+    cost[i] = (x >> 16) % 97 + 1;
+  }
+  for (i = 1; i < nodes; i = i + 1) { dist[i] = 1000000; }
+  int rounds = 0;
+  while (relax(nodes, arcs) > 0 && rounds < 40) { rounds = rounds + 1; }
+  int cksum = 0;
+  for (i = 0; i < nodes; i = i + 1) { cksum = cksum + dist[i] * (1 + (i & 7)); }
+  print(rounds);
+  print(cksum);
+  return 0;
+}
+|};
+  }
+
+(* ------------------------------------------------------------------ *)
+(* milc: 3x3 integer matrix multiply chains over a small lattice —
+   the dense su3 arithmetic of lattice QCD. *)
+
+let milc =
+  {
+    w_name = "milc";
+    w_paper_name = "433.milc";
+    w_description = "3x3 matrix-multiply chains over a lattice";
+    w_fuel = 4_500_000;
+    w_src =
+      {|
+int lattice[576];
+int link_m[576];
+
+int mat_mul(int dst, int a, int b) {
+  int i;
+  for (i = 0; i < 3; i = i + 1) {
+    int j;
+    for (j = 0; j < 3; j = j + 1) {
+      int acc = 0;
+      int k;
+      for (k = 0; k < 3; k = k + 1) {
+        acc = acc + lattice[a + i * 3 + k] * link_m[b + k * 3 + j];
+      }
+      lattice[dst + i * 3 + j] = (acc + 8) >> 4;
+    }
+  }
+  return lattice[dst];
+}
+
+int main() {
+  int sites = 64;
+  int i;
+  for (i = 0; i < sites * 9; i = i + 1) {
+    lattice[i] = ((i * 2246822519) >> 20) % 31 - 15;
+    link_m[i] = ((i * 3266489917) >> 18) % 31 - 15;
+  }
+  int sweep;
+  int cksum = 0;
+  for (sweep = 0; sweep < 6; sweep = sweep + 1) {
+    int s;
+    for (s = 0; s < sites - 1; s = s + 1) {
+      cksum = cksum + mat_mul(s * 9, ((s + 1) % sites) * 9, s * 9);
+    }
+  }
+  print(cksum & 0xffffff);
+  return 0;
+}
+|};
+  }
+
+(* ------------------------------------------------------------------ *)
+(* sphinx3: the acoustic front end of a speech recognizer — windowed
+   dot products and a best-scoring-senone argmax search. *)
+
+let sphinx3 =
+  {
+    w_name = "sphinx3";
+    w_paper_name = "482.sphinx3";
+    w_description = "speech front-end: windowed dot products + argmax";
+    w_fuel = 4_000_000;
+    w_src =
+      {|
+int signal[1024];
+int window[32];
+int senone[256];
+int feats[64];
+
+int dot(int off) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 32; i = i + 1) { acc = acc + signal[off + i] * window[i]; }
+  return acc >> 6;
+}
+
+int best_senone(int f) {
+  int best = 0 - 1000000;
+  int arg = 0;
+  int s;
+  for (s = 0; s < 256; s = s + 1) {
+    int score = 0 - (feats[f % 64] - senone[s]) * (feats[f % 64] - senone[s]);
+    if (score > best) { best = score; arg = s; }
+  }
+  return arg;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 1024; i = i + 1) { signal[i] = ((i * 73) % 256) - 128; }
+  for (i = 0; i < 32; i = i + 1) { window[i] = 16 - ((i - 16 < 0) ? (16 - i) : (i - 16)); }
+  for (i = 0; i < 256; i = i + 1) { senone[i] = (i * 5) % 300 - 150; }
+  int f;
+  for (f = 0; f < 60; f = f + 1) { feats[f % 64] = dot(f * 16); }
+  int cksum = 0;
+  for (f = 0; f < 60; f = f + 1) { cksum = cksum + best_senone(f) * (f + 1); }
+  print(cksum);
+  return 0;
+}
+|};
+  }
+
+(* ------------------------------------------------------------------ *)
+(* httpd: the attack victim. Parses request lines from a "network
+   buffer" (globals the harness pokes) and copies the request path
+   into a fixed-size local buffer without a bounds check. *)
+
+let httpd =
+  {
+    w_name = "httpd";
+    w_paper_name = "httpd (Section 7.1)";
+    w_description = "request-parsing daemon with an unbounded copy (the victim)";
+    w_fuel = 2_000_000;
+    w_src =
+      {|
+int net_input[512];
+int net_len = 0;
+int requests = 400;
+int served;
+int status_table[4] = {200, 301, 404, 500};
+
+int hash_path(int p, int n) {
+  int i;
+  int h = 5381;
+  for (i = 0; i < n; i = i + 1) { h = (h * 33 + p[i]) & 0x7fffffff; }
+  return h;
+}
+
+int serve_static(int code) { served = served + 1; return code; }
+int serve_dynamic(int code) { served = served + 2; return code + 1; }
+
+int handle_request(int id) {
+  int buf[16];
+  int i;
+  // copy the "request line" into the stack buffer; the length comes
+  // from the network and is not checked against the buffer size
+  for (i = 0; i < net_len; i = i + 1) { buf[i] = net_input[i]; }
+  int h = hash_path(&buf[0], (net_len < 16) ? net_len : 16);
+  int handler = (h & 1) ? &serve_static : &serve_dynamic;
+  return (*handler)(status_table[h % 4]);
+}
+
+int main() {
+  int r;
+  int total = 0;
+  for (r = 0; r < requests; r = r + 1) {
+    // synthesize a benign request when the network buffer is empty
+    if (net_len == 0) {
+      int k;
+      net_len = 8 + (r % 5);
+      for (k = 0; k < net_len; k = k + 1) { net_input[k] = 65 + ((r * 7 + k) % 26); }
+      total = total + handle_request(r);
+      net_len = 0;
+    } else {
+      total = total + handle_request(r);
+    }
+  }
+  print(total);
+  print(served);
+  return 0;
+}
+|};
+  }
+
+let all = [ bzip2; gobmk; hmmer; lbm; libquantum; mcf; milc; sphinx3 ]
+
+let find name =
+  if name = "httpd" then httpd
+  else
+    match List.find_opt (fun w -> w.w_name = name) all with
+    | Some w -> w
+    | None -> raise Not_found
+
+let names = List.map (fun w -> w.w_name) all @ [ "httpd" ]
+
+let fatbin_cache : (string, Hipstr_compiler.Fatbin.t) Hashtbl.t = Hashtbl.create 16
+
+let full_source w = Libc.source ^ w.w_src
+
+let fatbin w =
+  match Hashtbl.find_opt fatbin_cache w.w_name with
+  | Some fb -> fb
+  | None ->
+    let fb = Hipstr_compiler.Compile.to_fatbin (full_source w) in
+    Hashtbl.replace fatbin_cache w.w_name fb;
+    fb

@@ -1,0 +1,40 @@
+(** The benchmark programs.
+
+    Eight MiniC programs model the kernels of the SPEC CPU2006 C
+    benchmarks the paper evaluates (gcc and sjeng are excluded in the
+    paper for variable-size frames, and here too), plus [httpd], the
+    network-facing daemon of Section 7.1 that serves as the attack
+    victim. Each prints a small deterministic checksum so that
+    native/PSR/HIPStR runs can be compared exactly.
+
+    [httpd] reads its "network input" from the [net_input]/[net_len]
+    globals, which the attack harness pokes directly into simulated
+    memory; its request-line copy loop is intentionally unbounded —
+    the buffer-overflow vulnerability every experiment exploits. *)
+
+type t = {
+  w_name : string;
+  w_paper_name : string;  (** the SPEC benchmark it stands in for *)
+  w_src : string;
+  w_fuel : int;  (** enough instructions to finish natively *)
+  w_description : string;
+}
+
+val all : t list
+(** The eight SPEC-like workloads, in the paper's order: bzip2, gobmk,
+    hmmer, lbm, libquantum, mcf, milc, sphinx3. *)
+
+val httpd : t
+
+val find : string -> t
+(** By [w_name], including ["httpd"]. @raise Not_found *)
+
+val names : string list
+
+val full_source : t -> string
+(** The workload source with the MiniC standard library ({!Libc})
+    linked in front, as compiled by {!fatbin}. Gadget mining covers
+    the whole image, library included, as in the paper. *)
+
+val fatbin : t -> Hipstr_compiler.Fatbin.t
+(** Compile [full_source] (memoized). *)

@@ -1,0 +1,1 @@
+test/progen.ml: Buffer Hipstr_util List Printf String

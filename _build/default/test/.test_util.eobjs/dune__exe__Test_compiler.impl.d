@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Hipstr_compiler Hipstr_isa Hipstr_machine List

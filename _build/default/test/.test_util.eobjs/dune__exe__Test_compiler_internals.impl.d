@@ -1,0 +1,1 @@
+test/test_compiler_internals.ml: Alcotest Array Hipstr_cisc Hipstr_compiler Hipstr_isa Hipstr_minic Hipstr_risc List Option

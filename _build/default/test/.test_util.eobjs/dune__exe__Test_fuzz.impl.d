@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Hipstr Hipstr_compiler Hipstr_isa Hipstr_psr List Progen String

@@ -1,0 +1,1 @@
+test/test_galileo.ml: Alcotest Buffer Char Hipstr_cisc Hipstr_compiler Hipstr_galileo Hipstr_isa Hipstr_machine Hipstr_workloads List String

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Char Hipstr_cisc Hipstr_isa Hipstr_risc List QCheck QCheck_alcotest String

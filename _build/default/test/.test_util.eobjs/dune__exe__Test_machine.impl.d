@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Hipstr_cisc Hipstr_isa Hipstr_machine Hipstr_risc List String

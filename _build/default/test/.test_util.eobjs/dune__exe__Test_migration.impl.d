@@ -1,0 +1,1 @@
+test/test_migration.ml: Alcotest Array Hipstr Hipstr_compiler Hipstr_isa Hipstr_machine Hipstr_migration Hipstr_psr Hipstr_util Hipstr_workloads List Printf

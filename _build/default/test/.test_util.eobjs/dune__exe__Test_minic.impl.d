@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Format Hipstr_minic List

@@ -1,0 +1,1 @@
+test/test_psr.ml: Alcotest Hipstr Hipstr_compiler Hipstr_isa Hipstr_machine Hipstr_migration Hipstr_psr Hipstr_util List Printf

@@ -1,0 +1,1 @@
+test/test_psr_internals.ml: Alcotest Char Hipstr Hipstr_cisc Hipstr_compiler Hipstr_isa Hipstr_machine Hipstr_psr Hipstr_risc Hipstr_util Hipstr_workloads Lazy List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Array Hipstr_cisc Hipstr_isa Hipstr_machine Hipstr_risc Hipstr_util List QCheck QCheck_alcotest String

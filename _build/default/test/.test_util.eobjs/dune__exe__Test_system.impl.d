@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Hipstr Hipstr_experiments Hipstr_isa Hipstr_machine Hipstr_psr Hipstr_util Hipstr_workloads List String

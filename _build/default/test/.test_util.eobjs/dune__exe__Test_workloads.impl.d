@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Hipstr Hipstr_isa Hipstr_machine Hipstr_psr Hipstr_workloads List

@@ -1,0 +1,177 @@
+(* Random MiniC program generation for differential fuzzing.
+
+   Programs are generated to terminate by construction: loops are
+   `for` with constant bounds, recursion is absent, and all division
+   is well-defined on the simulated machines (division by zero yields
+   zero). Every program prints a handful of values derived from its
+   computation, which is the observable the differential property
+   compares across native CISC, native RISC, PSR and HIPStR runs. *)
+
+module Rng = Hipstr_util.Rng
+
+type ctx = {
+  rng : Rng.t;
+  vars : string list;  (** in-scope scalar variables (readable) *)
+  mutables : string list;  (** assignable subset — excludes loop indices *)
+  arrays : (string * int) list;  (** in-scope arrays with sizes *)
+  funcs : (string * int) list;  (** defined functions with arity *)
+  depth : int;
+  in_loop : bool;  (** calls inside loops would compound exponentially *)
+  calls_left : int ref;
+}
+
+let pick ctx l = List.nth l (Rng.int ctx.rng (List.length l))
+
+let small_const ctx = Rng.int ctx.rng 201 - 100
+
+let rec gen_expr ctx =
+  let leaf () =
+    match (ctx.vars, Rng.int ctx.rng 3) with
+    | [], _ | _, 0 -> string_of_int (small_const ctx)
+    | vars, _ -> pick ctx vars
+  in
+  if ctx.depth <= 0 then leaf ()
+  else
+    let sub () = gen_expr { ctx with depth = ctx.depth - 1 } in
+    match Rng.int ctx.rng 12 with
+    | 0 | 1 -> leaf ()
+    | 2 -> Printf.sprintf "(%s + %s)" (sub ()) (sub ())
+    | 3 -> Printf.sprintf "(%s - %s)" (sub ()) (sub ())
+    | 4 -> Printf.sprintf "(%s * %s)" (sub ()) (sub ())
+    | 5 -> Printf.sprintf "(%s / %s)" (sub ()) (sub ())
+    | 6 -> Printf.sprintf "(%s %% 97)" (sub ())
+    | 7 -> Printf.sprintf "(%s ^ %s)" (sub ()) (sub ())
+    | 8 -> Printf.sprintf "(%s & %s)" (sub ()) (sub ())
+    | 9 -> Printf.sprintf "((%s << %d) | (%s >> %d))" (sub ()) (Rng.int ctx.rng 8) (sub ()) (Rng.int ctx.rng 8)
+    | 10 -> (
+      match ctx.arrays with
+      | [] -> leaf ()
+      | arrays ->
+        let a, n = pick ctx arrays in
+        Printf.sprintf "%s[(%s & 0x7fffffff) %% %d]" a (sub ()) n)
+    | _ -> (
+      match ctx.funcs with
+      | [] -> leaf ()
+      | _ when ctx.in_loop || !(ctx.calls_left) <= 0 -> leaf ()
+      | funcs ->
+        decr ctx.calls_left;
+        let f, arity = pick ctx funcs in
+        let args = List.init arity (fun _ -> sub ()) in
+        Printf.sprintf "%s(%s)" f (String.concat ", " args))
+
+let gen_cond ctx =
+  let a = gen_expr { ctx with depth = 1 } in
+  let b = gen_expr { ctx with depth = 1 } in
+  let op = pick ctx [ "<"; "<="; ">"; ">="; "=="; "!=" ] in
+  Printf.sprintf "%s %s %s" a op b
+
+let rec gen_stmt ctx buf indent =
+  let pad = String.make indent ' ' in
+  match Rng.int ctx.rng 10 with
+  | 0 | 1 | 2 when ctx.mutables <> [] ->
+    (* assignment; never to a loop index (that could loop forever) *)
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s = %s;\n" pad (pick ctx ctx.mutables) (gen_expr ctx))
+  | 3 when ctx.arrays <> [] ->
+    let a, n = pick ctx ctx.arrays in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s[(%s & 0x7fffffff) %% %d] = %s;\n" pad a (gen_expr { ctx with depth = 1 }) n
+         (gen_expr ctx))
+  | 4 ->
+    (* bounded for loop over a fresh index *)
+    let i = Printf.sprintf "i%d" (Rng.int ctx.rng 10000) in
+    let n = 1 + Rng.int ctx.rng 8 in
+    Buffer.add_string buf (Printf.sprintf "%sint %s;\n" pad i);
+    Buffer.add_string buf (Printf.sprintf "%sfor (%s = 0; %s < %d; %s = %s + 1) {\n" pad i i n i i);
+    let inner = { ctx with vars = i :: ctx.vars; depth = max 1 (ctx.depth - 1); in_loop = true } in
+    gen_stmts inner buf (indent + 2) (1 + Rng.int ctx.rng 2);
+    Buffer.add_string buf (pad ^ "}\n")
+  | 5 ->
+    Buffer.add_string buf (Printf.sprintf "%sif (%s) {\n" pad (gen_cond ctx));
+    gen_stmts { ctx with depth = max 1 (ctx.depth - 1) } buf (indent + 2) 1;
+    if Rng.bool ctx.rng then begin
+      Buffer.add_string buf (pad ^ "} else {\n");
+      gen_stmts { ctx with depth = max 1 (ctx.depth - 1) } buf (indent + 2) 1
+    end;
+    Buffer.add_string buf (pad ^ "}\n")
+  | 6 when ctx.mutables <> [] ->
+    (* ternary through a variable *)
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s = (%s) ? %s : %s;\n" pad (pick ctx ctx.mutables) (gen_cond ctx)
+         (gen_expr { ctx with depth = 1 })
+         (gen_expr { ctx with depth = 1 }))
+  | _ ->
+    Buffer.add_string buf
+      (Printf.sprintf "%sacc = acc + (%s);\n" pad (gen_expr ctx))
+
+and gen_stmts ctx buf indent n =
+  for _ = 1 to n do
+    gen_stmt ctx buf indent
+  done
+
+let gen_function rng ~name ~arity ~funcs =
+  let buf = Buffer.create 256 in
+  let params = List.init arity (fun i -> Printf.sprintf "p%d" i) in
+  Buffer.add_string buf
+    (Printf.sprintf "int %s(%s) {\n" name
+       (String.concat ", " (List.map (fun p -> "int " ^ p) params)));
+  let nlocals = 1 + Rng.int rng 3 in
+  let locals = List.init nlocals (fun i -> Printf.sprintf "v%d" i) in
+  List.iteri
+    (fun i v -> Buffer.add_string buf (Printf.sprintf "  int %s = %d;\n" v (i + 1)))
+    locals;
+  let arr_size = 4 + Rng.int rng 8 in
+  Buffer.add_string buf (Printf.sprintf "  int buf[%d];\n" arr_size);
+  Buffer.add_string buf "  int acc = 0;\n";
+  (* fully initialize the array: uninitialized stack reads are the
+     MiniC analog of undefined behaviour, and PSR legitimately changes
+     what garbage a frame contains *)
+  Buffer.add_string buf "  int bi;\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  for (bi = 0; bi < %d; bi = bi + 1) { buf[bi] = bi * %d + %d; }\n" arr_size
+       (1 + Rng.int rng 9) (Rng.int rng 50));
+  let ctx =
+    {
+      rng;
+      vars = "acc" :: (params @ locals);
+      mutables = "acc" :: (params @ locals);
+      arrays = [ ("buf", arr_size) ];
+      funcs;
+      depth = 2 + Rng.int rng 2;
+      in_loop = false;
+      calls_left = ref 2;
+    }
+  in
+  gen_stmts ctx buf 2 (2 + Rng.int rng 4);
+  Buffer.add_string buf "  return acc;\n}\n";
+  Buffer.contents buf
+
+let generate seed =
+  let rng = Rng.create seed in
+  let buf = Buffer.create 1024 in
+  (* a couple of globals *)
+  let gsize = 4 + Rng.int rng 6 in
+  Buffer.add_string buf (Printf.sprintf "int gtab[%d] = {%s};\n" gsize
+    (String.concat ", " (List.init gsize (fun i -> string_of_int ((i * 7) + 1)))));
+  Buffer.add_string buf "int gsum = 3;\n";
+  let nfuncs = 1 + Rng.int rng 3 in
+  let funcs = ref [] in
+  for i = 0 to nfuncs - 1 do
+    let name = Printf.sprintf "f%d" i in
+    let arity = 1 + Rng.int rng 3 in
+    Buffer.add_string buf (gen_function rng ~name ~arity ~funcs:!funcs);
+    funcs := (name, arity) :: !funcs
+  done;
+  (* main: exercise the functions and globals, print results *)
+  Buffer.add_string buf "int main() {\n  int acc = 0;\n  int k;\n";
+  Buffer.add_string buf "  for (k = 0; k < 5; k = k + 1) {\n";
+  List.iter
+    (fun (f, arity) ->
+      let args = List.init arity (fun i -> Printf.sprintf "(k + %d)" i) in
+      Buffer.add_string buf
+        (Printf.sprintf "    acc = acc + %s(%s);\n" f (String.concat ", " args)))
+    !funcs;
+  Buffer.add_string buf (Printf.sprintf "    gsum = gsum + gtab[k %% %d];\n" gsize);
+  Buffer.add_string buf "  }\n";
+  Buffer.add_string buf "  print(acc);\n  print(gsum);\n  return 0;\n}\n";
+  Buffer.contents buf

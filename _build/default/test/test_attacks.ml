@@ -1,0 +1,187 @@
+(* The security heart of the reproduction: a concrete ROP exploit that
+   works against the native machine and dies under PSR and HIPStR,
+   plus the analysis machinery behind Figures 3-8 and Table 2. *)
+
+module Desc = Hipstr_isa.Desc
+module System = Hipstr.System
+module Config = Hipstr_psr.Config
+module Workloads = Hipstr_workloads.Workloads
+module Galileo = Hipstr_galileo.Galileo
+module Surface = Hipstr_attacks.Surface
+module Brute_force = Hipstr_attacks.Brute_force
+module Rop = Hipstr_attacks.Rop
+module Jitrop = Hipstr_attacks.Jitrop
+module Tailored = Hipstr_attacks.Tailored
+module Entropy = Hipstr_attacks.Entropy
+module Isomeron = Hipstr_isomeron.Isomeron
+module Machine = Hipstr_machine.Machine
+module Mem = Hipstr_machine.Mem
+
+let httpd_fb = lazy (Workloads.fatbin Workloads.httpd)
+
+let build_chain () =
+  let fb = Lazy.force httpd_fb in
+  let mem = Mem.create Hipstr_machine.Layout.mem_size in
+  Hipstr_compiler.Fatbin.load fb mem;
+  Rop.build_chain mem fb Desc.Cisc ~victim_func:"handle_request"
+
+let test_chain_builds () =
+  match build_chain () with
+  | None -> Alcotest.fail "no execve chain found in httpd (gadget population too small)"
+  | Some chain ->
+    Alcotest.(check int) "four register steps" 4 (List.length chain.Rop.c_steps);
+    Alcotest.(check bool) "payload covers the return slot" true
+      (List.length chain.Rop.c_payload > chain.Rop.c_ret_index);
+    Alcotest.(check bool) "fits the network buffer" true (List.length chain.Rop.c_payload <= 512);
+    let regs = List.map (fun s -> s.Rop.s_reg) chain.Rop.c_steps in
+    Alcotest.(check (list int)) "covers the execve registers" [ 0; 1; 2; 3 ]
+      (List.sort compare regs)
+
+let test_exploit_wins_natively () =
+  match build_chain () with
+  | None -> Alcotest.fail "no chain"
+  | Some chain -> (
+    let sys = System.of_fatbin ~start_isa:Desc.Cisc ~mode:System.Native (Lazy.force httpd_fb) in
+    match Rop.deliver sys chain ~fuel:2_000_000 with
+    | Rop.Shell ->
+      (* execve arguments came from the chain *)
+      (match System.shell sys with
+      | Some (a1, _, _) -> Alcotest.(check int) "path register delivered" 0x1234 a1
+      | None -> Alcotest.fail "shell not recorded")
+    | Rop.Crashed m -> Alcotest.failf "native exploit crashed: %s" m
+    | Rop.Survived -> Alcotest.fail "native exploit silently absorbed")
+
+let test_exploit_fails_under_psr () =
+  match build_chain () with
+  | None -> Alcotest.fail "no chain"
+  | Some chain ->
+    (* PSR must stop the same payload across many randomization
+       epochs; a crash is an acceptable outcome, a shell is not. *)
+    let shells = ref 0 in
+    for seed = 1 to 12 do
+      let sys =
+        System.of_fatbin ~seed ~start_isa:Desc.Cisc ~mode:System.Psr_only (Lazy.force httpd_fb)
+      in
+      match Rop.deliver sys chain ~fuel:3_000_000 with
+      | Rop.Shell -> incr shells
+      | Rop.Crashed _ | Rop.Survived -> ()
+    done;
+    Alcotest.(check int) "no shell in any epoch" 0 !shells
+
+let test_exploit_fails_under_hipstr () =
+  match build_chain () with
+  | None -> Alcotest.fail "no chain"
+  | Some chain ->
+    let cfg = { Config.default with migrate_prob = 1.0 } in
+    let shells = ref 0 in
+    for seed = 1 to 8 do
+      let sys =
+        System.of_fatbin ~cfg ~seed ~start_isa:Desc.Cisc ~mode:System.Hipstr (Lazy.force httpd_fb)
+      in
+      match Rop.deliver sys chain ~fuel:3_000_000 with
+      | Rop.Shell -> incr shells
+      | Rop.Crashed _ | Rop.Survived -> ()
+    done;
+    Alcotest.(check int) "no shell under hipstr" 0 !shells
+
+let test_surface_analysis () =
+  let fb = Lazy.force httpd_fb in
+  let r = Surface.analyze ~seed:1 ~name:"httpd" fb Desc.Cisc in
+  Alcotest.(check bool) "has a real gadget population" true (r.r_total > 200);
+  Alcotest.(check bool) "most gadgets obfuscated" true (Surface.obfuscated_fraction r > 0.9);
+  Alcotest.(check bool) "some survive for brute force" true (r.r_viable > 10);
+  Alcotest.(check bool) "viable fraction moderate" true (Surface.viable_fraction r < 0.5);
+  Alcotest.(check bool) "unintentional gadgets exist" true (r.r_unintentional > 0);
+  (* the CISC/RISC attack-space asymmetry (Section 5.5) *)
+  let risc = Surface.analyze ~seed:1 ~name:"httpd-risc" fb Desc.Risc in
+  Alcotest.(check bool) "CISC attack space much larger than RISC" true
+    (float_of_int r.r_total > 2. *. float_of_int risc.r_total)
+
+let test_brute_force_simulation () =
+  let fb = Lazy.force httpd_fb in
+  let s = Surface.analyze ~seed:1 ~name:"httpd" fb Desc.Cisc in
+  let r = Brute_force.simulate ~name:"httpd" s in
+  Alcotest.(check bool) "found a 4-gadget chain to attack" true (r.bf_chain <> None);
+  Alcotest.(check bool) "params in a plausible band" true
+    (r.bf_params_avg > 1.5 && r.bf_params_avg < 12.);
+  Alcotest.(check bool) "entropy tens of bits" true (r.bf_entropy_bits > 20.);
+  Alcotest.(check bool) "computationally infeasible" true (Brute_force.is_infeasible r);
+  Alcotest.(check bool) "bias variant also infeasible" true
+    (r.bf_attempts_bias > Brute_force.infeasible_threshold)
+
+let test_jitrop_analysis () =
+  let r = Jitrop.analyze ~name:"httpd" Workloads.httpd ~seed:3 in
+  Alcotest.(check bool) "cache surface much smaller than static" true
+    (r.jr_in_cache < r.jr_static_total);
+  Alcotest.(check bool) "most in-cache gadgets flag the VM" true
+    (r.jr_flagging > r.jr_survive_migration);
+  Alcotest.(check bool) "final residue is a handful" true (r.jr_final <= r.jr_survive_migration);
+  Alcotest.(check bool) "execve infeasible from the residue" true (not r.jr_execve_feasible)
+
+let test_entropy_curves () =
+  let curves = Entropy.all ~cfg:Config.default ~max_chain:12 in
+  Alcotest.(check int) "four curves" 4 (List.length curves);
+  List.iter
+    (fun (c : Entropy.curve) ->
+      Alcotest.(check int) "12 points" 12 (List.length c.values);
+      List.iter (fun (_, v) -> Alcotest.(check bool) "capped" true (v <= Entropy.cap)) c.values)
+    curves;
+  let value_of label n =
+    let c = List.find (fun (c : Entropy.curve) -> c.label = label) curves in
+    List.assoc n c.values
+  in
+  Alcotest.(check (float 1e-9)) "isomeron is 2^n" 256. (value_of "Isomeron" 8);
+  Alcotest.(check bool) "hipstr saturates immediately" true (value_of "HIPStR" 1 > 1000.)
+
+let test_tailored_curves () =
+  let fb = Lazy.force httpd_fb in
+  let mem = Mem.create Hipstr_machine.Layout.mem_size in
+  Hipstr_compiler.Fatbin.load fb mem;
+  let effects =
+    Galileo.mine_program mem fb Desc.Cisc
+    |> List.filter (fun g -> g.Galileo.g_kind = Galileo.Ret_gadget)
+    |> List.map (Galileo.classify ~sp:7)
+  in
+  let probs = [ 0.0; 0.5; 1.0 ] in
+  let iso = Tailored.curve Tailored.Isomeron_only ~base_gadgets:effects ~psr_gadgets:effects ~probs in
+  let hip = Tailored.curve Tailored.Hipstr ~base_gadgets:effects ~psr_gadgets:effects ~probs in
+  let at (c : Tailored.curve) p =
+    (List.find (fun pt -> pt.Tailored.p_prob = p) c.t_points).Tailored.p_surface
+  in
+  Alcotest.(check (float 1e-6)) "equal surfaces at p=0" (at iso 0.) (at hip 0.);
+  Alcotest.(check bool) "hipstr crushes the surface at p=1" true (at hip 1. < at iso 1. /. 4.);
+  Alcotest.(check bool) "hipstr residue tiny" true (at hip 1. < 40.);
+  Alcotest.(check bool) "curves decrease" true (at iso 1. < at iso 0.)
+
+let test_isomeron_model () =
+  let iso = Isomeron.create ~diversification_prob:1.0 in
+  Alcotest.(check (float 1e-9)) "chain success halves per gadget" 0.125
+    (Isomeron.chain_success_probability iso ~chain_len:3);
+  Alcotest.(check (float 1e-9)) "entropy bits" 3. (Isomeron.entropy_bits iso ~chain_len:3);
+  let perf = Isomeron.relative_performance iso ~native_cycles:1_000_000. ~calls:5_000 ~returns:5_000 in
+  Alcotest.(check bool) "overhead in a plausible band" true (perf > 0.5 && perf < 0.99);
+  let reg_free = Isomeron.gadget_unaffected_probability ~reg_operands:0 in
+  Alcotest.(check (float 1e-9)) "register-free gadgets unaffected" 1.0 reg_free;
+  Alcotest.(check bool) "register gadgets mostly affected" true
+    (Isomeron.gadget_unaffected_probability ~reg_operands:2 < 0.05)
+
+let () =
+  Alcotest.run "attacks"
+    [
+      ( "rop-exploit",
+        [
+          Alcotest.test_case "chain builds" `Quick test_chain_builds;
+          Alcotest.test_case "wins natively" `Quick test_exploit_wins_natively;
+          Alcotest.test_case "fails under PSR" `Slow test_exploit_fails_under_psr;
+          Alcotest.test_case "fails under HIPStR" `Slow test_exploit_fails_under_hipstr;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "attack surface" `Quick test_surface_analysis;
+          Alcotest.test_case "brute force" `Quick test_brute_force_simulation;
+          Alcotest.test_case "jit-rop" `Quick test_jitrop_analysis;
+          Alcotest.test_case "entropy curves" `Quick test_entropy_curves;
+          Alcotest.test_case "tailored curves" `Quick test_tailored_curves;
+          Alcotest.test_case "isomeron model" `Quick test_isomeron_model;
+        ] );
+    ]

@@ -1,0 +1,268 @@
+(* End-to-end compiler tests: MiniC source -> fat binary -> native
+   execution on each ISA, checking the print trace and exit path. *)
+
+module Desc = Hipstr_isa.Desc
+module Machine = Hipstr_machine.Machine
+module Exec = Hipstr_machine.Exec
+module Sys' = Hipstr_machine.Sys
+module Compile = Hipstr_compiler.Compile
+module Fatbin = Hipstr_compiler.Fatbin
+module Ir = Hipstr_compiler.Ir
+
+let run_native src which ~fuel =
+  let _fb, m = Compile.load_program src ~active:which () in
+  let trap = Machine.run m ~fuel in
+  (trap, Sys'.output (Machine.os m), m)
+
+let check_output ?(fuel = 2_000_000) src expected =
+  List.iter
+    (fun which ->
+      let trap, out, _m = run_native src which ~fuel in
+      (match trap with
+      | Some (Exec.Exit _) -> ()
+      | Some t -> Alcotest.failf "%s: stopped with %s" (match which with Desc.Cisc -> "cisc" | Risc -> "risc") (Exec.string_of_trap t)
+      | None -> Alcotest.fail "out of fuel");
+      Alcotest.(check (list int))
+        (match which with Desc.Cisc -> "cisc output" | Risc -> "risc output")
+        expected out)
+    [ Desc.Cisc; Desc.Risc ]
+
+let test_return_value () =
+  check_output "int main() { print(42); return 0; }" [ 42 ]
+
+let test_arith () =
+  check_output
+    {| int main() {
+         print(2 + 3 * 4);
+         print(10 - 7);
+         print(20 / 3);
+         print(20 % 3);
+         print(1 << 10);
+         print(-16 >> 2);
+         print(12 & 10);
+         print(12 | 10);
+         print(12 ^ 10);
+         print(~0);
+         print(-(5));
+         return 0;
+       } |}
+    [ 14; 3; 6; 2; 1024; -4; 8; 14; 6; -1; -5 ]
+
+let test_comparisons () =
+  check_output
+    {| int main() {
+         print(3 < 4); print(4 < 3); print(3 <= 3);
+         print(3 == 3); print(3 != 3); print(5 >= 9);
+         print(2 > 1); print(!0); print(!7);
+         return 0;
+       } |}
+    [ 1; 0; 1; 1; 0; 0; 1; 1; 0 ]
+
+let test_control_flow () =
+  check_output
+    {| int main() {
+         int i;
+         int total = 0;
+         for (i = 0; i < 10; i = i + 1) {
+           if (i % 2 == 0) { total = total + i; } else { total = total - 1; }
+         }
+         print(total);
+         int n = 5;
+         while (n > 0) { print(n); n = n - 1; }
+         do { print(99); n = n + 1; } while (n < 2);
+         return 0;
+       } |}
+    [ 15; 5; 4; 3; 2; 1; 99; 99 ]
+
+let test_short_circuit () =
+  check_output
+    {| int side = 0;
+       int bump() { side = side + 1; return 1; }
+       int main() {
+         int a = 0 && bump();
+         print(a); print(side);
+         int b = 1 || bump();
+         print(b); print(side);
+         int c = 1 && bump();
+         print(c); print(side);
+         return 0;
+       } |}
+    [ 0; 0; 1; 0; 1; 1 ]
+
+let test_functions () =
+  check_output
+    {| int add(int a, int b) { return a + b; }
+       int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+       int main() {
+         print(add(3, 4));
+         print(fib(10));
+         return 0;
+       } |}
+    [ 7; 55 ]
+
+let test_many_args () =
+  check_output
+    {| int sum6(int a, int b, int c, int d, int e, int f) {
+         return a + 2*b + 3*c + 4*d + 5*e + 6*f;
+       }
+       int main() { print(sum6(1, 2, 3, 4, 5, 6)); return 0; } |}
+    [ 1 + 4 + 9 + 16 + 25 + 36 ]
+
+let test_arrays_and_pointers () =
+  check_output
+    {| int g[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+       int gsum;
+       int main() {
+         int i;
+         int local[4];
+         for (i = 0; i < 4; i = i + 1) { local[i] = g[i] * 10; }
+         int total = 0;
+         for (i = 0; i < 4; i = i + 1) { total = total + local[i]; }
+         print(total);
+         int p = &g[0];
+         print(*p);
+         print(p[3]);
+         *p = 100;
+         print(g[0]);
+         int x = 7;
+         int q = &x;
+         *q = 11;
+         print(x);
+         gsum = total + x;
+         print(gsum);
+         return 0;
+       } |}
+    [ 100; 1; 4; 100; 11; 111 ]
+
+let test_globals () =
+  check_output
+    {| int counter = 5;
+       int table[3] = {10, 20, 30};
+       int bump(int k) { counter = counter + k; return counter; }
+       int main() {
+         print(bump(1));
+         print(bump(2));
+         print(table[1]);
+         table[2] = counter;
+         print(table[2]);
+         return 0;
+       } |}
+    [ 6; 8; 20; 8 ]
+
+let test_function_pointers () =
+  check_output
+    {| int twice(int x) { return 2 * x; }
+       int thrice(int x) { return 3 * x; }
+       int main() {
+         int f = &twice;
+         print((*f)(21));
+         f = &thrice;
+         print((*f)(7));
+         int i;
+         for (i = 0; i < 4; i = i + 1) {
+           int g = (i % 2 == 0) ? &twice : &thrice;
+           print((*g)(i));
+         }
+         return 0;
+       } |}
+    [ 42; 21; 0; 3; 4; 9 ]
+
+let test_ternary_nested () =
+  check_output
+    {| int classify(int x) { return x < 0 ? 0 - 1 : (x == 0 ? 0 : 1); }
+       int main() {
+         print(classify(-5)); print(classify(0)); print(classify(9));
+         return 0;
+       } |}
+    [ -1; 0; 1 ]
+
+let test_exit_code () =
+  let trap, out, _ = run_native "int main() { print(1); exit(7); print(2); return 0; }" Desc.Cisc ~fuel:100000 in
+  Alcotest.(check (list int)) "output before exit" [ 1 ] out;
+  match trap with
+  | Some (Exec.Exit 7) -> ()
+  | Some t -> Alcotest.failf "expected exit(7), got %s" (Exec.string_of_trap t)
+  | None -> Alcotest.fail "out of fuel"
+
+let test_brk () =
+  check_output
+    {| int main() {
+         int p = brk(64);
+         int q = brk(0);
+         print(q - p);
+         *p = 1234;
+         p[15] = 77;
+         print(*p + p[15]);
+         return 0;
+       } |}
+    [ 64; 1311 ]
+
+let test_same_output_both_isas () =
+  (* A mixed kernel exercising calls, loops, arrays and arithmetic:
+     outputs must agree between ISAs exactly. *)
+  let src =
+    {| int acc[16];
+       int mix(int a, int b) { return (a * 31 + b) ^ (a >> 3); }
+       int main() {
+         int i;
+         int h = 17;
+         for (i = 0; i < 64; i = i + 1) {
+           h = mix(h, i);
+           acc[i % 16] = acc[i % 16] + (h & 255);
+         }
+         int total = 0;
+         for (i = 0; i < 16; i = i + 1) { total = total + acc[i]; }
+         print(total);
+         print(h);
+         return 0;
+       } |}
+  in
+  let _, out_c, _ = run_native src Desc.Cisc ~fuel:2_000_000 in
+  let _, out_r, _ = run_native src Desc.Risc ~fuel:2_000_000 in
+  Alcotest.(check (list int)) "cross-ISA agreement" out_c out_r;
+  Alcotest.(check int) "two outputs" 2 (List.length out_c)
+
+let test_validate_catches_bad_programs () =
+  let expect_error src =
+    match Compile.to_ir src with
+    | exception Compile.Error _ -> ()
+    | _ -> Alcotest.fail "expected a compile error"
+  in
+  expect_error "int main() { return undeclared_var; }";
+  expect_error "int main() { return nosuchfunc(1); }";
+  expect_error "int f() { return 0; }" (* no main *)
+
+let test_frame_is_symmetric () =
+  let fb = Compile.to_fatbin "int f(int a, int b) { int x[4]; x[0]=a; x[1]=b; return x[0]+x[1]; } int main() { return f(1,2); }" in
+  let fs = Fatbin.find_func fb "f" in
+  (* One frame object shared by both images; entries differ. *)
+  Alcotest.(check bool) "entries differ" true (fs.fs_cisc.im_entry <> fs.fs_risc.im_entry);
+  Alcotest.(check bool) "frame is 16-aligned" true (fs.fs_frame.frame_bytes mod 16 = 0);
+  Alcotest.(check int) "ret slot at top" (fs.fs_frame.frame_bytes - 4) fs.fs_frame.ret_off
+
+let () =
+  Alcotest.run "compiler"
+    [
+      ( "exec",
+        [
+          Alcotest.test_case "return value" `Quick test_return_value;
+          Alcotest.test_case "arithmetic" `Quick test_arith;
+          Alcotest.test_case "comparisons" `Quick test_comparisons;
+          Alcotest.test_case "control flow" `Quick test_control_flow;
+          Alcotest.test_case "short circuit" `Quick test_short_circuit;
+          Alcotest.test_case "functions" `Quick test_functions;
+          Alcotest.test_case "many args" `Quick test_many_args;
+          Alcotest.test_case "arrays and pointers" `Quick test_arrays_and_pointers;
+          Alcotest.test_case "globals" `Quick test_globals;
+          Alcotest.test_case "function pointers" `Quick test_function_pointers;
+          Alcotest.test_case "nested ternary" `Quick test_ternary_nested;
+          Alcotest.test_case "exit code" `Quick test_exit_code;
+          Alcotest.test_case "brk heap" `Quick test_brk;
+          Alcotest.test_case "cross-ISA agreement" `Quick test_same_output_both_isas;
+        ] );
+      ( "static",
+        [
+          Alcotest.test_case "bad programs rejected" `Quick test_validate_catches_bad_programs;
+          Alcotest.test_case "frame symmetry" `Quick test_frame_is_symmetric;
+        ] );
+    ]

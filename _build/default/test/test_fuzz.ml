@@ -1,0 +1,87 @@
+(* Differential fuzzing: randomly generated MiniC programs must
+   produce identical print traces on every execution configuration —
+   native CISC, native RISC, PSR (multiple seeds), and HIPStR with
+   forced migration probability 1. This is the strongest correctness
+   property the system has: the whole pipeline (parser, compiler, both
+   backends, interpreter, PSR translator, relocation maps, migration)
+   sits under it. *)
+
+module Desc = Hipstr_isa.Desc
+module System = Hipstr.System
+module Config = Hipstr_psr.Config
+
+let fuel = 4_000_000
+
+let run_config src ~mode ~isa ~seed =
+  match System.create ~seed ~start_isa:isa ~mode ~src () with
+  | exception Hipstr_compiler.Compile.Error m -> Error ("compile: " ^ m)
+  | sys -> (
+    match System.run sys ~fuel with
+    | System.Finished _ -> Ok (System.output sys)
+    | System.Killed m -> Error ("killed: " ^ m)
+    | System.Shell_spawned -> Error "shell"
+    | System.Out_of_fuel -> Error "fuel")
+
+let check_program seed =
+  let src = Progen.generate seed in
+  let configs =
+    [
+      ("native-cisc", System.Native, Desc.Cisc, 1);
+      ("native-risc", System.Native, Desc.Risc, 1);
+      ("psr-cisc-a", System.Psr_only, Desc.Cisc, 1 + (seed * 7));
+      ("psr-cisc-b", System.Psr_only, Desc.Cisc, 2 + (seed * 13));
+      ("psr-risc", System.Psr_only, Desc.Risc, 3 + seed);
+      ("hipstr", System.Hipstr, Desc.Cisc, 4 + seed);
+    ]
+  in
+  let results =
+    List.map
+      (fun (label, mode, isa, s) ->
+        let cfg_seed = s in
+        (label, run_config src ~mode ~isa ~seed:cfg_seed))
+      configs
+  in
+  match results with
+  | (_, Ok reference) :: rest ->
+    List.iter
+      (fun (label, r) ->
+        match r with
+        | Ok out ->
+          if out <> reference then
+            Alcotest.failf "seed %d: %s diverged\nprogram:\n%s\nexpected %s got %s" seed label src
+              (String.concat "," (List.map string_of_int reference))
+              (String.concat "," (List.map string_of_int out))
+        | Error e -> Alcotest.failf "seed %d: %s failed (%s)\nprogram:\n%s" seed label e src)
+      rest
+  | (_, Error e) :: _ -> Alcotest.failf "seed %d: reference run failed (%s)\nprogram:\n%s" seed e src
+  | [] -> ()
+
+let test_fuzz_batch lo hi () =
+  for seed = lo to hi do
+    check_program seed
+  done
+
+let test_generated_programs_nontrivial () =
+  (* sanity on the generator itself: programs compile and do work *)
+  let sizes = ref [] in
+  for seed = 1 to 10 do
+    let src = Progen.generate seed in
+    sizes := String.length src :: !sizes;
+    match run_config src ~mode:System.Native ~isa:Desc.Cisc ~seed:1 with
+    | Ok out -> Alcotest.(check int) "prints two values" 2 (List.length out)
+    | Error e -> Alcotest.failf "seed %d failed: %s" seed e
+  done;
+  Alcotest.(check bool) "programs vary in size" true
+    (List.length (List.sort_uniq compare !sizes) > 3)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "generator sanity" `Quick test_generated_programs_nontrivial;
+          Alcotest.test_case "programs 1-25" `Quick (test_fuzz_batch 1 25);
+          Alcotest.test_case "programs 26-50" `Quick (test_fuzz_batch 26 50);
+          Alcotest.test_case "programs 51-100" `Slow (test_fuzz_batch 51 100);
+        ] );
+    ]

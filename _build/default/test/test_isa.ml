@@ -1,0 +1,205 @@
+(* Encoder/decoder round-trip tests for both ISAs, plus the encoding
+   properties the security evaluation depends on (one-byte CISC ret,
+   RISC alignment). *)
+
+module Minstr = Hipstr_isa.Minstr
+module Cisc = Hipstr_cisc.Isa
+module Risc = Hipstr_risc.Isa
+open Minstr
+
+let reader_of_string ?(at = 0) s i =
+  if i - at < 0 || i - at >= String.length s then -1 else Char.code s.[i - at]
+
+let roundtrip_check name encode decode length align ins =
+  let at = 0x1000 in
+  let bytes = encode ~at ins in
+  Alcotest.(check int)
+    (name ^ " length agrees")
+    (String.length bytes) (length ins);
+  if String.length bytes mod align <> 0 then
+    Alcotest.failf "%s: misaligned length %d" name (String.length bytes);
+  match decode ~read:(reader_of_string ~at bytes) at with
+  | None -> Alcotest.failf "%s: failed to decode %s" name (to_string ~reg_name:string_of_int ins)
+  | Some (ins', len) ->
+    Alcotest.(check int) (name ^ " decode length") (String.length bytes) len;
+    if ins <> ins' then
+      Alcotest.failf "%s: roundtrip mismatch: %s vs %s" name
+        (to_string ~reg_name:string_of_int ins)
+        (to_string ~reg_name:string_of_int ins')
+
+let cisc_samples =
+  [
+    Mov (Reg 0, Reg 3);
+    Mov (Reg 2, Imm 123456);
+    Mov (Reg 1, Imm (-7));
+    Mov (Reg 4, Mem { base = 7; disp = 48 });
+    Mov (Mem { base = 7; disp = -4 }, Reg 5);
+    Mov (Mem { base = 6; disp = 0 }, Imm 99);
+    Lea (3, 7, 1024);
+    Binop (Add, Reg 0, Reg 1);
+    Binop (Sub, Reg 2, Imm 4);
+    Binop (Mul, Reg 3, Mem { base = 7; disp = 8 });
+    Binop (Xor, Mem { base = 7; disp = 16 }, Reg 2);
+    Binop (Shl, Mem { base = 7; disp = 20 }, Imm 3);
+    Binop (Divs, Reg 1, Reg 2);
+    Binop (Rems, Reg 1, Imm 10);
+    Binop (Sar, Reg 4, Imm 2);
+    Cmp (Reg 0, Reg 1);
+    Cmp (Reg 0, Imm 5);
+    Cmp (Reg 0, Mem { base = 7; disp = 4 });
+    Cmp (Mem { base = 7; disp = 4 }, Imm 9);
+    Cmp (Mem { base = 7; disp = 4 }, Reg 3);
+    Push (Reg 6);
+    Push (Imm 0xC3C3);
+    Push (Mem { base = 7; disp = 12 });
+    Pop (Reg 2);
+    Pop (Mem { base = 7; disp = 36 });
+    Jmp 0x2000;
+    Jcc (Eq, 0x2010);
+    Jcc (Ult, 0x900);
+    Jmpr (Reg 3);
+    Jmpr (Mem { base = 7; disp = 0 });
+    Call 0x3000;
+    Callr (Reg 1);
+    Callr (Mem { base = 7; disp = 8 });
+    Ret;
+    Syscall;
+    Nop;
+    Trap 0x1234;
+    Callrat { target = 0x800000; src_ret = 0x10040 };
+    Retrat (Reg 6);
+    Retrat (Mem { base = 7; disp = 0x80C });
+  ]
+
+let risc_samples =
+  [
+    Mov (Reg 0, Reg 15);
+    Mov (Reg 2, Imm 100);
+    Mov (Reg 2, Imm 123456);
+    Mov (Reg 2, Imm (-40000));
+    Mov (Reg 4, Mem { base = 13; disp = 48 });
+    Mov (Reg 4, Mem { base = 13; disp = 70000 });
+    Mov (Mem { base = 13; disp = -4 }, Reg 5);
+    Lea (3, 13, 1024);
+    Lea (3, 13, 100000);
+    Binop (Add, Reg 0, Reg 1);
+    Binop (Sub, Reg 2, Imm 4);
+    Binop (Mul, Reg 3, Imm 1000000);
+    Cmp (Reg 0, Reg 1);
+    Cmp (Reg 0, Imm 500000);
+    Push (Reg 6);
+    Pop (Reg 2);
+    Jmp 0x120000;
+    Jcc (Ne, 0x120010);
+    Jmpr (Reg 3);
+    Call 0x130000;
+    Callr (Reg 1);
+    Retr 14;
+    Syscall;
+    Nop;
+    Trap 0x1234;
+    Callrat { target = 0x1800000; src_ret = 0x110040 };
+    Retrat (Reg 12);
+  ]
+
+let test_cisc_roundtrip () =
+  List.iter (roundtrip_check "cisc" Cisc.encode Cisc.decode Cisc.length 1) cisc_samples
+
+let test_risc_roundtrip () =
+  List.iter (roundtrip_check "risc" Risc.encode Risc.decode Risc.length 4) risc_samples
+
+let test_cisc_ret_is_one_byte () =
+  Alcotest.(check int) "ret opcode" 0xC3 Cisc.ret_opcode;
+  Alcotest.(check string) "ret encoding" "\xc3" (Cisc.encode ~at:0 Ret)
+
+let test_cisc_rejects_bad_regs () =
+  (* A mod/reg byte with a nibble >= 8 must not decode: this is what
+     makes some unaligned byte strings invalid. *)
+  let bad = "\x01\x9f" in
+  Alcotest.(check bool) "bad reg rejected" true (Cisc.decode ~read:(reader_of_string bad) 0 = None)
+
+let test_cisc_unencodable () =
+  Alcotest.(check_raises) "mov mem,mem" (Invalid_argument "cisc: bad mov operands") (fun () ->
+      ignore (Cisc.encode ~at:0 (Mov (Mem { base = 0; disp = 0 }, Mem { base = 1; disp = 0 }))));
+  Alcotest.(check_raises) "retr" (Invalid_argument "cisc: retr is RISC-only") (fun () ->
+      ignore (Cisc.encode ~at:0 (Retr 14)))
+
+let test_risc_encodable_predicate () =
+  Alcotest.(check bool) "alu mem operand" false (Risc.encodable (Binop (Add, Reg 0, Mem { base = 13; disp = 0 })));
+  Alcotest.(check bool) "mem-to-mem mov" false (Risc.encodable (Mov (Mem { base = 13; disp = 0 }, Mem { base = 13; disp = 4 })));
+  Alcotest.(check bool) "push imm" false (Risc.encodable (Push (Imm 1)));
+  Alcotest.(check bool) "plain ret" false (Risc.encodable Ret);
+  Alcotest.(check bool) "ldr" true (Risc.encodable (Mov (Reg 1, Mem { base = 13; disp = 8 })))
+
+let test_risc_all_lengths_word_multiple () =
+  List.iter
+    (fun i ->
+      let l = Risc.length i in
+      if l mod 4 <> 0 then Alcotest.failf "length %d not word multiple" l)
+    risc_samples
+
+let test_unintentional_gadget_exists () =
+  (* Classic x86 phenomenon: decoding inside an immediate yields a
+     valid instruction stream ending in ret. Encode mov r2, 0xC3 and
+     decode at the offset of the 0xC3 byte. *)
+  let bytes = Cisc.encode ~at:0 (Mov (Reg 2, Imm 0xC3)) in
+  let idx = String.index bytes '\xc3' in
+  match Cisc.decode ~read:(reader_of_string bytes) idx with
+  | Some (Ret, 1) -> ()
+  | _ -> Alcotest.fail "expected unintentional ret inside immediate"
+
+let test_minstr_helpers () =
+  Alcotest.(check bool) "ret is return" true (is_return Ret);
+  Alcotest.(check bool) "retrat is return" true (is_return (Retrat (Reg 0)));
+  Alcotest.(check bool) "jcc is control" true (is_control (Jcc (Eq, 0)));
+  Alcotest.(check bool) "mov not control" false (is_control (Mov (Reg 0, Reg 1)));
+  Alcotest.(check bool) "syscall not control" false (is_control Syscall);
+  Alcotest.(check int) "negate involutive" 0
+    (List.length
+       (List.filter
+          (fun c -> negate_cond (negate_cond c) <> c)
+          (Array.to_list all_conds)))
+
+let prop_cisc_decode_total =
+  (* Decoding arbitrary bytes never crashes and either fails or
+     consumes a positive length. *)
+  QCheck.Test.make ~count:2000 ~name:"cisc decode total"
+    QCheck.(string_of_size (QCheck.Gen.return 12))
+    (fun s ->
+      if String.length s < 12 then true
+      else
+        match Cisc.decode ~read:(reader_of_string s) 0 with
+        | None -> true
+        | Some (_, len) -> len > 0 && len <= 10)
+
+let prop_risc_decode_total =
+  QCheck.Test.make ~count:2000 ~name:"risc decode total"
+    QCheck.(string_of_size (QCheck.Gen.return 12))
+    (fun s ->
+      if String.length s < 12 then true
+      else
+        match Risc.decode ~read:(reader_of_string s) 0 with
+        | None -> true
+        | Some (_, len) -> len = 4 || len = 8 || len = 12)
+
+let () =
+  Alcotest.run "isa"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "cisc" `Quick test_cisc_roundtrip;
+          Alcotest.test_case "risc" `Quick test_risc_roundtrip;
+        ] );
+      ( "encoding-properties",
+        [
+          Alcotest.test_case "cisc one-byte ret" `Quick test_cisc_ret_is_one_byte;
+          Alcotest.test_case "cisc rejects bad registers" `Quick test_cisc_rejects_bad_regs;
+          Alcotest.test_case "cisc unencodable shapes" `Quick test_cisc_unencodable;
+          Alcotest.test_case "risc encodable predicate" `Quick test_risc_encodable_predicate;
+          Alcotest.test_case "risc word lengths" `Quick test_risc_all_lengths_word_multiple;
+          Alcotest.test_case "unintentional gadget" `Quick test_unintentional_gadget_exists;
+          Alcotest.test_case "minstr helpers" `Quick test_minstr_helpers;
+          QCheck_alcotest.to_alcotest prop_cisc_decode_total;
+          QCheck_alcotest.to_alcotest prop_risc_decode_total;
+        ] );
+    ]

@@ -1,0 +1,305 @@
+(* Machine substrate tests: memory, caches, branch predictor, RAT,
+   and hand-assembled programs run through the interpreter. *)
+
+module Mem = Hipstr_machine.Mem
+module Cache = Hipstr_machine.Cache
+module Bpred = Hipstr_machine.Bpred
+module Rat = Hipstr_machine.Rat
+module Layout = Hipstr_machine.Layout
+module Machine = Hipstr_machine.Machine
+module Exec = Hipstr_machine.Exec
+module Core_desc = Hipstr_machine.Core_desc
+module Minstr = Hipstr_isa.Minstr
+module Desc = Hipstr_isa.Desc
+module Cisc = Hipstr_cisc.Isa
+module Risc = Hipstr_risc.Isa
+open Minstr
+
+let test_mem_rw () =
+  let m = Mem.create 4096 in
+  Mem.write32 m 100 0x12345678;
+  Alcotest.(check int) "read32" 0x12345678 (Mem.read32 m 100);
+  Alcotest.(check int) "byte order little-endian" 0x78 (Mem.read8 m 100);
+  Mem.write32 m 200 (-1);
+  Alcotest.(check int) "negative" (-1) (Mem.read32 m 200);
+  Mem.write8 m 0 0x1FF;
+  Alcotest.(check int) "byte masked" 0xFF (Mem.read8 m 0)
+
+let test_mem_fault () =
+  let m = Mem.create 64 in
+  Alcotest.check_raises "oob read" (Mem.Fault 64) (fun () -> ignore (Mem.read8 m 64));
+  Alcotest.check_raises "oob write32 straddle" (Mem.Fault 65) (fun () -> Mem.write32 m 62 0);
+  Alcotest.check_raises "negative" (Mem.Fault (-1)) (fun () -> ignore (Mem.read8 m (-1)))
+
+let test_mem_strings () =
+  let m = Mem.create 256 in
+  Mem.blit_string m 10 "hello\000";
+  Alcotest.(check string) "cstring" "hello" (Mem.read_cstring m 10);
+  Alcotest.(check string) "substring" "ell" (Mem.read_string m 11 3)
+
+let test_cache_behavior () =
+  let c = Cache.create ~line:64 ~size_kb:1 ~assoc:2 ~miss_penalty:10 () in
+  Alcotest.(check bool) "first access misses" false (Cache.access c 0);
+  Alcotest.(check bool) "second hits" true (Cache.access c 32);
+  Alcotest.(check bool) "different line misses" false (Cache.access c 64);
+  Alcotest.(check int) "stats" 2 (Cache.misses c);
+  (* 1 KB, 2-way, 64B lines -> 8 sets. Address stride of 512 maps to
+     the same set; three distinct lines exceed the ways. *)
+  let c2 = Cache.create ~line:64 ~size_kb:1 ~assoc:2 ~miss_penalty:10 () in
+  ignore (Cache.access c2 0);
+  ignore (Cache.access c2 512);
+  ignore (Cache.access c2 1024);
+  Alcotest.(check bool) "evicted LRU way" false (Cache.access c2 0);
+  Cache.flush c2;
+  Cache.reset_stats c2;
+  Alcotest.(check bool) "flush invalidates" false (Cache.access c2 512)
+
+let test_bpred_learns_loop () =
+  let b = Bpred.create () in
+  (* A branch taken 100 times: after warmup it should predict well. *)
+  for _ = 1 to 100 do
+    ignore (Bpred.predict_cond b ~pc:0x400 ~taken:true)
+  done;
+  let before = Bpred.mispredicts b in
+  for _ = 1 to 100 do
+    ignore (Bpred.predict_cond b ~pc:0x400 ~taken:true)
+  done;
+  Alcotest.(check int) "steady state no mispredicts" before (Bpred.mispredicts b)
+
+let test_bpred_ras () =
+  let b = Bpred.create () in
+  Bpred.push_ras b 0x111;
+  Bpred.push_ras b 0x222;
+  Alcotest.(check bool) "inner return predicted" true (Bpred.predict_return b ~target:0x222);
+  Alcotest.(check bool) "outer return predicted" true (Bpred.predict_return b ~target:0x111);
+  Alcotest.(check bool) "empty RAS mispredicts" false (Bpred.predict_return b ~target:0x111)
+
+let test_rat_lru () =
+  let r = Rat.create ~capacity:2 in
+  Rat.insert r ~src:1 ~translated:101;
+  Rat.insert r ~src:2 ~translated:102;
+  Alcotest.(check (option int)) "hit 1" (Some 101) (Rat.lookup r 1);
+  Rat.insert r ~src:3 ~translated:103;
+  (* 2 was least recently used (1 was just touched). *)
+  Alcotest.(check (option int)) "2 evicted" None (Rat.lookup r 2);
+  Alcotest.(check (option int)) "1 kept" (Some 101) (Rat.lookup r 1);
+  Alcotest.(check (option int)) "3 kept" (Some 103) (Rat.lookup r 3);
+  Alcotest.(check int) "misses counted" 1 (Rat.misses r)
+
+(* Hand-assemble a tiny program into memory and run it natively. *)
+let assemble which base instrs mem =
+  let encode ~at i =
+    match which with Desc.Cisc -> Cisc.encode ~at i | Desc.Risc -> Risc.encode ~at i
+  in
+  let at = ref base in
+  List.iter
+    (fun i ->
+      let bytes = encode ~at:!at i in
+      Mem.blit_string mem !at bytes;
+      at := !at + String.length bytes)
+    instrs;
+  !at
+
+let run_asm which instrs ~fuel =
+  let m = Machine.create ~active:which () in
+  let base = Layout.code_base which in
+  ignore (assemble which base instrs (Machine.mem m));
+  Machine.boot m ~entry:base;
+  let trap = Machine.run m ~fuel in
+  (trap, m)
+
+let test_exec_cisc_loop () =
+  (* sum 1..10 into bx then print and exit *)
+  let base = Layout.cisc_code_base in
+  let l_loop = base + 12 in
+  let instrs =
+    [
+      Mov (Reg 1, Imm 0) (* bx := 0 *);
+      Mov (Reg 2, Imm 10) (* cx := 10 *);
+      (* loop: *)
+      Binop (Add, Reg 1, Reg 2);
+      Binop (Sub, Reg 2, Imm 1);
+      Cmp (Reg 2, Imm 0);
+      Jcc (Gt, l_loop);
+      (* print bx *)
+      Mov (Reg 0, Imm 4);
+      Syscall;
+      Mov (Reg 0, Imm 1);
+      Mov (Reg 1, Imm 0);
+      Syscall;
+    ]
+  in
+  let trap, m = run_asm Desc.Cisc instrs ~fuel:1000 in
+  (match trap with
+  | Some (Exec.Exit 0) -> ()
+  | Some t -> Alcotest.failf "unexpected stop: %s" (Exec.string_of_trap t)
+  | None -> Alcotest.fail "out of fuel");
+  Alcotest.(check (list int)) "printed sum" [ 55 ] (Hipstr_machine.Sys.output (Machine.os m))
+
+let test_exec_risc_loop () =
+  let base = Layout.risc_code_base in
+  (* mov r1,0 (4) ; mov r2,10 (4) ; loop at +8: add r1,r2 (4); sub r2,1 (4); cmp r2,0 (4); jgt loop (8) *)
+  let l_loop = base + 8 in
+  let instrs =
+    [
+      Mov (Reg 1, Imm 0);
+      Mov (Reg 2, Imm 10);
+      Binop (Add, Reg 1, Reg 2);
+      Binop (Sub, Reg 2, Imm 1);
+      Cmp (Reg 2, Imm 0);
+      Jcc (Gt, l_loop);
+      Mov (Reg 0, Imm 4);
+      Syscall;
+      Mov (Reg 0, Imm 1);
+      Mov (Reg 1, Imm 0);
+      Syscall;
+    ]
+  in
+  let trap, m = run_asm Desc.Risc instrs ~fuel:1000 in
+  (match trap with
+  | Some (Exec.Exit 0) -> ()
+  | Some t -> Alcotest.failf "unexpected stop: %s" (Exec.string_of_trap t)
+  | None -> Alcotest.fail "out of fuel");
+  Alcotest.(check (list int)) "printed sum" [ 55 ] (Hipstr_machine.Sys.output (Machine.os m))
+
+let test_exec_bad_fetch_faults () =
+  (* Jump to a byte that decodes on no path: 0x07 expects an
+     immediate byte, and the following out-of-range read makes the
+     fetch fail. Zeroed memory, by contrast, decodes (the dense
+     x86-like opcode map), so use an address near the end of the
+     address space. *)
+  let m = Machine.create ~active:Desc.Cisc () in
+  let base = Layout.cisc_code_base in
+  ignore (assemble Desc.Cisc base [ Minstr.Jmp (Layout.mem_size - 1) ] (Machine.mem m));
+  (* place an undecodable byte (an unused opcode) at the target *)
+  Mem.write8 (Machine.mem m) (Layout.mem_size - 1) 0x02;
+  (* 0x02 = mov r, imm32 but its operand byte + imm straddle the end
+     of memory: the decoder's reads return -1 and decoding fails *)
+  Machine.boot m ~entry:base;
+  match Machine.run m ~fuel:10 with
+  | Some (Exec.Fault (Exec.Bad_fetch _)) -> ()
+  | Some t -> Alcotest.failf "expected bad fetch, got %s" (Exec.string_of_trap t)
+  | None -> Alcotest.fail "no trap"
+
+let test_exec_execve_detected () =
+  let instrs = [ Mov (Reg 0, Imm 11); Mov (Reg 1, Imm 0xdead); Syscall ] in
+  let trap, m = run_asm Desc.Cisc instrs ~fuel:10 in
+  (match trap with
+  | Some Exec.Shell -> ()
+  | Some t -> Alcotest.failf "expected shell, got %s" (Exec.string_of_trap t)
+  | None -> Alcotest.fail "no trap");
+  match (Machine.os m).shell with
+  | Some (a, _, _) -> Alcotest.(check int) "execve arg recorded" 0xdead a
+  | None -> Alcotest.fail "shell not recorded"
+
+let test_native_ret_to_sentinel_exits () =
+  (* push sentinel happens in boot; a lone ret should exit with the
+     value in the return register. *)
+  let instrs = [ Mov (Reg 0, Imm 33); Ret ] in
+  let trap, _ = run_asm Desc.Cisc instrs ~fuel:10 in
+  match trap with
+  | Some (Exec.Exit 33) -> ()
+  | Some t -> Alcotest.failf "expected exit 33, got %s" (Exec.string_of_trap t)
+  | None -> Alcotest.fail "no trap"
+
+let test_rat_mode_ret_traps () =
+  (* With a RAT present, a return with no mapping must trap (the
+     modified return macro-op). *)
+  let m = Machine.create ~rat_capacity:(Some 64) ~active:Desc.Cisc () in
+  let base = Layout.cisc_code_base in
+  ignore (assemble Desc.Cisc base [ Push (Imm 0x4242); Ret ] (Machine.mem m));
+  Machine.boot m ~entry:base;
+  match Machine.run m ~fuel:10 with
+  | Some (Exec.Rat_miss 0x4242) -> ()
+  | Some t -> Alcotest.failf "expected rat miss, got %s" (Exec.string_of_trap t)
+  | None -> Alcotest.fail "no trap"
+
+let test_callrat_inserts_mapping () =
+  let m = Machine.create ~rat_capacity:(Some 64) ~active:Desc.Cisc () in
+  let base = Layout.cisc_code_base in
+  (* callrat jumps to a block that returns via retrat on the pushed
+     source address. *)
+  let target = base + 100 in
+  ignore (assemble Desc.Cisc base [ Callrat { target; src_ret = 0x7777 } ] (Machine.mem m));
+  (* the "translated callee": pop the source ret into bp and retrat *)
+  ignore (assemble Desc.Cisc target [ Pop (Reg 6); Retrat (Reg 6) ] (Machine.mem m));
+  (* continuation after callrat: exit 5 *)
+  let cont = base + Cisc.length (Callrat { target; src_ret = 0x7777 }) in
+  ignore (assemble Desc.Cisc cont [ Mov (Reg 0, Imm 1); Mov (Reg 1, Imm 5); Syscall ] (Machine.mem m));
+  Machine.boot m ~entry:base;
+  match Machine.run m ~fuel:20 with
+  | Some (Exec.Exit 5) -> ()
+  | Some t -> Alcotest.failf "expected exit 5, got %s" (Exec.string_of_trap t)
+  | None -> Alcotest.fail "no trap"
+
+let test_trap_stub () =
+  let trap, _ = run_asm Desc.Cisc [ Nop; Trap 0xBEEF ] ~fuel:10 in
+  match trap with
+  | Some (Exec.Trap_stub 0xBEEF) -> ()
+  | Some t -> Alcotest.failf "expected trap stub, got %s" (Exec.string_of_trap t)
+  | None -> Alcotest.fail "no trap"
+
+let test_indirect_jump_into_cache_faults () =
+  let target = Layout.cisc_cache_base + 64 in
+  let instrs = [ Mov (Reg 1, Imm target); Jmpr (Reg 1) ] in
+  let trap, _ = run_asm Desc.Cisc instrs ~fuel:10 in
+  match trap with
+  | Some (Exec.Fault (Exec.Cache_jump _)) -> ()
+  | Some t -> Alcotest.failf "expected cache-jump fault, got %s" (Exec.string_of_trap t)
+  | None -> Alcotest.fail "no trap"
+
+let test_cycle_accounting () =
+  let trap, m = run_asm Desc.Cisc [ Mov (Reg 0, Imm 1); Mov (Reg 1, Imm 0); Syscall ] ~fuel:10 in
+  (match trap with Some (Exec.Exit 0) -> () | _ -> Alcotest.fail "bad run");
+  Alcotest.(check bool) "cycles accumulated" true (Machine.cycles m > 0.);
+  Alcotest.(check int) "instructions counted" 3 (Machine.instructions m);
+  Alcotest.(check bool) "seconds positive" true (Machine.seconds m > 0.)
+
+let test_core_descs_match_table1 () =
+  Alcotest.(check int) "arm rob" 20 Core_desc.arm.rob_size;
+  Alcotest.(check int) "x86 rob" 128 Core_desc.x86.rob_size;
+  Alcotest.(check (float 1e-9)) "arm freq" 2.0 Core_desc.arm.freq_ghz;
+  Alcotest.(check (float 1e-9)) "x86 freq" 3.3 Core_desc.x86.freq_ghz;
+  Alcotest.(check int) "arm fetch" 2 Core_desc.arm.fetch_width;
+  Alcotest.(check int) "x86 fetch" 4 Core_desc.x86.fetch_width
+
+let test_switch_core () =
+  let m = Machine.create ~active:Desc.Cisc () in
+  Alcotest.(check int) "no migrations yet" 0 (Machine.migrations m);
+  Machine.switch_core m Desc.Risc;
+  Alcotest.(check bool) "active switched" true (Machine.active m = Desc.Risc);
+  Machine.switch_core m Desc.Risc;
+  Alcotest.(check int) "same-core switch not counted" 1 (Machine.migrations m)
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "mem",
+        [
+          Alcotest.test_case "read write" `Quick test_mem_rw;
+          Alcotest.test_case "faults" `Quick test_mem_fault;
+          Alcotest.test_case "strings" `Quick test_mem_strings;
+        ] );
+      ( "timing-structures",
+        [
+          Alcotest.test_case "cache" `Quick test_cache_behavior;
+          Alcotest.test_case "bpred loop" `Quick test_bpred_learns_loop;
+          Alcotest.test_case "bpred ras" `Quick test_bpred_ras;
+          Alcotest.test_case "rat lru" `Quick test_rat_lru;
+          Alcotest.test_case "core descs" `Quick test_core_descs_match_table1;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "cisc loop" `Quick test_exec_cisc_loop;
+          Alcotest.test_case "risc loop" `Quick test_exec_risc_loop;
+          Alcotest.test_case "bad fetch" `Quick test_exec_bad_fetch_faults;
+          Alcotest.test_case "execve detection" `Quick test_exec_execve_detected;
+          Alcotest.test_case "ret to sentinel" `Quick test_native_ret_to_sentinel_exits;
+          Alcotest.test_case "rat-mode ret traps" `Quick test_rat_mode_ret_traps;
+          Alcotest.test_case "callrat mapping" `Quick test_callrat_inserts_mapping;
+          Alcotest.test_case "trap stub" `Quick test_trap_stub;
+          Alcotest.test_case "cache-jump SFI" `Quick test_indirect_jump_into_cache_faults;
+          Alcotest.test_case "cycle accounting" `Quick test_cycle_accounting;
+          Alcotest.test_case "switch core" `Quick test_switch_core;
+        ] );
+    ]

@@ -1,0 +1,161 @@
+(* Migration tests: safety analysis invariants, state transformation
+   correctness at many checkpoints (property-style differential), and
+   cost attribution. *)
+
+module Desc = Hipstr_isa.Desc
+module System = Hipstr.System
+module Config = Hipstr_psr.Config
+module Safety = Hipstr_migration.Safety
+module Transform = Hipstr_migration.Transform
+module Machine = Hipstr_machine.Machine
+module Workloads = Hipstr_workloads.Workloads
+module Fatbin = Hipstr_compiler.Fatbin
+module Rng = Hipstr_util.Rng
+
+let test_safety_summary_bounds () =
+  List.iter
+    (fun (w : Workloads.t) ->
+      let fb = Workloads.fatbin w in
+      List.iter
+        (fun isa ->
+          let s = Safety.summarize fb ~from_isa:isa in
+          Alcotest.(check bool) "counts within bounds" true
+            (s.s_baseline_safe <= s.s_blocks && s.s_ondemand_safe <= s.s_blocks && s.s_blocks > 0);
+          Alcotest.(check bool) "fractions in [0,1]" true
+            (Safety.fraction_ondemand s >= 0. && Safety.fraction_ondemand s <= 1.))
+        [ Desc.Cisc; Desc.Risc ])
+    [ Workloads.find "bzip2"; Workloads.find "gobmk" ]
+
+let test_safety_per_block_consistency () =
+  let fb = Workloads.fatbin (Workloads.find "mcf") in
+  let s = Safety.summarize fb ~from_isa:Desc.Cisc in
+  (* recompute by summing block verdicts *)
+  let blocks = ref 0 and od = ref 0 in
+  Array.iter
+    (fun fs ->
+      Array.iteri
+        (fun l _ ->
+          incr blocks;
+          if (Safety.block_safety fs Desc.Cisc l).v_ondemand then incr od)
+        fs.Fatbin.fs_ir.Hipstr_compiler.Ir.fn_blocks)
+    fb.fb_funcs;
+  Alcotest.(check int) "block count" s.s_blocks !blocks;
+  Alcotest.(check int) "ondemand count" s.s_ondemand_safe !od
+
+let test_entry_blocks_baseline_safe () =
+  let fb = Workloads.fatbin (Workloads.find "hmmer") in
+  Array.iter
+    (fun fs ->
+      let v = Safety.block_safety fs Desc.Cisc 0 in
+      if not v.v_baseline then Alcotest.failf "%s entry not baseline-safe" fs.Fatbin.fs_name)
+    fb.fb_funcs
+
+(* Differential: migrate at many random checkpoints in both
+   directions; output must always match the never-migrating run. *)
+let test_migration_checkpoint_sweep () =
+  let w = Workloads.find "gobmk" in
+  let fb = Workloads.fatbin w in
+  let reference =
+    let sys = System.of_fatbin ~start_isa:Desc.Cisc ~mode:System.Native fb in
+    ignore (System.run sys ~fuel:(3 * w.w_fuel));
+    System.output sys
+  in
+  let rng = Rng.create 99 in
+  let cfg = { Config.default with migrate_prob = 0.0 } in
+  List.iter
+    (fun isa ->
+      for i = 1 to 6 do
+        let checkpoint = 3000 + Rng.int rng 100_000 in
+        let sys = System.of_fatbin ~cfg ~seed:(50 + i) ~start_isa:isa ~mode:System.Hipstr fb in
+        (match System.run sys ~fuel:checkpoint with
+        | System.Out_of_fuel ->
+          System.request_migration sys;
+          (match System.run sys ~fuel:(3 * w.w_fuel) with
+          | System.Finished _ -> ()
+          | o ->
+            Alcotest.failf "checkpoint %d (%s): %s" checkpoint
+              (match isa with Desc.Cisc -> "cisc" | _ -> "risc")
+              (match o with
+              | System.Killed m -> "killed " ^ m
+              | System.Out_of_fuel -> "fuel"
+              | _ -> "?"));
+          Alcotest.(check int) "migrated exactly once" 1 (System.forced_migrations sys);
+          Alcotest.(check bool) "ended on the other core" true
+            (Machine.active (System.machine sys) = Desc.other isa);
+          Alcotest.(check (list int))
+            (Printf.sprintf "output at checkpoint %d" checkpoint)
+            reference (System.output sys)
+        | System.Finished _ -> () (* checkpoint beyond program end *)
+        | o ->
+          Alcotest.failf "prefix failed: %s"
+            (match o with System.Killed m -> m | _ -> "?"))
+      done)
+    [ Desc.Cisc; Desc.Risc ]
+
+let test_double_migration_round_trip () =
+  (* migrate x86 -> ARM -> x86 and still finish correctly *)
+  let w = Workloads.find "gobmk" in
+  let fb = Workloads.fatbin w in
+  let reference =
+    let sys = System.of_fatbin ~start_isa:Desc.Cisc ~mode:System.Native fb in
+    ignore (System.run sys ~fuel:(3 * w.w_fuel));
+    System.output sys
+  in
+  let cfg = { Config.default with migrate_prob = 0.0 } in
+  let sys = System.of_fatbin ~cfg ~seed:8 ~start_isa:Desc.Cisc ~mode:System.Hipstr fb in
+  (match System.run sys ~fuel:40_000 with System.Out_of_fuel -> () | _ -> Alcotest.fail "early end");
+  System.request_migration sys;
+  (match System.run sys ~fuel:60_000 with
+  | System.Out_of_fuel -> ()
+  | System.Finished _ -> Alcotest.fail "finished before second migration"
+  | o -> Alcotest.failf "mid: %s" (match o with System.Killed m -> m | _ -> "?"));
+  System.request_migration sys;
+  (match System.run sys ~fuel:(3 * w.w_fuel) with
+  | System.Finished _ -> ()
+  | o -> Alcotest.failf "end: %s" (match o with System.Killed m -> m | _ -> "?"));
+  Alcotest.(check int) "two forced migrations" 2 (System.forced_migrations sys);
+  Alcotest.(check bool) "back on the x86 core" true (Machine.active (System.machine sys) = Desc.Cisc);
+  Alcotest.(check (list int)) "output preserved" reference (System.output sys)
+
+let test_migration_cost_model () =
+  Alcotest.(check bool) "fixed cost calibrated to the paper's band" true
+    (Transform.fixed_cycles > 1_000_000. && Transform.fixed_cycles < 10_000_000.);
+  (* destination-core frequency asymmetry: the same cycles cost more
+     wall clock on the 2 GHz core *)
+  let us_on_arm = Transform.fixed_cycles /. 2000. in
+  let us_on_x86 = Transform.fixed_cycles /. 3300. in
+  Alcotest.(check bool) "x86->ARM slower than ARM->x86" true (us_on_arm > us_on_x86)
+
+let test_migration_records_work () =
+  let w = Workloads.find "gobmk" in
+  let cfg = { Config.default with migrate_prob = 0.0 } in
+  let sys = System.of_fatbin ~cfg ~seed:3 ~start_isa:Desc.Cisc ~mode:System.Hipstr (Workloads.fatbin w) in
+  (match System.run sys ~fuel:50_000 with System.Out_of_fuel -> () | _ -> Alcotest.fail "early");
+  System.request_migration sys;
+  ignore (System.run sys ~fuel:(3 * w.w_fuel));
+  match System.last_migration sys with
+  | Some r ->
+    Alcotest.(check bool) "frames transformed" true (r.Transform.r_frames >= 1);
+    Alcotest.(check bool) "words moved" true (r.Transform.r_words >= r.Transform.r_frames);
+    Alcotest.(check bool) "walk completed" true r.Transform.r_complete;
+    Alcotest.(check bool) "resume target found" true (r.Transform.r_resume_src <> None);
+    Alcotest.(check bool) "cycles charged" true (r.Transform.r_cycles >= Transform.fixed_cycles)
+  | None -> Alcotest.fail "no migration recorded"
+
+let () =
+  Alcotest.run "migration"
+    [
+      ( "safety",
+        [
+          Alcotest.test_case "summary bounds" `Quick test_safety_summary_bounds;
+          Alcotest.test_case "per-block consistency" `Quick test_safety_per_block_consistency;
+          Alcotest.test_case "entries baseline-safe" `Quick test_entry_blocks_baseline_safe;
+        ] );
+      ( "transform",
+        [
+          Alcotest.test_case "checkpoint sweep" `Slow test_migration_checkpoint_sweep;
+          Alcotest.test_case "double migration" `Quick test_double_migration_round_trip;
+          Alcotest.test_case "cost model" `Quick test_migration_cost_model;
+          Alcotest.test_case "records work" `Quick test_migration_records_work;
+        ] );
+    ]

@@ -1,0 +1,146 @@
+(* MiniC lexer and parser tests. *)
+
+module Ast = Hipstr_minic.Ast
+module Lexer = Hipstr_minic.Lexer
+module Parser = Hipstr_minic.Parser
+
+let expr = Alcotest.testable (fun ppf _ -> Format.fprintf ppf "<expr>") ( = )
+
+let test_lexer_basics () =
+  let toks = List.map fst (Lexer.tokenize "int x = 0x1F + 42; // comment\n/* multi\nline */ while") in
+  Alcotest.(check bool) "tokens" true
+    (toks
+    = [
+        Lexer.INT_KW;
+        IDENT "x";
+        ASSIGN;
+        NUM 31;
+        PLUS;
+        NUM 42;
+        SEMI;
+        WHILE;
+        EOF;
+      ])
+
+let test_lexer_operators () =
+  let toks = List.map fst (Lexer.tokenize "<< >> <= >= == != && || < > = ! & |") in
+  Alcotest.(check bool) "operators" true
+    (toks
+    = [
+        Lexer.SHL; SHR; LE; GE; EQ; NE; ANDAND; OROR; LT; GT; ASSIGN; BANG; AMP; PIPE; EOF;
+      ])
+
+let test_lexer_line_numbers () =
+  match Lexer.tokenize "a\nb\nc" with
+  | [ (_, 1); (_, 2); (_, 3); (Lexer.EOF, _) ] -> ()
+  | _ -> Alcotest.fail "line numbers wrong"
+
+let test_lexer_errors () =
+  Alcotest.check_raises "bad char" (Lexer.Error "line 1: unexpected character '@'") (fun () ->
+      ignore (Lexer.tokenize "@"));
+  (match Lexer.tokenize "/* unterminated" with
+  | exception Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "expected error")
+
+let test_precedence () =
+  Alcotest.check expr "mul binds tighter"
+    (Ast.Bin (Ast.Add, Ast.Num 1, Ast.Bin (Ast.Mul, Ast.Num 2, Ast.Num 3)))
+    (Parser.parse_expr "1 + 2 * 3");
+  Alcotest.check expr "shift vs compare"
+    (Ast.Bin (Ast.Lt, Ast.Bin (Ast.Shl, Ast.Num 1, Ast.Num 2), Ast.Num 9))
+    (Parser.parse_expr "1 << 2 < 9");
+  Alcotest.check expr "and binds tighter than or"
+    (Ast.Bin (Ast.Lor, Ast.Var "a", Ast.Bin (Ast.Land, Ast.Var "b", Ast.Var "c")))
+    (Parser.parse_expr "a || b && c");
+  Alcotest.check expr "assignment right assoc"
+    (Ast.Assign (Ast.Lvar "a", Ast.Assign (Ast.Lvar "b", Ast.Num 1)))
+    (Parser.parse_expr "a = b = 1")
+
+let test_unary_and_postfix () =
+  Alcotest.check expr "deref of sum" (Ast.Deref (Ast.Var "p")) (Parser.parse_expr "*p");
+  Alcotest.check expr "address-of" (Ast.Addr_var "x") (Parser.parse_expr "&x");
+  Alcotest.check expr "index" (Ast.Index ("a", Ast.Num 3)) (Parser.parse_expr "a[3]");
+  Alcotest.check expr "call" (Ast.Call ("f", [ Ast.Num 1; Ast.Num 2 ])) (Parser.parse_expr "f(1, 2)");
+  Alcotest.check expr "indirect call"
+    (Ast.Call_ptr (Ast.Var "f", [ Ast.Num 9 ]))
+    (Parser.parse_expr "(*f)(9)")
+
+let test_ternary () =
+  Alcotest.check expr "ternary"
+    (Ast.Cond (Ast.Var "c", Ast.Num 1, Ast.Num 2))
+    (Parser.parse_expr "c ? 1 : 2")
+
+let test_program_structure () =
+  let p =
+    Parser.parse
+      {| int g = 3;
+         int arr[4] = {1, 2, 3, 4};
+         int zeroed[8];
+         int f(int a, int b) { return a + b; }
+         int main() { int x = f(1, 2); print(x); return 0; } |}
+  in
+  Alcotest.(check int) "globals" 3 (List.length p.globals);
+  Alcotest.(check (list string)) "funcs" [ "f"; "main" ] (Ast.func_names p);
+  let arr = List.nth p.globals 1 in
+  Alcotest.(check int) "array size" 4 arr.g_size;
+  Alcotest.(check (list int)) "array init" [ 1; 2; 3; 4 ] arr.g_init;
+  match Ast.find_func p "f" with
+  | Some f -> Alcotest.(check (list string)) "params" [ "a"; "b" ] f.f_params
+  | None -> Alcotest.fail "f not found"
+
+let test_statements_parse () =
+  let p =
+    Parser.parse
+      {| int main() {
+           int i;
+           for (int j = 0; j < 4; j = j + 1) { continue; }
+           while (i < 3) { i = i + 1; if (i == 2) { break; } }
+           do { i = i - 1; } while (i > 0);
+           if (i) { print(i); } else { print(0); }
+           return i;
+         } |}
+  in
+  match Ast.find_func p "main" with
+  | Some f -> Alcotest.(check int) "statement count" 6 (List.length f.f_body)
+  | None -> Alcotest.fail "main not found"
+
+let test_parse_errors () =
+  let expect_err src =
+    match Parser.parse src with
+    | exception Parser.Error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" src
+  in
+  expect_err "int main( { }";
+  expect_err "int main() { int; }";
+  expect_err "int main() { 1 + ; }";
+  expect_err "int main() { if 1 {} }";
+  expect_err "int main() { return 1 }";
+  expect_err "int main() { 3 = x; }";
+  expect_err "int x[]; int main() {}"
+
+let test_negative_global_init () =
+  let p = Parser.parse "int g = -5; int main() { return g; }" in
+  let g = List.hd p.globals in
+  Alcotest.(check (list int)) "negative init" [ -5 ] g.Ast.g_init
+
+let () =
+  Alcotest.run "minic"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basics;
+          Alcotest.test_case "operators" `Quick test_lexer_operators;
+          Alcotest.test_case "line numbers" `Quick test_lexer_line_numbers;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "precedence" `Quick test_precedence;
+          Alcotest.test_case "unary and postfix" `Quick test_unary_and_postfix;
+          Alcotest.test_case "ternary" `Quick test_ternary;
+          Alcotest.test_case "program structure" `Quick test_program_structure;
+          Alcotest.test_case "statements" `Quick test_statements_parse;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "negative global init" `Quick test_negative_global_init;
+        ] );
+    ]

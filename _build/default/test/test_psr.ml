@@ -1,0 +1,242 @@
+(* The central correctness property of the whole system: legitimate
+   execution under PSR (any seed, any optimization level) and under
+   HIPStR (with forced and probabilistic migrations) must be
+   observationally identical to native execution. *)
+
+module Desc = Hipstr_isa.Desc
+module System = Hipstr.System
+module Config = Hipstr_psr.Config
+module Reloc_map = Hipstr_psr.Reloc_map
+module Vm = Hipstr_psr.Vm
+module Compile = Hipstr_compiler.Compile
+module Fatbin = Hipstr_compiler.Fatbin
+module Machine = Hipstr_machine.Machine
+module Rng = Hipstr_util.Rng
+
+let fuel = 3_000_000
+
+let run_mode ?cfg ?seed ~mode ~isa src =
+  let sys = System.create ?cfg ?seed ~start_isa:isa ~mode ~src () in
+  let outcome = System.run sys ~fuel in
+  (outcome, System.output sys, sys)
+
+let expect_finished name outcome =
+  match outcome with
+  | System.Finished _ -> ()
+  | System.Shell_spawned -> Alcotest.failf "%s: unexpected shell" name
+  | System.Killed m -> Alcotest.failf "%s: killed: %s" name m
+  | System.Out_of_fuel -> Alcotest.failf "%s: out of fuel" name
+
+let differential ?(seeds = [ 1; 2; 42 ]) ?(cfg = Config.default) src =
+  List.iter
+    (fun isa ->
+      let native_out =
+        let o, out, _ = run_mode ~mode:System.Native ~isa src in
+        expect_finished "native" o;
+        out
+      in
+      List.iter
+        (fun seed ->
+          let o, out, _ = run_mode ~cfg ~seed ~mode:System.Psr_only ~isa src in
+          expect_finished (Printf.sprintf "psr seed %d" seed) o;
+          Alcotest.(check (list int)) (Printf.sprintf "psr output (seed %d)" seed) native_out out)
+        seeds)
+    [ Desc.Cisc; Desc.Risc ]
+
+let kernel_src =
+  {| int acc[16];
+     int mix(int a, int b) { return (a * 31 + b) ^ (a >> 3); }
+     int main() {
+       int i;
+       int h = 17;
+       for (i = 0; i < 200; i = i + 1) {
+         h = mix(h, i);
+         acc[i % 16] = acc[i % 16] + (h & 255);
+       }
+       int total = 0;
+       for (i = 0; i < 16; i = i + 1) { total = total + acc[i]; }
+       print(total);
+       print(h);
+       return 0;
+     } |}
+
+let test_psr_simple () = differential "int main() { print(41 + 1); return 0; }"
+
+let test_psr_kernel () = differential kernel_src
+
+let test_psr_calls_and_arrays () =
+  differential
+    {| int table[8] = {3, 1, 4, 1, 5, 9, 2, 6};
+       int sum(int p, int n) {
+         int i;
+         int acc = 0;
+         for (i = 0; i < n; i = i + 1) { acc = acc + p[i]; }
+         return acc;
+       }
+       int rev(int p, int n) {
+         int i;
+         for (i = 0; i < n / 2; i = i + 1) {
+           int tmp = p[i];
+           p[i] = p[n - 1 - i];
+           p[n - 1 - i] = tmp;
+         }
+         return 0;
+       }
+       int main() {
+         int local[8];
+         int i;
+         for (i = 0; i < 8; i = i + 1) { local[i] = table[i] * 2; }
+         print(sum(&local[0], 8));
+         rev(&local[0], 8);
+         print(local[0]);
+         print(local[7]);
+         return 0;
+       } |}
+
+let test_psr_recursion () =
+  differential
+    {| int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+       int main() { print(fib(12)); return 0; } |}
+
+let test_psr_function_pointers () =
+  differential
+    {| int twice(int x) { return 2 * x; }
+       int thrice(int x) { return 3 * x; }
+       int apply(int f, int x) { return (*f)(x); }
+       int main() {
+         print(apply(&twice, 10));
+         print(apply(&thrice, 10));
+         int i;
+         int acc = 0;
+         for (i = 0; i < 6; i = i + 1) {
+           int g = (i & 1) ? &twice : &thrice;
+           acc = acc + (*g)(i);
+         }
+         print(acc);
+         return 0;
+       } |}
+
+let test_psr_deep_stack () =
+  differential
+    {| int layer3(int x) { int buf[4]; buf[0] = x; buf[3] = x * 2; return buf[0] + buf[3]; }
+       int layer2(int x) { return layer3(x + 1) * 2; }
+       int layer1(int x) { return layer2(x + 1) + layer3(x); }
+       int main() {
+         int i;
+         int acc = 0;
+         for (i = 0; i < 20; i = i + 1) { acc = acc + layer1(i); }
+         print(acc);
+         return 0;
+       } |}
+
+let test_psr_all_opt_levels () =
+  List.iter
+    (fun opt_level ->
+      let cfg = { Config.default with opt_level } in
+      List.iter
+        (fun isa ->
+          let native_out =
+            let o, out, _ = run_mode ~mode:System.Native ~isa kernel_src in
+            expect_finished "native" o;
+            out
+          in
+          let o, out, _ = run_mode ~cfg ~seed:7 ~mode:System.Psr_only ~isa kernel_src in
+          expect_finished (Printf.sprintf "psr O%d" opt_level) o;
+          Alcotest.(check (list int)) (Printf.sprintf "O%d output" opt_level) native_out out)
+        [ Desc.Cisc; Desc.Risc ])
+    [ 0; 1; 2; 3 ]
+
+let test_psr_pad_sizes () =
+  List.iter
+    (fun pad_bytes ->
+      let cfg = { Config.default with pad_bytes } in
+      let o, out, _ = run_mode ~cfg ~seed:3 ~mode:System.Psr_only ~isa:Desc.Cisc kernel_src in
+      expect_finished (Printf.sprintf "pad %d" pad_bytes) o;
+      let native_out =
+        let o', out', _ = run_mode ~mode:System.Native ~isa:Desc.Cisc kernel_src in
+        expect_finished "native" o';
+        out'
+      in
+      Alcotest.(check (list int)) (Printf.sprintf "pad %d output" pad_bytes) native_out out)
+    [ 1024; 8192; 65536 ]
+
+let test_psr_tiny_cache_flushes () =
+  (* A cache smaller than the translation headroom flushes before
+     every unit — extreme thrash, still correct output. *)
+  let cfg = { Config.default with cache_bytes = 4 * 1024 } in
+  let o, out, sys = run_mode ~cfg ~seed:5 ~mode:System.Psr_only ~isa:Desc.Cisc kernel_src in
+  expect_finished "tiny cache" o;
+  let native_out =
+    let o', out', _ = run_mode ~mode:System.Native ~isa:Desc.Cisc kernel_src in
+    expect_finished "native" o';
+    out'
+  in
+  Alcotest.(check (list int)) "tiny cache output" native_out out;
+  let vm = System.vm sys Desc.Cisc in
+  Alcotest.(check bool) "flushed at least once" true
+    (Hipstr_psr.Code_cache.flushes (Vm.cache vm) >= 1)
+
+let test_hipstr_with_migrations () =
+  (* Full HIPStR with migration probability 1: every suspicious event
+     migrates. Output must still match native. *)
+  let cfg = { Config.default with migrate_prob = 1.0 } in
+  List.iter
+    (fun isa ->
+      let native_out =
+        let o, out, _ = run_mode ~mode:System.Native ~isa kernel_src in
+        expect_finished "native" o;
+        out
+      in
+      let o, out, sys = run_mode ~cfg ~seed:11 ~mode:System.Hipstr ~isa kernel_src in
+      expect_finished "hipstr" o;
+      Alcotest.(check (list int)) "hipstr output" native_out out;
+      ignore (System.security_migrations sys))
+    [ Desc.Cisc; Desc.Risc ]
+
+let test_hipstr_forced_migration () =
+  let cfg = { Config.default with migrate_prob = 0.0 } in
+  let native_out =
+    let o, out, _ = run_mode ~mode:System.Native ~isa:Desc.Cisc kernel_src in
+    expect_finished "native" o;
+    out
+  in
+  let sys =
+    System.create ~cfg ~seed:13 ~start_isa:Desc.Cisc ~mode:System.Hipstr ~src:kernel_src ()
+  in
+  (* run a little, then force a migration at the next return *)
+  (match System.run sys ~fuel:2000 with
+  | System.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "program finished before forced migration");
+  System.request_migration sys;
+  (match System.run sys ~fuel with
+  | System.Finished _ -> ()
+  | System.Killed m -> Alcotest.failf "killed after forced migration: %s" m
+  | System.Shell_spawned -> Alcotest.fail "shell?"
+  | System.Out_of_fuel -> Alcotest.fail "out of fuel");
+  Alcotest.(check int) "one forced migration" 1 (System.forced_migrations sys);
+  Alcotest.(check bool) "ended on the other core" true (Machine.active (System.machine sys) = Desc.Risc || System.security_migrations sys > 0);
+  Alcotest.(check (list int)) "output preserved across migration" native_out (System.output sys);
+  match System.last_migration sys with
+  | Some r ->
+    Alcotest.(check bool) "frames walked" true (r.Hipstr_migration.Transform.r_frames >= 1);
+    Alcotest.(check bool) "migration complete" true r.Hipstr_migration.Transform.r_complete
+  | None -> Alcotest.fail "no migration recorded"
+
+let () =
+  Alcotest.run "psr"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "simple" `Quick test_psr_simple;
+          Alcotest.test_case "kernel" `Quick test_psr_kernel;
+          Alcotest.test_case "calls and arrays" `Quick test_psr_calls_and_arrays;
+          Alcotest.test_case "recursion" `Quick test_psr_recursion;
+          Alcotest.test_case "function pointers" `Quick test_psr_function_pointers;
+          Alcotest.test_case "deep stack" `Quick test_psr_deep_stack;
+          Alcotest.test_case "all opt levels" `Quick test_psr_all_opt_levels;
+          Alcotest.test_case "pad sizes" `Quick test_psr_pad_sizes;
+          Alcotest.test_case "tiny cache flushes" `Quick test_psr_tiny_cache_flushes;
+          Alcotest.test_case "hipstr with migrations" `Quick test_hipstr_with_migrations;
+          Alcotest.test_case "forced migration" `Quick test_hipstr_forced_migration;
+        ] );
+    ]

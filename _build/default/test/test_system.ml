@@ -1,0 +1,115 @@
+(* System-level behaviours: re-spawn re-randomization (the paper's
+   crash/reboot story), deterministic replay, suspicious-event
+   accounting, and an experiment-registry smoke test. *)
+
+module Desc = Hipstr_isa.Desc
+module System = Hipstr.System
+module Config = Hipstr_psr.Config
+module Vm = Hipstr_psr.Vm
+module Code_cache = Hipstr_psr.Code_cache
+module Machine = Hipstr_machine.Machine
+module Mem = Hipstr_machine.Mem
+module Workloads = Hipstr_workloads.Workloads
+module Registry = Hipstr_experiments.Registry
+module Table = Hipstr_util.Table
+
+let cache_bytes_of sys =
+  let vm = System.vm sys Desc.Cisc in
+  let cc = Vm.cache vm in
+  let mem = Machine.mem (System.machine sys) in
+  let blocks = Code_cache.blocks cc in
+  String.concat "|"
+    (List.map (fun (b : Code_cache.block) -> Mem.read_string mem b.cb_cache b.cb_size) blocks)
+
+let test_respawn_rerandomizes () =
+  (* Two spawns of the same binary with different seeds must produce
+     different code-cache contents (PSR re-randomizes on re-spawn; a
+     load-time scheme would not). Same seed replays identically. *)
+  let w = Workloads.find "mcf" in
+  let fb = Workloads.fatbin w in
+  let spawn seed =
+    let sys = System.of_fatbin ~seed ~start_isa:Desc.Cisc ~mode:System.Psr_only fb in
+    (match System.run sys ~fuel:(3 * w.w_fuel) with
+    | System.Finished _ -> ()
+    | _ -> Alcotest.fail "run failed");
+    cache_bytes_of sys
+  in
+  let a = spawn 1 in
+  let b = spawn 2 in
+  let a' = spawn 1 in
+  Alcotest.(check bool) "different seeds, different randomization" true (a <> b);
+  Alcotest.(check string) "same seed replays bit-identically" a a'
+
+let test_modes_isolated () =
+  (* Native mode has no VM; asking for one is a programming error. *)
+  let sys = System.create ~mode:System.Native ~src:"int main() { return 0; }" () in
+  match System.vm sys Desc.Cisc with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "native mode handed out a VM"
+
+let test_fuel_accounting () =
+  let w = Workloads.find "lbm" in
+  let sys = System.of_fatbin ~start_isa:Desc.Cisc ~mode:System.Psr_only (Workloads.fatbin w) in
+  (match System.run sys ~fuel:10_000 with
+  | System.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "should run out of fuel");
+  let i1 = System.instructions sys in
+  Alcotest.(check bool) "close to the fuel bound" true (i1 >= 10_000 && i1 < 11_000);
+  (* resuming continues from where it stopped *)
+  match System.run sys ~fuel:(3 * w.w_fuel) with
+  | System.Finished _ -> ()
+  | _ -> Alcotest.fail "resume failed"
+
+let test_suspicious_accounting () =
+  (* gobmk's function-pointer calls hit untranslated targets at least
+     once each: suspicious events must be counted *)
+  let w = Workloads.find "gobmk" in
+  let sys = System.of_fatbin ~seed:6 ~start_isa:Desc.Cisc ~mode:System.Psr_only (Workloads.fatbin w) in
+  ignore (System.run sys ~fuel:(3 * w.w_fuel));
+  Alcotest.(check bool) "suspicious events observed" true (System.suspicious_events sys >= 1)
+
+let test_registry_complete () =
+  let ids = List.map (fun e -> e.Registry.ex_id) Registry.all in
+  List.iter
+    (fun id ->
+      if not (List.mem id ids) then Alcotest.failf "experiment %s missing from the registry" id)
+    [
+      "table1"; "fig3"; "fig4"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10";
+      "fig11"; "fig12"; "fig13"; "fig14"; "httpd"; "ablation-pad";
+    ];
+  Alcotest.(check int) "sixteen experiments" 16 (List.length Registry.all);
+  Alcotest.(check bool) "lookup works" true (Registry.find "fig9" <> None);
+  Alcotest.(check bool) "unknown rejected" true (Registry.find "fig99" = None)
+
+let test_fast_experiments_produce_tables () =
+  (* run the cheap experiments end to end; shape-check the tables *)
+  List.iter
+    (fun id ->
+      match Registry.find id with
+      | None -> Alcotest.failf "missing %s" id
+      | Some e ->
+        let t = e.Registry.ex_run () in
+        let rendered = Table.render t in
+        Alcotest.(check bool) (id ^ " non-empty") true (String.length rendered > 80);
+        Alcotest.(check bool)
+          (id ^ " has multiple rows")
+          true
+          (List.length (String.split_on_char '\n' rendered) > 3))
+    [ "table1"; "fig3"; "fig4"; "table2"; "fig6"; "fig7" ]
+
+let () =
+  Alcotest.run "system"
+    [
+      ( "lifecycle",
+        [
+          Alcotest.test_case "respawn re-randomizes" `Quick test_respawn_rerandomizes;
+          Alcotest.test_case "mode isolation" `Quick test_modes_isolated;
+          Alcotest.test_case "fuel accounting" `Quick test_fuel_accounting;
+          Alcotest.test_case "suspicious accounting" `Quick test_suspicious_accounting;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "registry complete" `Quick test_registry_complete;
+          Alcotest.test_case "fast experiments" `Quick test_fast_experiments_produce_tables;
+        ] );
+    ]

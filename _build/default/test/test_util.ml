@@ -1,0 +1,127 @@
+module Rng = Hipstr_util.Rng
+module W32 = Hipstr_util.Wrap32
+module Stats = Hipstr_util.Stats
+module Table = Hipstr_util.Table
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 in
+  let b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000000) (Rng.int b 1000000)
+  done
+
+let test_rng_bounds () =
+  let g = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int g 13 in
+    if v < 0 || v >= 13 then Alcotest.failf "out of bounds: %d" v
+  done
+
+let test_rng_split_independent () =
+  let g = Rng.create 1 in
+  let a = Rng.split g in
+  let b = Rng.split g in
+  let xs = List.init 50 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 50 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check bool) "different streams" true (xs <> ys)
+
+let test_rng_permutation () =
+  let g = Rng.create 3 in
+  let p = Rng.permutation g 100 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 100 (fun i -> i)) sorted
+
+let test_sample_distinct () =
+  let g = Rng.create 5 in
+  for _ = 1 to 100 do
+    let s = Rng.sample_distinct g 10 50 in
+    Alcotest.(check int) "count" 10 (List.length (List.sort_uniq compare s));
+    List.iter (fun v -> if v < 0 || v >= 50 then Alcotest.fail "range") s
+  done
+
+let test_wrap32_basics () =
+  Alcotest.(check int) "wrap max" (-2147483648) (W32.wrap 0x80000000);
+  Alcotest.(check int) "wrap -1" (-1) (W32.wrap 0xFFFFFFFF);
+  Alcotest.(check int) "add overflow" (-2147483648) (W32.add 0x7FFFFFFF 1);
+  Alcotest.(check int) "unsigned of -1" 0xFFFFFFFF (W32.unsigned (-1));
+  Alcotest.(check int) "mul wrap" 0 (W32.mul 0x10000 0x10000);
+  Alcotest.(check int) "div by zero" 0 (W32.sdiv 5 0);
+  Alcotest.(check int) "shl mask" 2 (W32.shl 1 33);
+  Alcotest.(check int) "sar sign" (-1) (W32.sar (-2) 1);
+  Alcotest.(check int) "shr unsigned" 0x7FFFFFFF (W32.shr (-1) 1)
+
+let test_wrap32_flags () =
+  Alcotest.(check bool) "carry" true (W32.carry_add (-1) 1);
+  Alcotest.(check bool) "no carry" false (W32.carry_add 1 1);
+  Alcotest.(check bool) "borrow" true (W32.borrow_sub 0 1);
+  Alcotest.(check bool) "overflow add" true (W32.overflow_add 0x7FFFFFFF 1);
+  Alcotest.(check bool) "no overflow" false (W32.overflow_add 1 1);
+  Alcotest.(check bool) "overflow sub" true (W32.overflow_sub (-2147483648) 1)
+
+let test_wrap32_bytes () =
+  let v = W32.of_bytes 0x78 0x56 0x34 0x12 in
+  Alcotest.(check int) "assemble" 0x12345678 v;
+  Alcotest.(check int) "byte 0" 0x78 (W32.byte v 0);
+  Alcotest.(check int) "byte 3" 0x12 (W32.byte v 3);
+  Alcotest.(check int) "roundtrip negative" (-1) (W32.of_bytes 0xFF 0xFF 0xFF 0xFF)
+
+let prop_wrap_add_assoc =
+  QCheck.Test.make ~count:1000 ~name:"wrap32 add associativity"
+    QCheck.(triple int int int)
+    (fun (a, b, c) -> W32.add (W32.add a b) c = W32.add a (W32.add b c))
+
+let prop_wrap_idempotent =
+  QCheck.Test.make ~count:1000 ~name:"wrap32 wrap idempotent" QCheck.int (fun v ->
+      W32.wrap (W32.wrap v) = W32.wrap v)
+
+let prop_unsigned_range =
+  QCheck.Test.make ~count:1000 ~name:"unsigned in range" QCheck.int (fun v ->
+      let u = W32.unsigned v in
+      u >= 0 && u <= 0xFFFFFFFF)
+
+let test_stats () =
+  Alcotest.(check (float 1e-9)) "mean" 2. (Stats.mean [ 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-9)) "geomean" 2. (Stats.geomean [ 1.; 2.; 4. ]);
+  Alcotest.(check (float 1e-9)) "median odd" 2. (Stats.median [ 3.; 1.; 2. ]);
+  Alcotest.(check (float 1e-9)) "median even" 2.5 (Stats.median [ 1.; 2.; 3.; 4. ]);
+  Alcotest.(check string) "percent" "50.0%" (Stats.percent 0.5);
+  Alcotest.(check (float 1e-9)) "log2" 10. (Stats.log2 1024.);
+  Alcotest.(check (float 1e-9)) "clamp" 1. (Stats.clamp ~lo:0. ~hi:1. 5.)
+
+let test_table_render () =
+  let t = Table.create [ "a"; "bbb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333"; "4" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has header" true (String.length s > 0);
+  Alcotest.(check bool) "keeps rows in order" true
+    (let i1 = String.index s '1' and i3 = String.index s '3' in
+     i1 < i3)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "permutation" `Quick test_rng_permutation;
+          Alcotest.test_case "sample distinct" `Quick test_sample_distinct;
+        ] );
+      ( "wrap32",
+        [
+          Alcotest.test_case "basics" `Quick test_wrap32_basics;
+          Alcotest.test_case "flags" `Quick test_wrap32_flags;
+          Alcotest.test_case "bytes" `Quick test_wrap32_bytes;
+          QCheck_alcotest.to_alcotest prop_wrap_add_assoc;
+          QCheck_alcotest.to_alcotest prop_wrap_idempotent;
+          QCheck_alcotest.to_alcotest prop_unsigned_range;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "table" `Quick test_table_render;
+        ] );
+    ]

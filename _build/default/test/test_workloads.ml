@@ -1,0 +1,77 @@
+(* Every workload must compile, run to completion natively on both
+   ISAs with identical output, and survive the full differential
+   (native vs PSR vs HIPStR) on a spot-check basis. *)
+
+module Desc = Hipstr_isa.Desc
+module System = Hipstr.System
+module Config = Hipstr_psr.Config
+module Workloads = Hipstr_workloads.Workloads
+
+let run ?cfg ?seed ~mode ~isa (w : Workloads.t) =
+  let sys = System.of_fatbin ?cfg ?seed ~start_isa:isa ~mode (Workloads.fatbin w) in
+  let o = System.run sys ~fuel:w.w_fuel in
+  (o, System.output sys, sys)
+
+let expect_finished (w : Workloads.t) tag o =
+  match o with
+  | System.Finished 0 -> ()
+  | System.Finished c -> Alcotest.failf "%s/%s: exit %d" w.w_name tag c
+  | System.Shell_spawned -> Alcotest.failf "%s/%s: shell" w.w_name tag
+  | System.Killed m -> Alcotest.failf "%s/%s: killed %s" w.w_name tag m
+  | System.Out_of_fuel -> Alcotest.failf "%s/%s: out of fuel" w.w_name tag
+
+let test_native_both_isas (w : Workloads.t) () =
+  let o1, out1, s1 = run ~mode:System.Native ~isa:Desc.Cisc w in
+  expect_finished w "native-cisc" o1;
+  let o2, out2, _ = run ~mode:System.Native ~isa:Desc.Risc w in
+  expect_finished w "native-risc" o2;
+  Alcotest.(check (list int)) (w.w_name ^ " cross-ISA output") out1 out2;
+  Alcotest.(check bool) (w.w_name ^ " produces output") true (List.length out1 > 0);
+  Alcotest.(check bool)
+    (w.w_name ^ " runs a meaningful number of instructions")
+    true
+    (Hipstr_machine.Machine.instructions (System.machine s1) > 10_000)
+
+let test_psr_differential (w : Workloads.t) () =
+  let _, native_out, _ = run ~mode:System.Native ~isa:Desc.Cisc w in
+  let o, psr_out, _ = run ~seed:9 ~mode:System.Psr_only ~isa:Desc.Cisc w in
+  expect_finished w "psr" o;
+  Alcotest.(check (list int)) (w.w_name ^ " PSR output") native_out psr_out
+
+let test_hipstr_differential (w : Workloads.t) () =
+  let cfg = { Config.default with migrate_prob = 1.0 } in
+  let _, native_out, _ = run ~mode:System.Native ~isa:Desc.Cisc w in
+  let o, out, _ = run ~cfg ~seed:4 ~mode:System.Hipstr ~isa:Desc.Cisc w in
+  expect_finished w "hipstr" o;
+  Alcotest.(check (list int)) (w.w_name ^ " HIPStR output") native_out out
+
+let test_find_and_names () =
+  Alcotest.(check int) "eight SPEC workloads" 8 (List.length Workloads.all);
+  Alcotest.(check int) "nine names with httpd" 9 (List.length Workloads.names);
+  List.iter (fun n -> ignore (Workloads.find n)) Workloads.names;
+  (match Workloads.find "nope" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "find should raise");
+  Alcotest.(check string) "httpd is the victim" "httpd" Workloads.httpd.w_name
+
+let () =
+  let per_workload =
+    List.concat_map
+      (fun (w : Workloads.t) ->
+        [
+          Alcotest.test_case (w.w_name ^ " native") `Quick (test_native_both_isas w);
+          Alcotest.test_case (w.w_name ^ " psr") `Quick (test_psr_differential w);
+        ])
+      (Workloads.all @ [ Workloads.httpd ])
+  in
+  Alcotest.run "workloads"
+    [
+      ("compile-run", per_workload);
+      ( "hipstr",
+        [
+          Alcotest.test_case "bzip2 hipstr" `Quick (test_hipstr_differential (Workloads.find "bzip2"));
+          Alcotest.test_case "gobmk hipstr" `Quick (test_hipstr_differential (Workloads.find "gobmk"));
+          Alcotest.test_case "httpd hipstr" `Quick (test_hipstr_differential Workloads.httpd);
+        ] );
+      ("registry", [ Alcotest.test_case "find and names" `Quick test_find_and_names ]);
+    ]
