@@ -1,0 +1,25 @@
+# Offline equivalent of .github/workflows/ci.yml: `make check` is the
+# gate a change must pass before merging.
+
+FUZZ_SEEDS ?= 1-25
+
+.PHONY: all build test fuzz micro check clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+fuzz:
+	HIPSTR_FUZZ_SEEDS=$(FUZZ_SEEDS) dune exec test/test_fuzz.exe
+
+micro:
+	dune exec bench/main.exe -- --micro-only
+
+check: build test fuzz micro
+
+clean:
+	dune clean

@@ -21,11 +21,41 @@ module Machine = Hipstr_machine.Machine
 module Fatbin = Hipstr_compiler.Fatbin
 module Galileo = Hipstr_galileo.Galileo
 module Rng = Hipstr_util.Rng
+module Obs = Hipstr_obs.Obs
 open Bechamel
 open Toolkit
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: the paper's tables and figures. *)
+
+(* Every System an experiment creates reports into Obs.global, so the
+   delta of its counters across one experiment is that experiment's
+   observed activity — the cache-miss/migration columns the paper
+   states but a wall-clock-only harness cannot check. *)
+let observed_keys =
+  [
+    ("translations", [ "psr.cisc.translations"; "psr.risc.translations" ]);
+    ("cache-hits", [ "psr.cisc.cache_hits"; "psr.risc.cache_hits" ]);
+    ( "cache-misses",
+      [
+        "psr.cisc.cache_misses.compulsory";
+        "psr.cisc.cache_misses.capacity";
+        "psr.risc.cache_misses.compulsory";
+        "psr.risc.cache_misses.capacity";
+      ] );
+    ("migrations", [ "system.migrations.security"; "system.migrations.forced" ]);
+    ("stack-transforms", [ "migration.stack_transforms" ]);
+  ]
+
+let observed_line before after =
+  String.concat "  "
+    (List.map
+       (fun (label, keys) ->
+         let total snap =
+           List.fold_left (fun acc k -> acc + Obs.Metrics.counter_value snap k) 0 keys
+         in
+         Printf.sprintf "%s=%d" label (total after - total before))
+       observed_keys)
 
 let run_tables () =
   print_endline "=====================================================================";
@@ -34,8 +64,12 @@ let run_tables () =
   List.iter
     (fun e ->
       let t0 = Unix.gettimeofday () in
+      let before = Obs.snapshot Obs.global in
       Registry.run_and_print e;
-      Printf.printf "[%s regenerated in %.1fs]\n" e.Registry.ex_id (Unix.gettimeofday () -. t0))
+      let after = Obs.snapshot Obs.global in
+      Printf.printf "[%s regenerated in %.1fs; observed: %s]\n" e.Registry.ex_id
+        (Unix.gettimeofday () -. t0)
+        (observed_line before after))
     Registry.all
 
 (* ------------------------------------------------------------------ *)
@@ -77,6 +111,32 @@ let bench_machine_steps =
     (Staged.stage @@ fun () ->
     let w = Workloads.find "bzip2" in
     let sys = System.of_fatbin ~start_isa:Desc.Cisc ~mode:System.Native (Workloads.fatbin w) in
+    ignore (System.run sys ~fuel:10_000);
+    System.instructions sys)
+
+(* The observability contract: with obs disabled every instrumented
+   site costs one load-and-branch, so this must sit within noise of
+   simulator-10k-steps (which runs with the default enabled context);
+   the null-sink variant bounds the enabled-counters cost. *)
+let bench_obs_disabled =
+  Test.make ~name:"obs-disabled-overhead"
+    (Staged.stage @@ fun () ->
+    let w = Workloads.find "bzip2" in
+    let sys =
+      System.of_fatbin ~obs:Obs.disabled ~start_isa:Desc.Cisc ~mode:System.Native
+        (Workloads.fatbin w)
+    in
+    ignore (System.run sys ~fuel:10_000);
+    System.instructions sys)
+
+let bench_obs_null_sink =
+  Test.make ~name:"obs-null-sink-overhead"
+    (Staged.stage @@ fun () ->
+    let w = Workloads.find "bzip2" in
+    let sys =
+      System.of_fatbin ~obs:(Obs.create ()) ~start_isa:Desc.Cisc ~mode:System.Native
+        (Workloads.fatbin w)
+    in
     ignore (System.run sys ~fuel:10_000);
     System.instructions sys)
 
@@ -126,6 +186,8 @@ let run_micro () =
         bench_decode;
         bench_encode;
         bench_machine_steps;
+        bench_obs_disabled;
+        bench_obs_null_sink;
         bench_translator;
         bench_reloc_map;
         bench_galileo;

@@ -20,6 +20,7 @@ module Mem = Hipstr_machine.Mem
 module Machine = Hipstr_machine.Machine
 module Registry = Hipstr_experiments.Registry
 module Rop = Hipstr_attacks.Rop
+module Obs = Hipstr_obs.Obs
 
 let isa_conv =
   Arg.conv
@@ -56,19 +57,50 @@ let outcome_string = function
   | System.Killed m -> "killed: " ^ m
   | System.Out_of_fuel -> "out of fuel"
 
+(* --metrics / --trace are shared by `run' and `run-file'. *)
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ] ~doc:"Print the observability counter/histogram snapshot after the run.")
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ] ~doc:"Stream structured observability events to stderr as they happen.")
+
+let make_obs ~trace =
+  Obs.create ~sink:(if trace then Obs.Sink.stderr else Obs.Sink.null) ()
+
+let print_metrics sys =
+  let snap = System.metrics sys in
+  Printf.printf "metrics (non-zero):\n";
+  List.iter
+    (fun (n, v) -> if v > 0 then Printf.printf "  %-44s %d\n" n v)
+    snap.Obs.Metrics.snap_counters;
+  List.iter
+    (fun (n, (h : Obs.Metrics.histogram_summary)) ->
+      if h.hs_count > 0 then
+        Printf.printf "  %-44s n=%d mean=%.1f min=%.0f max=%.0f\n" n h.hs_count h.hs_mean h.hs_min
+          h.hs_max)
+    snap.Obs.Metrics.snap_histograms;
+  let tr = Obs.trace (System.obs sys) in
+  Printf.printf "  %-44s %d (ring keeps last %d, dropped %d)\n" "trace.events"
+    (Obs.Trace.emitted tr) (Obs.Trace.capacity tr) (Obs.Trace.dropped tr)
+
 let run_cmd =
   let mode_arg =
     Arg.(value & opt mode_conv System.Hipstr & info [ "mode" ] ~doc:"native, psr or hipstr.")
   in
   let opt_arg = Arg.(value & opt int 3 & info [ "opt" ] ~doc:"PSR optimization level (0-3).") in
-  let action name mode isa seed opt_level =
+  let action name mode isa seed opt_level metrics trace =
     match Workloads.find name with
     | exception Not_found ->
       Printf.eprintf "unknown workload %s\n" name;
       exit 1
     | w ->
       let cfg = { Config.default with opt_level } in
-      let sys = System.of_fatbin ~cfg ~seed ~start_isa:isa ~mode (Workloads.fatbin w) in
+      let obs = make_obs ~trace in
+      let sys = System.of_fatbin ~obs ~cfg ~seed ~start_isa:isa ~mode (Workloads.fatbin w) in
       let outcome = System.run sys ~fuel:(3 * w.w_fuel) in
       Printf.printf "%s [%s]: %s\n" w.w_name w.w_description (outcome_string outcome);
       Printf.printf "output: %s\n"
@@ -84,11 +116,14 @@ let run_cmd =
         if mode = System.Hipstr then
           Printf.printf "migrations: %d security + %d forced\n" (System.security_migrations sys)
             (System.forced_migrations sys)
-      end
+      end;
+      if metrics then print_metrics sys
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a workload on the simulated heterogeneous-ISA CMP.")
-    Term.(const action $ workload_arg $ mode_arg $ isa_arg $ seed_arg $ opt_arg)
+    Term.(
+      const action $ workload_arg $ mode_arg $ isa_arg $ seed_arg $ opt_arg $ metrics_arg
+      $ trace_arg)
 
 let gadgets_cmd =
   let action name isa =
@@ -211,9 +246,10 @@ let run_file_cmd =
     Arg.(value & opt mode_conv System.Hipstr & info [ "mode" ] ~doc:"native, psr or hipstr.")
   in
   let fuel_arg = Arg.(value & opt int 10_000_000 & info [ "fuel" ] ~doc:"Instruction budget.") in
-  let action file mode isa seed fuel =
+  let action file mode isa seed fuel metrics trace =
     let src = In_channel.with_open_text file In_channel.input_all in
-    match System.create ~seed ~start_isa:isa ~mode ~src () with
+    let obs = make_obs ~trace in
+    match System.create ~obs ~seed ~start_isa:isa ~mode ~src () with
     | exception Hipstr_compiler.Compile.Error m ->
       Printf.eprintf "%s: %s\n" file m;
       exit 1
@@ -222,11 +258,14 @@ let run_file_cmd =
       Printf.printf "%s: %s\n" file (outcome_string outcome);
       Printf.printf "output: %s\n" (String.concat " " (List.map string_of_int (System.output sys)));
       Printf.printf "instructions: %d  cycles: %.0f  simulated time: %.3f ms\n"
-        (System.instructions sys) (System.cycles sys) (1000. *. System.seconds sys)
+        (System.instructions sys) (System.cycles sys) (1000. *. System.seconds sys);
+      if metrics then print_metrics sys
   in
   Cmd.v
     (Cmd.info "run-file" ~doc:"Compile and run a MiniC source file.")
-    Term.(const action $ file_arg $ mode_arg $ isa_arg $ seed_arg $ fuel_arg)
+    Term.(
+      const action $ file_arg $ mode_arg $ isa_arg $ seed_arg $ fuel_arg $ metrics_arg
+      $ trace_arg)
 
 let list_cmd =
   let action () =

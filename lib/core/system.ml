@@ -8,6 +8,7 @@ module Config = Hipstr_psr.Config
 module Vm = Hipstr_psr.Vm
 module Transform = Hipstr_migration.Transform
 module Rng = Hipstr_util.Rng
+module Obs = Hipstr_obs.Obs
 
 type mode = Native | Psr_only | Hipstr
 
@@ -20,6 +21,9 @@ type t = {
   m : Machine.t;
   vms : (Desc.which * Vm.t) list;
   rng : Rng.t;
+  observ : Obs.t;
+  c_sec_mig : Obs.Metrics.counter;
+  c_forced_mig : Obs.Metrics.counter;
   mutable started : bool;
   mutable security_migrations : int;
   mutable forced_migrations : int;
@@ -27,9 +31,12 @@ type t = {
   mutable last_migration : Transform.result option;
 }
 
-let boot_system ?(cfg = Config.default) ?(seed = 1) ?(start_isa = Desc.Cisc) ~mode fb =
+let isa_label = function Desc.Cisc -> "cisc" | Desc.Risc -> "risc"
+
+let boot_system ?(obs = Obs.global) ?(cfg = Config.default) ?(seed = 1) ?(start_isa = Desc.Cisc)
+    ~mode fb =
   let rat_capacity = match mode with Native -> None | Psr_only | Hipstr -> Some cfg.rat_capacity in
-  let m = Machine.create ~rat_capacity ~active:start_isa () in
+  let m = Machine.create ~obs ~rat_capacity ~active:start_isa () in
   Fatbin.load fb (Machine.mem m);
   Machine.boot m ~entry:(Fatbin.entry fb start_isa);
   let vms =
@@ -49,6 +56,9 @@ let boot_system ?(cfg = Config.default) ?(seed = 1) ?(start_isa = Desc.Cisc) ~mo
     m;
     vms;
     rng = Rng.create (seed lxor 0x600D);
+    observ = obs;
+    c_sec_mig = Obs.Metrics.counter (Obs.metrics obs) "system.migrations.security";
+    c_forced_mig = Obs.Metrics.counter (Obs.metrics obs) "system.migrations.forced";
     started = false;
     security_migrations = 0;
     forced_migrations = 0;
@@ -56,15 +66,25 @@ let boot_system ?(cfg = Config.default) ?(seed = 1) ?(start_isa = Desc.Cisc) ~mo
     last_migration = None;
   }
 
-let of_fatbin ?cfg ?seed ?start_isa ~mode fb = boot_system ?cfg ?seed ?start_isa ~mode fb
+let of_fatbin ?obs ?cfg ?seed ?start_isa ~mode fb = boot_system ?obs ?cfg ?seed ?start_isa ~mode fb
 
-let create ?cfg ?seed ?start_isa ~mode ~src () =
-  boot_system ?cfg ?seed ?start_isa ~mode (Compile.to_fatbin src)
+let create ?obs ?cfg ?seed ?start_isa ~mode ~src () =
+  boot_system ?obs ?cfg ?seed ?start_isa ~mode (Compile.to_fatbin src)
 
 let fatbin t = t.fb
 let machine t = t.m
 let mode t = t.sys_mode
 let config t = t.cfg
+let obs t = t.observ
+let metrics t = Obs.Metrics.snapshot (Obs.metrics t.observ)
+
+(* A process kill is an observable event: the defense destroying an
+   exploit is exactly what the paper's security tables count. *)
+let killed t msg =
+  if Obs.on t.observ then
+    Obs.emit t.observ
+      (Obs.Trace.Fault { isa = isa_label (Machine.active t.m); reason = msg });
+  Killed msg
 
 let vm t which =
   match List.assoc_opt which t.vms with
@@ -133,8 +153,9 @@ let psr_mode t =
 
 (* Perform a migration for a suspicious (or forced) event. Returns the
    outcome if the process dies, None to continue. *)
-let migrate t kind target_src =
+let migrate t ~forced kind target_src =
   let mode_ = psr_mode t in
+  let from_isa = Machine.active t.m in
   let result =
     match kind with
     | Vm.Kreturn -> Transform.at_return t.m t.fb mode_ ~target_src
@@ -142,8 +163,21 @@ let migrate t kind target_src =
       Transform.at_call t.m t.fb mode_ ~call_src ~target_src ~nargs
   in
   t.last_migration <- Some result;
+  if Obs.on t.observ then begin
+    Obs.Metrics.incr (if forced then t.c_forced_mig else t.c_sec_mig);
+    Obs.emit t.observ
+      (Obs.Trace.Migrate
+         {
+           from_isa = isa_label from_isa;
+           to_isa = isa_label (Machine.active t.m);
+           frames = result.Transform.r_frames;
+           words = result.Transform.r_words;
+           cycles = result.Transform.r_cycles;
+           forced;
+         })
+  end;
   match result.Transform.r_resume_src with
-  | None -> Some (Killed "migration: unmappable control-flow target (exploit destroyed)")
+  | None -> Some (killed t "migration: unmappable control-flow target (exploit destroyed)")
   | Some resume -> (
     let nvm = active_vm t in
     match kind with
@@ -178,7 +212,7 @@ let run_native t ~fuel =
   | Some (Exec.Exit c) -> Finished c
   | Some Exec.Shell -> Shell_spawned
   | Some (Exec.Fault _ as trap) -> Killed (Exec.string_of_trap trap)
-  | Some (Exec.Trap_stub _ | Exec.Rat_miss _) -> Killed "unexpected trap in native mode"
+  | Some (Exec.Trap_stub _ | Exec.Rat_miss _) -> killed t "unexpected trap in native mode"
 
 let run_protected t ~fuel =
   if not t.started then begin
@@ -202,7 +236,7 @@ let run_protected t ~fuel =
       let finish_resolution = function
         | Vm.Continue -> mirror_translations t
         | Vm.Exit c -> result := Some (Finished c)
-        | Vm.Fault f -> result := Some (Killed f)
+        | Vm.Fault f -> result := Some (killed t f)
       in
       (* A requested (performance/measurement) migration fires at the
          next return event, suspicious or not. *)
@@ -213,7 +247,7 @@ let run_protected t ~fuel =
              && Fatbin.callsite_of_ret t.fb (Machine.active t.m) src <> None -> (
         t.migration_requested <- false;
         t.forced_migrations <- t.forced_migrations + 1;
-        match migrate t Vm.Kreturn src with
+        match migrate t ~forced:true Vm.Kreturn src with
         | Some final -> result := Some final
         | None -> mirror_translations t)
       | _ -> (
@@ -228,7 +262,7 @@ let run_protected t ~fuel =
           t.migration_requested <- false;
           if forced then t.forced_migrations <- t.forced_migrations + 1
           else t.security_migrations <- t.security_migrations + 1;
-          match migrate t kind target_src with
+          match migrate t ~forced kind target_src with
           | Some final -> result := Some final
           | None -> mirror_translations t
         end

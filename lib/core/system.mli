@@ -31,6 +31,7 @@ type outcome =
 type t
 
 val create :
+  ?obs:Hipstr_obs.Obs.t ->
   ?cfg:Hipstr_psr.Config.t ->
   ?seed:int ->
   ?start_isa:Hipstr_isa.Desc.which ->
@@ -39,10 +40,15 @@ val create :
   unit ->
   t
 (** Compile [src] (MiniC), load, and boot. [seed] drives every
-    randomized decision (default 1).
+    randomized decision (default 1). [obs] (default
+    {!Hipstr_obs.Obs.global}) is threaded through the machine, the
+    PSR VMs and the migration engine; pass a fresh context to get
+    isolated metrics, or {!Hipstr_obs.Obs.disabled} for the
+    zero-overhead path.
     @raise Hipstr_compiler.Compile.Error on bad source. *)
 
 val of_fatbin :
+  ?obs:Hipstr_obs.Obs.t ->
   ?cfg:Hipstr_psr.Config.t ->
   ?seed:int ->
   ?start_isa:Hipstr_isa.Desc.which ->
@@ -85,3 +91,15 @@ val forced_migrations : t -> int
 val last_migration : t -> Hipstr_migration.Transform.result option
 
 val suspicious_events : t -> int
+
+val obs : t -> Hipstr_obs.Obs.t
+(** The observability context every layer of this system reports
+    into. *)
+
+val metrics : t -> Hipstr_obs.Obs.Metrics.snapshot
+(** Snapshot of all counters and histograms: [psr.<isa>.*] (VM
+    translation/cache events), [machine.<isa>.*] (instructions,
+    faults, syscalls), [code_cache.<isa>.*], [migration.*] and
+    [system.migrations.*]. Note that when several systems share one
+    context (the default, {!Hipstr_obs.Obs.global}), the counters
+    aggregate across them. *)

@@ -1,9 +1,16 @@
 open Hipstr_isa
 module W32 = Hipstr_util.Wrap32
+module Obs = Hipstr_obs.Obs
 
 type fault = Bad_fetch of int | Bad_access of int | Cache_jump of int
 
 type trap = Trap_stub of int | Rat_miss of int | Exit of int | Shell | Fault of fault
+
+type counters = {
+  cn_instrs : Obs.Metrics.counter;
+  cn_faults : Obs.Metrics.counter;
+  cn_syscalls : Obs.Metrics.counter;
+}
 
 type env = {
   cpu : Cpu.t;
@@ -15,6 +22,8 @@ type env = {
   bpred : Bpred.t;
   rat : Rat.t option;
   os : Sys.t;
+  obs : Obs.t;
+  ctrs : counters;
 }
 
 type outcome = Running | Stopped of trap
@@ -182,6 +191,7 @@ let do_call env ~ret_addr ~target =
 
 let do_syscall env =
   env.cpu.perf.syscalls <- env.cpu.perf.syscalls + 1;
+  if Obs.on env.obs then Obs.Metrics.incr env.ctrs.cn_syscalls;
   charge_flat env 40.;
   let number = env.cpu.regs.(0) in
   let args = (env.cpu.regs.(1), env.cpu.regs.(2), env.cpu.regs.(3)) in
@@ -288,6 +298,18 @@ let exec env (i : Minstr.t) len =
     goto env next
   | Trap a -> raise (Stop (Trap_stub a))
 
+let isa_label env = match env.desc.which with Desc.Cisc -> "cisc" | Desc.Risc -> "risc"
+
+let stopped env t =
+  (match t with
+  | Fault _ ->
+    if Obs.on env.obs then begin
+      Obs.Metrics.incr env.ctrs.cn_faults;
+      Obs.emit env.obs (Obs.Trace.Fault { isa = isa_label env; reason = string_of_trap t })
+    end
+  | Trap_stub _ | Rat_miss _ | Exit _ | Shell -> ());
+  Stopped t
+
 let step env =
   let pc = env.cpu.pc in
   if pc = Layout.exit_sentinel then Stopped (Exit env.cpu.regs.(env.desc.ret_reg))
@@ -295,15 +317,16 @@ let step env =
     if not (Cache.access env.icache pc) then
       charge_flat env (float_of_int env.core.icache_miss_penalty);
     match decode env.desc.which env.mem pc with
-    | None -> Stopped (Fault (Bad_fetch pc))
+    | None -> stopped env (Fault (Bad_fetch pc))
     | Some (i, len) -> (
       env.cpu.perf.instructions <- env.cpu.perf.instructions + 1;
+      if Obs.on env.obs then Obs.Metrics.incr env.ctrs.cn_instrs;
       try
         exec env i len;
         Running
       with
-      | Stop t -> Stopped t
-      | Mem.Fault a -> Stopped (Fault (Bad_access a)))
+      | Stop t -> stopped env t
+      | Mem.Fault a -> stopped env (Fault (Bad_access a)))
   end
 
 let run env ~fuel =

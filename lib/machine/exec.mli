@@ -24,6 +24,15 @@ type trap =
   | Shell  (** execve reached: the attack goal *)
   | Fault of fault
 
+type counters = {
+  cn_instrs : Hipstr_obs.Obs.Metrics.counter;
+  cn_faults : Hipstr_obs.Obs.Metrics.counter;
+  cn_syscalls : Hipstr_obs.Obs.Metrics.counter;
+}
+(** Per-core observability counters, resolved once at machine
+    creation so the per-instruction cost of disabled observability is
+    a single branch. *)
+
 type env = {
   cpu : Cpu.t;
   mem : Mem.t;
@@ -34,6 +43,8 @@ type env = {
   bpred : Bpred.t;
   rat : Rat.t option;
   os : Sys.t;
+  obs : Hipstr_obs.Obs.t;
+  ctrs : counters;
 }
 
 type outcome = Running | Stopped of trap

@@ -1,4 +1,5 @@
 open Hipstr_isa
+module Obs = Hipstr_obs.Obs
 
 type core_ctx = {
   desc : Desc.t;
@@ -7,6 +8,7 @@ type core_ctx = {
   dcache : Cache.t;
   bpred : Bpred.t;
   rat : Rat.t option;
+  ctrs : Exec.counters;
 }
 
 type t = {
@@ -15,6 +17,7 @@ type t = {
   os_state : Sys.t;
   cisc_ctx : core_ctx;
   risc_ctx : core_ctx;
+  observ : Obs.t;
   mutable active : Desc.which;
   mutable migrations : int;
   (* cycle attribution for converting to seconds per-core *)
@@ -23,9 +26,11 @@ type t = {
   mutable cycle_mark : float;
 }
 
-let make_ctx ~rat_capacity ~icache_kb ~dcache_kb which =
+let make_ctx ~obs ~rat_capacity ~icache_kb ~dcache_kb which =
   let desc = match which with Desc.Cisc -> Hipstr_cisc.Isa.desc | Risc -> Hipstr_risc.Isa.desc in
   let core = Core_desc.for_isa which in
+  let isa = match which with Desc.Cisc -> "cisc" | Desc.Risc -> "risc" in
+  let counter n = Obs.Metrics.counter (Obs.metrics obs) ("machine." ^ isa ^ "." ^ n) in
   {
     desc;
     core;
@@ -37,15 +42,23 @@ let make_ctx ~rat_capacity ~icache_kb ~dcache_kb which =
         ~miss_penalty:core.dcache_miss_penalty ();
     bpred = Bpred.create ();
     rat = (match rat_capacity with None -> None | Some n -> Some (Rat.create ~capacity:n));
+    ctrs =
+      {
+        Exec.cn_instrs = counter "instructions";
+        cn_faults = counter "faults";
+        cn_syscalls = counter "syscalls";
+      };
   }
 
-let create ?(rat_capacity = None) ?(icache_kb = 32) ?(dcache_kb = 32) ~active () =
+let create ?(obs = Obs.global) ?(rat_capacity = None) ?(icache_kb = 32) ?(dcache_kb = 32) ~active
+    () =
   {
     cpu = Cpu.create ();
     memory = Mem.create Layout.mem_size;
     os_state = Sys.create ();
-    cisc_ctx = make_ctx ~rat_capacity ~icache_kb ~dcache_kb Desc.Cisc;
-    risc_ctx = make_ctx ~rat_capacity ~icache_kb ~dcache_kb Desc.Risc;
+    cisc_ctx = make_ctx ~obs ~rat_capacity ~icache_kb ~dcache_kb Desc.Cisc;
+    risc_ctx = make_ctx ~obs ~rat_capacity ~icache_kb ~dcache_kb Desc.Risc;
+    observ = obs;
     active;
     migrations = 0;
     cisc_cycles = 0.;
@@ -57,6 +70,7 @@ let mem t = t.memory
 let cpu t = t.cpu
 let os t = t.os_state
 let active t = t.active
+let obs t = t.observ
 
 let ctx t = match t.active with Desc.Cisc -> t.cisc_ctx | Risc -> t.risc_ctx
 
@@ -74,6 +88,8 @@ let env_of t which =
     bpred = c.bpred;
     rat = c.rat;
     os = t.os_state;
+    obs = t.observ;
+    ctrs = c.ctrs;
   }
 
 let env t = env_of t t.active

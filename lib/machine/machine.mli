@@ -14,6 +14,7 @@
 type t
 
 val create :
+  ?obs:Hipstr_obs.Obs.t ->
   ?rat_capacity:int option ->
   ?icache_kb:int ->
   ?dcache_kb:int ->
@@ -22,7 +23,10 @@ val create :
   t
 (** [rat_capacity] defaults to [None] (native mode, no RAT);
     [Some n] enables the modified call/return macro-ops on both
-    cores. *)
+    cores. [obs] (default {!Hipstr_obs.Obs.global}) receives
+    per-core instruction/fault/syscall counters and is inherited by
+    every component holding this machine (PSR VMs, the migration
+    engine). *)
 
 val mem : t -> Mem.t
 val cpu : t -> Cpu.t
@@ -34,6 +38,9 @@ val env : t -> Exec.env
 
 val rat : t -> Rat.t option
 (** The active core's RAT. *)
+
+val obs : t -> Hipstr_obs.Obs.t
+(** The observability context this machine reports into. *)
 
 val env_of : t -> Hipstr_isa.Desc.which -> Exec.env
 

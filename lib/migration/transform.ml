@@ -5,6 +5,7 @@ module Machine = Hipstr_machine.Machine
 module Mem = Hipstr_machine.Mem
 module Layout = Hipstr_machine.Layout
 module Reloc_map = Hipstr_psr.Reloc_map
+module Obs = Hipstr_obs.Obs
 open Hipstr_isa
 
 type mode =
@@ -171,6 +172,15 @@ let finish machine ~to_isa ~frames ~words ~resume ~complete =
   cpu.regs.(to_sp) <- sp_value;
   let cycles = fixed_cycles +. (per_word_cycles *. float_of_int words) in
   charge_destination machine cycles;
+  let obs = Machine.obs machine in
+  if Obs.on obs then begin
+    let m = Obs.metrics obs in
+    Obs.Metrics.incr (Obs.Metrics.counter m "migration.stack_transforms");
+    Obs.Metrics.observe (Obs.Metrics.histogram m "migration.frames") (float_of_int frames);
+    Obs.Metrics.observe (Obs.Metrics.histogram m "migration.words") (float_of_int words);
+    Obs.Metrics.observe (Obs.Metrics.histogram m "migration.cycles") cycles;
+    Obs.emit obs (Obs.Trace.Stack_transform { frames; words; complete })
+  end;
   { r_frames = frames; r_words = words; r_resume_src = resume; r_complete = complete; r_cycles = cycles }
 
 let at_return machine fb mode ~target_src =

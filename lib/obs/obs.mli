@@ -1,0 +1,154 @@
+(** Zero-dependency tracing + metrics for the HIPStR simulator.
+
+    The paper's evaluation (§6) reports quantities — translation
+    counts, code-cache hit/miss rates, migrations triggered, stack
+    transformation latency — that the substrate must expose at
+    runtime. This module provides:
+
+    - {!Metrics}: named monotonic counters and log2-bucketed
+      histograms, snapshottable at any time;
+    - {!Trace}: a bounded ring of structured events (oldest entries
+      are overwritten once the capacity is exceeded);
+    - {!Sink}: a pluggable consumer each emitted event is also
+      forwarded to — null (default), stderr, or in-memory for tests.
+
+    Discipline: an instrumented site guards all observability work
+    with [if Obs.on obs then ...] so the disabled path costs a single
+    load-and-branch; handles ({!Metrics.counter} etc.) are resolved
+    once at component creation, never on a hot path. *)
+
+module Metrics : sig
+  type counter
+  type histogram
+  type t
+
+  val create : unit -> t
+
+  val counter : t -> string -> counter
+  (** Find-or-create by name. @raise Invalid_argument if the name is
+      already registered as a histogram. *)
+
+  val histogram : t -> string -> histogram
+
+  val incr : ?by:int -> counter -> unit
+  (** @raise Invalid_argument if [by] is negative: counters are
+      monotonic. *)
+
+  val value : counter -> int
+  val counter_name : counter -> string
+
+  val observe : histogram -> float -> unit
+
+  type histogram_summary = {
+    hs_count : int;
+    hs_sum : float;
+    hs_min : float;
+    hs_max : float;
+    hs_mean : float;
+    hs_buckets : int array;
+        (** bucket 0 counts values < 1; bucket i counts values in
+            [2^(i-1), 2^i); the last bucket is open-ended *)
+  }
+
+  type snapshot = {
+    snap_counters : (string * int) list;  (** sorted by name *)
+    snap_histograms : (string * histogram_summary) list;  (** sorted by name *)
+  }
+
+  val snapshot : t -> snapshot
+
+  val counter_value : snapshot -> string -> int
+  (** 0 if absent. *)
+end
+
+module Trace : sig
+  type event =
+    | Translate of { isa : string; src : int; instrs : int; emitted : int }
+        (** the PSR VM translated one unit *)
+    | Cache_hit of { isa : string; src : int }
+        (** a control transfer found its target already translated *)
+    | Cache_miss of { isa : string; src : int; compulsory : bool }
+        (** [compulsory]: first-ever translation of this unit, as
+            opposed to a re-translation after a capacity flush *)
+    | Cache_flush of { isa : string; used_bytes : int }
+    | Migrate of {
+        from_isa : string;
+        to_isa : string;
+        frames : int;
+        words : int;
+        cycles : float;
+        forced : bool;  (** requested checkpoint vs security-triggered *)
+      }
+    | Stack_transform of { frames : int; words : int; complete : bool }
+    | Suspicious of { isa : string; target_src : int }
+        (** an indirect control transfer missed the code cache — the
+            paper's migration trigger *)
+    | Fault of { isa : string; reason : string }
+
+  type record = { seq : int  (** total-order emission index *); event : event }
+
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Default capacity 1024. @raise Invalid_argument if < 1. *)
+
+  val store : t -> event -> record
+  val capacity : t -> int
+
+  val emitted : t -> int
+  (** Total events ever stored (>= length of {!to_list}). *)
+
+  val dropped : t -> int
+  (** Events overwritten because the ring was full. *)
+
+  val to_list : t -> record list
+  (** Retained records, oldest first. *)
+
+  val event_to_string : event -> string
+end
+
+module Sink : sig
+  type t
+
+  val null : t
+  val stderr : t
+
+  val of_fn : (Trace.record -> unit) -> t
+  val memory : unit -> t
+
+  val contents : t -> Trace.record list
+  (** Records delivered to a {!memory} sink, oldest first; [[]] for
+      any other sink. *)
+
+  val deliver : t -> Trace.record -> unit
+end
+
+type t
+
+val create : ?on:bool -> ?sink:Sink.t -> ?trace_capacity:int -> unit -> t
+(** A fresh observability context: its own metrics registry, event
+    ring ([trace_capacity], default 1024) and sink (default
+    {!Sink.null}). [on] defaults to true. *)
+
+val disabled : t
+(** A shared always-off context — the zero-overhead default for
+    components created outside a [System]. Do not enable it. *)
+
+val global : t
+(** The shared ambient context: components default to it, so metrics
+    from every system in the process aggregate here unless an explicit
+    context is supplied. *)
+
+val on : t -> bool
+val set_on : t -> bool -> unit
+val metrics : t -> Metrics.t
+val trace : t -> Trace.t
+val sink : t -> Sink.t
+val set_sink : t -> Sink.t -> unit
+
+val emit : t -> Trace.event -> unit
+(** Store in the ring and forward to the sink. Call only under an
+    [if on obs] guard. *)
+
+val events : t -> Trace.record list
+val snapshot : t -> Metrics.snapshot

@@ -1,3 +1,5 @@
+module Obs = Hipstr_obs.Obs
+
 type block = {
   cb_src : int;
   cb_cache : int;
@@ -13,10 +15,27 @@ type t = {
   by_src : (int, int) Hashtbl.t;
   mutable block_list : block list;
   mutable nflushes : int;
+  cc_obs : Obs.t;
+  cc_allocs : Obs.Metrics.counter;
+  cc_flushes : Obs.Metrics.counter;
+  cc_block_bytes : Obs.Metrics.histogram;
 }
 
-let create ~base ~capacity =
-  { cc_base = base; cc_capacity = capacity; cursor = base; by_src = Hashtbl.create 256; block_list = []; nflushes = 0 }
+let create ?(obs = Obs.disabled) ?(isa = "any") ~base ~capacity () =
+  let m = Obs.metrics obs in
+  let name n = "code_cache." ^ isa ^ "." ^ n in
+  {
+    cc_base = base;
+    cc_capacity = capacity;
+    cursor = base;
+    by_src = Hashtbl.create 256;
+    block_list = [];
+    nflushes = 0;
+    cc_obs = obs;
+    cc_allocs = Obs.Metrics.counter m (name "allocs");
+    cc_flushes = Obs.Metrics.counter m (name "flushes");
+    cc_block_bytes = Obs.Metrics.histogram m (name "block_bytes");
+  }
 
 let lookup t src = Hashtbl.find_opt t.by_src src
 
@@ -27,6 +46,10 @@ let has_room t size = t.cursor + size + 64 <= t.cc_base + t.cc_capacity
 let alloc t ?(align = 1) ~src ~func ~size ~src_spans () =
   let start = align_up align t.cursor in
   if start + size > t.cc_base + t.cc_capacity then invalid_arg "code_cache: full";
+  if Obs.on t.cc_obs then begin
+    Obs.Metrics.incr t.cc_allocs;
+    Obs.Metrics.observe t.cc_block_bytes (float_of_int size)
+  end;
   t.cursor <- start + size;
   Hashtbl.replace t.by_src src start;
   t.block_list <-
@@ -35,6 +58,7 @@ let alloc t ?(align = 1) ~src ~func ~size ~src_spans () =
   start
 
 let flush t =
+  if Obs.on t.cc_obs then Obs.Metrics.incr t.cc_flushes;
   t.cursor <- t.cc_base;
   Hashtbl.reset t.by_src;
   t.block_list <- [];

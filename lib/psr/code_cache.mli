@@ -18,7 +18,11 @@ type block = {
 
 type t
 
-val create : base:int -> capacity:int -> t
+val create : ?obs:Hipstr_obs.Obs.t -> ?isa:string -> base:int -> capacity:int -> unit -> t
+(** [obs] (default {!Hipstr_obs.Obs.disabled}) receives
+    [code_cache.<isa>.allocs]/[.flushes] counters and a
+    [.block_bytes] histogram; [isa] namespaces them (default
+    ["any"]). *)
 
 val lookup : t -> int -> int option
 (** Translated cache address for a source unit start. *)

@@ -6,6 +6,7 @@ module Exec = Hipstr_machine.Exec
 module Rat = Hipstr_machine.Rat
 module Layout = Hipstr_machine.Layout
 module Rng = Hipstr_util.Rng
+module Obs = Hipstr_obs.Obs
 
 (* VM service costs, in cycles, charged to the executing core. *)
 let trap_overhead = 150.
@@ -29,6 +30,43 @@ type stats = {
 
 type stub_info = Sexit of int | Sicall of Translator.icall_site
 
+(* Observability handles, resolved once at VM creation; every use is
+   guarded by [if Obs.on p.obs] so disabled observability costs a
+   single branch per site. *)
+type probes = {
+  obs : Obs.t;
+  isa : string;
+  c_translations : Obs.Metrics.counter;
+  c_cache_hits : Obs.Metrics.counter;
+  c_miss_compulsory : Obs.Metrics.counter;
+  c_miss_capacity : Obs.Metrics.counter;
+  c_flushes : Obs.Metrics.counter;
+  c_traps : Obs.Metrics.counter;
+  c_patches : Obs.Metrics.counter;
+  c_icalls : Obs.Metrics.counter;
+  c_suspicious : Obs.Metrics.counter;
+  h_unit_instrs : Obs.Metrics.histogram;
+}
+
+let make_probes obs which =
+  let isa = match which with Desc.Cisc -> "cisc" | Desc.Risc -> "risc" in
+  let m = Obs.metrics obs in
+  let c n = Obs.Metrics.counter m ("psr." ^ isa ^ "." ^ n) in
+  {
+    obs;
+    isa;
+    c_translations = c "translations";
+    c_cache_hits = c "cache_hits";
+    c_miss_compulsory = c "cache_misses.compulsory";
+    c_miss_capacity = c "cache_misses.capacity";
+    c_flushes = c "flushes";
+    c_traps = c "traps";
+    c_patches = c "patches";
+    c_icalls = c "icalls";
+    c_suspicious = c "suspicious";
+    h_unit_instrs = Obs.Metrics.histogram m ("psr." ^ isa ^ ".unit_instrs");
+  }
+
 type t = {
   cfg : Config.t;
   which : Desc.which;
@@ -41,6 +79,7 @@ type t = {
   stub_at : (int, stub_info) Hashtbl.t;
   rng : Rng.t;
   st : stats;
+  pr : probes;
   mutable ever_translated : (int, unit) Hashtbl.t;
   mutable new_units : int list;
 }
@@ -58,13 +97,17 @@ type event =
 let create cfg ~seed which fatbin machine =
   let desc = match which with Desc.Cisc -> Hipstr_cisc.Isa.desc | Risc -> Hipstr_risc.Isa.desc in
   assert (Translator.jmp_same_size desc);
+  let obs = Machine.obs machine in
+  let pr = make_probes obs which in
   {
     cfg;
     which;
     desc;
     fatbin;
     machine;
-    cache = Code_cache.create ~base:(Layout.cache_base which) ~capacity:cfg.cache_bytes;
+    cache =
+      Code_cache.create ~obs ~isa:pr.isa ~base:(Layout.cache_base which)
+        ~capacity:cfg.cache_bytes ();
     maps = Hashtbl.create 64;
     hot = Hashtbl.create 64;
     stub_at = Hashtbl.create 256;
@@ -82,6 +125,7 @@ let create cfg ~seed which fatbin machine =
         compulsory_misses = 0;
         capacity_misses = 0;
       };
+    pr;
     ever_translated = Hashtbl.create 256;
     new_units = [];
   }
@@ -150,6 +194,11 @@ let map_of t (fs : Fatbin.func_sym) =
     m
 
 let flush t =
+  if Obs.on t.pr.obs then begin
+    Obs.Metrics.incr t.pr.c_flushes;
+    Obs.emit t.pr.obs
+      (Obs.Trace.Cache_flush { isa = t.pr.isa; used_bytes = Code_cache.used_bytes t.cache })
+  end;
   Code_cache.flush t.cache;
   Hashtbl.reset t.stub_at;
   Hashtbl.reset t.ever_translated;
@@ -166,11 +215,21 @@ exception Wild_target = Translator.Wild
 
 let translate_unit t src =
   match Code_cache.lookup t.cache src with
-  | Some cache_addr -> cache_addr
+  | Some cache_addr ->
+    if Obs.on t.pr.obs then begin
+      Obs.Metrics.incr t.pr.c_cache_hits;
+      Obs.emit t.pr.obs (Obs.Trace.Cache_hit { isa = t.pr.isa; src })
+    end;
+    cache_addr
   | None ->
     if not (Code_cache.has_room t.cache unit_headroom) then flush t;
-    if Hashtbl.mem t.ever_translated src then t.st.capacity_misses <- t.st.capacity_misses + 1
-    else t.st.compulsory_misses <- t.st.compulsory_misses + 1;
+    let compulsory = not (Hashtbl.mem t.ever_translated src) in
+    if compulsory then t.st.compulsory_misses <- t.st.compulsory_misses + 1
+    else t.st.capacity_misses <- t.st.capacity_misses + 1;
+    if Obs.on t.pr.obs then begin
+      Obs.Metrics.incr (if compulsory then t.pr.c_miss_compulsory else t.pr.c_miss_capacity);
+      Obs.emit t.pr.obs (Obs.Trace.Cache_miss { isa = t.pr.isa; src; compulsory })
+    end;
     Hashtbl.replace t.ever_translated src ();
     let align = if t.cfg.opt_level >= 1 then 64 else 1 in
     let read a = try Mem.read8 (mem t) a with Mem.Fault _ -> -1 in
@@ -205,6 +264,13 @@ let translate_unit t src =
     t.new_units <- src :: t.new_units;
     t.st.source_instrs <- t.st.source_instrs + unit.u_instrs;
     t.st.emitted_instrs <- t.st.emitted_instrs + unit.u_emitted;
+    if Obs.on t.pr.obs then begin
+      Obs.Metrics.incr t.pr.c_translations;
+      Obs.Metrics.observe t.pr.h_unit_instrs (float_of_int unit.u_instrs);
+      Obs.emit t.pr.obs
+        (Obs.Trace.Translate
+           { isa = t.pr.isa; src; instrs = unit.u_instrs; emitted = unit.u_emitted })
+    end;
     charge t (translate_per_instr *. float_of_int unit.u_instrs);
     base
 
@@ -220,6 +286,7 @@ let patch_stub t ~stub_pc ~target_cache =
   Mem.blit_string (mem t) stub_pc bytes;
   Hashtbl.remove t.stub_at stub_pc;
   t.st.patches <- t.st.patches + 1;
+  if Obs.on t.pr.obs then Obs.Metrics.incr t.pr.c_patches;
   charge t patch_cost
 
 let has_translation t src = Code_cache.lookup t.cache src <> None
@@ -237,6 +304,7 @@ let resolve_icall t (ic : Translator.icall_site) () =
   let c = cpu t in
   let sp = c.regs.(t.desc.sp) in
   t.st.icalls <- t.st.icalls + 1;
+  if Obs.on t.pr.obs then Obs.Metrics.incr t.pr.c_icalls;
   charge t icall_cost;
   let caller_fs =
     match Fatbin.func_at t.fatbin t.which ic.is_src with Some fs -> fs | None -> assert false
@@ -297,6 +365,10 @@ let resolve_icall t (ic : Translator.icall_site) () =
 let resolve_return t src () =
   match Code_cache.lookup t.cache src with
   | Some cache_addr ->
+    if Obs.on t.pr.obs then begin
+      Obs.Metrics.incr t.pr.c_cache_hits;
+      Obs.emit t.pr.obs (Obs.Trace.Cache_hit { isa = t.pr.isa; src })
+    end;
     Rat.insert (rat t) ~src ~translated:cache_addr;
     (cpu t).pc <- cache_addr;
     Continue
@@ -309,8 +381,16 @@ let resolve_return t src () =
       Continue
     | exception Wild_target a -> Fault (Printf.sprintf "return to wild address 0x%x" a))
 
+let suspicious_probe t target_src =
+  t.st.suspicious <- t.st.suspicious + 1;
+  if Obs.on t.pr.obs then begin
+    Obs.Metrics.incr t.pr.c_suspicious;
+    Obs.emit t.pr.obs (Obs.Trace.Suspicious { isa = t.pr.isa; target_src })
+  end
+
 let on_trap t (trap : Exec.trap) =
   t.st.traps <- t.st.traps + 1;
+  if Obs.on t.pr.obs then Obs.Metrics.incr t.pr.c_traps;
   charge t trap_overhead;
   match trap with
   | Exec.Exit code -> Benign (Exit code)
@@ -346,7 +426,7 @@ let on_trap t (trap : Exec.trap) =
       in
       if has_translation t target then Benign (resolve_icall t ic ())
       else begin
-        t.st.suspicious <- t.st.suspicious + 1;
+        suspicious_probe t target;
         Suspicious
           {
             target_src = target;
@@ -364,7 +444,7 @@ let on_trap t (trap : Exec.trap) =
     if src = Layout.exit_sentinel then Benign (Exit (cpu t).regs.(t.desc.ret_reg))
     else if has_translation t src then Benign (resolve_return t src ())
     else begin
-      t.st.suspicious <- t.st.suspicious + 1;
+      suspicious_probe t src;
       Suspicious { target_src = src; kind = Kreturn; resolve = resolve_return t src }
     end
 

@@ -12,8 +12,8 @@ module Config = Hipstr_psr.Config
 
 let fuel = 4_000_000
 
-let run_config src ~mode ~isa ~seed =
-  match System.create ~seed ~start_isa:isa ~mode ~src () with
+let run_config ?cfg src ~mode ~isa ~seed =
+  match System.create ?cfg ~seed ~start_isa:isa ~mode ~src () with
   | exception Hipstr_compiler.Compile.Error m -> Error ("compile: " ^ m)
   | sys -> (
     match System.run sys ~fuel with
@@ -22,23 +22,26 @@ let run_config src ~mode ~isa ~seed =
     | System.Shell_spawned -> Error "shell"
     | System.Out_of_fuel -> Error "fuel")
 
+let always_migrate = { Config.default with migrate_prob = 1.0 }
+let sometimes_migrate = { Config.default with migrate_prob = 0.5 }
+
 let check_program seed =
   let src = Progen.generate seed in
   let configs =
     [
-      ("native-cisc", System.Native, Desc.Cisc, 1);
-      ("native-risc", System.Native, Desc.Risc, 1);
-      ("psr-cisc-a", System.Psr_only, Desc.Cisc, 1 + (seed * 7));
-      ("psr-cisc-b", System.Psr_only, Desc.Cisc, 2 + (seed * 13));
-      ("psr-risc", System.Psr_only, Desc.Risc, 3 + seed);
-      ("hipstr", System.Hipstr, Desc.Cisc, 4 + seed);
+      ("native-cisc", System.Native, Desc.Cisc, 1, None);
+      ("native-risc", System.Native, Desc.Risc, 1, None);
+      ("psr-cisc-a", System.Psr_only, Desc.Cisc, 1 + (seed * 7), None);
+      ("psr-cisc-b", System.Psr_only, Desc.Cisc, 2 + (seed * 13), None);
+      ("psr-risc", System.Psr_only, Desc.Risc, 3 + seed, None);
+      ("hipstr", System.Hipstr, Desc.Cisc, 4 + seed, Some always_migrate);
+      ("hipstr-risc", System.Hipstr, Desc.Risc, 5 + (seed * 3), Some always_migrate);
+      ("hipstr-mid", System.Hipstr, Desc.Cisc, 6 + (seed * 11), Some sometimes_migrate);
     ]
   in
   let results =
     List.map
-      (fun (label, mode, isa, s) ->
-        let cfg_seed = s in
-        (label, run_config src ~mode ~isa ~seed:cfg_seed))
+      (fun (label, mode, isa, s, cfg) -> (label, run_config ?cfg src ~mode ~isa ~seed:s))
       configs
   in
   match results with
@@ -74,14 +77,45 @@ let test_generated_programs_nontrivial () =
   Alcotest.(check bool) "programs vary in size" true
     (List.length (List.sort_uniq compare !sizes) > 3)
 
+(* HIPSTR_FUZZ_SEEDS overrides the seed range: "N" means 1-N, "LO-HI"
+   an explicit range. CI uses it to trade coverage for wall clock. *)
+let seed_range () =
+  match Sys.getenv_opt "HIPSTR_FUZZ_SEEDS" with
+  | None | Some "" -> (1, 100)
+  | Some s -> (
+    match String.index_opt s '-' with
+    | Some i -> (
+      match
+        ( int_of_string_opt (String.sub s 0 i),
+          int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
+      with
+      | Some lo, Some hi when lo >= 1 && hi >= lo -> (lo, hi)
+      | _ -> failwith ("bad HIPSTR_FUZZ_SEEDS: " ^ s))
+    | None -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> (1, n)
+      | _ -> failwith ("bad HIPSTR_FUZZ_SEEDS: " ^ s)))
+
 let () =
+  let lo, hi = seed_range () in
+  (* batches of 25 seeds; everything past the second batch is `Slow so
+     the default alcotest run stays quick *)
+  let batches =
+    let rec go i acc =
+      if i > hi then List.rev acc
+      else
+        let j = min hi (i + 24) in
+        let speed = if i - lo >= 50 then `Slow else `Quick in
+        let case =
+          Alcotest.test_case (Printf.sprintf "programs %d-%d" i j) speed (test_fuzz_batch i j)
+        in
+        go (j + 1) (case :: acc)
+    in
+    go lo []
+  in
   Alcotest.run "fuzz"
     [
       ( "differential",
-        [
-          Alcotest.test_case "generator sanity" `Quick test_generated_programs_nontrivial;
-          Alcotest.test_case "programs 1-25" `Quick (test_fuzz_batch 1 25);
-          Alcotest.test_case "programs 26-50" `Quick (test_fuzz_batch 26 50);
-          Alcotest.test_case "programs 51-100" `Slow (test_fuzz_batch 51 100);
-        ] );
+        Alcotest.test_case "generator sanity" `Quick test_generated_programs_nontrivial :: batches
+      );
     ]

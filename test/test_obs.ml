@@ -1,0 +1,225 @@
+(* The observability layer: counter monotonicity, ring-buffer bounds
+   under overflow, snapshot stability across System.run re-entry, the
+   event stream of a real PSR run, and the metric invariants that tie
+   the migration counters to the paper's trigger rule (a migration
+   happens only on a suspicious code-cache miss, and with
+   migrate_prob = 1 on *every* one). *)
+
+module Obs = Hipstr_obs.Obs
+module Desc = Hipstr_isa.Desc
+module System = Hipstr.System
+module Config = Hipstr_psr.Config
+module Workloads = Hipstr_workloads.Workloads
+
+(* --- Metrics --- *)
+
+let test_counters_monotonic () =
+  let m = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter m "x" in
+  Alcotest.(check int) "starts at 0" 0 (Obs.Metrics.value c);
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr ~by:41 c;
+  Alcotest.(check int) "accumulates" 42 (Obs.Metrics.value c);
+  (match Obs.Metrics.incr ~by:(-1) c with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "negative increment accepted");
+  Alcotest.(check int) "unchanged after rejection" 42 (Obs.Metrics.value c);
+  (* find-or-create returns the same handle *)
+  Obs.Metrics.incr (Obs.Metrics.counter m "x");
+  Alcotest.(check int) "same counter by name" 43 (Obs.Metrics.value c);
+  (* name collisions across kinds are programming errors *)
+  match Obs.Metrics.histogram m "x" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "histogram registered over a counter"
+
+let test_histogram_summary () =
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "lat" in
+  List.iter (Obs.Metrics.observe h) [ 1.; 2.; 3.; 10. ];
+  let snap = Obs.Metrics.snapshot m in
+  match List.assoc_opt "lat" snap.Obs.Metrics.snap_histograms with
+  | None -> Alcotest.fail "histogram missing from snapshot"
+  | Some s ->
+    Alcotest.(check int) "count" 4 s.Obs.Metrics.hs_count;
+    Alcotest.(check (float 1e-9)) "sum" 16. s.Obs.Metrics.hs_sum;
+    Alcotest.(check (float 1e-9)) "min" 1. s.Obs.Metrics.hs_min;
+    Alcotest.(check (float 1e-9)) "max" 10. s.Obs.Metrics.hs_max;
+    Alcotest.(check (float 1e-9)) "mean" 4. s.Obs.Metrics.hs_mean;
+    Alcotest.(check int) "bucketed everything" 4
+      (Array.fold_left ( + ) 0 s.Obs.Metrics.hs_buckets)
+
+(* --- Trace ring --- *)
+
+let test_ring_bounds () =
+  let tr = Obs.Trace.create ~capacity:4 () in
+  for i = 0 to 9 do
+    ignore (Obs.Trace.store tr (Obs.Trace.Cache_hit { isa = "cisc"; src = i }))
+  done;
+  Alcotest.(check int) "emitted counts everything" 10 (Obs.Trace.emitted tr);
+  Alcotest.(check int) "dropped = emitted - capacity" 6 (Obs.Trace.dropped tr);
+  let kept = Obs.Trace.to_list tr in
+  Alcotest.(check int) "bounded" 4 (List.length kept);
+  Alcotest.(check (list int)) "keeps the newest, oldest first" [ 6; 7; 8; 9 ]
+    (List.map (fun r -> r.Obs.Trace.seq) kept);
+  match Obs.Trace.create ~capacity:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero-capacity ring accepted"
+
+(* --- a real PSR run --- *)
+
+let run_to_finish sys ~fuel =
+  match System.run sys ~fuel with
+  | System.Finished _ -> ()
+  | o ->
+    Alcotest.failf "run did not finish: %s"
+      (match o with
+      | System.Killed m -> m
+      | System.Out_of_fuel -> "fuel"
+      | System.Shell_spawned -> "shell"
+      | System.Finished _ -> assert false)
+
+let test_psr_run_events () =
+  let sink = Obs.Sink.memory () in
+  let obs = Obs.create ~sink () in
+  let w = Workloads.find "mcf" in
+  let sys = System.of_fatbin ~obs ~seed:1 ~start_isa:Desc.Cisc ~mode:System.Psr_only (Workloads.fatbin w) in
+  run_to_finish sys ~fuel:(3 * w.w_fuel);
+  let events = List.map (fun r -> r.Obs.Trace.event) (Obs.Sink.contents sink) in
+  let count p = List.length (List.filter p events) in
+  let translates = count (function Obs.Trace.Translate _ -> true | _ -> false) in
+  let hits = count (function Obs.Trace.Cache_hit _ -> true | _ -> false) in
+  Alcotest.(check bool) "at least one Translate" true (translates >= 1);
+  Alcotest.(check bool) "at least one Cache_hit" true (hits >= 1);
+  (* events agree with the counters they ride along with *)
+  let snap = System.metrics sys in
+  Alcotest.(check int) "translate events = translation counter" translates
+    (Obs.Metrics.counter_value snap "psr.cisc.translations");
+  Alcotest.(check int) "hit events = hit counter" hits
+    (Obs.Metrics.counter_value snap "psr.cisc.cache_hits");
+  (* the sink saw every event the ring did *)
+  Alcotest.(check int) "sink saw everything" (Obs.Trace.emitted (Obs.trace obs))
+    (List.length events)
+
+let test_snapshot_stable_across_reentry () =
+  let obs = Obs.create () in
+  let w = Workloads.find "lbm" in
+  let sys = System.of_fatbin ~obs ~start_isa:Desc.Cisc ~mode:System.Psr_only (Workloads.fatbin w) in
+  (match System.run sys ~fuel:10_000 with
+  | System.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "expected to run out of fuel");
+  let s1 = System.metrics sys in
+  run_to_finish sys ~fuel:(3 * w.w_fuel);
+  let s2 = System.metrics sys in
+  (* monotone across re-entry: nothing resets when run resumes *)
+  List.iter
+    (fun (name, v1) ->
+      let v2 = Obs.Metrics.counter_value s2 name in
+      if v2 < v1 then Alcotest.failf "%s went backwards across re-entry (%d -> %d)" name v1 v2)
+    s1.Obs.Metrics.snap_counters;
+  Alcotest.(check bool) "instructions advanced" true
+    (Obs.Metrics.counter_value s2 "machine.cisc.instructions"
+    > Obs.Metrics.counter_value s1 "machine.cisc.instructions");
+  (* snapshotting is read-only: two in a row are identical *)
+  let s3 = System.metrics sys in
+  Alcotest.(check bool) "snapshot has no side effects" true (s3 = s2)
+
+let test_disabled_records_nothing () =
+  let w = Workloads.find "mcf" in
+  let sys =
+    System.of_fatbin ~obs:Obs.disabled ~start_isa:Desc.Cisc ~mode:System.Psr_only
+      (Workloads.fatbin w)
+  in
+  run_to_finish sys ~fuel:(3 * w.w_fuel);
+  let snap = System.metrics sys in
+  List.iter
+    (fun (name, v) ->
+      if v <> 0 then Alcotest.failf "disabled obs counted %s = %d" name v)
+    snap.Obs.Metrics.snap_counters
+
+(* --- mode invariants --- *)
+
+let test_psr_only_never_migrates () =
+  let obs = Obs.create () in
+  let w = Workloads.find "gobmk" in
+  let sys =
+    System.of_fatbin ~obs ~seed:6 ~start_isa:Desc.Cisc ~mode:System.Psr_only (Workloads.fatbin w)
+  in
+  run_to_finish sys ~fuel:(3 * w.w_fuel);
+  let snap = System.metrics sys in
+  Alcotest.(check bool) "suspicious events happened" true
+    (Obs.Metrics.counter_value snap "psr.cisc.suspicious" >= 1);
+  Alcotest.(check int) "no security migrations" 0
+    (Obs.Metrics.counter_value snap "system.migrations.security");
+  Alcotest.(check int) "no forced migrations" 0
+    (Obs.Metrics.counter_value snap "system.migrations.forced");
+  Alcotest.(check int) "no stack transforms" 0
+    (Obs.Metrics.counter_value snap "migration.stack_transforms")
+
+let test_hipstr_prob1_migrates_on_every_miss () =
+  (* the paper's trigger rule: with migrate_prob = 1 every suspicious
+     code-cache miss — on either core — becomes a migration *)
+  let obs = Obs.create () in
+  let cfg = { Config.default with migrate_prob = 1.0 } in
+  let w = Workloads.find "gobmk" in
+  let sys =
+    System.of_fatbin ~obs ~cfg ~seed:6 ~start_isa:Desc.Cisc ~mode:System.Hipstr (Workloads.fatbin w)
+  in
+  run_to_finish sys ~fuel:(3 * w.w_fuel);
+  let snap = System.metrics sys in
+  let suspicious =
+    Obs.Metrics.counter_value snap "psr.cisc.suspicious"
+    + Obs.Metrics.counter_value snap "psr.risc.suspicious"
+  in
+  let migrations = Obs.Metrics.counter_value snap "system.migrations.security" in
+  Alcotest.(check bool) "at least one trigger" true (suspicious >= 1);
+  Alcotest.(check int) "every suspicious miss migrated" suspicious migrations;
+  Alcotest.(check int) "counter agrees with the accessor" (System.security_migrations sys)
+    migrations;
+  Alcotest.(check int) "each migration transformed the stack" migrations
+    (Obs.Metrics.counter_value snap "migration.stack_transforms")
+
+let test_forced_migration_counted () =
+  let obs = Obs.create () in
+  let cfg = { Config.default with migrate_prob = 0.0 } in
+  let w = Workloads.find "hmmer" in
+  let sys =
+    System.of_fatbin ~obs ~cfg ~seed:7 ~start_isa:Desc.Cisc ~mode:System.Hipstr (Workloads.fatbin w)
+  in
+  (match System.run sys ~fuel:20_000 with
+  | System.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "expected fuel to run out");
+  System.request_migration sys;
+  run_to_finish sys ~fuel:(3 * w.w_fuel);
+  let snap = System.metrics sys in
+  Alcotest.(check int) "forced migration observed" (System.forced_migrations sys)
+    (Obs.Metrics.counter_value snap "system.migrations.forced");
+  Alcotest.(check bool) "at least one" true
+    (Obs.Metrics.counter_value snap "system.migrations.forced" >= 1);
+  Alcotest.(check int) "none misattributed to security" 0
+    (Obs.Metrics.counter_value snap "system.migrations.security")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counters monotonic" `Quick test_counters_monotonic;
+          Alcotest.test_case "histogram summary" `Quick test_histogram_summary;
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "ring bounds under overflow" `Quick test_ring_bounds ] );
+      ( "system",
+        [
+          Alcotest.test_case "psr run emits events" `Quick test_psr_run_events;
+          Alcotest.test_case "snapshot stable across re-entry" `Quick
+            test_snapshot_stable_across_reentry;
+          Alcotest.test_case "disabled records nothing" `Quick test_disabled_records_nothing;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "psr-only never migrates" `Quick test_psr_only_never_migrates;
+          Alcotest.test_case "prob-1 migrates on every miss" `Quick
+            test_hipstr_prob1_migrates_on_every_miss;
+          Alcotest.test_case "forced migrations counted" `Quick test_forced_migration_counted;
+        ] );
+    ]

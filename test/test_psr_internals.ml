@@ -188,7 +188,7 @@ let test_wild_address_raises () =
 (* --- code cache --- *)
 
 let test_code_cache () =
-  let cc = Code_cache.create ~base:0x1000 ~capacity:1024 in
+  let cc = Code_cache.create ~base:0x1000 ~capacity:1024 () in
   Alcotest.(check bool) "room initially" true (Code_cache.has_room cc 512);
   let a = Code_cache.alloc cc ~src:0x100 ~func:"f" ~size:100 ~src_spans:[ (0x100, 20) ] () in
   Alcotest.(check int) "first at base" 0x1000 a;
