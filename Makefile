@@ -3,7 +3,7 @@
 
 FUZZ_SEEDS ?= 1-25
 
-.PHONY: all build test fuzz micro check clean
+.PHONY: all build test fuzz micro cmp-smoke check clean
 
 all: build
 
@@ -19,7 +19,16 @@ fuzz:
 micro:
 	dune exec bench/main.exe -- --micro-only
 
-check: build test fuzz micro
+# The CMP scheduler end-to-end: two workloads with suspicious
+# code-cache activity time-sliced across the mixed-ISA pair under the
+# security policy (forcing cross-ISA migrations), --verify demanding
+# byte-equality with their standalone runs; then a parallel experiment
+# sweep that must be bit-identical to serial.
+cmp-smoke:
+	dune exec bin/hipstr_cli.exe -- cmp-run gobmk httpd --policy security --quantum 2000 --verify
+	dune exec bin/hipstr_cli.exe -- experiment table1,fig3,ablation-pad -j 2
+
+check: build test fuzz micro cmp-smoke
 
 clean:
 	dune clean

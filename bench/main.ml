@@ -57,20 +57,35 @@ let observed_line before after =
          Printf.sprintf "%s=%d" label (total after - total before))
        observed_keys)
 
-let run_tables () =
+let run_tables ~jobs =
   print_endline "=====================================================================";
   print_endline " HIPStR reproduction: every table and figure of the evaluation";
   print_endline "=====================================================================";
-  List.iter
-    (fun e ->
-      let t0 = Unix.gettimeofday () in
-      let before = Obs.snapshot Obs.global in
-      Registry.run_and_print e;
-      let after = Obs.snapshot Obs.global in
-      Printf.printf "[%s regenerated in %.1fs; observed: %s]\n" e.Registry.ex_id
-        (Unix.gettimeofday () -. t0)
-        (observed_line before after))
-    Registry.all
+  if jobs <= 1 then
+    List.iter
+      (fun e ->
+        let t0 = Unix.gettimeofday () in
+        let before = Obs.snapshot Obs.global in
+        Registry.run_and_print e;
+        let after = Obs.snapshot Obs.global in
+        Printf.printf "[%s regenerated in %.1fs; observed: %s]\n" e.Registry.ex_id
+          (Unix.gettimeofday () -. t0)
+          (observed_line before after))
+      Registry.all
+  else begin
+    (* Parallel sweep: per-experiment output is buffered and printed
+       in registry order (bit-identical tables to -j 1); wall-clock
+       attribution is whole-sweep since experiments overlap. *)
+    let t0 = Unix.gettimeofday () in
+    let before = Obs.snapshot Obs.global in
+    let outputs = Registry.run_many ~jobs Registry.all in
+    let after = Obs.snapshot Obs.global in
+    List.iter print_string outputs;
+    Printf.printf "[%d experiments regenerated in %.1fs on %d domains; observed: %s]\n"
+      (List.length outputs)
+      (Unix.gettimeofday () -. t0)
+      jobs (observed_line before after)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks of the substrate. *)
@@ -175,6 +190,37 @@ let bench_migration =
     ignore (System.run sys ~fuel:200_000);
     System.forced_migrations sys)
 
+(* The CMP scheduler's own cost: the same total work (4 processes of
+   20k instructions each) run through Cmp with an aggressive quantum
+   (many context switches) vs directly, one System after another. The
+   gap is scheduler bookkeeping + cold-cache restarts. *)
+let cmp_procs () =
+  let w = Workloads.find "mcf" in
+  let fb = Workloads.fatbin w in
+  List.init 4 (fun i ->
+      Hipstr_cmp.Process.create ~obs:Obs.disabled ~seed:(i + 1)
+        ~start_isa:(if i mod 2 = 0 then Desc.Cisc else Desc.Risc)
+        ~mode:System.Psr_only ~pid:i ~name:w.w_name ~fuel:20_000 fb)
+
+let bench_cmp_sched =
+  Test.make ~name:"cmp-sched-overhead"
+    (Staged.stage @@ fun () ->
+    let cmp =
+      Hipstr_cmp.Cmp.create ~obs:Obs.disabled ~policy:Hipstr_cmp.Cmp.Round_robin ~quantum:2_000
+        (cmp_procs ())
+    in
+    Hipstr_cmp.Cmp.run cmp;
+    Hipstr_cmp.Cmp.rounds cmp)
+
+let bench_cmp_baseline =
+  Test.make ~name:"cmp-single-baseline"
+    (Staged.stage @@ fun () ->
+    List.fold_left
+      (fun acc p ->
+        ignore (Hipstr_cmp.Process.run_slice p ~fuel:20_000);
+        acc + Hipstr_cmp.Process.instructions p)
+      0 (cmp_procs ()))
+
 let run_micro () =
   print_endline "";
   print_endline "=====================================================================";
@@ -192,6 +238,8 @@ let run_micro () =
         bench_reloc_map;
         bench_galileo;
         bench_migration;
+        bench_cmp_sched;
+        bench_cmp_baseline;
       ]
   in
   let instances = Instance.[ monotonic_clock ] in
@@ -211,5 +259,16 @@ let () =
   let args = Array.to_list Sys.argv in
   let tables = not (List.mem "--micro-only" args) in
   let micro = not (List.mem "--tables-only" args) in
-  if tables then run_tables ();
+  let jobs =
+    let rec find = function
+      | "-j" :: v :: _ -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 -> n
+        | _ -> failwith ("bench: bad -j value " ^ v))
+      | _ :: rest -> find rest
+      | [] -> 1
+    in
+    find args
+  in
+  if tables then run_tables ~jobs;
   if micro then run_micro ()

@@ -2,11 +2,18 @@
 
    Subcommands:
      run        — execute a workload natively / under PSR / under HIPStR
+     cmp-run    — time-slice several workloads across a mixed-ISA CMP
      gadgets    — Galileo gadget-mining summary for a workload image
      attack     — deliver the execve ROP exploit against httpd
-     experiment — regenerate one of the paper's tables/figures (or all)
+     experiment — regenerate paper tables/figures (comma ids or 'all'; -j fans
+                  them across domains)
      disasm     — disassemble a function from a workload's fat binary
-     list       — workloads and experiments *)
+     list       — workloads and experiments
+
+   Argument hygiene: workload/experiment names, seeds, probabilities,
+   optimization levels, job counts and core specs are all validated by
+   cmdliner converters, so a bad invocation dies with a usage error
+   before any simulation starts. *)
 
 open Cmdliner
 module Desc = Hipstr_isa.Desc
@@ -21,6 +28,8 @@ module Machine = Hipstr_machine.Machine
 module Registry = Hipstr_experiments.Registry
 module Rop = Hipstr_attacks.Rop
 module Obs = Hipstr_obs.Obs
+module Cmp = Hipstr_cmp.Cmp
+module Process = Hipstr_cmp.Process
 
 let isa_conv =
   Arg.conv
@@ -43,13 +52,144 @@ let mode_conv =
         Format.pp_print_string ppf
           (match m with System.Native -> "native" | System.Psr_only -> "psr" | System.Hipstr -> "hipstr") )
 
+(* ------------------------------------------------------------------ *)
+(* Validated converters: a bad workload name, seed, probability or
+   core spec is a usage error at parse time, never a crash (or worse,
+   a silently wrong run) minutes into a simulation. *)
+
+let workload_conv =
+  Arg.conv
+    ( (fun s ->
+        match Workloads.find s with
+        | w -> Ok w
+        | exception Not_found ->
+          Error
+            (`Msg
+               (Printf.sprintf "unknown workload '%s' (expected one of: %s)" s
+                  (String.concat ", " Workloads.names)))),
+      fun ppf (w : Workloads.t) -> Format.pp_print_string ppf w.w_name )
+
+let bounded_int_conv ~what ~lo ?hi () =
+  let expected =
+    match hi with
+    | Some h -> Printf.sprintf "%s must be an integer in [%d, %d]" what lo h
+    | None -> Printf.sprintf "%s must be an integer >= %d" what lo
+  in
+  Arg.conv
+    ( (fun s ->
+        match int_of_string_opt s with
+        | Some n when n >= lo && (match hi with None -> true | Some h -> n <= h) -> Ok n
+        | _ -> Error (`Msg (Printf.sprintf "%s (got '%s')" expected s))),
+      Format.pp_print_int )
+
+let seed_conv = bounded_int_conv ~what:"seed" ~lo:0 ()
+let opt_conv = bounded_int_conv ~what:"optimization level" ~lo:0 ~hi:3 ()
+let fuel_conv = bounded_int_conv ~what:"fuel" ~lo:1 ()
+let jobs_conv = bounded_int_conv ~what:"jobs" ~lo:1 ()
+let quantum_conv = bounded_int_conv ~what:"quantum" ~lo:1 ()
+
+let prob_conv =
+  Arg.conv
+    ( (fun s ->
+        match float_of_string_opt s with
+        | Some p when p >= 0.0 && p <= 1.0 -> Ok p
+        | _ -> Error (`Msg (Printf.sprintf "probability must be in [0.0, 1.0] (got '%s')" s))),
+      fun ppf p -> Format.fprintf ppf "%g" p )
+
+let policy_conv =
+  Arg.conv
+    ( (fun s ->
+        match Cmp.policy_of_string s with
+        | Some p -> Ok p
+        | None ->
+          Error
+            (`Msg
+               (Printf.sprintf "unknown policy '%s' (round-robin, load-balance or security-first)"
+                  s))),
+      fun ppf p -> Format.pp_print_string ppf (Cmp.policy_name p) )
+
+(* --cores takes either a core count N (tiling the paper's cisc/risc
+   pair) or an explicit comma list like "cisc,risc,risc". *)
+let cores_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 && n <= 64 ->
+      Ok (List.init n (fun i -> if i mod 2 = 0 then Desc.Cisc else Desc.Risc))
+    | Some _ -> Error (`Msg (Printf.sprintf "core count must be in [1, 64] (got '%s')" s))
+    | None ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | p :: rest -> (
+          match String.lowercase_ascii (String.trim p) with
+          | "cisc" | "x86" -> go (Desc.Cisc :: acc) rest
+          | "risc" | "arm" -> go (Desc.Risc :: acc) rest
+          | other ->
+            Error
+              (`Msg
+                 (Printf.sprintf
+                    "bad core '%s': expected a core count or a comma list of cisc/risc" other)))
+      in
+      go [] (String.split_on_char ',' s)
+  in
+  let print ppf cores =
+    Format.pp_print_string ppf
+      (String.concat "," (List.map (function Desc.Cisc -> "cisc" | Desc.Risc -> "risc") cores))
+  in
+  Arg.conv (parse, print)
+
+(* The experiment positional: one id, a comma list of ids, or 'all'. *)
+let experiments_conv =
+  let all_ids () = String.concat ", " (List.map (fun e -> e.Registry.ex_id) Registry.all) in
+  let parse s =
+    if String.lowercase_ascii s = "all" then Ok Registry.all
+    else
+      let ids =
+        List.filter (fun x -> x <> "") (List.map String.trim (String.split_on_char ',' s))
+      in
+      if ids = [] then Error (`Msg "no experiment ids given")
+      else
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | id :: rest -> (
+            match Registry.find id with
+            | Some e -> go (e :: acc) rest
+            | None ->
+              Error
+                (`Msg
+                   (Printf.sprintf "unknown experiment '%s' (expected 'all' or one of: %s)" id
+                      (all_ids ()))))
+        in
+        go [] ids
+  in
+  Arg.conv
+    ( parse,
+      fun ppf es ->
+        Format.pp_print_string ppf (String.concat "," (List.map (fun e -> e.Registry.ex_id) es))
+    )
+
 let workload_arg =
   let doc = "Workload name (see `list')." in
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+  Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD" ~doc)
 
 let isa_arg = Arg.(value & opt isa_conv Desc.Cisc & info [ "isa" ] ~doc:"ISA/core to start on.")
 
-let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Randomization seed.")
+let seed_arg = Arg.(value & opt seed_conv 1 & info [ "seed" ] ~doc:"Randomization seed (>= 0).")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt jobs_conv 1
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Domains to fan independent simulations across. Results are bit-identical to $(b,-j 1);\
+           only the wall clock changes.")
+
+let migrate_prob_arg =
+  Arg.(
+    value
+    & opt (some prob_conv) None
+    & info [ "migrate-prob" ]
+        ~doc:"Probability of migrating on a suspicious code-cache miss (0.0-1.0; hipstr mode).")
 
 let outcome_string = function
   | System.Finished c -> Printf.sprintf "finished (exit %d)" c
@@ -71,8 +211,8 @@ let trace_arg =
 let make_obs ~trace =
   Obs.create ~sink:(if trace then Obs.Sink.stderr else Obs.Sink.null) ()
 
-let print_metrics sys =
-  let snap = System.metrics sys in
+let print_obs obs =
+  let snap = Obs.snapshot obs in
   Printf.printf "metrics (non-zero):\n";
   List.iter
     (fun (n, v) -> if v > 0 then Printf.printf "  %-44s %d\n" n v)
@@ -83,55 +223,49 @@ let print_metrics sys =
         Printf.printf "  %-44s n=%d mean=%.1f min=%.0f max=%.0f\n" n h.hs_count h.hs_mean h.hs_min
           h.hs_max)
     snap.Obs.Metrics.snap_histograms;
-  let tr = Obs.trace (System.obs sys) in
+  let tr = Obs.trace obs in
   Printf.printf "  %-44s %d (ring keeps last %d, dropped %d)\n" "trace.events"
     (Obs.Trace.emitted tr) (Obs.Trace.capacity tr) (Obs.Trace.dropped tr)
+
+let print_metrics sys = print_obs (System.obs sys)
 
 let run_cmd =
   let mode_arg =
     Arg.(value & opt mode_conv System.Hipstr & info [ "mode" ] ~doc:"native, psr or hipstr.")
   in
-  let opt_arg = Arg.(value & opt int 3 & info [ "opt" ] ~doc:"PSR optimization level (0-3).") in
-  let action name mode isa seed opt_level metrics trace =
-    match Workloads.find name with
-    | exception Not_found ->
-      Printf.eprintf "unknown workload %s\n" name;
-      exit 1
-    | w ->
-      let cfg = { Config.default with opt_level } in
-      let obs = make_obs ~trace in
-      let sys = System.of_fatbin ~obs ~cfg ~seed ~start_isa:isa ~mode (Workloads.fatbin w) in
-      let outcome = System.run sys ~fuel:(3 * w.w_fuel) in
-      Printf.printf "%s [%s]: %s\n" w.w_name w.w_description (outcome_string outcome);
-      Printf.printf "output: %s\n"
-        (String.concat " " (List.map string_of_int (System.output sys)));
-      Printf.printf "instructions: %d  cycles: %.0f  simulated time: %.3f ms\n"
-        (System.instructions sys) (System.cycles sys) (1000. *. System.seconds sys);
-      if mode <> System.Native then begin
-        let vm = System.vm sys isa in
-        let st = Hipstr_psr.Vm.stats vm in
-        Printf.printf
-          "translations: %d  source instrs: %d -> emitted: %d  traps: %d  suspicious: %d\n"
-          st.translations st.source_instrs st.emitted_instrs st.traps st.suspicious;
-        if mode = System.Hipstr then
-          Printf.printf "migrations: %d security + %d forced\n" (System.security_migrations sys)
-            (System.forced_migrations sys)
-      end;
-      if metrics then print_metrics sys
+  let opt_arg = Arg.(value & opt opt_conv 3 & info [ "opt" ] ~doc:"PSR optimization level (0-3).") in
+  let action (w : Workloads.t) mode isa seed opt_level migrate_prob metrics trace =
+    let cfg =
+      let base = { Config.default with opt_level } in
+      match migrate_prob with None -> base | Some p -> { base with migrate_prob = p }
+    in
+    let obs = make_obs ~trace in
+    let sys = System.of_fatbin ~obs ~cfg ~seed ~start_isa:isa ~mode (Workloads.fatbin w) in
+    let outcome = System.run sys ~fuel:(3 * w.w_fuel) in
+    Printf.printf "%s [%s]: %s\n" w.w_name w.w_description (outcome_string outcome);
+    Printf.printf "output: %s\n" (String.concat " " (List.map string_of_int (System.output sys)));
+    Printf.printf "instructions: %d  cycles: %.0f  simulated time: %.3f ms\n"
+      (System.instructions sys) (System.cycles sys) (1000. *. System.seconds sys);
+    if mode <> System.Native then begin
+      let vm = System.vm sys isa in
+      let st = Hipstr_psr.Vm.stats vm in
+      Printf.printf
+        "translations: %d  source instrs: %d -> emitted: %d  traps: %d  suspicious: %d\n"
+        st.translations st.source_instrs st.emitted_instrs st.traps st.suspicious;
+      if mode = System.Hipstr then
+        Printf.printf "migrations: %d security + %d forced\n" (System.security_migrations sys)
+          (System.forced_migrations sys)
+    end;
+    if metrics then print_metrics sys
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a workload on the simulated heterogeneous-ISA CMP.")
     Term.(
-      const action $ workload_arg $ mode_arg $ isa_arg $ seed_arg $ opt_arg $ metrics_arg
-      $ trace_arg)
+      const action $ workload_arg $ mode_arg $ isa_arg $ seed_arg $ opt_arg $ migrate_prob_arg
+      $ metrics_arg $ trace_arg)
 
 let gadgets_cmd =
-  let action name isa =
-    match Workloads.find name with
-    | exception Not_found ->
-      Printf.eprintf "unknown workload %s\n" name;
-      exit 1
-    | w ->
+  let action (w : Workloads.t) isa =
       let fb = Workloads.fatbin w in
       let mem = Mem.create Hipstr_machine.Layout.mem_size in
       Fatbin.load fb mem;
@@ -195,26 +329,24 @@ let attack_cmd =
     Term.(const action $ mode_arg $ seed_arg)
 
 let experiment_cmd =
-  let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id or 'all'.") in
-  let action id =
-    if id = "all" then List.iter Registry.run_and_print Registry.all
-    else
-      match Registry.find id with
-      | Some e -> Registry.run_and_print e
-      | None ->
-        Printf.eprintf "unknown experiment %s (see `list')\n" id;
-        exit 1
+  let ids_arg =
+    Arg.(
+      required
+      & pos 0 (some experiments_conv) None
+      & info [] ~docv:"IDS" ~doc:"Experiment id, comma list of ids, or 'all'.")
   in
-  Cmd.v (Cmd.info "experiment" ~doc:"Regenerate a table/figure from the paper.") Term.(const action $ id_arg)
+  let action es jobs = List.iter print_string (Registry.run_many ~jobs es) in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:
+         "Regenerate tables/figures from the paper. With -j N, independent experiments run on N \
+          domains; output is printed in registry order and is bit-identical to -j 1.")
+    Term.(const action $ ids_arg $ jobs_arg)
 
 let disasm_cmd =
   let func_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"FUNC" ~doc:"Function name.") in
-  let action name func isa =
-    match Workloads.find name with
-    | exception Not_found ->
-      Printf.eprintf "unknown workload %s\n" name;
-      exit 1
-    | w -> (
+  let action (w : Workloads.t) func isa =
+    (
       let fb = Workloads.fatbin w in
       match Fatbin.find_func fb func with
       | exception Not_found ->
@@ -245,7 +377,7 @@ let run_file_cmd =
   let mode_arg =
     Arg.(value & opt mode_conv System.Hipstr & info [ "mode" ] ~doc:"native, psr or hipstr.")
   in
-  let fuel_arg = Arg.(value & opt int 10_000_000 & info [ "fuel" ] ~doc:"Instruction budget.") in
+  let fuel_arg = Arg.(value & opt fuel_conv 10_000_000 & info [ "fuel" ] ~doc:"Instruction budget.") in
   let action file mode isa seed fuel metrics trace =
     let src = In_channel.with_open_text file In_channel.input_all in
     let obs = make_obs ~trace in
@@ -267,6 +399,155 @@ let run_file_cmd =
       const action $ file_arg $ mode_arg $ isa_arg $ seed_arg $ fuel_arg $ metrics_arg
       $ trace_arg)
 
+(* ------------------------------------------------------------------ *)
+(* cmp-run: boot K workloads as processes and time-slice them across
+   a mixed-ISA CMP. Start ISAs follow the core list, so pinned
+   (native/psr) processes always have a home core; hipstr processes
+   may be placed cross-ISA by the policy and migrate at equivalence
+   points. --verify re-runs every process standalone with the same
+   seed and demands identical outcome, output and shell state — the
+   scheduler must be semantically invisible. *)
+let cmp_run_cmd =
+  let workloads_arg =
+    Arg.(
+      non_empty & pos_all workload_conv []
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Workloads to boot as processes (repeat a name to run several copies).")
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt mode_conv System.Hipstr
+      & info [ "mode" ]
+          ~doc:"Process mode: native, psr or hipstr (only hipstr processes migrate across ISAs).")
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt policy_conv Cmp.Security_first
+      & info [ "policy" ] ~doc:"Scheduling policy: round-robin, load-balance or security-first.")
+  in
+  let cores_arg =
+    Arg.(
+      value
+      & opt cores_conv Cmp.default_cores
+      & info [ "cores" ]
+          ~doc:"Core count (tiling cisc/risc pairs) or an explicit list like 'cisc,risc,risc'.")
+  in
+  let quantum_arg =
+    Arg.(value & opt quantum_conv 20_000 & info [ "quantum" ] ~doc:"Slice length in instructions.")
+  in
+  let fuel_arg =
+    Arg.(
+      value
+      & opt (some fuel_conv) None
+      & info [ "fuel" ]
+          ~doc:"Per-process instruction budget (default: 3x the workload's nominal fuel).")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Re-run every process standalone with the same seed and check that outcome, output \
+             and shell state are identical — scheduling must not change program semantics.")
+  in
+  let sched_arg =
+    Arg.(value & flag & info [ "trace-schedule" ] ~doc:"Print every scheduling slice.")
+  in
+  let isa_label = function Desc.Cisc -> "cisc" | Desc.Risc -> "risc" in
+  let action ws mode policy cores quantum fuel seed migrate_prob metrics sched verify =
+    let cfg =
+      match migrate_prob with
+      | None -> Config.default
+      | Some p -> { Config.default with migrate_prob = p }
+    in
+    let core_arr = Array.of_list cores in
+    let start_isa i = core_arr.(i mod Array.length core_arr) in
+    let budget (w : Workloads.t) = match fuel with Some f -> f | None -> 3 * w.w_fuel in
+    let obs = Obs.create () in
+    let procs =
+      List.mapi
+        (fun i (w : Workloads.t) ->
+          Process.create ~obs ~cfg ~seed:(seed + i) ~start_isa:(start_isa i) ~mode ~pid:i
+            ~name:w.w_name ~fuel:(budget w) (Workloads.fatbin w))
+        ws
+    in
+    let cmp = Cmp.create ~obs ~policy ~quantum ~cores procs in
+    Cmp.run cmp;
+    let m = Cmp.metrics cmp in
+    Printf.printf "cmp-run: %d processes on %d cores [%s], policy %s, quantum %d\n"
+      (List.length ws) (Array.length core_arr)
+      (String.concat "," (List.map isa_label cores))
+      (Cmp.policy_name policy) quantum;
+    List.iter
+      (fun (pm : Cmp.proc_metrics) ->
+        let p = Cmp.proc cmp pm.pm_pid in
+        Printf.printf
+          "  pid %d %-10s %-28s instrs=%-9d slices=%-4d migrations: sched=%d sec=%d forced=%d\n"
+          pm.pm_pid pm.pm_name
+          (match pm.pm_outcome with Some o -> outcome_string o | None -> "runnable?")
+          pm.pm_instructions pm.pm_slices pm.pm_sched_migrations pm.pm_security_migrations
+          pm.pm_forced_migrations;
+        Printf.printf "    output: %s\n"
+          (String.concat " " (List.map string_of_int (System.output (Process.sys p)))))
+      m.m_procs;
+    List.iter
+      (fun (cm : Cmp.core_metrics) ->
+        Printf.printf "  core %d (%s): instrs=%-9d cycles=%-11.0f slices=%-4d cold-switches=%d\n"
+          cm.cm_id (isa_label cm.cm_isa) cm.cm_instructions cm.cm_cycles cm.cm_slices
+          cm.cm_switches)
+      m.m_cores;
+    Printf.printf
+      "rounds=%d slices=%d context-switches=%d migrations: security-policy=%d load-policy=%d\n"
+      m.m_rounds m.m_slices m.m_context_switches m.m_migrations_security_policy
+      m.m_migrations_load_policy;
+    if sched then print_string (Cmp.schedule_to_string cmp);
+    if metrics then print_obs obs;
+    if verify then begin
+      let failures = ref 0 in
+      List.iteri
+        (fun i (w : Workloads.t) ->
+          let p = Cmp.proc cmp i in
+          let alone =
+            System.of_fatbin ~obs:Obs.disabled ~cfg ~seed:(seed + i) ~start_isa:(start_isa i)
+              ~mode (Workloads.fatbin w)
+          in
+          let alone_outcome = System.run alone ~fuel:(budget w) in
+          let sys = Process.sys p in
+          let ok =
+            Process.outcome p = Some alone_outcome
+            && System.output sys = System.output alone
+            && System.shell sys = System.shell alone
+          in
+          if ok then Printf.printf "  verify pid %d (%s): OK\n" i w.w_name
+          else begin
+            incr failures;
+            Printf.printf "  verify pid %d (%s): MISMATCH\n    cmp:   %s / %s\n    alone: %s / %s\n"
+              i w.w_name
+              (match Process.outcome p with Some o -> outcome_string o | None -> "runnable")
+              (String.concat " " (List.map string_of_int (System.output sys)))
+              (outcome_string alone_outcome)
+              (String.concat " " (List.map string_of_int (System.output alone)))
+          end)
+        ws;
+      if !failures > 0 then begin
+        Printf.eprintf "verify: %d of %d processes diverged from their standalone runs\n" !failures
+          (List.length ws);
+        exit 1
+      end
+      else
+        Printf.printf "verify: all %d processes match their standalone runs exactly\n"
+          (List.length ws)
+    end
+  in
+  Cmd.v
+    (Cmd.info "cmp-run"
+       ~doc:"Time-slice several workloads across a simulated mixed-ISA chip multiprocessor.")
+    Term.(
+      const action $ workloads_arg $ mode_arg $ policy_arg $ cores_arg $ quantum_arg $ fuel_arg
+      $ seed_arg $ migrate_prob_arg $ metrics_arg $ sched_arg $ verify_arg)
+
 let list_cmd =
   let action () =
     Printf.printf "workloads:\n";
@@ -285,4 +566,16 @@ let () =
     Cmd.info "hipstr"
       ~doc:"HIPStR: heterogeneous-ISA program state relocation (ASPLOS 2016 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; run_file_cmd; gadgets_cmd; attack_cmd; experiment_cmd; disasm_cmd; list_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            run_cmd;
+            run_file_cmd;
+            cmp_run_cmd;
+            gadgets_cmd;
+            attack_cmd;
+            experiment_cmd;
+            disasm_cmd;
+            list_cmd;
+          ]))

@@ -1,0 +1,77 @@
+(* A deterministic work-queue over OCaml 5 domains.
+
+   The contract that makes `-j N` bit-identical to serial: results
+   land in an array indexed by task, every task draws randomness only
+   from an Rng derived from (seed, task index), and observability
+   goes to a per-task child context folded back in task order at
+   join. Which domain ran a task, and when, can then never influence
+   anything the caller sees. *)
+
+module Rng = Hipstr_util.Rng
+module Obs = Hipstr_obs.Obs
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+(* Run [work 0 .. work (n-1)], each exactly once, on [jobs] domains
+   (the calling domain is one of them). [work] must not raise — the
+   wrappers below capture exceptions into the result slots. *)
+let drive ~jobs ~n work =
+  if jobs <= 1 || n <= 1 then
+    for i = 0 to n - 1 do
+      work i
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          work i;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers
+  end
+
+let collect results =
+  Array.to_list
+    (Array.map
+       (function
+         | Some (Ok v) -> v
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false)
+       results)
+
+let mapi ?(jobs = 1) f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let results = Array.make n None in
+  drive ~jobs ~n (fun i ->
+      results.(i) <-
+        Some
+          (match f i items.(i) with
+          | v -> Ok v
+          | exception e -> Error (e, Printexc.get_raw_backtrace ())));
+  collect results
+
+let map ?jobs f items = mapi ?jobs (fun _ x -> f x) items
+
+(* Mix the task index into the seed the way Rng.split mixes streams:
+   a fixed odd multiplier keeps neighbouring indices far apart. *)
+let task_seed ~seed i = (seed * 0x9E3779B9) lxor ((i + 1) * 0x85EBCA6B)
+
+let mapi_seeded ?jobs ~seed f items =
+  mapi ?jobs (fun i x -> f (Rng.create (task_seed ~seed i)) i x) items
+
+let map_obs ?(jobs = 1) ~obs f items =
+  let n = List.length items in
+  let children = Array.init n (fun _ -> Obs.child obs) in
+  let results = mapi ~jobs (fun i x -> f children.(i) x) items in
+  (* fold per-task contexts back in task order: counter totals and
+     the re-emitted event stream are independent of domain count *)
+  Array.iter (fun c -> Obs.merge ~into:obs c) children;
+  results

@@ -1,0 +1,42 @@
+(** A deterministic work-queue over OCaml 5 [Domain]s.
+
+    Fans independent simulations — experiment sweep points, fuzz
+    seeds, brute-force trials — across domains. Determinism contract:
+    results are collected by task index, per-task randomness comes
+    only from [(seed, index)] ({!mapi_seeded}), and observability
+    flows through per-task child contexts merged back in task order
+    ({!map_obs}). A run with [~jobs:4] is therefore bit-identical to
+    [~jobs:1]; only the wall clock changes.
+
+    Tasks must not share mutable state beyond what they guard
+    themselves (the repo's memo caches — workload fat binaries, the
+    experiment harness baselines — are mutex-guarded and
+    compute-once, so sharing them is deterministic too).
+
+    If a task raises, the exception is re-raised in the caller after
+    all domains join — the lowest-index failure wins, deterministically. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f items] = [List.map f items], computed on up to
+    [jobs] domains ([jobs] defaults to 1 = fully serial, no domain is
+    spawned). *)
+
+val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+
+val mapi_seeded : ?jobs:int -> seed:int -> (Hipstr_util.Rng.t -> int -> 'a -> 'b) -> 'a list -> 'b list
+(** Each task receives a private {!Hipstr_util.Rng.t} derived from
+    [(seed, index)] only — never from domain identity or timing. *)
+
+val map_obs :
+  ?jobs:int -> obs:Hipstr_obs.Obs.t -> (Hipstr_obs.Obs.t -> 'a -> 'b) -> 'a list -> 'b list
+(** Each task runs against a fresh {!Hipstr_obs.Obs.child} of [obs];
+    at join the children are folded into [obs] in task order, so the
+    merged counter totals and event stream match a serial run
+    exactly. *)
+
+val task_seed : seed:int -> int -> int
+(** The seed-mixing function {!mapi_seeded} uses (exposed so callers
+    can reproduce one task in isolation). *)

@@ -271,3 +271,18 @@ let run_protected t ~fuel =
   match !result with Some r -> r | None -> Out_of_fuel
 
 let run t ~fuel = match t.sys_mode with Native -> run_native t ~fuel | Psr_only | Hipstr -> run_protected t ~fuel
+
+let active_isa t = Machine.active t.m
+
+let migration_pending t = t.migration_requested
+
+type slice = { sl_outcome : outcome; sl_instructions : int; sl_cycles : float }
+
+(* One scheduler quantum: run and report the work actually done, so a
+   CMP can attribute instructions/cycles to the core the slice ran
+   on. Fuel stays cumulative across slices — slicing a run changes
+   nothing about its semantics. *)
+let run_slice t ~fuel =
+  let i0 = instructions t and c0 = cycles t in
+  let outcome = run t ~fuel in
+  { sl_outcome = outcome; sl_instructions = instructions t - i0; sl_cycles = cycles t -. c0 }

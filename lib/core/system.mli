@@ -71,6 +71,24 @@ val vm : t -> Hipstr_isa.Desc.which -> Hipstr_psr.Vm.t
 val run : t -> fuel:int -> outcome
 (** Execute up to [fuel] instructions (cumulative across calls). *)
 
+type slice = {
+  sl_outcome : outcome;
+  sl_instructions : int;  (** instructions retired during this slice *)
+  sl_cycles : float;  (** cycles accumulated during this slice *)
+}
+
+val run_slice : t -> fuel:int -> slice
+(** One scheduler quantum: {!run} plus the delta of work done, so a
+    CMP scheduler ({!Hipstr_cmp.Cmp}) can attribute it to the core
+    the process occupied. Slicing a run never changes its outputs —
+    fuel is cumulative. *)
+
+val active_isa : t -> Hipstr_isa.Desc.which
+(** The ISA/core this process is currently executing on. *)
+
+val migration_pending : t -> bool
+(** A {!request_migration} has been issued and has not fired yet. *)
+
 val request_migration : t -> unit
 (** Force a migration at the next return event (used to measure
     migration overhead at arbitrary checkpoints, Figure 12). Only

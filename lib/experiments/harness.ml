@@ -43,15 +43,27 @@ let perf_now sys =
     pf_seconds = Machine.seconds m;
   }
 
+(* The baseline memo caches are shared across experiments — and, when
+   a sweep runs under Cmp.Pool, across domains. Computing under the
+   lock makes each baseline run exactly once process-wide, so a
+   parallel sweep performs the identical set of simulations (and
+   hence identical obs totals) as a serial one. *)
+let memo mu cache key compute =
+  Mutex.protect mu (fun () ->
+      match Hashtbl.find_opt cache key with
+      | Some v -> v
+      | None ->
+        let v = compute () in
+        Hashtbl.replace cache key v;
+        v)
+
 let native_cache : (string, perf) Hashtbl.t = Hashtbl.create 16
+let native_mu = Mutex.create ()
 
 let native_perf (w : Workloads.t) =
-  match Hashtbl.find_opt native_cache w.w_name with
-  | Some p -> p
-  | None ->
-    let _, p = run_workload ~mode:System.Native w in
-    Hashtbl.replace native_cache w.w_name p;
-    p
+  memo native_mu native_cache w.w_name (fun () ->
+      let _, p = run_workload ~mode:System.Native w in
+      p)
 
 let relative ~native p = native.pf_cycles /. p.pf_cycles
 
@@ -84,24 +96,19 @@ let run_steady ?cfg ?(seed = 1) ?(isa = Desc.Cisc) ~mode (w : Workloads.t) =
     System.security_migrations sys - mig_before )
 
 let native_steady_cache : (string, perf) Hashtbl.t = Hashtbl.create 16
+let native_steady_mu = Mutex.create ()
 
 let native_steady (w : Workloads.t) =
-  match Hashtbl.find_opt native_steady_cache w.w_name with
-  | Some p -> p
-  | None ->
-    let _, p, _ = run_steady ~mode:System.Native w in
-    Hashtbl.replace native_steady_cache w.w_name p;
-    p
+  memo native_steady_mu native_steady_cache w.w_name (fun () ->
+      let _, p, _ = run_steady ~mode:System.Native w in
+      p)
 
 let surface_cache : (string, Surface.report) Hashtbl.t = Hashtbl.create 16
+let surface_mu = Mutex.create ()
 
 let surface_of (w : Workloads.t) =
-  match Hashtbl.find_opt surface_cache w.w_name with
-  | Some r -> r
-  | None ->
-    let r = Surface.analyze ~seed:1 ~name:w.w_name (Workloads.fatbin w) Desc.Cisc in
-    Hashtbl.replace surface_cache w.w_name r;
-    r
+  memo surface_mu surface_cache w.w_name (fun () ->
+      Surface.analyze ~seed:1 ~name:w.w_name (Workloads.fatbin w) Desc.Cisc)
 
 let spec_workloads = Workloads.all
 let with_httpd = Workloads.all @ [ Workloads.httpd ]

@@ -14,3 +14,13 @@ val all : experiment list
 val find : string -> experiment option
 
 val run_and_print : experiment -> unit
+
+val output_of : experiment -> string
+(** Exactly the bytes {!run_and_print} writes (title, rule, table,
+    paper line). *)
+
+val run_many : ?jobs:int -> experiment list -> string list
+(** Regenerate several experiments, fanned across up to [jobs]
+    domains ({!Hipstr_cmp.Pool}); the returned outputs are in input
+    order and byte-identical to running serially ([jobs] defaults
+    to 1). *)

@@ -53,6 +53,12 @@ let predict_return t ~target =
 let mispredicts t = t.mispredicts
 let lookups t = t.lookups
 
+let flush t =
+  Array.fill t.counters 0 table_size 1;
+  Array.fill t.btb 0 btb_size (-1);
+  Array.fill t.ras 0 ras_depth (-1);
+  t.ras_top <- 0
+
 let reset_stats t =
   t.mispredicts <- 0;
   t.lookups <- 0

@@ -29,3 +29,8 @@ val predict_return : t -> target:int -> bool
 val mispredicts : t -> int
 val lookups : t -> int
 val reset_stats : t -> unit
+
+val flush : t -> unit
+(** Forget all learned state (bimodal counters, BTB, RAS) but keep
+    the accuracy statistics — the predictor a process finds after
+    another process used the core. *)

@@ -18,6 +18,7 @@ type t = {
   cisc_ctx : core_ctx;
   risc_ctx : core_ctx;
   observ : Obs.t;
+  c_ctx_flush : Obs.Metrics.counter;
   mutable active : Desc.which;
   mutable migrations : int;
   (* cycle attribution for converting to seconds per-core *)
@@ -59,6 +60,7 @@ let create ?(obs = Obs.global) ?(rat_capacity = None) ?(icache_kb = 32) ?(dcache
     cisc_ctx = make_ctx ~obs ~rat_capacity ~icache_kb ~dcache_kb Desc.Cisc;
     risc_ctx = make_ctx ~obs ~rat_capacity ~icache_kb ~dcache_kb Desc.Risc;
     observ = obs;
+    c_ctx_flush = Obs.Metrics.counter (Obs.metrics obs) "machine.context_switch_flushes";
     active;
     migrations = 0;
     cisc_cycles = 0.;
@@ -111,6 +113,21 @@ let switch_core t which =
   end
 
 let migrations t = t.migrations
+
+(* A CMP scheduler calls this when the process is scheduled onto a
+   core whose microarchitectural state it does not own anymore: the
+   caches and predictors it warmed up belong to whoever ran since.
+   Cycle/instruction counters are untouched — only learned state
+   goes. *)
+let context_switch_flush t =
+  let cold (c : core_ctx) =
+    Cache.flush c.icache;
+    Cache.flush c.dcache;
+    Bpred.flush c.bpred
+  in
+  cold t.cisc_ctx;
+  cold t.risc_ctx;
+  if Obs.on t.observ then Obs.Metrics.incr t.c_ctx_flush
 
 let boot t ~entry =
   let d = desc t in

@@ -50,6 +50,14 @@ val switch_core : t -> Hipstr_isa.Desc.which -> unit
 
 val migrations : t -> int
 
+val context_switch_flush : t -> unit
+(** Model being context-switched back onto a core another process
+    used meanwhile: flush both cores' caches and branch predictors
+    (learned state only; cycle/instruction counters survive). The CMP
+    scheduler calls this on every cold reschedule, so context-switch
+    cost shows up in the timing model rather than as a bolted-on
+    constant. Counted as [machine.context_switch_flushes]. *)
+
 val boot : t -> entry:int -> unit
 (** Initialize SP to the stack top, arrange for a return from the
     entry function to reach the exit sentinel, and set the PC. *)

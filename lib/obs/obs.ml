@@ -6,15 +6,23 @@
    load-and-branch (verified by the obs-disabled-overhead
    micro-benchmark in bench/main.ml). Counter and histogram handles
    are resolved by name once, at component-creation time — never on a
-   hot path. *)
+   hot path.
+
+   Domain safety: one context may be shared by simulations running on
+   several OCaml 5 domains (the Cmp.Pool parallel driver). Counters
+   are lock-free atomics; histograms, the name registry, the trace
+   ring and the memory sink are mutex-guarded. The hot path (counter
+   increment) therefore stays a single fetch-and-add; everything else
+   is cold enough that a lock is invisible. *)
 
 module Metrics = struct
-  type counter = { c_name : string; mutable c_value : int }
+  type counter = { c_name : string; c_cell : int Atomic.t }
 
   let n_buckets = 32
 
   type histogram = {
     h_name : string;
+    h_mu : Mutex.t;
     mutable h_count : int;
     mutable h_sum : float;
     mutable h_min : float;
@@ -23,47 +31,67 @@ module Metrics = struct
   }
 
   type t = {
+    mu : Mutex.t;  (* guards the registry fields below *)
     mutable rev_counters : counter list;
     mutable rev_histograms : histogram list;
     by_name : (string, [ `C of counter | `H of histogram ]) Hashtbl.t;
   }
 
-  let create () = { rev_counters = []; rev_histograms = []; by_name = Hashtbl.create 64 }
+  let locked mu f =
+    Mutex.lock mu;
+    match f () with
+    | v ->
+      Mutex.unlock mu;
+      v
+    | exception e ->
+      Mutex.unlock mu;
+      raise e
+
+  let create () =
+    {
+      mu = Mutex.create ();
+      rev_counters = [];
+      rev_histograms = [];
+      by_name = Hashtbl.create 64;
+    }
 
   let counter t name =
-    match Hashtbl.find_opt t.by_name name with
-    | Some (`C c) -> c
-    | Some (`H _) -> invalid_arg ("Obs.Metrics.counter: " ^ name ^ " is a histogram")
-    | None ->
-      let c = { c_name = name; c_value = 0 } in
-      Hashtbl.replace t.by_name name (`C c);
-      t.rev_counters <- c :: t.rev_counters;
-      c
+    locked t.mu (fun () ->
+        match Hashtbl.find_opt t.by_name name with
+        | Some (`C c) -> c
+        | Some (`H _) -> invalid_arg ("Obs.Metrics.counter: " ^ name ^ " is a histogram")
+        | None ->
+          let c = { c_name = name; c_cell = Atomic.make 0 } in
+          Hashtbl.replace t.by_name name (`C c);
+          t.rev_counters <- c :: t.rev_counters;
+          c)
 
   let histogram t name =
-    match Hashtbl.find_opt t.by_name name with
-    | Some (`H h) -> h
-    | Some (`C _) -> invalid_arg ("Obs.Metrics.histogram: " ^ name ^ " is a counter")
-    | None ->
-      let h =
-        {
-          h_name = name;
-          h_count = 0;
-          h_sum = 0.;
-          h_min = 0.;
-          h_max = 0.;
-          h_buckets = Array.make n_buckets 0;
-        }
-      in
-      Hashtbl.replace t.by_name name (`H h);
-      t.rev_histograms <- h :: t.rev_histograms;
-      h
+    locked t.mu (fun () ->
+        match Hashtbl.find_opt t.by_name name with
+        | Some (`H h) -> h
+        | Some (`C _) -> invalid_arg ("Obs.Metrics.histogram: " ^ name ^ " is a counter")
+        | None ->
+          let h =
+            {
+              h_name = name;
+              h_mu = Mutex.create ();
+              h_count = 0;
+              h_sum = 0.;
+              h_min = 0.;
+              h_max = 0.;
+              h_buckets = Array.make n_buckets 0;
+            }
+          in
+          Hashtbl.replace t.by_name name (`H h);
+          t.rev_histograms <- h :: t.rev_histograms;
+          h)
 
   let incr ?(by = 1) c =
     if by < 0 then invalid_arg "Obs.Metrics.incr: counters are monotonic";
-    c.c_value <- c.c_value + by
+    ignore (Atomic.fetch_and_add c.c_cell by)
 
-  let value c = c.c_value
+  let value c = Atomic.get c.c_cell
   let counter_name c = c.c_name
 
   (* bucket 0: v < 1; bucket i >= 1: 2^(i-1) <= v < 2^i (last is open) *)
@@ -74,18 +102,19 @@ module Metrics = struct
       if b >= n_buckets then n_buckets - 1 else b
 
   let observe h v =
-    if h.h_count = 0 then begin
-      h.h_min <- v;
-      h.h_max <- v
-    end
-    else begin
-      if v < h.h_min then h.h_min <- v;
-      if v > h.h_max then h.h_max <- v
-    end;
-    h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum +. v;
-    let b = bucket_of v in
-    h.h_buckets.(b) <- h.h_buckets.(b) + 1
+    locked h.h_mu (fun () ->
+        if h.h_count = 0 then begin
+          h.h_min <- v;
+          h.h_max <- v
+        end
+        else begin
+          if v < h.h_min then h.h_min <- v;
+          if v > h.h_max then h.h_max <- v
+        end;
+        h.h_count <- h.h_count + 1;
+        h.h_sum <- h.h_sum +. v;
+        let b = bucket_of v in
+        h.h_buckets.(b) <- h.h_buckets.(b) + 1)
 
   type histogram_summary = {
     hs_count : int;
@@ -102,27 +131,59 @@ module Metrics = struct
   }
 
   let summarize h =
-    {
-      hs_count = h.h_count;
-      hs_sum = h.h_sum;
-      hs_min = h.h_min;
-      hs_max = h.h_max;
-      hs_mean = (if h.h_count = 0 then 0. else h.h_sum /. float_of_int h.h_count);
-      hs_buckets = Array.copy h.h_buckets;
-    }
+    locked h.h_mu (fun () ->
+        {
+          hs_count = h.h_count;
+          hs_sum = h.h_sum;
+          hs_min = h.h_min;
+          hs_max = h.h_max;
+          hs_mean = (if h.h_count = 0 then 0. else h.h_sum /. float_of_int h.h_count);
+          hs_buckets = Array.copy h.h_buckets;
+        })
 
   let snapshot t =
+    let counters, histograms =
+      locked t.mu (fun () -> (t.rev_counters, t.rev_histograms))
+    in
     {
-      snap_counters =
-        List.sort compare (List.rev_map (fun c -> (c.c_name, c.c_value)) t.rev_counters);
+      snap_counters = List.sort compare (List.rev_map (fun c -> (c.c_name, value c)) counters);
       snap_histograms =
         List.sort
           (fun (a, _) (b, _) -> compare a b)
-          (List.rev_map (fun h -> (h.h_name, summarize h)) t.rev_histograms);
+          (List.rev_map (fun h -> (h.h_name, summarize h)) histograms);
     }
 
   let counter_value snap name =
     match List.assoc_opt name snap.snap_counters with Some v -> v | None -> 0
+
+  (* Fold a snapshot into a live registry: counters add, histograms
+     combine exactly (count/sum/min/max/buckets are all mergeable).
+     Used by the parallel driver to fold per-domain contexts back into
+     the parent at join, in deterministic task order. *)
+  let merge ~into:t snap =
+    List.iter
+      (fun (name, v) -> if v > 0 then incr ~by:v (counter t name))
+      snap.snap_counters;
+    List.iter
+      (fun (name, (s : histogram_summary)) ->
+        if s.hs_count > 0 then begin
+          let h = histogram t name in
+          locked h.h_mu (fun () ->
+              if h.h_count = 0 then begin
+                h.h_min <- s.hs_min;
+                h.h_max <- s.hs_max
+              end
+              else begin
+                if s.hs_min < h.h_min then h.h_min <- s.hs_min;
+                if s.hs_max > h.h_max then h.h_max <- s.hs_max
+              end;
+              h.h_count <- h.h_count + s.hs_count;
+              h.h_sum <- h.h_sum +. s.hs_sum;
+              Array.iteri
+                (fun i n -> if i < n_buckets then h.h_buckets.(i) <- h.h_buckets.(i) + n)
+                s.hs_buckets)
+        end)
+      snap.snap_histograms
 end
 
 module Trace = struct
@@ -145,26 +206,42 @@ module Trace = struct
 
   type record = { seq : int; event : event }
 
-  type t = { cap : int; slots : record option array; mutable next_seq : int }
+  type t = { mu : Mutex.t; cap : int; slots : record option array; mutable next_seq : int }
 
   let create ?(capacity = 1024) () =
     if capacity < 1 then invalid_arg "Obs.Trace.create: capacity must be positive";
-    { cap = capacity; slots = Array.make capacity None; next_seq = 0 }
+    { mu = Mutex.create (); cap = capacity; slots = Array.make capacity None; next_seq = 0 }
 
   let store t event =
+    Mutex.lock t.mu;
     let r = { seq = t.next_seq; event } in
     t.slots.(t.next_seq mod t.cap) <- Some r;
     t.next_seq <- t.next_seq + 1;
+    Mutex.unlock t.mu;
     r
 
   let capacity t = t.cap
-  let emitted t = t.next_seq
-  let dropped t = if t.next_seq > t.cap then t.next_seq - t.cap else 0
+
+  let emitted t =
+    Mutex.lock t.mu;
+    let n = t.next_seq in
+    Mutex.unlock t.mu;
+    n
+
+  let dropped t =
+    let n = emitted t in
+    if n > t.cap then n - t.cap else 0
 
   let to_list t =
-    let first = if t.next_seq > t.cap then t.next_seq - t.cap else 0 in
-    List.init (t.next_seq - first) (fun i ->
-        match t.slots.((first + i) mod t.cap) with Some r -> r | None -> assert false)
+    Mutex.lock t.mu;
+    let next = t.next_seq in
+    let first = if next > t.cap then next - t.cap else 0 in
+    let l =
+      List.init (next - first) (fun i ->
+          match t.slots.((first + i) mod t.cap) with Some r -> r | None -> assert false)
+    in
+    Mutex.unlock t.mu;
+    l
 
   let event_to_string = function
     | Translate { isa; src; instrs; emitted } ->
@@ -185,7 +262,9 @@ module Trace = struct
 end
 
 module Sink = struct
-  type t = Null | Fn of (Trace.record -> unit) | Memory of Trace.record list ref
+  type mem = { m_mu : Mutex.t; mutable m_recs : Trace.record list }
+
+  type t = Null | Fn of (Trace.record -> unit) | Memory of mem
 
   let null = Null
 
@@ -195,9 +274,24 @@ module Sink = struct
         Printf.eprintf "[obs %6d] %s\n%!" r.Trace.seq (Trace.event_to_string r.Trace.event))
 
   let of_fn f = Fn f
-  let memory () = Memory (ref [])
-  let contents = function Memory l -> List.rev !l | Null | Fn _ -> []
-  let deliver t r = match t with Null -> () | Fn f -> f r | Memory l -> l := r :: !l
+  let memory () = Memory { m_mu = Mutex.create (); m_recs = [] }
+
+  let contents = function
+    | Memory m ->
+      Mutex.lock m.m_mu;
+      let l = List.rev m.m_recs in
+      Mutex.unlock m.m_mu;
+      l
+    | Null | Fn _ -> []
+
+  let deliver t r =
+    match t with
+    | Null -> ()
+    | Fn f -> f r
+    | Memory m ->
+      Mutex.lock m.m_mu;
+      m.m_recs <- r :: m.m_recs;
+      Mutex.unlock m.m_mu
 end
 
 type t = {
@@ -223,4 +317,12 @@ let set_sink t s = t.sink <- s
 let emit t event = Sink.deliver t.sink (Trace.store t.trace event)
 
 let events t = Trace.to_list t.trace
+
 let snapshot t = Metrics.snapshot t.metrics
+
+let child t = create ~on:t.enabled ~sink:Sink.null ~trace_capacity:(Trace.capacity t.trace) ()
+
+let merge ~into src =
+  Metrics.merge ~into:into.metrics (Metrics.snapshot src.metrics);
+  if into.enabled then
+    List.iter (fun (r : Trace.record) -> emit into r.Trace.event) (Trace.to_list src.trace)

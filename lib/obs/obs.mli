@@ -15,7 +15,15 @@
     Discipline: an instrumented site guards all observability work
     with [if Obs.on obs then ...] so the disabled path costs a single
     load-and-branch; handles ({!Metrics.counter} etc.) are resolved
-    once at component creation, never on a hot path. *)
+    once at component creation, never on a hot path.
+
+    Domain safety: a context may be shared by simulations running on
+    several OCaml 5 domains (the {!Hipstr_cmp.Pool} parallel driver).
+    Counter increments are lock-free atomics; histogram observation,
+    handle registration, the trace ring and the memory sink are
+    mutex-guarded, so concurrent use never loses an update. For
+    deterministic aggregation prefer one {!child} context per task,
+    folded back with {!merge} in task order. *)
 
 module Metrics : sig
   type counter
@@ -59,6 +67,11 @@ module Metrics : sig
 
   val counter_value : snapshot -> string -> int
   (** 0 if absent. *)
+
+  val merge : into:t -> snapshot -> unit
+  (** Fold a snapshot into a live registry: counters add; histograms
+      combine exactly (count, sum, min, max and buckets are all
+      mergeable). Names absent from [into] are created. *)
 end
 
 module Trace : sig
@@ -152,3 +165,17 @@ val emit : t -> Trace.event -> unit
 
 val events : t -> Trace.record list
 val snapshot : t -> Metrics.snapshot
+
+val child : t -> t
+(** A fresh context inheriting [on] and the trace capacity of [t],
+    with a null sink: the per-task context the parallel driver hands
+    each unit of work so results are independent of domain
+    scheduling. *)
+
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds [src]'s counters and histograms into
+    [into] (exactly — see {!Metrics.merge}) and, when [into] is on,
+    re-emits [src]'s retained trace records into [into]'s ring and
+    sink in their original order (re-sequenced). Merging the per-task
+    contexts of a parallel run in task order yields byte-identical
+    totals to the serial run. *)

@@ -524,13 +524,17 @@ let find name =
 let names = List.map (fun w -> w.w_name) all @ [ "httpd" ]
 
 let fatbin_cache : (string, Hipstr_compiler.Fatbin.t) Hashtbl.t = Hashtbl.create 16
+let fatbin_mu = Mutex.create ()
 
 let full_source w = Libc.source ^ w.w_src
 
+(* Compiled under the lock so parallel sweeps (Cmp.Pool) compile each
+   workload exactly once, like a serial run would. *)
 let fatbin w =
-  match Hashtbl.find_opt fatbin_cache w.w_name with
-  | Some fb -> fb
-  | None ->
-    let fb = Hipstr_compiler.Compile.to_fatbin (full_source w) in
-    Hashtbl.replace fatbin_cache w.w_name fb;
-    fb
+  Mutex.protect fatbin_mu (fun () ->
+      match Hashtbl.find_opt fatbin_cache w.w_name with
+      | Some fb -> fb
+      | None ->
+        let fb = Hipstr_compiler.Compile.to_fatbin (full_source w) in
+        Hashtbl.replace fatbin_cache w.w_name fb;
+        fb)

@@ -59,10 +59,21 @@ let check_program seed =
   | (_, Error e) :: _ -> Alcotest.failf "seed %d: reference run failed (%s)\nprogram:\n%s" seed e src
   | [] -> ()
 
+(* HIPSTR_FUZZ_JOBS > 1 fans the seeds of a batch across domains via
+   the deterministic pool; each seed is fully independent (own
+   compile, own machines), so the only shared state is the
+   domain-safe Obs.global the systems default to. *)
+let fuzz_jobs () =
+  match Sys.getenv_opt "HIPSTR_FUZZ_JOBS" with
+  | None | Some "" -> 1
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> n
+    | _ -> failwith ("bad HIPSTR_FUZZ_JOBS: " ^ s))
+
 let test_fuzz_batch lo hi () =
-  for seed = lo to hi do
-    check_program seed
-  done
+  let seeds = List.init (hi - lo + 1) (fun i -> lo + i) in
+  ignore (Hipstr_cmp.Pool.map ~jobs:(fuzz_jobs ()) check_program seeds)
 
 let test_generated_programs_nontrivial () =
   (* sanity on the generator itself: programs compile and do work *)
