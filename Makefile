@@ -3,7 +3,7 @@
 
 FUZZ_SEEDS ?= 1-25
 
-.PHONY: all build test fuzz micro cmp-smoke check clean
+.PHONY: all build test fuzz micro cmp-smoke profile-smoke check clean
 
 all: build
 
@@ -28,7 +28,22 @@ cmp-smoke:
 	dune exec bin/hipstr_cli.exe -- cmp-run gobmk httpd --policy security --quantum 2000 --verify
 	dune exec bin/hipstr_cli.exe -- experiment table1,fig3,ablation-pad -j 2
 
-check: build test fuzz micro cmp-smoke
+# The observability exporters end-to-end: a CMP run on -j 2 emitting
+# all four artifacts (Chrome trace, folded profile, metrics, audit
+# log), each validated by the same JSON parser the exporters
+# round-trip against, plus the bench phase-breakdown JSON.
+profile-smoke:
+	dune exec bin/hipstr_cli.exe -- cmp-run mcf libquantum hmmer \
+	  --policy load-balance --migrate-prob 0.3 -j 2 \
+	  --trace-out /tmp/hipstr-smoke-trace.json \
+	  --profile-out /tmp/hipstr-smoke-profile.folded \
+	  --metrics-out /tmp/hipstr-smoke-metrics.json \
+	  --audit-out /tmp/hipstr-smoke-audit.jsonl
+	dune exec bench/main.exe -- --obs-only
+	dune exec tools/json_check.exe -- /tmp/hipstr-smoke-trace.json \
+	  /tmp/hipstr-smoke-metrics.json /tmp/hipstr-smoke-audit.jsonl BENCH_obs.json
+
+check: build test fuzz micro cmp-smoke profile-smoke
 
 clean:
 	dune clean

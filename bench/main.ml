@@ -8,7 +8,8 @@
    Part 2 runs Bechamel micro-benchmarks of the substrate primitives
    the experiments lean on — one Test.make per component — so
    regressions in the simulator itself are visible. Pass
-   `--micro-only` or `--tables-only` to run half of it. *)
+   `--micro-only` or `--tables-only` to run half of it, or
+   `--obs-only` to emit just the BENCH_obs.json phase breakdown. *)
 
 module Desc = Hipstr_isa.Desc
 module Minstr = Hipstr_isa.Minstr
@@ -86,6 +87,82 @@ let run_tables ~jobs =
       (Unix.gettimeofday () -. t0)
       jobs (observed_line before after)
   end
+
+(* ------------------------------------------------------------------ *)
+(* Part 1.5: phase-attributed cycle breakdowns per workload.
+
+   Each workload runs once in Hipstr mode against a fresh obs context
+   with one scheduler-requested migration mid-run, so every phase the
+   span profiler knows (exec, translate, migration, stack_transform,
+   context_switch_flush) appears with its simulated-cycle share. The
+   result lands in BENCH_obs.json — the machine-readable companion to
+   the human tables above, diffable across commits. *)
+
+module Json = Hipstr_util.Json
+
+let obs_breakdown_fuel = 120_000
+
+let obs_breakdown_workload (w : Workloads.t) =
+  let obs = Obs.create () in
+  let sys =
+    System.of_fatbin ~obs ~seed:11 ~start_isa:Desc.Cisc ~mode:System.Hipstr
+      (Workloads.fatbin w)
+  in
+  ignore (System.run sys ~fuel:(obs_breakdown_fuel / 2));
+  System.request_migration sys;
+  ignore (System.run sys ~fuel:(obs_breakdown_fuel / 2));
+  let snap = Obs.snapshot obs in
+  let phases =
+    List.map
+      (fun (name, n, cycles) ->
+        Json.Obj
+          [ ("phase", Json.Str name); ("count", Json.num_of_int n); ("cycles", Json.Num cycles) ])
+      (Obs.Export.span_rollup obs)
+  in
+  let counters =
+    List.map
+      (fun (label, keys) ->
+        let total =
+          List.fold_left (fun acc k -> acc + Obs.Metrics.counter_value snap k) 0 keys
+        in
+        (label, Json.num_of_int total))
+      observed_keys
+  in
+  let audit = Obs.audit obs in
+  let audit_counts =
+    List.map
+      (fun label ->
+        ( label,
+          Json.num_of_int
+            (Obs.Audit.count audit (fun e -> Obs.Audit.kind_label e.Obs.Audit.au_kind = label)) ))
+      [ "suspicious"; "decision"; "migration"; "fault"; "sched-migrate" ]
+  in
+  Json.Obj
+    [
+      ("name", Json.Str w.Workloads.w_name);
+      ("fuel", Json.num_of_int obs_breakdown_fuel);
+      ("instructions", Json.num_of_int (System.instructions sys));
+      ("cycles", Json.Num (System.cycles sys));
+      ("phases", Json.List phases);
+      ("counters", Json.Obj counters);
+      ("audit", Json.Obj audit_counts);
+    ]
+
+let run_obs_breakdown () =
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "hipstr-bench-obs/1");
+        ("mode", Json.Str "hipstr");
+        ("seed", Json.num_of_int 11);
+        ( "workloads",
+          Json.List (List.map obs_breakdown_workload (Workloads.all @ [ Workloads.httpd ])) );
+      ]
+  in
+  Out_channel.with_open_bin "BENCH_obs.json" (fun oc ->
+      Out_channel.output_string oc (Json.to_string_pretty doc);
+      Out_channel.output_string oc "\n");
+  Printf.printf "[phase-attributed cycle breakdowns written to BENCH_obs.json]\n"
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks of the substrate. *)
@@ -257,8 +334,9 @@ let run_micro () =
 
 let () =
   let args = Array.to_list Sys.argv in
-  let tables = not (List.mem "--micro-only" args) in
-  let micro = not (List.mem "--tables-only" args) in
+  let obs_only = List.mem "--obs-only" args in
+  let tables = (not (List.mem "--micro-only" args)) && not obs_only in
+  let micro = (not (List.mem "--tables-only" args)) && not obs_only in
   let jobs =
     let rec find = function
       | "-j" :: v :: _ -> (
@@ -271,4 +349,5 @@ let () =
     find args
   in
   if tables then run_tables ~jobs;
+  if tables || obs_only then run_obs_breakdown ();
   if micro then run_micro ()

@@ -220,21 +220,79 @@ let print_obs obs =
   List.iter
     (fun (n, (h : Obs.Metrics.histogram_summary)) ->
       if h.hs_count > 0 then
-        Printf.printf "  %-44s n=%d mean=%.1f min=%.0f max=%.0f\n" n h.hs_count h.hs_mean h.hs_min
-          h.hs_max)
+        Printf.printf "  %-44s n=%d sum=%.0f mean=%.1f min=%.0f max=%.0f\n" n h.hs_count h.hs_sum
+          h.hs_mean h.hs_min h.hs_max)
     snap.Obs.Metrics.snap_histograms;
+  List.iter
+    (fun (n, count, cycles) ->
+      Printf.printf "  %-44s n=%d cycles=%.0f\n" ("span." ^ n) count cycles)
+    (Obs.Export.span_rollup obs);
+  let au = Obs.audit obs in
+  if Obs.Audit.length au > 0 then begin
+    let label_count l =
+      Obs.Audit.count au (fun e -> Obs.Audit.kind_label e.Obs.Audit.au_kind = l)
+    in
+    Printf.printf "  %-44s %d (suspicious=%d decisions=%d migrations=%d faults=%d sched=%d)\n"
+      "audit.entries" (Obs.Audit.length au) (label_count "suspicious") (label_count "decision")
+      (label_count "migration") (label_count "fault") (label_count "sched-migrate")
+  end;
   let tr = Obs.trace obs in
   Printf.printf "  %-44s %d (ring keeps last %d, dropped %d)\n" "trace.events"
     (Obs.Trace.emitted tr) (Obs.Trace.capacity tr) (Obs.Trace.dropped tr)
 
 let print_metrics sys = print_obs (System.obs sys)
 
+(* ------------------------------------------------------------------ *)
+(* Export flags shared by run, run-file, cmp-run and experiment: the
+   machine-readable side of the observability layer. *)
+
+let export_args =
+  let out name docv doc =
+    Arg.(value & opt (some string) None & info [ name ] ~docv ~doc)
+  in
+  let trace_out =
+    out "trace-out" "FILE.json"
+      "Write the phase timeline as Chrome trace_event JSON (load in Perfetto or \
+       chrome://tracing) to $(docv)."
+  in
+  let profile_out =
+    out "profile-out" "FILE.folded"
+      "Write a folded-stack cycle profile (flamegraph.pl / speedscope ready) to $(docv)."
+  in
+  let metrics_out =
+    out "metrics-out" "FILE"
+      "Write the full metrics dump to $(docv): Prometheus text if the name ends in .prom, \
+       pretty JSON otherwise."
+  in
+  let audit_out =
+    out "audit-out" "FILE.jsonl"
+      "Write the security audit log (one JSON object per entry) to $(docv)."
+  in
+  Term.(
+    const (fun a b c d -> (a, b, c, d)) $ trace_out $ profile_out $ metrics_out $ audit_out)
+
+let write_exports ~obs (trace_out, profile_out, metrics_out, audit_out) =
+  let write path what render =
+    match path with
+    | None -> ()
+    | Some path ->
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc (render obs));
+      Printf.printf "wrote %s: %s\n" what path
+  in
+  write trace_out "trace" Obs.Export.trace_json;
+  write profile_out "profile" Obs.Export.folded;
+  write metrics_out "metrics"
+    (match metrics_out with
+    | Some p when Filename.check_suffix p ".prom" -> Obs.Export.metrics_prom
+    | _ -> Obs.Export.metrics_json);
+  write audit_out "audit" Obs.Export.audit_jsonl
+
 let run_cmd =
   let mode_arg =
     Arg.(value & opt mode_conv System.Hipstr & info [ "mode" ] ~doc:"native, psr or hipstr.")
   in
   let opt_arg = Arg.(value & opt opt_conv 3 & info [ "opt" ] ~doc:"PSR optimization level (0-3).") in
-  let action (w : Workloads.t) mode isa seed opt_level migrate_prob metrics trace =
+  let action (w : Workloads.t) mode isa seed opt_level migrate_prob metrics trace exports =
     let cfg =
       let base = { Config.default with opt_level } in
       match migrate_prob with None -> base | Some p -> { base with migrate_prob = p }
@@ -256,13 +314,14 @@ let run_cmd =
         Printf.printf "migrations: %d security + %d forced\n" (System.security_migrations sys)
           (System.forced_migrations sys)
     end;
-    if metrics then print_metrics sys
+    if metrics then print_metrics sys;
+    write_exports ~obs exports
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a workload on the simulated heterogeneous-ISA CMP.")
     Term.(
       const action $ workload_arg $ mode_arg $ isa_arg $ seed_arg $ opt_arg $ migrate_prob_arg
-      $ metrics_arg $ trace_arg)
+      $ metrics_arg $ trace_arg $ export_args)
 
 let gadgets_cmd =
   let action (w : Workloads.t) isa =
@@ -335,13 +394,17 @@ let experiment_cmd =
       & pos 0 (some experiments_conv) None
       & info [] ~docv:"IDS" ~doc:"Experiment id, comma list of ids, or 'all'.")
   in
-  let action es jobs = List.iter print_string (Registry.run_many ~jobs es) in
+  let action es jobs exports =
+    List.iter print_string (Registry.run_many ~jobs es);
+    (* experiments report into the ambient global context *)
+    write_exports ~obs:Obs.global exports
+  in
   Cmd.v
     (Cmd.info "experiment"
        ~doc:
          "Regenerate tables/figures from the paper. With -j N, independent experiments run on N \
           domains; output is printed in registry order and is bit-identical to -j 1.")
-    Term.(const action $ ids_arg $ jobs_arg)
+    Term.(const action $ ids_arg $ jobs_arg $ export_args)
 
 let disasm_cmd =
   let func_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"FUNC" ~doc:"Function name.") in
@@ -378,7 +441,7 @@ let run_file_cmd =
     Arg.(value & opt mode_conv System.Hipstr & info [ "mode" ] ~doc:"native, psr or hipstr.")
   in
   let fuel_arg = Arg.(value & opt fuel_conv 10_000_000 & info [ "fuel" ] ~doc:"Instruction budget.") in
-  let action file mode isa seed fuel metrics trace =
+  let action file mode isa seed fuel metrics trace exports =
     let src = In_channel.with_open_text file In_channel.input_all in
     let obs = make_obs ~trace in
     match System.create ~obs ~seed ~start_isa:isa ~mode ~src () with
@@ -391,13 +454,14 @@ let run_file_cmd =
       Printf.printf "output: %s\n" (String.concat " " (List.map string_of_int (System.output sys)));
       Printf.printf "instructions: %d  cycles: %.0f  simulated time: %.3f ms\n"
         (System.instructions sys) (System.cycles sys) (1000. *. System.seconds sys);
-      if metrics then print_metrics sys
+      if metrics then print_metrics sys;
+      write_exports ~obs exports
   in
   Cmd.v
     (Cmd.info "run-file" ~doc:"Compile and run a MiniC source file.")
     Term.(
       const action $ file_arg $ mode_arg $ isa_arg $ seed_arg $ fuel_arg $ metrics_arg
-      $ trace_arg)
+      $ trace_arg $ export_args)
 
 (* ------------------------------------------------------------------ *)
 (* cmp-run: boot K workloads as processes and time-slice them across
@@ -456,7 +520,7 @@ let cmp_run_cmd =
     Arg.(value & flag & info [ "trace-schedule" ] ~doc:"Print every scheduling slice.")
   in
   let isa_label = function Desc.Cisc -> "cisc" | Desc.Risc -> "risc" in
-  let action ws mode policy cores quantum fuel seed migrate_prob metrics sched verify =
+  let action ws mode policy cores quantum fuel seed migrate_prob jobs metrics sched verify exports =
     let cfg =
       match migrate_prob with
       | None -> Config.default
@@ -474,7 +538,7 @@ let cmp_run_cmd =
         ws
     in
     let cmp = Cmp.create ~obs ~policy ~quantum ~cores procs in
-    Cmp.run cmp;
+    Cmp.run ~jobs cmp;
     let m = Cmp.metrics cmp in
     Printf.printf "cmp-run: %d processes on %d cores [%s], policy %s, quantum %d\n"
       (List.length ws) (Array.length core_arr)
@@ -539,14 +603,16 @@ let cmp_run_cmd =
       else
         Printf.printf "verify: all %d processes match their standalone runs exactly\n"
           (List.length ws)
-    end
+    end;
+    write_exports ~obs exports
   in
   Cmd.v
     (Cmd.info "cmp-run"
        ~doc:"Time-slice several workloads across a simulated mixed-ISA chip multiprocessor.")
     Term.(
       const action $ workloads_arg $ mode_arg $ policy_arg $ cores_arg $ quantum_arg $ fuel_arg
-      $ seed_arg $ migrate_prob_arg $ metrics_arg $ sched_arg $ verify_arg)
+      $ seed_arg $ migrate_prob_arg $ jobs_arg $ metrics_arg $ sched_arg $ verify_arg
+      $ export_args)
 
 let list_cmd =
   let action () =

@@ -240,9 +240,25 @@ let runnable_pids t = List.filter (fun pid -> Process.runnable (proc t pid)) t.q
 
 let all_done t = Array.for_all (fun p -> not (Process.runnable p)) t.procs
 
-(* One scheduling round: assign, run each assignment for a quantum,
-   account, rotate the queue. Returns how many slices ran. *)
-let step t =
+(* One scheduling round, in three stages.
+
+   Prep (sequential, core order): cold flushes, migration requests,
+   scheduler audit entries, and each slice's begin stamp (the core's
+   cycle clock) are all decided before any slice runs.
+
+   Run (parallel when [jobs] > 1): the slices themselves. Processes
+   share no simulated state, each core has at most one assignment per
+   round, and every scheduling input was fixed in prep — so executing
+   them concurrently cannot change any simulation result. Shared
+   observability is domain-safe (atomic counters, mutex-guarded
+   histograms/spans/audit), and the exporters canonically re-sort, so
+   exported files are byte-identical to the serial run too. Each
+   slice gets a [schedule] span on its core's clock; the nested exec/
+   translate/migration spans land under it via the per-domain stack.
+
+   Account (sequential, core order): fold results into cores, the
+   trace and the queue. Returns how many slices ran. *)
+let step ?(jobs = 1) t =
   let queue = runnable_pids t in
   let assignments =
     (* sort by core id so execution order is the physical core order,
@@ -252,39 +268,73 @@ let step t =
       (assignments_of t queue)
   in
   let observing = Obs.on t.obs in
-  List.iter
-    (fun ((core : core), pid, security) ->
+  let prepped =
+    List.map
+      (fun ((core : core), pid, security) ->
+        let p = proc t pid in
+        let isa0 = Process.active_isa p in
+        (* cold restart unless this exact process is back on the core
+           it warmed up, with nobody having used it in between *)
+        let cold =
+          match (core.co_last, Process.last_core p) with
+          | _, None -> false (* first slice: everything is cold already *)
+          | Some last_pid, Some last_core -> last_pid <> pid || last_core <> core.co_id
+          | None, Some _ -> true (* the process warmed up a different core *)
+        in
+        if cold then begin
+          core.co_switches <- core.co_switches + 1;
+          if observing then Obs.Metrics.incr t.c_switches;
+          Machine.context_switch_flush (System.machine (Process.sys p))
+        end;
+        let migrated =
+          (* a fresh request only — a cross-ISA slice while a migration
+             is already pending (waiting for its equivalence point) is
+             the same migration, not a new one *)
+          if
+            Process.can_migrate p && isa0 <> core.co_isa
+            && not (System.migration_pending (Process.sys p))
+          then begin
+            Process.request_migration p;
+            if observing then begin
+              Obs.Metrics.incr (if security then t.c_mig_sec else t.c_mig_load);
+              Obs.audit_emit t.obs ~cycle:core.co_cycles ~isa:(isa_label core.co_isa) ~pid
+                (Obs.Audit.Sched_migrate { core = core.co_id; security })
+            end;
+            true
+          end
+          else false
+        in
+        (core, pid, security, isa0, cold, migrated, core.co_cycles))
+      assignments
+  in
+  let slices =
+    Pool.mapi ~jobs
+      (fun _ ((core : core), pid, _security, isa0, _cold, _migrated, begin_cycle) ->
+        let p = proc t pid in
+        let sp =
+          Obs.enter_span t.obs ~name:"schedule"
+            ~attrs:
+              [
+                ("core", string_of_int core.co_id);
+                ("isa", isa_label core.co_isa);
+                ("pid", string_of_int pid);
+                ("proc", Process.name p);
+                ("proc_isa", isa_label isa0);
+                ("round", string_of_int t.round);
+              ]
+            ~cycle:begin_cycle ()
+        in
+        let sl = Process.run_slice p ~fuel:t.quantum in
+        (* end stamp on the core clock: begin + the cycles the slice
+           actually accumulated, so per-core schedule-span totals
+           reconcile with [cm_cycles] exactly *)
+        Obs.exit_span t.obs sp ~cycle:(begin_cycle +. sl.System.sl_cycles);
+        sl)
+      prepped
+  in
+  List.iter2
+    (fun ((core : core), pid, security, isa0, cold, migrated, _) (sl : System.slice) ->
       let p = proc t pid in
-      let isa0 = Process.active_isa p in
-      (* cold restart unless this exact process is back on the core
-         it warmed up, with nobody having used it in between *)
-      let cold =
-        match (core.co_last, Process.last_core p) with
-        | _, None -> false (* first slice: everything is cold already *)
-        | Some last_pid, Some last_core -> last_pid <> pid || last_core <> core.co_id
-        | None, Some _ -> true (* the process warmed up a different core *)
-      in
-      if cold then begin
-        core.co_switches <- core.co_switches + 1;
-        if observing then Obs.Metrics.incr t.c_switches;
-        Machine.context_switch_flush (System.machine (Process.sys p))
-      end;
-      let migrated =
-        (* a fresh request only — a cross-ISA slice while a migration
-           is already pending (waiting for its equivalence point) is
-           the same migration, not a new one *)
-        if
-          Process.can_migrate p && isa0 <> core.co_isa
-          && not (System.migration_pending (Process.sys p))
-        then begin
-          Process.request_migration p;
-          if observing then
-            Obs.Metrics.incr (if security then t.c_mig_sec else t.c_mig_load);
-          true
-        end
-        else false
-      in
-      let sl = Process.run_slice p ~fuel:t.quantum in
       core.co_instructions <- core.co_instructions + sl.System.sl_instructions;
       core.co_cycles <- core.co_cycles +. sl.System.sl_cycles;
       core.co_slices <- core.co_slices + 1;
@@ -304,7 +354,7 @@ let step t =
           se_done = not (Process.runnable p);
         }
         :: t.trace_rev)
-    assignments;
+    prepped slices;
   (* rotate: everyone who ran goes to the back, in run order *)
   let ran = List.map (fun (_, pid, _) -> pid) assignments in
   t.queue <-
@@ -314,13 +364,13 @@ let step t =
   if observing then Obs.Metrics.incr t.c_rounds;
   List.length assignments
 
-let run t =
+let run ?jobs t =
   (* Termination: every slice burns quantum from some process's
      finite fuel budget, and a round with runnable processes always
      schedules at least one of them (every process is compatible with
      at least one core, checked at create). *)
   while not (all_done t) do
-    let scheduled = step t in
+    let scheduled = step ?jobs t in
     if scheduled = 0 then
       (* defensive: cannot happen given the create-time check, but an
          infinite idle loop would be worse than a crash *)

@@ -64,12 +64,20 @@ val create :
     matching core, on duplicate pids, or on an empty core/process
     list. *)
 
-val step : t -> int
+val step : ?jobs:int -> t -> int
 (** One scheduling round: assign runnable processes to cores per the
     policy, run each for a quantum, account. Returns the number of
-    slices executed. *)
+    slices executed.
 
-val run : t -> unit
+    [jobs] (default 1) runs the round's slices on that many domains —
+    the simulated-concurrency analogue of the physically concurrent
+    cores. All scheduling decisions (assignments, cold flushes,
+    migration requests) are made sequentially before any slice runs,
+    and accounting folds back in core order afterwards, so every
+    simulation result — schedule trace, outputs, metrics, exported
+    trace/profile/audit files — is bit-identical for any [jobs]. *)
+
+val run : ?jobs:int -> t -> unit
 (** {!step} until every process is done. Terminates: each process
     carries a finite fuel budget and exhausting it retires the
     process as [Out_of_fuel]. *)

@@ -27,7 +27,7 @@ let create ?obs ?cfg ?(seed = 1) ?(start_isa = Desc.Cisc) ~mode ~pid ~name ~fuel
   {
     pid;
     name;
-    sys = System.of_fatbin ?obs ?cfg ~seed ~start_isa ~mode fb;
+    sys = System.of_fatbin ?obs ?cfg ~seed ~start_isa ~pid ~mode fb;
     fuel_limit = fuel;
     state = Runnable;
     slices = 0;

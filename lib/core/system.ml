@@ -34,9 +34,10 @@ type t = {
 let isa_label = function Desc.Cisc -> "cisc" | Desc.Risc -> "risc"
 
 let boot_system ?(obs = Obs.global) ?(cfg = Config.default) ?(seed = 1) ?(start_isa = Desc.Cisc)
-    ~mode fb =
+    ?(pid = 0) ~mode fb =
   let rat_capacity = match mode with Native -> None | Psr_only | Hipstr -> Some cfg.rat_capacity in
   let m = Machine.create ~obs ~rat_capacity ~active:start_isa () in
+  Machine.set_owner m pid;
   Fatbin.load fb (Machine.mem m);
   Machine.boot m ~entry:(Fatbin.entry fb start_isa);
   let vms =
@@ -66,10 +67,11 @@ let boot_system ?(obs = Obs.global) ?(cfg = Config.default) ?(seed = 1) ?(start_
     last_migration = None;
   }
 
-let of_fatbin ?obs ?cfg ?seed ?start_isa ~mode fb = boot_system ?obs ?cfg ?seed ?start_isa ~mode fb
+let of_fatbin ?obs ?cfg ?seed ?start_isa ?pid ~mode fb =
+  boot_system ?obs ?cfg ?seed ?start_isa ?pid ~mode fb
 
-let create ?obs ?cfg ?seed ?start_isa ~mode ~src () =
-  boot_system ?obs ?cfg ?seed ?start_isa ~mode (Compile.to_fatbin src)
+let create ?obs ?cfg ?seed ?start_isa ?pid ~mode ~src () =
+  boot_system ?obs ?cfg ?seed ?start_isa ?pid ~mode (Compile.to_fatbin src)
 
 let fatbin t = t.fb
 let machine t = t.m
@@ -81,9 +83,14 @@ let metrics t = Obs.Metrics.snapshot (Obs.metrics t.observ)
 (* A process kill is an observable event: the defense destroying an
    exploit is exactly what the paper's security tables count. *)
 let killed t msg =
-  if Obs.on t.observ then
+  if Obs.on t.observ then begin
     Obs.emit t.observ
       (Obs.Trace.Fault { isa = isa_label (Machine.active t.m); reason = msg });
+    Obs.audit_emit t.observ ~cycle:(Machine.cycles t.m)
+      ~isa:(isa_label (Machine.active t.m))
+      ~pid:(Machine.owner t.m)
+      (Obs.Audit.Fault { reason = msg })
+  end;
   Killed msg
 
 let vm t which =
@@ -153,7 +160,7 @@ let psr_mode t =
 
 (* Perform a migration for a suspicious (or forced) event. Returns the
    outcome if the process dies, None to continue. *)
-let migrate t ~forced kind target_src =
+let migrate_inner t ~forced kind target_src =
   let mode_ = psr_mode t in
   let from_isa = Machine.active t.m in
   let result =
@@ -206,6 +213,45 @@ let migrate t ~forced kind target_src =
         None
       end)
 
+(* The [migration] span covers the full software cost of one ISA
+   switch: stack transformation (a nested span), the destination-side
+   re-entry translations, and call completion. The audit records the
+   decision's outcome. *)
+let migrate t ~forced kind target_src =
+  let from_isa = isa_label (Machine.active t.m) in
+  let sp =
+    Obs.enter_span t.observ ~name:"migration"
+      ~attrs:
+        [
+          ("from", from_isa);
+          ("forced", string_of_bool forced);
+          ("pid", string_of_int (Machine.owner t.m));
+        ]
+      ~cycle:(Machine.cycles t.m) ()
+  in
+  let r = migrate_inner t ~forced kind target_src in
+  Obs.exit_span t.observ sp ~cycle:(Machine.cycles t.m);
+  (if Obs.on t.observ then
+     let outcome = match r with Some _ -> "killed" | None -> "resumed" in
+     let frames, words, cost =
+       match t.last_migration with
+       | Some res -> (res.Transform.r_frames, res.Transform.r_words, res.Transform.r_cycles)
+       | None -> (0, 0, 0.)
+     in
+     Obs.audit_emit t.observ ~cycle:(Machine.cycles t.m)
+       ~isa:(isa_label (Machine.active t.m))
+       ~pid:(Machine.owner t.m)
+       (Obs.Audit.Migration
+          {
+            to_isa = isa_label (Machine.active t.m);
+            forced;
+            frames;
+            words;
+            cost_cycles = cost;
+            outcome;
+          }));
+  r
+
 let run_native t ~fuel =
   match Machine.run t.m ~fuel with
   | None -> Out_of_fuel
@@ -247,6 +293,10 @@ let run_protected t ~fuel =
              && Fatbin.callsite_of_ret t.fb (Machine.active t.m) src <> None -> (
         t.migration_requested <- false;
         t.forced_migrations <- t.forced_migrations + 1;
+        Obs.audit_emit t.observ ~cycle:(Machine.cycles t.m)
+          ~isa:(isa_label (Machine.active t.m))
+          ~pid:(Machine.owner t.m)
+          (Obs.Audit.Decision { target_src = src; migrate = true; forced = true });
         match migrate t ~forced:true Vm.Kreturn src with
         | Some final -> result := Some final
         | None -> mirror_translations t)
@@ -258,7 +308,12 @@ let run_protected t ~fuel =
         let probabilistic =
           t.sys_mode = Hipstr && Rng.float t.rng < t.cfg.Config.migrate_prob
         in
-        if t.sys_mode = Hipstr && (forced || probabilistic) then begin
+        let will_migrate = t.sys_mode = Hipstr && (forced || probabilistic) in
+        Obs.audit_emit t.observ ~cycle:(Machine.cycles t.m)
+          ~isa:(isa_label (Machine.active t.m))
+          ~pid:(Machine.owner t.m)
+          (Obs.Audit.Decision { target_src; migrate = will_migrate; forced });
+        if will_migrate then begin
           t.migration_requested <- false;
           if forced then t.forced_migrations <- t.forced_migrations + 1
           else t.security_migrations <- t.security_migrations + 1;
@@ -270,7 +325,27 @@ let run_protected t ~fuel =
   done;
   match !result with Some r -> r | None -> Out_of_fuel
 
-let run t ~fuel = match t.sys_mode with Native -> run_native t ~fuel | Psr_only | Hipstr -> run_protected t ~fuel
+(* One [exec] span per run call, stamped on the machine's cycle
+   clock: every cycle the system ever charges (execution, VM service,
+   migration) lands inside some run call, so the exec-span total
+   reconciles with [cycles t] exactly. *)
+let run t ~fuel =
+  let sp =
+    Obs.enter_span t.observ ~name:"exec"
+      ~attrs:
+        [
+          ("isa", isa_label (Machine.active t.m));
+          ("pid", string_of_int (Machine.owner t.m));
+        ]
+      ~cycle:(Machine.cycles t.m) ()
+  in
+  let r =
+    match t.sys_mode with
+    | Native -> run_native t ~fuel
+    | Psr_only | Hipstr -> run_protected t ~fuel
+  in
+  Obs.exit_span t.observ sp ~cycle:(Machine.cycles t.m);
+  r
 
 let active_isa t = Machine.active t.m
 

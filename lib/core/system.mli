@@ -35,6 +35,7 @@ val create :
   ?cfg:Hipstr_psr.Config.t ->
   ?seed:int ->
   ?start_isa:Hipstr_isa.Desc.which ->
+  ?pid:int ->
   mode:mode ->
   src:string ->
   unit ->
@@ -44,7 +45,9 @@ val create :
     {!Hipstr_obs.Obs.global}) is threaded through the machine, the
     PSR VMs and the migration engine; pass a fresh context to get
     isolated metrics, or {!Hipstr_obs.Obs.disabled} for the
-    zero-overhead path.
+    zero-overhead path. [pid] (default 0) tags every span and audit
+    entry this system emits, so a CMP timeline can attribute
+    per-process work.
     @raise Hipstr_compiler.Compile.Error on bad source. *)
 
 val of_fatbin :
@@ -52,6 +55,7 @@ val of_fatbin :
   ?cfg:Hipstr_psr.Config.t ->
   ?seed:int ->
   ?start_isa:Hipstr_isa.Desc.which ->
+  ?pid:int ->
   mode:mode ->
   Hipstr_compiler.Fatbin.t ->
   t

@@ -20,6 +20,7 @@ type t = {
   observ : Obs.t;
   c_ctx_flush : Obs.Metrics.counter;
   mutable active : Desc.which;
+  mutable owner_pid : int;
   mutable migrations : int;
   (* cycle attribution for converting to seconds per-core *)
   mutable cisc_cycles : float;
@@ -62,6 +63,7 @@ let create ?(obs = Obs.global) ?(rat_capacity = None) ?(icache_kb = 32) ?(dcache
     observ = obs;
     c_ctx_flush = Obs.Metrics.counter (Obs.metrics obs) "machine.context_switch_flushes";
     active;
+    owner_pid = 0;
     migrations = 0;
     cisc_cycles = 0.;
     risc_cycles = 0.;
@@ -73,6 +75,10 @@ let cpu t = t.cpu
 let os t = t.os_state
 let active t = t.active
 let obs t = t.observ
+let owner t = t.owner_pid
+let set_owner t pid = t.owner_pid <- pid
+
+let isa_name t = match t.active with Desc.Cisc -> "cisc" | Desc.Risc -> "risc"
 
 let ctx t = match t.active with Desc.Cisc -> t.cisc_ctx | Risc -> t.risc_ctx
 
@@ -127,7 +133,19 @@ let context_switch_flush t =
   in
   cold t.cisc_ctx;
   cold t.risc_ctx;
-  if Obs.on t.observ then Obs.Metrics.incr t.c_ctx_flush
+  if Obs.on t.observ then begin
+    Obs.Metrics.incr t.c_ctx_flush;
+    (* zero-duration span: the flush itself is free in the cycle model
+       (the cost is the refill), but the profile should show when and
+       where cold reschedules happened *)
+    let cycle = t.cpu.perf.cycles in
+    let sp =
+      Obs.enter_span t.observ ~name:"context_switch_flush"
+        ~attrs:[ ("isa", isa_name t); ("pid", string_of_int t.owner_pid) ]
+        ~cycle ()
+    in
+    Obs.exit_span t.observ sp ~cycle
+  end
 
 let boot t ~entry =
   let d = desc t in

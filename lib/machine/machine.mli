@@ -42,6 +42,16 @@ val rat : t -> Rat.t option
 val obs : t -> Hipstr_obs.Obs.t
 (** The observability context this machine reports into. *)
 
+val owner : t -> int
+(** The simulated-process pid this machine belongs to (0 for a
+    standalone system). Span/audit records carry it so a CMP timeline
+    can attribute per-process work. *)
+
+val set_owner : t -> int -> unit
+
+val isa_name : t -> string
+(** ["cisc"] or ["risc"], for the active core. *)
+
 val env_of : t -> Hipstr_isa.Desc.which -> Exec.env
 
 val switch_core : t -> Hipstr_isa.Desc.which -> unit

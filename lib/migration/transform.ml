@@ -168,6 +168,7 @@ let finish machine ~to_isa ~frames ~words ~resume ~complete =
   let from_sp = (desc_of (Machine.active machine)).sp in
   let to_sp = (desc_of to_isa).sp in
   let sp_value = cpu.regs.(from_sp) in
+  let cycle_before = cpu.Hipstr_machine.Cpu.perf.cycles in
   Machine.switch_core machine to_isa;
   cpu.regs.(to_sp) <- sp_value;
   let cycles = fixed_cycles +. (per_word_cycles *. float_of_int words) in
@@ -179,7 +180,21 @@ let finish machine ~to_isa ~frames ~words ~resume ~complete =
     Obs.Metrics.observe (Obs.Metrics.histogram m "migration.frames") (float_of_int frames);
     Obs.Metrics.observe (Obs.Metrics.histogram m "migration.words") (float_of_int words);
     Obs.Metrics.observe (Obs.Metrics.histogram m "migration.cycles") cycles;
-    Obs.emit obs (Obs.Trace.Stack_transform { frames; words; complete })
+    Obs.emit obs (Obs.Trace.Stack_transform { frames; words; complete });
+    (* the span covers exactly the cycles the transform charged: the
+       fixed pipeline drain plus the per-word copy cost *)
+    let sp =
+      Obs.enter_span obs ~name:"stack_transform"
+        ~attrs:
+          [
+            ("isa", Machine.isa_name machine);
+            ("pid", string_of_int (Machine.owner machine));
+            ("frames", string_of_int frames);
+            ("words", string_of_int words);
+          ]
+        ~cycle:cycle_before ()
+    in
+    Obs.exit_span obs sp ~cycle:cpu.Hipstr_machine.Cpu.perf.cycles
   end;
   { r_frames = frames; r_words = words; r_resume_src = resume; r_complete = complete; r_cycles = cycles }
 

@@ -203,6 +203,7 @@ module Trace = struct
     | Stack_transform of { frames : int; words : int; complete : bool }
     | Suspicious of { isa : string; target_src : int }
     | Fault of { isa : string; reason : string }
+    | Span_end of { name : string; begin_cycle : float; end_cycle : float }
 
   type record = { seq : int; event : event }
 
@@ -259,6 +260,196 @@ module Trace = struct
       Printf.sprintf "stack-transform frames=%d words=%d complete=%b" frames words complete
     | Suspicious { isa; target_src } -> Printf.sprintf "suspicious %s target=0x%x" isa target_src
     | Fault { isa; reason } -> Printf.sprintf "fault %s: %s" isa reason
+    | Span_end { name; begin_cycle; end_cycle } ->
+      Printf.sprintf "span %s cycles=[%.0f, %.0f] dur=%.0f" name begin_cycle end_cycle
+        (end_cycle -. begin_cycle)
+end
+
+(* Nestable, cycle-stamped phase spans. A span attributes a stretch of
+   *simulated* cycles (the deterministic clock of the machine/core it
+   ran on, not wall time) to a named phase: translate, exec,
+   stack_transform, migration, context_switch_flush, schedule.
+
+   Nesting is implicit: each domain keeps a stack of its open spans
+   (Domain.DLS), so a translate span begun while an exec span is open
+   records that exec span as its parent without any handle threading
+   through the machine layers. This is sound because one slice of one
+   process runs entirely on one domain — spans open and close in LIFO
+   order per domain even when a CMP interleaves processes, and the
+   parallel round driver gives each slice its own domain.
+
+   Completed spans accumulate in an unbounded mutex-guarded list.
+   Span ids and list order depend on domain interleaving under a
+   parallel run; everything the exporters serialize is therefore
+   canonically re-sorted by content (see Export), which restores
+   bit-for-bit determinism. *)
+module Span = struct
+  type span = {
+    sp_id : int;
+    sp_parent : int option;
+    sp_name : string;
+    sp_attrs : (string * string) list;
+    sp_begin : float;
+    mutable sp_end : float;
+  }
+
+  type t = { mu : Mutex.t; mutable next_id : int; mutable rev_done : span list }
+
+  let create () = { mu = Mutex.create (); next_id = 0; rev_done = [] }
+
+  (* Per-domain stack of open spans, tagged with the store they belong
+     to so interleaved contexts on one domain never cross-link. *)
+  let stack_key : (t * span) list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+  let enter t ~name ?(attrs = []) ~cycle () =
+    Mutex.lock t.mu;
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    Mutex.unlock t.mu;
+    let stack = Domain.DLS.get stack_key in
+    let parent = List.find_map (fun (s, sp) -> if s == t then Some sp.sp_id else None) !stack in
+    let sp =
+      { sp_id = id; sp_parent = parent; sp_name = name; sp_attrs = attrs; sp_begin = cycle; sp_end = Float.nan }
+    in
+    stack := (t, sp) :: !stack;
+    sp
+
+  let exit t sp ~cycle =
+    sp.sp_end <- (if cycle < sp.sp_begin then sp.sp_begin else cycle);
+    let stack = Domain.DLS.get stack_key in
+    stack := List.filter (fun (_, open_sp) -> open_sp != sp) !stack;
+    Mutex.lock t.mu;
+    t.rev_done <- sp :: t.rev_done;
+    Mutex.unlock t.mu
+
+  let completed t =
+    Mutex.lock t.mu;
+    let l = List.rev t.rev_done in
+    Mutex.unlock t.mu;
+    l
+
+  let count t =
+    Mutex.lock t.mu;
+    let n = List.length t.rev_done in
+    Mutex.unlock t.mu;
+    n
+
+  let id sp = sp.sp_id
+  let parent_id sp = sp.sp_parent
+  let name sp = sp.sp_name
+  let attrs sp = sp.sp_attrs
+  let attr sp key = List.assoc_opt key sp.sp_attrs
+  let begin_cycle sp = sp.sp_begin
+  let end_cycle sp = if Float.is_nan sp.sp_end then sp.sp_begin else sp.sp_end
+  let duration sp = end_cycle sp -. sp.sp_begin
+
+  (* Content-only ordering (ids excluded): any permutation of the same
+     multiset of spans sorts to the same sequence, which is what makes
+     exports from a parallel run byte-identical to the serial run.
+     Identical-content ties are harmless — swapping equal elements
+     changes neither serialization nor float summation. *)
+  let canonical spans =
+    List.sort
+      (fun a b ->
+        compare
+          (a.sp_begin, end_cycle a, a.sp_name, a.sp_attrs)
+          (b.sp_begin, end_cycle b, b.sp_name, b.sp_attrs))
+      spans
+
+  let total t ~name:n =
+    List.fold_left
+      (fun acc sp -> if sp.sp_name = n then acc +. duration sp else acc)
+      0.
+      (canonical (completed t))
+
+  (* Fold a finished child store into [into], re-basing ids but
+     preserving the child's internal parent links and insertion
+     order. *)
+  let merge ~into src =
+    let spans = completed src in
+    Mutex.lock into.mu;
+    let base = into.next_id in
+    let remap = Hashtbl.create 64 in
+    List.iteri (fun i sp -> Hashtbl.replace remap sp.sp_id (base + i)) spans;
+    into.next_id <- base + List.length spans;
+    List.iter
+      (fun sp ->
+        let copy =
+          {
+            sp with
+            sp_id = Hashtbl.find remap sp.sp_id;
+            sp_parent =
+              (match sp.sp_parent with None -> None | Some p -> Hashtbl.find_opt remap p);
+          }
+        in
+        into.rev_done <- copy :: into.rev_done)
+      spans;
+    Mutex.unlock into.mu
+end
+
+(* The forensic record the security story needs: every suspicious
+   control transfer, every migration decision and its outcome, every
+   process kill — unbounded (unlike the trace ring, which forgets),
+   cycle-stamped, and queryable from tests. *)
+module Audit = struct
+  type kind =
+    | Suspicious of { target_src : int }
+    | Decision of { target_src : int; migrate : bool; forced : bool }
+    | Migration of {
+        to_isa : string;
+        forced : bool;
+        frames : int;
+        words : int;
+        cost_cycles : float;
+        outcome : string;  (* "resumed" or "killed" *)
+      }
+    | Fault of { reason : string }
+    | Sched_migrate of { core : int; security : bool }
+
+  type entry = { au_seq : int; au_cycle : float; au_isa : string; au_pid : int; au_kind : kind }
+
+  type t = { mu : Mutex.t; mutable next_seq : int; mutable rev_entries : entry list }
+
+  let create () = { mu = Mutex.create (); next_seq = 0; rev_entries = [] }
+
+  let record t ~cycle ~isa ~pid kind =
+    Mutex.lock t.mu;
+    let e = { au_seq = t.next_seq; au_cycle = cycle; au_isa = isa; au_pid = pid; au_kind = kind } in
+    t.next_seq <- t.next_seq + 1;
+    t.rev_entries <- e :: t.rev_entries;
+    Mutex.unlock t.mu;
+    e
+
+  let entries t =
+    Mutex.lock t.mu;
+    let l = List.rev t.rev_entries in
+    Mutex.unlock t.mu;
+    l
+
+  let length t =
+    Mutex.lock t.mu;
+    let n = t.next_seq in
+    Mutex.unlock t.mu;
+    n
+
+  let count t p = List.length (List.filter p (entries t))
+
+  let kind_label = function
+    | Suspicious _ -> "suspicious"
+    | Decision _ -> "decision"
+    | Migration _ -> "migration"
+    | Fault _ -> "fault"
+    | Sched_migrate _ -> "sched-migrate"
+
+  let merge ~into src =
+    let es = entries src in
+    Mutex.lock into.mu;
+    List.iter
+      (fun e ->
+        into.rev_entries <- { e with au_seq = into.next_seq } :: into.rev_entries;
+        into.next_seq <- into.next_seq + 1)
+      es;
+    Mutex.unlock into.mu
 end
 
 module Sink = struct
@@ -298,11 +489,20 @@ type t = {
   mutable enabled : bool;
   metrics : Metrics.t;
   trace : Trace.t;
+  spans : Span.t;
+  audit : Audit.t;
   mutable sink : Sink.t;
 }
 
 let create ?(on = true) ?(sink = Sink.null) ?(trace_capacity = 1024) () =
-  { enabled = on; metrics = Metrics.create (); trace = Trace.create ~capacity:trace_capacity (); sink }
+  {
+    enabled = on;
+    metrics = Metrics.create ();
+    trace = Trace.create ~capacity:trace_capacity ();
+    spans = Span.create ();
+    audit = Audit.create ();
+    sink;
+  }
 
 let disabled = create ~on:false ()
 let global = create ()
@@ -311,6 +511,8 @@ let on t = t.enabled
 let set_on t b = t.enabled <- b
 let metrics t = t.metrics
 let trace t = t.trace
+let spans t = t.spans
+let audit t = t.audit
 let sink t = t.sink
 let set_sink t s = t.sink <- s
 
@@ -320,9 +522,426 @@ let events t = Trace.to_list t.trace
 
 let snapshot t = Metrics.snapshot t.metrics
 
+(* Span helpers that carry the disabled check themselves: a disabled
+   context hands out no handle, so an instrumented region costs one
+   branch and an immediate [None]. *)
+let enter_span t ~name ?attrs ~cycle () =
+  if t.enabled then Some (Span.enter t.spans ~name ?attrs ~cycle ()) else None
+
+let exit_span t handle ~cycle =
+  match handle with
+  | None -> ()
+  | Some sp ->
+    Span.exit t.spans sp ~cycle;
+    if t.enabled then
+      emit t
+        (Trace.Span_end
+           { name = Span.name sp; begin_cycle = Span.begin_cycle sp; end_cycle = Span.end_cycle sp })
+
+let audit_emit t ~cycle ~isa ~pid kind =
+  if t.enabled then ignore (Audit.record t.audit ~cycle ~isa ~pid kind)
+
 let child t = create ~on:t.enabled ~sink:Sink.null ~trace_capacity:(Trace.capacity t.trace) ()
 
 let merge ~into src =
   Metrics.merge ~into:into.metrics (Metrics.snapshot src.metrics);
+  Span.merge ~into:into.spans src.spans;
+  Audit.merge ~into:into.audit src.audit;
   if into.enabled then
     List.iter (fun (r : Trace.record) -> emit into r.Trace.event) (Trace.to_list src.trace)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic serializers. All three re-sort their inputs by
+   content before writing, so a parallel run (whose span/audit
+   insertion order depends on domain scheduling) serializes to exactly
+   the bytes of the serial run. *)
+module Export = struct
+  module Json = Hipstr_util.Json
+
+  (* --- track resolution for the Chrome trace ---
+
+     A span lands on the CMP-core track named by its "core" attribute
+     (pid 0, tid = core id); otherwise on the track of the process
+     named by its "pid" attribute (pid = 1 + process pid, tid 0);
+     otherwise it inherits its parent's track. One track per CMP core,
+     one per process. *)
+  let attr_int sp key = Option.bind (Span.attr sp key) int_of_string_opt
+
+  let rec track_of tbl sp =
+    match attr_int sp "core" with
+    | Some c -> (0, c)
+    | None -> (
+      match attr_int sp "pid" with
+      | Some p -> (1 + p, 0)
+      | None -> (
+        match Option.bind (Span.parent_id sp) (Hashtbl.find_opt tbl) with
+        | Some parent -> track_of tbl parent
+        | None -> (1, 0)))
+
+  let span_table spans =
+    let tbl = Hashtbl.create 256 in
+    List.iter (fun sp -> Hashtbl.replace tbl (Span.id sp) sp) spans;
+    tbl
+
+  let args_of_attrs attrs = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) attrs)
+
+  let audit_fields (e : Audit.entry) =
+    match e.au_kind with
+    | Audit.Suspicious { target_src } -> [ ("target_src", Json.Str (Printf.sprintf "0x%x" target_src)) ]
+    | Audit.Decision { target_src; migrate; forced } ->
+      [
+        ("target_src", Json.Str (Printf.sprintf "0x%x" target_src));
+        ("migrate", Json.Bool migrate);
+        ("forced", Json.Bool forced);
+      ]
+    | Audit.Migration { to_isa; forced; frames; words; cost_cycles; outcome } ->
+      [
+        ("to_isa", Json.Str to_isa);
+        ("forced", Json.Bool forced);
+        ("frames", Json.num_of_int frames);
+        ("words", Json.num_of_int words);
+        ("cost_cycles", Json.Num cost_cycles);
+        ("outcome", Json.Str outcome);
+      ]
+    | Audit.Fault { reason } -> [ ("reason", Json.Str reason) ]
+    | Audit.Sched_migrate { core; security } ->
+      [ ("core", Json.num_of_int core); ("security", Json.Bool security) ]
+
+  let audit_rank (e : Audit.entry) =
+    match e.au_kind with
+    | Audit.Sched_migrate _ -> 0
+    | Audit.Suspicious _ -> 1
+    | Audit.Decision _ -> 2
+    | Audit.Migration _ -> 3
+    | Audit.Fault _ -> 4
+
+  (* Content ordering for audit entries: per-process timeline first
+     (process cycle clocks are independent), then cycle, then the
+     causal kind order at equal cycles, then rendered content. *)
+  let canonical_audit entries =
+    List.sort
+      (fun (a : Audit.entry) (b : Audit.entry) ->
+        compare
+          (a.au_pid, a.au_cycle, audit_rank a, a.au_isa, Json.to_string (Json.Obj (audit_fields a)))
+          (b.au_pid, b.au_cycle, audit_rank b, b.au_isa, Json.to_string (Json.Obj (audit_fields b))))
+      entries
+
+  (* Chrome trace_event JSON, loadable in Perfetto / chrome://tracing.
+     Complete ("X") events for spans, instant ("i") events for audit
+     entries, metadata ("M") events naming the tracks. Timestamps are
+     simulated cycles presented as microseconds. *)
+  let trace_json t =
+    let spans = Span.canonical (Span.completed t.spans) in
+    let tbl = span_table (Span.completed t.spans) in
+    let entries = canonical_audit (Audit.entries t.audit) in
+    (* track discovery: cores, then processes *)
+    let cores = Hashtbl.create 8 and procs = Hashtbl.create 8 in
+    List.iter
+      (fun sp ->
+        match track_of tbl sp with
+        | 0, tid ->
+          if not (Hashtbl.mem cores tid) then
+            Hashtbl.replace cores tid (match Span.attr sp "isa" with Some i -> i | None -> "?")
+        | pid, _ ->
+          if not (Hashtbl.mem procs pid) then
+            Hashtbl.replace procs pid (match Span.attr sp "proc" with Some n -> Some n | None -> None))
+      spans;
+    List.iter
+      (fun (e : Audit.entry) ->
+        match e.au_kind with
+        | Audit.Sched_migrate { core; _ } ->
+          if not (Hashtbl.mem cores core) then Hashtbl.replace cores core e.au_isa
+        | _ ->
+          if not (Hashtbl.mem procs (1 + e.au_pid)) then Hashtbl.replace procs (1 + e.au_pid) None)
+      entries;
+    let sorted_bindings h = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) h []) in
+    let metadata =
+      (if Hashtbl.length cores = 0 then []
+       else
+         [
+           Json.Obj
+             [
+               ("name", Json.Str "process_name");
+               ("ph", Json.Str "M");
+               ("pid", Json.num_of_int 0);
+               ("args", Json.Obj [ ("name", Json.Str "cmp cores") ]);
+             ];
+         ])
+      @ List.map
+          (fun (tid, isa) ->
+            Json.Obj
+              [
+                ("name", Json.Str "thread_name");
+                ("ph", Json.Str "M");
+                ("pid", Json.num_of_int 0);
+                ("tid", Json.num_of_int tid);
+                ("args", Json.Obj [ ("name", Json.Str (Printf.sprintf "core %d (%s)" tid isa)) ]);
+              ])
+          (sorted_bindings cores)
+      @ List.map
+          (fun (pid, name) ->
+            let label =
+              match name with
+              | Some n -> Printf.sprintf "process %d (%s)" (pid - 1) n
+              | None -> Printf.sprintf "process %d" (pid - 1)
+            in
+            Json.Obj
+              [
+                ("name", Json.Str "process_name");
+                ("ph", Json.Str "M");
+                ("pid", Json.num_of_int pid);
+                ("args", Json.Obj [ ("name", Json.Str label) ]);
+              ])
+          (sorted_bindings procs)
+    in
+    let span_events =
+      List.map
+        (fun sp ->
+          let pid, tid = track_of tbl sp in
+          ( (pid, tid, Span.begin_cycle sp, Span.duration sp, Span.name sp),
+            Json.Obj
+              [
+                ("name", Json.Str (Span.name sp));
+                ("ph", Json.Str "X");
+                ("ts", Json.Num (Span.begin_cycle sp));
+                ("dur", Json.Num (Span.duration sp));
+                ("pid", Json.num_of_int pid);
+                ("tid", Json.num_of_int tid);
+                ("args", args_of_attrs (Span.attrs sp));
+              ] ))
+        spans
+    in
+    let instant_events =
+      List.map
+        (fun (e : Audit.entry) ->
+          let pid, tid =
+            match e.au_kind with Audit.Sched_migrate { core; _ } -> (0, core) | _ -> (1 + e.au_pid, 0)
+          in
+          ( (pid, tid, e.au_cycle, 0., Audit.kind_label e.au_kind),
+            Json.Obj
+              [
+                ("name", Json.Str (Audit.kind_label e.au_kind));
+                ("ph", Json.Str "i");
+                ("s", Json.Str "t");
+                ("ts", Json.Num e.au_cycle);
+                ("pid", Json.num_of_int pid);
+                ("tid", Json.num_of_int tid);
+                ( "args",
+                  Json.Obj
+                    (("isa", Json.Str e.au_isa)
+                    :: ("proc_pid", Json.num_of_int e.au_pid)
+                    :: audit_fields e) );
+              ] ))
+        entries
+    in
+    let timed =
+      List.sort
+        (fun (ka, va) (kb, vb) -> compare (ka, Json.to_string va) (kb, Json.to_string vb))
+        (span_events @ instant_events)
+    in
+    Json.to_string
+      (Json.Obj
+         [
+           ("traceEvents", Json.List (metadata @ List.map snd timed));
+           ("displayTimeUnit", Json.Str "ns");
+         ])
+    ^ "\n"
+
+  (* Folded-stack profile: one "phase;phase;...;leaf cycles" line per
+     distinct span path, self time only (children subtracted), ready
+     for flamegraph.pl / speedscope / inferno. Translate spans grow a
+     leaf frame for the function their translation unit belongs to, so
+     per-function translation cost is visible. *)
+  let folded t =
+    let spans = Span.canonical (Span.completed t.spans) in
+    let tbl = span_table spans in
+    let child_sum = Hashtbl.create 256 in
+    List.iter
+      (fun sp ->
+        match Span.parent_id sp with
+        | None -> ()
+        | Some p ->
+          Hashtbl.replace child_sum p
+            ((match Hashtbl.find_opt child_sum p with Some s -> s | None -> 0.)
+            +. Span.duration sp))
+      spans;
+    let rec path sp =
+      let base =
+        match Option.bind (Span.parent_id sp) (Hashtbl.find_opt tbl) with
+        | Some parent -> path parent ^ ";" ^ Span.name sp
+        | None -> Span.name sp
+      in
+      base
+    in
+    let totals = Hashtbl.create 64 in
+    List.iter
+      (fun sp ->
+        let children =
+          match Hashtbl.find_opt child_sum (Span.id sp) with Some s -> s | None -> 0.
+        in
+        let self = Float.max 0. (Span.duration sp -. children) in
+        let p =
+          path sp ^ (match Span.attr sp "func" with Some f -> ";" ^ f | None -> "")
+        in
+        Hashtbl.replace totals p
+          ((match Hashtbl.find_opt totals p with Some s -> s | None -> 0.) +. self))
+      spans;
+    let lines =
+      List.sort compare
+        (Hashtbl.fold
+           (fun p v acc ->
+             let rounded = Float.round v in
+             if rounded > 0. then Printf.sprintf "%s %.0f" p rounded :: acc else acc)
+           totals [])
+    in
+    String.concat "\n" lines ^ if lines = [] then "" else "\n"
+
+  let span_rollup t =
+    let spans = Span.canonical (Span.completed t.spans) in
+    let names = List.sort_uniq compare (List.map Span.name spans) in
+    List.map
+      (fun n ->
+        let mine = List.filter (fun sp -> Span.name sp = n) spans in
+        ( n,
+          List.length mine,
+          List.fold_left (fun acc sp -> acc +. Span.duration sp) 0. mine ))
+      names
+
+  let metrics_json t =
+    let snap = Metrics.snapshot t.metrics in
+    let counters =
+      Json.Obj (List.map (fun (n, v) -> (n, Json.num_of_int v)) snap.Metrics.snap_counters)
+    in
+    let histograms =
+      Json.Obj
+        (List.map
+           (fun (n, (h : Metrics.histogram_summary)) ->
+             ( n,
+               Json.Obj
+                 [
+                   ("count", Json.num_of_int h.hs_count);
+                   ("sum", Json.Num h.hs_sum);
+                   ("min", Json.Num h.hs_min);
+                   ("max", Json.Num h.hs_max);
+                   ("mean", Json.Num h.hs_mean);
+                   ("buckets", Json.List (Array.to_list (Array.map Json.num_of_int h.hs_buckets)));
+                 ] ))
+           snap.Metrics.snap_histograms)
+    in
+    let spans =
+      Json.Obj
+        (List.map
+           (fun (n, count, cycles) ->
+             (n, Json.Obj [ ("count", Json.num_of_int count); ("cycles", Json.Num cycles) ]))
+           (span_rollup t))
+    in
+    let audit_counts =
+      let es = Audit.entries t.audit in
+      let count label = List.length (List.filter (fun e -> Audit.kind_label e.Audit.au_kind = label) es) in
+      Json.Obj
+        [
+          ("entries", Json.num_of_int (List.length es));
+          ("suspicious", Json.num_of_int (count "suspicious"));
+          ("decisions", Json.num_of_int (count "decision"));
+          ("migrations", Json.num_of_int (count "migration"));
+          ("faults", Json.num_of_int (count "fault"));
+          ("sched_migrations", Json.num_of_int (count "sched-migrate"));
+        ]
+    in
+    let ring =
+      Json.Obj
+        [
+          ("emitted", Json.num_of_int (Trace.emitted t.trace));
+          ("capacity", Json.num_of_int (Trace.capacity t.trace));
+          ("dropped", Json.num_of_int (Trace.dropped t.trace));
+        ]
+    in
+    Json.to_string_pretty
+      (Json.Obj
+         [
+           ("counters", counters);
+           ("histograms", histograms);
+           ("spans", spans);
+           ("audit", audit_counts);
+           ("trace_ring", ring);
+         ])
+    ^ "\n"
+
+  (* Prometheus text exposition. Metric names are sanitized to
+     [a-zA-Z0-9_] under a hipstr_ prefix; histograms use the standard
+     cumulative-bucket convention with log2 upper bounds. *)
+  let metrics_prom t =
+    let b = Buffer.create 4096 in
+    let sane name =
+      "hipstr_"
+      ^ String.map (fun c -> match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c | _ -> '_') name
+    in
+    let snap = Metrics.snapshot t.metrics in
+    List.iter
+      (fun (n, v) ->
+        let n = sane n in
+        Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n v))
+      snap.Metrics.snap_counters;
+    List.iter
+      (fun (n, (h : Metrics.histogram_summary)) ->
+        let n = sane n in
+        Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+        let cum = ref 0 in
+        Array.iteri
+          (fun i c ->
+            cum := !cum + c;
+            let le =
+              if i = Array.length h.hs_buckets - 1 then "+Inf"
+              else Printf.sprintf "%.0f" (Float.pow 2. (float_of_int i))
+            in
+            Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n le !cum))
+          h.hs_buckets;
+        Buffer.add_string b (Printf.sprintf "%s_sum %.17g\n" n h.hs_sum);
+        Buffer.add_string b (Printf.sprintf "%s_count %d\n" n h.hs_count))
+      snap.Metrics.snap_histograms;
+    (match span_rollup t with
+    | [] -> ()
+    | rollup ->
+      Buffer.add_string b "# TYPE hipstr_span_cycles counter\n";
+      List.iter
+        (fun (n, _, cycles) ->
+          Buffer.add_string b (Printf.sprintf "hipstr_span_cycles{phase=\"%s\"} %.17g\n" n cycles))
+        rollup;
+      Buffer.add_string b "# TYPE hipstr_span_count counter\n";
+      List.iter
+        (fun (n, count, _) ->
+          Buffer.add_string b (Printf.sprintf "hipstr_span_count{phase=\"%s\"} %d\n" n count))
+        rollup);
+    (if Audit.length t.audit > 0 then begin
+       Buffer.add_string b "# TYPE hipstr_audit_entries counter\n";
+       List.iter
+         (fun label ->
+           let n = Audit.count t.audit (fun e -> Audit.kind_label e.au_kind = label) in
+           if n > 0 then
+             Buffer.add_string b (Printf.sprintf "hipstr_audit_entries{kind=\"%s\"} %d\n" label n))
+         [ "suspicious"; "decision"; "migration"; "fault"; "sched-migrate" ]
+     end);
+    Buffer.contents b
+
+  (* One JSON object per line, canonically ordered and re-sequenced:
+     the machine-readable security audit. *)
+  let audit_jsonl t =
+    let entries = canonical_audit (Audit.entries t.audit) in
+    let b = Buffer.create 1024 in
+    List.iteri
+      (fun i (e : Audit.entry) ->
+        Buffer.add_string b
+          (Json.to_string
+             (Json.Obj
+                ([
+                   ("seq", Json.num_of_int i);
+                   ("pid", Json.num_of_int e.au_pid);
+                   ("cycle", Json.Num e.au_cycle);
+                   ("isa", Json.Str e.au_isa);
+                   ("kind", Json.Str (Audit.kind_label e.au_kind));
+                 ]
+                @ audit_fields e)));
+        Buffer.add_char b '\n')
+      entries;
+    Buffer.contents b
+end

@@ -97,6 +97,9 @@ module Trace : sig
         (** an indirect control transfer missed the code cache — the
             paper's migration trigger *)
     | Fault of { isa : string; reason : string }
+    | Span_end of { name : string; begin_cycle : float; end_cycle : float }
+        (** a phase span closed (see {!Span}) — lets [--trace] stream
+            phase timings live alongside the structural events *)
 
   type record = { seq : int  (** total-order emission index *); event : event }
 
@@ -118,6 +121,105 @@ module Trace : sig
   (** Retained records, oldest first. *)
 
   val event_to_string : event -> string
+end
+
+(** Nestable, cycle-stamped phase spans.
+
+    A span attributes a stretch of {e simulated} cycles — the
+    deterministic clock of the machine or core it ran on, never wall
+    time — to a named phase: [exec], [translate], [stack_transform],
+    [migration], [context_switch_flush], [schedule].
+
+    Nesting is implicit. Each domain keeps a stack of its open spans
+    (in domain-local storage), so a [translate] span begun while an
+    [exec] span is open records that exec span as its parent with no
+    handle threading through the machine layers. This is sound because
+    one slice of one process runs entirely on one domain: spans open
+    and close in LIFO order per domain even when a CMP interleaves
+    processes, and the parallel round driver gives each slice its own
+    domain (or its own {!child} context).
+
+    Completed spans accumulate in an unbounded mutex-guarded store.
+    Span ids and completion order depend on domain interleaving under
+    a parallel run; the exporters therefore re-sort by content
+    ({!canonical}), which restores bit-for-bit determinism. *)
+module Span : sig
+  type span
+  type t
+
+  val create : unit -> t
+
+  val enter : t -> name:string -> ?attrs:(string * string) list -> cycle:float -> unit -> span
+  (** Open a span at simulated cycle [cycle]. The youngest open span
+      of the same store on this domain becomes its parent. *)
+
+  val exit : t -> span -> cycle:float -> unit
+  (** Close at [cycle] (clamped to at least the begin stamp) and move
+      the span to the completed store. *)
+
+  val completed : t -> span list
+  (** Completed spans in completion order (nondeterministic under a
+      parallel run — sort with {!canonical} before consuming). *)
+
+  val count : t -> int
+
+  val id : span -> int
+  val parent_id : span -> int option
+  val name : span -> string
+  val attrs : span -> (string * string) list
+  val attr : span -> string -> string option
+  val begin_cycle : span -> float
+  val end_cycle : span -> float
+  val duration : span -> float
+
+  val canonical : span list -> span list
+  (** Content-only ordering (begin, end, name, attrs — ids excluded):
+      any permutation of the same multiset sorts to the same sequence,
+      making parallel-run exports byte-identical to the serial run. *)
+
+  val total : t -> name:string -> float
+  (** Sum of durations of completed spans named [name], folded in
+      canonical order. *)
+
+  val merge : into:t -> t -> unit
+  (** Fold a finished child store into [into], re-basing span ids but
+      preserving internal parent links. *)
+end
+
+(** The forensic record the security story needs: every suspicious
+    control transfer, every migration decision and its outcome, every
+    process kill — unbounded (unlike the trace ring, which forgets),
+    cycle-stamped, and queryable from tests. *)
+module Audit : sig
+  type kind =
+    | Suspicious of { target_src : int }
+    | Decision of { target_src : int; migrate : bool; forced : bool }
+        (** the policy's call on a suspicious transfer: migrate (and
+            was it forced) or continue in place *)
+    | Migration of {
+        to_isa : string;
+        forced : bool;
+        frames : int;
+        words : int;
+        cost_cycles : float;
+        outcome : string;  (** ["resumed"] or ["killed"] *)
+      }
+    | Fault of { reason : string }
+    | Sched_migrate of { core : int; security : bool }
+        (** the CMP scheduler moved a process to [core]; [security]
+            distinguishes defense-driven from load-balancing moves *)
+
+  type entry = { au_seq : int; au_cycle : float; au_isa : string; au_pid : int; au_kind : kind }
+
+  type t
+
+  val create : unit -> t
+  val record : t -> cycle:float -> isa:string -> pid:int -> kind -> entry
+  val entries : t -> entry list
+  val length : t -> int
+  val count : t -> (entry -> bool) -> int
+  val kind_label : kind -> string
+  val merge : into:t -> t -> unit
 end
 
 module Sink : sig
@@ -156,6 +258,8 @@ val on : t -> bool
 val set_on : t -> bool -> unit
 val metrics : t -> Metrics.t
 val trace : t -> Trace.t
+val spans : t -> Span.t
+val audit : t -> Audit.t
 val sink : t -> Sink.t
 val set_sink : t -> Sink.t -> unit
 
@@ -166,6 +270,19 @@ val emit : t -> Trace.event -> unit
 val events : t -> Trace.record list
 val snapshot : t -> Metrics.snapshot
 
+val enter_span : t -> name:string -> ?attrs:(string * string) list -> cycle:float -> unit -> Span.span option
+(** [None] when the context is disabled — unlike {!emit}, span
+    helpers carry their own guard, so instrumented sites need no
+    [if on obs] wrapper. *)
+
+val exit_span : t -> Span.span option -> cycle:float -> unit
+(** No-op on [None]. On a live handle, closes the span and emits a
+    {!Trace.Span_end} event to the ring/sink. *)
+
+val audit_emit : t -> cycle:float -> isa:string -> pid:int -> Audit.kind -> unit
+(** Append to the audit log when the context is enabled (self-guarded
+    like the span helpers). *)
+
 val child : t -> t
 (** A fresh context inheriting [on] and the trace capacity of [t],
     with a null sink: the per-task context the parallel driver hands
@@ -174,8 +291,43 @@ val child : t -> t
 
 val merge : into:t -> t -> unit
 (** [merge ~into src] folds [src]'s counters and histograms into
-    [into] (exactly — see {!Metrics.merge}) and, when [into] is on,
+    [into] (exactly — see {!Metrics.merge}), appends [src]'s spans
+    (ids re-based) and audit entries, and, when [into] is on,
     re-emits [src]'s retained trace records into [into]'s ring and
     sink in their original order (re-sequenced). Merging the per-task
     contexts of a parallel run in task order yields byte-identical
     totals to the serial run. *)
+
+(** Deterministic serializers over a context's metrics, spans and
+    audit log. Every export re-sorts its inputs by content before
+    writing, so a parallel run (whose span/audit insertion order
+    depends on domain scheduling) serializes to exactly the bytes of
+    the serial run — the property the exporter-determinism tests
+    check by comparing files.
+
+    Formats:
+    - {!trace_json}: Chrome [trace_event] JSON, loadable in Perfetto
+      or [chrome://tracing]. One track per CMP core ([pid] 0, [tid] =
+      core id) carrying the per-quantum [schedule] spans; one track
+      per simulated process ([pid] = 1 + process pid) carrying
+      exec/translate/migration spans; audit entries appear as instant
+      events. Timestamps are simulated cycles.
+    - {!folded}: folded-stack lines ([phase;subphase;leaf cycles],
+      self time only), ready for flamegraph.pl / speedscope; translate
+      spans grow a leaf frame named after the translated function.
+    - {!metrics_json} / {!metrics_prom}: full metrics dump (counters,
+      histograms, span roll-up, audit counts) as pretty JSON or
+      Prometheus text exposition.
+    - {!audit_jsonl}: one canonically-ordered JSON object per audit
+      entry. *)
+module Export : sig
+  val trace_json : t -> string
+  val folded : t -> string
+  val metrics_json : t -> string
+  val metrics_prom : t -> string
+  val audit_jsonl : t -> string
+
+  val span_rollup : t -> (string * int * float) list
+  (** Per-phase [(name, count, total_cycles)], sorted by name — the
+      reconciliation hook the tests and [print_obs] use. *)
+end

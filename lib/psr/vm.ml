@@ -82,6 +82,10 @@ type t = {
   pr : probes;
   mutable ever_translated : (int, unit) Hashtbl.t;
   mutable new_units : int list;
+  mutable span_quiet : bool;
+      (* suppress translate spans during speculative work whose cycle
+         charge is rewound (pretranslate) — a span there would claim
+         cycles the clock never kept *)
 }
 
 type resolution = Continue | Exit of int | Fault of string
@@ -128,6 +132,7 @@ let create cfg ~seed which fatbin machine =
     pr;
     ever_translated = Hashtbl.create 256;
     new_units = [];
+    span_quiet = false;
   }
 
 let cache t = t.cache
@@ -222,6 +227,7 @@ let translate_unit t src =
     end;
     cache_addr
   | None ->
+    let cycle_before = (cpu t).perf.cycles in
     if not (Code_cache.has_room t.cache unit_headroom) then flush t;
     let compulsory = not (Hashtbl.mem t.ever_translated src) in
     if compulsory then t.st.compulsory_misses <- t.st.compulsory_misses + 1
@@ -272,6 +278,22 @@ let translate_unit t src =
            { isa = t.pr.isa; src; instrs = unit.u_instrs; emitted = unit.u_emitted })
     end;
     charge t (translate_per_instr *. float_of_int unit.u_instrs);
+    (* span entered after the work so a Wild_target raise above never
+       leaves it dangling on the domain stack; the stamps still cover
+       the whole miss path (flush + translate charges) *)
+    if (not t.span_quiet) && Obs.on t.pr.obs then begin
+      let sp =
+        Obs.enter_span t.pr.obs ~name:"translate"
+          ~attrs:
+            [
+              ("isa", t.pr.isa);
+              ("func", fs.fs_name);
+              ("pid", string_of_int (Machine.owner t.machine));
+            ]
+          ~cycle:cycle_before ()
+      in
+      Obs.exit_span t.pr.obs sp ~cycle:(cpu t).perf.cycles
+    end;
     base
 
 let enter t src = (cpu t).pc <- translate_unit t src
@@ -385,7 +407,10 @@ let suspicious_probe t target_src =
   t.st.suspicious <- t.st.suspicious + 1;
   if Obs.on t.pr.obs then begin
     Obs.Metrics.incr t.pr.c_suspicious;
-    Obs.emit t.pr.obs (Obs.Trace.Suspicious { isa = t.pr.isa; target_src })
+    Obs.emit t.pr.obs (Obs.Trace.Suspicious { isa = t.pr.isa; target_src });
+    Obs.audit_emit t.pr.obs ~cycle:(cpu t).perf.cycles ~isa:t.pr.isa
+      ~pid:(Machine.owner t.machine)
+      (Obs.Audit.Suspicious { target_src })
   end
 
 let on_trap t (trap : Exec.trap) =
@@ -450,7 +475,9 @@ let on_trap t (trap : Exec.trap) =
 
 let pretranslate t src =
   let before = (cpu t).perf.cycles in
+  t.span_quiet <- true;
   let ok = match translate_unit t src with _ -> true | exception Wild_target _ -> false in
+  t.span_quiet <- false;
   (cpu t).perf.cycles <- before;
   ok
 

@@ -1,0 +1,34 @@
+(** A minimal JSON value type with a deterministic serializer and a
+    strict parser — just enough for the observability exporters
+    ({!Hipstr_obs.Obs.Export}) and the CI smoke validator, with no
+    external dependency.
+
+    Serialization is canonical: object fields keep construction order,
+    numbers print as integers whenever they are integral (so cycle
+    counts round-trip as [12345], not [12345.000000]), and the same
+    value always yields the same bytes — the exporter determinism
+    tests diff serialized output directly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val num_of_int : int -> t
+
+val to_string : t -> string
+(** Compact (no whitespace) canonical serialization. Non-finite
+    numbers serialize as [null] — JSON has no NaN/infinity. *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented rendering, same field order as {!to_string}. *)
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete JSON document; trailing garbage is an
+    error. Error strings include a byte offset. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on anything else. *)

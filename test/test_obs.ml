@@ -65,6 +65,157 @@ let test_ring_bounds () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "zero-capacity ring accepted"
 
+(* --- event rendering: every constructor must produce a line --- *)
+
+let test_event_to_string_coverage () =
+  (* one value per constructor of Trace.event; extending the type
+     without extending this list is a compile error via the count
+     check below being updated, and without extending event_to_string
+     is a compile error in obs.ml itself *)
+  let samples =
+    [
+      Obs.Trace.Translate { isa = "cisc"; src = 0x40; instrs = 7; emitted = 9 };
+      Obs.Trace.Cache_hit { isa = "risc"; src = 0x44 };
+      Obs.Trace.Cache_miss { isa = "cisc"; src = 0x48; compulsory = true };
+      Obs.Trace.Cache_flush { isa = "risc"; used_bytes = 4096 };
+      Obs.Trace.Migrate
+        { from_isa = "cisc"; to_isa = "risc"; frames = 3; words = 17; cycles = 250.; forced = false };
+      Obs.Trace.Stack_transform { frames = 3; words = 17; complete = true };
+      Obs.Trace.Suspicious { isa = "cisc"; target_src = 0x4c };
+      Obs.Trace.Fault { isa = "risc"; reason = "wild jump" };
+      Obs.Trace.Span_end { name = "exec"; begin_cycle = 10.; end_cycle = 42. };
+    ]
+  in
+  Alcotest.(check int) "all nine constructors sampled" 9 (List.length samples);
+  let rendered = List.map Obs.Trace.event_to_string samples in
+  List.iter
+    (fun s -> Alcotest.(check bool) "renders non-empty" true (String.length s > 0))
+    rendered;
+  let distinct = List.sort_uniq compare rendered in
+  Alcotest.(check int) "renderings are distinct" (List.length samples) (List.length distinct);
+  (* spot-check the span line carries its cycles *)
+  let span_line = Obs.Trace.event_to_string (List.nth samples 8) in
+  Alcotest.(check bool) "span line names the phase" true
+    (String.length span_line >= 4 && String.sub span_line 0 4 = "span")
+
+(* --- spans --- *)
+
+let test_span_nesting_and_parents () =
+  let st = Obs.Span.create () in
+  let outer = Obs.Span.enter st ~name:"exec" ~attrs:[ ("isa", "cisc") ] ~cycle:100. () in
+  let inner = Obs.Span.enter st ~name:"translate" ~cycle:110. () in
+  Obs.Span.exit st inner ~cycle:150.;
+  Obs.Span.exit st outer ~cycle:300.;
+  Alcotest.(check int) "two completed spans" 2 (Obs.Span.count st);
+  let by_name n =
+    match List.find_opt (fun s -> Obs.Span.name s = n) (Obs.Span.completed st) with
+    | Some s -> s
+    | None -> Alcotest.failf "span %s missing" n
+  in
+  let e = by_name "exec" and t = by_name "translate" in
+  Alcotest.(check (option int)) "outer has no parent" None (Obs.Span.parent_id e);
+  Alcotest.(check (option int)) "inner's parent is outer" (Some (Obs.Span.id e))
+    (Obs.Span.parent_id t);
+  Alcotest.(check (float 1e-9)) "outer duration" 200. (Obs.Span.duration e);
+  Alcotest.(check (float 1e-9)) "inner duration" 40. (Obs.Span.duration t);
+  Alcotest.(check (option string)) "attrs kept" (Some "cisc") (Obs.Span.attr e "isa");
+  Alcotest.(check (float 1e-9)) "total sums by name" 40. (Obs.Span.total st ~name:"translate");
+  (* end clamped to begin: a zero-duration span is legal, negative is not *)
+  let z = Obs.Span.enter st ~name:"flush" ~cycle:500. () in
+  Obs.Span.exit st z ~cycle:400.;
+  Alcotest.(check (float 1e-9)) "exit clamps to begin" 0. (Obs.Span.total st ~name:"flush")
+
+let test_span_canonical_is_order_free () =
+  (* the same span multiset entered in two different orders must
+     canonicalize to the same content sequence — the property that
+     makes parallel-run exports byte-identical *)
+  let mk order =
+    let st = Obs.Span.create () in
+    List.iter
+      (fun (name, b, e) ->
+        let s = Obs.Span.enter st ~name ~cycle:b () in
+        Obs.Span.exit st s ~cycle:e)
+      order;
+    List.map
+      (fun s -> (Obs.Span.name s, Obs.Span.begin_cycle s, Obs.Span.end_cycle s))
+      (Obs.Span.canonical (Obs.Span.completed st))
+  in
+  let spans = [ ("exec", 0., 50.); ("translate", 5., 9.); ("exec", 50., 80.) ] in
+  Alcotest.(check bool) "canonical order independent of insertion" true
+    (mk spans = mk (List.rev spans))
+
+let test_span_merge_rebases_ids () =
+  let parent = Obs.Span.create () in
+  let p0 = Obs.Span.enter parent ~name:"exec" ~cycle:0. () in
+  Obs.Span.exit parent p0 ~cycle:10.;
+  let child = Obs.Span.create () in
+  let c0 = Obs.Span.enter child ~name:"exec" ~cycle:0. () in
+  let c1 = Obs.Span.enter child ~name:"translate" ~cycle:2. () in
+  Obs.Span.exit child c1 ~cycle:4.;
+  Obs.Span.exit child c0 ~cycle:10.;
+  Obs.Span.merge ~into:parent child;
+  Alcotest.(check int) "all spans present after merge" 3 (Obs.Span.count parent);
+  let ids = List.map Obs.Span.id (Obs.Span.completed parent) in
+  Alcotest.(check int) "ids stay unique after re-basing" 3
+    (List.length (List.sort_uniq compare ids));
+  (* the child's internal parent link survived the re-base *)
+  let tr =
+    List.find (fun s -> Obs.Span.name s = "translate") (Obs.Span.completed parent)
+  in
+  let ex_id =
+    match Obs.Span.parent_id tr with
+    | Some i -> i
+    | None -> Alcotest.fail "merge dropped the parent link"
+  in
+  let ex = List.find (fun s -> Obs.Span.id s = ex_id) (Obs.Span.completed parent) in
+  Alcotest.(check string) "link points at the merged exec span" "exec" (Obs.Span.name ex)
+
+let test_span_helpers_guard_disabled () =
+  Alcotest.(check bool) "disabled context hands out no span" true
+    (Obs.enter_span Obs.disabled ~name:"exec" ~cycle:0. () = None);
+  Obs.exit_span Obs.disabled None ~cycle:1.;
+  Obs.audit_emit Obs.disabled ~cycle:0. ~isa:"cisc" ~pid:0
+    (Obs.Audit.Fault { reason = "nope" });
+  Alcotest.(check int) "disabled audit stays empty" 0 (Obs.Audit.length (Obs.audit Obs.disabled));
+  (* enabled: exit_span emits a Span_end into the ring *)
+  let sink = Obs.Sink.memory () in
+  let obs = Obs.create ~sink () in
+  let sp = Obs.enter_span obs ~name:"exec" ~cycle:3. () in
+  Obs.exit_span obs sp ~cycle:8.;
+  let span_ends =
+    List.filter
+      (fun r -> match r.Obs.Trace.event with Obs.Trace.Span_end _ -> true | _ -> false)
+      (Obs.Sink.contents sink)
+  in
+  Alcotest.(check int) "span close reached the sink" 1 (List.length span_ends)
+
+(* --- audit log --- *)
+
+let test_audit_log () =
+  let a = Obs.Audit.create () in
+  let k1 = Obs.Audit.Suspicious { target_src = 0x40 } in
+  let k2 = Obs.Audit.Decision { target_src = 0x40; migrate = true; forced = false } in
+  let k3 =
+    Obs.Audit.Migration
+      { to_isa = "risc"; forced = false; frames = 2; words = 9; cost_cycles = 300.; outcome = "resumed" }
+  in
+  ignore (Obs.Audit.record a ~cycle:10. ~isa:"cisc" ~pid:0 k1);
+  ignore (Obs.Audit.record a ~cycle:10. ~isa:"cisc" ~pid:0 k2);
+  ignore (Obs.Audit.record a ~cycle:310. ~isa:"risc" ~pid:0 k3);
+  Alcotest.(check int) "three entries" 3 (Obs.Audit.length a);
+  Alcotest.(check (list string)) "labels"
+    [ "suspicious"; "decision"; "migration" ]
+    (List.map (fun e -> Obs.Audit.kind_label e.Obs.Audit.au_kind) (Obs.Audit.entries a));
+  Alcotest.(check int) "count by predicate" 1
+    (Obs.Audit.count a (fun e ->
+         match e.Obs.Audit.au_kind with Obs.Audit.Migration m -> m.outcome = "resumed" | _ -> false));
+  let b = Obs.Audit.create () in
+  ignore (Obs.Audit.record b ~cycle:1. ~isa:"cisc" ~pid:1 (Obs.Audit.Fault { reason = "x" }));
+  Obs.Audit.merge ~into:a b;
+  Alcotest.(check int) "merge appends" 4 (Obs.Audit.length a);
+  let seqs = List.map (fun e -> e.Obs.Audit.au_seq) (Obs.Audit.entries a) in
+  Alcotest.(check int) "seqs unique after merge" 4 (List.length (List.sort_uniq compare seqs))
+
 (* --- a real PSR run --- *)
 
 let run_to_finish sys ~fuel =
@@ -207,7 +358,22 @@ let () =
           Alcotest.test_case "histogram summary" `Quick test_histogram_summary;
         ] );
       ( "trace",
-        [ Alcotest.test_case "ring bounds under overflow" `Quick test_ring_bounds ] );
+        [
+          Alcotest.test_case "ring bounds under overflow" `Quick test_ring_bounds;
+          Alcotest.test_case "event_to_string covers every constructor" `Quick
+            test_event_to_string_coverage;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and parent links" `Quick test_span_nesting_and_parents;
+          Alcotest.test_case "canonical order is insertion-free" `Quick
+            test_span_canonical_is_order_free;
+          Alcotest.test_case "merge re-bases ids, keeps links" `Quick test_span_merge_rebases_ids;
+          Alcotest.test_case "helpers guard the disabled context" `Quick
+            test_span_helpers_guard_disabled;
+        ] );
+      ( "audit",
+        [ Alcotest.test_case "record, count, label, merge" `Quick test_audit_log ] );
       ( "system",
         [
           Alcotest.test_case "psr run emits events" `Quick test_psr_run_events;

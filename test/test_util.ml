@@ -99,6 +99,61 @@ let test_table_render () =
     (let i1 = String.index s '1' and i3 = String.index s '3' in
      i1 < i3)
 
+module Json = Hipstr_util.Json
+
+let test_json_render () =
+  let v =
+    Json.Obj
+      [
+        ("n", Json.Num 42.);
+        ("frac", Json.Num 1.5);
+        ("s", Json.Str "a\"b\nc");
+        ("l", Json.List [ Json.Null; Json.Bool true; Json.num_of_int (-3) ]);
+        ("nan", Json.Num Float.nan);
+      ]
+  in
+  Alcotest.(check string) "canonical compact form"
+    "{\"n\":42,\"frac\":1.5,\"s\":\"a\\\"b\\nc\",\"l\":[null,true,-3],\"nan\":null}"
+    (Json.to_string v);
+  (* integral floats render as integers — the property cycle counts
+     rely on *)
+  Alcotest.(check string) "integral float" "12345" (Json.to_string (Json.Num 12345.))
+
+let test_json_roundtrip () =
+  let check_rt s =
+    match Json.parse s with
+    | Error e -> Alcotest.failf "parse %S: %s" s e
+    | Ok v -> Alcotest.(check string) ("round-trip " ^ s) s (Json.to_string v)
+  in
+  List.iter check_rt
+    [
+      "null"; "true"; "false"; "0"; "-7"; "1.5"; "\"\""; "\"x\\\"y\"";
+      "[]"; "[1,2,3]"; "{}"; "{\"a\":[{\"b\":null}],\"c\":\"d\"}";
+    ];
+  (* whitespace tolerated on parse, normalized on print *)
+  (match Json.parse " { \"a\" : [ 1 , 2 ] } " with
+  | Ok v -> Alcotest.(check string) "normalizes" "{\"a\":[1,2]}" (Json.to_string v)
+  | Error e -> Alcotest.failf "whitespace parse failed: %s" e);
+  (* pretty output parses back to the same value *)
+  let v = Json.Obj [ ("a", Json.List [ Json.Num 1.; Json.Obj [ ("b", Json.Str "c") ] ]) ] in
+  match Json.parse (Json.to_string_pretty v) with
+  | Ok v' -> Alcotest.(check bool) "pretty round-trips" true (v = v')
+  | Error e -> Alcotest.failf "pretty parse failed: %s" e
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" s)
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "1 2"; "\"unterminated"; "{\"a\" 1}" ]
+
+let test_json_member () =
+  let v = Json.Obj [ ("a", Json.Num 1.); ("b", Json.Null) ] in
+  Alcotest.(check bool) "present" true (Json.member "a" v = Some (Json.Num 1.));
+  Alcotest.(check bool) "absent" true (Json.member "z" v = None);
+  Alcotest.(check bool) "non-object" true (Json.member "a" (Json.List []) = None)
+
 let () =
   Alcotest.run "util"
     [
@@ -123,5 +178,12 @@ let () =
         [
           Alcotest.test_case "stats" `Quick test_stats;
           Alcotest.test_case "table" `Quick test_table_render;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "canonical rendering" `Quick test_json_render;
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+          Alcotest.test_case "member" `Quick test_json_member;
         ] );
     ]

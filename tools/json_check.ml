@@ -1,0 +1,40 @@
+(* Validate that files parse as JSON (or JSON Lines for .jsonl) with
+   the same zero-dependency parser the exporters round-trip against —
+   the CI smoke step and `make profile-smoke` run this over every
+   exported artifact so a serializer regression fails fast, without
+   needing jq in the environment.
+
+   Usage: json_check FILE...   (exit 1 on the first failure) *)
+
+module Json = Hipstr_util.Json
+
+let check_doc path s =
+  match Json.parse s with
+  | Ok _ -> Printf.printf "%s: ok\n" path
+  | Error e ->
+    Printf.eprintf "%s: %s\n" path e;
+    exit 1
+
+let check_jsonl path s =
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' s) in
+  List.iteri
+    (fun i l ->
+      match Json.parse l with
+      | Ok _ -> ()
+      | Error e ->
+        Printf.eprintf "%s:%d: %s\n" path (i + 1) e;
+        exit 1)
+    lines;
+  Printf.printf "%s: ok (%d lines)\n" path (List.length lines)
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: json_check FILE...";
+    exit 2
+  end;
+  List.iter
+    (fun path ->
+      let s = In_channel.with_open_bin path In_channel.input_all in
+      if Filename.check_suffix path ".jsonl" then check_jsonl path s else check_doc path s)
+    files
