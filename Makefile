@@ -3,7 +3,7 @@
 
 FUZZ_SEEDS ?= 1-25
 
-.PHONY: all build test fuzz micro cmp-smoke profile-smoke check clean
+.PHONY: all build test fuzz micro cmp-smoke profile-smoke cache-smoke check clean
 
 all: build
 
@@ -43,7 +43,19 @@ profile-smoke:
 	dune exec tools/json_check.exe -- /tmp/hipstr-smoke-trace.json \
 	  /tmp/hipstr-smoke-metrics.json /tmp/hipstr-smoke-audit.jsonl BENCH_obs.json
 
-check: build test fuzz micro cmp-smoke profile-smoke
+# Block-granular code-cache eviction end-to-end: a CMP run under an
+# 8 KiB cache with the fifo policy (forcing real evictions and memo
+# re-installs), --verify demanding byte-equality with the standalone
+# runs; then the cache-churn policy sweep (BENCH_cache.json), which
+# json_check validates.
+cache-smoke:
+	dune exec bin/hipstr_cli.exe -- cmp-run gobmk bzip2 \
+	  --cc-capacity 8192 --cc-policy fifo --quantum 2000 --verify \
+	  --metrics-out /tmp/hipstr-cache-metrics.json
+	dune exec bench/main.exe -- --cache-only
+	dune exec tools/json_check.exe -- /tmp/hipstr-cache-metrics.json BENCH_cache.json
+
+check: build test fuzz micro cmp-smoke profile-smoke cache-smoke
 
 clean:
 	dune clean

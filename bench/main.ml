@@ -23,6 +23,8 @@ module Fatbin = Hipstr_compiler.Fatbin
 module Galileo = Hipstr_galileo.Galileo
 module Rng = Hipstr_util.Rng
 module Obs = Hipstr_obs.Obs
+module Code_cache = Hipstr_psr.Code_cache
+module Vm = Hipstr_psr.Vm
 open Bechamel
 open Toolkit
 
@@ -163,6 +165,98 @@ let run_obs_breakdown () =
       Out_channel.output_string oc (Json.to_string_pretty doc);
       Out_channel.output_string oc "\n");
   Printf.printf "[phase-attributed cycle breakdowns written to BENCH_obs.json]\n"
+
+(* ------------------------------------------------------------------ *)
+(* Part 1.6: the cache-churn sweep.
+
+   The acceptance experiment for block-granular eviction: run the
+   churn-heavy workloads under capacities small enough that the legacy
+   flush policy wipes the cache tens to thousands of times, and
+   compare capacity misses / retranslation cycles / end-to-end cycles
+   against fifo and clock eviction with the translation memo. The
+   result lands in BENCH_cache.json. *)
+
+let churn_fuel = 2_000_000
+let churn_workloads = [ "gobmk"; "sphinx3"; "milc"; "bzip2" ]
+let churn_capacities = [ 4096; 6144 ]
+let churn_policies = [ Code_cache.Flush; Code_cache.Fifo; Code_cache.Clock ]
+
+let churn_point ~name ~capacity policy =
+  let w = Workloads.find name in
+  let cfg = { Config.default with cache_bytes = capacity; cc_policy = policy } in
+  let sys =
+    System.of_fatbin ~obs:(Obs.create ()) ~cfg ~seed:9 ~start_isa:Desc.Cisc
+      ~mode:System.Psr_only (Workloads.fatbin w)
+  in
+  ignore (System.run sys ~fuel:churn_fuel);
+  let vm_stat f =
+    List.fold_left
+      (fun acc isa ->
+        match System.vm sys isa with
+        | vm -> acc + f (Vm.stats vm)
+        | exception Invalid_argument _ -> acc)
+      0 [ Desc.Cisc; Desc.Risc ]
+  in
+  ( Json.Obj
+      [
+        ("policy", Json.Str (Code_cache.policy_name policy));
+        ("cycles", Json.Num (System.cycles sys));
+        ("flushes", Json.num_of_int (System.cache_flushes sys));
+        ("evictions", Json.num_of_int (System.cache_evictions sys));
+        ("memo_installs", Json.num_of_int (System.memo_installs sys));
+        ("translations", Json.num_of_int (vm_stat (fun s -> s.Vm.translations)));
+        ("capacity_misses", Json.num_of_int (vm_stat (fun s -> s.Vm.capacity_misses)));
+        ("retranslate_cycles", Json.Num (System.retranslate_cycles sys));
+      ],
+    System.retranslate_cycles sys )
+
+let run_cache_churn () =
+  let points =
+    List.map
+      (fun name ->
+        let caps =
+          List.map
+            (fun capacity ->
+              let flush_json, flush_retrans = churn_point ~name ~capacity Code_cache.Flush in
+              let rest =
+                List.map
+                  (fun p ->
+                    let j, r = churn_point ~name ~capacity p in
+                    let reduction =
+                      if flush_retrans > 0. then 100. *. (flush_retrans -. r) /. flush_retrans
+                      else 0.
+                    in
+                    Json.Obj
+                      [
+                        ("point", j); ("retranslate_reduction_pct", Json.Num reduction);
+                      ])
+                  (List.filter (fun p -> p <> Code_cache.Flush) churn_policies)
+              in
+              Json.Obj
+                [
+                  ("capacity", Json.num_of_int capacity);
+                  ("flush", flush_json);
+                  ("eviction", Json.List rest);
+                ])
+            churn_capacities
+        in
+        Json.Obj [ ("name", Json.Str name); ("capacities", Json.List caps) ])
+      churn_workloads
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "hipstr-bench-cache/1");
+        ("mode", Json.Str "psr");
+        ("seed", Json.num_of_int 9);
+        ("fuel", Json.num_of_int churn_fuel);
+        ("workloads", Json.List points);
+      ]
+  in
+  Out_channel.with_open_bin "BENCH_cache.json" (fun oc ->
+      Out_channel.output_string oc (Json.to_string_pretty doc);
+      Out_channel.output_string oc "\n");
+  Printf.printf "[cache-churn policy sweep written to BENCH_cache.json]\n"
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks of the substrate. *)
@@ -335,8 +429,9 @@ let run_micro () =
 let () =
   let args = Array.to_list Sys.argv in
   let obs_only = List.mem "--obs-only" args in
-  let tables = (not (List.mem "--micro-only" args)) && not obs_only in
-  let micro = (not (List.mem "--tables-only" args)) && not obs_only in
+  let cache_only = List.mem "--cache-only" args in
+  let tables = (not (List.mem "--micro-only" args)) && (not obs_only) && not cache_only in
+  let micro = (not (List.mem "--tables-only" args)) && (not obs_only) && not cache_only in
   let jobs =
     let rec find = function
       | "-j" :: v :: _ -> (
@@ -350,4 +445,5 @@ let () =
   in
   if tables then run_tables ~jobs;
   if tables || obs_only then run_obs_breakdown ();
+  if tables || cache_only then run_cache_churn ();
   if micro then run_micro ()

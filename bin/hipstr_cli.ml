@@ -30,6 +30,7 @@ module Rop = Hipstr_attacks.Rop
 module Obs = Hipstr_obs.Obs
 module Cmp = Hipstr_cmp.Cmp
 module Process = Hipstr_cmp.Process
+module Code_cache = Hipstr_psr.Code_cache
 
 let isa_conv =
   Arg.conv
@@ -87,6 +88,15 @@ let opt_conv = bounded_int_conv ~what:"optimization level" ~lo:0 ~hi:3 ()
 let fuel_conv = bounded_int_conv ~what:"fuel" ~lo:1 ()
 let jobs_conv = bounded_int_conv ~what:"jobs" ~lo:1 ()
 let quantum_conv = bounded_int_conv ~what:"quantum" ~lo:1 ()
+let cc_capacity_conv = bounded_int_conv ~what:"code-cache capacity (bytes)" ~lo:4096 ()
+
+let cc_policy_conv =
+  Arg.conv
+    ( (fun s ->
+        match Code_cache.policy_of_string s with
+        | Some p -> Ok p
+        | None -> Error (`Msg (Printf.sprintf "unknown cache policy '%s' (flush, fifo or clock)" s))),
+      fun ppf p -> Format.pp_print_string ppf (Code_cache.policy_name p) )
 
 let prob_conv =
   Arg.conv
@@ -191,6 +201,29 @@ let migrate_prob_arg =
     & info [ "migrate-prob" ]
         ~doc:"Probability of migrating on a suspicious code-cache miss (0.0-1.0; hipstr mode).")
 
+(* --cc-capacity / --cc-policy are shared by run, run-file and cmp-run. *)
+let cc_capacity_arg =
+  Arg.(
+    value
+    & opt (some cc_capacity_conv) None
+    & info [ "cc-capacity" ] ~docv:"BYTES"
+        ~doc:"Per-ISA code-cache capacity in bytes (>= 4096; default 2 MiB).")
+
+let cc_policy_arg =
+  Arg.(
+    value
+    & opt (some cc_policy_conv) None
+    & info [ "cc-policy" ] ~docv:"POLICY"
+        ~doc:
+          "Code-cache capacity policy: $(b,flush) (wholesale flush on shortfall), $(b,fifo) or \
+           $(b,clock) (block-granular eviction with translation memo).")
+
+let apply_cc_args cfg cc_capacity cc_policy =
+  let cfg =
+    match cc_capacity with None -> cfg | Some b -> { cfg with Config.cache_bytes = b }
+  in
+  match cc_policy with None -> cfg | Some p -> { cfg with Config.cc_policy = p }
+
 let outcome_string = function
   | System.Finished c -> Printf.sprintf "finished (exit %d)" c
   | System.Shell_spawned -> "SHELL SPAWNED (attack succeeded)"
@@ -292,10 +325,14 @@ let run_cmd =
     Arg.(value & opt mode_conv System.Hipstr & info [ "mode" ] ~doc:"native, psr or hipstr.")
   in
   let opt_arg = Arg.(value & opt opt_conv 3 & info [ "opt" ] ~doc:"PSR optimization level (0-3).") in
-  let action (w : Workloads.t) mode isa seed opt_level migrate_prob metrics trace exports =
+  let action (w : Workloads.t) mode isa seed opt_level migrate_prob cc_capacity cc_policy metrics
+      trace exports =
     let cfg =
       let base = { Config.default with opt_level } in
-      match migrate_prob with None -> base | Some p -> { base with migrate_prob = p }
+      let base =
+        match migrate_prob with None -> base | Some p -> { base with migrate_prob = p }
+      in
+      apply_cc_args base cc_capacity cc_policy
     in
     let obs = make_obs ~trace in
     let sys = System.of_fatbin ~obs ~cfg ~seed ~start_isa:isa ~mode (Workloads.fatbin w) in
@@ -310,6 +347,9 @@ let run_cmd =
       Printf.printf
         "translations: %d  source instrs: %d -> emitted: %d  traps: %d  suspicious: %d\n"
         st.translations st.source_instrs st.emitted_instrs st.traps st.suspicious;
+      Printf.printf "cache: flushes=%d evictions=%d memo-installs=%d retranslate-cycles=%.0f\n"
+        (System.cache_flushes sys) (System.cache_evictions sys) (System.memo_installs sys)
+        (System.retranslate_cycles sys);
       if mode = System.Hipstr then
         Printf.printf "migrations: %d security + %d forced\n" (System.security_migrations sys)
           (System.forced_migrations sys)
@@ -321,7 +361,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a workload on the simulated heterogeneous-ISA CMP.")
     Term.(
       const action $ workload_arg $ mode_arg $ isa_arg $ seed_arg $ opt_arg $ migrate_prob_arg
-      $ metrics_arg $ trace_arg $ export_args)
+      $ cc_capacity_arg $ cc_policy_arg $ metrics_arg $ trace_arg $ export_args)
 
 let gadgets_cmd =
   let action (w : Workloads.t) isa =
@@ -441,10 +481,11 @@ let run_file_cmd =
     Arg.(value & opt mode_conv System.Hipstr & info [ "mode" ] ~doc:"native, psr or hipstr.")
   in
   let fuel_arg = Arg.(value & opt fuel_conv 10_000_000 & info [ "fuel" ] ~doc:"Instruction budget.") in
-  let action file mode isa seed fuel metrics trace exports =
+  let action file mode isa seed fuel cc_capacity cc_policy metrics trace exports =
     let src = In_channel.with_open_text file In_channel.input_all in
     let obs = make_obs ~trace in
-    match System.create ~obs ~seed ~start_isa:isa ~mode ~src () with
+    let cfg = apply_cc_args Config.default cc_capacity cc_policy in
+    match System.create ~obs ~cfg ~seed ~start_isa:isa ~mode ~src () with
     | exception Hipstr_compiler.Compile.Error m ->
       Printf.eprintf "%s: %s\n" file m;
       exit 1
@@ -460,8 +501,8 @@ let run_file_cmd =
   Cmd.v
     (Cmd.info "run-file" ~doc:"Compile and run a MiniC source file.")
     Term.(
-      const action $ file_arg $ mode_arg $ isa_arg $ seed_arg $ fuel_arg $ metrics_arg
-      $ trace_arg $ export_args)
+      const action $ file_arg $ mode_arg $ isa_arg $ seed_arg $ fuel_arg $ cc_capacity_arg
+      $ cc_policy_arg $ metrics_arg $ trace_arg $ export_args)
 
 (* ------------------------------------------------------------------ *)
 (* cmp-run: boot K workloads as processes and time-slice them across
@@ -520,11 +561,15 @@ let cmp_run_cmd =
     Arg.(value & flag & info [ "trace-schedule" ] ~doc:"Print every scheduling slice.")
   in
   let isa_label = function Desc.Cisc -> "cisc" | Desc.Risc -> "risc" in
-  let action ws mode policy cores quantum fuel seed migrate_prob jobs metrics sched verify exports =
+  let action ws mode policy cores quantum fuel seed migrate_prob cc_capacity cc_policy jobs
+      metrics sched verify exports =
     let cfg =
-      match migrate_prob with
-      | None -> Config.default
-      | Some p -> { Config.default with migrate_prob = p }
+      let base =
+        match migrate_prob with
+        | None -> Config.default
+        | Some p -> { Config.default with migrate_prob = p }
+      in
+      apply_cc_args base cc_capacity cc_policy
     in
     let core_arr = Array.of_list cores in
     let start_isa i = core_arr.(i mod Array.length core_arr) in
@@ -548,11 +593,12 @@ let cmp_run_cmd =
       (fun (pm : Cmp.proc_metrics) ->
         let p = Cmp.proc cmp pm.pm_pid in
         Printf.printf
-          "  pid %d %-10s %-28s instrs=%-9d slices=%-4d migrations: sched=%d sec=%d forced=%d\n"
+          "  pid %d %-10s %-28s instrs=%-9d slices=%-4d migrations: sched=%d sec=%d forced=%d \
+           cache: flush=%d evict=%d memo=%d\n"
           pm.pm_pid pm.pm_name
           (match pm.pm_outcome with Some o -> outcome_string o | None -> "runnable?")
           pm.pm_instructions pm.pm_slices pm.pm_sched_migrations pm.pm_security_migrations
-          pm.pm_forced_migrations;
+          pm.pm_forced_migrations pm.pm_cache_flushes pm.pm_cache_evictions pm.pm_memo_installs;
         Printf.printf "    output: %s\n"
           (String.concat " " (List.map string_of_int (System.output (Process.sys p)))))
       m.m_procs;
@@ -611,8 +657,8 @@ let cmp_run_cmd =
        ~doc:"Time-slice several workloads across a simulated mixed-ISA chip multiprocessor.")
     Term.(
       const action $ workloads_arg $ mode_arg $ policy_arg $ cores_arg $ quantum_arg $ fuel_arg
-      $ seed_arg $ migrate_prob_arg $ jobs_arg $ metrics_arg $ sched_arg $ verify_arg
-      $ export_args)
+      $ seed_arg $ migrate_prob_arg $ cc_capacity_arg $ cc_policy_arg $ jobs_arg $ metrics_arg
+      $ sched_arg $ verify_arg $ export_args)
 
 let list_cmd =
   let action () =

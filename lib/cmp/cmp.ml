@@ -398,6 +398,9 @@ type proc_metrics = {
   pm_sched_migrations : int;
   pm_security_migrations : int;
   pm_forced_migrations : int;
+  pm_cache_flushes : int;
+  pm_cache_evictions : int;
+  pm_memo_installs : int;
 }
 
 type metrics = {
@@ -446,6 +449,9 @@ let metrics t =
                pm_sched_migrations = Process.sched_migrations p;
                pm_security_migrations = System.security_migrations (Process.sys p);
                pm_forced_migrations = System.forced_migrations (Process.sys p);
+               pm_cache_flushes = System.cache_flushes (Process.sys p);
+               pm_cache_evictions = System.cache_evictions (Process.sys p);
+               pm_memo_installs = System.memo_installs (Process.sys p);
              })
            t.procs);
   }

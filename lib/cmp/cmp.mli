@@ -138,6 +138,9 @@ type proc_metrics = {
   pm_sched_migrations : int;
   pm_security_migrations : int;
   pm_forced_migrations : int;
+  pm_cache_flushes : int;  (** wholesale code-cache flushes (all VMs) *)
+  pm_cache_evictions : int;  (** block-granular evictions (fifo/clock) *)
+  pm_memo_installs : int;  (** re-installs served from the translation memo *)
 }
 
 type metrics = {

@@ -6,6 +6,7 @@ module Exec = Hipstr_machine.Exec
 module Sys' = Hipstr_machine.Sys
 module Config = Hipstr_psr.Config
 module Vm = Hipstr_psr.Vm
+module Code_cache = Hipstr_psr.Code_cache
 module Transform = Hipstr_migration.Transform
 module Rng = Hipstr_util.Rng
 module Obs = Hipstr_obs.Obs
@@ -112,6 +113,18 @@ let last_migration t = t.last_migration
 
 let suspicious_events t =
   List.fold_left (fun acc (_, v) -> acc + (Vm.stats v).Vm.suspicious) 0 t.vms
+
+let cache_flushes t =
+  List.fold_left (fun acc (_, v) -> acc + Code_cache.flushes (Vm.cache v)) 0 t.vms
+
+let cache_evictions t =
+  List.fold_left (fun acc (_, v) -> acc + (Vm.stats v).Vm.evictions) 0 t.vms
+
+let memo_installs t =
+  List.fold_left (fun acc (_, v) -> acc + (Vm.stats v).Vm.memo_installs) 0 t.vms
+
+let retranslate_cycles t =
+  List.fold_left (fun acc (_, v) -> acc +. (Vm.stats v).Vm.retranslate_cycles) 0. t.vms
 
 let request_migration t =
   if t.sys_mode = Hipstr then begin

@@ -114,6 +114,19 @@ val last_migration : t -> Hipstr_migration.Transform.result option
 
 val suspicious_events : t -> int
 
+val cache_flushes : t -> int
+(** Wholesale code-cache flushes across this system's VMs. *)
+
+val cache_evictions : t -> int
+(** Blocks displaced individually (fifo/clock policies) across VMs. *)
+
+val memo_installs : t -> int
+(** Unit re-installs served from the translation memo across VMs. *)
+
+val retranslate_cycles : t -> float
+(** Cycles spent servicing capacity misses across VMs — the
+    re-translation cost block-granular eviction + the memo cut. *)
+
 val obs : t -> Hipstr_obs.Obs.t
 (** The observability context every layer of this system reports
     into. *)

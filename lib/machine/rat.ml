@@ -44,3 +44,11 @@ let reset_stats t =
   t.misses <- 0
 
 let clear t = Hashtbl.reset t.table
+
+let remove_in_range t ~lo ~hi =
+  let stale =
+    Hashtbl.fold
+      (fun src (translated, _) acc -> if translated >= lo && translated < hi then src :: acc else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) stale

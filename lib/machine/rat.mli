@@ -23,3 +23,11 @@ val hits : t -> int
 val misses : t -> int
 val reset_stats : t -> unit
 val clear : t -> unit
+
+val remove_in_range : t -> lo:int -> hi:int -> unit
+(** Drop every entry whose {e translated} target lies in [\[lo, hi)] —
+    used when a code-cache block is evicted, so no RAT line can send a
+    return into reused cache bytes. Mid-block entries (inserted by the
+    call macro-op for fall-through continuations) are covered too,
+    which a source-keyed removal would miss. Does not touch hit/miss
+    statistics. *)

@@ -192,6 +192,8 @@ module Trace = struct
     | Cache_hit of { isa : string; src : int }
     | Cache_miss of { isa : string; src : int; compulsory : bool }
     | Cache_flush of { isa : string; used_bytes : int }
+    | Cache_evict of { isa : string; src : int; bytes : int }
+    | Memo_install of { isa : string; src : int; instrs : int }
     | Migrate of {
         from_isa : string;
         to_isa : string;
@@ -252,6 +254,10 @@ module Trace = struct
       Printf.sprintf "cache-miss %s src=0x%x (%s)" isa src
         (if compulsory then "compulsory" else "capacity")
     | Cache_flush { isa; used_bytes } -> Printf.sprintf "cache-flush %s used=%d" isa used_bytes
+    | Cache_evict { isa; src; bytes } ->
+      Printf.sprintf "cache-evict %s src=0x%x bytes=%d" isa src bytes
+    | Memo_install { isa; src; instrs } ->
+      Printf.sprintf "memo-install %s src=0x%x instrs=%d" isa src instrs
     | Migrate { from_isa; to_isa; frames; words; cycles; forced } ->
       Printf.sprintf "migrate %s->%s frames=%d words=%d cycles=%.0f (%s)" from_isa to_isa frames
         words cycles

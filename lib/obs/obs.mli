@@ -84,6 +84,12 @@ module Trace : sig
         (** [compulsory]: first-ever translation of this unit, as
             opposed to a re-translation after a capacity flush *)
     | Cache_flush of { isa : string; used_bytes : int }
+    | Cache_evict of { isa : string; src : int; bytes : int }
+        (** block-granular eviction: one victim displaced by an
+            overlapping allocation (fifo/clock policies only) *)
+    | Memo_install of { isa : string; src : int; instrs : int }
+        (** a re-entered unit was re-installed from the translation
+            memo without re-running the translator *)
     | Migrate of {
         from_isa : string;
         to_isa : string;

@@ -1,5 +1,16 @@
 module Obs = Hipstr_obs.Obs
 
+type policy = Flush | Fifo | Clock
+
+let policy_name = function Flush -> "flush" | Fifo -> "fifo" | Clock -> "clock"
+
+let policy_of_string s =
+  match String.lowercase_ascii s with
+  | "flush" -> Some Flush
+  | "fifo" -> Some Fifo
+  | "clock" | "second-chance" -> Some Clock
+  | _ -> None
+
 type block = {
   cb_src : int;
   cb_cache : int;
@@ -8,64 +19,167 @@ type block = {
   cb_src_spans : (int * int) list;
 }
 
+module Addr_map = Map.Make (Int)
+
 type t = {
   cc_base : int;
   cc_capacity : int;
+  cc_policy : policy;
   mutable cursor : int;
   by_src : (int, int) Hashtbl.t;
-  mutable block_list : block list;
+  mutable by_addr : block Addr_map.t;
+  referenced : (int, unit) Hashtbl.t;
   mutable nflushes : int;
+  mutable nevictions : int;
+  cc_isa : string;
   cc_obs : Obs.t;
   cc_allocs : Obs.Metrics.counter;
   cc_flushes : Obs.Metrics.counter;
+  cc_evictions : Obs.Metrics.counter;
   cc_block_bytes : Obs.Metrics.histogram;
 }
 
-let create ?(obs = Obs.disabled) ?(isa = "any") ~base ~capacity () =
+let create ?(obs = Obs.disabled) ?(isa = "any") ?(policy = Flush) ~base ~capacity () =
   let m = Obs.metrics obs in
   let name n = "code_cache." ^ isa ^ "." ^ n in
   {
     cc_base = base;
     cc_capacity = capacity;
+    cc_policy = policy;
     cursor = base;
     by_src = Hashtbl.create 256;
-    block_list = [];
+    by_addr = Addr_map.empty;
+    referenced = Hashtbl.create 64;
     nflushes = 0;
+    nevictions = 0;
+    cc_isa = isa;
     cc_obs = obs;
     cc_allocs = Obs.Metrics.counter m (name "allocs");
     cc_flushes = Obs.Metrics.counter m (name "flushes");
+    cc_evictions = Obs.Metrics.counter m (name "evictions");
     cc_block_bytes = Obs.Metrics.histogram m (name "block_bytes");
   }
 
-let lookup t src = Hashtbl.find_opt t.by_src src
+let lookup t src =
+  match Hashtbl.find_opt t.by_src src with
+  | Some addr ->
+      if t.cc_policy = Clock then Hashtbl.replace t.referenced addr ();
+      Some addr
+  | None -> None
 
 let align_up a n = (n + a - 1) / a * a
+let next_addr t ~align = align_up align t.cursor
+let has_room t ~align ~size = next_addr t ~align + size <= t.cc_base + t.cc_capacity
 
-let has_room t size = t.cursor + size + 64 <= t.cc_base + t.cc_capacity
+(* Live blocks intersecting [lo, hi), ascending by cache address. At
+   most one block can start strictly below [lo] and still reach into
+   the window, since blocks never overlap each other. *)
+let overlapping t ~lo ~hi =
+  let tail =
+    Addr_map.to_seq_from lo t.by_addr
+    |> Seq.take_while (fun (a, _) -> a < hi)
+    |> Seq.map snd |> List.of_seq
+  in
+  match Addr_map.find_last_opt (fun a -> a < lo) t.by_addr with
+  | Some (_, b) when b.cb_cache + b.cb_size > lo -> b :: tail
+  | _ -> tail
+
+let block_containing t addr =
+  match Addr_map.find_last_opt (fun a -> a <= addr) t.by_addr with
+  | Some (_, b) when addr < b.cb_cache + b.cb_size -> Some b
+  | _ -> None
+
+let evict_block t b =
+  t.by_addr <- Addr_map.remove b.cb_cache t.by_addr;
+  Hashtbl.remove t.by_src b.cb_src;
+  Hashtbl.remove t.referenced b.cb_cache;
+  t.nevictions <- t.nevictions + 1;
+  if Obs.on t.cc_obs then begin
+    Obs.Metrics.incr t.cc_evictions;
+    Obs.emit t.cc_obs
+      (Obs.Trace.Cache_evict { isa = t.cc_isa; src = b.cb_src; bytes = b.cb_size })
+  end
 
 let alloc t ?(align = 1) ~src ~func ~size ~src_spans () =
-  let start = align_up align t.cursor in
-  if start + size > t.cc_base + t.cc_capacity then invalid_arg "code_cache: full";
+  if size < 0 then invalid_arg "code_cache: negative size";
+  let limit = t.cc_base + t.cc_capacity in
+  let evicted = ref [] in
+  let start =
+    match t.cc_policy with
+    | Flush ->
+        let start = align_up align t.cursor in
+        if start + size > limit then invalid_arg "code_cache: full";
+        start
+    | Fifo | Clock ->
+        if align_up align t.cc_base + size > limit then
+          invalid_arg "code_cache: unit exceeds capacity";
+        (* Circular claim: march the write pointer forward, wrapping to
+           base when the tail is too short. Under Clock, a referenced
+           victim gets a second chance — its bit is cleared and the
+           claim skips past it — bounded by the number of set bits so
+           the walk always terminates. *)
+        let skips = ref (Hashtbl.length t.referenced) in
+        let rec claim cursor wraps =
+          let start = align_up align cursor in
+          if start + size > limit then
+            if wraps >= 2 then invalid_arg "code_cache: claim failed"
+            else claim t.cc_base (wraps + 1)
+          else
+            let victims = overlapping t ~lo:start ~hi:(start + size) in
+            match
+              if t.cc_policy = Clock && !skips > 0 then
+                List.find_opt (fun b -> Hashtbl.mem t.referenced b.cb_cache) victims
+              else None
+            with
+            | Some b ->
+                Hashtbl.remove t.referenced b.cb_cache;
+                decr skips;
+                claim (b.cb_cache + b.cb_size) wraps
+            | None ->
+                List.iter (evict_block t) victims;
+                evicted := victims;
+                start
+        in
+        claim t.cursor 0
+  in
+  (* Re-allocating a live src replaces it: drop the stale block so
+     [blocks] and per-block accounting never see duplicates. The old
+     block may already be gone if the claim just evicted it. *)
+  (match Hashtbl.find_opt t.by_src src with
+  | Some old_addr -> (
+      match Addr_map.find_opt old_addr t.by_addr with
+      | Some old_b ->
+          t.by_addr <- Addr_map.remove old_addr t.by_addr;
+          Hashtbl.remove t.referenced old_addr;
+          evicted := !evicted @ [ old_b ]
+      | None -> ())
+  | None -> ());
   if Obs.on t.cc_obs then begin
     Obs.Metrics.incr t.cc_allocs;
     Obs.Metrics.observe t.cc_block_bytes (float_of_int size)
   end;
   t.cursor <- start + size;
   Hashtbl.replace t.by_src src start;
-  t.block_list <-
-    { cb_src = src; cb_cache = start; cb_size = size; cb_func = func; cb_src_spans = src_spans }
-    :: t.block_list;
-  start
+  t.by_addr <-
+    Addr_map.add start
+      { cb_src = src; cb_cache = start; cb_size = size; cb_func = func; cb_src_spans = src_spans }
+      t.by_addr;
+  (start, !evicted)
 
 let flush t =
   if Obs.on t.cc_obs then Obs.Metrics.incr t.cc_flushes;
   t.cursor <- t.cc_base;
   Hashtbl.reset t.by_src;
-  t.block_list <- [];
+  Hashtbl.reset t.referenced;
+  t.by_addr <- Addr_map.empty;
   t.nflushes <- t.nflushes + 1
 
-let blocks t = t.block_list
+let blocks t = Addr_map.fold (fun _ b acc -> b :: acc) t.by_addr [] |> List.rev
+let live_blocks t = Addr_map.cardinal t.by_addr
+let live_bytes t = Addr_map.fold (fun _ b acc -> acc + b.cb_size) t.by_addr 0
 let used_bytes t = t.cursor - t.cc_base
 let capacity t = t.cc_capacity
 let flushes t = t.nflushes
+let evictions t = t.nevictions
+let policy t = t.cc_policy
 let base t = t.cc_base

@@ -6,6 +6,7 @@ type t = {
   migrate_prob : float;
   seed : int;
   superblock_budget : int;
+  cc_policy : Code_cache.policy;
 }
 
 let default =
@@ -17,6 +18,7 @@ let default =
     migrate_prob = 0.5;
     seed = 0x5EED;
     superblock_budget = 24;
+    cc_policy = Code_cache.Flush;
   }
 
 let validate t =

@@ -23,6 +23,11 @@ type t = {
           miss (an indirect control transfer with no translation) *)
   seed : int;  (** randomization seed; re-seeded on re-spawn *)
   superblock_budget : int;  (** max instructions inlined across direct jumps at O1+ *)
+  cc_policy : Code_cache.policy;
+      (** capacity-shortfall handling: {!Code_cache.Flush} (classic
+          wholesale flush, the default), {!Code_cache.Fifo} or
+          {!Code_cache.Clock} (block-granular eviction with the
+          translation memo) *)
 }
 
 val default : t

@@ -169,3 +169,5 @@ let randomized_locations t =
       | Lreg _ -> ())
     t.rm_reg_map;
   !acc
+
+let fingerprint t = t.rm_hash_key

@@ -71,6 +71,12 @@ val regs_in_registers : t -> int
 val randomized_locations : t -> int list
 (** All assigned pad offsets (for tests: distinctness, range). *)
 
+val fingerprint : t -> int
+(** A value that changes whenever the map is re-drawn (each draw pulls
+    a fresh 32-bit hash key from the RNG). The VM's translation memo
+    keys on it so memoized code is never re-installed against a map it
+    was not translated for. *)
+
 val entropy_bits_per_param : Config.t -> float
 (** log2 of the number of positions one relocated parameter can take
     (word-granular within the pad). *)

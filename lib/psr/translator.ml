@@ -398,7 +398,25 @@ let emit_result_fixup st (map : Reloc_map.t) ~outgoing =
 
 (* ------------------------------------------------------------------ *)
 
-let translate (cfg : Config.t) desc ~read ~fatbin ~map_of ~src ~base =
+(* The translation of a unit, scanned and laid out but not yet bound
+   to a cache address. Every instruction length is fixed, so offsets,
+   stub placement and total size are base-independent; only the final
+   encoding needs the address. [layout] binds a [prepared] to a base —
+   repeatably, which is what makes the VM's translation memo sound. *)
+type prepared = {
+  p_st : st;
+  p_src : int;
+  p_items : (Minstr.t * ref_) array;
+  p_offsets : int array;
+  p_stub_targets : int array;
+  p_stub_offs : int array;
+  p_total : int;
+  p_icalls : icall_site list;
+  p_spans : (int * int) list;
+  p_instrs : int;
+}
+
+let prepare (cfg : Config.t) desc ~read ~fatbin ~map_of ~src =
   let st = { cfg; desc; items = []; nstub = 0; stub_targets = []; emitted = 0 } in
   let sp = desc.sp in
   let fs0 =
@@ -625,16 +643,38 @@ let translate (cfg : Config.t) desc ~read ~fatbin ~map_of ~src ~base =
       off := !off + ilen st (Trap 0))
     stub_offs;
   let total = !off in
-  (* Encode. *)
+  {
+    p_st = st;
+    p_src = src;
+    p_items = items;
+    p_offsets = offsets;
+    p_stub_targets = stub_targets;
+    p_stub_offs = stub_offs;
+    p_total = total;
+    p_icalls = List.rev !icall_records;
+    p_spans = List.rev !spans;
+    p_instrs = !consumed;
+  }
+
+let prepared_size p = p.p_total
+let prepared_spans p = p.p_spans
+let prepared_src p = p.p_src
+
+(* Encode a prepared unit at a concrete cache address. *)
+let layout p ~base =
+  let st = p.p_st in
+  let items = p.p_items in
+  let offsets = p.p_offsets in
+  let stub_offs = p.p_stub_offs in
   let buf = Buffer.create 256 in
   let encode ~at ins =
-    match desc.which with
+    match st.desc.which with
     | Desc.Cisc -> Hipstr_cisc.Isa.encode ~at ins
     | Desc.Risc -> Hipstr_risc.Isa.encode ~at ins
   in
   let stubs = ref [] in
   let icall_out = ref [] in
-  let pending_icalls = ref (List.rev !icall_records) in
+  let pending_icalls = ref p.p_icalls in
   Array.iteri
     (fun i (ins, rf) ->
       let at = base + offsets.(i) in
@@ -665,16 +705,19 @@ let translate (cfg : Config.t) desc ~read ~fatbin ~map_of ~src ~base =
       let at = base + stub_offs.(s) in
       stubs := { es_off = stub_offs.(s); es_target_src = target } :: !stubs;
       Buffer.add_string buf (encode ~at (Trap target)))
-    stub_targets;
+    p.p_stub_targets;
   let bytes = Buffer.contents buf in
-  assert (String.length bytes = total);
+  assert (String.length bytes = p.p_total);
   {
-    u_src = src;
+    u_src = p.p_src;
     u_bytes = bytes;
-    u_size = total;
+    u_size = p.p_total;
     u_stubs = List.rev !stubs;
     u_icalls = List.rev !icall_out;
-    u_src_spans = List.rev !spans;
-    u_instrs = !consumed;
+    u_src_spans = p.p_spans;
+    u_instrs = p.p_instrs;
     u_emitted = st.emitted;
   }
+
+let translate cfg desc ~read ~fatbin ~map_of ~src ~base =
+  layout (prepare cfg desc ~read ~fatbin ~map_of ~src) ~base

@@ -54,6 +54,34 @@ type unit_code = {
   u_emitted : int;  (** instructions emitted *)
 }
 
+type prepared
+(** A translated unit not yet bound to a cache address: the expensive
+    scan/rewrite and layout arithmetic are done, but the bytes are not
+    encoded. All instruction lengths are fixed, so a [prepared] can be
+    {!layout}-ed at any base, any number of times — the VM's
+    translation memo holds these across evictions. *)
+
+val prepare :
+  Config.t ->
+  Hipstr_isa.Desc.t ->
+  read:(int -> int) ->
+  fatbin:Hipstr_compiler.Fatbin.t ->
+  map_of:(Hipstr_compiler.Fatbin.func_sym -> Reloc_map.t) ->
+  src:int ->
+  prepared
+(** Scan and rewrite the unit starting at source address [src].
+    @raise Wild if [src] is not inside any function of the binary. *)
+
+val layout : prepared -> base:int -> unit_code
+(** Encode a prepared unit for placement at cache address [base]. *)
+
+val prepared_size : prepared -> int
+(** Exact encoded size in bytes — known before allocation, so the
+    cache can reserve precisely this much. *)
+
+val prepared_spans : prepared -> (int * int) list
+val prepared_src : prepared -> int
+
 val translate :
   Config.t ->
   Hipstr_isa.Desc.t ->
@@ -63,8 +91,7 @@ val translate :
   src:int ->
   base:int ->
   unit_code
-(** Translate the unit starting at source address [src] for placement
-    at cache address [base].
+(** [layout (prepare ...) ~base].
     @raise Wild if [src] is not inside any function of the binary. *)
 
 val jmp_same_size : Hipstr_isa.Desc.t -> bool

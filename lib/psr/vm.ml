@@ -11,9 +11,11 @@ module Obs = Hipstr_obs.Obs
 (* VM service costs, in cycles, charged to the executing core. *)
 let trap_overhead = 150.
 let translate_per_instr = 25.
+let memo_install_per_instr = 3.
 let patch_cost = 15.
 let icall_cost = 100.
 let flush_cost = 10_000.
+let evict_cost = 120.
 
 type stats = {
   mutable translations : int;
@@ -26,6 +28,9 @@ type stats = {
   mutable suspicious : int;
   mutable compulsory_misses : int;
   mutable capacity_misses : int;
+  mutable evictions : int;
+  mutable memo_installs : int;
+  mutable retranslate_cycles : float;
 }
 
 type stub_info = Sexit of int | Sicall of Translator.icall_site
@@ -45,6 +50,7 @@ type probes = {
   c_patches : Obs.Metrics.counter;
   c_icalls : Obs.Metrics.counter;
   c_suspicious : Obs.Metrics.counter;
+  c_memo_installs : Obs.Metrics.counter;
   h_unit_instrs : Obs.Metrics.histogram;
 }
 
@@ -64,8 +70,20 @@ let make_probes obs which =
     c_patches = c "patches";
     c_icalls = c "icalls";
     c_suspicious = c "suspicious";
+    c_memo_installs = c "memo_installs";
     h_unit_instrs = Obs.Metrics.histogram m ("psr." ^ isa ^ ".unit_instrs");
   }
+
+(* A patched (chained) stub: [pt_src] is the source target its Trap
+   named before patching, [pt_cache] the cache address the Jmp now
+   lands on. Kept so evicting the *target* block can un-chain every
+   incoming jump by restoring the original Trap. *)
+type patch_rec = { pt_src : int; pt_cache : int }
+
+(* Translation memo: a base-independent prepared unit, valid only
+   while the reloc maps it was rewritten against are unchanged —
+   guarded by the map generation and the unit's own map fingerprint. *)
+type memo_entry = { me_gen : int; me_fp : int; me_prep : Translator.prepared }
 
 type t = {
   cfg : Config.t;
@@ -81,6 +99,12 @@ type t = {
   st : stats;
   pr : probes;
   mutable ever_translated : (int, unit) Hashtbl.t;
+  memo : (int, memo_entry) Hashtbl.t;
+  mutable map_gen : int;
+  block_meta : (int, int list) Hashtbl.t;
+      (* block base -> trap pcs registered at install, so eviction can
+         drop exactly that block's stub_at/patch entries *)
+  patches : (int, patch_rec) Hashtbl.t; (* patched stub pc -> what it chained to *)
   mutable new_units : int list;
   mutable span_quiet : bool;
       (* suppress translate spans during speculative work whose cycle
@@ -110,7 +134,7 @@ let create cfg ~seed which fatbin machine =
     fatbin;
     machine;
     cache =
-      Code_cache.create ~obs ~isa:pr.isa ~base:(Layout.cache_base which)
+      Code_cache.create ~obs ~isa:pr.isa ~policy:cfg.cc_policy ~base:(Layout.cache_base which)
         ~capacity:cfg.cache_bytes ();
     maps = Hashtbl.create 64;
     hot = Hashtbl.create 64;
@@ -128,9 +152,16 @@ let create cfg ~seed which fatbin machine =
         suspicious = 0;
         compulsory_misses = 0;
         capacity_misses = 0;
+        evictions = 0;
+        memo_installs = 0;
+        retranslate_cycles = 0.;
       };
     pr;
     ever_translated = Hashtbl.create 256;
+    memo = Hashtbl.create 256;
+    map_gen = 0;
+    block_meta = Hashtbl.create 256;
+    patches = Hashtbl.create 256;
     new_units = [];
     span_quiet = false;
   }
@@ -206,17 +237,69 @@ let flush t =
   end;
   Code_cache.flush t.cache;
   Hashtbl.reset t.stub_at;
-  Hashtbl.reset t.ever_translated;
+  Hashtbl.reset t.block_meta;
+  Hashtbl.reset t.patches;
+  (* [ever_translated] is the translation *history*, not cache state:
+     it survives flushes so a re-translation after one is classified
+     as a capacity miss, not compulsory. *)
   Rat.clear (rat t);
   (* Relocation maps survive: live stack frames hold state at
      map-specified offsets. *)
   charge t flush_cost
+
+(* Re-draw every relocation map. Only sound at quiescent points (no
+   live frame holds state at map-specified offsets — e.g. a re-spawn);
+   drops the translation memo, since memoized code embeds the old
+   maps' offsets, and flushes the cache for the same reason. *)
+let renew_maps t =
+  Hashtbl.reset t.maps;
+  Hashtbl.reset t.memo;
+  t.map_gen <- t.map_gen + 1;
+  flush t
 
 (* Maximum unit footprint; flushing below this headroom keeps
    translation single-pass. *)
 let unit_headroom = 4096
 
 exception Wild_target = Translator.Wild
+
+let encode_at t ~at ins =
+  match t.which with
+  | Desc.Cisc -> Hipstr_cisc.Isa.encode ~at ins
+  | Desc.Risc -> Hipstr_risc.Isa.encode ~at ins
+
+(* An evicted block must leave no way back into its bytes:
+   - its own trap registrations (stub_at) and outgoing patch records go;
+   - RAT lines whose *translated* target lies in its range go — including
+     mid-block continuations the call macro-op inserted;
+   - incoming chained jumps from still-live blocks are un-patched back
+     to their original Traps, so those paths re-enter the VM instead of
+     falling into reused cache bytes. Processed in sorted order so the
+     walk is schedule-independent. *)
+let invalidate_block t (b : Code_cache.block) =
+  (match Hashtbl.find_opt t.block_meta b.cb_cache with
+  | Some pcs ->
+    List.iter
+      (fun pc ->
+        Hashtbl.remove t.stub_at pc;
+        Hashtbl.remove t.patches pc)
+      pcs;
+    Hashtbl.remove t.block_meta b.cb_cache
+  | None -> ());
+  let lo = b.cb_cache and hi = b.cb_cache + b.cb_size in
+  Rat.remove_in_range (rat t) ~lo ~hi;
+  let incoming =
+    Hashtbl.fold
+      (fun pc (p : patch_rec) acc ->
+        if p.pt_cache >= lo && p.pt_cache < hi then (pc, p) :: acc else acc)
+      t.patches []
+  in
+  List.iter
+    (fun (pc, (p : patch_rec)) ->
+      Hashtbl.remove t.patches pc;
+      Mem.blit_string (mem t) pc (encode_at t ~at:pc (Minstr.Trap p.pt_src));
+      Hashtbl.replace t.stub_at pc (Sexit p.pt_src))
+    (List.sort compare incoming)
 
 let translate_unit t src =
   match Code_cache.lookup t.cache src with
@@ -228,7 +311,11 @@ let translate_unit t src =
     cache_addr
   | None ->
     let cycle_before = (cpu t).perf.cycles in
-    if not (Code_cache.has_room t.cache unit_headroom) then flush t;
+    let align = if t.cfg.opt_level >= 1 then 64 else 1 in
+    if
+      t.cfg.cc_policy = Code_cache.Flush
+      && not (Code_cache.has_room t.cache ~align ~size:unit_headroom)
+    then flush t;
     let compulsory = not (Hashtbl.mem t.ever_translated src) in
     if compulsory then t.st.compulsory_misses <- t.st.compulsory_misses + 1
     else t.st.capacity_misses <- t.st.capacity_misses + 1;
@@ -237,47 +324,87 @@ let translate_unit t src =
       Obs.emit t.pr.obs (Obs.Trace.Cache_miss { isa = t.pr.isa; src; compulsory })
     end;
     Hashtbl.replace t.ever_translated src ();
-    let align = if t.cfg.opt_level >= 1 then 64 else 1 in
-    let read a = try Mem.read8 (mem t) a with Mem.Fault _ -> -1 in
-    (* Tentative base must match what alloc will return. *)
-    let base =
-      let cur = Code_cache.base t.cache + Code_cache.used_bytes t.cache in
-      (cur + align - 1) / align * align
-    in
-    let unit =
-      Translator.translate t.cfg t.desc ~read ~fatbin:t.fatbin
-        ~map_of:(fun fs -> map_of t fs)
-        ~src ~base
-    in
     let fs =
-      match Fatbin.func_at t.fatbin t.which src with Some fs -> fs | None -> assert false
+      match Fatbin.func_at t.fatbin t.which src with
+      | Some fs -> fs
+      | None -> raise (Wild_target src)
     in
-    let placed =
-      Code_cache.alloc t.cache ~align ~src ~func:fs.fs_name ~size:unit.u_size
-        ~src_spans:unit.u_src_spans ()
+    let fp = Reloc_map.fingerprint (map_of t fs) in
+    let memoized =
+      if t.cfg.cc_policy = Code_cache.Flush then None
+      else
+        match Hashtbl.find_opt t.memo src with
+        | Some e when e.me_gen = t.map_gen && e.me_fp = fp -> Some e.me_prep
+        | _ -> None
     in
-    assert (placed = base);
+    let prep, memo_hit =
+      match memoized with
+      | Some p -> (p, true)
+      | None ->
+        let read a = try Mem.read8 (mem t) a with Mem.Fault _ -> -1 in
+        let p =
+          Translator.prepare t.cfg t.desc ~read ~fatbin:t.fatbin
+            ~map_of:(fun fs -> map_of t fs)
+            ~src
+        in
+        if t.cfg.cc_policy <> Code_cache.Flush then
+          Hashtbl.replace t.memo src { me_gen = t.map_gen; me_fp = fp; me_prep = p };
+        (p, false)
+    in
+    let base, evicted =
+      Code_cache.alloc t.cache ~align ~src ~func:fs.fs_name
+        ~size:(Translator.prepared_size prep)
+        ~src_spans:(Translator.prepared_spans prep) ()
+    in
+    List.iter (invalidate_block t) evicted;
+    (match evicted with
+    | [] -> ()
+    | _ ->
+      let n = List.length evicted in
+      t.st.evictions <- t.st.evictions + n;
+      charge t (evict_cost *. float_of_int n));
+    let unit = Translator.layout prep ~base in
     Mem.blit_string (mem t) base unit.u_bytes;
+    let trap_pcs = ref [] in
     List.iter
       (fun (s : Translator.exit_stub) ->
-        Hashtbl.replace t.stub_at (base + s.es_off) (Sexit s.es_target_src))
+        let pc = base + s.es_off in
+        Hashtbl.replace t.stub_at pc (Sexit s.es_target_src);
+        trap_pcs := pc :: !trap_pcs)
       unit.u_stubs;
     List.iter
       (fun (ic : Translator.icall_site) ->
-        Hashtbl.replace t.stub_at (base + ic.is_off) (Sicall ic))
+        let pc = base + ic.is_off in
+        Hashtbl.replace t.stub_at pc (Sicall ic);
+        trap_pcs := pc :: !trap_pcs)
       unit.u_icalls;
-    t.st.translations <- t.st.translations + 1;
+    Hashtbl.replace t.block_meta base !trap_pcs;
     t.new_units <- src :: t.new_units;
-    t.st.source_instrs <- t.st.source_instrs + unit.u_instrs;
-    t.st.emitted_instrs <- t.st.emitted_instrs + unit.u_emitted;
-    if Obs.on t.pr.obs then begin
-      Obs.Metrics.incr t.pr.c_translations;
-      Obs.Metrics.observe t.pr.h_unit_instrs (float_of_int unit.u_instrs);
-      Obs.emit t.pr.obs
-        (Obs.Trace.Translate
-           { isa = t.pr.isa; src; instrs = unit.u_instrs; emitted = unit.u_emitted })
+    if memo_hit then begin
+      t.st.memo_installs <- t.st.memo_installs + 1;
+      if Obs.on t.pr.obs then begin
+        Obs.Metrics.incr t.pr.c_memo_installs;
+        Obs.emit t.pr.obs
+          (Obs.Trace.Memo_install { isa = t.pr.isa; src; instrs = unit.u_instrs })
+      end;
+      charge t (memo_install_per_instr *. float_of_int unit.u_instrs)
+    end
+    else begin
+      t.st.translations <- t.st.translations + 1;
+      t.st.source_instrs <- t.st.source_instrs + unit.u_instrs;
+      t.st.emitted_instrs <- t.st.emitted_instrs + unit.u_emitted;
+      if Obs.on t.pr.obs then begin
+        Obs.Metrics.incr t.pr.c_translations;
+        Obs.Metrics.observe t.pr.h_unit_instrs (float_of_int unit.u_instrs);
+        Obs.emit t.pr.obs
+          (Obs.Trace.Translate
+             { isa = t.pr.isa; src; instrs = unit.u_instrs; emitted = unit.u_emitted })
+      end;
+      charge t (translate_per_instr *. float_of_int unit.u_instrs)
     end;
-    charge t (translate_per_instr *. float_of_int unit.u_instrs);
+    if not compulsory then
+      t.st.retranslate_cycles <-
+        t.st.retranslate_cycles +. ((cpu t).perf.cycles -. cycle_before);
     (* span entered after the work so a Wild_target raise above never
        leaves it dangling on the domain stack; the stamps still cover
        the whole miss path (flush + translate charges) *)
@@ -298,15 +425,11 @@ let translate_unit t src =
 
 let enter t src = (cpu t).pc <- translate_unit t src
 
-let encode_at t ~at ins =
-  match t.which with
-  | Desc.Cisc -> Hipstr_cisc.Isa.encode ~at ins
-  | Desc.Risc -> Hipstr_risc.Isa.encode ~at ins
-
-let patch_stub t ~stub_pc ~target_cache =
+let patch_stub t ~stub_pc ~target_src ~target_cache =
   let bytes = encode_at t ~at:stub_pc (Minstr.Jmp target_cache) in
   Mem.blit_string (mem t) stub_pc bytes;
   Hashtbl.remove t.stub_at stub_pc;
+  Hashtbl.replace t.patches stub_pc { pt_src = target_src; pt_cache = target_cache };
   t.st.patches <- t.st.patches + 1;
   if Obs.on t.pr.obs then Obs.Metrics.incr t.pr.c_patches;
   charge t patch_cost
@@ -428,10 +551,14 @@ let on_trap t (trap : Exec.trap) =
       (* direct control flow: never suspicious *)
       match translate_unit t target_src with
       | cache_addr ->
-        (* the translation may have flushed the cache, erasing the
-           stub's own unit; patching then would corrupt whatever now
-           occupies those bytes *)
-        if Hashtbl.mem t.stub_at pc then patch_stub t ~stub_pc:pc ~target_cache:cache_addr;
+        (* the translation may have flushed the cache or evicted the
+           stub's own unit; patch only if these bytes still hold a
+           trap for this exact target — anything else now occupying
+           them would be corrupted by the write *)
+        (match Hashtbl.find_opt t.stub_at pc with
+        | Some (Sexit s) when s = target_src ->
+          patch_stub t ~stub_pc:pc ~target_src ~target_cache:cache_addr
+        | _ -> ());
         (cpu t).pc <- cache_addr;
         Benign Continue
       | exception Wild_target a ->

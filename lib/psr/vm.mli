@@ -17,10 +17,22 @@
     Suspicious events are returned to the caller *before* being
     resolved so the HIPStR layer can decide to migrate instead.
 
-    The cache flushes wholesale when full; relocation maps survive a
-    flush (live frames hold state at map-specified offsets), and
-    re-randomization happens on process re-spawn by rebuilding the VM
-    with a fresh seed — exactly the paper's crash/reboot story. *)
+    Capacity handling follows {!Config.t.cc_policy}: under
+    {!Code_cache.Flush} the cache flushes wholesale when full; under
+    {!Code_cache.Fifo}/{!Code_cache.Clock} the allocator evicts only
+    the blocks a new unit overlaps, and the VM invalidates exactly
+    those blocks' stubs, RAT lines and incoming chained jumps. A
+    translation memo keyed by (unit, reloc-map generation, map
+    fingerprint) re-installs a previously translated unit without
+    re-running the translator; the memo dies with the maps
+    ({!renew_maps}). Either way, a source address is in the cache or
+    it is not — the hit/miss outcome that classifies an indirect
+    transfer as suspicious is policy-independent.
+
+    Relocation maps survive a flush (live frames hold state at
+    map-specified offsets), and re-randomization happens on process
+    re-spawn by rebuilding the VM with a fresh seed — exactly the
+    paper's crash/reboot story. *)
 
 type t
 
@@ -35,6 +47,11 @@ type stats = {
   mutable suspicious : int;
   mutable compulsory_misses : int;
   mutable capacity_misses : int;
+  mutable evictions : int;  (** blocks displaced individually (fifo/clock) *)
+  mutable memo_installs : int;  (** re-installs served from the translation memo *)
+  mutable retranslate_cycles : float;
+      (** cycles spent servicing capacity misses (the re-translation
+          cost the memo exists to cut) *)
 }
 
 type resolution =
@@ -72,6 +89,11 @@ val on_trap : t -> Hipstr_machine.Exec.trap -> event
 val map_of : t -> Hipstr_compiler.Fatbin.func_sym -> Reloc_map.t
 (** The function's relocation map this epoch (created on first use —
     "if it is being entered for the first time"). *)
+
+val renew_maps : t -> unit
+(** Re-draw every relocation map and drop the translation memo and
+    cache with them. Only sound at quiescent points where no live
+    frame holds state at map-specified offsets (e.g. re-spawn). *)
 
 val has_translation : t -> int -> bool
 (** Whether a source address has a current translation (the JIT-ROP

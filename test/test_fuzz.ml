@@ -25,6 +25,30 @@ let run_config ?cfg src ~mode ~isa ~seed =
 let always_migrate = { Config.default with migrate_prob = 1.0 }
 let sometimes_migrate = { Config.default with migrate_prob = 0.5 }
 
+(* HIPSTR_FUZZ_CC_CAPACITY shrinks the code cache for the eviction
+   configs below, so fuzzed programs exercise wrap-around, victim
+   invalidation and the translation memo under real capacity
+   pressure. The floor is Config.validate's 4096. *)
+let fuzz_cc_capacity () =
+  match Sys.getenv_opt "HIPSTR_FUZZ_CC_CAPACITY" with
+  | None | Some "" -> 8192
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 4096 -> n
+    | _ -> failwith ("bad HIPSTR_FUZZ_CC_CAPACITY: " ^ s))
+
+let tiny_fifo =
+  { Config.default with cache_bytes = fuzz_cc_capacity (); cc_policy = Hipstr_psr.Code_cache.Fifo }
+
+let tiny_clock =
+  {
+    Config.default with
+    cache_bytes = fuzz_cc_capacity ();
+    cc_policy = Hipstr_psr.Code_cache.Clock;
+  }
+
+let tiny_flush = { Config.default with cache_bytes = fuzz_cc_capacity () }
+
 let check_program seed =
   let src = Progen.generate seed in
   let configs =
@@ -37,6 +61,11 @@ let check_program seed =
       ("hipstr", System.Hipstr, Desc.Cisc, 4 + seed, Some always_migrate);
       ("hipstr-risc", System.Hipstr, Desc.Risc, 5 + (seed * 3), Some always_migrate);
       ("hipstr-mid", System.Hipstr, Desc.Cisc, 6 + (seed * 11), Some sometimes_migrate);
+      ("psr-tiny-flush", System.Psr_only, Desc.Cisc, 7 + (seed * 5), Some tiny_flush);
+      ("psr-tiny-fifo", System.Psr_only, Desc.Cisc, 7 + (seed * 5), Some tiny_fifo);
+      ("psr-tiny-clock", System.Psr_only, Desc.Risc, 8 + (seed * 9), Some tiny_clock);
+      ("hipstr-tiny-fifo", System.Hipstr, Desc.Cisc, 9 + (seed * 17),
+       Some { tiny_fifo with migrate_prob = 1.0 });
     ]
   in
   let results =

@@ -78,6 +78,8 @@ let test_event_to_string_coverage () =
       Obs.Trace.Cache_hit { isa = "risc"; src = 0x44 };
       Obs.Trace.Cache_miss { isa = "cisc"; src = 0x48; compulsory = true };
       Obs.Trace.Cache_flush { isa = "risc"; used_bytes = 4096 };
+      Obs.Trace.Cache_evict { isa = "cisc"; src = 0x50; bytes = 192 };
+      Obs.Trace.Memo_install { isa = "risc"; src = 0x54; instrs = 11 };
       Obs.Trace.Migrate
         { from_isa = "cisc"; to_isa = "risc"; frames = 3; words = 17; cycles = 250.; forced = false };
       Obs.Trace.Stack_transform { frames = 3; words = 17; complete = true };
@@ -86,7 +88,7 @@ let test_event_to_string_coverage () =
       Obs.Trace.Span_end { name = "exec"; begin_cycle = 10.; end_cycle = 42. };
     ]
   in
-  Alcotest.(check int) "all nine constructors sampled" 9 (List.length samples);
+  Alcotest.(check int) "all eleven constructors sampled" 11 (List.length samples);
   let rendered = List.map Obs.Trace.event_to_string samples in
   List.iter
     (fun s -> Alcotest.(check bool) "renders non-empty" true (String.length s > 0))
@@ -94,7 +96,7 @@ let test_event_to_string_coverage () =
   let distinct = List.sort_uniq compare rendered in
   Alcotest.(check int) "renderings are distinct" (List.length samples) (List.length distinct);
   (* spot-check the span line carries its cycles *)
-  let span_line = Obs.Trace.event_to_string (List.nth samples 8) in
+  let span_line = Obs.Trace.event_to_string (List.nth samples 10) in
   Alcotest.(check bool) "span line names the phase" true
     (String.length span_line >= 4 && String.sub span_line 0 4 = "span")
 

@@ -7,6 +7,7 @@ module Desc = Hipstr_isa.Desc
 module System = Hipstr.System
 module Config = Hipstr_psr.Config
 module Reloc_map = Hipstr_psr.Reloc_map
+module Code_cache = Hipstr_psr.Code_cache
 module Vm = Hipstr_psr.Vm
 module Compile = Hipstr_compiler.Compile
 module Fatbin = Hipstr_compiler.Fatbin
@@ -176,6 +177,83 @@ let test_psr_tiny_cache_flushes () =
   Alcotest.(check bool) "flushed at least once" true
     (Hipstr_psr.Code_cache.flushes (Vm.cache vm) >= 1)
 
+let test_eviction_vs_flush_differential () =
+  (* The acceptance invariant of block-granular eviction: on the
+     differential suite (default capacity, so translation behavior is
+     the only thing the policy could perturb) flush, fifo and clock
+     produce bit-identical outputs, suspicious-transfer counts and
+     migration counts. *)
+  let run_policy policy =
+    let cfg = { Config.default with migrate_prob = 1.0; cc_policy = policy } in
+    let o, out, sys = run_mode ~cfg ~seed:11 ~mode:System.Hipstr ~isa:Desc.Cisc kernel_src in
+    expect_finished (Code_cache.policy_name policy) o;
+    (out, System.suspicious_events sys, System.security_migrations sys)
+  in
+  let out_f, susp_f, mig_f = run_policy Code_cache.Flush in
+  List.iter
+    (fun policy ->
+      let name = Code_cache.policy_name policy in
+      let out, susp, mig = run_policy policy in
+      Alcotest.(check (list int)) (name ^ " output = flush output") out_f out;
+      Alcotest.(check int) (name ^ " suspicious = flush suspicious") susp_f susp;
+      Alcotest.(check int) (name ^ " migrations = flush migrations") mig_f mig)
+    [ Code_cache.Fifo; Code_cache.Clock ]
+
+let test_tiny_cache_eviction_policies () =
+  (* Same 4 KiB cache that forces wholesale flushing under the legacy
+     policy: fifo/clock must stay fault-free and output-identical to
+     native, with zero wholesale flushes. *)
+  let native_out =
+    let o, out, _ = run_mode ~mode:System.Native ~isa:Desc.Cisc kernel_src in
+    expect_finished "native" o;
+    out
+  in
+  List.iter
+    (fun policy ->
+      let name = Code_cache.policy_name policy in
+      let cfg = { Config.default with cache_bytes = 4 * 1024; cc_policy = policy } in
+      let o, out, sys = run_mode ~cfg ~seed:5 ~mode:System.Psr_only ~isa:Desc.Cisc kernel_src in
+      expect_finished name o;
+      Alcotest.(check (list int)) (name ^ " tiny-cache output") native_out out;
+      Alcotest.(check int) (name ^ " no wholesale flushes") 0 (System.cache_flushes sys))
+    [ Code_cache.Fifo; Code_cache.Clock ]
+
+(* A code footprint well past 4 KiB, walked cyclically so FIFO
+   eviction guarantees capacity misses on re-entry — the memo's
+   worst/best case. *)
+let churn_src =
+  let nfuns = 32 in
+  let buf = Buffer.create 4096 in
+  for f = 0 to nfuns - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf
+         "int f%d(int x) { int i; int a = x + %d; for (i = 0; i < 4; i = i + 1) { a = a * %d + \
+          i; a = a ^ (a >> %d); a = a + (a & %d); } return a; }\n"
+         f f (29 + f) (1 + (f mod 5)) (63 + f))
+  done;
+  Buffer.add_string buf "int main() { int r; int h = 1;\nfor (r = 0; r < 8; r = r + 1) {\n";
+  for f = 0 to nfuns - 1 do
+    Buffer.add_string buf (Printf.sprintf "h = h + f%d(h);\n" f)
+  done;
+  Buffer.add_string buf "}\nprint(h); return 0; }\n";
+  Buffer.contents buf
+
+let test_tiny_cache_memo_hits () =
+  let native_out =
+    let o, out, _ = run_mode ~mode:System.Native ~isa:Desc.Cisc churn_src in
+    expect_finished "native" o;
+    out
+  in
+  let cfg =
+    { Config.default with cache_bytes = 4 * 1024; cc_policy = Code_cache.Fifo }
+  in
+  let o, out, sys = run_mode ~cfg ~seed:5 ~mode:System.Psr_only ~isa:Desc.Cisc churn_src in
+  expect_finished "fifo churn" o;
+  Alcotest.(check (list int)) "churn output" native_out out;
+  Alcotest.(check bool) "blocks were evicted" true (System.cache_evictions sys > 0);
+  Alcotest.(check bool) "memo served re-installs" true (System.memo_installs sys > 0);
+  Alcotest.(check int) "no wholesale flushes" 0 (System.cache_flushes sys)
+
 let test_hipstr_with_migrations () =
   (* Full HIPStR with migration probability 1: every suspicious event
      migrates. Output must still match native. *)
@@ -236,6 +314,11 @@ let () =
           Alcotest.test_case "all opt levels" `Quick test_psr_all_opt_levels;
           Alcotest.test_case "pad sizes" `Quick test_psr_pad_sizes;
           Alcotest.test_case "tiny cache flushes" `Quick test_psr_tiny_cache_flushes;
+          Alcotest.test_case "eviction vs flush differential" `Quick
+            test_eviction_vs_flush_differential;
+          Alcotest.test_case "tiny cache eviction policies" `Quick
+            test_tiny_cache_eviction_policies;
+          Alcotest.test_case "tiny cache memo hits" `Quick test_tiny_cache_memo_hits;
           Alcotest.test_case "hipstr with migrations" `Quick test_hipstr_with_migrations;
           Alcotest.test_case "forced migration" `Quick test_hipstr_forced_migration;
         ] );

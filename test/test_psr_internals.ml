@@ -189,17 +189,95 @@ let test_wild_address_raises () =
 
 let test_code_cache () =
   let cc = Code_cache.create ~base:0x1000 ~capacity:1024 () in
-  Alcotest.(check bool) "room initially" true (Code_cache.has_room cc 512);
-  let a = Code_cache.alloc cc ~src:0x100 ~func:"f" ~size:100 ~src_spans:[ (0x100, 20) ] () in
+  Alcotest.(check bool) "room initially" true (Code_cache.has_room cc ~align:1 ~size:512);
+  let a, ev = Code_cache.alloc cc ~src:0x100 ~func:"f" ~size:100 ~src_spans:[ (0x100, 20) ] () in
   Alcotest.(check int) "first at base" 0x1000 a;
+  Alcotest.(check int) "nothing displaced" 0 (List.length ev);
   Alcotest.(check (option int)) "lookup" (Some 0x1000) (Code_cache.lookup cc 0x100);
-  let b = Code_cache.alloc cc ~align:64 ~src:0x200 ~func:"g" ~size:100 ~src_spans:[] () in
+  let b, _ = Code_cache.alloc cc ~align:64 ~src:0x200 ~func:"g" ~size:100 ~src_spans:[] () in
   Alcotest.(check int) "aligned" 0 (b mod 64);
+  Alcotest.(check int) "alloc follows next_addr" b (Code_cache.next_addr cc ~align:64 - 128);
   Alcotest.(check int) "two blocks" 2 (List.length (Code_cache.blocks cc));
   Code_cache.flush cc;
   Alcotest.(check (option int)) "flushed" None (Code_cache.lookup cc 0x100);
   Alcotest.(check int) "flush counted" 1 (Code_cache.flushes cc);
   Alcotest.(check int) "cursor reset" 0 (Code_cache.used_bytes cc)
+
+(* has_room and alloc must agree through the one align_up path: after
+   a 10-byte block, an align-128 request for 950 bytes of a 1024-byte
+   cache must be refused up front (the old size-only check with its
+   magic +64 slack said yes, then alloc raised). *)
+let test_code_cache_align_boundary () =
+  let cc = Code_cache.create ~base:0x1000 ~capacity:1024 () in
+  ignore (Code_cache.alloc cc ~src:0x100 ~func:"f" ~size:10 ~src_spans:[] ());
+  Alcotest.(check bool) "aligned request refused" false
+    (Code_cache.has_room cc ~align:128 ~size:950);
+  Alcotest.(check bool) "unaligned request accepted" true
+    (Code_cache.has_room cc ~align:1 ~size:1014);
+  (* exact fit to the last byte, on an alignment boundary *)
+  let b, _ = Code_cache.alloc cc ~align:128 ~src:0x200 ~func:"g" ~size:(1024 - 0x80) ~src_spans:[] () in
+  ignore b;
+  Alcotest.(check bool) "cache exactly full" false (Code_cache.has_room cc ~align:1 ~size:1);
+  Alcotest.(check int) "no slack left" 1024 (Code_cache.used_bytes cc)
+
+let test_code_cache_exact_headroom () =
+  (* a unit of exactly unit_headroom bytes in a unit_headroom-sized
+     cache: has_room true must guarantee alloc succeeds *)
+  let cap = 4096 in
+  let cc = Code_cache.create ~base:0x1000 ~capacity:cap () in
+  Alcotest.(check bool) "exact-capacity unit fits" true (Code_cache.has_room cc ~align:64 ~size:cap);
+  let a, _ = Code_cache.alloc cc ~align:64 ~src:0x100 ~func:"f" ~size:cap ~src_spans:[] () in
+  Alcotest.(check int) "placed at base" 0x1000 a
+
+let test_code_cache_duplicate_src_dropped () =
+  (* re-allocating a live src without an intervening flush must not
+     leave a stale duplicate in the block list *)
+  let cc = Code_cache.create ~base:0x1000 ~capacity:4096 () in
+  ignore (Code_cache.alloc cc ~src:0x100 ~func:"f" ~size:100 ~src_spans:[] ());
+  let a2, ev = Code_cache.alloc cc ~src:0x100 ~func:"f" ~size:120 ~src_spans:[] () in
+  Alcotest.(check int) "stale block returned" 1 (List.length ev);
+  Alcotest.(check int) "stale block was the old one" 0x1000
+    (List.hd ev).Code_cache.cb_cache;
+  Alcotest.(check int) "one live block" 1 (List.length (Code_cache.blocks cc));
+  Alcotest.(check (option int)) "lookup follows the new block" (Some a2)
+    (Code_cache.lookup cc 0x100)
+
+let test_code_cache_fifo_eviction () =
+  let cc = Code_cache.create ~policy:Code_cache.Fifo ~base:0x1000 ~capacity:256 () in
+  let alloc src size =
+    Code_cache.alloc cc ~src ~func:"f" ~size ~src_spans:[] ()
+  in
+  ignore (alloc 0x100 100);
+  ignore (alloc 0x200 100);
+  (* 56 bytes left: the next 100-byte block wraps and displaces the
+     oldest block only *)
+  let a3, ev = alloc 0x300 100 in
+  Alcotest.(check int) "wrapped to base" 0x1000 a3;
+  Alcotest.(check (list int)) "evicted exactly the first block" [ 0x100 ]
+    (List.map (fun b -> b.Code_cache.cb_src) ev);
+  Alcotest.(check (option int)) "victim unmapped" None (Code_cache.lookup cc 0x100);
+  Alcotest.(check (option int)) "survivor intact" (Some (0x1000 + 100))
+    (Code_cache.lookup cc 0x200);
+  Alcotest.(check int) "eviction counted" 1 (Code_cache.evictions cc);
+  Alcotest.(check int) "no flushes" 0 (Code_cache.flushes cc);
+  (* a block can land flush against the capacity edge *)
+  let edge, _ = Code_cache.alloc cc ~align:64 ~src:0x400 ~func:"g" ~size:0x40 ~src_spans:[] () in
+  Alcotest.(check int) "aligned claim" 0 (edge mod 64)
+
+let test_code_cache_clock_second_chance () =
+  let cc = Code_cache.create ~policy:Code_cache.Clock ~base:0x1000 ~capacity:256 () in
+  let alloc src size = Code_cache.alloc cc ~src ~func:"f" ~size ~src_spans:[] () in
+  ignore (alloc 0x100 100);
+  ignore (alloc 0x200 100);
+  (* touch the oldest block: clock must spare it once and take the
+     next victim instead *)
+  ignore (Code_cache.lookup cc 0x100);
+  let a3, ev = alloc 0x300 100 in
+  Alcotest.(check (list int)) "referenced block spared" [ 0x200 ]
+    (List.map (fun b -> b.Code_cache.cb_src) ev);
+  Alcotest.(check int) "claim skipped past the spared block" (0x1000 + 100) a3;
+  Alcotest.(check (option int)) "spared block still live" (Some 0x1000)
+    (Code_cache.lookup cc 0x100)
 
 let test_config_validation () =
   Alcotest.(check bool) "default valid" true (Config.validate Config.default = Ok ());
@@ -259,6 +337,11 @@ let () =
       ( "cache-and-vm",
         [
           Alcotest.test_case "code cache" `Quick test_code_cache;
+          Alcotest.test_case "align boundary" `Quick test_code_cache_align_boundary;
+          Alcotest.test_case "exact headroom fit" `Quick test_code_cache_exact_headroom;
+          Alcotest.test_case "duplicate src dropped" `Quick test_code_cache_duplicate_src_dropped;
+          Alcotest.test_case "fifo eviction" `Quick test_code_cache_fifo_eviction;
+          Alcotest.test_case "clock second chance" `Quick test_code_cache_clock_second_chance;
           Alcotest.test_case "config validation" `Quick test_config_validation;
           Alcotest.test_case "vm counters" `Quick test_vm_counters;
           Alcotest.test_case "hot regs" `Quick test_hot_regs;
