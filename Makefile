@@ -3,7 +3,7 @@
 
 FUZZ_SEEDS ?= 1-25
 
-.PHONY: all build test fuzz micro cmp-smoke profile-smoke cache-smoke check clean
+.PHONY: all build test fuzz micro cmp-smoke profile-smoke cache-smoke interp-smoke check clean
 
 all: build
 
@@ -55,7 +55,22 @@ cache-smoke:
 	dune exec bench/main.exe -- --cache-only
 	dune exec tools/json_check.exe -- /tmp/hipstr-cache-metrics.json BENCH_cache.json
 
-check: build test fuzz micro cmp-smoke profile-smoke cache-smoke
+# The predecoded-block interpreter end-to-end: the host-throughput
+# sweep (BENCH_interp.json; each point also asserts the cache-on and
+# cache-off runs are bit-identical), then a CMP run with the decode
+# cache disabled whose --verify re-runs every process standalone with
+# the cache on — an end-to-end on/off differential — with -j 1 and
+# -j 4 metrics exports demanded byte-identical.
+interp-smoke:
+	dune exec bench/main.exe -- --interp-only
+	dune exec bin/hipstr_cli.exe -- cmp-run gobmk bzip2 mcf --no-decode-cache \
+	  --quantum 2000 --verify -j 1 --metrics-out /tmp/hipstr-interp-j1.json
+	dune exec bin/hipstr_cli.exe -- cmp-run gobmk bzip2 mcf --no-decode-cache \
+	  --quantum 2000 --verify -j 4 --metrics-out /tmp/hipstr-interp-j4.json
+	cmp /tmp/hipstr-interp-j1.json /tmp/hipstr-interp-j4.json
+	dune exec tools/json_check.exe -- BENCH_interp.json /tmp/hipstr-interp-j1.json
+
+check: build test fuzz micro cmp-smoke profile-smoke cache-smoke interp-smoke
 
 clean:
 	dune clean

@@ -8,8 +8,10 @@
    Part 2 runs Bechamel micro-benchmarks of the substrate primitives
    the experiments lean on — one Test.make per component — so
    regressions in the simulator itself are visible. Pass
-   `--micro-only` or `--tables-only` to run half of it, or
-   `--obs-only` to emit just the BENCH_obs.json phase breakdown. *)
+   `--micro-only` or `--tables-only` to run half of it, `--obs-only`
+   to emit just the BENCH_obs.json phase breakdown, `--cache-only`
+   for the BENCH_cache.json churn sweep, or `--interp-only` for the
+   BENCH_interp.json interpreter-throughput sweep. *)
 
 module Desc = Hipstr_isa.Desc
 module Minstr = Hipstr_isa.Minstr
@@ -259,6 +261,111 @@ let run_cache_churn () =
   Printf.printf "[cache-churn policy sweep written to BENCH_cache.json]\n"
 
 (* ------------------------------------------------------------------ *)
+(* Part 1.7: interpreter host-throughput sweep.
+
+   The acceptance experiment for the predecoded-block interpreter:
+   wall-clock host MIPS (simulated instructions per host second) for
+   each workload x mode, with the decode cache on and off, plus the
+   on/off speedup. Each (workload, mode, cache) point boots a fresh
+   system with observability disabled and takes the best of
+   [interp_repeats] runs to shave scheduler noise. The cached and
+   uncached runs of a point must agree exactly — instructions, cycle
+   floats, output — so the sweep doubles as a differential check.
+   The result lands in BENCH_interp.json. *)
+
+let interp_fuel = 2_000_000
+let interp_repeats = 5
+let interp_workloads = [ "gobmk"; "bzip2"; "mcf" ]
+
+let interp_modes =
+  [ ("native", System.Native); ("psr", System.Psr_only); ("hipstr", System.Hipstr) ]
+
+let interp_point ~name ~mode ~decode_cache =
+  let w = Workloads.find name in
+  let fb = Workloads.fatbin w in
+  let best = ref infinity in
+  let last = ref None in
+  for _ = 1 to interp_repeats do
+    let sys =
+      System.of_fatbin ~obs:Obs.disabled ~seed:9 ~start_isa:Desc.Cisc ~decode_cache ~mode fb
+    in
+    let t0 = Unix.gettimeofday () in
+    ignore (System.run sys ~fuel:interp_fuel);
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    last := Some sys
+  done;
+  let sys = Option.get !last in
+  (sys, !best, float_of_int (System.instructions sys) /. !best /. 1e6)
+
+let run_interp () =
+  print_endline "";
+  print_endline "=====================================================================";
+  print_endline " Interpreter host throughput (decode cache on vs off)";
+  print_endline "=====================================================================";
+  let points =
+    List.map
+      (fun name ->
+        let modes =
+          List.map
+            (fun (mode_name, mode) ->
+              let on_sys, on_dt, on_mips = interp_point ~name ~mode ~decode_cache:true in
+              let off_sys, off_dt, off_mips = interp_point ~name ~mode ~decode_cache:false in
+              (* the differential half of the sweep: the decode cache
+                 must be invisible to the simulation *)
+              if
+                System.instructions on_sys <> System.instructions off_sys
+                || System.cycles on_sys <> System.cycles off_sys
+                || System.output on_sys <> System.output off_sys
+              then
+                failwith
+                  (Printf.sprintf
+                     "interp sweep: %s/%s diverged with the decode cache on (instrs %d vs %d, \
+                      cycles %.0f vs %.0f)"
+                     name mode_name
+                     (System.instructions on_sys)
+                     (System.instructions off_sys) (System.cycles on_sys)
+                     (System.cycles off_sys));
+              let speedup = if on_mips > 0. then on_mips /. off_mips else 0. in
+              Printf.printf
+                "  %-8s %-7s %9d instrs  cache-on %7.2f MIPS  cache-off %7.2f MIPS  speedup \
+                 %.2fx\n\
+                 %!"
+                name mode_name
+                (System.instructions on_sys)
+                on_mips off_mips speedup;
+              Json.Obj
+                [
+                  ("mode", Json.Str mode_name);
+                  ("instructions", Json.num_of_int (System.instructions on_sys));
+                  ("cycles", Json.Num (System.cycles on_sys));
+                  ( "cache_on",
+                    Json.Obj [ ("seconds", Json.Num on_dt); ("mips", Json.Num on_mips) ] );
+                  ( "cache_off",
+                    Json.Obj [ ("seconds", Json.Num off_dt); ("mips", Json.Num off_mips) ] );
+                  ("speedup", Json.Num speedup);
+                ])
+            interp_modes
+        in
+        Json.Obj [ ("name", Json.Str name); ("modes", Json.List modes) ])
+      interp_workloads
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "hipstr-bench-interp/1");
+        ("seed", Json.num_of_int 9);
+        ("fuel", Json.num_of_int interp_fuel);
+        ("repeats", Json.num_of_int interp_repeats);
+        ("workloads", Json.List points);
+      ]
+  in
+  Out_channel.with_open_bin "BENCH_interp.json" (fun oc ->
+      Out_channel.output_string oc (Json.to_string_pretty doc);
+      Out_channel.output_string oc "\n");
+  Printf.printf "[interpreter throughput sweep written to BENCH_interp.json]\n"
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks of the substrate. *)
 
 let prepared_httpd =
@@ -430,8 +537,10 @@ let () =
   let args = Array.to_list Sys.argv in
   let obs_only = List.mem "--obs-only" args in
   let cache_only = List.mem "--cache-only" args in
-  let tables = (not (List.mem "--micro-only" args)) && (not obs_only) && not cache_only in
-  let micro = (not (List.mem "--tables-only" args)) && (not obs_only) && not cache_only in
+  let interp_only = List.mem "--interp-only" args in
+  let solo = obs_only || cache_only || interp_only in
+  let tables = (not (List.mem "--micro-only" args)) && not solo in
+  let micro = (not (List.mem "--tables-only" args)) && not solo in
   let jobs =
     let rec find = function
       | "-j" :: v :: _ -> (
@@ -446,4 +555,5 @@ let () =
   if tables then run_tables ~jobs;
   if tables || obs_only then run_obs_breakdown ();
   if tables || cache_only then run_cache_churn ();
+  if tables || interp_only then run_interp ();
   if micro then run_micro ()

@@ -185,6 +185,14 @@ let isa_arg = Arg.(value & opt isa_conv Desc.Cisc & info [ "isa" ] ~doc:"ISA/cor
 
 let seed_arg = Arg.(value & opt seed_conv 1 & info [ "seed" ] ~doc:"Randomization seed (>= 0).")
 
+let no_dcache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-decode-cache" ]
+        ~doc:
+          "Disable the host-side predecoded-basic-block cache and re-decode every instruction \
+           (escape hatch; simulation results are bit-identical either way, only slower).")
+
 let jobs_arg =
   Arg.(
     value
@@ -325,8 +333,8 @@ let run_cmd =
     Arg.(value & opt mode_conv System.Hipstr & info [ "mode" ] ~doc:"native, psr or hipstr.")
   in
   let opt_arg = Arg.(value & opt opt_conv 3 & info [ "opt" ] ~doc:"PSR optimization level (0-3).") in
-  let action (w : Workloads.t) mode isa seed opt_level migrate_prob cc_capacity cc_policy metrics
-      trace exports =
+  let action (w : Workloads.t) mode isa seed opt_level migrate_prob cc_capacity cc_policy
+      no_dcache metrics trace exports =
     let cfg =
       let base = { Config.default with opt_level } in
       let base =
@@ -335,7 +343,10 @@ let run_cmd =
       apply_cc_args base cc_capacity cc_policy
     in
     let obs = make_obs ~trace in
-    let sys = System.of_fatbin ~obs ~cfg ~seed ~start_isa:isa ~mode (Workloads.fatbin w) in
+    let sys =
+      System.of_fatbin ~obs ~cfg ~seed ~start_isa:isa ~decode_cache:(not no_dcache) ~mode
+        (Workloads.fatbin w)
+    in
     let outcome = System.run sys ~fuel:(3 * w.w_fuel) in
     Printf.printf "%s [%s]: %s\n" w.w_name w.w_description (outcome_string outcome);
     Printf.printf "output: %s\n" (String.concat " " (List.map string_of_int (System.output sys)));
@@ -361,7 +372,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a workload on the simulated heterogeneous-ISA CMP.")
     Term.(
       const action $ workload_arg $ mode_arg $ isa_arg $ seed_arg $ opt_arg $ migrate_prob_arg
-      $ cc_capacity_arg $ cc_policy_arg $ metrics_arg $ trace_arg $ export_args)
+      $ cc_capacity_arg $ cc_policy_arg $ no_dcache_arg $ metrics_arg $ trace_arg $ export_args)
 
 let gadgets_cmd =
   let action (w : Workloads.t) isa =
@@ -481,11 +492,13 @@ let run_file_cmd =
     Arg.(value & opt mode_conv System.Hipstr & info [ "mode" ] ~doc:"native, psr or hipstr.")
   in
   let fuel_arg = Arg.(value & opt fuel_conv 10_000_000 & info [ "fuel" ] ~doc:"Instruction budget.") in
-  let action file mode isa seed fuel cc_capacity cc_policy metrics trace exports =
+  let action file mode isa seed fuel cc_capacity cc_policy no_dcache metrics trace exports =
     let src = In_channel.with_open_text file In_channel.input_all in
     let obs = make_obs ~trace in
     let cfg = apply_cc_args Config.default cc_capacity cc_policy in
-    match System.create ~obs ~cfg ~seed ~start_isa:isa ~mode ~src () with
+    match
+      System.create ~obs ~cfg ~seed ~start_isa:isa ~decode_cache:(not no_dcache) ~mode ~src ()
+    with
     | exception Hipstr_compiler.Compile.Error m ->
       Printf.eprintf "%s: %s\n" file m;
       exit 1
@@ -502,7 +515,7 @@ let run_file_cmd =
     (Cmd.info "run-file" ~doc:"Compile and run a MiniC source file.")
     Term.(
       const action $ file_arg $ mode_arg $ isa_arg $ seed_arg $ fuel_arg $ cc_capacity_arg
-      $ cc_policy_arg $ metrics_arg $ trace_arg $ export_args)
+      $ cc_policy_arg $ no_dcache_arg $ metrics_arg $ trace_arg $ export_args)
 
 (* ------------------------------------------------------------------ *)
 (* cmp-run: boot K workloads as processes and time-slice them across
@@ -561,8 +574,8 @@ let cmp_run_cmd =
     Arg.(value & flag & info [ "trace-schedule" ] ~doc:"Print every scheduling slice.")
   in
   let isa_label = function Desc.Cisc -> "cisc" | Desc.Risc -> "risc" in
-  let action ws mode policy cores quantum fuel seed migrate_prob cc_capacity cc_policy jobs
-      metrics sched verify exports =
+  let action ws mode policy cores quantum fuel seed migrate_prob cc_capacity cc_policy no_dcache
+      jobs metrics sched verify exports =
     let cfg =
       let base =
         match migrate_prob with
@@ -578,8 +591,9 @@ let cmp_run_cmd =
     let procs =
       List.mapi
         (fun i (w : Workloads.t) ->
-          Process.create ~obs ~cfg ~seed:(seed + i) ~start_isa:(start_isa i) ~mode ~pid:i
-            ~name:w.w_name ~fuel:(budget w) (Workloads.fatbin w))
+          Process.create ~obs ~cfg ~seed:(seed + i) ~start_isa:(start_isa i)
+            ~decode_cache:(not no_dcache) ~mode ~pid:i ~name:w.w_name ~fuel:(budget w)
+            (Workloads.fatbin w))
         ws
     in
     let cmp = Cmp.create ~obs ~policy ~quantum ~cores procs in
@@ -619,6 +633,9 @@ let cmp_run_cmd =
       List.iteri
         (fun i (w : Workloads.t) ->
           let p = Cmp.proc cmp i in
+          (* deliberately created with the *default* decode-cache
+             setting: under --no-decode-cache this doubles as an
+             end-to-end cache-on/cache-off differential check *)
           let alone =
             System.of_fatbin ~obs:Obs.disabled ~cfg ~seed:(seed + i) ~start_isa:(start_isa i)
               ~mode (Workloads.fatbin w)
@@ -657,8 +674,8 @@ let cmp_run_cmd =
        ~doc:"Time-slice several workloads across a simulated mixed-ISA chip multiprocessor.")
     Term.(
       const action $ workloads_arg $ mode_arg $ policy_arg $ cores_arg $ quantum_arg $ fuel_arg
-      $ seed_arg $ migrate_prob_arg $ cc_capacity_arg $ cc_policy_arg $ jobs_arg $ metrics_arg
-      $ sched_arg $ verify_arg $ export_args)
+      $ seed_arg $ migrate_prob_arg $ cc_capacity_arg $ cc_policy_arg $ no_dcache_arg $ jobs_arg
+      $ metrics_arg $ sched_arg $ verify_arg $ export_args)
 
 let list_cmd =
   let action () =

@@ -28,7 +28,7 @@ let analyze ~name (w : Workloads.t) ~seed =
   let vm = System.vm sys Desc.Cisc in
   let cache = Vm.cache vm in
   let mem = Machine.mem (System.machine sys) in
-  let read a = try Mem.read8 mem a with Mem.Fault _ -> -1 in
+  let read = Mem.reader mem in
   let blocks = Code_cache.blocks cache in
   let ranges = List.map (fun (b : Code_cache.block) -> (b.cb_cache, b.cb_size)) blocks in
   let gadgets =

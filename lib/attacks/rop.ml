@@ -15,7 +15,7 @@ let target_values = [ (0, 11); (1, 0x1234); (2, 0x2345); (3, 0x3456) ]
 let desc_of = function Desc.Cisc -> Hipstr_cisc.Isa.desc | Desc.Risc -> Hipstr_risc.Isa.desc
 
 let find_syscall_addresses mem fb which =
-  let read a = try Mem.read8 mem a with Mem.Fault _ -> -1 in
+  let read = Mem.reader mem in
   let decode a =
     match which with
     | Desc.Cisc -> Hipstr_cisc.Isa.decode ~read a

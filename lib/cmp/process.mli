@@ -17,6 +17,7 @@ val create :
   ?cfg:Hipstr_psr.Config.t ->
   ?seed:int ->
   ?start_isa:Hipstr_isa.Desc.which ->
+  ?decode_cache:bool ->
   mode:Hipstr.System.mode ->
   pid:int ->
   name:string ->
@@ -35,6 +36,7 @@ val of_source :
   ?cfg:Hipstr_psr.Config.t ->
   ?seed:int ->
   ?start_isa:Hipstr_isa.Desc.which ->
+  ?decode_cache:bool ->
   mode:Hipstr.System.mode ->
   pid:int ->
   name:string ->

@@ -36,6 +36,7 @@ val create :
   ?seed:int ->
   ?start_isa:Hipstr_isa.Desc.which ->
   ?pid:int ->
+  ?decode_cache:bool ->
   mode:mode ->
   src:string ->
   unit ->
@@ -47,7 +48,9 @@ val create :
     isolated metrics, or {!Hipstr_obs.Obs.disabled} for the
     zero-overhead path. [pid] (default 0) tags every span and audit
     entry this system emits, so a CMP timeline can attribute
-    per-process work.
+    per-process work. [decode_cache] (default [true]) controls the
+    host-side predecoded-block cache — simulation results are
+    bit-identical either way.
     @raise Hipstr_compiler.Compile.Error on bad source. *)
 
 val of_fatbin :
@@ -56,6 +59,7 @@ val of_fatbin :
   ?seed:int ->
   ?start_isa:Hipstr_isa.Desc.which ->
   ?pid:int ->
+  ?decode_cache:bool ->
   mode:mode ->
   Hipstr_compiler.Fatbin.t ->
   t

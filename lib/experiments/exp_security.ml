@@ -148,7 +148,7 @@ let cache_effects (w : Workloads.t) =
   | _ -> failwith "fig8: workload failed");
   let vm = System.vm sys Desc.Cisc in
   let mem = Hipstr_machine.Machine.mem (System.machine sys) in
-  let read a = try Mem.read8 mem a with Mem.Fault _ -> -1 in
+  let read = Mem.reader mem in
   let ranges =
     List.map
       (fun (b : Hipstr_psr.Code_cache.block) -> (b.cb_cache, b.cb_size))

@@ -1,0 +1,214 @@
+open Hipstr_isa
+module Obs = Hipstr_obs.Obs
+
+(* A predecoded basic block: the instructions starting at [db_start],
+   decoded under generation [db_gen] of the watched region containing
+   them, up to (and including) the first control transfer. [db_bad]
+   marks a block whose decode failed at [db_end] — executing past the
+   last instruction faults there, exactly as per-instruction decode
+   would have.
+
+   Validity invariant: every byte any cached decode depended on lies
+   inside [db_region] (instructions are only admitted when their full
+   encoding fits; a [db_bad] verdict is only cached with
+   [max_decode_window] bytes of headroom). A write anywhere in the
+   region bumps its generation, so [db_gen <> generation db_region]
+   is a sound, complete staleness test — checked before every
+   instruction, which makes cached execution bit-identical to
+   per-instruction decode even for code that rewrites itself
+   mid-block. *)
+type block = {
+  db_start : int;
+  db_instrs : Minstr.t array;
+  db_lens : int array;
+  db_end : int;  (** first address past the last decoded instruction *)
+  db_bad : bool;  (** decode failed at [db_end] *)
+  db_region : Mem.region;
+  db_gen : int;
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+  mutable flushes : int;
+}
+
+type counters = {
+  cn_hits : Obs.Metrics.counter;
+  cn_misses : Obs.Metrics.counter;
+  cn_invalidations : Obs.Metrics.counter;
+}
+
+type t = {
+  which : Desc.which;
+  mem : Mem.t;
+  read : int -> int;  (** preallocated reader over [mem] *)
+  blocks : (int, block) Hashtbl.t;
+  st : stats;
+  obs : Obs.t;
+  ctrs : counters;
+}
+
+(* Block-size cap: a longer straight-line run simply splits into
+   several blocks, so the cap bounds per-entry memory without
+   changing semantics. *)
+let max_block_instrs = 128
+
+(* Upper bound on the bytes a single decode may inspect (the widest
+   CISC form reads 10; RISC reads 12 for Callrat). A [None] verdict
+   may have depended on that many bytes, so it is only cached with
+   this much in-region headroom. *)
+let max_decode_window = 16
+
+(* Entry-count safety valve: execution only ever starts blocks at
+   addresses it reaches, so this is far above any real working set;
+   a pathological address walk resets the table instead of growing
+   without bound. *)
+let max_entries = 1 lsl 16
+
+let create ?(obs = Obs.global) ~isa which mem =
+  (* The four standard code-bearing regions; [Mem.watch] dedupes, so
+     the CISC and RISC caches of one machine share region handles. *)
+  ignore
+    (Mem.watch mem ~lo:Layout.cisc_code_base
+       ~hi:(Layout.cisc_code_base + Layout.code_region_size));
+  ignore
+    (Mem.watch mem ~lo:Layout.risc_code_base
+       ~hi:(Layout.risc_code_base + Layout.code_region_size));
+  ignore
+    (Mem.watch mem ~lo:Layout.cisc_cache_base
+       ~hi:(Layout.cisc_cache_base + Layout.cache_region_size));
+  ignore
+    (Mem.watch mem ~lo:Layout.risc_cache_base
+       ~hi:(Layout.risc_cache_base + Layout.cache_region_size));
+  let counter n = Obs.Metrics.counter (Obs.metrics obs) ("machine." ^ isa ^ ".decode_cache." ^ n) in
+  {
+    which;
+    mem;
+    read = Mem.reader mem;
+    blocks = Hashtbl.create 1024;
+    st = { hits = 0; misses = 0; invalidations = 0; flushes = 0 };
+    obs;
+    ctrs =
+      {
+        cn_hits = counter "hits";
+        cn_misses = counter "misses";
+        cn_invalidations = counter "invalidations";
+      };
+  }
+
+let stats t = t.st
+
+let stale b = Mem.generation b.db_region <> b.db_gen
+
+let is_terminator (i : Minstr.t) =
+  match i with
+  | Jmp _ | Jcc _ | Jmpr _ | Call _ | Callr _ | Ret | Retr _ | Retrat _ | Callrat _ | Trap _ ->
+    true
+  | Nop | Mov _ | Lea _ | Binop _ | Cmp _ | Push _ | Pop _ | Syscall -> false
+
+let decode_one t addr =
+  match t.which with
+  | Desc.Cisc -> Hipstr_cisc.Isa.decode ~read:t.read addr
+  | Desc.Risc -> Hipstr_risc.Isa.decode ~read:t.read addr
+
+(* Decode a block starting at [start] inside [region]. Returns [None]
+   when nothing cacheable could be formed (first instruction does not
+   fit the region, or an uncacheable [None] verdict right at the
+   start) — the interpreter falls back to single-stepping. *)
+let decode_block t region start =
+  let hi = Mem.region_hi region in
+  let gen = Mem.generation region in
+  let instrs = ref [] in
+  let lens = ref [] in
+  let count = ref 0 in
+  let pos = ref start in
+  let bad = ref false in
+  let stop = ref false in
+  while not !stop do
+    if !count >= max_block_instrs then stop := true
+    else
+      match decode_one t !pos with
+      | None ->
+        (* cache the bad verdict only when every byte the decoder may
+           have looked at is inside the region *)
+        if !pos + max_decode_window <= hi then bad := true;
+        stop := true
+      | Some (i, len) ->
+        if !pos + len > hi then stop := true (* encoding crosses the region edge *)
+        else begin
+          instrs := i :: !instrs;
+          lens := len :: !lens;
+          incr count;
+          pos := !pos + len;
+          if is_terminator i then stop := true
+        end
+  done;
+  if !count = 0 && not !bad then None
+  else
+    Some
+      {
+        db_start = start;
+        db_instrs = Array.of_list (List.rev !instrs);
+        db_lens = Array.of_list (List.rev !lens);
+        db_end = !pos;
+        db_bad = !bad;
+        db_region = region;
+        db_gen = gen;
+      }
+
+(* Find (or decode and install) the block starting at [addr]. [None]
+   means the address is not cacheable — not inside a watched region,
+   or no cacheable block forms there — and the caller must fall back
+   to plain single-step execution. Hits are generation-checked here;
+   a stale entry is dropped and re-decoded under the current
+   generation. *)
+let lookup t addr =
+  match Hashtbl.find_opt t.blocks addr with
+  | Some b when not (stale b) ->
+    t.st.hits <- t.st.hits + 1;
+    if Obs.on t.obs then Obs.Metrics.incr t.ctrs.cn_hits;
+    Some b
+  | found -> (
+    (match found with
+    | Some _ ->
+      Hashtbl.remove t.blocks addr;
+      t.st.invalidations <- t.st.invalidations + 1;
+      if Obs.on t.obs then Obs.Metrics.incr t.ctrs.cn_invalidations
+    | None -> ());
+    match Mem.region_of t.mem addr with
+    | None -> None
+    | Some region -> (
+      match decode_block t region addr with
+      | None -> None
+      | Some b ->
+        if Hashtbl.length t.blocks >= max_entries then Hashtbl.reset t.blocks;
+        Hashtbl.replace t.blocks addr b;
+        t.st.misses <- t.st.misses + 1;
+        if Obs.on t.obs then Obs.Metrics.incr t.ctrs.cn_misses;
+        Some b))
+
+(* Drop one stale block (the interpreter noticed a mid-block
+   generation change). *)
+let drop t (b : block) =
+  if Hashtbl.mem t.blocks b.db_start then begin
+    Hashtbl.remove t.blocks b.db_start;
+    t.st.invalidations <- t.st.invalidations + 1;
+    if Obs.on t.obs then Obs.Metrics.incr t.ctrs.cn_invalidations
+  end
+
+(* Wholesale invalidation: context-switch flushes, relocation-map
+   renewal and code-cache flushes all call this. Generations already
+   make every write safe; dropping the table additionally models the
+   cold-start and frees memory eagerly. *)
+let invalidate_all t =
+  let n = Hashtbl.length t.blocks in
+  if n > 0 then begin
+    Hashtbl.reset t.blocks;
+    t.st.invalidations <- t.st.invalidations + n;
+    if Obs.on t.obs then Obs.Metrics.incr ~by:n t.ctrs.cn_invalidations
+  end;
+  t.st.flushes <- t.st.flushes + 1
+
+let entries t = Hashtbl.length t.blocks

@@ -1,0 +1,73 @@
+(** Per-ISA cache of predecoded basic blocks.
+
+    Every simulated instruction used to be re-decoded from raw bytes
+    on every execution; hot loops decode the same handful of blocks
+    millions of times. This cache decodes a basic block once — from
+    its start address up to the first control transfer — and lets the
+    interpreter re-dispatch the predecoded [Minstr.t] array on every
+    revisit.
+
+    Correctness under self-modifying code rests on {!Mem.watch}
+    generations: a block records the generation of the watched region
+    its bytes live in, and {!stale} is a single integer compare the
+    interpreter performs before every cached instruction. Any write
+    into the region — a PSR translation installed into the code
+    cache, a chained-jump patch, eviction restoring trap bytes, an
+    attack payload rewriting code — bumps the generation and so
+    invalidates every block decoded from it, lazily. Addresses
+    outside any watched region (stack or heap execution by wild
+    gadget chains) are never cached and fall back to per-instruction
+    decode.
+
+    The cache is pure simulator-side memoization: it charges no
+    cycles, touches no modelled structure, and produces bit-identical
+    architectural and timing results to the uncached interpreter. *)
+
+type block = {
+  db_start : int;
+  db_instrs : Hipstr_isa.Minstr.t array;
+  db_lens : int array;
+  db_end : int;  (** first address past the last decoded instruction *)
+  db_bad : bool;
+      (** decode fails at [db_end]: executing past the last
+          instruction is a bad fetch there *)
+  db_region : Mem.region;
+  db_gen : int;  (** region generation the block was decoded under *)
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+  mutable flushes : int;  (** wholesale {!invalidate_all} calls *)
+}
+
+type t
+
+val create : ?obs:Hipstr_obs.Obs.t -> isa:string -> Hipstr_isa.Desc.which -> Mem.t -> t
+(** Create a cache for one ISA over one memory, watching the four
+    standard code-bearing regions (both code sections and both
+    code-cache regions; {!Mem.watch} dedupes across ISAs). Counters
+    are registered as [machine.<isa>.decode_cache.*]. *)
+
+val lookup : t -> int -> block option
+(** The block starting at an address: a generation-valid cached entry
+    (hit), or a freshly decoded and installed one (miss). [None] if
+    the address is not cacheable — outside every watched region, or
+    no cacheable block forms there — in which case the caller must
+    single-step. *)
+
+val stale : block -> bool
+(** The block's region has been written since it was decoded. Checked
+    by the interpreter before every cached instruction. *)
+
+val drop : t -> block -> unit
+(** Remove one (stale) block. *)
+
+val invalidate_all : t -> unit
+(** Drop everything: wired into context-switch flushes, relocation-map
+    renewal and code-cache flushes. *)
+
+val stats : t -> stats
+
+val entries : t -> int

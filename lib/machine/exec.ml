@@ -15,6 +15,7 @@ type counters = {
 type env = {
   cpu : Cpu.t;
   mem : Mem.t;
+  reader : int -> int;  (** preallocated decode reader over [mem] *)
   desc : Desc.t;
   core : Core_desc.t;
   icache : Cache.t;
@@ -22,6 +23,7 @@ type env = {
   bpred : Bpred.t;
   rat : Rat.t option;
   os : Sys.t;
+  dcode : Decode_cache.t option;
   obs : Obs.t;
   ctrs : counters;
 }
@@ -37,11 +39,12 @@ let string_of_trap = function
   | Fault (Bad_access a) -> Printf.sprintf "fault: bad access at 0x%x" a
   | Fault (Cache_jump a) -> Printf.sprintf "fault: indirect jump into code cache 0x%x" a
 
-let decode which mem addr =
-  let read a = try Mem.read8 mem a with Mem.Fault _ -> -1 in
+let decode_with ~read which addr =
   match which with
   | Desc.Cisc -> Hipstr_cisc.Isa.decode ~read addr
   | Desc.Risc -> Hipstr_risc.Isa.decode ~read addr
+
+let decode which mem addr = decode_with ~read:(Mem.reader mem) which addr
 
 exception Stop of trap
 
@@ -310,26 +313,34 @@ let stopped env t =
   | Trap_stub _ | Rat_miss _ | Exit _ | Shell -> ());
   Stopped t
 
+(* Retire one already-decoded instruction: counters, execution, trap
+   conversion. Shared verbatim by the single-step and cached-block
+   paths so both count and fault identically. *)
+let exec_one env (i : Minstr.t) len =
+  env.cpu.perf.instructions <- env.cpu.perf.instructions + 1;
+  if Obs.on env.obs then Obs.Metrics.incr env.ctrs.cn_instrs;
+  try
+    exec env i len;
+    Running
+  with
+  | Stop t -> stopped env t
+  | Mem.Fault a -> stopped env (Fault (Bad_access a))
+
+let icache_probe env pc =
+  if not (Cache.access env.icache pc) then
+    charge_flat env (float_of_int env.core.icache_miss_penalty)
+
 let step env =
   let pc = env.cpu.pc in
   if pc = Layout.exit_sentinel then Stopped (Exit env.cpu.regs.(env.desc.ret_reg))
   else begin
-    if not (Cache.access env.icache pc) then
-      charge_flat env (float_of_int env.core.icache_miss_penalty);
-    match decode env.desc.which env.mem pc with
+    icache_probe env pc;
+    match decode_with ~read:env.reader env.desc.which pc with
     | None -> stopped env (Fault (Bad_fetch pc))
-    | Some (i, len) -> (
-      env.cpu.perf.instructions <- env.cpu.perf.instructions + 1;
-      if Obs.on env.obs then Obs.Metrics.incr env.ctrs.cn_instrs;
-      try
-        exec env i len;
-        Running
-      with
-      | Stop t -> stopped env t
-      | Mem.Fault a -> stopped env (Fault (Bad_access a)))
+    | Some (i, len) -> exec_one env i len
   end
 
-let run env ~fuel =
+let run_slow env ~fuel =
   let rec go n =
     if n <= 0 then None
     else
@@ -338,3 +349,60 @@ let run env ~fuel =
       | Stopped t -> Some t
   in
   go fuel
+
+(* The cached fast path. Per retired instruction it performs exactly
+   the same model-visible work as [step] — fuel check, exit-sentinel
+   check at block boundaries (a cached block can never contain the
+   sentinel: every watched region lies above it, and only control
+   transfers, which end blocks, can move pc there), icache probe,
+   counters, execution — with the per-instruction byte decode replaced
+   by an array read plus one generation compare. A stale block (some
+   write landed in its region since decode, possibly by the previous
+   instruction of this very block) is dropped and re-looked-up before
+   anything is charged, so self-modifying code sees exactly the
+   semantics of per-instruction decode. *)
+let run_cached env dc ~fuel =
+  let open Decode_cache in
+  let rec dispatch n =
+    if n <= 0 then None
+    else
+      let pc = env.cpu.pc in
+      if pc = Layout.exit_sentinel then Some (Exit env.cpu.regs.(env.desc.ret_reg))
+      else
+        match lookup dc pc with
+        | Some b -> exec_block b 0 n
+        | None -> (
+          (* uncacheable address (outside watched regions, or no block
+             forms): plain single step *)
+          match step env with
+          | Running -> dispatch (n - 1)
+          | Stopped t -> Some t)
+  and exec_block b k n =
+    if n <= 0 then None
+    else if stale b then begin
+      drop dc b;
+      dispatch n
+    end
+    else if k >= Array.length b.db_instrs then
+      if b.db_bad then begin
+        (* decode fails at [db_end], where pc now points: replicate the
+           failed-decode step (probe, then fault) without re-decoding *)
+        icache_probe env b.db_end;
+        match stopped env (Fault (Bad_fetch b.db_end)) with
+        | Stopped t -> Some t
+        | Running -> assert false
+      end
+      else dispatch n
+    else begin
+      icache_probe env env.cpu.pc;
+      match exec_one env (Array.unsafe_get b.db_instrs k) (Array.unsafe_get b.db_lens k) with
+      | Running -> exec_block b (k + 1) (n - 1)
+      | Stopped t -> Some t
+    end
+  in
+  dispatch fuel
+
+let run env ~fuel =
+  match env.dcode with
+  | Some dc -> run_cached env dc ~fuel
+  | None -> run_slow env ~fuel

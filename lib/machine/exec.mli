@@ -36,6 +36,9 @@ type counters = {
 type env = {
   cpu : Cpu.t;
   mem : Mem.t;
+  reader : int -> int;
+      (** preallocated decode reader over [mem] ({!Mem.reader}) — the
+          hot path must not allocate a closure per instruction *)
   desc : Hipstr_isa.Desc.t;
   core : Core_desc.t;
   icache : Cache.t;
@@ -43,6 +46,10 @@ type env = {
   bpred : Bpred.t;
   rat : Rat.t option;
   os : Sys.t;
+  dcode : Decode_cache.t option;
+      (** predecoded-block cache for this ISA; [None] forces the
+          per-instruction decode path (the [--no-decode-cache] escape
+          hatch) *)
   obs : Hipstr_obs.Obs.t;
   ctrs : counters;
 }
@@ -53,7 +60,11 @@ val step : env -> outcome
 
 val run : env -> fuel:int -> trap option
 (** Step until something stops execution or [fuel] instructions have
-    retired; [None] means fuel ran out. *)
+    retired; [None] means fuel ran out. When [env.dcode] is present,
+    execution dispatches whole predecoded basic blocks; results —
+    architectural state, cycle floats, counters, faults — are
+    bit-identical to the single-step path (see DESIGN.md,
+    "Interpreter architecture"). *)
 
 val string_of_trap : trap -> string
 

@@ -8,12 +8,14 @@ type core_ctx = {
   dcache : Cache.t;
   bpred : Bpred.t;
   rat : Rat.t option;
+  dcode : Decode_cache.t option;
   ctrs : Exec.counters;
 }
 
 type t = {
   cpu : Cpu.t;
   memory : Mem.t;
+  mem_reader : int -> int;
   os_state : Sys.t;
   cisc_ctx : core_ctx;
   risc_ctx : core_ctx;
@@ -28,7 +30,7 @@ type t = {
   mutable cycle_mark : float;
 }
 
-let make_ctx ~obs ~rat_capacity ~icache_kb ~dcache_kb which =
+let make_ctx ~obs ~rat_capacity ~icache_kb ~dcache_kb ~decode_cache ~memory which =
   let desc = match which with Desc.Cisc -> Hipstr_cisc.Isa.desc | Risc -> Hipstr_risc.Isa.desc in
   let core = Core_desc.for_isa which in
   let isa = match which with Desc.Cisc -> "cisc" | Desc.Risc -> "risc" in
@@ -44,6 +46,7 @@ let make_ctx ~obs ~rat_capacity ~icache_kb ~dcache_kb which =
         ~miss_penalty:core.dcache_miss_penalty ();
     bpred = Bpred.create ();
     rat = (match rat_capacity with None -> None | Some n -> Some (Rat.create ~capacity:n));
+    dcode = (if decode_cache then Some (Decode_cache.create ~obs ~isa which memory) else None);
     ctrs =
       {
         Exec.cn_instrs = counter "instructions";
@@ -52,14 +55,16 @@ let make_ctx ~obs ~rat_capacity ~icache_kb ~dcache_kb which =
       };
   }
 
-let create ?(obs = Obs.global) ?(rat_capacity = None) ?(icache_kb = 32) ?(dcache_kb = 32) ~active
-    () =
+let create ?(obs = Obs.global) ?(rat_capacity = None) ?(icache_kb = 32) ?(dcache_kb = 32)
+    ?(decode_cache = true) ~active () =
+  let memory = Mem.create Layout.mem_size in
   {
     cpu = Cpu.create ();
-    memory = Mem.create Layout.mem_size;
+    memory;
+    mem_reader = Mem.reader memory;
     os_state = Sys.create ();
-    cisc_ctx = make_ctx ~obs ~rat_capacity ~icache_kb ~dcache_kb Desc.Cisc;
-    risc_ctx = make_ctx ~obs ~rat_capacity ~icache_kb ~dcache_kb Desc.Risc;
+    cisc_ctx = make_ctx ~obs ~rat_capacity ~icache_kb ~dcache_kb ~decode_cache ~memory Desc.Cisc;
+    risc_ctx = make_ctx ~obs ~rat_capacity ~icache_kb ~dcache_kb ~decode_cache ~memory Desc.Risc;
     observ = obs;
     c_ctx_flush = Obs.Metrics.counter (Obs.metrics obs) "machine.context_switch_flushes";
     active;
@@ -89,6 +94,7 @@ let env_of t which =
   {
     Exec.cpu = t.cpu;
     mem = t.memory;
+    reader = t.mem_reader;
     desc = c.desc;
     core = c.core;
     icache = c.icache;
@@ -96,6 +102,7 @@ let env_of t which =
     bpred = c.bpred;
     rat = c.rat;
     os = t.os_state;
+    dcode = c.dcode;
     obs = t.observ;
     ctrs = c.ctrs;
   }
@@ -125,11 +132,28 @@ let migrations t = t.migrations
    caches and predictors it warmed up belong to whoever ran since.
    Cycle/instruction counters are untouched — only learned state
    goes. *)
+let ctx_of t which = match which with Desc.Cisc -> t.cisc_ctx | Desc.Risc -> t.risc_ctx
+
+(* Drop every predecoded block of one core's cache — the PSR VM calls
+   this when it rewrites its code-cache region wholesale (flush,
+   relocation-map renewal). Generations already keep stale blocks from
+   executing; this models the cold start and frees the table. *)
+let invalidate_decoded t which =
+  match (ctx_of t which).dcode with
+  | Some dc -> Decode_cache.invalidate_all dc
+  | None -> ()
+
+let decode_cache_stats t which =
+  match (ctx_of t which).dcode with
+  | Some dc -> Some (Decode_cache.stats dc)
+  | None -> None
+
 let context_switch_flush t =
   let cold (c : core_ctx) =
     Cache.flush c.icache;
     Cache.flush c.dcache;
-    Bpred.flush c.bpred
+    Bpred.flush c.bpred;
+    match c.dcode with Some dc -> Decode_cache.invalidate_all dc | None -> ()
   in
   cold t.cisc_ctx;
   cold t.risc_ctx;

@@ -18,6 +18,7 @@ val create :
   ?rat_capacity:int option ->
   ?icache_kb:int ->
   ?dcache_kb:int ->
+  ?decode_cache:bool ->
   active:Hipstr_isa.Desc.which ->
   unit ->
   t
@@ -26,7 +27,10 @@ val create :
     cores. [obs] (default {!Hipstr_obs.Obs.global}) receives
     per-core instruction/fault/syscall counters and is inherited by
     every component holding this machine (PSR VMs, the migration
-    engine). *)
+    engine). [decode_cache] (default [true]) gives each core a
+    predecoded-basic-block cache; [false] is the [--no-decode-cache]
+    escape hatch forcing per-instruction decode. Results are
+    bit-identical either way. *)
 
 val mem : t -> Mem.t
 val cpu : t -> Cpu.t
@@ -54,6 +58,17 @@ val isa_name : t -> string
 
 val env_of : t -> Hipstr_isa.Desc.which -> Exec.env
 
+val invalidate_decoded : t -> Hipstr_isa.Desc.which -> unit
+(** Drop every predecoded block of one core's decode cache. The PSR
+    VM calls this on code-cache flush and relocation-map renewal;
+    region write generations already guarantee stale blocks never
+    execute, so this only models the cold start eagerly. No-op
+    without a decode cache. *)
+
+val decode_cache_stats : t -> Hipstr_isa.Desc.which -> Decode_cache.stats option
+(** Hit/miss/invalidation/flush counts of one core's decode cache
+    ([None] when running with [--no-decode-cache]). *)
+
 val switch_core : t -> Hipstr_isa.Desc.which -> unit
 (** Make the other core active. Counts a migration; register/flag
     reinterpretation is the migration engine's job. *)
@@ -62,8 +77,9 @@ val migrations : t -> int
 
 val context_switch_flush : t -> unit
 (** Model being context-switched back onto a core another process
-    used meanwhile: flush both cores' caches and branch predictors
-    (learned state only; cycle/instruction counters survive). The CMP
+    used meanwhile: flush both cores' caches, branch predictors and
+    predecoded-block caches (learned state only; cycle/instruction
+    counters survive). The CMP
     scheduler calls this on every cold reschedule, so context-switch
     cost shows up in the timing model rather than as a bolted-on
     constant. Counted as [machine.context_switch_flushes]. *)

@@ -2,50 +2,151 @@ module W32 = Hipstr_util.Wrap32
 
 exception Fault of int
 
-type t = { bytes : Bytes.t; size : int }
+exception Cstring_unterminated of int
 
-let create size = { bytes = Bytes.make size '\000'; size }
+(* A watched span of the address space with a write generation. The
+   decode cache keys predecoded blocks to the generation their bytes
+   were read under; any write landing in the region bumps it, so a
+   stale block is detectable with one integer compare. Regions are
+   few (the two code sections and the two code-cache regions), fixed
+   at registration, disjoint, and kept sorted by [r_lo] so the write
+   hook can stop at the first region starting above the address. *)
+type region = { r_lo : int; r_hi : int; mutable r_gen : int }
+
+type t = { bytes : Bytes.t; size : int; mutable regions : region array }
+
+let create size = { bytes = Bytes.make size '\000'; size; regions = [||] }
 
 let size t = t.size
 
+let watch t ~lo ~hi =
+  if lo < 0 || hi > t.size || lo >= hi then invalid_arg "Mem.watch: bad region bounds";
+  match Array.find_opt (fun r -> r.r_lo = lo && r.r_hi = hi) t.regions with
+  | Some r -> r
+  | None ->
+    if Array.exists (fun r -> lo < r.r_hi && r.r_lo < hi) t.regions then
+      invalid_arg "Mem.watch: overlapping region";
+    let r = { r_lo = lo; r_hi = hi; r_gen = 0 } in
+    let rs = Array.append t.regions [| r |] in
+    Array.sort (fun a b -> compare a.r_lo b.r_lo) rs;
+    t.regions <- rs;
+    r
+
+let generation r = r.r_gen
+
+let region_lo r = r.r_lo
+let region_hi r = r.r_hi
+
+let region_of t a =
+  let rec go i =
+    if i >= Array.length t.regions then None
+    else
+      let r = Array.unsafe_get t.regions i in
+      if a < r.r_lo then None else if a < r.r_hi then Some r else go (i + 1)
+  in
+  go 0
+
+(* The code-region write hook: bump the generation of the region
+   containing [a], if any. Regions are sorted and disjoint, so the
+   scan exits at the first region starting above [a]; with the four
+   standard regions a stack or heap write costs at most three
+   compares on top of the store itself. *)
+let touch t a =
+  let rs = t.regions in
+  let n = Array.length rs in
+  let rec go i =
+    if i < n then begin
+      let r = Array.unsafe_get rs i in
+      if a < r.r_lo then ()
+      else if a < r.r_hi then r.r_gen <- r.r_gen + 1
+      else go (i + 1)
+    end
+  in
+  go 0
+
+(* Bump every region overlapping [lo, hi] (inclusive), each once. *)
+let touch_range t lo hi =
+  let rs = t.regions in
+  let n = Array.length rs in
+  let rec go i =
+    if i < n then begin
+      let r = Array.unsafe_get rs i in
+      if hi < r.r_lo then ()
+      else begin
+        if lo < r.r_hi then r.r_gen <- r.r_gen + 1;
+        go (i + 1)
+      end
+    end
+  in
+  go 0
+
 let check t a = if a < 0 || a >= t.size then raise (Fault a)
+
+(* Unchecked byte accessors: callers must have span-checked already
+   (the word paths below, and the decode reader after its own bounds
+   test). [unsafe_write8] still runs the write hook — bypassing it
+   would let a code write slip past the decode cache. *)
+let unsafe_read8 t a = Char.code (Bytes.unsafe_get t.bytes a)
+
+let unsafe_write8 t a v =
+  Bytes.unsafe_set t.bytes a (Char.unsafe_chr (v land 0xFF));
+  touch t a
 
 let read8 t a =
   check t a;
-  Char.code (Bytes.unsafe_get t.bytes a)
+  unsafe_read8 t a
 
 let write8 t a v =
   check t a;
-  Bytes.unsafe_set t.bytes a (Char.unsafe_chr (v land 0xFF))
+  unsafe_write8 t a v
 
+(* Out-of-bounds probe: [-1] instead of a fault, the contract the
+   instruction decoders want ([-1 land 0xFF = 0xFF], so bytes past
+   the edge of the address space decode as 0xFF exactly as the
+   closure-based readers always made them). *)
+let probe8 t a = if a < 0 || a >= t.size then -1 else unsafe_read8 t a
+
+let reader t = probe8 t
+
+(* Word accesses span-check once, then use the runtime's word
+   load/store. [Bytes.get_int32_le] sign-extends through
+   [Int32.to_int], which is exactly [W32]'s canonical signed form.
+   The slow path re-runs the per-byte checks only to raise [Fault]
+   with the same offending address as always. *)
 let read32 t a =
-  check t a;
-  check t (a + 3);
-  W32.of_bytes (read8 t a) (read8 t (a + 1)) (read8 t (a + 2)) (read8 t (a + 3))
+  if a >= 0 && a + 3 < t.size then Int32.to_int (Bytes.get_int32_le t.bytes a)
+  else begin
+    check t a;
+    check t (a + 3);
+    assert false
+  end
 
 let write32 t a v =
-  check t a;
-  check t (a + 3);
-  let v = W32.unsigned v in
-  write8 t a (v land 0xFF);
-  write8 t (a + 1) ((v lsr 8) land 0xFF);
-  write8 t (a + 2) ((v lsr 16) land 0xFF);
-  write8 t (a + 3) ((v lsr 24) land 0xFF)
+  if a >= 0 && a + 3 < t.size then begin
+    Bytes.set_int32_le t.bytes a (Int32.of_int (W32.unsigned v));
+    touch_range t a (a + 3)
+  end
+  else begin
+    check t a;
+    check t (a + 3);
+    assert false
+  end
 
 let blit_string t a s =
   check t a;
   check t (a + String.length s - 1);
-  Bytes.blit_string s 0 t.bytes a (String.length s)
+  Bytes.blit_string s 0 t.bytes a (String.length s);
+  touch_range t a (a + String.length s - 1)
 
 let read_string t a n =
   check t a;
   check t (a + n - 1);
   Bytes.sub_string t.bytes a n
 
-let read_cstring t a =
+let read_cstring ?(limit = 4096) t a =
   let buf = Buffer.create 16 in
   let rec go i =
-    if i >= 4096 then Buffer.contents buf
+    if i >= limit then raise (Cstring_unterminated a)
     else
       let c = read8 t (a + i) in
       if c = 0 then Buffer.contents buf

@@ -3,25 +3,74 @@
     Accesses outside the configured size raise {!Fault}, which the
     execution engine converts into a simulated machine fault — this is
     how wild gadget chains crash, so the brute-force experiments
-    depend on it. *)
+    depend on it.
+
+    Spans of the address space holding code can be {!watch}ed: every
+    write landing inside a watched region bumps that region's
+    generation counter. The predecoded-block interpreter keys its
+    cache entries to the generation their bytes were read under, so
+    self-modifying code (the PSR translator installing or patching
+    blocks, attack payloads rewriting code bytes, eviction restoring
+    trap bytes) invalidates stale decodes with one integer compare. *)
 
 exception Fault of int
 (** Raised with the offending address. *)
 
+exception Cstring_unterminated of int
+(** Raised by {!read_cstring} with the string's start address when no
+    NUL terminator appears within the limit. *)
+
 type t
+
+type region
+(** A watched span with a write generation (see {!watch}). *)
 
 val create : int -> t
 (** [create size] is zero-initialized memory of [size] bytes. *)
 
 val size : t -> int
 
+val watch : t -> lo:int -> hi:int -> region
+(** Register [\[lo, hi)] as a watched region and return its handle;
+    registering the same bounds again returns the existing handle
+    (regions are per-memory, shared by every watcher). Regions must
+    not overlap.
+    @raise Invalid_argument on bad bounds or overlap. *)
+
+val generation : region -> int
+(** Monotonic write counter: bumped by every write landing inside the
+    region. Equality with a remembered value proves the region's
+    bytes are unchanged since then. *)
+
+val region_of : t -> int -> region option
+(** The watched region containing an address, if any. *)
+
+val region_lo : region -> int
+val region_hi : region -> int
+
 val read8 : t -> int -> int
 (** Unsigned byte. *)
 
 val write8 : t -> int -> int -> unit
 
+val unsafe_read8 : t -> int -> int
+(** No bounds check: the caller must have span-checked. *)
+
+val unsafe_write8 : t -> int -> int -> unit
+(** No bounds check, but still runs the region write hook. *)
+
+val probe8 : t -> int -> int
+(** Like {!read8} but returns [-1] out of bounds instead of raising —
+    the instruction decoders' reader contract. *)
+
+val reader : t -> int -> int
+(** [reader t] is a reader closure over {!probe8}, allocated once;
+    pass it as the [~read] argument of the ISA decoders instead of
+    building a fresh closure per instruction. *)
+
 val read32 : t -> int -> int
-(** Signed 32-bit little-endian load. *)
+(** Signed 32-bit little-endian load (single span check + word
+    load). *)
 
 val write32 : t -> int -> int -> unit
 
@@ -30,5 +79,8 @@ val blit_string : t -> int -> string -> unit
 
 val read_string : t -> int -> int -> string
 
-val read_cstring : t -> int -> string
-(** Read a NUL-terminated string (capped at 4096 bytes). *)
+val read_cstring : ?limit:int -> t -> int -> string
+(** Read a NUL-terminated string.
+    @raise Cstring_unterminated if no NUL appears within [limit]
+    (default 4096) bytes — an unterminated string is reported, never
+    silently truncated. *)

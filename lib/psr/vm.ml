@@ -190,7 +190,7 @@ let hot_regs t (fs : Fatbin.func_sym) =
   | None ->
     let im = Fatbin.image fs t.which in
     let counts = Array.make 16 0 in
-    let read a = try Mem.read8 (mem t) a with Mem.Fault _ -> -1 in
+    let read = Mem.reader (mem t) in
     let decode addr =
       match t.which with
       | Desc.Cisc -> Hipstr_cisc.Isa.decode ~read addr
@@ -236,6 +236,10 @@ let flush t =
       (Obs.Trace.Cache_flush { isa = t.pr.isa; used_bytes = Code_cache.used_bytes t.cache })
   end;
   Code_cache.flush t.cache;
+  (* every predecoded block of the cache region is now garbage; the
+     write generations would catch them lazily, but a flush rewrites
+     wholesale, so drop eagerly *)
+  Machine.invalidate_decoded t.machine t.which;
   Hashtbl.reset t.stub_at;
   Hashtbl.reset t.block_meta;
   Hashtbl.reset t.patches;
@@ -341,7 +345,7 @@ let translate_unit t src =
       match memoized with
       | Some p -> (p, true)
       | None ->
-        let read a = try Mem.read8 (mem t) a with Mem.Fault _ -> -1 in
+        let read = Mem.reader (mem t) in
         let p =
           Translator.prepare t.cfg t.desc ~read ~fatbin:t.fatbin
             ~map_of:(fun fs -> map_of t fs)
