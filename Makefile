@@ -3,7 +3,7 @@
 
 FUZZ_SEEDS ?= 1-25
 
-.PHONY: all build test fuzz micro cmp-smoke profile-smoke cache-smoke interp-smoke check clean
+.PHONY: all build test fuzz micro cmp-smoke profile-smoke cache-smoke interp-smoke chain-smoke check clean
 
 all: build
 
@@ -70,7 +70,22 @@ interp-smoke:
 	cmp /tmp/hipstr-interp-j1.json /tmp/hipstr-interp-j4.json
 	dune exec tools/json_check.exe -- BENCH_interp.json /tmp/hipstr-interp-j1.json
 
-check: build test fuzz micro cmp-smoke profile-smoke cache-smoke interp-smoke
+# Block chaining + indirect-branch ICs end-to-end: the chaining unit
+# and differential suite, then CMP runs with chaining disabled whose
+# --verify re-runs every process standalone with chaining *on* — an
+# end-to-end chained/unchained differential — at -j 1 and -j 4 with
+# metrics exports demanded byte-identical, plus one fuzz batch with
+# chaining flipped off for the whole config matrix.
+chain-smoke:
+	dune exec test/test_chain.exe
+	dune exec bin/hipstr_cli.exe -- cmp-run gobmk bzip2 mcf --no-chain \
+	  --quantum 2000 --verify -j 1 --metrics-out /tmp/hipstr-chain-j1.json
+	dune exec bin/hipstr_cli.exe -- cmp-run gobmk bzip2 mcf --no-chain \
+	  --quantum 2000 --verify -j 4 --metrics-out /tmp/hipstr-chain-j4.json
+	cmp /tmp/hipstr-chain-j1.json /tmp/hipstr-chain-j4.json
+	HIPSTR_FUZZ_CHAIN=off HIPSTR_FUZZ_SEEDS=1-10 dune exec test/test_fuzz.exe
+
+check: build test fuzz micro cmp-smoke profile-smoke cache-smoke interp-smoke chain-smoke
 
 clean:
 	dune clean

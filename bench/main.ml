@@ -263,15 +263,17 @@ let run_cache_churn () =
 (* ------------------------------------------------------------------ *)
 (* Part 1.7: interpreter host-throughput sweep.
 
-   The acceptance experiment for the predecoded-block interpreter:
-   wall-clock host MIPS (simulated instructions per host second) for
-   each workload x mode, with the decode cache on and off, plus the
-   on/off speedup. Each (workload, mode, cache) point boots a fresh
-   system with observability disabled and takes the best of
-   [interp_repeats] runs to shave scheduler noise. The cached and
-   uncached runs of a point must agree exactly — instructions, cycle
-   floats, output — so the sweep doubles as a differential check.
-   The result lands in BENCH_interp.json. *)
+   The acceptance experiment for the predecoded-block interpreter and
+   its chaining layer: wall-clock host MIPS (simulated instructions
+   per host second) for each workload x mode in three interpreter
+   variants — chained (the default: decode cache + block chaining +
+   indirect-branch inline caches), no-chain (decode cache only) and
+   no-decode-cache (per-instruction re-decode). Each point boots a
+   fresh system with observability disabled and takes the best of
+   [interp_repeats] runs to shave scheduler noise. All three variants
+   of a point must agree exactly — instructions, cycle floats,
+   output — so the sweep doubles as a differential check of both fast
+   paths. The result lands in BENCH_interp.json. *)
 
 let interp_fuel = 2_000_000
 let interp_repeats = 5
@@ -280,14 +282,20 @@ let interp_workloads = [ "gobmk"; "bzip2"; "mcf" ]
 let interp_modes =
   [ ("native", System.Native); ("psr", System.Psr_only); ("hipstr", System.Hipstr) ]
 
-let interp_point ~name ~mode ~decode_cache =
+(* (json key, decode_cache, chain) — chained first so it is the
+   reference the others are diffed against *)
+let interp_variants =
+  [ ("chained", true, true); ("no_chain", true, false); ("no_decode_cache", false, false) ]
+
+let interp_point ~name ~mode ~decode_cache ~chain =
   let w = Workloads.find name in
   let fb = Workloads.fatbin w in
   let best = ref infinity in
   let last = ref None in
   for _ = 1 to interp_repeats do
     let sys =
-      System.of_fatbin ~obs:Obs.disabled ~seed:9 ~start_isa:Desc.Cisc ~decode_cache ~mode fb
+      System.of_fatbin ~obs:Obs.disabled ~seed:9 ~start_isa:Desc.Cisc ~decode_cache ~chain ~mode
+        fb
     in
     let t0 = Unix.gettimeofday () in
     ignore (System.run sys ~fuel:interp_fuel);
@@ -301,7 +309,7 @@ let interp_point ~name ~mode ~decode_cache =
 let run_interp () =
   print_endline "";
   print_endline "=====================================================================";
-  print_endline " Interpreter host throughput (decode cache on vs off)";
+  print_endline " Interpreter host throughput (chained / no-chain / no-decode-cache)";
   print_endline "=====================================================================";
   let points =
     List.map
@@ -309,41 +317,65 @@ let run_interp () =
         let modes =
           List.map
             (fun (mode_name, mode) ->
-              let on_sys, on_dt, on_mips = interp_point ~name ~mode ~decode_cache:true in
-              let off_sys, off_dt, off_mips = interp_point ~name ~mode ~decode_cache:false in
-              (* the differential half of the sweep: the decode cache
-                 must be invisible to the simulation *)
-              if
-                System.instructions on_sys <> System.instructions off_sys
-                || System.cycles on_sys <> System.cycles off_sys
-                || System.output on_sys <> System.output off_sys
-              then
-                failwith
-                  (Printf.sprintf
-                     "interp sweep: %s/%s diverged with the decode cache on (instrs %d vs %d, \
-                      cycles %.0f vs %.0f)"
-                     name mode_name
-                     (System.instructions on_sys)
-                     (System.instructions off_sys) (System.cycles on_sys)
-                     (System.cycles off_sys));
-              let speedup = if on_mips > 0. then on_mips /. off_mips else 0. in
+              let runs =
+                List.map
+                  (fun (vname, decode_cache, chain) ->
+                    (vname, interp_point ~name ~mode ~decode_cache ~chain))
+                  interp_variants
+              in
+              let ref_name, (ref_sys, _, ref_mips) = List.hd runs in
+              (* the differential half of the sweep: neither the decode
+                 cache nor chaining may be visible to the simulation *)
+              List.iter
+                (fun (vname, (sys, _, _)) ->
+                  if
+                    System.instructions sys <> System.instructions ref_sys
+                    || System.cycles sys <> System.cycles ref_sys
+                    || System.output sys <> System.output ref_sys
+                  then
+                    failwith
+                      (Printf.sprintf
+                         "interp sweep: %s/%s diverged between %s and %s (instrs %d vs %d, \
+                          cycles %.17g vs %.17g)"
+                         name mode_name vname ref_name (System.instructions sys)
+                         (System.instructions ref_sys) (System.cycles sys)
+                         (System.cycles ref_sys)))
+                (List.tl runs);
+              let mips_of v =
+                let _, (_, _, m) = List.find (fun (n, _) -> n = v) runs in
+                m
+              in
+              let slow = mips_of "no_decode_cache" in
               Printf.printf
-                "  %-8s %-7s %9d instrs  cache-on %7.2f MIPS  cache-off %7.2f MIPS  speedup \
-                 %.2fx\n\
+                "  %-8s %-7s %9d instrs  chained %7.2f  no-chain %7.2f  no-dcache %7.2f MIPS  \
+                 speedup %.2fx\n\
                  %!"
                 name mode_name
-                (System.instructions on_sys)
-                on_mips off_mips speedup;
+                (System.instructions ref_sys)
+                ref_mips (mips_of "no_chain") slow
+                (if slow > 0. then ref_mips /. slow else 0.);
               Json.Obj
                 [
                   ("mode", Json.Str mode_name);
-                  ("instructions", Json.num_of_int (System.instructions on_sys));
-                  ("cycles", Json.Num (System.cycles on_sys));
-                  ( "cache_on",
-                    Json.Obj [ ("seconds", Json.Num on_dt); ("mips", Json.Num on_mips) ] );
-                  ( "cache_off",
-                    Json.Obj [ ("seconds", Json.Num off_dt); ("mips", Json.Num off_mips) ] );
-                  ("speedup", Json.Num speedup);
+                  ("instructions", Json.num_of_int (System.instructions ref_sys));
+                  ("cycles", Json.Num (System.cycles ref_sys));
+                  ( "variants",
+                    Json.Obj
+                      (List.map
+                         (fun (vname, (_, dt, mips)) ->
+                           ( vname,
+                             Json.Obj [ ("seconds", Json.Num dt); ("mips", Json.Num mips) ] ))
+                         runs) );
+                  ( "speedup",
+                    Json.Obj
+                      [
+                        ( "chained_over_no_chain",
+                          Json.Num
+                            (let nc = mips_of "no_chain" in
+                             if nc > 0. then ref_mips /. nc else 0.) );
+                        ( "chained_over_no_decode_cache",
+                          Json.Num (if slow > 0. then ref_mips /. slow else 0.) );
+                      ] );
                 ])
             interp_modes
         in
@@ -353,7 +385,7 @@ let run_interp () =
   let doc =
     Json.Obj
       [
-        ("schema", Json.Str "hipstr-bench-interp/1");
+        ("schema", Json.Str "hipstr-bench-interp/2");
         ("seed", Json.num_of_int 9);
         ("fuel", Json.num_of_int interp_fuel);
         ("repeats", Json.num_of_int interp_repeats);

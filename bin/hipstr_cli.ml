@@ -193,6 +193,15 @@ let no_dcache_arg =
           "Disable the host-side predecoded-basic-block cache and re-decode every instruction \
            (escape hatch; simulation results are bit-identical either way, only slower).")
 
+let no_chain_arg =
+  Arg.(
+    value & flag
+    & info [ "no-chain" ]
+        ~doc:
+          "Disable block-to-block chaining and the indirect-branch inline caches on top of the \
+           predecoded-block cache (escape hatch; simulation results are bit-identical either \
+           way, only slower). Implied by $(b,--no-decode-cache).")
+
 let jobs_arg =
   Arg.(
     value
@@ -283,6 +292,20 @@ let print_obs obs =
 
 let print_metrics sys = print_obs (System.obs sys)
 
+(* Host-side decode-cache statistics for the starting core, including
+   the chaining and inline-cache counters. Silent when the cache is
+   disabled (--no-decode-cache). *)
+let print_decode_cache_stats sys isa =
+  match Hipstr_machine.Machine.decode_cache_stats (System.machine sys) isa with
+  | None -> ()
+  | Some st ->
+    let open Hipstr_machine.Decode_cache in
+    Printf.printf "host decode cache: hits=%d misses=%d invalidations=%d flushes=%d\n" st.hits
+      st.misses st.invalidations st.flushes;
+    Printf.printf "host chaining: follows=%d breaks=%d patches=%d  ic: mono=%d poly=%d misses=%d\n"
+      st.chain_follows st.chain_breaks st.chain_patches st.ic_mono_hits st.ic_poly_hits
+      st.ic_misses
+
 (* ------------------------------------------------------------------ *)
 (* Export flags shared by run, run-file, cmp-run and experiment: the
    machine-readable side of the observability layer. *)
@@ -334,7 +357,7 @@ let run_cmd =
   in
   let opt_arg = Arg.(value & opt opt_conv 3 & info [ "opt" ] ~doc:"PSR optimization level (0-3).") in
   let action (w : Workloads.t) mode isa seed opt_level migrate_prob cc_capacity cc_policy
-      no_dcache metrics trace exports =
+      no_dcache no_chain metrics trace exports =
     let cfg =
       let base = { Config.default with opt_level } in
       let base =
@@ -344,14 +367,15 @@ let run_cmd =
     in
     let obs = make_obs ~trace in
     let sys =
-      System.of_fatbin ~obs ~cfg ~seed ~start_isa:isa ~decode_cache:(not no_dcache) ~mode
-        (Workloads.fatbin w)
+      System.of_fatbin ~obs ~cfg ~seed ~start_isa:isa ~decode_cache:(not no_dcache)
+        ~chain:(not no_chain) ~mode (Workloads.fatbin w)
     in
     let outcome = System.run sys ~fuel:(3 * w.w_fuel) in
     Printf.printf "%s [%s]: %s\n" w.w_name w.w_description (outcome_string outcome);
     Printf.printf "output: %s\n" (String.concat " " (List.map string_of_int (System.output sys)));
     Printf.printf "instructions: %d  cycles: %.0f  simulated time: %.3f ms\n"
       (System.instructions sys) (System.cycles sys) (1000. *. System.seconds sys);
+    print_decode_cache_stats sys isa;
     if mode <> System.Native then begin
       let vm = System.vm sys isa in
       let st = Hipstr_psr.Vm.stats vm in
@@ -372,7 +396,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a workload on the simulated heterogeneous-ISA CMP.")
     Term.(
       const action $ workload_arg $ mode_arg $ isa_arg $ seed_arg $ opt_arg $ migrate_prob_arg
-      $ cc_capacity_arg $ cc_policy_arg $ no_dcache_arg $ metrics_arg $ trace_arg $ export_args)
+      $ cc_capacity_arg $ cc_policy_arg $ no_dcache_arg $ no_chain_arg $ metrics_arg $ trace_arg
+      $ export_args)
 
 let gadgets_cmd =
   let action (w : Workloads.t) isa =
@@ -492,12 +517,14 @@ let run_file_cmd =
     Arg.(value & opt mode_conv System.Hipstr & info [ "mode" ] ~doc:"native, psr or hipstr.")
   in
   let fuel_arg = Arg.(value & opt fuel_conv 10_000_000 & info [ "fuel" ] ~doc:"Instruction budget.") in
-  let action file mode isa seed fuel cc_capacity cc_policy no_dcache metrics trace exports =
+  let action file mode isa seed fuel cc_capacity cc_policy no_dcache no_chain metrics trace
+      exports =
     let src = In_channel.with_open_text file In_channel.input_all in
     let obs = make_obs ~trace in
     let cfg = apply_cc_args Config.default cc_capacity cc_policy in
     match
-      System.create ~obs ~cfg ~seed ~start_isa:isa ~decode_cache:(not no_dcache) ~mode ~src ()
+      System.create ~obs ~cfg ~seed ~start_isa:isa ~decode_cache:(not no_dcache)
+        ~chain:(not no_chain) ~mode ~src ()
     with
     | exception Hipstr_compiler.Compile.Error m ->
       Printf.eprintf "%s: %s\n" file m;
@@ -508,6 +535,7 @@ let run_file_cmd =
       Printf.printf "output: %s\n" (String.concat " " (List.map string_of_int (System.output sys)));
       Printf.printf "instructions: %d  cycles: %.0f  simulated time: %.3f ms\n"
         (System.instructions sys) (System.cycles sys) (1000. *. System.seconds sys);
+      print_decode_cache_stats sys isa;
       if metrics then print_metrics sys;
       write_exports ~obs exports
   in
@@ -515,7 +543,7 @@ let run_file_cmd =
     (Cmd.info "run-file" ~doc:"Compile and run a MiniC source file.")
     Term.(
       const action $ file_arg $ mode_arg $ isa_arg $ seed_arg $ fuel_arg $ cc_capacity_arg
-      $ cc_policy_arg $ no_dcache_arg $ metrics_arg $ trace_arg $ export_args)
+      $ cc_policy_arg $ no_dcache_arg $ no_chain_arg $ metrics_arg $ trace_arg $ export_args)
 
 (* ------------------------------------------------------------------ *)
 (* cmp-run: boot K workloads as processes and time-slice them across
@@ -575,7 +603,7 @@ let cmp_run_cmd =
   in
   let isa_label = function Desc.Cisc -> "cisc" | Desc.Risc -> "risc" in
   let action ws mode policy cores quantum fuel seed migrate_prob cc_capacity cc_policy no_dcache
-      jobs metrics sched verify exports =
+      no_chain jobs metrics sched verify exports =
     let cfg =
       let base =
         match migrate_prob with
@@ -592,8 +620,8 @@ let cmp_run_cmd =
       List.mapi
         (fun i (w : Workloads.t) ->
           Process.create ~obs ~cfg ~seed:(seed + i) ~start_isa:(start_isa i)
-            ~decode_cache:(not no_dcache) ~mode ~pid:i ~name:w.w_name ~fuel:(budget w)
-            (Workloads.fatbin w))
+            ~decode_cache:(not no_dcache) ~chain:(not no_chain) ~mode ~pid:i ~name:w.w_name
+            ~fuel:(budget w) (Workloads.fatbin w))
         ws
     in
     let cmp = Cmp.create ~obs ~policy ~quantum ~cores procs in
@@ -608,11 +636,12 @@ let cmp_run_cmd =
         let p = Cmp.proc cmp pm.pm_pid in
         Printf.printf
           "  pid %d %-10s %-28s instrs=%-9d slices=%-4d migrations: sched=%d sec=%d forced=%d \
-           cache: flush=%d evict=%d memo=%d\n"
+           cache: flush=%d evict=%d memo=%d host: chain=%d ic=%d\n"
           pm.pm_pid pm.pm_name
           (match pm.pm_outcome with Some o -> outcome_string o | None -> "runnable?")
           pm.pm_instructions pm.pm_slices pm.pm_sched_migrations pm.pm_security_migrations
-          pm.pm_forced_migrations pm.pm_cache_flushes pm.pm_cache_evictions pm.pm_memo_installs;
+          pm.pm_forced_migrations pm.pm_cache_flushes pm.pm_cache_evictions pm.pm_memo_installs
+          pm.pm_chain_follows pm.pm_ic_hits;
         Printf.printf "    output: %s\n"
           (String.concat " " (List.map string_of_int (System.output (Process.sys p)))))
       m.m_procs;
@@ -633,9 +662,10 @@ let cmp_run_cmd =
       List.iteri
         (fun i (w : Workloads.t) ->
           let p = Cmp.proc cmp i in
-          (* deliberately created with the *default* decode-cache
-             setting: under --no-decode-cache this doubles as an
-             end-to-end cache-on/cache-off differential check *)
+          (* deliberately created with the *default* decode-cache and
+             chaining settings: under --no-decode-cache or --no-chain
+             this doubles as an end-to-end differential check of the
+             corresponding fast path *)
           let alone =
             System.of_fatbin ~obs:Obs.disabled ~cfg ~seed:(seed + i) ~start_isa:(start_isa i)
               ~mode (Workloads.fatbin w)
@@ -674,8 +704,8 @@ let cmp_run_cmd =
        ~doc:"Time-slice several workloads across a simulated mixed-ISA chip multiprocessor.")
     Term.(
       const action $ workloads_arg $ mode_arg $ policy_arg $ cores_arg $ quantum_arg $ fuel_arg
-      $ seed_arg $ migrate_prob_arg $ cc_capacity_arg $ cc_policy_arg $ no_dcache_arg $ jobs_arg
-      $ metrics_arg $ sched_arg $ verify_arg $ export_args)
+      $ seed_arg $ migrate_prob_arg $ cc_capacity_arg $ cc_policy_arg $ no_dcache_arg
+      $ no_chain_arg $ jobs_arg $ metrics_arg $ sched_arg $ verify_arg $ export_args)
 
 let list_cmd =
   let action () =

@@ -401,6 +401,8 @@ type proc_metrics = {
   pm_cache_flushes : int;
   pm_cache_evictions : int;
   pm_memo_installs : int;
+  pm_chain_follows : int;
+  pm_ic_hits : int;
 }
 
 type metrics = {
@@ -412,6 +414,23 @@ type metrics = {
   m_cores : core_metrics list;
   m_procs : proc_metrics list;
 }
+
+(* Host-side decode-cache chaining totals, summed over both cores'
+   caches of the process's machine — host observability only, never
+   part of the simulated cost model. *)
+let sum_dc_stats p f =
+  let m = System.machine (Process.sys p) in
+  List.fold_left
+    (fun acc which ->
+      match Machine.decode_cache_stats m which with Some st -> acc + f st | None -> acc)
+    0
+    [ Desc.Cisc; Desc.Risc ]
+
+let chain_follows p = sum_dc_stats p (fun st -> st.Hipstr_machine.Decode_cache.chain_follows)
+
+let ic_hits p =
+  sum_dc_stats p (fun st ->
+      st.Hipstr_machine.Decode_cache.ic_mono_hits + st.Hipstr_machine.Decode_cache.ic_poly_hits)
 
 let metrics t =
   let trace = List.rev t.trace_rev in
@@ -452,6 +471,8 @@ let metrics t =
                pm_cache_flushes = System.cache_flushes (Process.sys p);
                pm_cache_evictions = System.cache_evictions (Process.sys p);
                pm_memo_installs = System.memo_installs (Process.sys p);
+               pm_chain_follows = chain_follows p;
+               pm_ic_hits = ic_hits p;
              })
            t.procs);
   }

@@ -141,6 +141,10 @@ type proc_metrics = {
   pm_cache_flushes : int;  (** wholesale code-cache flushes (all VMs) *)
   pm_cache_evictions : int;  (** block-granular evictions (fifo/clock) *)
   pm_memo_installs : int;  (** re-installs served from the translation memo *)
+  pm_chain_follows : int;
+      (** host decode-cache chain links followed (both cores; host-side
+          observability, not simulated cost) *)
+  pm_ic_hits : int;  (** host indirect-branch inline-cache hits (mono + poly) *)
 }
 
 type metrics = {

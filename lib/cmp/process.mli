@@ -18,6 +18,7 @@ val create :
   ?seed:int ->
   ?start_isa:Hipstr_isa.Desc.which ->
   ?decode_cache:bool ->
+  ?chain:bool ->
   mode:Hipstr.System.mode ->
   pid:int ->
   name:string ->
@@ -37,6 +38,7 @@ val of_source :
   ?seed:int ->
   ?start_isa:Hipstr_isa.Desc.which ->
   ?decode_cache:bool ->
+  ?chain:bool ->
   mode:Hipstr.System.mode ->
   pid:int ->
   name:string ->

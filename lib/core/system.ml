@@ -35,9 +35,9 @@ type t = {
 let isa_label = function Desc.Cisc -> "cisc" | Desc.Risc -> "risc"
 
 let boot_system ?(obs = Obs.global) ?(cfg = Config.default) ?(seed = 1) ?(start_isa = Desc.Cisc)
-    ?(pid = 0) ?(decode_cache = true) ~mode fb =
+    ?(pid = 0) ?(decode_cache = true) ?(chain = true) ~mode fb =
   let rat_capacity = match mode with Native -> None | Psr_only | Hipstr -> Some cfg.rat_capacity in
-  let m = Machine.create ~obs ~rat_capacity ~decode_cache ~active:start_isa () in
+  let m = Machine.create ~obs ~rat_capacity ~decode_cache ~chain ~active:start_isa () in
   Machine.set_owner m pid;
   Fatbin.load fb (Machine.mem m);
   Machine.boot m ~entry:(Fatbin.entry fb start_isa);
@@ -68,11 +68,11 @@ let boot_system ?(obs = Obs.global) ?(cfg = Config.default) ?(seed = 1) ?(start_
     last_migration = None;
   }
 
-let of_fatbin ?obs ?cfg ?seed ?start_isa ?pid ?decode_cache ~mode fb =
-  boot_system ?obs ?cfg ?seed ?start_isa ?pid ?decode_cache ~mode fb
+let of_fatbin ?obs ?cfg ?seed ?start_isa ?pid ?decode_cache ?chain ~mode fb =
+  boot_system ?obs ?cfg ?seed ?start_isa ?pid ?decode_cache ?chain ~mode fb
 
-let create ?obs ?cfg ?seed ?start_isa ?pid ?decode_cache ~mode ~src () =
-  boot_system ?obs ?cfg ?seed ?start_isa ?pid ?decode_cache ~mode (Compile.to_fatbin src)
+let create ?obs ?cfg ?seed ?start_isa ?pid ?decode_cache ?chain ~mode ~src () =
+  boot_system ?obs ?cfg ?seed ?start_isa ?pid ?decode_cache ?chain ~mode (Compile.to_fatbin src)
 
 let fatbin t = t.fb
 let machine t = t.m

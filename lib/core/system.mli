@@ -37,6 +37,7 @@ val create :
   ?start_isa:Hipstr_isa.Desc.which ->
   ?pid:int ->
   ?decode_cache:bool ->
+  ?chain:bool ->
   mode:mode ->
   src:string ->
   unit ->
@@ -50,7 +51,10 @@ val create :
     entry this system emits, so a CMP timeline can attribute
     per-process work. [decode_cache] (default [true]) controls the
     host-side predecoded-block cache — simulation results are
-    bit-identical either way.
+    bit-identical either way. [chain] (default [true]) controls
+    block-to-block chaining and the indirect-branch inline caches on
+    top of that cache, with the same bit-identity guarantee (and no
+    effect at all when [decode_cache] is off).
     @raise Hipstr_compiler.Compile.Error on bad source. *)
 
 val of_fatbin :
@@ -60,6 +64,7 @@ val of_fatbin :
   ?start_isa:Hipstr_isa.Desc.which ->
   ?pid:int ->
   ?decode_cache:bool ->
+  ?chain:bool ->
   mode:mode ->
   Hipstr_compiler.Fatbin.t ->
   t

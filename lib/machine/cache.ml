@@ -1,6 +1,7 @@
 type t = {
   line_bits : int;
   nsets : int;
+  set_mask : int; (* nsets - 1 when nsets is a power of two, else -1 *)
   assoc : int;
   tags : int array; (* nsets * assoc; -1 = invalid *)
   stamps : int array; (* LRU timestamps *)
@@ -8,6 +9,16 @@ type t = {
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
+  (* Last-access memo: the line and tag-array index of the most recent
+     hit or install. Consecutive probes to the same line — the common
+     case for the icache, where a basic block's instructions share a
+     64-byte line — skip the set scan. Model-invisible: the memoised
+     path performs exactly the clock tick, stamp refresh and hit count
+     the scan would have, and tags only change on a miss install,
+     where the memo is re-pointed, or on [flush], where it is
+     cleared. *)
+  mutable last_line : int;
+  mutable last_idx : int;
 }
 
 let log2i n =
@@ -20,6 +31,7 @@ let create ?(line = 64) ~size_kb ~assoc ~miss_penalty () =
   {
     line_bits = log2i line;
     nsets;
+    set_mask = (if nsets land (nsets - 1) = 0 then nsets - 1 else -1);
     assoc;
     tags = Array.make (nsets * assoc) (-1);
     stamps = Array.make (nsets * assoc) 0;
@@ -27,29 +39,65 @@ let create ?(line = 64) ~size_kb ~assoc ~miss_penalty () =
     clock = 0;
     hits = 0;
     misses = 0;
+    last_line = -1;
+    last_idx = 0;
   }
 
-let access t addr =
+(* One probe per retired instruction (icache) plus one per memory
+   operand (dcache) makes this the hottest host function after the
+   dispatcher, so the set index uses a mask whenever the geometry
+   allows ([line] is non-negative by construction: it is a logical
+   right shift) and the way scan is bounds-check-free ([set < nsets]
+   and [i < assoc] keep every index inside [nsets * assoc]). *)
+let access_scan t line =
+  begin
+    let set = if t.set_mask >= 0 then line land t.set_mask else line mod t.nsets in
+    let base = set * t.assoc in
+    let tags = t.tags in
+    let rec find i =
+      if i >= t.assoc then -1
+      else if Array.unsafe_get tags (base + i) = line then i
+      else find (i + 1)
+    in
+    let i = find 0 in
+    if i >= 0 then begin
+      Array.unsafe_set t.stamps (base + i) t.clock;
+      t.hits <- t.hits + 1;
+      t.last_line <- line;
+      t.last_idx <- base + i;
+      true
+    end
+    else begin
+      t.misses <- t.misses + 1;
+      (* Evict the least recently used way. *)
+      let stamps = t.stamps in
+      let victim = ref 0 in
+      for i = 1 to t.assoc - 1 do
+        if Array.unsafe_get stamps (base + i) < Array.unsafe_get stamps (base + !victim) then
+          victim := i
+      done;
+      Array.unsafe_set tags (base + !victim) line;
+      Array.unsafe_set stamps (base + !victim) t.clock;
+      t.last_line <- line;
+      t.last_idx <- base + !victim;
+      false
+    end
+  end
+
+(* The memo fast path is a separate small wrapper so ocamlopt can
+   inline it into the per-instruction probes; the scan stays
+   out-of-line. *)
+let[@inline] access t addr =
   t.clock <- t.clock + 1;
   let line = addr lsr t.line_bits in
-  let set = line mod t.nsets in
-  let base = set * t.assoc in
-  let rec find i = if i >= t.assoc then None else if t.tags.(base + i) = line then Some i else find (i + 1) in
-  match find 0 with
-  | Some i ->
-    t.stamps.(base + i) <- t.clock;
+  if line = t.last_line then begin
+    (* memoised repeat of the previous hit/install: same work as the
+       scan's hit arm, minus the scan *)
+    Array.unsafe_set t.stamps t.last_idx t.clock;
     t.hits <- t.hits + 1;
     true
-  | None ->
-    t.misses <- t.misses + 1;
-    (* Evict the least recently used way. *)
-    let victim = ref 0 in
-    for i = 1 to t.assoc - 1 do
-      if t.stamps.(base + i) < t.stamps.(base + !victim) then victim := i
-    done;
-    t.tags.(base + !victim) <- line;
-    t.stamps.(base + !victim) <- t.clock;
-    false
+  end
+  else access_scan t line
 
 let miss_penalty t = t.miss_penalty
 let hits t = t.hits
@@ -59,4 +107,6 @@ let reset_stats t =
   t.hits <- 0;
   t.misses <- 0
 
-let flush t = Array.fill t.tags 0 (Array.length t.tags) (-1)
+let flush t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  t.last_line <- -1

@@ -1,7 +1,11 @@
 type flags = { mutable zf : bool; mutable sf : bool; mutable cf : bool; mutable vf : bool }
 
+(* Flat float accumulator: see the interface note — a [mutable float]
+   field here would box on every store. *)
+type fcell = { mutable c : float }
+
 type perf = {
-  mutable cycles : float;
+  cycles : fcell;
   mutable instructions : int;
   mutable loads : int;
   mutable stores : int;
@@ -16,7 +20,7 @@ type t = { mutable pc : int; regs : int array; flags : flags; perf : perf }
 
 let fresh_perf () =
   {
-    cycles = 0.;
+    cycles = { c = 0. };
     instructions = 0;
     loads = 0;
     stores = 0;
@@ -37,7 +41,7 @@ let create () =
 
 let reset_perf t =
   let p = t.perf in
-  p.cycles <- 0.;
+  p.cycles.c <- 0.;
   p.instructions <- 0;
   p.loads <- 0;
   p.stores <- 0;
@@ -50,7 +54,7 @@ let reset_perf t =
 let snapshot_perf t =
   let p = t.perf in
   {
-    cycles = p.cycles;
+    cycles = { c = p.cycles.c };
     instructions = p.instructions;
     loads = p.loads;
     stores = p.stores;

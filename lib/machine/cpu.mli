@@ -2,8 +2,15 @@
 
 type flags = { mutable zf : bool; mutable sf : bool; mutable cf : bool; mutable vf : bool }
 
+type fcell = { mutable c : float }
+(** A float accumulator with the flat (all-float) record layout:
+    updating [c] mutates in place, where a [mutable float] field of
+    the mixed [perf] record would box a fresh float on every store —
+    an allocation per retired instruction on the interpreter's hot
+    path. *)
+
 type perf = {
-  mutable cycles : float;
+  cycles : fcell;
   mutable instructions : int;
   mutable loads : int;
   mutable stores : int;

@@ -25,19 +25,46 @@ type block = {
   db_bad : bool;  (** decode failed at [db_end] *)
   db_region : Mem.region;
   db_gen : int;
+  db_indirect : bool;
+      (** terminator is an indirect transfer (register jump/call or
+          return): successor links form an inline cache keyed by the
+          runtime target pc instead of a fixed direct link *)
+  mutable db_succs : succ array;
 }
+
+(* A chain link: "control left the owning block for [sc_pc], and the
+   block decoded there was [sc_blk]". Validity is entirely
+   target-side — the link may be followed iff it was installed under
+   the current cache epoch (no wholesale invalidation since) and
+   [sc_blk] is not stale (no write in its region since it was
+   decoded). Nothing about the owner matters: even a stale owner's
+   links are safe, because they only ever name where control goes
+   next, never what the owner's bytes were. *)
+and succ = { sc_pc : int; sc_blk : block; sc_epoch : int }
 
 type stats = {
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;
   mutable flushes : int;
+  mutable chain_follows : int;
+  mutable chain_breaks : int;
+  mutable chain_patches : int;
+  mutable ic_mono_hits : int;
+  mutable ic_poly_hits : int;
+  mutable ic_misses : int;
 }
 
 type counters = {
   cn_hits : Obs.Metrics.counter;
   cn_misses : Obs.Metrics.counter;
   cn_invalidations : Obs.Metrics.counter;
+  cn_chain_follows : Obs.Metrics.counter;
+  cn_chain_breaks : Obs.Metrics.counter;
+  cn_chain_patches : Obs.Metrics.counter;
+  cn_ic_mono : Obs.Metrics.counter;
+  cn_ic_poly : Obs.Metrics.counter;
+  cn_ic_misses : Obs.Metrics.counter;
 }
 
 type t = {
@@ -45,6 +72,11 @@ type t = {
   mem : Mem.t;
   read : int -> int;  (** preallocated reader over [mem] *)
   blocks : (int, block) Hashtbl.t;
+  chained : bool;  (** follow/patch successor links at block boundaries *)
+  mutable epoch : int;
+      (** bumped by every wholesale invalidation; links recorded under
+          an older epoch are dead even though their target block object
+          may look fresh *)
   st : stats;
   obs : Obs.t;
   ctrs : counters;
@@ -67,7 +99,7 @@ let max_decode_window = 16
    without bound. *)
 let max_entries = 1 lsl 16
 
-let create ?(obs = Obs.global) ~isa which mem =
+let create ?(obs = Obs.global) ~isa ?(chain = true) which mem =
   (* The four standard code-bearing regions; [Mem.watch] dedupes, so
      the CISC and RISC caches of one machine share region handles. *)
   ignore
@@ -82,23 +114,45 @@ let create ?(obs = Obs.global) ~isa which mem =
   ignore
     (Mem.watch mem ~lo:Layout.risc_cache_base
        ~hi:(Layout.risc_cache_base + Layout.cache_region_size));
-  let counter n = Obs.Metrics.counter (Obs.metrics obs) ("machine." ^ isa ^ ".decode_cache." ^ n) in
+  let counter ns n = Obs.Metrics.counter (Obs.metrics obs) ("machine." ^ isa ^ "." ^ ns ^ "." ^ n) in
   {
     which;
     mem;
     read = Mem.reader mem;
     blocks = Hashtbl.create 1024;
-    st = { hits = 0; misses = 0; invalidations = 0; flushes = 0 };
+    chained = chain;
+    epoch = 0;
+    st =
+      {
+        hits = 0;
+        misses = 0;
+        invalidations = 0;
+        flushes = 0;
+        chain_follows = 0;
+        chain_breaks = 0;
+        chain_patches = 0;
+        ic_mono_hits = 0;
+        ic_poly_hits = 0;
+        ic_misses = 0;
+      };
     obs;
     ctrs =
       {
-        cn_hits = counter "hits";
-        cn_misses = counter "misses";
-        cn_invalidations = counter "invalidations";
+        cn_hits = counter "decode_cache" "hits";
+        cn_misses = counter "decode_cache" "misses";
+        cn_invalidations = counter "decode_cache" "invalidations";
+        cn_chain_follows = counter "chain" "follows";
+        cn_chain_breaks = counter "chain" "breaks";
+        cn_chain_patches = counter "chain" "patches";
+        cn_ic_mono = counter "ic" "mono_hits";
+        cn_ic_poly = counter "ic" "poly_hits";
+        cn_ic_misses = counter "ic" "misses";
       };
   }
 
 let stats t = t.st
+let chained t = t.chained
+let epoch t = t.epoch
 
 let stale b = Mem.generation b.db_region <> b.db_gen
 
@@ -106,6 +160,16 @@ let is_terminator (i : Minstr.t) =
   match i with
   | Jmp _ | Jcc _ | Jmpr _ | Call _ | Callr _ | Ret | Retr _ | Retrat _ | Callrat _ | Trap _ ->
     true
+  | Nop | Mov _ | Lea _ | Binop _ | Cmp _ | Push _ | Pop _ | Syscall -> false
+
+(* Indirect terminators: the successor pc depends on runtime state
+   (register, stack or RAT contents), so a single direct link cannot
+   name it — these blocks carry an inline cache instead. [Callrat] is
+   direct: its transfer target is baked into the encoding. *)
+let is_indirect_terminator (i : Minstr.t) =
+  match i with
+  | Jmpr _ | Callr _ | Ret | Retr _ | Retrat _ -> true
+  | Jmp _ | Jcc _ | Call _ | Callrat _ | Trap _ -> false
   | Nop | Mov _ | Lea _ | Binop _ | Cmp _ | Push _ | Pop _ | Syscall -> false
 
 let decode_one t addr =
@@ -147,6 +211,9 @@ let decode_block t region start =
   done;
   if !count = 0 && not !bad then None
   else
+    let indirect =
+      match !instrs with last :: _ -> is_indirect_terminator last | [] -> false
+    in
     Some
       {
         db_start = start;
@@ -156,6 +223,8 @@ let decode_block t region start =
         db_bad = !bad;
         db_region = region;
         db_gen = gen;
+        db_indirect = indirect;
+        db_succs = [||];
       }
 
 (* Find (or decode and install) the block starting at [addr]. [None]
@@ -183,7 +252,12 @@ let lookup t addr =
       match decode_block t region addr with
       | None -> None
       | Some b ->
-        if Hashtbl.length t.blocks >= max_entries then Hashtbl.reset t.blocks;
+        if Hashtbl.length t.blocks >= max_entries then begin
+          Hashtbl.reset t.blocks;
+          (* the reset unroots every block, so kill chain links into
+             them too instead of letting them pin the old table alive *)
+          t.epoch <- t.epoch + 1
+        end;
         Hashtbl.replace t.blocks addr b;
         t.st.misses <- t.st.misses + 1;
         if Obs.on t.obs then Obs.Metrics.incr t.ctrs.cn_misses;
@@ -209,6 +283,124 @@ let invalidate_all t =
     t.st.invalidations <- t.st.invalidations + n;
     if Obs.on t.obs then Obs.Metrics.incr ~by:n t.ctrs.cn_invalidations
   end;
+  (* Epoch bump: every link installed before this point dies at its
+     next probe, even when its target block object still looks fresh
+     (generations only advance on writes; a flush is not a write). *)
+  t.epoch <- t.epoch + 1;
   t.st.flushes <- t.st.flushes + 1
 
 let entries t = Hashtbl.length t.blocks
+
+(* ------------------------------------------------------------------ *)
+(* Block chaining and indirect-branch inline caches.
+
+   A direct-terminator block holds at most [max_direct_succs] links
+   (a conditional branch has exactly two possible successors; every
+   other direct terminator has one). An indirect-terminator block's
+   links form an inline cache keyed by the runtime target pc:
+   monomorphic at one entry, polymorphic up to [max_ic_succs], and
+   megamorphic beyond that — it stops patching and every arrival
+   takes the dispatcher's table probe, which is the semantic
+   fallback at all times anyway. *)
+
+let max_direct_succs = 2
+let max_ic_succs = 4
+
+let remove_succ (b : block) i =
+  let s = b.db_succs in
+  let n = Array.length s in
+  if n <= 1 then b.db_succs <- [||]
+  else begin
+    let s' = Array.make (n - 1) s.(0) in
+    Array.blit s 0 s' 0 i;
+    Array.blit s (i + 1) s' i (n - 1 - i);
+    b.db_succs <- s'
+  end
+
+(* Follow [b]'s link for [pc]. A matching entry is followed iff its
+   epoch is current and its target is fresh (see [succ]); a dead
+   entry is severed on sight so it cannot pin a dropped block, and
+   the caller falls back to [lookup] (which re-decodes and then
+   [patch]es the new block back in). *)
+let follow t (b : block) pc =
+  if not t.chained then None
+  else begin
+    let succs = b.db_succs in
+    let n = Array.length succs in
+    let st = t.st in
+    let miss () =
+      if b.db_indirect then begin
+        st.ic_misses <- st.ic_misses + 1;
+        if Obs.on t.obs then Obs.Metrics.incr t.ctrs.cn_ic_misses
+      end
+    in
+    let rec scan i =
+      if i >= n then begin
+        miss ();
+        None
+      end
+      else
+        let s = Array.unsafe_get succs i in
+        if s.sc_pc <> pc then scan (i + 1)
+        else if s.sc_epoch = t.epoch && not (stale s.sc_blk) then begin
+          (if b.db_indirect then
+             if n = 1 then begin
+               st.ic_mono_hits <- st.ic_mono_hits + 1;
+               if Obs.on t.obs then Obs.Metrics.incr t.ctrs.cn_ic_mono
+             end
+             else begin
+               st.ic_poly_hits <- st.ic_poly_hits + 1;
+               if Obs.on t.obs then Obs.Metrics.incr t.ctrs.cn_ic_poly
+             end
+           else begin
+             st.chain_follows <- st.chain_follows + 1;
+             if Obs.on t.obs then Obs.Metrics.incr t.ctrs.cn_chain_follows
+           end);
+          Some s.sc_blk
+        end
+        else begin
+          remove_succ b i;
+          st.chain_breaks <- st.chain_breaks + 1;
+          if Obs.on t.obs then Obs.Metrics.incr t.ctrs.cn_chain_breaks;
+          miss ();
+          None
+        end
+    in
+    scan 0
+  end
+
+(* Install [pred] --[pc]--> [b] after a follow miss. Dead entries are
+   pruned first. A full direct set replaces its oldest slot (only
+   reachable when [pred] went stale mid-trace, since a fresh block
+   has at most two possible successors); a full IC goes megamorphic
+   and stops patching. A stale [pred] is never patched — it is about
+   to be dropped, and patching it would only delay collection. *)
+let patch t (pred : block) ~pc (b : block) =
+  if t.chained && not (stale pred) then begin
+    let epoch = t.epoch in
+    let live =
+      Array.to_list pred.db_succs
+      |> List.filter (fun s -> s.sc_epoch = epoch && (not (stale s.sc_blk)) && s.sc_pc <> pc)
+    in
+    let cap = if pred.db_indirect then max_ic_succs else max_direct_succs in
+    let installed =
+      let entry = { sc_pc = pc; sc_blk = b; sc_epoch = epoch } in
+      if List.length live < cap then begin
+        pred.db_succs <- Array.of_list (live @ [ entry ]);
+        true
+      end
+      else if not pred.db_indirect then begin
+        pred.db_succs <- Array.of_list (List.tl live @ [ entry ]);
+        true
+      end
+      else begin
+        (* megamorphic: keep the live entries, refuse the new one *)
+        pred.db_succs <- Array.of_list live;
+        false
+      end
+    in
+    if installed then begin
+      t.st.chain_patches <- t.st.chain_patches + 1;
+      if Obs.on t.obs then Obs.Metrics.incr t.ctrs.cn_chain_patches
+    end
+  end

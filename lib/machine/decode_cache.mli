@@ -21,7 +21,20 @@
 
     The cache is pure simulator-side memoization: it charges no
     cycles, touches no modelled structure, and produces bit-identical
-    architectural and timing results to the uncached interpreter. *)
+    architectural and timing results to the uncached interpreter.
+
+    {2 Chaining}
+
+    Blocks additionally carry successor links so hot traces run
+    block-to-block without the dispatcher's hashtable probe: a
+    direct-terminator block holds up to two links (taken /
+    fall-through), an indirect-terminator block a small inline cache
+    keyed by runtime target pc (monomorphic → polymorphic → megamorphic,
+    at which point it stops patching). A link is followable iff it was
+    installed under the current cache {!epoch} (bumped by every
+    {!invalidate_all}) and its target block is not {!stale}; both are
+    integer compares, and link maintenance is as model-invisible as the
+    cache itself. *)
 
 type block = {
   db_start : int;
@@ -33,22 +46,42 @@ type block = {
           instruction is a bad fetch there *)
   db_region : Mem.region;
   db_gen : int;  (** region generation the block was decoded under *)
+  db_indirect : bool;
+      (** terminator is an indirect transfer: links form an inline
+          cache rather than a direct successor pair *)
+  mutable db_succs : succ array;  (** chain links, owned by {!follow}/{!patch} *)
 }
+
+and succ = { sc_pc : int; sc_blk : block; sc_epoch : int }
+(** A chain link: control left the owner for [sc_pc], where [sc_blk]
+    was decoded. Valid iff [sc_epoch] is the cache's current epoch and
+    [sc_blk] is not stale — validity is entirely target-side. *)
 
 type stats = {
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;
   mutable flushes : int;  (** wholesale {!invalidate_all} calls *)
+  mutable chain_follows : int;  (** direct links followed *)
+  mutable chain_breaks : int;  (** dead links severed at probe time *)
+  mutable chain_patches : int;  (** links installed (direct and IC) *)
+  mutable ic_mono_hits : int;  (** IC hits while the cache held one entry *)
+  mutable ic_poly_hits : int;  (** IC hits while the cache held several *)
+  mutable ic_misses : int;  (** IC probes that fell back to {!lookup} *)
 }
 
 type t
 
-val create : ?obs:Hipstr_obs.Obs.t -> isa:string -> Hipstr_isa.Desc.which -> Mem.t -> t
+val create :
+  ?obs:Hipstr_obs.Obs.t -> isa:string -> ?chain:bool -> Hipstr_isa.Desc.which -> Mem.t -> t
 (** Create a cache for one ISA over one memory, watching the four
     standard code-bearing regions (both code sections and both
     code-cache regions; {!Mem.watch} dedupes across ISAs). Counters
-    are registered as [machine.<isa>.decode_cache.*]. *)
+    are registered as [machine.<isa>.decode_cache.*],
+    [machine.<isa>.chain.*] and [machine.<isa>.ic.*]. [chain]
+    (default on) enables successor links; when off, {!follow} always
+    misses and {!patch} is a no-op, leaving dispatch exactly as it
+    was before chaining existed. *)
 
 val lookup : t -> int -> block option
 (** The block starting at an address: a generation-valid cached entry
@@ -66,8 +99,25 @@ val drop : t -> block -> unit
 
 val invalidate_all : t -> unit
 (** Drop everything: wired into context-switch flushes, relocation-map
-    renewal and code-cache flushes. *)
+    renewal and code-cache flushes. Also bumps the epoch, killing
+    every chain link installed before the call. *)
+
+val follow : t -> block -> int -> block option
+(** [follow t pred pc] probes [pred]'s links for the block at [pc].
+    Dead links (old epoch, or stale target) are severed and counted
+    as breaks; an indirect probe that finds no valid entry counts an
+    IC miss. Always [None] when chaining is off. *)
+
+val patch : t -> block -> pc:int -> block -> unit
+(** [patch t pred ~pc b] installs [pred] --[pc]--> [b] after a follow
+    miss. No-op when chaining is off or [pred] is stale; a full
+    (megamorphic) IC refuses new entries. *)
 
 val stats : t -> stats
+
+val chained : t -> bool
+
+val epoch : t -> int
+(** Current link epoch (test introspection). *)
 
 val entries : t -> int

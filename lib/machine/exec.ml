@@ -26,6 +26,15 @@ type env = {
   dcode : Decode_cache.t option;
   obs : Obs.t;
   ctrs : counters;
+  (* Memoized charge quotients: [lat /. core.throughput] for the four
+     latencies the decoder can produce. Each is the bit-identical
+     result of the division the per-instruction path used to redo —
+     float division is deterministic, so precomputing it once per
+     core is invisible to the cycle model. *)
+  q1 : float;  (** 1.  /. throughput *)
+  q2 : float;  (** 2.  /. throughput *)
+  qmul : float;  (** mul_latency /. throughput *)
+  qdiv : float;  (** div_latency /. throughput *)
 }
 
 type outcome = Running | Stopped of trap
@@ -48,9 +57,18 @@ let decode which mem addr = decode_with ~read:(Mem.reader mem) which addr
 
 exception Stop of trap
 
-let charge env lat = env.cpu.perf.cycles <- env.cpu.perf.cycles +. (lat /. env.core.throughput)
+(* Charge [lat / throughput] cycles via a memoized quotient (see the
+   [q*] fields of [env]): the division is precomputed once per core,
+   which is bit-identical to redoing it at every retirement. The
+   accumulator is a flat float cell ({!Cpu.fcell}), so the store
+   mutates in place instead of boxing. *)
+let charge_q env q =
+  let cy = env.cpu.perf.cycles in
+  cy.Cpu.c <- cy.Cpu.c +. q
 
-let charge_flat env lat = env.cpu.perf.cycles <- env.cpu.perf.cycles +. lat
+let charge_flat env lat =
+  let cy = env.cpu.perf.cycles in
+  cy.Cpu.c <- cy.Cpu.c +. lat
 
 let dcache_access env addr =
   if not (Cache.access env.dcache addr) then
@@ -81,15 +99,19 @@ let set_zs env v =
   env.cpu.flags.zf <- v = 0;
   env.cpu.flags.sf <- v < 0
 
+(* Flag comparisons use [==]/[!=]: on [bool] (an immediate type)
+   physical equality coincides with structural equality and compiles
+   to one compare, where [=] would call the generic [caml_equal] on
+   every conditional branch. *)
 let eval_cond env (c : Minstr.cond) =
   let f = env.cpu.flags in
   match c with
   | Eq -> f.zf
   | Ne -> not f.zf
-  | Lt -> f.sf <> f.vf
-  | Ge -> f.sf = f.vf
-  | Gt -> (not f.zf) && f.sf = f.vf
-  | Le -> f.zf || f.sf <> f.vf
+  | Lt -> f.sf != f.vf
+  | Ge -> f.sf == f.vf
+  | Gt -> (not f.zf) && f.sf == f.vf
+  | Le -> f.zf || f.sf != f.vf
   | Ult -> f.cf
   | Uge -> not f.cf
 
@@ -145,10 +167,12 @@ let apply_binop env (op : Minstr.binop) a b =
   set_zs env r;
   r
 
-let binop_latency env : Minstr.binop -> float = function
-  | Mul -> float_of_int env.core.mul_latency
-  | Divs | Rems -> float_of_int env.core.div_latency
-  | Add | Sub | And | Or | Xor | Shl | Shr | Sar -> 1.
+(* Per-op charge quotient: mul/div pay their configured latencies
+   (over throughput), everything else one issue slot. *)
+let binop_quotient env : Minstr.binop -> float = function
+  | Mul -> env.qmul
+  | Divs | Rems -> env.qdiv
+  | Add | Sub | And | Or | Xor | Shl | Shr | Sar -> env.q1
 
 let push env v =
   let sp = env.desc.sp in
@@ -210,25 +234,25 @@ let exec env (i : Minstr.t) len =
   let next = pc + len in
   match i with
   | Nop ->
-    charge env 1.;
+    charge_q env env.q1;
     goto env next
   | Mov (d, s) ->
-    charge env 1.;
+    charge_q env env.q1;
     let v = rval env s in
     wval env d v;
     goto env next
   | Lea (d, b, k) ->
-    charge env 1.;
+    charge_q env env.q1;
     env.cpu.regs.(d) <- W32.add env.cpu.regs.(b) k;
     goto env next
   | Binop (op, d, s) ->
-    charge env (binop_latency env op);
+    charge_q env (binop_quotient env op);
     let a = rval env d in
     let b = rval env s in
     wval env d (apply_binop env op a b);
     goto env next
   | Cmp (a, b) ->
-    charge env 1.;
+    charge_q env env.q1;
     let va = rval env a in
     let vb = rval env b in
     let f = env.cpu.flags in
@@ -237,28 +261,28 @@ let exec env (i : Minstr.t) len =
     set_zs env (W32.sub va vb);
     goto env next
   | Push s ->
-    charge env 1.;
+    charge_q env env.q1;
     let v = rval env s in
     push env v;
     goto env next
   | Pop d ->
-    charge env 1.;
+    charge_q env env.q1;
     let v = pop env in
     wval env d v;
     goto env next
   | Jmp t ->
-    charge env 1.;
+    charge_q env env.q1;
     env.cpu.perf.branches <- env.cpu.perf.branches + 1;
     goto env t
   | Jcc (c, t) ->
-    charge env 1.;
+    charge_q env env.q1;
     env.cpu.perf.branches <- env.cpu.perf.branches + 1;
     let taken = eval_cond env c in
     if not (Bpred.predict_cond env.bpred ~pc ~taken) then
       charge_flat env (float_of_int env.core.mispredict_penalty);
     goto env (if taken then t else next)
   | Jmpr s ->
-    charge env 1.;
+    charge_q env env.q1;
     env.cpu.perf.indirects <- env.cpu.perf.indirects + 1;
     let t = rval env s in
     if Layout.in_cache_region t then raise (Stop (Fault (Cache_jump t)));
@@ -266,11 +290,11 @@ let exec env (i : Minstr.t) len =
       charge_flat env (float_of_int env.core.mispredict_penalty);
     goto env t
   | Call t ->
-    charge env 2.;
+    charge_q env env.q2;
     Bpred.push_ras env.bpred next;
     do_call env ~ret_addr:next ~target:t
   | Callr s ->
-    charge env 2.;
+    charge_q env env.q2;
     env.cpu.perf.indirects <- env.cpu.perf.indirects + 1;
     let t = rval env s in
     if Layout.in_cache_region t then raise (Stop (Fault (Cache_jump t)));
@@ -279,18 +303,18 @@ let exec env (i : Minstr.t) len =
     Bpred.push_ras env.bpred next;
     do_call env ~ret_addr:next ~target:t
   | Ret ->
-    charge env 2.;
+    charge_q env env.q2;
     let v = pop env in
     return_to env v
   | Retr r ->
-    charge env 2.;
+    charge_q env env.q2;
     return_to env env.cpu.regs.(r)
   | Retrat s ->
-    charge env 2.;
+    charge_q env env.q2;
     let v = rval env s in
     return_to env v
   | Callrat { target; src_ret } ->
-    charge env 2.;
+    charge_q env env.q2;
     (match env.rat with
     | Some rat -> Rat.insert rat ~src:src_ret ~translated:next
     | None -> ());
@@ -330,58 +354,104 @@ let icache_probe env pc =
   if not (Cache.access env.icache pc) then
     charge_flat env (float_of_int env.core.icache_miss_penalty)
 
-let step env =
+(* The inter-block boundary gate, shared verbatim by the slow loop,
+   the cached dispatcher and (through the dispatcher) every followed
+   chain link. The order is load-bearing and must never be reordered
+   by a fast path: fuel first (an exhausted run has to pause *before*
+   inspecting pc — the quantum boundary is model-visible), then the
+   exit sentinel, then execution at pc. The cached path additionally
+   re-checks block staleness before every instruction; that check
+   lives in [run_cached.exec_block], after this gate, standing in for
+   the byte re-decode the slow path does implicitly. *)
+type gate = Out_of_fuel | At_exit | Proceed
+
+let boundary_gate env n =
+  if n <= 0 then Out_of_fuel
+  else if env.cpu.pc = Layout.exit_sentinel then At_exit
+  else Proceed
+
+(* Decode and retire the instruction at pc. Callers must have passed
+   [boundary_gate] (pc is not the sentinel, fuel remains). *)
+let step_here env =
   let pc = env.cpu.pc in
-  if pc = Layout.exit_sentinel then Stopped (Exit env.cpu.regs.(env.desc.ret_reg))
-  else begin
-    icache_probe env pc;
-    match decode_with ~read:env.reader env.desc.which pc with
-    | None -> stopped env (Fault (Bad_fetch pc))
-    | Some (i, len) -> exec_one env i len
-  end
+  icache_probe env pc;
+  match decode_with ~read:env.reader env.desc.which pc with
+  | None -> stopped env (Fault (Bad_fetch pc))
+  | Some (i, len) -> exec_one env i len
+
+let step env =
+  match boundary_gate env 1 with
+  | At_exit -> Stopped (Exit env.cpu.regs.(env.desc.ret_reg))
+  | Proceed -> step_here env
+  | Out_of_fuel -> assert false (* n = 1 *)
 
 let run_slow env ~fuel =
   let rec go n =
-    if n <= 0 then None
-    else
-      match step env with
-      | Running -> go (n - 1)
-      | Stopped t -> Some t
+    match boundary_gate env n with
+    | Out_of_fuel -> None
+    | At_exit -> Some (Exit env.cpu.regs.(env.desc.ret_reg))
+    | Proceed -> ( match step_here env with Running -> go (n - 1) | Stopped t -> Some t)
   in
   go fuel
 
 (* The cached fast path. Per retired instruction it performs exactly
-   the same model-visible work as [step] — fuel check, exit-sentinel
-   check at block boundaries (a cached block can never contain the
-   sentinel: every watched region lies above it, and only control
+   the same model-visible work as the slow loop — boundary gate (fuel,
+   then exit sentinel: a cached block can never contain the sentinel,
+   since every watched region lies above it and only control
    transfers, which end blocks, can move pc there), icache probe,
    counters, execution — with the per-instruction byte decode replaced
    by an array read plus one generation compare. A stale block (some
    write landed in its region since decode, possibly by the previous
    instruction of this very block) is dropped and re-looked-up before
    anything is charged, so self-modifying code sees exactly the
-   semantics of per-instruction decode. *)
+   semantics of per-instruction decode.
+
+   [exec_block]'s retire sequence (instruction counter, obs counter,
+   execute, Stop/Fault conversion) mirrors [exec_one] instruction for
+   instruction — inlined rather than called so the hottest loop in
+   the simulator pays neither the call nor a second fetch of the
+   block arrays. Any change to one retire path MUST be made to the
+   other; test/test_interp.ml's differentials exist to catch a
+   mismatch.
+
+   Chaining: when a block finishes cleanly it becomes [pred] for the
+   next dispatch, which first probes [pred]'s successor links
+   ([Decode_cache.follow]) and only falls back to the hashtable probe
+   ([lookup], then [patch]ing the link in) on a miss. Neither probe
+   nor link maintenance does any model-visible work, so chained and
+   unchained execution are bit-identical by construction; the gate
+   runs before the link probe, so chaining cannot reorder the
+   fuel/sentinel checks either. *)
 let run_cached env dc ~fuel =
   let open Decode_cache in
-  let rec dispatch n =
-    if n <= 0 then None
-    else
+  let rec dispatch pred n =
+    match boundary_gate env n with
+    | Out_of_fuel -> None
+    | At_exit -> Some (Exit env.cpu.regs.(env.desc.ret_reg))
+    | Proceed -> (
       let pc = env.cpu.pc in
-      if pc = Layout.exit_sentinel then Some (Exit env.cpu.regs.(env.desc.ret_reg))
-      else
-        match lookup dc pc with
+      match pred with
+      | Some p -> (
+        match follow dc p pc with
         | Some b -> exec_block b 0 n
-        | None -> (
-          (* uncacheable address (outside watched regions, or no block
-             forms): plain single step *)
-          match step env with
-          | Running -> dispatch (n - 1)
-          | Stopped t -> Some t)
+        | None -> probe pred pc n)
+      | None -> probe pred pc n)
+  and probe pred pc n =
+    match lookup dc pc with
+    | Some b ->
+      (match pred with Some p -> patch dc p ~pc b | None -> ());
+      exec_block b 0 n
+    | None -> (
+      (* uncacheable address (outside watched regions, or no block
+         forms): plain single step, and no link to install *)
+      match step_here env with
+      | Running -> dispatch None (n - 1)
+      | Stopped t -> Some t)
   and exec_block b k n =
     if n <= 0 then None
     else if stale b then begin
       drop dc b;
-      dispatch n
+      dispatch None n
     end
     else if k >= Array.length b.db_instrs then
       if b.db_bad then begin
@@ -392,15 +462,23 @@ let run_cached env dc ~fuel =
         | Stopped t -> Some t
         | Running -> assert false
       end
-      else dispatch n
+      else dispatch (Some b) n
     else begin
       icache_probe env env.cpu.pc;
-      match exec_one env (Array.unsafe_get b.db_instrs k) (Array.unsafe_get b.db_lens k) with
-      | Running -> exec_block b (k + 1) (n - 1)
-      | Stopped t -> Some t
+      (* inlined [exec_one] — keep in lockstep with it *)
+      env.cpu.perf.instructions <- env.cpu.perf.instructions + 1;
+      if Obs.on env.obs then Obs.Metrics.incr env.ctrs.cn_instrs;
+      match exec env (Array.unsafe_get b.db_instrs k) (Array.unsafe_get b.db_lens k) with
+      | () -> exec_block b (k + 1) (n - 1)
+      | exception Stop t -> (
+        match stopped env t with Stopped t -> Some t | Running -> assert false)
+      | exception Mem.Fault a -> (
+        match stopped env (Fault (Bad_access a)) with
+        | Stopped t -> Some t
+        | Running -> assert false)
     end
   in
-  dispatch fuel
+  dispatch None fuel
 
 let run env ~fuel =
   match env.dcode with

@@ -52,6 +52,14 @@ type env = {
           hatch) *)
   obs : Hipstr_obs.Obs.t;
   ctrs : counters;
+  q1 : float;
+  q2 : float;
+  qmul : float;
+  qdiv : float;
+      (** memoized [latency /. core.throughput] quotients for the
+          fixed latencies (1, 2, mul, div): float division is
+          deterministic, so adding a precomputed quotient is
+          bit-identical to dividing at every retirement *)
 }
 
 type outcome = Running | Stopped of trap

@@ -30,7 +30,7 @@ type t = {
   mutable cycle_mark : float;
 }
 
-let make_ctx ~obs ~rat_capacity ~icache_kb ~dcache_kb ~decode_cache ~memory which =
+let make_ctx ~obs ~rat_capacity ~icache_kb ~dcache_kb ~decode_cache ~chain ~memory which =
   let desc = match which with Desc.Cisc -> Hipstr_cisc.Isa.desc | Risc -> Hipstr_risc.Isa.desc in
   let core = Core_desc.for_isa which in
   let isa = match which with Desc.Cisc -> "cisc" | Desc.Risc -> "risc" in
@@ -46,7 +46,7 @@ let make_ctx ~obs ~rat_capacity ~icache_kb ~dcache_kb ~decode_cache ~memory whic
         ~miss_penalty:core.dcache_miss_penalty ();
     bpred = Bpred.create ();
     rat = (match rat_capacity with None -> None | Some n -> Some (Rat.create ~capacity:n));
-    dcode = (if decode_cache then Some (Decode_cache.create ~obs ~isa which memory) else None);
+    dcode = (if decode_cache then Some (Decode_cache.create ~obs ~isa ~chain which memory) else None);
     ctrs =
       {
         Exec.cn_instrs = counter "instructions";
@@ -56,15 +56,17 @@ let make_ctx ~obs ~rat_capacity ~icache_kb ~dcache_kb ~decode_cache ~memory whic
   }
 
 let create ?(obs = Obs.global) ?(rat_capacity = None) ?(icache_kb = 32) ?(dcache_kb = 32)
-    ?(decode_cache = true) ~active () =
+    ?(decode_cache = true) ?(chain = true) ~active () =
   let memory = Mem.create Layout.mem_size in
   {
     cpu = Cpu.create ();
     memory;
     mem_reader = Mem.reader memory;
     os_state = Sys.create ();
-    cisc_ctx = make_ctx ~obs ~rat_capacity ~icache_kb ~dcache_kb ~decode_cache ~memory Desc.Cisc;
-    risc_ctx = make_ctx ~obs ~rat_capacity ~icache_kb ~dcache_kb ~decode_cache ~memory Desc.Risc;
+    cisc_ctx =
+      make_ctx ~obs ~rat_capacity ~icache_kb ~dcache_kb ~decode_cache ~chain ~memory Desc.Cisc;
+    risc_ctx =
+      make_ctx ~obs ~rat_capacity ~icache_kb ~dcache_kb ~decode_cache ~chain ~memory Desc.Risc;
     observ = obs;
     c_ctx_flush = Obs.Metrics.counter (Obs.metrics obs) "machine.context_switch_flushes";
     active;
@@ -105,6 +107,10 @@ let env_of t which =
     dcode = c.dcode;
     obs = t.observ;
     ctrs = c.ctrs;
+    q1 = 1. /. c.core.throughput;
+    q2 = 2. /. c.core.throughput;
+    qmul = float_of_int c.core.mul_latency /. c.core.throughput;
+    qdiv = float_of_int c.core.div_latency /. c.core.throughput;
   }
 
 let env t = env_of t t.active
@@ -112,11 +118,11 @@ let env t = env_of t t.active
 let rat t = (ctx t).rat
 
 let account_cycles t =
-  let delta = t.cpu.perf.cycles -. t.cycle_mark in
+  let delta = t.cpu.perf.cycles.Cpu.c -. t.cycle_mark in
   (match t.active with
   | Desc.Cisc -> t.cisc_cycles <- t.cisc_cycles +. delta
   | Desc.Risc -> t.risc_cycles <- t.risc_cycles +. delta);
-  t.cycle_mark <- t.cpu.perf.cycles
+  t.cycle_mark <- t.cpu.perf.cycles.Cpu.c
 
 let switch_core t which =
   if which <> t.active then begin
@@ -162,7 +168,7 @@ let context_switch_flush t =
     (* zero-duration span: the flush itself is free in the cycle model
        (the cost is the refill), but the profile should show when and
        where cold reschedules happened *)
-    let cycle = t.cpu.perf.cycles in
+    let cycle = t.cpu.perf.cycles.Cpu.c in
     let sp =
       Obs.enter_span t.observ ~name:"context_switch_flush"
         ~attrs:[ ("isa", isa_name t); ("pid", string_of_int t.owner_pid) ]
@@ -191,7 +197,7 @@ let run t ~fuel =
   account_cycles t;
   r
 
-let cycles t = t.cpu.perf.cycles
+let cycles t = t.cpu.perf.cycles.Cpu.c
 
 let instructions t = t.cpu.perf.instructions
 

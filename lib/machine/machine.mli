@@ -19,6 +19,7 @@ val create :
   ?icache_kb:int ->
   ?dcache_kb:int ->
   ?decode_cache:bool ->
+  ?chain:bool ->
   active:Hipstr_isa.Desc.which ->
   unit ->
   t
@@ -29,8 +30,10 @@ val create :
     every component holding this machine (PSR VMs, the migration
     engine). [decode_cache] (default [true]) gives each core a
     predecoded-basic-block cache; [false] is the [--no-decode-cache]
-    escape hatch forcing per-instruction decode. Results are
-    bit-identical either way. *)
+    escape hatch forcing per-instruction decode. [chain] (default
+    [true]) lets those caches chain blocks and inline-cache indirect
+    targets; [false] is the [--no-chain] escape hatch. Results are
+    bit-identical in all four combinations. *)
 
 val mem : t -> Mem.t
 val cpu : t -> Cpu.t
@@ -66,8 +69,8 @@ val invalidate_decoded : t -> Hipstr_isa.Desc.which -> unit
     without a decode cache. *)
 
 val decode_cache_stats : t -> Hipstr_isa.Desc.which -> Decode_cache.stats option
-(** Hit/miss/invalidation/flush counts of one core's decode cache
-    ([None] when running with [--no-decode-cache]). *)
+(** Hit/miss/invalidation/flush plus chain/IC counts of one core's
+    decode cache ([None] when running with [--no-decode-cache]). *)
 
 val switch_core : t -> Hipstr_isa.Desc.which -> unit
 (** Make the other core active. Counts a migration; register/flag

@@ -154,7 +154,7 @@ let transform_stack machine fb mode ~from_isa ~to_isa top_fs sp0 =
 
 let charge_destination machine cycles =
   let cpu = Machine.cpu machine in
-  cpu.Hipstr_machine.Cpu.perf.cycles <- cpu.Hipstr_machine.Cpu.perf.cycles +. cycles
+  cpu.Hipstr_machine.Cpu.perf.cycles.Hipstr_machine.Cpu.c <- cpu.Hipstr_machine.Cpu.perf.cycles.Hipstr_machine.Cpu.c +. cycles
 
 let desc_of which =
   match which with Desc.Cisc -> Hipstr_cisc.Isa.desc | Desc.Risc -> Hipstr_risc.Isa.desc
@@ -168,7 +168,7 @@ let finish machine ~to_isa ~frames ~words ~resume ~complete =
   let from_sp = (desc_of (Machine.active machine)).sp in
   let to_sp = (desc_of to_isa).sp in
   let sp_value = cpu.regs.(from_sp) in
-  let cycle_before = cpu.Hipstr_machine.Cpu.perf.cycles in
+  let cycle_before = cpu.Hipstr_machine.Cpu.perf.cycles.Hipstr_machine.Cpu.c in
   Machine.switch_core machine to_isa;
   cpu.regs.(to_sp) <- sp_value;
   let cycles = fixed_cycles +. (per_word_cycles *. float_of_int words) in
@@ -194,7 +194,7 @@ let finish machine ~to_isa ~frames ~words ~resume ~complete =
           ]
         ~cycle:cycle_before ()
     in
-    Obs.exit_span obs sp ~cycle:cpu.Hipstr_machine.Cpu.perf.cycles
+    Obs.exit_span obs sp ~cycle:cpu.Hipstr_machine.Cpu.perf.cycles.Hipstr_machine.Cpu.c
   end;
   { r_frames = frames; r_words = words; r_resume_src = resume; r_complete = complete; r_cycles = cycles }
 

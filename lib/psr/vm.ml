@@ -176,7 +176,7 @@ let cpu t = Machine.cpu t.machine
 
 let charge t c =
   let e = env t in
-  e.Exec.cpu.perf.cycles <- e.Exec.cpu.perf.cycles +. c
+  e.Exec.cpu.perf.cycles.Hipstr_machine.Cpu.c <- e.Exec.cpu.perf.cycles.Hipstr_machine.Cpu.c +. c
 
 let rat t =
   match (env t).Exec.rat with
@@ -314,7 +314,7 @@ let translate_unit t src =
     end;
     cache_addr
   | None ->
-    let cycle_before = (cpu t).perf.cycles in
+    let cycle_before = (cpu t).perf.cycles.Hipstr_machine.Cpu.c in
     let align = if t.cfg.opt_level >= 1 then 64 else 1 in
     if
       t.cfg.cc_policy = Code_cache.Flush
@@ -408,7 +408,7 @@ let translate_unit t src =
     end;
     if not compulsory then
       t.st.retranslate_cycles <-
-        t.st.retranslate_cycles +. ((cpu t).perf.cycles -. cycle_before);
+        t.st.retranslate_cycles +. ((cpu t).perf.cycles.Hipstr_machine.Cpu.c -. cycle_before);
     (* span entered after the work so a Wild_target raise above never
        leaves it dangling on the domain stack; the stamps still cover
        the whole miss path (flush + translate charges) *)
@@ -423,7 +423,7 @@ let translate_unit t src =
             ]
           ~cycle:cycle_before ()
       in
-      Obs.exit_span t.pr.obs sp ~cycle:(cpu t).perf.cycles
+      Obs.exit_span t.pr.obs sp ~cycle:(cpu t).perf.cycles.Hipstr_machine.Cpu.c
     end;
     base
 
@@ -535,7 +535,7 @@ let suspicious_probe t target_src =
   if Obs.on t.pr.obs then begin
     Obs.Metrics.incr t.pr.c_suspicious;
     Obs.emit t.pr.obs (Obs.Trace.Suspicious { isa = t.pr.isa; target_src });
-    Obs.audit_emit t.pr.obs ~cycle:(cpu t).perf.cycles ~isa:t.pr.isa
+    Obs.audit_emit t.pr.obs ~cycle:(cpu t).perf.cycles.Hipstr_machine.Cpu.c ~isa:t.pr.isa
       ~pid:(Machine.owner t.machine)
       (Obs.Audit.Suspicious { target_src })
   end
@@ -605,11 +605,11 @@ let on_trap t (trap : Exec.trap) =
     end
 
 let pretranslate t src =
-  let before = (cpu t).perf.cycles in
+  let before = (cpu t).perf.cycles.Hipstr_machine.Cpu.c in
   t.span_quiet <- true;
   let ok = match translate_unit t src with _ -> true | exception Wild_target _ -> false in
   t.span_quiet <- false;
-  (cpu t).perf.cycles <- before;
+  (cpu t).perf.cycles.Hipstr_machine.Cpu.c <- before;
   ok
 
 let complete_call t ~callee_src ~src_ret =

@@ -24,13 +24,18 @@ let sar a n = wrap (wrap a asr (n land 31))
 let carry_add a b = unsigned a + unsigned b > mask
 let borrow_sub a b = unsigned a < unsigned b
 
+(* Overflow flags use physical equality on the sign booleans: [bool]
+   is an immediate type, so [==]/[!=] coincide with structural
+   equality while compiling to a single compare — the generic [=]
+   would call [caml_equal] on the interpreter's hottest arithmetic
+   path. *)
 let overflow_add a b =
   let r = wrap (a + b) in
-  (a < 0) = (b < 0) && (r < 0) <> (a < 0)
+  (a < 0) == (b < 0) && (r < 0) != (a < 0)
 
 let overflow_sub a b =
   let r = wrap (a - b) in
-  (a < 0) <> (b < 0) && (r < 0) <> (a < 0)
+  (a < 0) != (b < 0) && (r < 0) != (a < 0)
 
 let byte v i = (v lsr (8 * i)) land 0xFF
 

@@ -12,8 +12,8 @@ module Config = Hipstr_psr.Config
 
 let fuel = 4_000_000
 
-let run_config ?cfg src ~mode ~isa ~seed =
-  match System.create ?cfg ~seed ~start_isa:isa ~mode ~src () with
+let run_config ?cfg ?chain src ~mode ~isa ~seed =
+  match System.create ?cfg ?chain ~seed ~start_isa:isa ~mode ~src () with
   | exception Hipstr_compiler.Compile.Error m -> Error ("compile: " ^ m)
   | sys -> (
     match System.run sys ~fuel with
@@ -21,6 +21,18 @@ let run_config ?cfg src ~mode ~isa ~seed =
     | System.Killed m -> Error ("killed: " ^ m)
     | System.Shell_spawned -> Error "shell"
     | System.Out_of_fuel -> Error "fuel")
+
+(* HIPSTR_FUZZ_CHAIN flips the *default* chaining setting of every
+   config below (the explicit chained/unchained contrast pair keeps
+   its settings regardless): "0"/"off" fuzzes the whole matrix with
+   block chaining disabled, anything else (or unset) with it on.
+   Running the suite once per value covers both dispatch paths with
+   the full config matrix. *)
+let fuzz_chain () =
+  match Sys.getenv_opt "HIPSTR_FUZZ_CHAIN" with
+  | None | Some "" | Some "1" | Some "on" -> true
+  | Some "0" | Some "off" -> false
+  | Some s -> failwith ("bad HIPSTR_FUZZ_CHAIN: " ^ s)
 
 let always_migrate = { Config.default with migrate_prob = 1.0 }
 let sometimes_migrate = { Config.default with migrate_prob = 0.5 }
@@ -51,26 +63,34 @@ let tiny_flush = { Config.default with cache_bytes = fuzz_cc_capacity () }
 
 let check_program seed =
   let src = Progen.generate seed in
+  let dflt = fuzz_chain () in
   let configs =
     [
-      ("native-cisc", System.Native, Desc.Cisc, 1, None);
-      ("native-risc", System.Native, Desc.Risc, 1, None);
-      ("psr-cisc-a", System.Psr_only, Desc.Cisc, 1 + (seed * 7), None);
-      ("psr-cisc-b", System.Psr_only, Desc.Cisc, 2 + (seed * 13), None);
-      ("psr-risc", System.Psr_only, Desc.Risc, 3 + seed, None);
-      ("hipstr", System.Hipstr, Desc.Cisc, 4 + seed, Some always_migrate);
-      ("hipstr-risc", System.Hipstr, Desc.Risc, 5 + (seed * 3), Some always_migrate);
-      ("hipstr-mid", System.Hipstr, Desc.Cisc, 6 + (seed * 11), Some sometimes_migrate);
-      ("psr-tiny-flush", System.Psr_only, Desc.Cisc, 7 + (seed * 5), Some tiny_flush);
-      ("psr-tiny-fifo", System.Psr_only, Desc.Cisc, 7 + (seed * 5), Some tiny_fifo);
-      ("psr-tiny-clock", System.Psr_only, Desc.Risc, 8 + (seed * 9), Some tiny_clock);
+      ("native-cisc", System.Native, Desc.Cisc, 1, None, dflt);
+      ("native-risc", System.Native, Desc.Risc, 1, None, dflt);
+      ("psr-cisc-a", System.Psr_only, Desc.Cisc, 1 + (seed * 7), None, dflt);
+      ("psr-cisc-b", System.Psr_only, Desc.Cisc, 2 + (seed * 13), None, dflt);
+      ("psr-risc", System.Psr_only, Desc.Risc, 3 + seed, None, dflt);
+      ("hipstr", System.Hipstr, Desc.Cisc, 4 + seed, Some always_migrate, dflt);
+      ("hipstr-risc", System.Hipstr, Desc.Risc, 5 + (seed * 3), Some always_migrate, dflt);
+      ("hipstr-mid", System.Hipstr, Desc.Cisc, 6 + (seed * 11), Some sometimes_migrate, dflt);
+      ("psr-tiny-flush", System.Psr_only, Desc.Cisc, 7 + (seed * 5), Some tiny_flush, dflt);
+      ("psr-tiny-fifo", System.Psr_only, Desc.Cisc, 7 + (seed * 5), Some tiny_fifo, dflt);
+      ("psr-tiny-clock", System.Psr_only, Desc.Risc, 8 + (seed * 9), Some tiny_clock, dflt);
       ("hipstr-tiny-fifo", System.Hipstr, Desc.Cisc, 9 + (seed * 17),
-       Some { tiny_fifo with migrate_prob = 1.0 });
+       Some { tiny_fifo with migrate_prob = 1.0 }, dflt);
+      (* explicit chained/unchained contrast on the churniest config:
+         same seed, same tiny eviction cache, only the host dispatch
+         differs — a per-program chaining differential *)
+      ("psr-tiny-fifo-chain", System.Psr_only, Desc.Cisc, 7 + (seed * 5), Some tiny_fifo, true);
+      ("psr-tiny-fifo-nochain", System.Psr_only, Desc.Cisc, 7 + (seed * 5), Some tiny_fifo,
+       false);
     ]
   in
   let results =
     List.map
-      (fun (label, mode, isa, s, cfg) -> (label, run_config ?cfg src ~mode ~isa ~seed:s))
+      (fun (label, mode, isa, s, cfg, chain) ->
+        (label, run_config ?cfg ~chain src ~mode ~isa ~seed:s))
       configs
   in
   match results with

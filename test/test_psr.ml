@@ -181,22 +181,24 @@ let test_eviction_vs_flush_differential () =
   (* The acceptance invariant of block-granular eviction: on the
      differential suite (default capacity, so translation behavior is
      the only thing the policy could perturb) flush, fifo and clock
-     produce bit-identical outputs, suspicious-transfer counts and
-     migration counts. *)
+     produce identical outputs, suspicious-transfer counts and
+     migration counts. Checked through the shared harness with the
+     observational mask — the policies are *allowed* to differ in
+     instructions and cycles (retranslation costs differ by design),
+     unlike the host-only fast paths. *)
   let run_policy policy =
     let cfg = { Config.default with migrate_prob = 1.0; cc_policy = policy } in
-    let o, out, sys = run_mode ~cfg ~seed:11 ~mode:System.Hipstr ~isa:Desc.Cisc kernel_src in
+    let o, _, sys = run_mode ~cfg ~seed:11 ~mode:System.Hipstr ~isa:Desc.Cisc kernel_src in
     expect_finished (Code_cache.policy_name policy) o;
-    (out, System.suspicious_events sys, System.security_migrations sys)
+    Diff_harness.fingerprint sys o
   in
-  let out_f, susp_f, mig_f = run_policy Code_cache.Flush in
+  let flush = run_policy Code_cache.Flush in
   List.iter
     (fun policy ->
-      let name = Code_cache.policy_name policy in
-      let out, susp, mig = run_policy policy in
-      Alcotest.(check (list int)) (name ^ " output = flush output") out_f out;
-      Alcotest.(check int) (name ^ " suspicious = flush suspicious") susp_f susp;
-      Alcotest.(check int) (name ^ " migrations = flush migrations") mig_f mig)
+      let fp = run_policy policy in
+      Diff_harness.check ~mask:Diff_harness.observational
+        (Code_cache.policy_name policy ^ " vs flush")
+        flush fp)
     [ Code_cache.Fifo; Code_cache.Clock ]
 
 let test_tiny_cache_eviction_policies () =
