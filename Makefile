@@ -3,7 +3,7 @@
 
 FUZZ_SEEDS ?= 1-25
 
-.PHONY: all build test fuzz micro cmp-smoke profile-smoke cache-smoke interp-smoke chain-smoke check clean
+.PHONY: all build test fuzz micro cmp-smoke profile-smoke cache-smoke interp-smoke chain-smoke fleet-smoke check clean
 
 all: build
 
@@ -85,7 +85,26 @@ chain-smoke:
 	cmp /tmp/hipstr-chain-j1.json /tmp/hipstr-chain-j4.json
 	HIPSTR_FUZZ_CHAIN=off HIPSTR_FUZZ_SEEDS=1-10 dune exec test/test_fuzz.exe
 
-check: build test fuzz micro cmp-smoke profile-smoke cache-smoke interp-smoke chain-smoke
+# The fleet serving subsystem end-to-end: the fleet determinism
+# suite, then one seeded open-loop trace served at -j 1 and -j 4 with
+# metrics and audit exports demanded byte-identical (the work-stealing
+# determinism contract), and a reduced fleet sweep whose
+# BENCH_fleet.json json_check validates.
+fleet-smoke:
+	dune exec test/test_fleet.exe
+	dune exec bin/hipstr_cli.exe -- fleet-run --procs 48 --arrival poisson:50 \
+	  --mix 60,20,10,10 --policy security-first --mode psr --shards 4 -j 1 \
+	  --metrics-out /tmp/hipstr-fleet-j1.json --audit-out /tmp/hipstr-fleet-j1.jsonl
+	dune exec bin/hipstr_cli.exe -- fleet-run --procs 48 --arrival poisson:50 \
+	  --mix 60,20,10,10 --policy security-first --mode psr --shards 4 -j 4 \
+	  --metrics-out /tmp/hipstr-fleet-j4.json --audit-out /tmp/hipstr-fleet-j4.jsonl
+	cmp /tmp/hipstr-fleet-j1.json /tmp/hipstr-fleet-j4.json
+	cmp /tmp/hipstr-fleet-j1.jsonl /tmp/hipstr-fleet-j4.jsonl
+	dune exec bench/main.exe -- --fleet-only --fleet-procs 24 -j 2
+	dune exec tools/json_check.exe -- BENCH_fleet.json /tmp/hipstr-fleet-j1.json \
+	  /tmp/hipstr-fleet-j1.jsonl
+
+check: build test fuzz micro cmp-smoke profile-smoke cache-smoke interp-smoke chain-smoke fleet-smoke
 
 clean:
 	dune clean

@@ -10,8 +10,10 @@
    regressions in the simulator itself are visible. Pass
    `--micro-only` or `--tables-only` to run half of it, `--obs-only`
    to emit just the BENCH_obs.json phase breakdown, `--cache-only`
-   for the BENCH_cache.json churn sweep, or `--interp-only` for the
-   BENCH_interp.json interpreter-throughput sweep. *)
+   for the BENCH_cache.json churn sweep, `--interp-only` for the
+   BENCH_interp.json interpreter-throughput sweep, or `--fleet-only`
+   (optionally with `--fleet-procs N`) for the BENCH_fleet.json fleet
+   serving sweep. *)
 
 module Desc = Hipstr_isa.Desc
 module Minstr = Hipstr_isa.Minstr
@@ -398,6 +400,103 @@ let run_interp () =
   Printf.printf "[interpreter throughput sweep written to BENCH_interp.json]\n"
 
 (* ------------------------------------------------------------------ *)
+(* Part 1.8: the fleet serving sweep.
+
+   The acceptance experiment for the fleet subsystem: one seeded
+   traffic trace served under every scheduling policy at a moderate
+   and an overload arrival rate, reporting throughput and the
+   p50/p95/p99 tail of open-loop request latency. Everything in
+   BENCH_fleet.json derives from the simulated clock, so the file is
+   byte-identical whatever -j was (the -j N vs -j 1 diff is the smoke
+   test). The default sweep drives 6 x [fleet_procs] = 600 staged
+   httpd processes; --fleet-procs scales it down for smoke runs. *)
+
+module Traffic = Hipstr_fleet.Traffic
+module Fleet = Hipstr_fleet.Fleet
+
+let fleet_default_procs = 100
+let fleet_arrivals = [ Traffic.Poisson 25.; Traffic.Poisson 100. ]
+let fleet_policies =
+  [ Hipstr_cmp.Cmp.Round_robin; Hipstr_cmp.Cmp.Load_balance; Hipstr_cmp.Cmp.Security_first ]
+
+let fleet_point ~jobs ~procs ~arrival policy =
+  let conns =
+    Traffic.generate ~seed:1 ~procs ~arrival ~mix:Traffic.default_mix ()
+  in
+  let cfg = { Fleet.default with fl_policy = policy } in
+  let r = Fleet.run ~jobs cfg conns in
+  let pc q = Fleet.latency_percentile r q in
+  Printf.printf
+    "  %-14s %-12s procs=%-4d completed=%-4d killed=%-3d thpt=%.3f/Mcycle p50=%.0f p95=%.0f \
+     p99=%.0f\n\
+     %!"
+    (Hipstr_cmp.Cmp.policy_name policy)
+    (Traffic.arrival_name arrival)
+    procs r.Fleet.r_completed r.Fleet.r_killed (Fleet.throughput r) (pc 50.) (pc 95.) (pc 99.);
+  Json.Obj
+    [
+      ("policy", Json.Str (Hipstr_cmp.Cmp.policy_name policy));
+      ("arrival", Json.Str (Traffic.arrival_name arrival));
+      ("procs", Json.num_of_int procs);
+      ("completed", Json.num_of_int r.Fleet.r_completed);
+      ("killed", Json.num_of_int r.Fleet.r_killed);
+      ("shell", Json.num_of_int r.Fleet.r_shell);
+      ("out_of_fuel", Json.num_of_int r.Fleet.r_out_of_fuel);
+      ("waves", Json.num_of_int r.Fleet.r_waves);
+      ("makespan_cycles", Json.Num r.Fleet.r_makespan);
+      ("throughput_per_mcycle", Json.Num (Fleet.throughput r));
+      ( "latency_cycles",
+        Json.Obj
+          [
+            ("p50", Json.Num (pc 50.));
+            ("p95", Json.Num (pc 95.));
+            ("p99", Json.Num (pc 99.));
+            ("max", Json.Num (pc 100.));
+          ] );
+      ( "kinds",
+        Json.List
+          (List.filter_map
+             (fun (k, total, completed, killed) ->
+               if total = 0 then None
+               else
+                 Some
+                   (Json.Obj
+                      [
+                        ("kind", Json.Str (Traffic.kind_name k));
+                        ("total", Json.num_of_int total);
+                        ("completed", Json.num_of_int completed);
+                        ("killed", Json.num_of_int killed);
+                      ]))
+             (Fleet.by_kind r)) );
+    ]
+
+let run_fleet ~jobs ~procs =
+  print_endline "";
+  print_endline "=====================================================================";
+  print_endline " Fleet serving sweep (policy x arrival rate, open-loop tail latency)";
+  print_endline "=====================================================================";
+  let points =
+    List.concat_map
+      (fun arrival -> List.map (fleet_point ~jobs ~procs ~arrival) fleet_policies)
+      fleet_arrivals
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "hipstr-bench-fleet/1");
+        ("seed", Json.num_of_int 1);
+        ("mode", Json.Str "hipstr");
+        ("procs_per_point", Json.num_of_int procs);
+        ("mix", Json.Str (Traffic.mix_name Traffic.default_mix));
+        ("points", Json.List points);
+      ]
+  in
+  Out_channel.with_open_bin "BENCH_fleet.json" (fun oc ->
+      Out_channel.output_string oc (Json.to_string_pretty doc);
+      Out_channel.output_string oc "\n");
+  Printf.printf "[fleet serving sweep written to BENCH_fleet.json]\n"
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks of the substrate. *)
 
 let prepared_httpd =
@@ -570,7 +669,8 @@ let () =
   let obs_only = List.mem "--obs-only" args in
   let cache_only = List.mem "--cache-only" args in
   let interp_only = List.mem "--interp-only" args in
-  let solo = obs_only || cache_only || interp_only in
+  let fleet_only = List.mem "--fleet-only" args in
+  let solo = obs_only || cache_only || interp_only || fleet_only in
   let tables = (not (List.mem "--micro-only" args)) && not solo in
   let micro = (not (List.mem "--tables-only" args)) && not solo in
   let jobs =
@@ -584,8 +684,20 @@ let () =
     in
     find args
   in
+  let fleet_procs =
+    let rec find = function
+      | "--fleet-procs" :: v :: _ -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 -> n
+        | _ -> failwith ("bench: bad --fleet-procs value " ^ v))
+      | _ :: rest -> find rest
+      | [] -> fleet_default_procs
+    in
+    find args
+  in
   if tables then run_tables ~jobs;
   if tables || obs_only then run_obs_breakdown ();
   if tables || cache_only then run_cache_churn ();
   if tables || interp_only then run_interp ();
+  if tables || fleet_only then run_fleet ~jobs ~procs:fleet_procs;
   if micro then run_micro ()

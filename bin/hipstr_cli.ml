@@ -31,6 +31,8 @@ module Obs = Hipstr_obs.Obs
 module Cmp = Hipstr_cmp.Cmp
 module Process = Hipstr_cmp.Process
 module Code_cache = Hipstr_psr.Code_cache
+module Traffic = Hipstr_fleet.Traffic
+module Fleet = Hipstr_fleet.Fleet
 
 let isa_conv =
   Arg.conv
@@ -270,8 +272,9 @@ let print_obs obs =
   List.iter
     (fun (n, (h : Obs.Metrics.histogram_summary)) ->
       if h.hs_count > 0 then
-        Printf.printf "  %-44s n=%d sum=%.0f mean=%.1f min=%.0f max=%.0f\n" n h.hs_count h.hs_sum
-          h.hs_mean h.hs_min h.hs_max)
+        Printf.printf "  %-44s n=%d sum=%.0f mean=%.1f min=%.0f max=%.0f p50=%.0f p95=%.0f p99=%.0f\n"
+          n h.hs_count h.hs_sum h.hs_mean h.hs_min h.hs_max (Obs.Metrics.p50 h)
+          (Obs.Metrics.p95 h) (Obs.Metrics.p99 h))
     snap.Obs.Metrics.snap_histograms;
   List.iter
     (fun (n, count, cycles) ->
@@ -707,6 +710,160 @@ let cmp_run_cmd =
       $ seed_arg $ migrate_prob_arg $ cc_capacity_arg $ cc_policy_arg $ no_dcache_arg
       $ no_chain_arg $ jobs_arg $ metrics_arg $ sched_arg $ verify_arg $ export_args)
 
+(* ------------------------------------------------------------------ *)
+(* fleet-run: serve an open-loop trace of staged httpd connections
+   across a sharded pool of CMPs and report tail latency. The whole
+   run is named by (--seed, --procs, --arrival, --mix): -j N output
+   is bit-identical to -j 1, stealing or not. *)
+let fleet_run_cmd =
+  let arrival_conv =
+    Arg.conv
+      ( (fun s -> Result.map_error (fun m -> `Msg m) (Traffic.arrival_of_string s)),
+        fun ppf a -> Format.pp_print_string ppf (Traffic.arrival_name a) )
+  in
+  let mix_conv =
+    Arg.conv
+      ( (fun s -> Result.map_error (fun m -> `Msg m) (Traffic.mix_of_string s)),
+        fun ppf m -> Format.pp_print_string ppf (Traffic.mix_name m) )
+  in
+  let procs_arg =
+    Arg.(
+      value
+      & opt (bounded_int_conv ~what:"procs" ~lo:1 ~hi:100_000 ()) 200
+      & info [ "procs" ] ~doc:"Connections to generate (each one is a staged httpd process).")
+  in
+  let arrival_arg =
+    Arg.(
+      value
+      & opt arrival_conv (Traffic.Poisson 50.)
+      & info [ "arrival" ] ~docv:"MODEL"
+          ~doc:
+            "Arrival process: $(b,poisson:RATE) or $(b,bursty:RATE:BURST), RATE in requests per \
+             million guest cycles.")
+  in
+  let mix_arg =
+    Arg.(
+      value
+      & opt mix_conv Traffic.default_mix
+      & info [ "mix" ] ~docv:"MIX"
+          ~doc:
+            "Request mix weights as $(b,V,O,M,A) or \
+             $(b,valid=V,oversized=O,malformed=M,attack=A).")
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt policy_conv Cmp.Round_robin
+      & info [ "policy" ] ~doc:"Per-shard scheduling policy: round-robin, load-balance or security-first.")
+  in
+  let shards_arg =
+    Arg.(
+      value
+      & opt (bounded_int_conv ~what:"shards" ~lo:1 ~hi:1024 ()) Fleet.default.Fleet.fl_shards
+      & info [ "shards" ] ~doc:"CMPs in the fleet (connection $(i,i) lands on shard $(i,i) mod shards).")
+  in
+  let cores_arg =
+    Arg.(
+      value
+      & opt cores_conv Cmp.default_cores
+      & info [ "cores" ]
+          ~doc:"Cores per shard: a count (tiling cisc/risc pairs) or a list like 'cisc,risc,risc'.")
+  in
+  let quantum_arg =
+    Arg.(
+      value
+      & opt quantum_conv Fleet.default.Fleet.fl_quantum
+      & info [ "quantum" ] ~doc:"Slice length in instructions.")
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt mode_conv System.Hipstr
+      & info [ "mode" ] ~doc:"Server mode: native, psr or hipstr.")
+  in
+  let fuel_arg =
+    Arg.(
+      value
+      & opt fuel_conv Hipstr_fleet.Traffic.default_fuel
+      & info [ "fuel" ] ~doc:"Per-connection instruction budget.")
+  in
+  let max_live_arg =
+    Arg.(
+      value
+      & opt (bounded_int_conv ~what:"max-live" ~lo:1 ()) Fleet.default.Fleet.fl_max_live
+      & info [ "max-live" ] ~doc:"Admission cap: live connections per shard (excess arrivals queue).")
+  in
+  let tenants_arg =
+    Arg.(
+      value
+      & opt (bounded_int_conv ~what:"tenants" ~lo:1 ()) 4
+      & info [ "tenants" ] ~doc:"Tenants the connections tile across (per-tenant metric namespaces).")
+  in
+  let no_steal_arg =
+    Arg.(
+      value & flag
+      & info [ "no-steal" ]
+          ~doc:
+            "Use a static shard partition instead of deterministic work stealing (results are \
+             bit-identical either way; only the wall clock changes).")
+  in
+  let action procs arrival mix policy shards cores quantum mode fuel max_live tenants no_steal
+      seed migrate_prob jobs metrics trace exports =
+    let cfg =
+      match (mode, migrate_prob) with
+      | System.Hipstr, Some p -> Some { Config.default with migrate_prob = p }
+      | _ -> None
+    in
+    let fleet_cfg =
+      {
+        Fleet.fl_shards = shards;
+        fl_cores = cores;
+        fl_policy = policy;
+        fl_quantum = quantum;
+        fl_mode = mode;
+        fl_cfg = cfg;
+        fl_seed = seed;
+        fl_fuel = fuel;
+        fl_max_live = max_live;
+        fl_steal = not no_steal;
+      }
+    in
+    let conns = Traffic.generate ~tenants ~seed ~procs ~arrival ~mix () in
+    let obs = make_obs ~trace in
+    let r = Fleet.run ~jobs ~obs fleet_cfg conns in
+    Printf.printf "fleet-run: %d conns on %d shards x %d cores, policy %s, mode %s\n" procs shards
+      (List.length cores) (Cmp.policy_name policy)
+      (match mode with System.Native -> "native" | System.Psr_only -> "psr" | System.Hipstr -> "hipstr");
+    Printf.printf "traffic: %s, mix %s, seed %d\n" (Traffic.arrival_name arrival)
+      (Traffic.mix_name mix) seed;
+    Printf.printf
+      "served %d: completed=%d killed=%d shell=%d out-of-fuel=%d in %d waves, makespan %.0f cycles\n"
+      (List.length r.Fleet.r_records) r.Fleet.r_completed r.Fleet.r_killed r.Fleet.r_shell
+      r.Fleet.r_out_of_fuel r.Fleet.r_waves r.Fleet.r_makespan;
+    Printf.printf "throughput: %.3f completed/Mcycle\n" (Fleet.throughput r);
+    Printf.printf "latency cycles: p50=%.0f p95=%.0f p99=%.0f max=%.0f\n"
+      (Fleet.latency_percentile r 50.) (Fleet.latency_percentile r 95.)
+      (Fleet.latency_percentile r 99.) (Fleet.latency_percentile r 100.);
+    List.iter
+      (fun (k, total, completed, killed) ->
+        if total > 0 then
+          Printf.printf "  %-10s total=%-5d completed=%-5d killed=%d\n" (Traffic.kind_name k) total
+            completed killed)
+      (Fleet.by_kind r);
+    if metrics then print_obs obs;
+    write_exports ~obs exports
+  in
+  Cmd.v
+    (Cmd.info "fleet-run"
+       ~doc:
+         "Serve an open-loop httpd traffic trace across a sharded fleet of heterogeneous-ISA \
+          CMPs and report throughput and tail latency. Deterministic: -j N is bit-identical to \
+          -j 1.")
+    Term.(
+      const action $ procs_arg $ arrival_arg $ mix_arg $ policy_arg $ shards_arg $ cores_arg
+      $ quantum_arg $ mode_arg $ fuel_arg $ max_live_arg $ tenants_arg $ no_steal_arg $ seed_arg
+      $ migrate_prob_arg $ jobs_arg $ metrics_arg $ trace_arg $ export_args)
+
 let list_cmd =
   let action () =
     Printf.printf "workloads:\n";
@@ -732,6 +889,7 @@ let () =
             run_cmd;
             run_file_cmd;
             cmp_run_cmd;
+            fleet_run_cmd;
             gadgets_cmd;
             attack_cmd;
             experiment_cmd;

@@ -74,7 +74,7 @@ type sched_event = {
 
 type t = {
   cores : core array;
-  procs : Process.t array;
+  mutable procs : Process.t array;
   policy : policy;
   quantum : int;
   obs : Obs.t;
@@ -96,7 +96,6 @@ let create ?(obs = Obs.global) ?(policy = Round_robin) ?(quantum = 20_000)
     ?(cores = default_cores) procs =
   if quantum < 1 then invalid_arg "Cmp.create: quantum must be positive";
   if cores = [] then invalid_arg "Cmp.create: need at least one core";
-  if procs = [] then invalid_arg "Cmp.create: need at least one process";
   let core_isas = List.sort_uniq compare cores in
   List.iter
     (fun p ->
@@ -143,6 +142,38 @@ let proc t pid =
   match Array.find_opt (fun p -> Process.pid p = pid) t.procs with
   | Some p -> p
   | None -> invalid_arg "Cmp.proc: unknown pid"
+
+(* --- dynamic process arrival/departure (the fleet harness) --- *)
+
+let inject t p =
+  if Array.exists (fun q -> Process.pid q = Process.pid p) t.procs then
+    invalid_arg "Cmp.inject: duplicate pid";
+  if
+    (not (Process.can_migrate p))
+    && not (Array.exists (fun (c : core) -> c.co_isa = Process.active_isa p) t.cores)
+  then
+    invalid_arg
+      (Printf.sprintf "Cmp.inject: process %s is pinned to %s but no such core exists"
+         (Process.name p)
+         (isa_label (Process.active_isa p)));
+  t.procs <- Array.append t.procs [| p |];
+  t.queue <- t.queue @ [ Process.pid p ]
+
+let reap t =
+  let dead, live = List.partition (fun p -> not (Process.runnable p)) (Array.to_list t.procs) in
+  if dead <> [] then begin
+    t.procs <- Array.of_list live;
+    let live_pids = List.map Process.pid live in
+    t.queue <- List.filter (fun pid -> List.mem pid live_pids) t.queue
+  end;
+  dead
+
+let core_cycles t = Array.map (fun c -> c.co_cycles) t.cores
+
+let live_count t = Array.length t.procs
+
+let runnable_count t =
+  Array.fold_left (fun n p -> if Process.runnable p then n + 1 else n) 0 t.procs
 
 let compatible core p =
   Process.active_isa p = core.co_isa || Process.can_migrate p

@@ -60,9 +60,30 @@ val create :
   t
 (** [quantum] (default 20k instructions) is the slice length.
     [cores] (default {!default_cores}) may be any non-empty ISA mix.
+    The process list may be empty — a serving CMP starts idle and
+    admits work with {!inject}.
     @raise Invalid_argument if a non-migratable process has no
-    matching core, on duplicate pids, or on an empty core/process
-    list. *)
+    matching core, on duplicate pids, or on an empty core list. *)
+
+val inject : t -> Process.t -> unit
+(** Admit a process at the back of the scheduling queue — the fleet
+    harness's arrival path. @raise Invalid_argument on a duplicate
+    pid or if a non-migratable process has no matching core. *)
+
+val reap : t -> Process.t list
+(** Remove and return every retired process (so the harness can
+    record its outcome and let its address space be collected).
+    Reaped processes no longer appear in {!processes}, {!metrics} or
+    the scheduling queue; the schedule trace keeps their slices. *)
+
+val core_cycles : t -> float array
+(** Accumulated cycles per core, by core id — the shard clock the
+    fleet harness advances global time with. *)
+
+val live_count : t -> int
+(** Processes currently owned (runnable or retired-but-unreaped). *)
+
+val runnable_count : t -> int
 
 val step : ?jobs:int -> t -> int
 (** One scheduling round: assign runnable processes to cores per the

@@ -1,0 +1,336 @@
+(* The fleet harness: hundreds–thousands of staged httpd connections
+   sharded across a pool of heterogeneous CMPs, driven open-loop on
+   one global guest-cycle clock.
+
+   Model. Shard s owns every connection with cn_id ≡ s (mod shards)
+   and one Cmp.t (its own cores, scheduler queue and obs child). Time
+   advances in waves: each wave, every busy shard admits the arrivals
+   that are due (bounded by fl_max_live so an overloaded shard queues
+   instead of booting unbounded address spaces), runs one scheduling
+   round, and reaps completions; the global clock then advances by
+   the *maximum* per-core cycle delta any shard accumulated — a
+   gang-scheduled epoch model, so shard clocks never drift apart by
+   more than one round. When every shard is idle the clock jumps to
+   the next pending arrival.
+
+   Work distribution and determinism. Waves fan the busy shards over
+   Pool domains. With stealing on, the shard tasks form one dynamic
+   queue claimed by atomic fetch-and-add — an idle domain steals the
+   next whole-CMP quantum by shard index order; with stealing off,
+   each domain walks a static stride-[jobs] partition. Either way
+   every simulated decision happens inside exactly one shard and
+   reads only that shard's state, results are folded back in shard
+   index order, and request latencies are stamped by the caller after
+   the wave barrier — so -j N, -j 1, stealing and no-stealing are all
+   bit-identical (the fleet determinism suite diffs the exports).
+
+   Latency. A request's latency is wave-end clock minus arrival time,
+   in guest cycles: it includes admission queueing (open-loop sojourn
+   time), which is what makes the p99-vs-arrival-rate curves in
+   BENCH_fleet.json hockey-stick under overload. Service cycles (the
+   process's own accumulated cycles) are recorded separately. *)
+
+module Obs = Hipstr_obs.Obs
+module Stats = Hipstr_util.Stats
+module Desc = Hipstr_isa.Desc
+module System = Hipstr.System
+module Config = Hipstr_psr.Config
+module Process = Hipstr_cmp.Process
+module Cmp = Hipstr_cmp.Cmp
+module Pool = Hipstr_cmp.Pool
+
+type config = {
+  fl_shards : int;
+  fl_cores : Desc.which list;  (* per shard *)
+  fl_policy : Cmp.policy;
+  fl_quantum : int;
+  fl_mode : System.mode;
+  fl_cfg : Config.t option;
+  fl_seed : int;
+  fl_fuel : int;  (* per-connection instruction budget *)
+  fl_max_live : int;  (* admission cap per shard *)
+  fl_steal : bool;
+}
+
+let default =
+  {
+    fl_shards = 4;
+    fl_cores = Cmp.default_cores;
+    fl_policy = Cmp.Round_robin;
+    fl_quantum = 2_000;
+    fl_mode = System.Hipstr;
+    fl_cfg = None;
+    fl_seed = 1;
+    fl_fuel = Traffic.default_fuel;
+    fl_max_live = 8;
+    fl_steal = true;
+  }
+
+type req_record = {
+  rr_id : int;
+  rr_tenant : int;
+  rr_kind : Traffic.kind;
+  rr_shard : int;
+  rr_arrival : float;
+  rr_admitted : float;
+  rr_finished : float;
+  rr_latency : float;  (* rr_finished - rr_arrival, guest cycles *)
+  rr_service_cycles : float;
+  rr_instructions : int;
+  rr_outcome : System.outcome;
+}
+
+type result = {
+  r_records : req_record list;  (* by cn_id *)
+  r_makespan : float;  (* clock when the last request finished *)
+  r_waves : int;
+  r_completed : int;
+  r_killed : int;
+  r_shell : int;
+  r_out_of_fuel : int;
+}
+
+let outcome_label = function
+  | System.Finished _ -> "completed"
+  | System.Shell_spawned -> "shell"
+  | System.Killed _ -> "killed"
+  | System.Out_of_fuel -> "out_of_fuel"
+
+(* --- per-shard state ----------------------------------------------- *)
+
+type shard = {
+  sh_id : int;
+  sh_obs : Obs.t;
+  sh_cmp : Cmp.t;
+  mutable sh_pending : Traffic.conn list;  (* future arrivals, in order *)
+  mutable sh_prev_cycles : float array;
+  sh_live : (int, Traffic.conn * float) Hashtbl.t;  (* pid -> conn, admitted stamp *)
+}
+
+(* A completed connection as reported by a shard task, before the
+   caller stamps it with the wave-end clock. *)
+type completion = {
+  co_conn : Traffic.conn;
+  co_admitted : float;
+  co_outcome : System.outcome;
+  co_service : float;
+  co_instructions : int;
+}
+
+let shard_wave cfg sh ~now =
+  let ncores = List.length cfg.fl_cores in
+  let rec admit () =
+    match sh.sh_pending with
+    | c :: rest when c.Traffic.cn_arrival <= now && Hashtbl.length sh.sh_live < cfg.fl_max_live ->
+      sh.sh_pending <- rest;
+      (* start ISA tiles the shard's core list so a pinned-mode fleet
+         spreads over both ISAs deterministically *)
+      let start_isa = List.nth cfg.fl_cores (c.Traffic.cn_id mod ncores) in
+      let p =
+        Traffic.spawn ~obs:sh.sh_obs ?cfg:cfg.fl_cfg ~seed:cfg.fl_seed ~start_isa
+          ~fuel:cfg.fl_fuel ~mode:cfg.fl_mode c
+      in
+      Cmp.inject sh.sh_cmp p;
+      Hashtbl.replace sh.sh_live (Process.pid p) (c, now);
+      admit ()
+    | _ -> ()
+  in
+  admit ();
+  if Cmp.runnable_count sh.sh_cmp > 0 then ignore (Cmp.step sh.sh_cmp);
+  let cycles = Cmp.core_cycles sh.sh_cmp in
+  let delta = ref 0. in
+  Array.iteri (fun i c -> delta := Float.max !delta (c -. sh.sh_prev_cycles.(i))) cycles;
+  sh.sh_prev_cycles <- cycles;
+  let completions =
+    List.map
+      (fun p ->
+        let pid = Process.pid p in
+        let conn, admitted = Hashtbl.find sh.sh_live pid in
+        Hashtbl.remove sh.sh_live pid;
+        {
+          co_conn = conn;
+          co_admitted = admitted;
+          co_outcome =
+            (match Process.outcome p with Some o -> o | None -> assert false);
+          co_service = Process.cycles p;
+          co_instructions = Process.instructions p;
+        })
+      (Cmp.reap sh.sh_cmp)
+  in
+  (!delta, completions)
+
+(* Dynamic index-order queue (Pool's atomic counter: idle domains
+   steal the next shard by index) vs a static stride partition. Both
+   produce identical simulation results; the contrast is what the
+   stealing-determinism test pins down. *)
+let run_tasks ~jobs ~steal f items =
+  let n = List.length items in
+  if jobs <= 1 || n <= 1 then List.map f items
+  else if steal then Pool.mapi ~jobs (fun _ sh -> f sh) items
+  else begin
+    let arr = Array.of_list items in
+    let out = Array.make n None in
+    let doms =
+      List.init (min jobs n) (fun d ->
+          Domain.spawn (fun () ->
+              let i = ref d in
+              while !i < n do
+                out.(!i) <- Some (f arr.(!i));
+                i := !i + jobs
+              done))
+    in
+    List.iter Domain.join doms;
+    Array.to_list (Array.map Option.get out)
+  end
+
+let run ?(jobs = 1) ?(obs = Obs.disabled) cfg conns =
+  if cfg.fl_shards < 1 then invalid_arg "Fleet.run: shards must be positive";
+  if cfg.fl_max_live < 1 then invalid_arg "Fleet.run: max_live must be positive";
+  if cfg.fl_fuel < 1 then invalid_arg "Fleet.run: fuel must be positive";
+  if cfg.fl_cores = [] then invalid_arg "Fleet.run: need at least one core per shard";
+  let shards =
+    Array.init cfg.fl_shards (fun s ->
+        let sh_obs = Obs.child obs in
+        {
+          sh_id = s;
+          sh_obs;
+          sh_cmp =
+            Cmp.create ~obs:sh_obs ~policy:cfg.fl_policy ~quantum:cfg.fl_quantum
+              ~cores:cfg.fl_cores [];
+          sh_pending = List.filter (fun c -> c.Traffic.cn_id mod cfg.fl_shards = s) conns;
+          sh_prev_cycles = Array.make (List.length cfg.fl_cores) 0.;
+          sh_live = Hashtbl.create 16;
+        })
+  in
+  let observing = Obs.on obs in
+  let m = Obs.metrics obs in
+  let observe_completion r =
+    if observing then begin
+      let pre = Printf.sprintf "fleet.tenant.t%d" r.rr_tenant in
+      Obs.Metrics.incr (Obs.Metrics.counter m (pre ^ ".requests"));
+      Obs.Metrics.incr (Obs.Metrics.counter m (pre ^ "." ^ outcome_label r.rr_outcome));
+      Obs.Metrics.observe (Obs.Metrics.histogram m (pre ^ ".latency_cycles")) r.rr_latency;
+      Obs.Metrics.observe (Obs.Metrics.histogram m (pre ^ ".service_cycles")) r.rr_service_cycles;
+      Obs.Metrics.observe (Obs.Metrics.histogram m "fleet.latency_cycles") r.rr_latency;
+      Obs.Metrics.observe (Obs.Metrics.histogram m "fleet.service_cycles") r.rr_service_cycles;
+      Obs.Metrics.observe
+        (Obs.Metrics.histogram m (Printf.sprintf "fleet.kind.%s.latency_cycles" (Traffic.kind_name r.rr_kind)))
+        r.rr_latency
+    end
+  in
+  let records = ref [] in
+  let makespan = ref 0. in
+  let clock = ref 0. in
+  let waves = ref 0 in
+  let shard_busy ~now sh =
+    Cmp.runnable_count sh.sh_cmp > 0
+    ||
+    match sh.sh_pending with
+    | c :: _ -> c.Traffic.cn_arrival <= now && Hashtbl.length sh.sh_live < cfg.fl_max_live
+    | [] -> false
+  in
+  let live () =
+    Array.exists (fun sh -> sh.sh_pending <> [] || Hashtbl.length sh.sh_live > 0) shards
+  in
+  while live () do
+    let now = !clock in
+    match List.filter (shard_busy ~now) (Array.to_list shards) with
+    | [] ->
+      (* every shard drained its live set: jump to the next arrival *)
+      let next =
+        Array.fold_left
+          (fun acc sh ->
+            match sh.sh_pending with
+            | c :: _ -> Float.min acc c.Traffic.cn_arrival
+            | [] -> acc)
+          infinity shards
+      in
+      assert (next > now && next < infinity);
+      clock := next
+    | busy ->
+      incr waves;
+      let outs = run_tasks ~jobs ~steal:cfg.fl_steal (fun sh -> shard_wave cfg sh ~now) busy in
+      let wave_delta = List.fold_left (fun acc (d, _) -> Float.max acc d) 0. outs in
+      clock := now +. wave_delta;
+      (* stamp completions at the wave-end clock, in shard index order *)
+      List.iter2
+        (fun sh (_, completions) ->
+          List.iter
+            (fun co ->
+              let finished_at = !clock in
+              let r =
+                {
+                  rr_id = co.co_conn.Traffic.cn_id;
+                  rr_tenant = co.co_conn.Traffic.cn_tenant;
+                  rr_kind = co.co_conn.Traffic.cn_kind;
+                  rr_shard = sh.sh_id;
+                  rr_arrival = co.co_conn.Traffic.cn_arrival;
+                  rr_admitted = co.co_admitted;
+                  rr_finished = finished_at;
+                  rr_latency = finished_at -. co.co_conn.Traffic.cn_arrival;
+                  rr_service_cycles = co.co_service;
+                  rr_instructions = co.co_instructions;
+                  rr_outcome = co.co_outcome;
+                }
+              in
+              records := r :: !records;
+              makespan := Float.max !makespan finished_at;
+              observe_completion r)
+            completions)
+        busy outs
+  done;
+  (* fold the shard children back in index order (byte-identical
+     exports whatever the domain layout was) *)
+  Array.iter (fun sh -> Obs.merge ~into:obs sh.sh_obs) shards;
+  let records = List.sort (fun a b -> compare a.rr_id b.rr_id) !records in
+  let count f = List.length (List.filter f records) in
+  let result =
+    {
+      r_records = records;
+      r_makespan = !makespan;
+      r_waves = !waves;
+      r_completed = count (fun r -> match r.rr_outcome with System.Finished _ -> true | _ -> false);
+      r_killed = count (fun r -> match r.rr_outcome with System.Killed _ -> true | _ -> false);
+      r_shell = count (fun r -> r.rr_outcome = System.Shell_spawned);
+      r_out_of_fuel = count (fun r -> r.rr_outcome = System.Out_of_fuel);
+    }
+  in
+  if observing then begin
+    let c name by = if by > 0 then Obs.Metrics.incr ~by (Obs.Metrics.counter m ("fleet." ^ name)) in
+    c "waves" result.r_waves;
+    c "requests" (List.length records);
+    c "completed" result.r_completed;
+    c "killed" result.r_killed;
+    c "shell" result.r_shell;
+    c "out_of_fuel" result.r_out_of_fuel
+  end;
+  result
+
+(* --- reporting helpers --------------------------------------------- *)
+
+let latencies r = List.map (fun x -> x.rr_latency) r.r_records
+
+let latency_percentile r q = Stats.percentile (latencies r) q
+
+let throughput r =
+  (* completed requests per million guest cycles of fleet time *)
+  if r.r_makespan <= 0. then 0. else float_of_int r.r_completed *. 1e6 /. r.r_makespan
+
+let by_kind r =
+  List.map
+    (fun k ->
+      let mine = List.filter (fun x -> x.rr_kind = k) r.r_records in
+      let n f = List.length (List.filter f mine) in
+      ( k,
+        List.length mine,
+        n (fun x -> match x.rr_outcome with System.Finished _ -> true | _ -> false),
+        n (fun x -> match x.rr_outcome with System.Killed _ -> true | _ -> false) ))
+    Traffic.kinds
+
+let by_tenant r =
+  let tenants = List.sort_uniq compare (List.map (fun x -> x.rr_tenant) r.r_records) in
+  List.map
+    (fun t ->
+      let mine = List.filter (fun x -> x.rr_tenant = t) r.r_records in
+      (t, mine))
+    tenants

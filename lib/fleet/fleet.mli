@@ -1,0 +1,96 @@
+(** The fleet serving harness: staged httpd connections sharded
+    across a pool of heterogeneous CMPs, driven open-loop on one
+    global guest-cycle clock.
+
+    {b Model.} Shard [s] owns connection ids ≡ [s] (mod shards) and
+    one {!Hipstr_cmp.Cmp.t}. Time advances in waves: every busy shard
+    admits due arrivals (bounded by [fl_max_live], so overload queues
+    instead of booting unbounded address spaces), runs one scheduling
+    round and reaps completions; the global clock then advances by
+    the maximum per-core cycle delta any shard accumulated (a
+    gang-scheduled epoch). Idle fleets jump straight to the next
+    arrival.
+
+    {b Determinism contract.} Waves fan busy shards over
+    {!Hipstr_cmp.Pool} domains. With stealing on, the shard tasks
+    form one dynamic queue claimed by atomic fetch-and-add — an idle
+    domain steals the next whole-CMP quantum in shard index order;
+    with stealing off each domain walks a static stride partition.
+    Every simulated decision lives inside one shard, results fold
+    back in shard index order, and latencies are stamped after the
+    wave barrier — so [-j N], [-j 1], stealing and no-stealing are
+    bit-identical, exports included.
+
+    {b Latency.} Request latency = wave-end clock − arrival, in guest
+    cycles, admission queueing included (open-loop sojourn time);
+    service cycles are recorded separately. *)
+
+type config = {
+  fl_shards : int;
+  fl_cores : Hipstr_isa.Desc.which list;  (** per shard *)
+  fl_policy : Hipstr_cmp.Cmp.policy;
+  fl_quantum : int;
+  fl_mode : Hipstr.System.mode;
+  fl_cfg : Hipstr_psr.Config.t option;
+  fl_seed : int;
+  fl_fuel : int;  (** per-connection instruction budget *)
+  fl_max_live : int;  (** admission cap per shard *)
+  fl_steal : bool;
+}
+
+val default : config
+(** 4 shards × the paper's core pair, round-robin, quantum 2000,
+    [Hipstr] mode, 8 live connections per shard, stealing on. *)
+
+type req_record = {
+  rr_id : int;
+  rr_tenant : int;
+  rr_kind : Traffic.kind;
+  rr_shard : int;
+  rr_arrival : float;
+  rr_admitted : float;
+  rr_finished : float;
+  rr_latency : float;  (** [rr_finished - rr_arrival], guest cycles *)
+  rr_service_cycles : float;
+  rr_instructions : int;
+  rr_outcome : Hipstr.System.outcome;
+}
+
+type result = {
+  r_records : req_record list;  (** sorted by [rr_id] *)
+  r_makespan : float;  (** clock when the last request finished *)
+  r_waves : int;
+  r_completed : int;
+  r_killed : int;
+  r_shell : int;
+  r_out_of_fuel : int;
+}
+
+val outcome_label : Hipstr.System.outcome -> string
+(** ["completed"], ["shell"], ["killed"] or ["out_of_fuel"] — the
+    per-tenant counter suffixes. *)
+
+val run :
+  ?jobs:int -> ?obs:Hipstr_obs.Obs.t -> config -> Traffic.conn list -> result
+(** Serve the whole trace to completion. When [obs] is enabled, each
+    completion lands in [fleet.latency_cycles] /
+    [fleet.service_cycles] / [fleet.kind.<kind>.latency_cycles] and
+    the per-tenant [fleet.tenant.t<k>.*] namespaces (requests,
+    outcome counters, latency/service histograms); per-shard children
+    are merged back in index order, and fleet totals ([fleet.waves],
+    [fleet.requests], ...) are recorded at the end.
+    @raise Invalid_argument on a non-positive shard count, admission
+    cap, fuel or an empty core list. *)
+
+val latencies : result -> float list
+val latency_percentile : result -> float -> float
+(** Exact percentile over the raw per-request latencies
+    ({!Hipstr_util.Stats.percentile}, [q] in [0, 100]). *)
+
+val throughput : result -> float
+(** Completed requests per million guest cycles of fleet time. *)
+
+val by_kind : result -> (Traffic.kind * int * int * int) list
+(** Per request kind: (kind, requests, completed, killed). *)
+
+val by_tenant : result -> (int * req_record list) list

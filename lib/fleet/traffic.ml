@@ -1,0 +1,257 @@
+(* Deterministic open-loop traffic generation for the httpd victim.
+
+   A connection is one httpd process: its "network buffer" globals
+   (net_input / net_len) are staged before the process first runs, and
+   the server's request loop re-serves that line for a per-connection
+   number of iterations. The generator draws every arrival gap,
+   request-mix roll and payload word from one SplitMix64 stream
+   seeded by the caller, so a (seed, procs, arrival, mix) tuple names
+   exactly one traffic trace — the property the fleet determinism
+   suite pins down.
+
+   The mix covers the serving spectrum the security story needs:
+   - Valid: in-bounds ASCII request lines, served to completion;
+   - Malformed: protocol violations (negative or >512-word lengths
+     the network buffer cannot have held) that the hardened parser
+     answers with 400 without copying;
+   - Oversized: lines long enough to trample handle_request's whole
+     frame with unmapped words — a deterministic kill on a native
+     server, neutralized by state relocation under PSR/HIPStR;
+   - Attack: the same overflow with a code address in the return
+     slot, the shape a real redirect attempt has. *)
+
+module Rng = Hipstr_util.Rng
+module Mem = Hipstr_machine.Mem
+module Machine = Hipstr_machine.Machine
+module Fatbin = Hipstr_compiler.Fatbin
+module Frame = Hipstr_compiler.Frame
+module System = Hipstr.System
+module Workloads = Hipstr_workloads.Workloads
+module Process = Hipstr_cmp.Process
+module Pool = Hipstr_cmp.Pool
+
+(* --- arrival models ------------------------------------------------ *)
+
+(* Rates are requests per million guest cycles: the only clock the
+   simulator has is the simulated one, so open-loop load is expressed
+   against it. *)
+type arrival = Poisson of float | Bursty of { rate : float; burst : int }
+
+let arrival_name = function
+  | Poisson r -> Printf.sprintf "poisson:%g" r
+  | Bursty { rate; burst } -> Printf.sprintf "bursty:%g:%d" rate burst
+
+let arrival_of_string s =
+  let err =
+    Error
+      (Printf.sprintf
+         "%s: expected poisson:RATE or bursty:RATE:BURST (RATE = requests per million cycles, \
+          positive; BURST >= 1)"
+         s)
+  in
+  match String.split_on_char ':' (String.lowercase_ascii (String.trim s)) with
+  | [ "poisson"; r ] -> (
+    match float_of_string_opt r with Some r when r > 0. -> Ok (Poisson r) | _ -> err)
+  | [ "bursty"; r; b ] -> (
+    match (float_of_string_opt r, int_of_string_opt b) with
+    | Some rate, Some burst when rate > 0. && burst >= 1 -> Ok (Bursty { rate; burst })
+    | _ -> err)
+  | _ -> err
+
+(* --- request mix --------------------------------------------------- *)
+
+type kind = Valid | Oversized | Malformed | Attack
+
+let kinds = [ Valid; Oversized; Malformed; Attack ]
+
+let kind_name = function
+  | Valid -> "valid"
+  | Oversized -> "oversized"
+  | Malformed -> "malformed"
+  | Attack -> "attack"
+
+type mix = { mx_valid : int; mx_oversized : int; mx_malformed : int; mx_attack : int }
+
+let default_mix = { mx_valid = 90; mx_oversized = 4; mx_malformed = 3; mx_attack = 3 }
+
+let mix_weight m = function
+  | Valid -> m.mx_valid
+  | Oversized -> m.mx_oversized
+  | Malformed -> m.mx_malformed
+  | Attack -> m.mx_attack
+
+let mix_total m = List.fold_left (fun acc k -> acc + mix_weight m k) 0 kinds
+
+let mix_name m =
+  Printf.sprintf "valid=%d,oversized=%d,malformed=%d,attack=%d" m.mx_valid m.mx_oversized
+    m.mx_malformed m.mx_attack
+
+let mix_of_string s =
+  let err =
+    Error
+      (Printf.sprintf
+         "%s: expected V,O,M,A or valid=V,oversized=O,malformed=M,attack=A (non-negative \
+          weights, positive total)"
+         s)
+  in
+  let parts = String.split_on_char ',' (String.lowercase_ascii (String.trim s)) in
+  let weights =
+    if List.for_all (fun p -> String.contains p '=') parts then
+      let tbl =
+        List.filter_map
+          (fun p ->
+            match String.split_on_char '=' p with
+            | [ k; v ] -> Option.map (fun v -> (String.trim k, v)) (int_of_string_opt (String.trim v))
+            | _ -> None)
+          parts
+      in
+      if List.length tbl <> List.length parts then None
+      else
+        let get k = match List.assoc_opt k tbl with Some v -> v | None -> 0 in
+        if List.for_all (fun (k, _) -> List.mem k [ "valid"; "oversized"; "malformed"; "attack" ]) tbl
+        then Some (get "valid", get "oversized", get "malformed", get "attack")
+        else None
+    else
+      match List.map (fun p -> int_of_string_opt (String.trim p)) parts with
+      | [ Some v; Some o; Some m; Some a ] -> Some (v, o, m, a)
+      | _ -> None
+  in
+  match weights with
+  | Some (v, o, m, a) when v >= 0 && o >= 0 && m >= 0 && a >= 0 && v + o + m + a > 0 ->
+    Ok { mx_valid = v; mx_oversized = o; mx_malformed = m; mx_attack = a }
+  | _ -> err
+
+(* --- connections --------------------------------------------------- *)
+
+type conn = {
+  cn_id : int;
+  cn_tenant : int;
+  cn_kind : kind;
+  cn_arrival : float;  (* guest cycles since the fleet epoch *)
+  cn_requests : int;  (* iterations the server loop will run *)
+  cn_line : int array;  (* words staged at net_input *)
+  cn_len : int;  (* value staged at net_len (malformed lines lie) *)
+}
+
+let victim = Workloads.httpd
+
+let fatbin () = Workloads.fatbin victim
+
+(* Index of the saved return address in handle_request's locals area,
+   in words from &buf[0] — the same arithmetic the ROP harness uses
+   (lib/attacks/rop.ml), read from the fat binary's frame metadata so
+   payload shapes track the compiler. *)
+let ret_index () =
+  let frame = (Fatbin.find_func (fatbin ()) "handle_request").Fatbin.fs_frame in
+  (frame.Frame.ret_off - frame.Frame.locals_off) / 4
+
+(* The code address attack payloads park in the return slot: the
+   entry of a handler the request was not dispatched to. Whether it
+   lands (native), or the redirect is caught as a suspicious
+   code-cache miss (PSR/HIPStR), is the fleet's security measurement. *)
+let attack_target () = (Fatbin.find_func (fatbin ()) "serve_dynamic").Fatbin.fs_cisc.Fatbin.im_entry
+
+let junk_word rng = 0x0BAD0000 lor Rng.int rng 0x10000
+
+(* Overflow lines are 64+ words: long enough that the copy tramples
+   handle_request's whole frame and its caller's, which on a native
+   server is a deterministic kill (wild fetch/access at an unmapped
+   0x0BADxxxx word). Under PSR/HIPStR the translated server's control
+   state is not where the attacker's frame model says it is (program
+   state relocation doing its job): depending on the payload words
+   the smash is either neutralized outright — service completes
+   normally — or caught as a clean "return to wild address" kill.
+   Never a silent hijack. The fleet's security measurement is exactly
+   this contrast. *)
+let line_of rng ~ret_index kind =
+  match kind with
+  | Valid ->
+    let n = 4 + Rng.int rng 9 in
+    (Array.init n (fun _ -> 65 + Rng.int rng 26), n)
+  | Oversized ->
+    let n = 64 + Rng.int rng 33 in
+    (Array.init n (fun _ -> junk_word rng), n)
+  | Attack ->
+    (* the same overflow with a code address in the return slot and
+       everything above it — the shape of a redirect attempt *)
+    let n = 64 in
+    let target = attack_target () in
+    (Array.init n (fun i -> if i >= ret_index then target else junk_word rng), n)
+  | Malformed ->
+    (* the staged length lies: either longer than the 512-word network
+       buffer or negative — both rejected by the hardened parser *)
+    let a = Array.init (4 + Rng.int rng 4) (fun _ -> Rng.int rng 1024) in
+    let len = if Rng.bool rng then 513 + Rng.int rng 4096 else -1 - Rng.int rng 4096 in
+    (a, len)
+
+let generate ?(tenants = 4) ~seed ~procs ~arrival ~mix () =
+  if procs < 1 then invalid_arg "Traffic.generate: procs must be positive";
+  if tenants < 1 then invalid_arg "Traffic.generate: tenants must be positive";
+  (match arrival with
+  | Poisson r when r <= 0. -> invalid_arg "Traffic.generate: arrival rate must be positive"
+  | Bursty { rate; burst } when rate <= 0. || burst < 1 ->
+    invalid_arg "Traffic.generate: bursty arrivals need a positive rate and burst >= 1"
+  | _ -> ());
+  if mix_total mix <= 0 || List.exists (fun k -> mix_weight mix k < 0) kinds then
+    invalid_arg "Traffic.generate: mix weights must be non-negative with a positive total";
+  let ri = ret_index () in
+  let total = mix_total mix in
+  let rng = Rng.create seed in
+  let clock = ref 0. in
+  (* Rng.float is in [0, 1), so 1 - u is in (0, 1] and the draw is a
+     finite exponential with mean 1. *)
+  let exp_draw () = -.Float.log (1. -. Rng.float rng) in
+  List.init procs (fun i ->
+      let gap =
+        match arrival with
+        | Poisson rate -> exp_draw () *. (1e6 /. rate)
+        | Bursty { rate; burst } ->
+          (* whole bursts arrive back-to-back; inter-burst gaps are
+             stretched by the burst size so the long-run rate holds *)
+          if i mod burst = 0 then exp_draw () *. (1e6 /. rate) *. float_of_int burst else 0.
+      in
+      clock := !clock +. gap;
+      let kind =
+        let roll = Rng.int rng total in
+        let rec pick acc = function
+          | [ k ] -> k
+          | k :: rest ->
+            let acc = acc + mix_weight mix k in
+            if roll < acc then k else pick acc rest
+          | [] -> assert false
+        in
+        pick 0 kinds
+      in
+      let line, len = line_of rng ~ret_index:ri kind in
+      {
+        cn_id = i;
+        cn_tenant = i mod tenants;
+        cn_kind = kind;
+        cn_arrival = !clock;
+        cn_requests = 1 + Rng.int rng 3;
+        cn_line = line;
+        cn_len = len;
+      })
+
+(* --- materialization ----------------------------------------------- *)
+
+let stage conn sys =
+  let fb = System.fatbin sys in
+  let mem = Machine.mem (System.machine sys) in
+  let input = Fatbin.global_addr fb "net_input" in
+  Array.iteri (fun i w -> Mem.write32 mem (input + (4 * i)) w) conn.cn_line;
+  Mem.write32 mem (Fatbin.global_addr fb "net_len") conn.cn_len;
+  Mem.write32 mem (Fatbin.global_addr fb "requests") conn.cn_requests
+
+let default_fuel = 200_000
+
+let spawn ?obs ?cfg ?(seed = 1) ?start_isa ?(fuel = default_fuel) ~mode conn =
+  let p =
+    Process.create ?obs ?cfg
+      ~seed:(Pool.task_seed ~seed conn.cn_id)
+      ?start_isa ~mode ~pid:conn.cn_id
+      ~name:(Printf.sprintf "httpd.%s.%d" (kind_name conn.cn_kind) conn.cn_id)
+      ~fuel (fatbin ())
+  in
+  stage conn (Process.sys p);
+  p

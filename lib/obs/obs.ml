@@ -125,6 +125,40 @@ module Metrics = struct
     hs_buckets : int array;
   }
 
+  (* Estimate the q-quantile of the observed distribution from the
+     log2 bucket counts: find the bucket where the cumulative count
+     crosses rank q*count, interpolate linearly inside it, and clamp
+     to the exact observed [min, max] (which also bounds the
+     open-ended last bucket). The estimate is exact for the ranks the
+     tail report cares about whenever a bucket holds a single distinct
+     value, and never off by more than one bucket width otherwise. *)
+  let quantile (h : histogram_summary) q =
+    if q < 0. || q > 1. then invalid_arg "Obs.Metrics.quantile: q outside [0, 1]";
+    if h.hs_count = 0 then 0.
+    else begin
+      let rank = q *. float_of_int h.hs_count in
+      let n = Array.length h.hs_buckets in
+      let rec go i cum =
+        if i >= n then h.hs_max
+        else
+          let c = h.hs_buckets.(i) in
+          let cum' = cum + c in
+          if c > 0 && float_of_int cum' >= rank then begin
+            let lo = if i = 0 then 0. else Float.pow 2. (float_of_int (i - 1)) in
+            let hi = if i = 0 then 1. else Float.pow 2. (float_of_int i) in
+            let frac = (rank -. float_of_int cum) /. float_of_int c in
+            let v = lo +. ((hi -. lo) *. Float.max 0. frac) in
+            Float.min h.hs_max (Float.max h.hs_min v)
+          end
+          else go (i + 1) cum'
+      in
+      go 0 0
+    end
+
+  let p50 h = quantile h 0.5
+  let p95 h = quantile h 0.95
+  let p99 h = quantile h 0.99
+
   type snapshot = {
     snap_counters : (string * int) list;
     snap_histograms : (string * histogram_summary) list;
@@ -830,6 +864,9 @@ module Export = struct
                    ("min", Json.Num h.hs_min);
                    ("max", Json.Num h.hs_max);
                    ("mean", Json.Num h.hs_mean);
+                   ("p50", Json.Num (Metrics.p50 h));
+                   ("p95", Json.Num (Metrics.p95 h));
+                   ("p99", Json.Num (Metrics.p99 h));
                    ("buckets", Json.List (Array.to_list (Array.map Json.num_of_int h.hs_buckets)));
                  ] ))
            snap.Metrics.snap_histograms)
@@ -903,7 +940,12 @@ module Export = struct
             Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n le !cum))
           h.hs_buckets;
         Buffer.add_string b (Printf.sprintf "%s_sum %.17g\n" n h.hs_sum);
-        Buffer.add_string b (Printf.sprintf "%s_count %d\n" n h.hs_count))
+        Buffer.add_string b (Printf.sprintf "%s_count %d\n" n h.hs_count);
+        (* summary-style quantile estimates alongside the buckets, so
+           a scrape gets the tail without server-side interpolation *)
+        List.iter
+          (fun (q, v) -> Buffer.add_string b (Printf.sprintf "%s_q{quantile=\"%s\"} %.17g\n" n q v))
+          [ ("0.5", Metrics.p50 h); ("0.95", Metrics.p95 h); ("0.99", Metrics.p99 h) ])
       snap.Metrics.snap_histograms;
     (match span_rollup t with
     | [] -> ()

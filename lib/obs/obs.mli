@@ -58,6 +58,22 @@ module Metrics : sig
             [2^(i-1), 2^i); the last bucket is open-ended *)
   }
 
+  val quantile : histogram_summary -> float -> float
+  (** [quantile h q] estimates the [q]-quantile ([q] in [0, 1]) of
+      the observed distribution from the log2 buckets: linear
+      interpolation inside the bucket where the cumulative count
+      crosses rank [q * count], clamped to the exact observed
+      [[min, max]] (which also bounds the open-ended last bucket).
+      0 on an empty histogram.
+      @raise Invalid_argument if [q] is outside [0, 1]. *)
+
+  val p50 : histogram_summary -> float
+  val p95 : histogram_summary -> float
+
+  val p99 : histogram_summary -> float
+  (** The tail-latency accessors the fleet report uses — shorthand
+      for {!quantile} at 0.5 / 0.95 / 0.99. *)
+
   type snapshot = {
     snap_counters : (string * int) list;  (** sorted by name *)
     snap_histograms : (string * histogram_summary) list;  (** sorted by name *)

@@ -23,6 +23,19 @@ let median xs =
     let a = Array.of_list sorted in
     if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
 
+let percentile xs q =
+  if q < 0. || q > 100. then invalid_arg "Stats.percentile: q outside [0, 100]";
+  match List.sort compare xs with
+  | [] -> 0.
+  | sorted ->
+    let a = Array.of_list sorted in
+    let n = Array.length a in
+    let rank = q /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. Float.floor rank in
+    a.(lo) +. ((a.(hi) -. a.(lo)) *. frac)
+
 let percent r = Printf.sprintf "%.1f%%" (100. *. r)
 
 let log2 x = log x /. log 2.

@@ -482,8 +482,14 @@ int serve_dynamic(int code) { served = served + 2; return code + 1; }
 int handle_request(int id) {
   int buf[16];
   int i;
-  // copy the "request line" into the stack buffer; the length comes
-  // from the network and is not checked against the buffer size
+  // protocol hardening: a negative or >512-word length is a line the
+  // 512-word network buffer cannot have held, so answer 400 without
+  // touching the buffer at all
+  if (net_len < 0) { return 400; }
+  if (net_len > 512) { return 400; }
+  // copy the "request line" into the stack buffer; the length is
+  // checked against the *network* buffer above but never against the
+  // 16-word stack buffer — the paper's victim overflow
   for (i = 0; i < net_len; i = i + 1) { buf[i] = net_input[i]; }
   int h = hash_path(&buf[0], (net_len < 16) ? net_len : 16);
   int handler = (h & 1) ? &serve_static : &serve_dynamic;

@@ -234,9 +234,15 @@ let test_pinned_processes_never_migrate () =
 
 let test_create_validation () =
   let p () = mk_proc ~mode:System.Psr_only ~fuel:1_000 ~seed:1 ~start_isa:Desc.Cisc ~pid:0 "mcf" in
-  (match Cmp.create [] with
+  (* an empty process list is legal: a serving CMP starts idle and
+     admits work with inject (the fleet harness's arrival path) *)
+  let idle = Cmp.create [] in
+  Alcotest.(check int) "idle cmp has no runnable work" 0 (Cmp.runnable_count idle);
+  Cmp.inject idle (p ());
+  Alcotest.(check int) "injected process is runnable" 1 (Cmp.runnable_count idle);
+  (match Cmp.inject idle (p ()) with
   | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "empty process list accepted");
+  | _ -> Alcotest.fail "duplicate injected pid accepted");
   (match Cmp.create ~cores:[] [ p () ] with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "empty core list accepted");

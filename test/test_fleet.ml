@@ -1,0 +1,272 @@
+(* The fleet serving subsystem: seeded traffic generation is
+   reproducible, parallel waves are bit-identical to sequential ones
+   (with and without work stealing), and the serving outcomes carry
+   the paper's security story — the overflow mix that kills a native
+   fleet is neutralized under PSR/HIPStR. *)
+
+module Obs = Hipstr_obs.Obs
+module Desc = Hipstr_isa.Desc
+module System = Hipstr.System
+module Cmp = Hipstr_cmp.Cmp
+module Traffic = Hipstr_fleet.Traffic
+module Fleet = Hipstr_fleet.Fleet
+
+(* a hostile-heavy mix so every kind shows up in small traces *)
+let test_mix =
+  { Traffic.mx_valid = 60; mx_oversized = 20; mx_malformed = 10; mx_attack = 10 }
+
+let gen ?(seed = 7) ?(procs = 32) ?(arrival = Traffic.Poisson 50.) () =
+  Traffic.generate ~seed ~procs ~arrival ~mix:test_mix ()
+
+(* --- generator ----------------------------------------------------- *)
+
+let test_generate_reproducible () =
+  let a = gen () and b = gen () in
+  Alcotest.(check bool) "same seed, same trace" true (a = b);
+  let c = gen ~seed:8 () in
+  Alcotest.(check bool) "different seed, different trace" true (a <> c);
+  let arrivals = List.map (fun c -> c.Traffic.cn_arrival) a in
+  Alcotest.(check bool) "arrivals are sorted" true
+    (List.sort compare arrivals = arrivals);
+  List.iteri
+    (fun i c ->
+      Alcotest.(check int) "ids are dense" i c.Traffic.cn_id;
+      Alcotest.(check int) "tenants tile" (i mod 4) c.Traffic.cn_tenant;
+      Alcotest.(check bool) "every conn has a line" true (Array.length c.Traffic.cn_line > 0))
+    a;
+  (* every kind with positive weight appears in a 32-conn trace of
+     this mix; a zero-weight kind never does *)
+  let kinds_of t = List.sort_uniq compare (List.map (fun c -> c.Traffic.cn_kind) t) in
+  Alcotest.(check int) "all four kinds drawn" 4 (List.length (kinds_of a));
+  let only_valid =
+    Traffic.generate ~seed:7 ~procs:32 ~arrival:(Traffic.Poisson 50.)
+      ~mix:{ Traffic.mx_valid = 1; mx_oversized = 0; mx_malformed = 0; mx_attack = 0 }
+      ()
+  in
+  Alcotest.(check (list bool)) "zero weights never drawn" []
+    (List.filter (fun b -> not b)
+       (List.map (fun c -> c.Traffic.cn_kind = Traffic.Valid) only_valid)
+    |> List.map (fun _ -> false))
+
+let test_bursty_batches () =
+  let t = gen ~arrival:(Traffic.Bursty { rate = 50.; burst = 4 }) () in
+  (* within a burst the gap is zero; the long-run count is unchanged *)
+  List.iteri
+    (fun i c ->
+      if i mod 4 <> 0 then
+        let prev = List.nth t (i - 1) in
+        Alcotest.(check (float 1e-9))
+          (Printf.sprintf "conn %d rides its burst" i)
+          prev.Traffic.cn_arrival c.Traffic.cn_arrival)
+    t;
+  Alcotest.(check int) "all connections generated" 32 (List.length t)
+
+let test_parsers () =
+  (match Traffic.arrival_of_string "poisson:25" with
+  | Ok (Traffic.Poisson r) -> Alcotest.(check (float 1e-9)) "poisson rate" 25. r
+  | _ -> Alcotest.fail "poisson:25 rejected");
+  (match Traffic.arrival_of_string "bursty:12.5:8" with
+  | Ok (Traffic.Bursty { rate; burst }) ->
+    Alcotest.(check (float 1e-9)) "bursty rate" 12.5 rate;
+    Alcotest.(check int) "burst" 8 burst
+  | _ -> Alcotest.fail "bursty:12.5:8 rejected");
+  List.iter
+    (fun s ->
+      match Traffic.arrival_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s accepted" s)
+    [ "poisson:0"; "poisson:-3"; "poisson"; "bursty:5:0"; "bursty:5"; "uniform:1" ];
+  (match Traffic.mix_of_string "60,20,10,10" with
+  | Ok m -> Alcotest.(check bool) "positional mix" true (m = test_mix)
+  | Error e -> Alcotest.fail e);
+  (match Traffic.mix_of_string "valid=60,oversized=20,malformed=10,attack=10" with
+  | Ok m -> Alcotest.(check bool) "named mix" true (m = test_mix)
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun s ->
+      match Traffic.mix_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s accepted" s)
+    [ "0,0,0,0"; "1,2,3"; "-1,2,3,4"; "valid=1,bogus=2" ]
+
+(* --- fleet determinism --------------------------------------------- *)
+
+let fleet_cfg ?(mode = System.Psr_only) ?(steal = true) () =
+  {
+    Fleet.default with
+    fl_shards = 4;
+    fl_mode = mode;
+    fl_steal = steal;
+    fl_max_live = 4;
+    fl_policy = Cmp.Round_robin;
+  }
+
+let run_with_exports ?mode ?steal ~jobs () =
+  let obs = Obs.create () in
+  let r = Fleet.run ~jobs ~obs (fleet_cfg ?mode ?steal ()) (gen ()) in
+  (r, Obs.Export.metrics_json obs, Obs.Export.audit_jsonl obs)
+
+let test_jobs_bit_identical () =
+  let r1, m1, a1 = run_with_exports ~jobs:1 () in
+  let r4, m4, a4 = run_with_exports ~jobs:4 () in
+  Alcotest.(check bool) "-j4 records = -j1 records" true (r1.Fleet.r_records = r4.Fleet.r_records);
+  Alcotest.(check (float 1e-9)) "same makespan" r1.Fleet.r_makespan r4.Fleet.r_makespan;
+  Alcotest.(check int) "same wave count" r1.Fleet.r_waves r4.Fleet.r_waves;
+  Alcotest.(check string) "metrics_json bytes identical" m1 m4;
+  Alcotest.(check string) "audit_jsonl bytes identical" a1 a4
+
+let test_stealing_bit_identical () =
+  let _, m_steal, a_steal = run_with_exports ~steal:true ~jobs:3 () in
+  let _, m_static, a_static = run_with_exports ~steal:false ~jobs:3 () in
+  Alcotest.(check string) "stealing vs static metrics" m_steal m_static;
+  Alcotest.(check string) "stealing vs static audit" a_steal a_static
+
+let test_rerun_bit_identical () =
+  let _, m1, a1 = run_with_exports ~jobs:2 () in
+  let _, m2, a2 = run_with_exports ~jobs:2 () in
+  Alcotest.(check string) "replayed metrics identical" m1 m2;
+  Alcotest.(check string) "replayed audit identical" a1 a2
+
+(* --- serving semantics --------------------------------------------- *)
+
+let check_record_invariants r =
+  List.iteri
+    (fun i x ->
+      Alcotest.(check int) "records sorted by id" i x.Fleet.rr_id;
+      Alcotest.(check bool) "admitted after arrival" true
+        (x.Fleet.rr_admitted >= x.Fleet.rr_arrival);
+      Alcotest.(check bool) "finished after admission" true
+        (x.Fleet.rr_finished >= x.Fleet.rr_admitted);
+      Alcotest.(check bool) "latency consistent" true
+        (Float.abs (x.Fleet.rr_latency -. (x.Fleet.rr_finished -. x.Fleet.rr_arrival)) < 1e-9);
+      Alcotest.(check int) "shard by id" (x.Fleet.rr_id mod 4) x.Fleet.rr_shard)
+    r.Fleet.r_records;
+  Alcotest.(check int) "every connection served" 32 (List.length r.Fleet.r_records);
+  Alcotest.(check int) "outcome counts partition the trace" 32
+    (r.Fleet.r_completed + r.Fleet.r_killed + r.Fleet.r_shell + r.Fleet.r_out_of_fuel)
+
+let test_psr_fleet_rides_out_the_mix () =
+  let r = Fleet.run (fleet_cfg ~mode:System.Psr_only ()) (gen ()) in
+  check_record_invariants r;
+  (* relocation contains the hostile kinds: benign traffic always
+     completes, a hostile line is either neutralized (completes) or
+     caught as a clean wild-return kill — never a shell, never a spin *)
+  Alcotest.(check int) "no shells" 0 r.Fleet.r_shell;
+  Alcotest.(check int) "nothing spins" 0 r.Fleet.r_out_of_fuel;
+  List.iter
+    (fun x ->
+      match (x.Fleet.rr_kind, x.Fleet.rr_outcome) with
+      | (Traffic.Valid | Traffic.Malformed), System.Finished 0 -> ()
+      | (Traffic.Valid | Traffic.Malformed), _ ->
+        Alcotest.failf "benign conn %d did not complete" x.Fleet.rr_id
+      | (Traffic.Oversized | Traffic.Attack), (System.Finished 0 | System.Killed _) -> ()
+      | (Traffic.Oversized | Traffic.Attack), _ ->
+        Alcotest.failf "hostile conn %d escaped containment" x.Fleet.rr_id)
+    r.Fleet.r_records;
+  Alcotest.(check bool) "most of the trace completes" true (r.Fleet.r_completed >= 24);
+  Alcotest.(check bool) "throughput positive" true (Fleet.throughput r > 0.);
+  let p50 = Fleet.latency_percentile r 50. and p99 = Fleet.latency_percentile r 99. in
+  Alcotest.(check bool) "percentiles monotone" true (0. <= p50 && p50 <= p99)
+
+let test_native_fleet_bleeds () =
+  (* the same trace against an unprotected fleet: every oversized
+     line kills its server, attacks divert or kill *)
+  let r =
+    Fleet.run (fleet_cfg ~mode:System.Native ()) (gen ())
+  in
+  check_record_invariants r;
+  let kinds = Fleet.by_kind r in
+  let stat k =
+    let _, total, completed, killed = List.find (fun (k', _, _, _) -> k' = k) kinds in
+    (total, completed, killed)
+  in
+  let total_o, completed_o, killed_o = stat Traffic.Oversized in
+  Alcotest.(check bool) "trace has oversized lines" true (total_o > 0);
+  Alcotest.(check int) "every oversized line kills a native server" total_o killed_o;
+  Alcotest.(check int) "none complete" 0 completed_o;
+  let total_v, completed_v, _ = stat Traffic.Valid in
+  Alcotest.(check int) "valid lines still complete" total_v completed_v;
+  let total_m, completed_m, _ = stat Traffic.Malformed in
+  Alcotest.(check int) "malformed lines are rejected, not fatal" total_m completed_m;
+  Alcotest.(check bool) "the native fleet bled" true (r.Fleet.r_killed > 0)
+
+let test_fleet_metrics_namespaces () =
+  let obs = Obs.create () in
+  let r = Fleet.run ~obs (fleet_cfg ()) (gen ()) in
+  let snap = Obs.metrics obs |> Obs.Metrics.snapshot in
+  let counter n = Obs.Metrics.counter_value snap n in
+  Alcotest.(check int) "fleet.requests" 32 (counter "fleet.requests");
+  Alcotest.(check int) "fleet.completed" r.Fleet.r_completed (counter "fleet.completed");
+  Alcotest.(check int) "fleet.waves" r.Fleet.r_waves (counter "fleet.waves");
+  let hist n = List.assoc_opt n snap.Obs.Metrics.snap_histograms in
+  (match hist "fleet.latency_cycles" with
+  | None -> Alcotest.fail "fleet.latency_cycles histogram missing"
+  | Some h ->
+    Alcotest.(check int) "one latency sample per request" 32 h.Obs.Metrics.hs_count;
+    let p99 = Obs.Metrics.p99 h in
+    Alcotest.(check bool) "bucketed p99 brackets the exact one" true
+      (p99 >= Fleet.latency_percentile r 99. /. 2.
+      && p99 <= Float.max 1. (2. *. Fleet.latency_percentile r 99.)));
+  (* per-tenant namespaces: the four tenants partition the trace *)
+  let tenant_reqs = List.init 4 (fun t -> counter (Printf.sprintf "fleet.tenant.t%d.requests" t)) in
+  Alcotest.(check int) "tenant requests sum to the trace" 32
+    (List.fold_left ( + ) 0 tenant_reqs);
+  List.iter
+    (fun (t, recs) ->
+      Alcotest.(check int)
+        (Printf.sprintf "tenant %d counter matches records" t)
+        (List.length recs)
+        (counter (Printf.sprintf "fleet.tenant.t%d.requests" t)))
+    (Fleet.by_tenant r);
+  (* per-kind latency namespaces exist for every kind in the trace *)
+  List.iter
+    (fun (k, total, _, _) ->
+      if total > 0 then
+        match hist (Printf.sprintf "fleet.kind.%s.latency_cycles" (Traffic.kind_name k)) with
+        | Some h -> Alcotest.(check int) (Traffic.kind_name k ^ " sample count") total h.Obs.Metrics.hs_count
+        | None -> Alcotest.failf "fleet.kind.%s.latency_cycles missing" (Traffic.kind_name k))
+    (Fleet.by_kind r)
+
+let test_admission_cap_respected () =
+  (* a one-shard fleet with max_live 2: arrivals queue but everything
+     is eventually served, and queueing shows up as latency *)
+  let cfg = { (fleet_cfg ()) with fl_shards = 1; fl_max_live = 2 } in
+  let r = Fleet.run cfg (gen ~procs:12 ~arrival:(Traffic.Poisson 500.) ()) in
+  Alcotest.(check int) "every queued connection served" 12 (List.length r.Fleet.r_records);
+  Alcotest.(check bool) "queueing delays admission" true
+    (List.exists (fun x -> x.Fleet.rr_admitted > x.Fleet.rr_arrival +. 1e-9) r.Fleet.r_records)
+
+let test_policies_all_serve () =
+  List.iter
+    (fun policy ->
+      let cfg = { (fleet_cfg ()) with fl_policy = policy } in
+      let r = Fleet.run cfg (gen ~procs:16 ()) in
+      Alcotest.(check int) "all served" 16 (List.length r.Fleet.r_records);
+      Alcotest.(check int) "no shells" 0 r.Fleet.r_shell)
+    [ Cmp.Round_robin; Cmp.Load_balance; Cmp.Security_first ]
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ( "traffic",
+        [
+          Alcotest.test_case "seeded generation reproducible" `Quick test_generate_reproducible;
+          Alcotest.test_case "bursty arrivals batch" `Quick test_bursty_batches;
+          Alcotest.test_case "arrival and mix parsers" `Quick test_parsers;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "-j4 bit-identical to -j1" `Quick test_jobs_bit_identical;
+          Alcotest.test_case "stealing bit-identical to static" `Quick
+            test_stealing_bit_identical;
+          Alcotest.test_case "replay bit-identical" `Quick test_rerun_bit_identical;
+        ] );
+      ( "serving",
+        [
+          Alcotest.test_case "psr fleet rides out the mix" `Quick test_psr_fleet_rides_out_the_mix;
+          Alcotest.test_case "native fleet bleeds" `Quick test_native_fleet_bleeds;
+          Alcotest.test_case "metrics namespaces" `Quick test_fleet_metrics_namespaces;
+          Alcotest.test_case "admission cap respected" `Quick test_admission_cap_respected;
+          Alcotest.test_case "all policies serve" `Quick test_policies_all_serve;
+        ] );
+    ]

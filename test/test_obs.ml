@@ -48,6 +48,40 @@ let test_histogram_summary () =
     Alcotest.(check int) "bucketed everything" 4
       (Array.fold_left ( + ) 0 s.Obs.Metrics.hs_buckets)
 
+let summary_of values =
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "lat" in
+  List.iter (Obs.Metrics.observe h) values;
+  let snap = Obs.Metrics.snapshot m in
+  List.assoc "lat" snap.Obs.Metrics.snap_histograms
+
+let test_histogram_quantiles () =
+  (* empty histogram: all quantiles are 0 *)
+  let empty = summary_of [] in
+  Alcotest.(check (float 1e-9)) "empty p50" 0. (Obs.Metrics.p50 empty);
+  (* a single sample: every quantile is that sample (clamped to
+     [min, max], not the bucket boundary) *)
+  let one = summary_of [ 5. ] in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9)) "single-sample quantile" 5. (Obs.Metrics.quantile one q))
+    [ 0.; 0.5; 0.95; 1. ];
+  (* uniform 1..100: within-bucket interpolation lands p50 on 51
+     (rank 50 is 19/32 of the way through the [32, 64) bucket) *)
+  let u = summary_of (List.init 100 (fun i -> float_of_int (i + 1))) in
+  Alcotest.(check (float 1e-9)) "uniform p50" 51. (Obs.Metrics.p50 u);
+  let p50 = Obs.Metrics.p50 u and p95 = Obs.Metrics.p95 u and p99 = Obs.Metrics.p99 u in
+  Alcotest.(check bool) "quantiles are monotone" true (p50 <= p95 && p95 <= p99);
+  Alcotest.(check bool) "quantiles clamp into [min, max]" true
+    (p50 >= u.Obs.Metrics.hs_min && p99 <= u.Obs.Metrics.hs_max);
+  (* a tail-heavy distribution separates the median from the tail *)
+  let t = summary_of (List.init 100 (fun i -> if i < 95 then 10. else 5000.)) in
+  Alcotest.(check bool) "p50 stays in the body" true (Obs.Metrics.p50 t < 20.);
+  Alcotest.(check bool) "p99 reaches the tail" true (Obs.Metrics.p99 t > 1000.);
+  match Obs.Metrics.quantile u 1.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "q outside [0, 1] accepted"
+
 (* --- Trace ring --- *)
 
 let test_ring_bounds () =
@@ -358,6 +392,7 @@ let () =
         [
           Alcotest.test_case "counters monotonic" `Quick test_counters_monotonic;
           Alcotest.test_case "histogram summary" `Quick test_histogram_summary;
+          Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
         ] );
       ( "trace",
         [

@@ -45,6 +45,128 @@ let test_hipstr_differential (w : Workloads.t) () =
   expect_finished w "hipstr" o;
   Alcotest.(check (list int)) (w.w_name ^ " HIPStR output") native_out out
 
+(* --- httpd request-line handling (the fleet generator's contract) ---
+
+   The parser rejects protocol-violating lengths (negative, or larger
+   than the 512-word network buffer) with a 400, but the in-range copy
+   into the 16-word stack buffer is still unchecked. A long junk line
+   tramples the whole frame: the native server deterministically dies
+   on a wild fetch/access, while under PSR/HIPStR the translated
+   server's control state is not where the attacker's frame model says
+   it is, so the same payload is neutralized and service completes —
+   the contrast the fleet's security numbers are built on. *)
+
+module Fatbin = Hipstr_compiler.Fatbin
+module Frame = Hipstr_compiler.Frame
+module Mem = Hipstr_machine.Mem
+module Machine = Hipstr_machine.Machine
+
+let httpd_ret_index () =
+  let fb = Workloads.fatbin Workloads.httpd in
+  let frame = (Fatbin.find_func fb "handle_request").Fatbin.fs_frame in
+  (frame.Frame.ret_off - frame.Frame.locals_off) / 4
+
+(* Boot httpd with the network globals staged before the first
+   instruction, exactly as the fleet traffic generator does. *)
+let staged_httpd ?cfg ?seed ~mode ~isa ~line ~len ~requests () =
+  let sys =
+    System.of_fatbin ?cfg ?seed ~start_isa:isa ~mode (Workloads.fatbin Workloads.httpd)
+  in
+  let fb = System.fatbin sys in
+  let mem = Machine.mem (System.machine sys) in
+  let input = Fatbin.global_addr fb "net_input" in
+  List.iteri (fun i w -> Mem.write32 mem (input + (4 * i)) w) line;
+  Mem.write32 mem (Fatbin.global_addr fb "net_len") len;
+  Mem.write32 mem (Fatbin.global_addr fb "requests") requests;
+  let o = System.run sys ~fuel:200_000 in
+  (o, System.output sys, sys)
+
+let test_httpd_rejects_protocol_violations () =
+  (* net_len > 512 and net_len < 0: both answered 400 per iteration,
+     nothing copied, so the run finishes with total = 400 * requests
+     and served = 0 *)
+  List.iter
+    (fun len ->
+      let o, out, _ =
+        staged_httpd ~mode:System.Native ~isa:Desc.Cisc ~line:[ 1; 2; 3; 4 ] ~len ~requests:3 ()
+      in
+      expect_finished Workloads.httpd (Printf.sprintf "reject len=%d" len) o;
+      Alcotest.(check (list int))
+        (Printf.sprintf "net_len=%d rejected with 400s" len)
+        [ 1200; 0 ] out)
+    [ 513; 600; 5000; -1; -4096 ]
+
+let isa_label = function Desc.Cisc -> "cisc" | Desc.Risc -> "risc"
+let overflow_line = List.init 64 (fun i -> 0x0BAD0000 lor (i * 4))
+
+let test_httpd_overflow_kills_deterministically () =
+  List.iter
+    (fun isa ->
+      let run () =
+        staged_httpd ~mode:System.Native ~isa ~line:overflow_line ~len:64 ~requests:3 ()
+      in
+      let o1, out1, _ = run () in
+      (match o1 with
+      | System.Killed m ->
+        Alcotest.(check bool)
+          "the kill is a memory fault" true
+          (String.length m >= 3 && String.sub m 0 3 = "fau")
+      | _ -> Alcotest.failf "oversized request line must kill the native %s server" (isa_label isa));
+      let o2, out2, _ = run () in
+      Alcotest.(check bool) "same outcome on replay" true (o1 = o2);
+      Alcotest.(check (list int)) "same output on replay" out1 out2)
+    [ Desc.Cisc; Desc.Risc ]
+
+let test_httpd_overflow_neutralized_under_psr () =
+  (* The payload that kills the native server above: under PSR the
+     server's relocated control state survives the frame smash and the
+     run finishes normal service, deterministically for a fixed seed.
+     The run still carries suspicious events (the compulsory
+     code-cache misses every PSR httpd run has), so the fleet records
+     outcome, not suspicion, as the discriminator. *)
+  let run () =
+    staged_httpd ~seed:11 ~mode:System.Psr_only ~isa:Desc.Cisc ~line:overflow_line ~len:64
+      ~requests:3 ()
+  in
+  let o1, out1, sys1 = run () in
+  expect_finished Workloads.httpd "psr-overflow" o1;
+  Alcotest.(check (list int)) "normal service despite the smash" [ 903; 3 ] out1;
+  Alcotest.(check bool) "suspicious events recorded" true (System.suspicious_events sys1 > 0);
+  let o2, out2, sys2 = run () in
+  Alcotest.(check bool) "same outcome on replay" true (o1 = o2);
+  Alcotest.(check (list int)) "same output on replay" out1 out2;
+  Alcotest.(check int) "same suspicious count on replay" (System.suspicious_events sys1)
+    (System.suspicious_events sys2)
+
+let test_httpd_attack_shape_neutralized_under_psr () =
+  let fb = Workloads.fatbin Workloads.httpd in
+  let ri = httpd_ret_index () in
+  let target = (Fatbin.find_func fb "serve_dynamic").Fatbin.fs_cisc.Fatbin.im_entry in
+  let line = List.init 64 (fun i -> if i >= ri then target else 0x0BAD0000 lor i) in
+  (* Natively the redirect lands: control escapes handle_request and
+     normal service never completes (diverted exit or a wild fetch,
+     depending on the ISA's code layout). *)
+  List.iter
+    (fun isa ->
+      let o, out, _ = staged_httpd ~mode:System.Native ~isa ~line ~len:64 ~requests:2 () in
+      match o with
+      | System.Finished _ ->
+        Alcotest.(check bool)
+          (Printf.sprintf "native %s service diverted by the redirect" (isa_label isa))
+          true
+          (out <> [ 602; 2 ])
+      | System.Killed _ -> ()
+      | System.Shell_spawned -> Alcotest.fail "redirect must not reach a shell"
+      | System.Out_of_fuel -> Alcotest.fail "attack-shaped request must not spin")
+    [ Desc.Cisc; Desc.Risc ];
+  (* Under PSR the relocated server rides out the same payload. *)
+  let o, out, sys =
+    staged_httpd ~seed:3 ~mode:System.Psr_only ~isa:Desc.Cisc ~line ~len:64 ~requests:2 ()
+  in
+  expect_finished Workloads.httpd "psr-attack" o;
+  Alcotest.(check (list int)) "PSR serves normally through the attack" [ 602; 2 ] out;
+  Alcotest.(check bool) "suspicious events recorded" true (System.suspicious_events sys > 0)
+
 let test_find_and_names () =
   Alcotest.(check int) "eight SPEC workloads" 8 (List.length Workloads.all);
   Alcotest.(check int) "nine names with httpd" 9 (List.length Workloads.names);
@@ -72,6 +194,17 @@ let () =
           Alcotest.test_case "bzip2 hipstr" `Quick (test_hipstr_differential (Workloads.find "bzip2"));
           Alcotest.test_case "gobmk hipstr" `Quick (test_hipstr_differential (Workloads.find "gobmk"));
           Alcotest.test_case "httpd hipstr" `Quick (test_hipstr_differential Workloads.httpd);
+        ] );
+      ( "httpd-hardening",
+        [
+          Alcotest.test_case "protocol violations rejected" `Quick
+            test_httpd_rejects_protocol_violations;
+          Alcotest.test_case "overflow kills native deterministically" `Quick
+            test_httpd_overflow_kills_deterministically;
+          Alcotest.test_case "overflow neutralized under psr" `Quick
+            test_httpd_overflow_neutralized_under_psr;
+          Alcotest.test_case "attack shape neutralized under psr" `Quick
+            test_httpd_attack_shape_neutralized_under_psr;
         ] );
       ("registry", [ Alcotest.test_case "find and names" `Quick test_find_and_names ]);
     ]
