@@ -3,7 +3,7 @@
 
 FUZZ_SEEDS ?= 1-25
 
-.PHONY: all build test fuzz micro cmp-smoke profile-smoke cache-smoke interp-smoke chain-smoke fleet-smoke check clean
+.PHONY: all build test fuzz micro cmp-smoke profile-smoke cache-smoke interp-smoke chain-smoke fleet-smoke timeline-smoke check clean
 
 all: build
 
@@ -104,7 +104,33 @@ fleet-smoke:
 	dune exec tools/json_check.exe -- BENCH_fleet.json /tmp/hipstr-fleet-j1.json \
 	  /tmp/hipstr-fleet-j1.jsonl
 
-check: build test fuzz micro cmp-smoke profile-smoke cache-smoke interp-smoke chain-smoke fleet-smoke
+# The time-resolved telemetry layer end-to-end: an attack-heavy
+# bursty fleet run emitting the windowed timeline (JSON + CSV, with
+# an SLO section) at -j 1 and -j 4, both artifacts demanded
+# byte-identical (the deterministic-timeline contract; --hostprof is
+# deliberately absent here because host allocation is not
+# deterministic), json_check validating the hipstr-timeline/1 schema,
+# then the bench_gate regression checker: self-compares of the
+# committed interp/fleet benchmarks must pass and its --selftest must
+# catch a synthetic 10% degradation.
+timeline-smoke:
+	dune exec bin/hipstr_cli.exe -- fleet-run --procs 96 --arrival bursty:40:24 \
+	  --mix 55,15,5,25 --policy security-first --mode hipstr --shards 4 -j 1 \
+	  --timeline-window 50000 --slo-target 200000 --slo-budget 0.1 \
+	  --timeline-out /tmp/hipstr-timeline-j1.json --timeline-csv /tmp/hipstr-timeline-j1.csv
+	dune exec bin/hipstr_cli.exe -- fleet-run --procs 96 --arrival bursty:40:24 \
+	  --mix 55,15,5,25 --policy security-first --mode hipstr --shards 4 -j 4 \
+	  --timeline-window 50000 --slo-target 200000 --slo-budget 0.1 \
+	  --timeline-out /tmp/hipstr-timeline-j4.json --timeline-csv /tmp/hipstr-timeline-j4.csv
+	cmp /tmp/hipstr-timeline-j1.json /tmp/hipstr-timeline-j4.json
+	cmp /tmp/hipstr-timeline-j1.csv /tmp/hipstr-timeline-j4.csv
+	dune exec tools/json_check.exe -- /tmp/hipstr-timeline-j1.json
+	dune exec tools/bench_gate.exe -- BENCH_interp.json BENCH_interp.json
+	dune exec tools/bench_gate.exe -- BENCH_fleet.json BENCH_fleet.json
+	dune exec tools/bench_gate.exe -- --selftest BENCH_interp.json
+	dune exec tools/bench_gate.exe -- --selftest BENCH_fleet.json
+
+check: build test fuzz micro cmp-smoke profile-smoke cache-smoke interp-smoke chain-smoke fleet-smoke timeline-smoke
 
 clean:
 	dune clean

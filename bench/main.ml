@@ -308,6 +308,41 @@ let interp_point ~name ~mode ~decode_cache ~chain =
   let sys = Option.get !last in
   (sys, !best, float_of_int (System.instructions sys) /. !best /. 1e6)
 
+(* One extra instrumented run per workload: an enabled context with a
+   hostprof attached, so the sweep also reports host minor words per
+   retired guest instruction and the per-phase allocation table. Host
+   allocation depends on the OCaml runtime, so this section is
+   non-deterministic (flagged in-band) — bench_gate ignores it. *)
+let interp_hostprof ~name =
+  let w = Workloads.find name in
+  let obs = Obs.create () in
+  let hp = Obs.Hostprof.create () in
+  Obs.set_hostprof obs hp;
+  Obs.Hostprof.start_run hp;
+  let sys =
+    System.of_fatbin ~obs ~seed:9 ~start_isa:Desc.Cisc ~mode:System.Psr_only
+      (Workloads.fatbin w)
+  in
+  ignore (System.run sys ~fuel:interp_fuel);
+  Obs.Hostprof.stop_run hp ~instructions:(System.instructions sys);
+  let wpi = Obs.Hostprof.minor_words_per_instr hp in
+  Printf.printf "  %-8s hostprof: %s minor words/instr (non-deterministic)\n%!" name
+    (match wpi with Some v -> Printf.sprintf "%.3f" v | None -> "n/a");
+  Json.Obj
+    [
+      ("deterministic", Json.Bool false);
+      ( "minor_words_per_instr",
+        match wpi with Some v -> Json.Num v | None -> Json.Null );
+      ( "phases",
+        Json.Obj
+          (List.map
+             (fun (phase, spans, words) ->
+               ( phase,
+                 Json.Obj
+                   [ ("spans", Json.num_of_int spans); ("minor_words", Json.Num words) ] ))
+             (Obs.Hostprof.phases hp)) );
+    ]
+
 let run_interp () =
   print_endline "";
   print_endline "=====================================================================";
@@ -381,7 +416,12 @@ let run_interp () =
                 ])
             interp_modes
         in
-        Json.Obj [ ("name", Json.Str name); ("modes", Json.List modes) ])
+        Json.Obj
+          [
+            ("name", Json.Str name);
+            ("modes", Json.List modes);
+            ("hostprof", interp_hostprof ~name);
+          ])
       interp_workloads
   in
   let doc =

@@ -338,7 +338,7 @@ let export_args =
   Term.(
     const (fun a b c d -> (a, b, c, d)) $ trace_out $ profile_out $ metrics_out $ audit_out)
 
-let write_exports ~obs (trace_out, profile_out, metrics_out, audit_out) =
+let write_exports ?timeline ~obs (trace_out, profile_out, metrics_out, audit_out) =
   let write path what render =
     match path with
     | None -> ()
@@ -346,7 +346,7 @@ let write_exports ~obs (trace_out, profile_out, metrics_out, audit_out) =
       Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc (render obs));
       Printf.printf "wrote %s: %s\n" what path
   in
-  write trace_out "trace" Obs.Export.trace_json;
+  write trace_out "trace" (Obs.Export.trace_json ?timeline);
   write profile_out "profile" Obs.Export.folded;
   write metrics_out "metrics"
     (match metrics_out with
@@ -354,13 +354,113 @@ let write_exports ~obs (trace_out, profile_out, metrics_out, audit_out) =
     | _ -> Obs.Export.metrics_json);
   write audit_out "audit" Obs.Export.audit_jsonl
 
+(* ------------------------------------------------------------------ *)
+(* Timeline / SLO / hostprof flags. The timeline rides the guest
+   clock and stays inside the byte-identity contract; hostprof output
+   is host-side Gc accounting and explicitly does not. *)
+
+let timeline_args =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timeline-out" ] ~docv:"FILE.json"
+          ~doc:
+            "Write the windowed timeline (schema $(b,hipstr-timeline/1): per-window counter \
+             deltas and latency-histogram percentiles on the guest clock) to $(docv). \
+             Deterministic: bit-identical across $(b,-j) values.")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timeline-csv" ] ~docv:"FILE.csv"
+          ~doc:"Write the windowed timeline as long-format CSV (window,series,stat,value) to $(docv).")
+  in
+  let window =
+    Arg.(
+      value
+      & opt (bounded_int_conv ~what:"timeline window (cycles)" ~lo:1 ()) 50_000
+      & info [ "timeline-window" ] ~docv:"CYCLES"
+          ~doc:"Timeline window width in guest cycles (default 50000).")
+  in
+  Term.(const (fun a b c -> (a, b, c)) $ out $ csv $ window)
+
+let make_timeline ?(force = false) (out, csv, window) =
+  if force || out <> None || csv <> None then
+    Some (Obs.Timeline.create ~window:(float_of_int window) ())
+  else None
+
+let write_timeline ?slo ?hostprof timeline (out, csv, _window) =
+  match timeline with
+  | None -> ()
+  | Some tl ->
+    let write path what render =
+      match path with
+      | None -> ()
+      | Some path ->
+        Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc (render tl));
+        Printf.printf "wrote %s: %s\n" what path
+    in
+    write out "timeline" (Obs.Export.timeline_json ?slo ?hostprof);
+    write csv "timeline csv" Obs.Export.timeline_csv
+
+let print_timeline_summary timeline =
+  match timeline with
+  | None -> ()
+  | Some tl ->
+    Printf.printf "timeline: %d windows of %.0f cycles%s\n" (Obs.Timeline.window_count tl)
+      (Obs.Timeline.window_cycles tl)
+      (match Obs.Timeline.span tl with
+      | None -> ""
+      | Some (lo, hi) -> Printf.sprintf " (indices %d..%d)" lo hi)
+
+let hostprof_arg =
+  Arg.(
+    value & flag
+    & info [ "hostprof" ]
+        ~doc:
+          "Profile host-side allocation: Gc minor-word deltas at span boundaries (per-phase \
+           table) and quick_stat deltas over the whole run, from which \
+           minor-words-per-retired-instruction is derived. Host-dependent and \
+           $(b,non-deterministic) — excluded from the -j byte-identity contract; do not \
+           combine with exports you intend to diff.")
+
+let start_hostprof ~obs enabled =
+  if not enabled then None
+  else begin
+    let hp = Obs.Hostprof.create () in
+    Obs.set_hostprof obs hp;
+    Obs.Hostprof.start_run hp;
+    Some hp
+  end
+
+let print_hostprof = function
+  | None -> ()
+  | Some hp ->
+    Printf.printf "host allocation profile (non-deterministic):\n";
+    (match Obs.Hostprof.run hp with
+    | None -> ()
+    | Some rd ->
+      Printf.printf
+        "  minor=%.0f words promoted=%.0f major=%.0f collections: minor=%d major=%d instrs=%d\n"
+        rd.Obs.Hostprof.hd_minor_words rd.hd_promoted_words rd.hd_major_words
+        rd.hd_minor_collections rd.hd_major_collections rd.hd_instructions;
+      match Obs.Hostprof.minor_words_per_instr hp with
+      | Some w -> Printf.printf "  minor words per retired instruction: %.3f\n" w
+      | None -> ());
+    List.iter
+      (fun (name, spans, words) ->
+        Printf.printf "  phase %-28s spans=%-7d minor-words=%.0f\n" name spans words)
+      (Obs.Hostprof.phases hp)
+
 let run_cmd =
   let mode_arg =
     Arg.(value & opt mode_conv System.Hipstr & info [ "mode" ] ~doc:"native, psr or hipstr.")
   in
   let opt_arg = Arg.(value & opt opt_conv 3 & info [ "opt" ] ~doc:"PSR optimization level (0-3).") in
   let action (w : Workloads.t) mode isa seed opt_level migrate_prob cc_capacity cc_policy
-      no_dcache no_chain metrics trace exports =
+      no_dcache no_chain metrics trace hostprof exports =
     let cfg =
       let base = { Config.default with opt_level } in
       let base =
@@ -369,11 +469,13 @@ let run_cmd =
       apply_cc_args base cc_capacity cc_policy
     in
     let obs = make_obs ~trace in
+    let hp = start_hostprof ~obs hostprof in
     let sys =
       System.of_fatbin ~obs ~cfg ~seed ~start_isa:isa ~decode_cache:(not no_dcache)
         ~chain:(not no_chain) ~mode (Workloads.fatbin w)
     in
     let outcome = System.run sys ~fuel:(3 * w.w_fuel) in
+    Option.iter (fun hp -> Obs.Hostprof.stop_run hp ~instructions:(System.instructions sys)) hp;
     Printf.printf "%s [%s]: %s\n" w.w_name w.w_description (outcome_string outcome);
     Printf.printf "output: %s\n" (String.concat " " (List.map string_of_int (System.output sys)));
     Printf.printf "instructions: %d  cycles: %.0f  simulated time: %.3f ms\n"
@@ -393,6 +495,7 @@ let run_cmd =
           (System.forced_migrations sys)
     end;
     if metrics then print_metrics sys;
+    print_hostprof hp;
     write_exports ~obs exports
   in
   Cmd.v
@@ -400,7 +503,7 @@ let run_cmd =
     Term.(
       const action $ workload_arg $ mode_arg $ isa_arg $ seed_arg $ opt_arg $ migrate_prob_arg
       $ cc_capacity_arg $ cc_policy_arg $ no_dcache_arg $ no_chain_arg $ metrics_arg $ trace_arg
-      $ export_args)
+      $ hostprof_arg $ export_args)
 
 let gadgets_cmd =
   let action (w : Workloads.t) isa =
@@ -606,7 +709,7 @@ let cmp_run_cmd =
   in
   let isa_label = function Desc.Cisc -> "cisc" | Desc.Risc -> "risc" in
   let action ws mode policy cores quantum fuel seed migrate_prob cc_capacity cc_policy no_dcache
-      no_chain jobs metrics sched verify exports =
+      no_chain jobs metrics sched verify tl_args exports =
     let cfg =
       let base =
         match migrate_prob with
@@ -628,7 +731,8 @@ let cmp_run_cmd =
         ws
     in
     let cmp = Cmp.create ~obs ~policy ~quantum ~cores procs in
-    Cmp.run ~jobs cmp;
+    let timeline = make_timeline tl_args in
+    Cmp.run ~jobs ?timeline cmp;
     let m = Cmp.metrics cmp in
     Printf.printf "cmp-run: %d processes on %d cores [%s], policy %s, quantum %d\n"
       (List.length ws) (Array.length core_arr)
@@ -700,7 +804,9 @@ let cmp_run_cmd =
         Printf.printf "verify: all %d processes match their standalone runs exactly\n"
           (List.length ws)
     end;
-    write_exports ~obs exports
+    print_timeline_summary timeline;
+    write_exports ?timeline ~obs exports;
+    write_timeline timeline tl_args
   in
   Cmd.v
     (Cmd.info "cmp-run"
@@ -708,7 +814,8 @@ let cmp_run_cmd =
     Term.(
       const action $ workloads_arg $ mode_arg $ policy_arg $ cores_arg $ quantum_arg $ fuel_arg
       $ seed_arg $ migrate_prob_arg $ cc_capacity_arg $ cc_policy_arg $ no_dcache_arg
-      $ no_chain_arg $ jobs_arg $ metrics_arg $ sched_arg $ verify_arg $ export_args)
+      $ no_chain_arg $ jobs_arg $ metrics_arg $ sched_arg $ verify_arg $ timeline_args
+      $ export_args)
 
 (* ------------------------------------------------------------------ *)
 (* fleet-run: serve an open-loop trace of staged httpd connections
@@ -807,8 +914,35 @@ let fleet_run_cmd =
             "Use a static shard partition instead of deterministic work stealing (results are \
              bit-identical either way; only the wall clock changes).")
   in
+  let slo_target_arg =
+    Arg.(
+      value
+      & opt (some (bounded_int_conv ~what:"slo target (cycles)" ~lo:1 ())) None
+      & info [ "slo-target" ] ~docv:"CYCLES"
+          ~doc:
+            "Latency objective: target sojourn latency in guest cycles. Enables the timeline's \
+             SLO section: per-window burn rate, cumulative error-budget remaining and \
+             time-to-exhaustion over $(b,fleet.latency_cycles).")
+  in
+  let slo_budget_arg =
+    let budget_conv =
+      Arg.conv
+        ( (fun s ->
+            match float_of_string_opt s with
+            | Some p when p > 0.0 && p < 1.0 -> Ok p
+            | _ ->
+              Error
+                (`Msg (Printf.sprintf "slo budget must be a fraction in (0, 1) (got '%s')" s))),
+          fun ppf p -> Format.fprintf ppf "%g" p )
+    in
+    Arg.(
+      value
+      & opt budget_conv 0.1
+      & info [ "slo-budget" ] ~docv:"FRACTION"
+          ~doc:"Error budget: fraction of requests allowed over the SLO target (default 0.1).")
+  in
   let action procs arrival mix policy shards cores quantum mode fuel max_live tenants no_steal
-      seed migrate_prob jobs metrics trace exports =
+      seed migrate_prob jobs metrics trace hostprof tl_args slo_target slo_budget exports =
     let cfg =
       match (mode, migrate_prob) with
       | System.Hipstr, Some p -> Some { Config.default with migrate_prob = p }
@@ -830,7 +964,15 @@ let fleet_run_cmd =
     in
     let conns = Traffic.generate ~tenants ~seed ~procs ~arrival ~mix () in
     let obs = make_obs ~trace in
-    let r = Fleet.run ~jobs ~obs fleet_cfg conns in
+    let timeline = make_timeline ~force:(slo_target <> None) tl_args in
+    let hp = start_hostprof ~obs hostprof in
+    let r = Fleet.run ~jobs ~obs ?timeline fleet_cfg conns in
+    Option.iter
+      (fun hp ->
+        Obs.Hostprof.stop_run hp
+          ~instructions:
+            (List.fold_left (fun acc rr -> acc + rr.Fleet.rr_instructions) 0 r.Fleet.r_records))
+      hp;
     Printf.printf "fleet-run: %d conns on %d shards x %d cores, policy %s, mode %s\n" procs shards
       (List.length cores) (Cmp.policy_name policy)
       (match mode with System.Native -> "native" | System.Psr_only -> "psr" | System.Hipstr -> "hipstr");
@@ -850,8 +992,35 @@ let fleet_run_cmd =
           Printf.printf "  %-10s total=%-5d completed=%-5d killed=%d\n" (Traffic.kind_name k) total
             completed killed)
       (Fleet.by_kind r);
+    let slo =
+      match (slo_target, timeline) with
+      | Some target, Some tl ->
+        let obj = Obs.Slo.objective ~target:(float_of_int target) ~budget:slo_budget in
+        Some (obj, Obs.Slo.evaluate obj ~latency:"fleet.latency_cycles" tl)
+      | _ -> None
+    in
+    print_timeline_summary timeline;
+    (match slo with
+    | None -> ()
+    | Some (obj, reports) -> (
+      match List.rev reports with
+      | [] -> Printf.printf "slo: no windows recorded\n"
+      | (last : Obs.Slo.window_report) :: _ ->
+        let exhausted_at =
+          List.find_opt (fun (sw : Obs.Slo.window_report) -> sw.Obs.Slo.sw_exhausted) reports
+        in
+        Printf.printf
+          "slo: target=%.0f cycles budget=%g: %.1f violations / %d requests, budget remaining \
+           %.1f%s\n"
+          obj.Obs.Slo.slo_target obj.Obs.Slo.slo_budget last.Obs.Slo.sw_cum_violations
+          last.Obs.Slo.sw_cum_requests last.Obs.Slo.sw_budget_remaining
+          (match exhausted_at with
+          | Some sw -> Printf.sprintf " (EXHAUSTED from window %d)" sw.Obs.Slo.sw_index
+          | None -> "")));
     if metrics then print_obs obs;
-    write_exports ~obs exports
+    print_hostprof hp;
+    write_exports ?timeline ~obs exports;
+    write_timeline ?slo ?hostprof:hp timeline tl_args
   in
   Cmd.v
     (Cmd.info "fleet-run"
@@ -862,7 +1031,8 @@ let fleet_run_cmd =
     Term.(
       const action $ procs_arg $ arrival_arg $ mix_arg $ policy_arg $ shards_arg $ cores_arg
       $ quantum_arg $ mode_arg $ fuel_arg $ max_live_arg $ tenants_arg $ no_steal_arg $ seed_arg
-      $ migrate_prob_arg $ jobs_arg $ metrics_arg $ trace_arg $ export_args)
+      $ migrate_prob_arg $ jobs_arg $ metrics_arg $ trace_arg $ hostprof_arg $ timeline_args
+      $ slo_target_arg $ slo_budget_arg $ export_args)
 
 let list_cmd =
   let action () =

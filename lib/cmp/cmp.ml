@@ -288,8 +288,12 @@ let all_done t = Array.for_all (fun p -> not (Process.runnable p)) t.procs
    translate/migration spans land under it via the per-domain stack.
 
    Account (sequential, core order): fold results into cores, the
-   trace and the queue. Returns how many slices ran. *)
-let step ?(jobs = 1) t =
+   trace and the queue. With [timeline], the accounting stage ends by
+   delta-sampling the CMP's obs context at the maximum core clock —
+   after the Pool barrier, from the sequential section, so the
+   timeline inherits the round's determinism. Returns how many slices
+   ran. *)
+let step ?(jobs = 1) ?timeline t =
   let queue = runnable_pids t in
   let assignments =
     (* sort by core id so execution order is the physical core order,
@@ -393,15 +397,20 @@ let step ?(jobs = 1) t =
     @ List.filter (fun pid -> Process.runnable (proc t pid)) ran;
   t.round <- t.round + 1;
   if observing then Obs.Metrics.incr t.c_rounds;
+  (match timeline with
+  | None -> ()
+  | Some tl ->
+    let clock = Array.fold_left (fun acc c -> Float.max acc c.co_cycles) 0. t.cores in
+    Obs.Timeline.sample tl ~key:"cmp" ~clock (Obs.snapshot t.obs));
   List.length assignments
 
-let run ?jobs t =
+let run ?jobs ?timeline t =
   (* Termination: every slice burns quantum from some process's
      finite fuel budget, and a round with runnable processes always
      schedules at least one of them (every process is compatible with
      at least one core, checked at create). *)
   while not (all_done t) do
-    let scheduled = step ?jobs t in
+    let scheduled = step ?jobs ?timeline t in
     if scheduled = 0 then
       (* defensive: cannot happen given the create-time check, but an
          infinite idle loop would be worse than a crash *)

@@ -85,7 +85,7 @@ val live_count : t -> int
 
 val runnable_count : t -> int
 
-val step : ?jobs:int -> t -> int
+val step : ?jobs:int -> ?timeline:Hipstr_obs.Obs.Timeline.t -> t -> int
 (** One scheduling round: assign runnable processes to cores per the
     policy, run each for a quantum, account. Returns the number of
     slices executed.
@@ -96,9 +96,15 @@ val step : ?jobs:int -> t -> int
     migration requests) are made sequentially before any slice runs,
     and accounting folds back in core order afterwards, so every
     simulation result — schedule trace, outputs, metrics, exported
-    trace/profile/audit files — is bit-identical for any [jobs]. *)
+    trace/profile/audit files — is bit-identical for any [jobs].
 
-val run : ?jobs:int -> t -> unit
+    [timeline] delta-samples the CMP's obs context at the end of the
+    accounting stage, stamped at the maximum core clock — after the
+    round barrier, from the sequential section, so per-window
+    translation/cache/migration series stay bit-identical for any
+    [jobs] too. *)
+
+val run : ?jobs:int -> ?timeline:Hipstr_obs.Obs.Timeline.t -> t -> unit
 (** {!step} until every process is done. Terminates: each process
     carries a finite fuel budget and exhausting it retires the
     process as [Out_of_fuel]. *)

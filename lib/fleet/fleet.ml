@@ -183,7 +183,7 @@ let run_tasks ~jobs ~steal f items =
     Array.to_list (Array.map Option.get out)
   end
 
-let run ?(jobs = 1) ?(obs = Obs.disabled) cfg conns =
+let run ?(jobs = 1) ?(obs = Obs.disabled) ?timeline cfg conns =
   if cfg.fl_shards < 1 then invalid_arg "Fleet.run: shards must be positive";
   if cfg.fl_max_live < 1 then invalid_arg "Fleet.run: max_live must be positive";
   if cfg.fl_fuel < 1 then invalid_arg "Fleet.run: fuel must be positive";
@@ -277,7 +277,34 @@ let run ?(jobs = 1) ?(obs = Obs.disabled) cfg conns =
               makespan := Float.max !makespan finished_at;
               observe_completion r)
             completions)
-        busy outs
+        busy outs;
+      (* timeline sampling: after the wave barrier and the completion
+         stamps, at the wave-end clock, in a fixed order — the parent
+         (fleet.* histograms observed just above) first, then each
+         busy shard's child in shard index order. Shards that sat the
+         wave out have unchanged metrics, so skipping them changes
+         nothing. Deterministic by the same fold-after-barrier
+         argument as the end-of-run merge. *)
+      (match timeline with
+      | None -> ()
+      | Some tl ->
+        let cos = List.concat_map snd outs in
+        let n f = List.length (List.filter (fun co -> f co.co_outcome) cos) in
+        Obs.Timeline.record tl ~clock:!clock
+          ~counters:
+            [
+              ("fleet.completed", n (function System.Finished _ -> true | _ -> false));
+              ("fleet.killed", n (function System.Killed _ -> true | _ -> false));
+              ("fleet.shell", n (fun o -> o = System.Shell_spawned));
+              ("fleet.out_of_fuel", n (fun o -> o = System.Out_of_fuel));
+            ];
+        Obs.Timeline.sample tl ~key:"fleet" ~clock:!clock (Obs.snapshot obs);
+        List.iter
+          (fun sh ->
+            Obs.Timeline.sample tl
+              ~key:(Printf.sprintf "shard%d" sh.sh_id)
+              ~clock:!clock (Obs.snapshot sh.sh_obs))
+          busy)
   done;
   (* fold the shard children back in index order (byte-identical
      exports whatever the domain layout was) *)

@@ -71,7 +71,12 @@ val outcome_label : Hipstr.System.outcome -> string
     per-tenant counter suffixes. *)
 
 val run :
-  ?jobs:int -> ?obs:Hipstr_obs.Obs.t -> config -> Traffic.conn list -> result
+  ?jobs:int ->
+  ?obs:Hipstr_obs.Obs.t ->
+  ?timeline:Hipstr_obs.Obs.Timeline.t ->
+  config ->
+  Traffic.conn list ->
+  result
 (** Serve the whole trace to completion. When [obs] is enabled, each
     completion lands in [fleet.latency_cycles] /
     [fleet.service_cycles] / [fleet.kind.<kind>.latency_cycles] and
@@ -79,6 +84,16 @@ val run :
     outcome counters, latency/service histograms); per-shard children
     are merged back in index order, and fleet totals ([fleet.waves],
     [fleet.requests], ...) are recorded at the end.
+
+    With [timeline], every wave additionally feeds the timeline after
+    its barrier at the wave-end clock: per-wave outcome counts
+    ([fleet.completed] etc. via {!Hipstr_obs.Obs.Timeline.record}),
+    a delta sample of the parent context (so per-window
+    [fleet.latency_cycles] percentiles fall out) and one of each busy
+    shard's child in shard index order (per-window psr/machine/cache
+    activity). Requires an enabled [obs] to carry the latency
+    histograms; deterministic across [-j]/stealing like the rest of
+    the run.
     @raise Invalid_argument on a non-positive shard count, admission
     cap, fuel or an empty core list. *)
 

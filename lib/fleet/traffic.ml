@@ -42,21 +42,33 @@ let arrival_name = function
   | Bursty { rate; burst } -> Printf.sprintf "bursty:%g:%d" rate burst
 
 let arrival_of_string s =
-  let err =
-    Error
-      (Printf.sprintf
-         "%s: expected poisson:RATE or bursty:RATE:BURST (RATE = requests per million cycles, \
-          positive; BURST >= 1)"
-         s)
+  (* each rejection names the part that failed and what would fix it,
+     so a fleet invocation dies with an actionable message instead of
+     a generic usage line *)
+  let rate r k =
+    match float_of_string_opt r with
+    | Some r when r > 0. && Float.is_finite r -> k r
+    | Some _ ->
+      Error
+        (Printf.sprintf "%s: rate '%s' must be positive (requests per million guest cycles)" s r)
+    | None -> Error (Printf.sprintf "%s: rate '%s' is not a number" s r)
   in
   match String.split_on_char ':' (String.lowercase_ascii (String.trim s)) with
-  | [ "poisson"; r ] -> (
-    match float_of_string_opt r with Some r when r > 0. -> Ok (Poisson r) | _ -> err)
-  | [ "bursty"; r; b ] -> (
-    match (float_of_string_opt r, int_of_string_opt b) with
-    | Some rate, Some burst when rate > 0. && burst >= 1 -> Ok (Bursty { rate; burst })
-    | _ -> err)
-  | _ -> err
+  | [ "poisson"; r ] -> rate r (fun r -> Ok (Poisson r))
+  | [ "bursty"; r; b ] ->
+    rate r (fun rate ->
+        match int_of_string_opt b with
+        | Some burst when burst >= 1 -> Ok (Bursty { rate; burst })
+        | Some _ -> Error (Printf.sprintf "%s: burst '%s' must be an integer >= 1" s b)
+        | None -> Error (Printf.sprintf "%s: burst '%s' is not an integer" s b))
+  | "poisson" :: _ -> Error (Printf.sprintf "%s: poisson takes exactly one field, poisson:RATE" s)
+  | "bursty" :: _ ->
+    Error (Printf.sprintf "%s: bursty takes exactly two fields, bursty:RATE:BURST" s)
+  | model :: _ ->
+    Error
+      (Printf.sprintf "%s: unknown arrival model '%s' (expected poisson:RATE or bursty:RATE:BURST)"
+         s model)
+  | [] -> Error (Printf.sprintf "%s: expected poisson:RATE or bursty:RATE:BURST" s)
 
 (* --- request mix --------------------------------------------------- *)
 
@@ -86,40 +98,62 @@ let mix_name m =
   Printf.sprintf "valid=%d,oversized=%d,malformed=%d,attack=%d" m.mx_valid m.mx_oversized
     m.mx_malformed m.mx_attack
 
+(* The mix parser rejects every malformed shape with a message naming
+   the offending part. Duplicate keys in the named form are an error
+   (not first-one-wins): "valid=10,valid=0" used to silently skew the
+   mix to whichever binding List.assoc found first. *)
 let mix_of_string s =
-  let err =
-    Error
-      (Printf.sprintf
-         "%s: expected V,O,M,A or valid=V,oversized=O,malformed=M,attack=A (non-negative \
-          weights, positive total)"
-         s)
-  in
+  let kind_keys = List.map kind_name kinds in
   let parts = String.split_on_char ',' (String.lowercase_ascii (String.trim s)) in
-  let weights =
-    if List.for_all (fun p -> String.contains p '=') parts then
-      let tbl =
-        List.filter_map
-          (fun p ->
-            match String.split_on_char '=' p with
-            | [ k; v ] -> Option.map (fun v -> (String.trim k, v)) (int_of_string_opt (String.trim v))
-            | _ -> None)
-          parts
-      in
-      if List.length tbl <> List.length parts then None
-      else
-        let get k = match List.assoc_opt k tbl with Some v -> v | None -> 0 in
-        if List.for_all (fun (k, _) -> List.mem k [ "valid"; "oversized"; "malformed"; "attack" ]) tbl
-        then Some (get "valid", get "oversized", get "malformed", get "attack")
-        else None
-    else
-      match List.map (fun p -> int_of_string_opt (String.trim p)) parts with
-      | [ Some v; Some o; Some m; Some a ] -> Some (v, o, m, a)
-      | _ -> None
+  let check (v, o, m, a) =
+    match List.find_opt (fun (_, w) -> w < 0)
+            [ ("valid", v); ("oversized", o); ("malformed", m); ("attack", a) ]
+    with
+    | Some (k, w) ->
+      Error (Printf.sprintf "%s: weight %s=%d is negative — mix weights must be >= 0" s k w)
+    | None ->
+      if v + o + m + a = 0 then
+        Error
+          (Printf.sprintf
+             "%s: mix weights sum to zero — at least one request kind needs a positive weight" s)
+      else Ok { mx_valid = v; mx_oversized = o; mx_malformed = m; mx_attack = a }
   in
-  match weights with
-  | Some (v, o, m, a) when v >= 0 && o >= 0 && m >= 0 && a >= 0 && v + o + m + a > 0 ->
-    Ok { mx_valid = v; mx_oversized = o; mx_malformed = m; mx_attack = a }
-  | _ -> err
+  if List.exists (fun p -> String.contains p '=') parts then
+    let rec go tbl = function
+      | [] ->
+        let get k = match List.assoc_opt k tbl with Some v -> v | None -> 0 in
+        check (get "valid", get "oversized", get "malformed", get "attack")
+      | p :: rest -> (
+        match String.split_on_char '=' p with
+        | [ k; v ] -> (
+          let k = String.trim k in
+          if not (List.mem k kind_keys) then
+            Error
+              (Printf.sprintf "%s: unknown request kind '%s' (expected %s)" s k
+                 (String.concat ", " kind_keys))
+          else if List.mem_assoc k tbl then
+            Error
+              (Printf.sprintf
+                 "%s: duplicate weight for '%s' — each request kind may appear at most once" s k)
+          else
+            match int_of_string_opt (String.trim v) with
+            | Some w -> go ((k, w) :: tbl) rest
+            | None ->
+              Error (Printf.sprintf "%s: weight '%s' for '%s' is not an integer" s (String.trim v) k))
+        | _ ->
+          Error
+            (Printf.sprintf "%s: '%s' is not a KEY=WEIGHT pair (expected e.g. valid=90)" s p))
+    in
+    go [] parts
+  else
+    match List.map (fun p -> int_of_string_opt (String.trim p)) parts with
+    | [ Some v; Some o; Some m; Some a ] -> check (v, o, m, a)
+    | _ ->
+      Error
+        (Printf.sprintf
+           "%s: expected four comma-separated integer weights V,O,M,A or \
+            valid=V,oversized=O,malformed=M,attack=A"
+           s)
 
 (* --- connections --------------------------------------------------- *)
 

@@ -18,7 +18,9 @@ type arrival = Poisson of float | Bursty of { rate : float; burst : int }
 val arrival_name : arrival -> string
 
 val arrival_of_string : string -> (arrival, string) result
-(** Parses ["poisson:RATE"] or ["bursty:RATE:BURST"]. *)
+(** Parses ["poisson:RATE"] or ["bursty:RATE:BURST"]. Rejections name
+    the offending field: non-positive or non-numeric rate, burst
+    below 1, unknown model, wrong field count. *)
 
 (** Request-line shapes:
     - [Valid]: in-bounds ASCII lines, served to completion;
@@ -47,7 +49,9 @@ val mix_name : mix -> string
 val mix_of_string : string -> (mix, string) result
 (** Parses ["V,O,M,A"] or ["valid=V,oversized=O,malformed=M,attack=A"]
     (omitted named weights default to 0). Weights must be
-    non-negative with a positive total. *)
+    non-negative with a positive total; duplicate kind keys, unknown
+    kinds, negative weights and zero-sum mixes are each rejected with
+    a message naming the offending part. *)
 
 (** One connection: the request line it will present, when it
     arrives, and how many server-loop iterations it runs. *)

@@ -190,6 +190,111 @@ module Metrics = struct
   let counter_value snap name =
     match List.assoc_opt name snap.snap_counters with Some v -> v | None -> 0
 
+  let histogram_summary snap name = List.assoc_opt name snap.snap_histograms
+
+  let empty_summary =
+    {
+      hs_count = 0;
+      hs_sum = 0.;
+      hs_min = 0.;
+      hs_max = 0.;
+      hs_mean = 0.;
+      hs_buckets = Array.make n_buckets 0;
+    }
+
+  (* Bucket bounds shared by the quantile, tail-count and delta
+     estimators. Bucket 0 has no finite lower bound of its own (it
+     holds every v < 1, negatives included), so callers substitute the
+     observed minimum. *)
+  let bucket_lo i = if i = 0 then neg_infinity else Float.pow 2. (float_of_int (i - 1))
+  let bucket_hi i = if i = 0 then 1. else Float.pow 2. (float_of_int i)
+
+  (* Estimated number of observations strictly above [threshold]:
+     full buckets above it count whole, the bucket containing it
+     contributes a linearly interpolated fraction, bucket bounds
+     clamped to the observed [min, max] (which also closes the
+     open-ended last bucket). Deterministic, and exact whenever no
+     bucket straddles the threshold. *)
+  let count_above (h : histogram_summary) threshold =
+    if h.hs_count = 0 then 0.
+    else begin
+      let n = Array.length h.hs_buckets in
+      let total = ref 0. in
+      for i = 0 to n - 1 do
+        let c = h.hs_buckets.(i) in
+        if c > 0 then begin
+          let lo = Float.max (bucket_lo i) h.hs_min in
+          let hi = if i = n - 1 then h.hs_max else Float.min (bucket_hi i) h.hs_max in
+          let hi = Float.max hi lo in
+          if threshold < lo then total := !total +. float_of_int c
+          else if threshold < hi then
+            total := !total +. (float_of_int c *. ((hi -. threshold) /. (hi -. lo)))
+        end
+      done;
+      !total
+    end
+
+  (* The window-delta of two cumulative summaries of the same
+     histogram: count, sum and buckets subtract exactly; min/max are
+     re-derived from the delta buckets' bounds clamped to the overall
+     observed range (the per-window extrema themselves are not
+     recoverable from cumulative state). A deterministic estimate —
+     the quantile interpolation over a delta is therefore never off by
+     more than one bucket width, same as over a cumulative summary. *)
+  let delta ~base (h : histogram_summary) =
+    let count = h.hs_count - base.hs_count in
+    if count <= 0 then empty_summary
+    else begin
+      let n = Array.length h.hs_buckets in
+      let buckets =
+        Array.init n (fun i ->
+            let b = if i < Array.length base.hs_buckets then base.hs_buckets.(i) else 0 in
+            max 0 (h.hs_buckets.(i) - b))
+      in
+      let first = ref (-1) and last = ref (-1) in
+      Array.iteri
+        (fun i c ->
+          if c > 0 then begin
+            if !first < 0 then first := i;
+            last := i
+          end)
+        buckets;
+      let hs_min = if !first < 0 then h.hs_min else Float.max (bucket_lo !first) h.hs_min in
+      let hs_max =
+        if !last < 0 then h.hs_max
+        else if !last = n - 1 then h.hs_max
+        else Float.min (bucket_hi !last) h.hs_max
+      in
+      let sum = h.hs_sum -. base.hs_sum in
+      {
+        hs_count = count;
+        hs_sum = sum;
+        hs_min;
+        hs_max = Float.max hs_max hs_min;
+        hs_mean = sum /. float_of_int count;
+        hs_buckets = buckets;
+      }
+    end
+
+  (* Combine two summaries of disjoint observation sets (used when a
+     window accumulates deltas from several sources). *)
+  let combine_summaries a b =
+    if a.hs_count = 0 then b
+    else if b.hs_count = 0 then a
+    else
+      let n = max (Array.length a.hs_buckets) (Array.length b.hs_buckets) in
+      let at (s : histogram_summary) i = if i < Array.length s.hs_buckets then s.hs_buckets.(i) else 0 in
+      let count = a.hs_count + b.hs_count in
+      let sum = a.hs_sum +. b.hs_sum in
+      {
+        hs_count = count;
+        hs_sum = sum;
+        hs_min = Float.min a.hs_min b.hs_min;
+        hs_max = Float.max a.hs_max b.hs_max;
+        hs_mean = sum /. float_of_int count;
+        hs_buckets = Array.init n (fun i -> at a i + at b i);
+      }
+
   (* Fold a snapshot into a live registry: counters add, histograms
      combine exactly (count/sum/min/max/buckets are all mergeable).
      Used by the parallel driver to fold per-domain contexts back into
@@ -331,6 +436,13 @@ module Span = struct
     sp_attrs : (string * string) list;
     sp_begin : float;
     mutable sp_end : float;
+    (* host-allocation self-attribution marks, live only while a
+       Hostprof is attached to the owning context (see Hostprof):
+       [sp_mark] is the Gc.minor_words reading when this span last
+       became the youngest open span on its domain, [sp_self_words]
+       the words charged to it so far. *)
+    mutable sp_mark : float;
+    mutable sp_self_words : float;
   }
 
   type t = { mu : Mutex.t; mutable next_id : int; mutable rev_done : span list }
@@ -349,7 +461,16 @@ module Span = struct
     let stack = Domain.DLS.get stack_key in
     let parent = List.find_map (fun (s, sp) -> if s == t then Some sp.sp_id else None) !stack in
     let sp =
-      { sp_id = id; sp_parent = parent; sp_name = name; sp_attrs = attrs; sp_begin = cycle; sp_end = Float.nan }
+      {
+        sp_id = id;
+        sp_parent = parent;
+        sp_name = name;
+        sp_attrs = attrs;
+        sp_begin = cycle;
+        sp_end = Float.nan;
+        sp_mark = 0.;
+        sp_self_words = 0.;
+      }
     in
     stack := (t, sp) :: !stack;
     sp
@@ -525,6 +646,90 @@ module Sink = struct
       Mutex.unlock m.m_mu
 end
 
+(* Host-side GC/allocation profiling: Gc counters sampled at span
+   boundaries and around whole runs. Everything here measures the
+   *host* OCaml process — minor-heap words allocated while a phase
+   span was the youngest open span on its domain, Gc.quick_stat
+   deltas over a run — so the numbers vary with the OCaml version,
+   inlining decisions and domain interleaving. Hostprof output is
+   therefore exported in a clearly partitioned non-deterministic
+   section and is excluded from the -j1/-j4 byte-identity contract
+   (the deterministic timeline and metrics still satisfy it; the
+   exporters only include hostprof when explicitly asked).
+
+   Attribution discipline: when a hostprof is attached to a context,
+   enter_span/exit_span bracket the per-domain span stack with
+   Gc.minor_words readings — entering a child charges the parent up
+   to "now" and pauses it; exiting charges the child and restarts the
+   parent's mark — so each phase accumulates *self* words, children
+   excluded, the same self-time discipline the folded exporter uses
+   for cycles. *)
+module Hostprof = struct
+  type phase = { mutable ph_spans : int; mutable ph_words : float }
+
+  type run_delta = {
+    hd_minor_words : float;
+    hd_promoted_words : float;
+    hd_major_words : float;
+    hd_minor_collections : int;
+    hd_major_collections : int;
+    hd_instructions : int;  (* retired guest instructions, caller-supplied *)
+  }
+
+  type t = {
+    mu : Mutex.t;
+    phases : (string, phase) Hashtbl.t;
+    mutable run_base : (Gc.stat * float) option;
+        (* quick_stat only folds minor words in at collection
+           boundaries, so the precise allocation pointer
+           [Gc.minor_words ()] is carried alongside it *)
+    mutable run : run_delta option;
+  }
+
+  let create () =
+    { mu = Mutex.create (); phases = Hashtbl.create 16; run_base = None; run = None }
+
+  let note t ~phase ~words =
+    Metrics.locked t.mu (fun () ->
+        match Hashtbl.find_opt t.phases phase with
+        | Some p ->
+          p.ph_spans <- p.ph_spans + 1;
+          p.ph_words <- p.ph_words +. words
+        | None -> Hashtbl.replace t.phases phase { ph_spans = 1; ph_words = words })
+
+  let phases t =
+    Metrics.locked t.mu (fun () ->
+        List.sort compare
+          (Hashtbl.fold (fun n p acc -> (n, p.ph_spans, p.ph_words) :: acc) t.phases []))
+
+  let start_run t = t.run_base <- Some (Gc.quick_stat (), Gc.minor_words ())
+
+  let stop_run t ~instructions =
+    match t.run_base with
+    | None -> ()
+    | Some (b, b_minor) ->
+      let a = Gc.quick_stat () in
+      let a_minor = Gc.minor_words () in
+      t.run_base <- None;
+      t.run <-
+        Some
+          {
+            hd_minor_words = a_minor -. b_minor;
+            hd_promoted_words = a.Gc.promoted_words -. b.Gc.promoted_words;
+            hd_major_words = a.Gc.major_words -. b.Gc.major_words;
+            hd_minor_collections = a.Gc.minor_collections - b.Gc.minor_collections;
+            hd_major_collections = a.Gc.major_collections - b.Gc.major_collections;
+            hd_instructions = instructions;
+          }
+
+  let run t = t.run
+
+  let minor_words_per_instr t =
+    match t.run with
+    | Some r when r.hd_instructions > 0 -> Some (r.hd_minor_words /. float_of_int r.hd_instructions)
+    | _ -> None
+end
+
 type t = {
   mutable enabled : bool;
   metrics : Metrics.t;
@@ -532,6 +737,7 @@ type t = {
   spans : Span.t;
   audit : Audit.t;
   mutable sink : Sink.t;
+  mutable hostprof : Hostprof.t option;
 }
 
 let create ?(on = true) ?(sink = Sink.null) ?(trace_capacity = 1024) () =
@@ -542,6 +748,7 @@ let create ?(on = true) ?(sink = Sink.null) ?(trace_capacity = 1024) () =
     spans = Span.create ();
     audit = Audit.create ();
     sink;
+    hostprof = None;
   }
 
 let disabled = create ~on:false ()
@@ -562,17 +769,53 @@ let events t = Trace.to_list t.trace
 
 let snapshot t = Metrics.snapshot t.metrics
 
+let set_hostprof t hp = t.hostprof <- Some hp
+let hostprof t = t.hostprof
+
+(* The youngest open span of this context on the current domain. *)
+let top_open_span t =
+  let stack = Domain.DLS.get Span.stack_key in
+  List.find_map (fun (s, sp) -> if s == t.spans then Some sp else None) !stack
+
 (* Span helpers that carry the disabled check themselves: a disabled
    context hands out no handle, so an instrumented region costs one
-   branch and an immediate [None]. *)
+   branch and an immediate [None]. With a Hostprof attached they also
+   bracket the span stack with Gc.minor_words readings — see the
+   Hostprof header comment for the self-attribution discipline. *)
 let enter_span t ~name ?attrs ~cycle () =
-  if t.enabled then Some (Span.enter t.spans ~name ?attrs ~cycle ()) else None
+  if not t.enabled then None
+  else begin
+    (match t.hostprof with
+    | None -> ()
+    | Some _ -> (
+      let now = Gc.minor_words () in
+      match top_open_span t with
+      | Some parent ->
+        parent.Span.sp_self_words <- parent.Span.sp_self_words +. (now -. parent.Span.sp_mark);
+        parent.Span.sp_mark <- now
+      | None -> ()));
+    let sp = Span.enter t.spans ~name ?attrs ~cycle () in
+    (match t.hostprof with None -> () | Some _ -> sp.Span.sp_mark <- Gc.minor_words ());
+    Some sp
+  end
 
 let exit_span t handle ~cycle =
   match handle with
   | None -> ()
   | Some sp ->
+    (match t.hostprof with
+    | None -> ()
+    | Some hp ->
+      let now = Gc.minor_words () in
+      sp.Span.sp_self_words <- sp.Span.sp_self_words +. (now -. sp.Span.sp_mark);
+      Hostprof.note hp ~phase:sp.Span.sp_name ~words:sp.Span.sp_self_words);
     Span.exit t.spans sp ~cycle;
+    (match t.hostprof with
+    | None -> ()
+    | Some _ -> (
+      match top_open_span t with
+      | Some parent -> parent.Span.sp_mark <- Gc.minor_words ()
+      | None -> ()));
     if t.enabled then
       emit t
         (Trace.Span_end
@@ -581,7 +824,12 @@ let exit_span t handle ~cycle =
 let audit_emit t ~cycle ~isa ~pid kind =
   if t.enabled then ignore (Audit.record t.audit ~cycle ~isa ~pid kind)
 
-let child t = create ~on:t.enabled ~sink:Sink.null ~trace_capacity:(Trace.capacity t.trace) ()
+let child t =
+  let c = create ~on:t.enabled ~sink:Sink.null ~trace_capacity:(Trace.capacity t.trace) () in
+  (* the hostprof (if any) is shared, not copied: per-phase host
+     allocation from every shard/task folds into one table *)
+  c.hostprof <- t.hostprof;
+  c
 
 let merge ~into src =
   Metrics.merge ~into:into.metrics (Metrics.snapshot src.metrics);
@@ -589,6 +837,208 @@ let merge ~into src =
   Audit.merge ~into:into.audit src.audit;
   if into.enabled then
     List.iter (fun (r : Trace.record) -> emit into r.Trace.event) (Trace.to_list src.trace)
+
+(* ------------------------------------------------------------------ *)
+(* Time-resolved telemetry: windowed delta snapshots keyed to the
+   deterministic guest/fleet clock.
+
+   A Timeline divides the clock into fixed-width windows and folds
+   *deltas* into the window containing each sample's clock stamp. Two
+   feeds exist: [sample], which diffs a source's cumulative
+   Metrics.snapshot against the last snapshot seen for that source
+   key (per-window counter increments and histogram deltas fall out),
+   and [record], which adds caller-computed per-window counts
+   directly (e.g. completions per wave).
+
+   Determinism contract: drivers call sample/record from the
+   sequential section after their barrier (Fleet's wave loop after
+   the shard fan-out, Cmp.step's accounting stage), in a fixed source
+   order, at clock stamps that are themselves deterministic — so the
+   full timeline, and every export of it, is byte-identical across
+   -j 1 / -j N / stealing on or off. Attribution granularity is the
+   sampling interval: work of a wave that straddles a window boundary
+   lands in the window containing the wave-end stamp. *)
+module Timeline = struct
+  type window = {
+    tw_index : int;
+    tw_counters : (string * int) list;  (* sorted by name; positive deltas only *)
+    tw_histograms : (string * Metrics.histogram_summary) list;  (* sorted; non-empty only *)
+  }
+
+  type acc = {
+    wa_counters : (string, int) Hashtbl.t;
+    wa_histograms : (string, Metrics.histogram_summary) Hashtbl.t;
+  }
+
+  type t = {
+    tl_width : float;
+    mu : Mutex.t;
+    last : (string, Metrics.snapshot) Hashtbl.t;  (* per source key *)
+    wins : (int, acc) Hashtbl.t;
+  }
+
+  let create ~window () =
+    if not (Float.is_finite window) || window <= 0. then
+      invalid_arg "Obs.Timeline.create: window must be a positive cycle count";
+    { tl_width = window; mu = Mutex.create (); last = Hashtbl.create 8; wins = Hashtbl.create 64 }
+
+  let window_cycles t = t.tl_width
+
+  let index_of t clock =
+    let i = int_of_float (Float.floor (clock /. t.tl_width)) in
+    if i < 0 then 0 else i
+
+  let acc_of t i =
+    match Hashtbl.find_opt t.wins i with
+    | Some a -> a
+    | None ->
+      let a = { wa_counters = Hashtbl.create 16; wa_histograms = Hashtbl.create 8 } in
+      Hashtbl.replace t.wins i a;
+      a
+
+  let add_counter a name v =
+    if v > 0 then
+      Hashtbl.replace a.wa_counters name
+        ((match Hashtbl.find_opt a.wa_counters name with Some x -> x | None -> 0) + v)
+
+  let add_histogram a name (d : Metrics.histogram_summary) =
+    if d.Metrics.hs_count > 0 then
+      Hashtbl.replace a.wa_histograms name
+        (match Hashtbl.find_opt a.wa_histograms name with
+        | None -> d
+        | Some prev -> Metrics.combine_summaries prev d)
+
+  let record t ~clock ~counters =
+    Metrics.locked t.mu (fun () ->
+        let a = acc_of t (index_of t clock) in
+        List.iter (fun (n, v) -> add_counter a n v) counters)
+
+  let sample t ~key ~clock (snap : Metrics.snapshot) =
+    Metrics.locked t.mu (fun () ->
+        let base = Hashtbl.find_opt t.last key in
+        Hashtbl.replace t.last key snap;
+        let a = acc_of t (index_of t clock) in
+        List.iter
+          (fun (n, v) ->
+            let prev = match base with None -> 0 | Some b -> Metrics.counter_value b n in
+            add_counter a n (v - prev))
+          snap.Metrics.snap_counters;
+        List.iter
+          (fun (n, (h : Metrics.histogram_summary)) ->
+            let d =
+              match Option.bind base (fun b -> Metrics.histogram_summary b n) with
+              | None -> h
+              | Some hb -> Metrics.delta ~base:hb h
+            in
+            add_histogram a n d)
+          snap.Metrics.snap_histograms)
+
+  let windows t =
+    Metrics.locked t.mu (fun () ->
+        Hashtbl.fold (fun i a acc -> (i, a) :: acc) t.wins []
+        |> List.sort (fun (i, _) (j, _) -> compare i j)
+        |> List.map (fun (i, a) ->
+               {
+                 tw_index = i;
+                 tw_counters =
+                   List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) a.wa_counters []);
+                 tw_histograms =
+                   List.sort
+                     (fun (x, _) (y, _) -> compare x y)
+                     (Hashtbl.fold (fun k v acc -> (k, v) :: acc) a.wa_histograms []);
+               }))
+
+  let window_count t = Metrics.locked t.mu (fun () -> Hashtbl.length t.wins)
+
+  let span t =
+    Metrics.locked t.mu (fun () ->
+        Hashtbl.fold
+          (fun i _ acc ->
+            match acc with None -> Some (i, i) | Some (lo, hi) -> Some (min lo i, max hi i))
+          t.wins None)
+
+  let counter_value w name =
+    match List.assoc_opt name w.tw_counters with Some v -> v | None -> 0
+
+  let histogram w name = List.assoc_opt name w.tw_histograms
+
+  (* Fold [src]'s recorded windows into [into] (window widths must
+     match). Only the accumulated windows merge; per-source last
+     snapshots do not travel — merging is for folding finished
+     sub-timelines, not for resuming sampling on the source. *)
+  let merge ~into src =
+    if into.tl_width <> src.tl_width then
+      invalid_arg "Obs.Timeline.merge: window widths differ";
+    let ws = windows src in
+    Metrics.locked into.mu (fun () ->
+        List.iter
+          (fun w ->
+            let a = acc_of into w.tw_index in
+            List.iter (fun (n, v) -> add_counter a n v) w.tw_counters;
+            List.iter (fun (n, h) -> add_histogram a n h) w.tw_histograms)
+          ws)
+end
+
+(* Service-level-objective tracking over a Timeline: a latency target
+   plus an error budget (the fraction of requests allowed over
+   target), evaluated per window with the standard burn-rate /
+   budget-remaining / time-to-exhaustion arithmetic. Violations are
+   estimated from the windowed histogram deltas via
+   Metrics.count_above, so the whole report inherits the timeline's
+   determinism. *)
+module Slo = struct
+  type objective = { slo_target : float; slo_budget : float }
+
+  let objective ~target ~budget =
+    if not (Float.is_finite target) || target <= 0. then
+      invalid_arg "Obs.Slo.objective: target must be a positive cycle count";
+    if not (Float.is_finite budget) || budget <= 0. || budget >= 1. then
+      invalid_arg "Obs.Slo.objective: budget must be a violation fraction in (0, 1)";
+    { slo_target = target; slo_budget = budget }
+
+  type window_report = {
+    sw_index : int;
+    sw_requests : int;
+    sw_violations : float;  (* estimated requests over target this window *)
+    sw_burn : float;  (* (violations/requests)/budget; 1.0 = burning exactly at budget *)
+    sw_cum_requests : int;
+    sw_cum_violations : float;
+    sw_budget_remaining : float;  (* budget*cum_requests - cum_violations *)
+    sw_exhausted : bool;
+    sw_tte_windows : float option;
+        (* windows until exhaustion extrapolating this window's net burn *)
+  }
+
+  let evaluate obj ~latency tl =
+    let cum_req = ref 0 and cum_vio = ref 0. in
+    List.map
+      (fun (w : Timeline.window) ->
+        let requests, violations =
+          match Timeline.histogram w latency with
+          | None -> (0, 0.)
+          | Some h -> (h.Metrics.hs_count, Metrics.count_above h obj.slo_target)
+        in
+        cum_req := !cum_req + requests;
+        cum_vio := !cum_vio +. violations;
+        let burn =
+          if requests = 0 then 0.
+          else violations /. float_of_int requests /. obj.slo_budget
+        in
+        let remaining = (obj.slo_budget *. float_of_int !cum_req) -. !cum_vio in
+        let net = violations -. (obj.slo_budget *. float_of_int requests) in
+        {
+          sw_index = w.Timeline.tw_index;
+          sw_requests = requests;
+          sw_violations = violations;
+          sw_burn = burn;
+          sw_cum_requests = !cum_req;
+          sw_cum_violations = !cum_vio;
+          sw_budget_remaining = remaining;
+          sw_exhausted = remaining < 0.;
+          sw_tte_windows = (if net > 0. && remaining > 0. then Some (remaining /. net) else None);
+        })
+      (Timeline.windows tl)
+end
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic serializers. All three re-sort their inputs by
@@ -666,11 +1116,50 @@ module Export = struct
           (b.au_pid, b.au_cycle, audit_rank b, b.au_isa, Json.to_string (Json.Obj (audit_fields b))))
       entries
 
+  let has_prefix ~prefix s =
+    String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+  (* Counter ("C") events from a timeline: one Perfetto counter track
+     per series, one sample per window at the window's start stamp.
+     Counters chart their per-window delta; histograms chart their
+     per-window p99. The per-tenant namespaces are excluded to bound
+     track cardinality. Deterministic because the timeline is. *)
+  let timeline_counter_events tl =
+    let width = Timeline.window_cycles tl in
+    List.concat_map
+      (fun (w : Timeline.window) ->
+        let ts = float_of_int w.Timeline.tw_index *. width in
+        let series =
+          List.filter_map
+            (fun (n, v) ->
+              if has_prefix ~prefix:"fleet.tenant." n then None else Some (n, float_of_int v))
+            w.Timeline.tw_counters
+          @ List.filter_map
+              (fun (n, h) ->
+                if has_prefix ~prefix:"fleet.tenant." n then None
+                else Some (n ^ ".p99", Metrics.p99 h))
+              w.Timeline.tw_histograms
+        in
+        List.map
+          (fun (name, v) ->
+            Json.Obj
+              [
+                ("name", Json.Str name);
+                ("ph", Json.Str "C");
+                ("ts", Json.Num ts);
+                ("pid", Json.num_of_int 0);
+                ("args", Json.Obj [ ("value", Json.Num v) ]);
+              ])
+          series)
+      (Timeline.windows tl)
+
   (* Chrome trace_event JSON, loadable in Perfetto / chrome://tracing.
      Complete ("X") events for spans, instant ("i") events for audit
-     entries, metadata ("M") events naming the tracks. Timestamps are
-     simulated cycles presented as microseconds. *)
-  let trace_json t =
+     entries, metadata ("M") events naming the tracks, and — when a
+     timeline is supplied — counter ("C") tracks of its per-window
+     series. Timestamps are simulated cycles presented as
+     microseconds. *)
+  let trace_json ?timeline t =
     let spans = Span.canonical (Span.completed t.spans) in
     let tbl = span_table (Span.completed t.spans) in
     let entries = canonical_audit (Audit.entries t.audit) in
@@ -779,10 +1268,11 @@ module Export = struct
         (fun (ka, va) (kb, vb) -> compare (ka, Json.to_string va) (kb, Json.to_string vb))
         (span_events @ instant_events)
     in
+    let counters = match timeline with None -> [] | Some tl -> timeline_counter_events tl in
     Json.to_string
       (Json.Obj
          [
-           ("traceEvents", Json.List (metadata @ List.map snd timed));
+           ("traceEvents", Json.List (metadata @ List.map snd timed @ counters));
            ("displayTimeUnit", Json.Str "ns");
          ])
     ^ "\n"
@@ -991,5 +1481,150 @@ module Export = struct
                 @ audit_fields e)));
         Buffer.add_char b '\n')
       entries;
+    Buffer.contents b
+
+  (* --- timeline / SLO / hostprof ----------------------------------- *)
+
+  let summary_json (h : Metrics.histogram_summary) =
+    Json.Obj
+      [
+        ("count", Json.num_of_int h.hs_count);
+        ("sum", Json.Num h.hs_sum);
+        ("min", Json.Num h.hs_min);
+        ("max", Json.Num h.hs_max);
+        ("mean", Json.Num h.hs_mean);
+        ("p50", Json.Num (Metrics.p50 h));
+        ("p95", Json.Num (Metrics.p95 h));
+        ("p99", Json.Num (Metrics.p99 h));
+      ]
+
+  let hostprof_value hp =
+    let run =
+      match Hostprof.run hp with
+      | None -> Json.Null
+      | Some r ->
+        Json.Obj
+          [
+            ("minor_words", Json.Num r.Hostprof.hd_minor_words);
+            ("promoted_words", Json.Num r.Hostprof.hd_promoted_words);
+            ("major_words", Json.Num r.Hostprof.hd_major_words);
+            ("minor_collections", Json.num_of_int r.Hostprof.hd_minor_collections);
+            ("major_collections", Json.num_of_int r.Hostprof.hd_major_collections);
+            ("instructions", Json.num_of_int r.Hostprof.hd_instructions);
+            ( "minor_words_per_instr",
+              match Hostprof.minor_words_per_instr hp with
+              | Some x -> Json.Num x
+              | None -> Json.Null );
+          ]
+    in
+    Json.Obj
+      [
+        ("deterministic", Json.Bool false);
+        ( "note",
+          Json.Str
+            "host-process Gc deltas: varies across OCaml versions and domain interleavings; \
+             excluded from the -j1/-jN byte-identity contract" );
+        ("run", run);
+        ( "phases",
+          Json.Obj
+            (List.map
+               (fun (n, spans, words) ->
+                 ( n,
+                   Json.Obj
+                     [ ("spans", Json.num_of_int spans); ("minor_words", Json.Num words) ] ))
+               (Hostprof.phases hp)) );
+      ]
+
+  let hostprof_json hp = Json.to_string_pretty (hostprof_value hp) ^ "\n"
+
+  (* The timeline file: schema hipstr-timeline/1. [windows] (and the
+     optional [slo] section) are deterministic; the optional
+     [hostprof] section is explicitly marked non-deterministic and
+     must not be requested on runs whose exports are diffed for byte
+     identity. *)
+  let timeline_json ?slo ?hostprof (tl : Timeline.t) =
+    let width = Timeline.window_cycles tl in
+    let win_json (w : Timeline.window) =
+      Json.Obj
+        [
+          ("index", Json.num_of_int w.Timeline.tw_index);
+          ("start", Json.Num (float_of_int w.Timeline.tw_index *. width));
+          ("stop", Json.Num (float_of_int (w.Timeline.tw_index + 1) *. width));
+          ( "counters",
+            Json.Obj (List.map (fun (n, v) -> (n, Json.num_of_int v)) w.Timeline.tw_counters) );
+          ( "histograms",
+            Json.Obj (List.map (fun (n, h) -> (n, summary_json h)) w.Timeline.tw_histograms) );
+        ]
+    in
+    let slo_part =
+      match slo with
+      | None -> []
+      | Some (obj, reports) ->
+        [
+          ( "slo",
+            Json.Obj
+              [
+                ("target_cycles", Json.Num obj.Slo.slo_target);
+                ("budget", Json.Num obj.Slo.slo_budget);
+                ( "windows",
+                  Json.List
+                    (List.map
+                       (fun (r : Slo.window_report) ->
+                         Json.Obj
+                           [
+                             ("index", Json.num_of_int r.sw_index);
+                             ("requests", Json.num_of_int r.sw_requests);
+                             ("violations", Json.Num r.sw_violations);
+                             ("burn", Json.Num r.sw_burn);
+                             ("budget_remaining", Json.Num r.sw_budget_remaining);
+                             ("exhausted", Json.Bool r.sw_exhausted);
+                             ( "tte_windows",
+                               match r.sw_tte_windows with
+                               | Some x -> Json.Num x
+                               | None -> Json.Null );
+                           ])
+                       reports) );
+              ] );
+        ]
+    in
+    let host_part =
+      match hostprof with None -> [] | Some hp -> [ ("hostprof", hostprof_value hp) ]
+    in
+    Json.to_string_pretty
+      (Json.Obj
+         ([
+            ("schema", Json.Str "hipstr-timeline/1");
+            ("window_cycles", Json.Num width);
+            ("windows", Json.List (List.map win_json (Timeline.windows tl)));
+          ]
+         @ slo_part @ host_part))
+    ^ "\n"
+
+  (* Long-format CSV of the same deterministic windows: one row per
+     (window, series, stat). Counters carry stat "delta"; histograms
+     count/sum/p50/p95/p99. *)
+  let timeline_csv (tl : Timeline.t) =
+    let width = Timeline.window_cycles tl in
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "window,start,stop,series,stat,value\n";
+    List.iter
+      (fun (w : Timeline.window) ->
+        let row series stat value =
+          Buffer.add_string b
+            (Printf.sprintf "%d,%.17g,%.17g,%s,%s,%s\n" w.Timeline.tw_index
+               (float_of_int w.Timeline.tw_index *. width)
+               (float_of_int (w.Timeline.tw_index + 1) *. width)
+               series stat value)
+        in
+        List.iter (fun (n, v) -> row n "delta" (string_of_int v)) w.Timeline.tw_counters;
+        List.iter
+          (fun (n, (h : Metrics.histogram_summary)) ->
+            row n "count" (string_of_int h.hs_count);
+            row n "sum" (Printf.sprintf "%.17g" h.hs_sum);
+            row n "p50" (Printf.sprintf "%.17g" (Metrics.p50 h));
+            row n "p95" (Printf.sprintf "%.17g" (Metrics.p95 h));
+            row n "p99" (Printf.sprintf "%.17g" (Metrics.p99 h)))
+          w.Timeline.tw_histograms)
+      (Timeline.windows tl);
     Buffer.contents b
 end

@@ -84,6 +84,32 @@ module Metrics : sig
   val counter_value : snapshot -> string -> int
   (** 0 if absent. *)
 
+  val histogram_summary : snapshot -> string -> histogram_summary option
+
+  val empty_summary : histogram_summary
+  (** The summary of zero observations — the identity of
+      {!combine_summaries} and the result of an empty {!delta}. *)
+
+  val count_above : histogram_summary -> float -> float
+  (** Estimated number of observations strictly above a threshold:
+      whole buckets above it count in full, the straddled bucket
+      contributes a linearly interpolated fraction (bounds clamped to
+      the observed [[min, max]]). Deterministic; exact when no bucket
+      straddles the threshold. 0 on an empty histogram. *)
+
+  val delta : base:histogram_summary -> histogram_summary -> histogram_summary
+  (** [delta ~base h] is the windowed difference of two cumulative
+      summaries of the same histogram ([base] taken earlier): count,
+      sum and buckets subtract exactly; min/max are re-derived from
+      the delta buckets' bounds clamped to [h]'s observed range — a
+      deterministic estimate, since per-window extrema are not
+      recoverable from cumulative state. Empty if no observations
+      landed between the two. *)
+
+  val combine_summaries : histogram_summary -> histogram_summary -> histogram_summary
+  (** Combine summaries of disjoint observation sets (counts, sums
+      and buckets add; min/max take the extrema). *)
+
   val merge : into:t -> snapshot -> unit
   (** Fold a snapshot into a live registry: counters add; histograms
       combine exactly (count, sum, min, max and buckets are all
@@ -260,6 +286,60 @@ module Sink : sig
   val deliver : t -> Trace.record -> unit
 end
 
+(** Host-side GC/allocation profiling — the substrate for ROADMAP
+    item 2 (allocation-free hot loop). Everything here measures the
+    {e host} OCaml process, not the simulation: minor-heap words
+    allocated while each phase span was the youngest open span on its
+    domain (self words, children excluded — the same self-time
+    discipline the folded exporter uses for cycles), plus
+    [Gc.quick_stat] deltas around a whole run, from which
+    minor-words-per-retired-instruction falls out.
+
+    Host allocation varies with the OCaml version, inlining and
+    domain interleaving, so Hostprof output is {e non-deterministic}:
+    exporters only include it on request, in a clearly partitioned
+    section, and it is excluded from the [-j 1]/[-j N] byte-identity
+    contract (which the deterministic timeline and metrics still
+    satisfy).
+
+    Attach with {!set_hostprof} before the spans of interest open;
+    {!child} contexts share their parent's hostprof, so per-phase
+    words from a parallel run fold into one table. *)
+module Hostprof : sig
+  type t
+
+  type run_delta = {
+    hd_minor_words : float;
+    hd_promoted_words : float;
+    hd_major_words : float;
+    hd_minor_collections : int;
+    hd_major_collections : int;
+    hd_instructions : int;  (** retired guest instructions, caller-supplied *)
+  }
+
+  val create : unit -> t
+
+  val note : t -> phase:string -> words:float -> unit
+  (** Fold one completed span's self words into the phase table
+      (called by {!exit_span}; exposed for tests). *)
+
+  val phases : t -> (string * int * float) list
+  (** Per-phase [(name, spans, minor_words)], sorted by name. *)
+
+  val start_run : t -> unit
+  (** Capture a [Gc.quick_stat] baseline. *)
+
+  val stop_run : t -> instructions:int -> unit
+  (** Close the run delta against the {!start_run} baseline (no-op
+      without one) and record the retired-instruction count. *)
+
+  val run : t -> run_delta option
+
+  val minor_words_per_instr : t -> float option
+  (** [hd_minor_words / hd_instructions]; [None] before {!stop_run}
+      or when no instructions retired. *)
+end
+
 type t
 
 val create : ?on:bool -> ?sink:Sink.t -> ?trace_capacity:int -> unit -> t
@@ -305,11 +385,18 @@ val audit_emit : t -> cycle:float -> isa:string -> pid:int -> Audit.kind -> unit
 (** Append to the audit log when the context is enabled (self-guarded
     like the span helpers). *)
 
+val set_hostprof : t -> Hostprof.t -> unit
+(** Attach a host-allocation profiler: from now on the span helpers
+    bracket the per-domain span stack with [Gc.minor_words] readings
+    and fold each completed span's self words into the profiler. *)
+
+val hostprof : t -> Hostprof.t option
+
 val child : t -> t
-(** A fresh context inheriting [on] and the trace capacity of [t],
-    with a null sink: the per-task context the parallel driver hands
-    each unit of work so results are independent of domain
-    scheduling. *)
+(** A fresh context inheriting [on], the trace capacity and the
+    hostprof (shared, not copied) of [t], with a null sink: the
+    per-task context the parallel driver hands each unit of work so
+    results are independent of domain scheduling. *)
 
 val merge : into:t -> t -> unit
 (** [merge ~into src] folds [src]'s counters and histograms into
@@ -319,6 +406,113 @@ val merge : into:t -> t -> unit
     sink in their original order (re-sequenced). Merging the per-task
     contexts of a parallel run in task order yields byte-identical
     totals to the serial run. *)
+
+(** Time-resolved telemetry: windowed delta snapshots keyed to the
+    deterministic guest/fleet clock.
+
+    A timeline divides the clock into fixed-width windows and folds
+    {e deltas} into the window containing each sample's stamp. Two
+    feeds: {!Timeline.sample} diffs a source's cumulative
+    {!Metrics.snapshot} against the last snapshot seen for that
+    source key (per-window counter increments and histogram deltas
+    fall out — tail percentiles per window via {!Metrics.quantile});
+    {!Timeline.record} adds caller-computed per-window counts
+    directly.
+
+    {b Determinism contract.} Drivers feed a timeline from the
+    sequential section after their barrier (Fleet's wave loop after
+    the shard fan-out, [Cmp.step]'s accounting stage) in a fixed
+    source order at deterministic clock stamps — the same
+    fold-after-barrier discipline {!merge} relies on — so the
+    timeline and every export of it are byte-identical across
+    [-j 1] / [-j N] / stealing on or off. Attribution granularity is
+    the sampling interval: a wave straddling a window boundary lands
+    whole in the window containing its end stamp. *)
+module Timeline : sig
+  type window = {
+    tw_index : int;
+    tw_counters : (string * int) list;  (** sorted by name; positive deltas only *)
+    tw_histograms : (string * Metrics.histogram_summary) list;
+        (** sorted by name; non-empty deltas only *)
+  }
+
+  type t
+
+  val create : window:float -> unit -> t
+  (** Fixed window width in guest cycles.
+      @raise Invalid_argument unless positive and finite. *)
+
+  val window_cycles : t -> float
+
+  val index_of : t -> float -> int
+  (** The window index a clock stamp falls in (clamped at 0). *)
+
+  val sample : t -> key:string -> clock:float -> Metrics.snapshot -> unit
+  (** Fold the delta between [snap] and the last snapshot seen for
+      [key] into the window containing [clock], and remember [snap]
+      as [key]'s new baseline. The first sample for a key charges its
+      whole cumulative state to that window. *)
+
+  val record : t -> clock:float -> counters:(string * int) list -> unit
+  (** Add caller-computed counts to the window containing [clock]
+      (non-positive values are dropped). *)
+
+  val windows : t -> window list
+  (** All recorded windows, sorted by index, contents sorted by name
+      — the deterministic object the exporters serialize. Windows no
+      sample ever touched are absent. *)
+
+  val window_count : t -> int
+
+  val span : t -> (int * int) option
+  (** Smallest and largest recorded window index. *)
+
+  val counter_value : window -> string -> int
+  (** 0 if absent. *)
+
+  val histogram : window -> string -> Metrics.histogram_summary option
+
+  val merge : into:t -> t -> unit
+  (** Fold [src]'s recorded windows into [into] (counters add,
+      histogram deltas combine). Per-source baselines do not travel:
+      merge folds finished sub-timelines, it does not resume
+      sampling. @raise Invalid_argument if window widths differ. *)
+end
+
+(** Service-level-objective tracking over a {!Timeline}: a latency
+    target plus an error budget (fraction of requests allowed over
+    target), evaluated per window — burn rate, cumulative budget
+    remaining, time-to-exhaustion. Violations are estimated from the
+    windowed histogram deltas with {!Metrics.count_above}, so the
+    report inherits the timeline's determinism. *)
+module Slo : sig
+  type objective = private { slo_target : float; slo_budget : float }
+
+  val objective : target:float -> budget:float -> objective
+  (** @raise Invalid_argument unless [target > 0] and [budget] is a
+      fraction in (0, 1). *)
+
+  type window_report = {
+    sw_index : int;
+    sw_requests : int;
+    sw_violations : float;  (** estimated requests over target this window *)
+    sw_burn : float;
+        (** [(violations/requests)/budget] — 1.0 burns exactly at
+            budget, 0 on an empty window *)
+    sw_cum_requests : int;
+    sw_cum_violations : float;
+    sw_budget_remaining : float;  (** [budget*cum_requests - cum_violations] *)
+    sw_exhausted : bool;
+    sw_tte_windows : float option;
+        (** windows until exhaustion extrapolating this window's net
+            burn; [None] when not net-burning or already exhausted *)
+  }
+
+  val evaluate : objective -> latency:string -> Timeline.t -> window_report list
+  (** One report per recorded window, in index order, reading the
+      histogram named [latency] (e.g. ["fleet.latency_cycles"]).
+      Windows without it count zero requests. *)
+end
 
 (** Deterministic serializers over a context's metrics, spans and
     audit log. Every export re-sorts its inputs by content before
@@ -343,7 +537,12 @@ val merge : into:t -> t -> unit
     - {!audit_jsonl}: one canonically-ordered JSON object per audit
       entry. *)
 module Export : sig
-  val trace_json : t -> string
+  val trace_json : ?timeline:Timeline.t -> t -> string
+  (** With [timeline], per-window series additionally appear as
+      Perfetto counter ("C") tracks — counters chart their per-window
+      delta, histograms their per-window p99; the per-tenant
+      namespaces are excluded to bound track cardinality. *)
+
   val folded : t -> string
   val metrics_json : t -> string
   val metrics_prom : t -> string
@@ -352,4 +551,24 @@ module Export : sig
   val span_rollup : t -> (string * int * float) list
   (** Per-phase [(name, count, total_cycles)], sorted by name — the
       reconciliation hook the tests and [print_obs] use. *)
+
+  val timeline_json :
+    ?slo:Slo.objective * Slo.window_report list ->
+    ?hostprof:Hostprof.t ->
+    Timeline.t ->
+    string
+  (** Schema [hipstr-timeline/1]: window width, the recorded windows
+      (counter deltas + histogram deltas with interpolated
+      p50/p95/p99), an optional [slo] section, and an optional
+      [hostprof] section. Windows and slo are deterministic; hostprof
+      is marked non-deterministic in-band and must not be requested
+      on runs whose exports are diffed for byte identity. *)
+
+  val timeline_csv : Timeline.t -> string
+  (** Long-format CSV of the deterministic windows: one row per
+      (window, series, stat) — counters as stat [delta], histograms
+      as [count]/[sum]/[p50]/[p95]/[p99]. *)
+
+  val hostprof_json : Hostprof.t -> string
+  (** The hostprof section alone, as pretty JSON (non-deterministic). *)
 end

@@ -188,6 +188,104 @@ let test_metrics_formats () =
       Alcotest.(check bool) (Printf.sprintf "prom contains %S" sub) true (contains sub))
     [ "# TYPE"; "hipstr_span_cycles{phase=\"exec\"}"; "hipstr_audit_entries" ]
 
+let test_timeline_formats () =
+  (* a real timeline from a CMP run: Cmp.step samples its obs context
+     at the end of every accounting stage *)
+  let cfg = { Config.default with migrate_prob = 0.3 } in
+  let obs = Obs.create () in
+  let w = Workloads.find "mcf" in
+  let procs =
+    [
+      Process.create ~obs ~cfg ~seed:1 ~start_isa:Desc.Cisc ~mode:System.Hipstr ~pid:0
+        ~name:"mcf"
+        ~fuel:(3 * w.Workloads.w_fuel)
+        (Workloads.fatbin w);
+    ]
+  in
+  let cmp = Cmp.create ~obs ~policy:Cmp.Load_balance ~quantum:20_000 procs in
+  let tl = Obs.Timeline.create ~window:50_000. () in
+  Cmp.run ~timeline:tl cmp;
+  Alcotest.(check bool) "cmp run produced windows" true (Obs.Timeline.window_count tl > 0);
+  (* JSON: schema tag and the per-window fields *)
+  (match Json.parse (Obs.Export.timeline_json tl) with
+  | Error e -> Alcotest.fail e
+  | Ok doc ->
+    (match Json.member "schema" doc with
+    | Some (Json.Str s) -> Alcotest.(check string) "schema" "hipstr-timeline/1" s
+    | _ -> Alcotest.fail "schema missing");
+    if Json.member "window_cycles" doc = None then Alcotest.fail "window_cycles missing";
+    (match Json.member "windows" doc with
+    | Some (Json.List (wn :: _)) ->
+      List.iter
+        (fun k -> if Json.member k wn = None then Alcotest.failf "window lacks %S" k)
+        [ "index"; "start"; "stop"; "counters"; "histograms" ]
+    | _ -> Alcotest.fail "windows missing or empty"));
+  (* CSV: fixed header, 6 comma-separated fields per row *)
+  (match String.split_on_char '\n' (Obs.Export.timeline_csv tl) with
+  | header :: rows ->
+    Alcotest.(check string) "csv header" "window,start,stop,series,stat,value" header;
+    Alcotest.(check bool) "csv has rows" true (List.exists (fun r -> r <> "") rows);
+    List.iter
+      (fun r ->
+        if r <> "" then
+          Alcotest.(check int) "csv row has 6 fields" 6
+            (List.length (String.split_on_char ',' r)))
+      rows
+  | [] -> Alcotest.fail "empty csv");
+  (* trace_json ?timeline: per-window series become Perfetto counter
+     ("C") tracks; the per-tenant namespaces are excluded to bound
+     track cardinality *)
+  let stl = Obs.Timeline.create ~window:100. () in
+  Obs.Timeline.record stl ~clock:50.
+    ~counters:[ ("fleet.completed", 3); ("fleet.tenant.t0.requests", 5) ];
+  (match Json.parse (Obs.Export.trace_json ~timeline:stl obs) with
+  | Error e -> Alcotest.fail e
+  | Ok doc ->
+    let evs = match Json.member "traceEvents" doc with Some (Json.List l) -> l | _ -> [] in
+    let counter_names =
+      List.filter_map
+        (fun e ->
+          match (Json.member "ph" e, Json.member "name" e) with
+          | Some (Json.Str "C"), Some (Json.Str n) -> Some n
+          | _ -> None)
+        evs
+    in
+    Alcotest.(check bool) "counter track present" true
+      (List.mem "fleet.completed" counter_names);
+    Alcotest.(check bool) "tenant tracks excluded" false
+      (List.exists
+         (fun n -> String.length n >= 12 && String.sub n 0 12 = "fleet.tenant")
+         counter_names));
+  (* the optional slo section carries the objective *)
+  let obj = Obs.Slo.objective ~target:100. ~budget:0.1 in
+  let rep = Obs.Slo.evaluate obj ~latency:"fleet.latency_cycles" stl in
+  (match Json.parse (Obs.Export.timeline_json ~slo:(obj, rep) stl) with
+  | Error e -> Alcotest.fail e
+  | Ok doc -> (
+    match Json.member "slo" doc with
+    | Some s ->
+      if Json.member "target_cycles" s = None then Alcotest.fail "slo lacks target_cycles"
+    | None -> Alcotest.fail "slo section missing"));
+  (* hostprof export is flagged non-deterministic in-band *)
+  let hp = Obs.Hostprof.create () in
+  Obs.Hostprof.note hp ~phase:"exec" ~words:42.;
+  match Json.parse (Obs.Export.hostprof_json hp) with
+  | Error e -> Alcotest.fail e
+  | Ok doc -> (
+    match Json.member "deterministic" doc with
+    | Some (Json.Bool false) -> ()
+    | _ -> Alcotest.fail "hostprof not flagged non-deterministic")
+
+let test_timeline_json_deterministic () =
+  (* two identically fed timelines serialize to identical bytes *)
+  let build () =
+    let tl = Obs.Timeline.create ~window:100. () in
+    Obs.Timeline.record tl ~clock:50. ~counters:[ ("a", 1); ("b", 2) ];
+    Obs.Timeline.record tl ~clock:250. ~counters:[ ("b", 3) ];
+    Obs.Export.timeline_json tl
+  in
+  Alcotest.(check string) "replayed timeline bytes identical" (build ()) (build ())
+
 let () =
   Alcotest.run "export"
     [
@@ -209,5 +307,8 @@ let () =
             test_folded_lines_are_flamegraph_shaped;
           Alcotest.test_case "audit jsonl matches the log" `Quick test_audit_jsonl_matches_log;
           Alcotest.test_case "metrics json + prometheus" `Quick test_metrics_formats;
+          Alcotest.test_case "timeline json, csv, counter tracks" `Quick test_timeline_formats;
+          Alcotest.test_case "timeline json deterministic" `Quick
+            test_timeline_json_deterministic;
         ] );
     ]

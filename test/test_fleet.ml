@@ -89,6 +89,42 @@ let test_parsers () =
       | Ok _ -> Alcotest.failf "%s accepted" s)
     [ "0,0,0,0"; "1,2,3"; "-1,2,3,4"; "valid=1,bogus=2" ]
 
+let test_parser_rejections_actionable () =
+  (* each rejection names the offending part, so a bad --mix dies
+     with a message the user can act on *)
+  let expect_error what input needle parse =
+    match parse input with
+    | Ok _ -> Alcotest.failf "%s: '%s' accepted" what input
+    | Error e ->
+      let contains s sub =
+        let n = String.length sub in
+        let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+        n = 0 || go 0
+      in
+      if not (contains e needle) then
+        Alcotest.failf "%s: error for '%s' does not mention %S: %s" what input needle e
+  in
+  let mix = expect_error "mix" and arrival = expect_error "arrival" in
+  mix "valid=3,attack=2,valid=4" "duplicate weight for 'valid'" Traffic.mix_of_string;
+  mix "attack=1,attack=1" "duplicate" Traffic.mix_of_string;
+  mix "0,0,0,0" "sum to zero" Traffic.mix_of_string;
+  mix "valid=0,attack=0" "sum to zero" Traffic.mix_of_string;
+  mix "-1,2,3,4" "negative" Traffic.mix_of_string;
+  mix "valid=1,bogus=2" "unknown request kind 'bogus'" Traffic.mix_of_string;
+  arrival "poisson:0" "must be positive" Traffic.arrival_of_string;
+  arrival "poisson:abc" "rate" Traffic.arrival_of_string;
+  arrival "uniform:1" "unknown arrival model" Traffic.arrival_of_string;
+  (* duplicates that happen to agree are still duplicates *)
+  (match Traffic.mix_of_string "valid=5,valid=5" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "agreeing duplicate accepted");
+  (* named form with omitted kinds still works *)
+  match Traffic.mix_of_string "valid=9,attack=1" with
+  | Ok m ->
+    Alcotest.(check int) "named valid" 9 m.Traffic.mx_valid;
+    Alcotest.(check int) "omitted kind defaults to 0" 0 m.Traffic.mx_oversized
+  | Error e -> Alcotest.fail e
+
 (* --- fleet determinism --------------------------------------------- *)
 
 let fleet_cfg ?(mode = System.Psr_only) ?(steal = true) () =
@@ -236,6 +272,104 @@ let test_admission_cap_respected () =
   Alcotest.(check bool) "queueing delays admission" true
     (List.exists (fun x -> x.Fleet.rr_admitted > x.Fleet.rr_arrival +. 1e-9) r.Fleet.r_records)
 
+let test_latency_percentile_exact () =
+  (* Fleet.latency_percentile against an independent reimplementation
+     of linear-interpolated percentiles over the sorted latencies *)
+  let r = Fleet.run (fleet_cfg ()) (gen ()) in
+  let sorted = List.sort compare (Fleet.latencies r) in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  Alcotest.(check int) "one latency per record" (List.length r.Fleet.r_records) n;
+  let exact q =
+    let rank = q /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) and hi = int_of_float (Float.ceil rank) in
+    let frac = rank -. Float.floor rank in
+    (arr.(lo) *. (1. -. frac)) +. (arr.(hi) *. frac)
+  in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "p%g matches the sorted list" q)
+        (exact q)
+        (Fleet.latency_percentile r q))
+    [ 0.; 10.; 25.; 50.; 75.; 90.; 95.; 99.; 99.9; 100. ];
+  Alcotest.(check (float 1e-9)) "p0 is the minimum" arr.(0) (Fleet.latency_percentile r 0.);
+  Alcotest.(check (float 1e-9)) "p100 is the maximum" arr.(n - 1)
+    (Fleet.latency_percentile r 100.)
+
+(* --- timeline ------------------------------------------------------ *)
+
+let attack_mix =
+  { Traffic.mx_valid = 55; mx_oversized = 15; mx_malformed = 5; mx_attack = 25 }
+
+let timeline_run ~jobs conns =
+  let obs = Obs.create () in
+  let tl = Obs.Timeline.create ~window:20_000. () in
+  let r = Fleet.run ~jobs ~obs ~timeline:tl (fleet_cfg ()) conns in
+  (r, tl)
+
+let test_timeline_windows_and_burst () =
+  let conns =
+    Traffic.generate ~seed:11 ~procs:64 ~arrival:(Traffic.Bursty { rate = 40.; burst = 16 })
+      ~mix:attack_mix ()
+  in
+  let r, tl = timeline_run ~jobs:1 conns in
+  Alcotest.(check bool) "at least 10 windows" true (Obs.Timeline.window_count tl >= 10);
+  let windows = Obs.Timeline.windows tl in
+  (* the per-wave outcome counts reconcile with the run totals *)
+  let sum name =
+    List.fold_left (fun acc w -> acc + Obs.Timeline.counter_value w name) 0 windows
+  in
+  Alcotest.(check int) "windowed completions sum to the run's" r.Fleet.r_completed
+    (sum "fleet.completed");
+  Alcotest.(check int) "windowed kills sum to the run's" r.Fleet.r_killed (sum "fleet.killed");
+  (* per-window latency p99: under the open-loop burst the tail
+     visibly spikes — the loaded windows dwarf the quiet ones *)
+  let p99s =
+    List.filter_map
+      (fun w ->
+        match Obs.Timeline.histogram w "fleet.latency_cycles" with
+        | Some h when h.Obs.Metrics.hs_count > 0 -> Some (Obs.Metrics.p99 h)
+        | _ -> None)
+      windows
+  in
+  Alcotest.(check bool) "several windows carry latency samples" true (List.length p99s >= 5);
+  let sorted = List.sort compare p99s in
+  let quietest = List.hd sorted in
+  let median = List.nth sorted (List.length sorted / 2) in
+  let worst = List.nth sorted (List.length sorted - 1) in
+  (* each burst deepens the admission queue, so the loaded windows'
+     p99 towers over the quiet start of a burst *)
+  Alcotest.(check bool) "p99 spikes during the burst" true (worst >= 2. *. quietest);
+  Alcotest.(check bool) "the spike clears the median too" true (worst >= 1.5 *. median)
+
+let test_timeline_bit_identical_across_jobs () =
+  let conns =
+    Traffic.generate ~seed:11 ~procs:48 ~arrival:(Traffic.Bursty { rate = 40.; burst = 12 })
+      ~mix:attack_mix ()
+  in
+  let _, tl1 = timeline_run ~jobs:1 conns in
+  let _, tl4 = timeline_run ~jobs:4 conns in
+  Alcotest.(check string) "timeline_json bytes identical" (Obs.Export.timeline_json tl1)
+    (Obs.Export.timeline_json tl4);
+  Alcotest.(check string) "timeline_csv bytes identical" (Obs.Export.timeline_csv tl1)
+    (Obs.Export.timeline_csv tl4);
+  (* the SLO report derives from the timeline, so it inherits the
+     byte-identity (and its cumulative columns are monotone) *)
+  let obj = Obs.Slo.objective ~target:200_000. ~budget:0.1 in
+  let rep1 = Obs.Slo.evaluate obj ~latency:"fleet.latency_cycles" tl1 in
+  let rep4 = Obs.Slo.evaluate obj ~latency:"fleet.latency_cycles" tl4 in
+  Alcotest.(check bool) "slo reports identical" true (rep1 = rep4);
+  ignore
+    (List.fold_left
+       (fun (creq, cvio) (w : Obs.Slo.window_report) ->
+         Alcotest.(check bool) "cumulative requests monotone" true
+           (w.Obs.Slo.sw_cum_requests >= creq);
+         Alcotest.(check bool) "cumulative violations monotone" true
+           (w.Obs.Slo.sw_cum_violations >= cvio -. 1e-9);
+         (w.Obs.Slo.sw_cum_requests, w.Obs.Slo.sw_cum_violations))
+       (0, 0.) rep1)
+
 let test_policies_all_serve () =
   List.iter
     (fun policy ->
@@ -253,6 +387,8 @@ let () =
           Alcotest.test_case "seeded generation reproducible" `Quick test_generate_reproducible;
           Alcotest.test_case "bursty arrivals batch" `Quick test_bursty_batches;
           Alcotest.test_case "arrival and mix parsers" `Quick test_parsers;
+          Alcotest.test_case "parser rejections are actionable" `Quick
+            test_parser_rejections_actionable;
         ] );
       ( "determinism",
         [
@@ -267,6 +403,14 @@ let () =
           Alcotest.test_case "native fleet bleeds" `Quick test_native_fleet_bleeds;
           Alcotest.test_case "metrics namespaces" `Quick test_fleet_metrics_namespaces;
           Alcotest.test_case "admission cap respected" `Quick test_admission_cap_respected;
+          Alcotest.test_case "latency percentiles exact" `Quick test_latency_percentile_exact;
           Alcotest.test_case "all policies serve" `Quick test_policies_all_serve;
+        ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "windows reconcile, burst spikes p99" `Quick
+            test_timeline_windows_and_burst;
+          Alcotest.test_case "bit-identical across jobs" `Quick
+            test_timeline_bit_identical_across_jobs;
         ] );
     ]

@@ -84,6 +84,199 @@ let test_histogram_quantiles () =
 
 (* --- Trace ring --- *)
 
+let test_quantile_edge_cases () =
+  (* empty histogram: every quantile is 0, not NaN and not a crash *)
+  let empty = summary_of [] in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9)) "empty-histogram quantile" 0. (Obs.Metrics.quantile empty q))
+    [ 0.; 0.5; 0.99; 1. ];
+  (* every sample in one bucket ([4, 8)): quantiles interpolate inside
+     the [min, max] span of that bucket, never out to its boundaries *)
+  let one_bucket = summary_of [ 4.; 5.; 6.; 7. ] in
+  Alcotest.(check int) "single-bucket count" 4 one_bucket.Obs.Metrics.hs_count;
+  Alcotest.(check (float 1e-9)) "q0 is min" 4. (Obs.Metrics.quantile one_bucket 0.);
+  Alcotest.(check (float 1e-9)) "q1 is max" 7. (Obs.Metrics.quantile one_bucket 1.);
+  List.iter
+    (fun q ->
+      let v = Obs.Metrics.quantile one_bucket q in
+      Alcotest.(check bool) "single-bucket quantile within [min, max]" true (v >= 4. && v <= 7.))
+    [ 0.25; 0.5; 0.75; 0.95 ];
+  Alcotest.(check bool) "single-bucket quantiles monotone" true
+    (Obs.Metrics.quantile one_bucket 0.25 <= Obs.Metrics.quantile one_bucket 0.75)
+
+let test_count_above () =
+  let empty = summary_of [] in
+  Alcotest.(check (float 1e-9)) "empty" 0. (Obs.Metrics.count_above empty 10.);
+  (* one populated bucket [4, 8), min 4, max 7 *)
+  let h = summary_of [ 4.; 5.; 6.; 7. ] in
+  Alcotest.(check (float 1e-9)) "threshold below min: everything" 4.
+    (Obs.Metrics.count_above h 0.);
+  Alcotest.(check (float 1e-9)) "threshold at max: nothing" 0. (Obs.Metrics.count_above h 7.);
+  Alcotest.(check (float 1e-9)) "threshold above max: nothing" 0.
+    (Obs.Metrics.count_above h 100.);
+  (* linear interpolation across the occupied [4, 7] span:
+     (7 - 5.5) / (7 - 4) of 4 samples = 2 *)
+  Alcotest.(check (float 1e-9)) "interpolated tail" 2. (Obs.Metrics.count_above h 5.5);
+  (* a far bucket is either wholly above or wholly below *)
+  let t = summary_of [ 10.; 10.; 5000. ] in
+  Alcotest.(check (float 1e-9)) "tail bucket counted whole" 1.
+    (Obs.Metrics.count_above t 1000.)
+
+let test_summary_delta_combine () =
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "lat" in
+  List.iter (Obs.Metrics.observe h) [ 1.; 2.; 3. ];
+  let base = List.assoc "lat" (Obs.Metrics.snapshot m).Obs.Metrics.snap_histograms in
+  List.iter (Obs.Metrics.observe h) [ 100.; 200. ];
+  let now = List.assoc "lat" (Obs.Metrics.snapshot m).Obs.Metrics.snap_histograms in
+  let d = Obs.Metrics.delta ~base now in
+  Alcotest.(check int) "delta count" 2 d.Obs.Metrics.hs_count;
+  Alcotest.(check (float 1e-9)) "delta sum" 300. d.Obs.Metrics.hs_sum;
+  Alcotest.(check bool) "delta bounds cover the new samples" true
+    (d.Obs.Metrics.hs_min <= 100. && d.Obs.Metrics.hs_max >= 200.);
+  (* delta against itself is empty *)
+  let z = Obs.Metrics.delta ~base:now now in
+  Alcotest.(check int) "self delta empty" 0 z.Obs.Metrics.hs_count;
+  (* combine adds counts and sums, takes extreme bounds *)
+  let c = Obs.Metrics.combine_summaries base d in
+  Alcotest.(check int) "combined count" 5 c.Obs.Metrics.hs_count;
+  Alcotest.(check (float 1e-9)) "combined sum" 306. c.Obs.Metrics.hs_sum;
+  Alcotest.(check (float 1e-9)) "combined min" 1. c.Obs.Metrics.hs_min;
+  Alcotest.(check (float 1e-9)) "combined max" 200. c.Obs.Metrics.hs_max;
+  (* combining with an empty summary is the identity *)
+  let id = Obs.Metrics.combine_summaries c Obs.Metrics.empty_summary in
+  Alcotest.(check int) "identity count" 5 id.Obs.Metrics.hs_count;
+  Alcotest.(check (float 1e-9)) "identity sum" 306. id.Obs.Metrics.hs_sum
+
+(* --- Timeline --- *)
+
+let test_timeline_windows () =
+  (match Obs.Timeline.create ~window:0. () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero window width accepted");
+  let tl = Obs.Timeline.create ~window:100. () in
+  Alcotest.(check (float 1e-9)) "width" 100. (Obs.Timeline.window_cycles tl);
+  Alcotest.(check int) "clock 0 is window 0" 0 (Obs.Timeline.index_of tl 0.);
+  Alcotest.(check int) "clock 250 is window 2" 2 (Obs.Timeline.index_of tl 250.);
+  let m = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter m "reqs" in
+  let h = Obs.Metrics.histogram m "lat" in
+  Obs.Metrics.incr ~by:3 c;
+  List.iter (Obs.Metrics.observe h) [ 10.; 20. ];
+  Obs.Timeline.sample tl ~key:"k" ~clock:50. (Obs.Metrics.snapshot m);
+  Obs.Metrics.incr ~by:4 c;
+  Obs.Metrics.observe h 5000.;
+  Obs.Timeline.sample tl ~key:"k" ~clock:150. (Obs.Metrics.snapshot m);
+  Obs.Timeline.record tl ~clock:150. ~counters:[ ("extra", 2); ("dropped", 0) ];
+  Alcotest.(check int) "two windows" 2 (Obs.Timeline.window_count tl);
+  (match Obs.Timeline.windows tl with
+  | [ w0; w1 ] ->
+    Alcotest.(check int) "w0 index" 0 w0.Obs.Timeline.tw_index;
+    Alcotest.(check int) "first sample charges cumulative state" 3
+      (Obs.Timeline.counter_value w0 "reqs");
+    Alcotest.(check int) "w1 counter delta" 4 (Obs.Timeline.counter_value w1 "reqs");
+    Alcotest.(check int) "record lands in w1" 2 (Obs.Timeline.counter_value w1 "extra");
+    Alcotest.(check int) "non-positive record dropped" 0
+      (Obs.Timeline.counter_value w1 "dropped");
+    (match Obs.Timeline.histogram w1 "lat" with
+    | None -> Alcotest.fail "w1 histogram delta missing"
+    | Some d ->
+      Alcotest.(check int) "w1 histogram delta count" 1 d.Obs.Metrics.hs_count;
+      Alcotest.(check bool) "w1 delta is the tail sample" true (Obs.Metrics.p99 d > 1000.))
+  | ws -> Alcotest.fail (Printf.sprintf "expected 2 windows, got %d" (List.length ws)));
+  Alcotest.(check (option (pair int int))) "span" (Some (0, 1)) (Obs.Timeline.span tl);
+  (* merge folds windows; mismatched widths are programming errors *)
+  let tl2 = Obs.Timeline.create ~window:100. () in
+  Obs.Timeline.record tl2 ~clock:120. ~counters:[ ("extra", 5) ];
+  Obs.Timeline.merge ~into:tl tl2;
+  (match List.rev (Obs.Timeline.windows tl) with
+  | w1 :: _ -> Alcotest.(check int) "merged counter adds" 7 (Obs.Timeline.counter_value w1 "extra")
+  | [] -> Alcotest.fail "windows vanished after merge");
+  match Obs.Timeline.merge ~into:tl (Obs.Timeline.create ~window:50. ()) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "merge across widths accepted"
+
+let test_slo_arithmetic () =
+  let tl = Obs.Timeline.create ~window:100. () in
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "lat" in
+  (* window 0: 10 requests all far below target *)
+  for _ = 1 to 10 do
+    Obs.Metrics.observe h 10.
+  done;
+  Obs.Timeline.sample tl ~key:"k" ~clock:50. (Obs.Metrics.snapshot m);
+  (* window 1: 10 requests all far above target *)
+  for _ = 1 to 10 do
+    Obs.Metrics.observe h 5000.
+  done;
+  Obs.Timeline.sample tl ~key:"k" ~clock:150. (Obs.Metrics.snapshot m);
+  let obj = Obs.Slo.objective ~target:1000. ~budget:0.1 in
+  (match Obs.Slo.evaluate obj ~latency:"lat" tl with
+  | [ w0; w1 ] ->
+    Alcotest.(check int) "w0 requests" 10 w0.Obs.Slo.sw_requests;
+    Alcotest.(check (float 1e-9)) "w0 violations" 0. w0.Obs.Slo.sw_violations;
+    Alcotest.(check (float 1e-9)) "w0 burn" 0. w0.Obs.Slo.sw_burn;
+    Alcotest.(check (float 1e-9)) "w0 budget remaining" 1. w0.Obs.Slo.sw_budget_remaining;
+    Alcotest.(check bool) "w0 not exhausted" false w0.Obs.Slo.sw_exhausted;
+    Alcotest.(check bool) "w0 no exhaustion forecast" true (w0.Obs.Slo.sw_tte_windows = None);
+    Alcotest.(check int) "w1 requests" 10 w1.Obs.Slo.sw_requests;
+    Alcotest.(check (float 1e-9)) "w1 violations" 10. w1.Obs.Slo.sw_violations;
+    Alcotest.(check (float 1e-9)) "w1 burn = 10x budget" 10. w1.Obs.Slo.sw_burn;
+    Alcotest.(check int) "w1 cumulative requests" 20 w1.Obs.Slo.sw_cum_requests;
+    Alcotest.(check (float 1e-9)) "w1 budget overdrawn" (-8.) w1.Obs.Slo.sw_budget_remaining;
+    Alcotest.(check bool) "w1 exhausted" true w1.Obs.Slo.sw_exhausted
+  | rs -> Alcotest.fail (Printf.sprintf "expected 2 reports, got %d" (List.length rs)));
+  match Obs.Slo.objective ~target:0. ~budget:0.1 with
+  | exception Invalid_argument _ -> (
+    match Obs.Slo.objective ~target:10. ~budget:1.5 with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "budget outside (0,1) accepted")
+  | _ -> Alcotest.fail "non-positive target accepted"
+
+(* --- Hostprof --- *)
+
+let test_hostprof_phases () =
+  let obs = Obs.create () in
+  let hp = Obs.Hostprof.create () in
+  Obs.set_hostprof obs hp;
+  Alcotest.(check bool) "attached" true
+    (match Obs.hostprof obs with Some h -> h == hp | None -> false);
+  Obs.Hostprof.start_run hp;
+  let sp = Obs.enter_span obs ~name:"alloc_phase" ~cycle:0. () in
+  (* allocate something the span must be charged for *)
+  let junk = Sys.opaque_identity (List.init 10_000 (fun i -> (i, float_of_int i))) in
+  ignore (Sys.opaque_identity (List.length junk));
+  Obs.exit_span obs sp ~cycle:10.;
+  Obs.Hostprof.stop_run hp ~instructions:1_000;
+  (match Obs.Hostprof.phases hp with
+  | [ (name, spans, words) ] ->
+    Alcotest.(check string) "phase name" "alloc_phase" name;
+    Alcotest.(check int) "one span" 1 spans;
+    Alcotest.(check bool) "allocation charged" true (words > 0.)
+  | ps -> Alcotest.fail (Printf.sprintf "expected 1 phase, got %d" (List.length ps)));
+  (match Obs.Hostprof.minor_words_per_instr hp with
+  | Some w -> Alcotest.(check bool) "words per instr positive" true (w > 0.)
+  | None -> Alcotest.fail "no words-per-instruction after stop_run");
+  match Obs.Hostprof.run hp with
+  | Some rd ->
+    Alcotest.(check int) "instructions recorded" 1_000 rd.Obs.Hostprof.hd_instructions;
+    Alcotest.(check bool) "minor words moved" true (rd.Obs.Hostprof.hd_minor_words > 0.)
+  | None -> Alcotest.fail "no run delta after stop_run"
+
+let test_hostprof_shared_by_children () =
+  let obs = Obs.create () in
+  let hp = Obs.Hostprof.create () in
+  Obs.set_hostprof obs hp;
+  let child = Obs.child obs in
+  Alcotest.(check bool) "child shares the profiler" true
+    (match Obs.hostprof child with Some h -> h == hp | None -> false);
+  let sp = Obs.enter_span child ~name:"child_phase" ~cycle:0. () in
+  ignore (Sys.opaque_identity (Array.make 1024 0.));
+  Obs.exit_span child sp ~cycle:1.;
+  Alcotest.(check bool) "child span folded into the shared table" true
+    (List.exists (fun (n, _, _) -> n = "child_phase") (Obs.Hostprof.phases hp))
+
 let test_ring_bounds () =
   let tr = Obs.Trace.create ~capacity:4 () in
   for i = 0 to 9 do
@@ -393,6 +586,19 @@ let () =
           Alcotest.test_case "counters monotonic" `Quick test_counters_monotonic;
           Alcotest.test_case "histogram summary" `Quick test_histogram_summary;
           Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "quantile edge cases" `Quick test_quantile_edge_cases;
+          Alcotest.test_case "count_above interpolation" `Quick test_count_above;
+          Alcotest.test_case "summary delta and combine" `Quick test_summary_delta_combine;
+        ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "windowing, deltas, merge" `Quick test_timeline_windows;
+          Alcotest.test_case "slo arithmetic" `Quick test_slo_arithmetic;
+        ] );
+      ( "hostprof",
+        [
+          Alcotest.test_case "per-phase words and run delta" `Quick test_hostprof_phases;
+          Alcotest.test_case "shared by child contexts" `Quick test_hostprof_shared_by_children;
         ] );
       ( "trace",
         [
