@@ -3,7 +3,7 @@
 
 FUZZ_SEEDS ?= 1-25
 
-.PHONY: all build test fuzz micro cmp-smoke profile-smoke cache-smoke interp-smoke chain-smoke fleet-smoke timeline-smoke check clean
+.PHONY: all build test fuzz micro cmp-smoke profile-smoke cache-smoke interp-smoke chain-smoke fleet-smoke timeline-smoke migrate-smoke check clean
 
 all: build
 
@@ -130,7 +130,37 @@ timeline-smoke:
 	dune exec tools/bench_gate.exe -- --selftest BENCH_interp.json
 	dune exec tools/bench_gate.exe -- --selftest BENCH_fleet.json
 
-check: build test fuzz micro cmp-smoke profile-smoke cache-smoke interp-smoke chain-smoke fleet-smoke timeline-smoke
+# Checkpoint/restore + live migration end-to-end: the snapshot suite,
+# then a gobmk run that checkpoints once mid-flight whose full state
+# dump (outcome, output, cycle bits, every counter and histogram) is
+# demanded byte-identical to restoring that snapshot and running to
+# completion; a fleet run rebalancing every wave at -j 1 and -j 4
+# with metrics and audit exports demanded byte-identical (live
+# migration rides the same post-barrier determinism contract); then
+# the migration-cost decomposition (BENCH_migrate.json), which
+# json_check validates and bench_gate self-compares and selftests.
+migrate-smoke:
+	dune exec test/test_snapshot.exe
+	dune exec bin/hipstr_cli.exe -- run gobmk --mode hipstr \
+	  --checkpoint-every 200000 --checkpoint-out /tmp/hipstr-migrate \
+	  --state-out /tmp/hipstr-migrate-straight.dump
+	dune exec bin/hipstr_cli.exe -- restore /tmp/hipstr-migrate.200000.snap \
+	  --state-out /tmp/hipstr-migrate-resumed.dump
+	cmp /tmp/hipstr-migrate-straight.dump /tmp/hipstr-migrate-resumed.dump
+	dune exec bin/hipstr_cli.exe -- fleet-run --procs 40 --arrival poisson:500 \
+	  --mix 60,20,10,10 --mode psr --shards 4 --migrate-every 1 -j 1 \
+	  --metrics-out /tmp/hipstr-migrate-j1.json --audit-out /tmp/hipstr-migrate-j1.jsonl
+	dune exec bin/hipstr_cli.exe -- fleet-run --procs 40 --arrival poisson:500 \
+	  --mix 60,20,10,10 --mode psr --shards 4 --migrate-every 1 -j 4 \
+	  --metrics-out /tmp/hipstr-migrate-j4.json --audit-out /tmp/hipstr-migrate-j4.jsonl
+	cmp /tmp/hipstr-migrate-j1.json /tmp/hipstr-migrate-j4.json
+	cmp /tmp/hipstr-migrate-j1.jsonl /tmp/hipstr-migrate-j4.jsonl
+	dune exec bench/main.exe -- --migrate-only
+	dune exec tools/json_check.exe -- BENCH_migrate.json /tmp/hipstr-migrate-j1.json
+	dune exec tools/bench_gate.exe -- --selftest BENCH_migrate.json
+	dune exec tools/bench_gate.exe -- BENCH_migrate.json BENCH_migrate.json
+
+check: build test fuzz micro cmp-smoke profile-smoke cache-smoke interp-smoke chain-smoke fleet-smoke timeline-smoke migrate-smoke
 
 clean:
 	dune clean

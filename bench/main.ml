@@ -11,9 +11,10 @@
    `--micro-only` or `--tables-only` to run half of it, `--obs-only`
    to emit just the BENCH_obs.json phase breakdown, `--cache-only`
    for the BENCH_cache.json churn sweep, `--interp-only` for the
-   BENCH_interp.json interpreter-throughput sweep, or `--fleet-only`
+   BENCH_interp.json interpreter-throughput sweep, `--fleet-only`
    (optionally with `--fleet-procs N`) for the BENCH_fleet.json fleet
-   serving sweep. *)
+   serving sweep, or `--migrate-only` for the BENCH_migrate.json
+   migration-cost decomposition. *)
 
 module Desc = Hipstr_isa.Desc
 module Minstr = Hipstr_isa.Minstr
@@ -537,6 +538,147 @@ let run_fleet ~jobs ~procs =
   Printf.printf "[fleet serving sweep written to BENCH_fleet.json]\n"
 
 (* ------------------------------------------------------------------ *)
+(* Part 1.9: the migration-cost microbenchmark.
+
+   For every workload: run to a mid-flight checkpoint under an
+   evicting code-cache policy, take the snapshot image, and decompose
+   the cost of relocating the process to another pool:
+
+   - checkpoint/transfer: the snapshot cost model applied to the real
+     image size (serialization scan + interconnect shipping);
+   - stack transform: the cycles charged by a forced cross-ISA
+     migration fired right after landing (0 when the remaining region
+     has no return event to fire it at — reported as migrated=false);
+   - retranslate + warm-up, warm vs cold: restore re-materializes
+     translated code for free in simulated terms, so the pessimistic
+     arrival is modeled by flushing the code caches on landing —
+     every translated unit must be re-established before the process
+     is back to speed. Warm keeps the translation memo the image
+     carries and re-installs at memo cost; cold drops it too (a
+     target pool that has never seen the binary) and pays full
+     translation cost. Warm must come out cheaper (the snapshot test
+     suite and the bench gate pin that down).
+
+   Everything derives from the simulated clock, so BENCH_migrate.json
+   is byte-stable across hosts and -j values. *)
+
+module Snapshot = Hipstr_snapshot.Snapshot
+
+let migrate_seed = 7
+
+let migrate_point (w : Workloads.t) =
+  let fb = Workloads.fatbin w in
+  let cfg = { Config.default with cc_policy = Code_cache.Clock; cache_bytes = 4_096 } in
+  let fuel = 3 * w.Workloads.w_fuel in
+  let boot () =
+    System.of_fatbin ~obs:(Obs.create ()) ~cfg ~seed:migrate_seed ~start_isa:Desc.Cisc
+      ~mode:System.Hipstr fb
+  in
+  (* adaptive checkpoint point, same idea as the round-trip suite:
+     back off until the partial run genuinely stops mid-flight *)
+  let rec interrupted_at partial =
+    let sys = boot () in
+    match System.run sys ~fuel:partial with
+    | System.Out_of_fuel -> sys
+    | _ when partial > 64 -> interrupted_at (partial / 4)
+    | _ -> failwith (w.Workloads.w_name ^ ": finished in under 64 instructions")
+  in
+  let sys = interrupted_at (w.Workloads.w_fuel / 5) in
+  let image = Snapshot.checkpoint ~workload:w.Workloads.w_name sys in
+  let bytes = String.length image in
+  let checkpoint_cycles = Snapshot.checkpoint_cycles ~bytes in
+  let transfer_cycles = Snapshot.transfer_cycles ~bytes in
+  let restore () = fst (Snapshot.restore ~obs:(Obs.create ()) ~fatbin:fb image) in
+  let transform_cycles, migrated =
+    let sys = restore () in
+    System.request_migration sys;
+    ignore (System.run sys ~fuel);
+    match System.last_migration sys with
+    | Some r -> (r.Hipstr_migration.Transform.r_cycles, true)
+    | None -> (0., false)
+  in
+  let flush_vms sys =
+    List.iter
+      (fun isa ->
+        match System.vm sys isa with
+        | vm -> Vm.flush vm
+        | exception Invalid_argument _ -> ())
+      [ Desc.Cisc; Desc.Risc ]
+  in
+  let finish sys =
+    flush_vms sys;
+    let before = System.retranslate_cycles sys in
+    ignore (System.run sys ~fuel);
+    (System.retranslate_cycles sys -. before, System.memo_installs sys)
+  in
+  let warm_retrans, warm_installs = finish (restore ()) in
+  let cold_retrans, _ =
+    let sys = restore () in
+    System.forget_memo sys;
+    finish sys
+  in
+  Printf.printf
+    "  %-12s image=%-7d ckpt=%-8.0f xfer=%-8.0f transform=%-8.0f retranslate: warm=%-7.0f \
+     cold=%-7.0f (installs=%d%s)\n\
+     %!"
+    w.Workloads.w_name bytes checkpoint_cycles transfer_cycles transform_cycles warm_retrans
+    cold_retrans warm_installs
+    (if migrated then "" else ", no return point to migrate at");
+  Json.Obj
+    [
+      ("workload", Json.Str w.Workloads.w_name);
+      ("image_bytes", Json.num_of_int bytes);
+      ("checkpoint_cycles", Json.Num checkpoint_cycles);
+      ("transfer_cycles", Json.Num transfer_cycles);
+      ("transform_cycles", Json.Num transform_cycles);
+      ("migrated", Json.Bool migrated);
+      ("retranslate_warm_cycles", Json.Num warm_retrans);
+      ("retranslate_cold_cycles", Json.Num cold_retrans);
+      ("warm_memo_installs", Json.num_of_int warm_installs);
+      ( "total_warm_cycles",
+        Json.Num (checkpoint_cycles +. transfer_cycles +. transform_cycles +. warm_retrans) );
+      ( "total_cold_cycles",
+        Json.Num (checkpoint_cycles +. transfer_cycles +. transform_cycles +. cold_retrans) );
+    ]
+
+let run_migrate () =
+  print_endline "";
+  print_endline "=====================================================================";
+  print_endline " Migration-cost decomposition (checkpoint/transfer/transform/retranslate)";
+  print_endline "=====================================================================";
+  let points = List.map migrate_point Workloads.all in
+  let total key =
+    List.fold_left
+      (fun acc p ->
+        match p with
+        | Json.Obj fields -> (
+          match List.assoc key fields with Json.Num v -> acc +. v | _ -> acc)
+        | _ -> acc)
+      0. points
+  in
+  let warm = total "total_warm_cycles" and cold = total "total_cold_cycles" in
+  Printf.printf "  total migration cost: warm=%.0f cold=%.0f cycles (memo saves %.1f%%)\n" warm
+    cold
+    (if cold > 0. then 100. *. (cold -. warm) /. cold else 0.);
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "hipstr-bench-migrate/1");
+        ("seed", Json.num_of_int migrate_seed);
+        ("mode", Json.Str "hipstr");
+        ("cc_policy", Json.Str "clock");
+        ("cache_bytes", Json.num_of_int 4_096);
+        ("total_warm_cycles", Json.Num warm);
+        ("total_cold_cycles", Json.Num cold);
+        ("points", Json.List points);
+      ]
+  in
+  Out_channel.with_open_bin "BENCH_migrate.json" (fun oc ->
+      Out_channel.output_string oc (Json.to_string_pretty doc);
+      Out_channel.output_string oc "\n");
+  Printf.printf "[migration-cost decomposition written to BENCH_migrate.json]\n"
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks of the substrate. *)
 
 let prepared_httpd =
@@ -710,7 +852,8 @@ let () =
   let cache_only = List.mem "--cache-only" args in
   let interp_only = List.mem "--interp-only" args in
   let fleet_only = List.mem "--fleet-only" args in
-  let solo = obs_only || cache_only || interp_only || fleet_only in
+  let migrate_only = List.mem "--migrate-only" args in
+  let solo = obs_only || cache_only || interp_only || fleet_only || migrate_only in
   let tables = (not (List.mem "--micro-only" args)) && not solo in
   let micro = (not (List.mem "--tables-only" args)) && not solo in
   let jobs =
@@ -740,4 +883,5 @@ let () =
   if tables || cache_only then run_cache_churn ();
   if tables || interp_only then run_interp ();
   if tables || fleet_only then run_fleet ~jobs ~procs:fleet_procs;
+  if tables || migrate_only then run_migrate ();
   if micro then run_micro ()

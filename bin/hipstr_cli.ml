@@ -33,6 +33,8 @@ module Process = Hipstr_cmp.Process
 module Code_cache = Hipstr_psr.Code_cache
 module Traffic = Hipstr_fleet.Traffic
 module Fleet = Hipstr_fleet.Fleet
+module Snapshot = Hipstr_snapshot.Snapshot
+module Wire = Hipstr_util.Wire
 
 let isa_conv =
   Arg.conv
@@ -295,6 +297,89 @@ let print_obs obs =
 
 let print_metrics sys = print_obs (System.obs sys)
 
+(* ------------------------------------------------------------------ *)
+(* Snapshot plumbing shared by run, cmp-run, checkpoint and restore. *)
+
+let read_binary path = In_channel.with_open_bin path In_channel.input_all
+
+let write_binary path data =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc data)
+
+(* Canonical end-state dump: everything the determinism contract
+   covers, in a stable text form — two runs are equivalent iff their
+   dumps are byte-identical (cycle floats and histogram moments go in
+   as IEEE bits, so "equal" never means "approximately"). The
+   migrate-smoke target diffs these across checkpoint/restore. *)
+let write_state_dump path sys outcome =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "outcome: %s\n" (outcome_string outcome);
+  add "output: %s\n" (String.concat " " (List.map string_of_int (System.output sys)));
+  add "instructions: %d\n" (System.instructions sys);
+  add "cycle_bits: %Lx\n" (Int64.bits_of_float (System.cycles sys));
+  let snap = Obs.Metrics.snapshot (Obs.metrics (System.obs sys)) in
+  List.iter (fun (n, v) -> add "counter %s %d\n" n v) snap.Obs.Metrics.snap_counters;
+  List.iter
+    (fun (n, (h : Obs.Metrics.histogram_summary)) ->
+      add "histogram %s n=%d sum=%Lx min=%Lx max=%Lx\n" n h.hs_count
+        (Int64.bits_of_float h.hs_sum)
+        (Int64.bits_of_float h.hs_min)
+        (Int64.bits_of_float h.hs_max))
+    snap.Obs.Metrics.snap_histograms;
+  write_binary path (Buffer.contents buf);
+  Printf.printf "wrote state dump: %s\n" path
+
+let state_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "state-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a canonical end-state dump (outcome, output, instruction count, cycle bits, \
+           metrics) to $(docv). Two runs are equivalent under the determinism contract iff \
+           their dumps are byte-identical.")
+
+let checkpoint_every_arg =
+  Arg.(
+    value
+    & opt (some (bounded_int_conv ~what:"checkpoint-every" ~lo:1 ())) None
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:
+          "Checkpoint periodically (for $(b,run): every $(docv) instructions; for \
+           $(b,cmp-run): every $(docv) scheduling rounds) into files named from \
+           $(b,--checkpoint-out). The run continues after each checkpoint.")
+
+let checkpoint_out_arg default =
+  Arg.(
+    value
+    & opt string default
+    & info [ "checkpoint-out" ] ~docv:"PREFIX"
+        ~doc:"Filename prefix for $(b,--checkpoint-every) images.")
+
+let memo_in_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "memo-in" ] ~docv:"FILE"
+        ~doc:
+          "Warm-start: load a translation-memo artifact (from $(b,--memo-out)) before the run, \
+           so previously translated units re-install at memo cost instead of re-translating. \
+           Only consulted under an evicting $(b,--cc-policy) (fifo/clock). The artifact is \
+           pinned to the binary, mode and config; a mismatch is a hard error.")
+
+let memo_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "memo-out" ] ~docv:"FILE"
+        ~doc:"Write the run's translation-memo warm-start artifact to $(docv) after the run.")
+
+let corrupt_exit what = function
+  | Wire.Corrupt m ->
+    Printf.eprintf "%s: rejected: %s\n" what m;
+    exit 1
+  | e -> raise e
+
 (* Host-side decode-cache statistics for the starting core, including
    the chaining and inline-cache counters. Silent when the cache is
    disabled (--no-decode-cache). *)
@@ -460,7 +545,8 @@ let run_cmd =
   in
   let opt_arg = Arg.(value & opt opt_conv 3 & info [ "opt" ] ~doc:"PSR optimization level (0-3).") in
   let action (w : Workloads.t) mode isa seed opt_level migrate_prob cc_capacity cc_policy
-      no_dcache no_chain metrics trace hostprof exports =
+      no_dcache no_chain metrics trace hostprof checkpoint_every checkpoint_out memo_in memo_out
+      state_out exports =
     let cfg =
       let base = { Config.default with opt_level } in
       let base =
@@ -474,7 +560,33 @@ let run_cmd =
       System.of_fatbin ~obs ~cfg ~seed ~start_isa:isa ~decode_cache:(not no_dcache)
         ~chain:(not no_chain) ~mode (Workloads.fatbin w)
     in
-    let outcome = System.run sys ~fuel:(3 * w.w_fuel) in
+    (match memo_in with
+    | None -> ()
+    | Some path -> (
+      match Snapshot.load_memo sys (read_binary path) with
+      | () -> Printf.printf "loaded memo: %s\n" path
+      | exception e -> corrupt_exit ("memo " ^ path) e));
+    let fuel = 3 * w.w_fuel in
+    let outcome =
+      match checkpoint_every with
+      | None -> System.run sys ~fuel
+      | Some n ->
+        (* run in checkpoint-sized instruction steps; each image lands
+           in its own PREFIX.<instrs>.snap so a crashed run can resume
+           from the latest one *)
+        let rec go target =
+          match System.run sys ~fuel:(min target fuel) with
+          | System.Out_of_fuel when target < fuel ->
+            let image = Snapshot.checkpoint ~workload:w.w_name sys in
+            let path = Printf.sprintf "%s.%d.snap" checkpoint_out (System.instructions sys) in
+            write_binary path image;
+            Printf.printf "checkpoint: %s (%d bytes at %d instructions)\n" path
+              (String.length image) (System.instructions sys);
+            go (target + n)
+          | o -> o
+        in
+        go n
+    in
     Option.iter (fun hp -> Obs.Hostprof.stop_run hp ~instructions:(System.instructions sys)) hp;
     Printf.printf "%s [%s]: %s\n" w.w_name w.w_description (outcome_string outcome);
     Printf.printf "output: %s\n" (String.concat " " (List.map string_of_int (System.output sys)));
@@ -496,6 +608,13 @@ let run_cmd =
     end;
     if metrics then print_metrics sys;
     print_hostprof hp;
+    (match memo_out with
+    | None -> ()
+    | Some path ->
+      let memo = Snapshot.save_memo sys in
+      write_binary path memo;
+      Printf.printf "wrote memo: %s (%d bytes)\n" path (String.length memo));
+    Option.iter (fun path -> write_state_dump path sys outcome) state_out;
     write_exports ~obs exports
   in
   Cmd.v
@@ -503,7 +622,134 @@ let run_cmd =
     Term.(
       const action $ workload_arg $ mode_arg $ isa_arg $ seed_arg $ opt_arg $ migrate_prob_arg
       $ cc_capacity_arg $ cc_policy_arg $ no_dcache_arg $ no_chain_arg $ metrics_arg $ trace_arg
-      $ hostprof_arg $ export_args)
+      $ hostprof_arg $ checkpoint_every_arg
+      $ checkpoint_out_arg "checkpoint"
+      $ memo_in_arg $ memo_out_arg $ state_out_arg $ export_args)
+
+(* ------------------------------------------------------------------ *)
+(* checkpoint / restore: one-shot image plumbing around lib/snapshot.
+   `checkpoint` runs a workload to an instruction point and writes the
+   image; `restore` rebuilds the system from an image (resolving the
+   fat binary from the manifest's workload name) and runs it to
+   completion. Restore-then-run is bit-identical to the checkpointing
+   run continuing — the migrate-smoke target diffs --state-out dumps
+   from both sides. *)
+
+let checkpoint_cmd =
+  let mode_arg =
+    Arg.(value & opt mode_conv System.Hipstr & info [ "mode" ] ~doc:"native, psr or hipstr.")
+  in
+  let opt_arg = Arg.(value & opt opt_conv 3 & info [ "opt" ] ~doc:"PSR optimization level (0-3).") in
+  let at_arg =
+    Arg.(
+      required
+      & opt (some fuel_conv) None
+      & info [ "at" ] ~docv:"INSTRUCTIONS" ~doc:"Instruction count to checkpoint at (> 0).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "checkpoint.snap"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Where to write the image.")
+  in
+  let action (w : Workloads.t) mode isa seed opt_level migrate_prob cc_capacity cc_policy at out =
+    let cfg =
+      let base = { Config.default with opt_level } in
+      let base =
+        match migrate_prob with None -> base | Some p -> { base with migrate_prob = p }
+      in
+      apply_cc_args base cc_capacity cc_policy
+    in
+    let obs = make_obs ~trace:false in
+    let sys = System.of_fatbin ~obs ~cfg ~seed ~start_isa:isa ~mode (Workloads.fatbin w) in
+    match System.run sys ~fuel:at with
+    | System.Out_of_fuel ->
+      let image = Snapshot.checkpoint ~workload:w.w_name sys in
+      write_binary out image;
+      Printf.printf "checkpoint: %s (%d bytes)\n" out (String.length image);
+      Printf.printf "  workload=%s mode=%s seed=%d at %d instructions, %.0f cycles\n" w.w_name
+        (match mode with System.Native -> "native" | System.Psr_only -> "psr" | System.Hipstr -> "hipstr")
+        seed (System.instructions sys) (System.cycles sys)
+    | o ->
+      Printf.eprintf "%s finished before --at %d (%s); nothing to checkpoint\n" w.w_name at
+        (outcome_string o);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:
+         "Run a workload to an instruction point and write a versioned snapshot image. The \
+          image carries the memory delta, machine and PSR VM state; translated code \
+          re-materializes on restore.")
+    Term.(
+      const action $ workload_arg $ mode_arg $ isa_arg $ seed_arg $ opt_arg $ migrate_prob_arg
+      $ cc_capacity_arg $ cc_policy_arg $ at_arg $ out_arg)
+
+let restore_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"IMAGE" ~doc:"Snapshot image file.")
+  in
+  let fuel_arg =
+    Arg.(
+      value
+      & opt (some fuel_conv) None
+      & info [ "fuel" ]
+          ~doc:"Instruction budget for the resumed run (default: 3x the workload's nominal fuel).")
+  in
+  let info_arg =
+    Arg.(
+      value & flag
+      & info [ "info" ] ~doc:"Print the image manifest and exit without running anything.")
+  in
+  let action file fuel only_info metrics state_out exports =
+    let image = read_binary file in
+    let mf =
+      try Snapshot.manifest_of image with e -> corrupt_exit ("image " ^ file) e
+    in
+    let mode_label =
+      match mf.Snapshot.mf_mode with
+      | System.Native -> "native"
+      | System.Psr_only -> "psr"
+      | System.Hipstr -> "hipstr"
+    in
+    Printf.printf "%s: workload=%s mode=%s seed=%d pid=%d at %d instructions, %.0f cycles\n" file
+      mf.Snapshot.mf_workload mode_label mf.Snapshot.mf_seed mf.Snapshot.mf_pid
+      mf.Snapshot.mf_instructions mf.Snapshot.mf_cycles;
+    if not only_info then begin
+      let w =
+        match Workloads.find mf.Snapshot.mf_workload with
+        | w -> w
+        | exception Not_found ->
+          Printf.eprintf
+            "image names workload '%s', which this build does not know — cannot resolve the fat \
+             binary\n"
+            mf.Snapshot.mf_workload;
+          exit 1
+      in
+      let obs = make_obs ~trace:false in
+      let sys, _ =
+        try Snapshot.restore ~obs ~fatbin:(Workloads.fatbin w) image
+        with e -> corrupt_exit ("image " ^ file) e
+      in
+      let fuel = match fuel with Some f -> f | None -> 3 * w.w_fuel in
+      let outcome = System.run sys ~fuel in
+      Printf.printf "%s [resumed]: %s\n" w.w_name (outcome_string outcome);
+      Printf.printf "output: %s\n" (String.concat " " (List.map string_of_int (System.output sys)));
+      Printf.printf "instructions: %d  cycles: %.0f  simulated time: %.3f ms\n"
+        (System.instructions sys) (System.cycles sys) (1000. *. System.seconds sys);
+      if metrics then print_metrics sys;
+      Option.iter (fun path -> write_state_dump path sys outcome) state_out;
+      write_exports ~obs exports
+    end
+  in
+  Cmd.v
+    (Cmd.info "restore"
+       ~doc:
+         "Restore a snapshot image and run it to completion. Bit-identical to the checkpointing \
+          run continuing uninterrupted (compare --state-out dumps). Truncated, version-skewed or \
+          wrong-binary images are rejected loudly.")
+    Term.(
+      const action $ file_arg $ fuel_arg $ info_arg $ metrics_arg $ state_out_arg $ export_args)
 
 let gadgets_cmd =
   let action (w : Workloads.t) isa =
@@ -709,7 +955,7 @@ let cmp_run_cmd =
   in
   let isa_label = function Desc.Cisc -> "cisc" | Desc.Risc -> "risc" in
   let action ws mode policy cores quantum fuel seed migrate_prob cc_capacity cc_policy no_dcache
-      no_chain jobs metrics sched verify tl_args exports =
+      no_chain jobs metrics sched verify checkpoint_every checkpoint_out tl_args exports =
     let cfg =
       let base =
         match migrate_prob with
@@ -732,7 +978,28 @@ let cmp_run_cmd =
     in
     let cmp = Cmp.create ~obs ~policy ~quantum ~cores procs in
     let timeline = make_timeline tl_args in
-    Cmp.run ~jobs ?timeline cmp;
+    (match checkpoint_every with
+    | None -> Cmp.run ~jobs ?timeline cmp
+    | Some n ->
+      (* drive the scheduler round by round; every n rounds write the
+         latest process image per live pid (PREFIX.pidK.snap), the
+         files a cross-pool restore re-injects from *)
+      let rounds = ref 0 in
+      while Cmp.runnable_count cmp > 0 do
+        ignore (Cmp.step ~jobs ?timeline cmp);
+        incr rounds;
+        if !rounds mod n = 0 then
+          List.iter
+            (fun p ->
+              if Process.runnable p then begin
+                let image = Snapshot.checkpoint_process ~workload:(Process.name p) p in
+                let path = Printf.sprintf "%s.pid%d.snap" checkpoint_out (Process.pid p) in
+                write_binary path image;
+                Printf.printf "checkpoint: %s (%d bytes, round %d, %d instructions)\n" path
+                  (String.length image) !rounds (Process.instructions p)
+              end)
+            (Cmp.processes cmp)
+      done);
     let m = Cmp.metrics cmp in
     Printf.printf "cmp-run: %d processes on %d cores [%s], policy %s, quantum %d\n"
       (List.length ws) (Array.length core_arr)
@@ -814,8 +1081,8 @@ let cmp_run_cmd =
     Term.(
       const action $ workloads_arg $ mode_arg $ policy_arg $ cores_arg $ quantum_arg $ fuel_arg
       $ seed_arg $ migrate_prob_arg $ cc_capacity_arg $ cc_policy_arg $ no_dcache_arg
-      $ no_chain_arg $ jobs_arg $ metrics_arg $ sched_arg $ verify_arg $ timeline_args
-      $ export_args)
+      $ no_chain_arg $ jobs_arg $ metrics_arg $ sched_arg $ verify_arg $ checkpoint_every_arg
+      $ checkpoint_out_arg "cmp" $ timeline_args $ export_args)
 
 (* ------------------------------------------------------------------ *)
 (* fleet-run: serve an open-loop trace of staged httpd connections
@@ -914,6 +1181,16 @@ let fleet_run_cmd =
             "Use a static shard partition instead of deterministic work stealing (results are \
              bit-identical either way; only the wall clock changes).")
   in
+  let migrate_every_arg =
+    Arg.(
+      value
+      & opt (bounded_int_conv ~what:"migrate-every" ~lo:0 ()) 0
+      & info [ "migrate-every" ] ~docv:"WAVES"
+          ~doc:
+            "Live migration: every $(docv) waves, checkpoint one runnable process off the \
+             most-loaded shard and restore it on the least-loaded one (0 disables). \
+             Deterministic: the rebalance schedule is decided after the wave barrier.")
+  in
   let slo_target_arg =
     Arg.(
       value
@@ -942,7 +1219,8 @@ let fleet_run_cmd =
           ~doc:"Error budget: fraction of requests allowed over the SLO target (default 0.1).")
   in
   let action procs arrival mix policy shards cores quantum mode fuel max_live tenants no_steal
-      seed migrate_prob jobs metrics trace hostprof tl_args slo_target slo_budget exports =
+      migrate_every seed migrate_prob jobs metrics trace hostprof tl_args slo_target slo_budget
+      exports =
     let cfg =
       match (mode, migrate_prob) with
       | System.Hipstr, Some p -> Some { Config.default with migrate_prob = p }
@@ -960,6 +1238,7 @@ let fleet_run_cmd =
         fl_fuel = fuel;
         fl_max_live = max_live;
         fl_steal = not no_steal;
+        fl_migrate_every = migrate_every;
       }
     in
     let conns = Traffic.generate ~tenants ~seed ~procs ~arrival ~mix () in
@@ -982,10 +1261,16 @@ let fleet_run_cmd =
       "served %d: completed=%d killed=%d shell=%d out-of-fuel=%d in %d waves, makespan %.0f cycles\n"
       (List.length r.Fleet.r_records) r.Fleet.r_completed r.Fleet.r_killed r.Fleet.r_shell
       r.Fleet.r_out_of_fuel r.Fleet.r_waves r.Fleet.r_makespan;
+    if migrate_every > 0 then Printf.printf "live migrations: %d\n" r.Fleet.r_live_migrations;
     Printf.printf "throughput: %.3f completed/Mcycle\n" (Fleet.throughput r);
-    Printf.printf "latency cycles: p50=%.0f p95=%.0f p99=%.0f max=%.0f\n"
-      (Fleet.latency_percentile r 50.) (Fleet.latency_percentile r 95.)
-      (Fleet.latency_percentile r 99.) (Fleet.latency_percentile r 100.);
+    (if r.Fleet.r_records = [] then
+       (* zero admitted requests: percentiles are undefined
+          (Fleet.latency_percentile raises), say so instead *)
+       Printf.printf "latency cycles: n/a (no requests served)\n"
+     else
+       Printf.printf "latency cycles: p50=%.0f p95=%.0f p99=%.0f max=%.0f\n"
+         (Fleet.latency_percentile r 50.) (Fleet.latency_percentile r 95.)
+         (Fleet.latency_percentile r 99.) (Fleet.latency_percentile r 100.));
     List.iter
       (fun (k, total, completed, killed) ->
         if total > 0 then
@@ -1030,9 +1315,9 @@ let fleet_run_cmd =
           -j 1.")
     Term.(
       const action $ procs_arg $ arrival_arg $ mix_arg $ policy_arg $ shards_arg $ cores_arg
-      $ quantum_arg $ mode_arg $ fuel_arg $ max_live_arg $ tenants_arg $ no_steal_arg $ seed_arg
-      $ migrate_prob_arg $ jobs_arg $ metrics_arg $ trace_arg $ hostprof_arg $ timeline_args
-      $ slo_target_arg $ slo_budget_arg $ export_args)
+      $ quantum_arg $ mode_arg $ fuel_arg $ max_live_arg $ tenants_arg $ no_steal_arg
+      $ migrate_every_arg $ seed_arg $ migrate_prob_arg $ jobs_arg $ metrics_arg $ trace_arg
+      $ hostprof_arg $ timeline_args $ slo_target_arg $ slo_budget_arg $ export_args)
 
 let list_cmd =
   let action () =
@@ -1058,6 +1343,8 @@ let () =
           [
             run_cmd;
             run_file_cmd;
+            checkpoint_cmd;
+            restore_cmd;
             cmp_run_cmd;
             fleet_run_cmd;
             gadgets_cmd;

@@ -159,6 +159,19 @@ let inject t p =
   t.procs <- Array.append t.procs [| p |];
   t.queue <- t.queue @ [ Process.pid p ]
 
+(* Withdraw a live process (fleet live migration): it leaves this
+   CMP's pool, queue and core-affinity records entirely, so a later
+   re-injection elsewhere starts cold — exactly what moving an address
+   space between pools means. *)
+let extract t pid =
+  match Array.find_opt (fun p -> Process.pid p = pid) t.procs with
+  | None -> invalid_arg "Cmp.extract: unknown pid"
+  | Some p ->
+    t.procs <- Array.of_list (List.filter (fun q -> Process.pid q <> pid) (Array.to_list t.procs));
+    t.queue <- List.filter (fun q -> q <> pid) t.queue;
+    Array.iter (fun (c : core) -> if c.co_last = Some pid then c.co_last <- None) t.cores;
+    p
+
 let reap t =
   let dead, live = List.partition (fun p -> not (Process.runnable p)) (Array.to_list t.procs) in
   if dead <> [] then begin

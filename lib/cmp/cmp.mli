@@ -70,6 +70,12 @@ val inject : t -> Process.t -> unit
     harness's arrival path. @raise Invalid_argument on a duplicate
     pid or if a non-migratable process has no matching core. *)
 
+val extract : t -> int -> Process.t
+(** Withdraw the process with this pid from the pool, queue and
+    core-affinity records (fleet live migration withdraws here and
+    re-injects on the target CMP).
+    @raise Invalid_argument on an unknown pid. *)
+
 val reap : t -> Process.t list
 (** Remove and return every retired process (so the harness can
     record its outcome and let its address space be collected).

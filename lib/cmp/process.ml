@@ -92,3 +92,82 @@ let run_slice t ~fuel =
   | System.Out_of_fuel -> if fuel_left t <= 0 then t.state <- Done System.Out_of_fuel
   | o -> t.state <- Done o);
   sl
+
+(* --- snapshot ------------------------------------------------------ *)
+(* The scheduler-visible runtime slice only; the System underneath is
+   serialized separately (Hipstr_snapshot owns that framing) and is
+   paired back up by [reconstitute]. *)
+
+module Wire = Hipstr_util.Wire
+
+let save_outcome w (o : System.outcome) =
+  match o with
+  | System.Finished c ->
+    Wire.u8 w 0;
+    Wire.int w c
+  | System.Shell_spawned -> Wire.u8 w 1
+  | System.Killed msg ->
+    Wire.u8 w 2;
+    Wire.str w msg
+  | System.Out_of_fuel -> Wire.u8 w 3
+
+let load_outcome r =
+  match Wire.r_u8 r with
+  | 0 -> System.Finished (Wire.r_int r)
+  | 1 -> System.Shell_spawned
+  | 2 -> System.Killed (Wire.r_str r)
+  | 3 -> System.Out_of_fuel
+  | n -> Wire.corrupt "unknown outcome tag %d" n
+
+let save w t =
+  Wire.tag w "PROC";
+  Wire.int w t.pid;
+  Wire.str w t.name;
+  Wire.int w t.fuel_limit;
+  (match t.state with
+  | Runnable -> Wire.u8 w 0
+  | Done o ->
+    Wire.u8 w 1;
+    save_outcome w o);
+  Wire.int w t.slices;
+  Wire.int w t.instructions;
+  Wire.float w t.cycles;
+  Wire.int w t.seen_suspicious;
+  Wire.bool w t.flagged;
+  Wire.option w Wire.int t.last_core;
+  Wire.int w t.sched_migrations
+
+let reconstitute ~sys r =
+  Wire.expect_tag r "PROC";
+  let pid = Wire.r_int r in
+  let name = Wire.r_str r in
+  let fuel_limit = Wire.r_int r in
+  let state =
+    match Wire.r_u8 r with
+    | 0 -> Runnable
+    | 1 -> Done (load_outcome r)
+    | n -> Wire.corrupt "unknown process-state tag %d" n
+  in
+  let slices = Wire.r_int r in
+  let instructions = Wire.r_int r in
+  let cycles = Wire.r_float r in
+  let seen_suspicious = Wire.r_int r in
+  let flagged = Wire.r_bool r in
+  let (_ : int option) = Wire.r_option r Wire.r_int in
+  let sched_migrations = Wire.r_int r in
+  {
+    pid;
+    name;
+    sys;
+    fuel_limit;
+    state;
+    slices;
+    instructions;
+    cycles;
+    seen_suspicious;
+    flagged;
+    (* core warmth never survives a pool change: the process lands on
+       fresh silicon, so its first slice there is a cold switch *)
+    last_core = None;
+    sched_migrations;
+  }

@@ -89,3 +89,14 @@ val request_migration : t -> unit
 val run_slice : t -> fuel:int -> Hipstr.System.slice
 (** Run one quantum (clamped to the remaining budget) and update the
     bookkeeping. @raise Invalid_argument if the process is done. *)
+
+val save : Hipstr_util.Wire.w -> t -> unit
+(** Serialize the scheduler-visible runtime slice (pid, name, fuel
+    accounting, state, flags). The {!Hipstr.System} underneath is NOT
+    included — snapshot framing serializes it separately. *)
+
+val reconstitute : sys:Hipstr.System.t -> Hipstr_util.Wire.r -> t
+(** Rebuild a process from a {!save} image around an already restored
+    system. Core-affinity warmth is deliberately dropped: the first
+    slice after a cross-pool move is a cold context switch.
+    @raise Hipstr_util.Wire.Corrupt on malformed images. *)

@@ -30,17 +30,21 @@ type t = {
   mutable forced_migrations : int;
   mutable migration_requested : bool;
   mutable last_migration : Transform.result option;
+  sys_seed : int;
+  sys_start_isa : Desc.which;
+  sys_decode_cache : bool;
+  sys_chain : bool;
 }
 
 let isa_label = function Desc.Cisc -> "cisc" | Desc.Risc -> "risc"
 
 let boot_system ?(obs = Obs.global) ?(cfg = Config.default) ?(seed = 1) ?(start_isa = Desc.Cisc)
-    ?(pid = 0) ?(decode_cache = true) ?(chain = true) ~mode fb =
+    ?(pid = 0) ?(decode_cache = true) ?(chain = true) ?(boot = true) ~mode fb =
   let rat_capacity = match mode with Native -> None | Psr_only | Hipstr -> Some cfg.rat_capacity in
   let m = Machine.create ~obs ~rat_capacity ~decode_cache ~chain ~active:start_isa () in
   Machine.set_owner m pid;
   Fatbin.load fb (Machine.mem m);
-  Machine.boot m ~entry:(Fatbin.entry fb start_isa);
+  if boot then Machine.boot m ~entry:(Fatbin.entry fb start_isa);
   let vms =
     match mode with
     | Native -> []
@@ -66,18 +70,27 @@ let boot_system ?(obs = Obs.global) ?(cfg = Config.default) ?(seed = 1) ?(start_
     forced_migrations = 0;
     migration_requested = false;
     last_migration = None;
+    sys_seed = seed;
+    sys_start_isa = start_isa;
+    sys_decode_cache = decode_cache;
+    sys_chain = chain;
   }
 
-let of_fatbin ?obs ?cfg ?seed ?start_isa ?pid ?decode_cache ?chain ~mode fb =
-  boot_system ?obs ?cfg ?seed ?start_isa ?pid ?decode_cache ?chain ~mode fb
+let of_fatbin ?obs ?cfg ?seed ?start_isa ?pid ?decode_cache ?chain ?boot ~mode fb =
+  boot_system ?obs ?cfg ?seed ?start_isa ?pid ?decode_cache ?chain ?boot ~mode fb
 
-let create ?obs ?cfg ?seed ?start_isa ?pid ?decode_cache ?chain ~mode ~src () =
-  boot_system ?obs ?cfg ?seed ?start_isa ?pid ?decode_cache ?chain ~mode (Compile.to_fatbin src)
+let create ?obs ?cfg ?seed ?start_isa ?pid ?decode_cache ?chain ?boot ~mode ~src () =
+  boot_system ?obs ?cfg ?seed ?start_isa ?pid ?decode_cache ?chain ?boot ~mode
+    (Compile.to_fatbin src)
 
 let fatbin t = t.fb
 let machine t = t.m
 let mode t = t.sys_mode
 let config t = t.cfg
+let seed t = t.sys_seed
+let start_isa t = t.sys_start_isa
+let decode_cache_enabled t = t.sys_decode_cache
+let chain_enabled t = t.sys_chain
 let obs t = t.observ
 let metrics t = Obs.Metrics.snapshot (Obs.metrics t.observ)
 
@@ -374,3 +387,85 @@ let run_slice t ~fuel =
   let i0 = instructions t and c0 = cycles t in
   let outcome = run t ~fuel in
   { sl_outcome = outcome; sl_instructions = instructions t - i0; sl_cycles = cycles t -. c0 }
+
+(* --- snapshot ------------------------------------------------------ *)
+(* The system-level slice: scheduler-visible flags and counters, the
+   migration-decision rng, the machine, and each VM. Guest memory and
+   the manifest framing around all of this belong to [Hipstr_snapshot];
+   [last_migration] is a transient measurement of the most recent
+   transform and deliberately resets to [None] on restore. *)
+
+module Wire = Hipstr_util.Wire
+
+let mode_tag = function Native -> 0 | Psr_only -> 1 | Hipstr -> 2
+
+let isa_tag = function Desc.Cisc -> 0 | Desc.Risc -> 1
+
+let save_state w t =
+  Wire.tag w "SYSTEM";
+  Wire.u8 w (mode_tag t.sys_mode);
+  Wire.bool w t.started;
+  Wire.int w t.security_migrations;
+  Wire.int w t.forced_migrations;
+  Wire.bool w t.migration_requested;
+  Wire.i64 w (Rng.state t.rng);
+  Machine.save w t.m;
+  Wire.list w
+    (fun w (which, v) ->
+      Wire.u8 w (isa_tag which);
+      Vm.save_state w v)
+    t.vms
+
+let restore_state t r =
+  Wire.expect_tag r "SYSTEM";
+  let mt = Wire.r_u8 r in
+  if mt <> mode_tag t.sys_mode then
+    Wire.corrupt "image was taken in mode %d, this system is mode %d" mt (mode_tag t.sys_mode);
+  t.started <- Wire.r_bool r;
+  t.security_migrations <- Wire.r_int r;
+  t.forced_migrations <- Wire.r_int r;
+  t.migration_requested <- Wire.r_bool r;
+  Rng.set_state t.rng (Wire.r_i64 r);
+  Machine.restore t.m r;
+  let nvms = ref t.vms in
+  Wire.r_list r (fun r ->
+      let tag = Wire.r_u8 r in
+      match !nvms with
+      | (which, v) :: rest ->
+        if tag <> isa_tag which then Wire.corrupt "VM image for the wrong ISA (tag %d)" tag;
+        Vm.restore_state v r;
+        nvms := rest;
+        ()
+      | [] -> Wire.corrupt "image carries more VMs than this system has")
+  |> ignore;
+  (match !nvms with
+  | [] -> ()
+  | _ -> Wire.corrupt "image carries fewer VMs than this system has");
+  t.last_migration <- None
+
+let save_memo w t =
+  Wire.tag w "MEMO";
+  Wire.list w
+    (fun w (which, v) ->
+      Wire.u8 w (isa_tag which);
+      Vm.save_meta w v)
+    t.vms
+
+let load_memo t r =
+  Wire.expect_tag r "MEMO";
+  let nvms = ref t.vms in
+  Wire.r_list r (fun r ->
+      let tag = Wire.r_u8 r in
+      match !nvms with
+      | (which, v) :: rest ->
+        if tag <> isa_tag which then Wire.corrupt "memo image for the wrong ISA (tag %d)" tag;
+        Vm.load_meta v r;
+        nvms := rest;
+        ()
+      | [] -> Wire.corrupt "memo image carries more VMs than this system has")
+  |> ignore;
+  match !nvms with
+  | [] -> ()
+  | _ -> Wire.corrupt "memo image carries fewer VMs than this system has"
+
+let forget_memo t = List.iter (fun (_, v) -> Vm.forget_memo v) t.vms

@@ -38,6 +38,7 @@ val create :
   ?pid:int ->
   ?decode_cache:bool ->
   ?chain:bool ->
+  ?boot:bool ->
   mode:mode ->
   src:string ->
   unit ->
@@ -54,7 +55,9 @@ val create :
     bit-identical either way. [chain] (default [true]) controls
     block-to-block chaining and the indirect-branch inline caches on
     top of that cache, with the same bit-identity guarantee (and no
-    effect at all when [decode_cache] is off).
+    effect at all when [decode_cache] is off). [boot] (default [true])
+    writes the initial stack/pc; snapshot restore passes [false] and
+    overwrites the whole machine state instead.
     @raise Hipstr_compiler.Compile.Error on bad source. *)
 
 val of_fatbin :
@@ -65,6 +68,7 @@ val of_fatbin :
   ?pid:int ->
   ?decode_cache:bool ->
   ?chain:bool ->
+  ?boot:bool ->
   mode:mode ->
   Hipstr_compiler.Fatbin.t ->
   t
@@ -77,6 +81,15 @@ val fatbin : t -> Hipstr_compiler.Fatbin.t
 val machine : t -> Hipstr_machine.Machine.t
 val mode : t -> mode
 val config : t -> Hipstr_psr.Config.t
+
+val seed : t -> int
+(** The seed this system was created with. *)
+
+val start_isa : t -> Hipstr_isa.Desc.which
+val decode_cache_enabled : t -> bool
+val chain_enabled : t -> bool
+(** The creation flags, recorded so a snapshot can reconstruct an
+    identically configured system. *)
 
 val vm : t -> Hipstr_isa.Desc.which -> Hipstr_psr.Vm.t
 (** The PSR VM of a core. @raise Invalid_argument in [Native] mode. *)
@@ -147,3 +160,33 @@ val metrics : t -> Hipstr_obs.Obs.Metrics.snapshot
     [system.migrations.*]. Note that when several systems share one
     context (the default, {!Hipstr_obs.Obs.global}), the counters
     aggregate across them. *)
+
+val save_state : Hipstr_util.Wire.w -> t -> unit
+(** Serialize the system-level slice: flags, migration counters, the
+    decision rng, the machine ({!Hipstr_machine.Machine.save}) and
+    every PSR VM. Guest memory, configuration and manifest framing
+    live in [Hipstr_snapshot.Snapshot]; [last_migration] does not
+    travel. *)
+
+val restore_state : t -> Hipstr_util.Wire.r -> unit
+(** Overwrite a freshly created, un-booted system (same mode, config
+    and creation flags) from a {!save_state} image. Guest memory must
+    be restored before this call — VM restore re-materializes the
+    code caches against it.
+    @raise Hipstr_util.Wire.Corrupt on mode/ISA/shape mismatch or a
+    malformed image. *)
+
+val save_memo : Hipstr_util.Wire.w -> t -> unit
+(** Serialize every VM's warm-start slice (relocation maps +
+    translation memo keys + history) — the artifact that lets a later
+    run of the same binary/config re-install translations at memo
+    cost instead of re-translating. *)
+
+val load_memo : t -> Hipstr_util.Wire.r -> unit
+(** Load a {!save_memo} image into a freshly created system of the
+    same mode/config (before it runs).
+    @raise Hipstr_util.Wire.Corrupt on shape mismatch. *)
+
+val forget_memo : t -> unit
+(** Drop every VM's translation memo (cold-start arm of the warm/cold
+    comparison); translation history survives. *)

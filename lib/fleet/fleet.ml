@@ -38,6 +38,7 @@ module Config = Hipstr_psr.Config
 module Process = Hipstr_cmp.Process
 module Cmp = Hipstr_cmp.Cmp
 module Pool = Hipstr_cmp.Pool
+module Snapshot = Hipstr_snapshot.Snapshot
 
 type config = {
   fl_shards : int;
@@ -50,6 +51,7 @@ type config = {
   fl_fuel : int;  (* per-connection instruction budget *)
   fl_max_live : int;  (* admission cap per shard *)
   fl_steal : bool;
+  fl_migrate_every : int;  (* rebalance period in waves; 0 = off *)
 }
 
 let default =
@@ -64,6 +66,7 @@ let default =
     fl_fuel = Traffic.default_fuel;
     fl_max_live = 8;
     fl_steal = true;
+    fl_migrate_every = 0;
   }
 
 type req_record = {
@@ -88,6 +91,7 @@ type result = {
   r_killed : int;
   r_shell : int;
   r_out_of_fuel : int;
+  r_live_migrations : int;  (* cross-shard checkpoint/restore moves *)
 }
 
 let outcome_label = function
@@ -222,6 +226,69 @@ let run ?(jobs = 1) ?(obs = Obs.disabled) ?timeline cfg conns =
   let makespan = ref 0. in
   let clock = ref 0. in
   let waves = ref 0 in
+  let live_migrations = ref 0 in
+  let fb = lazy (Traffic.fatbin ()) in
+  (* Cross-shard live migration: every fl_migrate_every waves, in the
+     sequential section after the wave barrier, move one runnable
+     process from the most-loaded shard to the least-loaded one via
+     checkpoint_process/restore_process — the same wire image the CLI
+     writes to disk, so "migration" and "checkpoint to a file, restore
+     on another pool" are literally the same operation. Everything
+     here reads only post-barrier shard state and ties break by shard
+     index / lowest pid, so the rebalance schedule (and therefore the
+     whole run) stays bit-identical for any -j. The migrated process
+     restarts cold on the target pool (core affinity is dropped by the
+     image) and its metrics deltas accrue to the target's obs child;
+     the source child already holds everything up to the move, and the
+     end-of-run merge folds both into the parent. *)
+  let rebalance () =
+    let load sh = Cmp.runnable_count sh.sh_cmp in
+    let src = ref shards.(0) and tgt = ref shards.(0) in
+    Array.iter
+      (fun sh ->
+        if load sh > load !src then src := sh;
+        if load sh < load !tgt then tgt := sh)
+      shards;
+    let src = !src and tgt = !tgt in
+    if load src - load tgt >= 2 then begin
+      let cand =
+        List.fold_left
+          (fun acc p ->
+            if Process.outcome p <> None then acc
+            else
+              match acc with
+              | Some q when Process.pid q <= Process.pid p -> acc
+              | _ -> Some p)
+          None (Cmp.processes src.sh_cmp)
+      in
+      match cand with
+      | None -> ()
+      | Some p ->
+        let pid = Process.pid p in
+        let p = Cmp.extract src.sh_cmp pid in
+        let image = Snapshot.checkpoint_process p in
+        let p', _ =
+          Snapshot.restore_process ~obs:tgt.sh_obs ~merge_obs:false ~fatbin:(Lazy.force fb) image
+        in
+        Cmp.inject tgt.sh_cmp p';
+        (match Hashtbl.find_opt src.sh_live pid with
+        | Some entry ->
+          Hashtbl.remove src.sh_live pid;
+          Hashtbl.replace tgt.sh_live pid entry
+        | None -> assert false);
+        incr live_migrations;
+        if observing then begin
+          let bytes = String.length image in
+          Obs.Metrics.incr (Obs.Metrics.counter m "fleet.live_migrations");
+          Obs.Metrics.observe
+            (Obs.Metrics.histogram m "fleet.migration.image_bytes")
+            (float_of_int bytes);
+          Obs.Metrics.observe
+            (Obs.Metrics.histogram m "fleet.migration.cost_cycles")
+            (Snapshot.checkpoint_cycles ~bytes +. Snapshot.transfer_cycles ~bytes)
+        end
+    end
+  in
   let shard_busy ~now sh =
     Cmp.runnable_count sh.sh_cmp > 0
     ||
@@ -278,6 +345,8 @@ let run ?(jobs = 1) ?(obs = Obs.disabled) ?timeline cfg conns =
               observe_completion r)
             completions)
         busy outs;
+      if cfg.fl_migrate_every > 0 && cfg.fl_shards > 1 && !waves mod cfg.fl_migrate_every = 0 then
+        rebalance ();
       (* timeline sampling: after the wave barrier and the completion
          stamps, at the wave-end clock, in a fixed order — the parent
          (fleet.* histograms observed just above) first, then each
@@ -320,6 +389,7 @@ let run ?(jobs = 1) ?(obs = Obs.disabled) ?timeline cfg conns =
       r_killed = count (fun r -> match r.rr_outcome with System.Killed _ -> true | _ -> false);
       r_shell = count (fun r -> r.rr_outcome = System.Shell_spawned);
       r_out_of_fuel = count (fun r -> r.rr_outcome = System.Out_of_fuel);
+      r_live_migrations = !live_migrations;
     }
   in
   if observing then begin
@@ -337,7 +407,10 @@ let run ?(jobs = 1) ?(obs = Obs.disabled) ?timeline cfg conns =
 
 let latencies r = List.map (fun x -> x.rr_latency) r.r_records
 
-let latency_percentile r q = Stats.percentile (latencies r) q
+let latency_percentile r q =
+  match latencies r with
+  | [] -> invalid_arg "Fleet.latency_percentile: no completed requests"
+  | ls -> Stats.percentile ls q
 
 let throughput r =
   (* completed requests per million guest cycles of fleet time *)

@@ -36,11 +36,21 @@ type config = {
   fl_fuel : int;  (** per-connection instruction budget *)
   fl_max_live : int;  (** admission cap per shard *)
   fl_steal : bool;
+  fl_migrate_every : int;
+      (** live-migration rebalance period, in waves; [0] disables it.
+          Every period, one runnable process moves from the
+          most-loaded shard to the least-loaded one (load gap ≥ 2,
+          ties by shard index, lowest pid first) by
+          {!Hipstr_snapshot.Snapshot.checkpoint_process} /
+          [restore_process] — the same wire image the CLI writes to
+          disk. Decided in the sequential section after the wave
+          barrier, so the run stays bit-identical for any [-j]. *)
 }
 
 val default : config
 (** 4 shards × the paper's core pair, round-robin, quantum 2000,
-    [Hipstr] mode, 8 live connections per shard, stealing on. *)
+    [Hipstr] mode, 8 live connections per shard, stealing on, live
+    migration off. *)
 
 type req_record = {
   rr_id : int;
@@ -64,6 +74,7 @@ type result = {
   r_killed : int;
   r_shell : int;
   r_out_of_fuel : int;
+  r_live_migrations : int;  (** cross-shard checkpoint/restore moves *)
 }
 
 val outcome_label : Hipstr.System.outcome -> string
@@ -94,13 +105,21 @@ val run :
     activity). Requires an enabled [obs] to carry the latency
     histograms; deterministic across [-j]/stealing like the rest of
     the run.
+
+    With [fl_migrate_every > 0] each live migration also records
+    [fleet.live_migrations] plus the [fleet.migration.image_bytes]
+    and [fleet.migration.cost_cycles] histograms (checkpoint +
+    transfer under the {!Hipstr_snapshot.Snapshot} cost model).
     @raise Invalid_argument on a non-positive shard count, admission
     cap, fuel or an empty core list. *)
 
 val latencies : result -> float list
 val latency_percentile : result -> float -> float
 (** Exact percentile over the raw per-request latencies
-    ({!Hipstr_util.Stats.percentile}, [q] in [0, 100]). *)
+    ({!Hipstr_util.Stats.percentile}, [q] in [0, 100]).
+    @raise Invalid_argument when the run served no requests — a tail
+    latency over zero observations is undefined; callers must guard
+    the empty case rather than read a silent 0. *)
 
 val throughput : result -> float
 (** Completed requests per million guest cycles of fleet time. *)

@@ -74,6 +74,11 @@ val generate :
 val victim : Hipstr_workloads.Workloads.t
 (** The [httpd] workload every connection boots. *)
 
+val fatbin : unit -> Hipstr_compiler.Fatbin.t
+(** The victim's fat binary (memoized by {!Hipstr_workloads}) — what
+    {!spawn} boots against and snapshot restore re-materializes
+    from. *)
+
 val ret_index : unit -> int
 (** Word index of [handle_request]'s saved return address from the
     start of its overflowed buffer — read from the fat binary's frame

@@ -62,3 +62,35 @@ let flush t =
 let reset_stats t =
   t.mispredicts <- 0;
   t.lookups <- 0
+
+(* --- snapshot ------------------------------------------------------ *)
+(* Predictions are cycle-visible (mispredict penalties), so the whole
+   structure is carried exactly: counters, BTB, RAS and the counters.
+   The 2-bit counters travel as single bytes. *)
+
+module Wire = Hipstr_util.Wire
+
+let save w t =
+  Wire.tag w "BPRED";
+  Array.iter (fun c -> Wire.u8 w c) t.counters;
+  Wire.int_array w t.btb;
+  Wire.int_array w t.ras;
+  Wire.int w t.ras_top;
+  Wire.int w t.mispredicts;
+  Wire.int w t.lookups
+
+let restore t r =
+  Wire.expect_tag r "BPRED";
+  for i = 0 to table_size - 1 do
+    t.counters.(i) <- Wire.r_u8 r
+  done;
+  let btb = Wire.r_int_array r in
+  let ras = Wire.r_int_array r in
+  if Array.length btb <> btb_size || Array.length ras <> ras_depth then
+    Wire.corrupt "branch predictor geometry mismatch (btb %d, ras %d)" (Array.length btb)
+      (Array.length ras);
+  Array.blit btb 0 t.btb 0 btb_size;
+  Array.blit ras 0 t.ras 0 ras_depth;
+  t.ras_top <- Wire.r_int r;
+  t.mispredicts <- Wire.r_int r;
+  t.lookups <- Wire.r_int r

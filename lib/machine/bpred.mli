@@ -34,3 +34,10 @@ val flush : t -> unit
 (** Forget all learned state (bimodal counters, BTB, RAS) but keep
     the accuracy statistics — the predictor a process finds after
     another process used the core. *)
+
+val save : Hipstr_util.Wire.w -> t -> unit
+(** Serialize the exact predictor state (snapshots). *)
+
+val restore : t -> Hipstr_util.Wire.r -> unit
+(** Overwrite this predictor from a {!save} image.
+    @raise Hipstr_util.Wire.Corrupt on a malformed image. *)

@@ -110,3 +110,39 @@ let reset_stats t =
 let flush t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);
   t.last_line <- -1
+
+(* --- snapshot ------------------------------------------------------ *)
+(* The cache model is cycle-visible (miss penalties land in the guest
+   clock), so a snapshot must carry the *exact* tag/stamp state: after
+   a restore the hit/miss trajectory continues precisely where the
+   saved run would have, including LRU victim choices, which read the
+   historical stamps. Geometry is not serialized — it is a function of
+   the create-time configuration — but the array lengths are checked
+   so a snapshot from a differently-shaped cache is rejected. *)
+
+module Wire = Hipstr_util.Wire
+
+let save w t =
+  Wire.tag w "CACHE";
+  Wire.int_array w t.tags;
+  Wire.int_array w t.stamps;
+  Wire.int w t.clock;
+  Wire.int w t.hits;
+  Wire.int w t.misses;
+  Wire.int w t.last_line;
+  Wire.int w t.last_idx
+
+let restore t r =
+  Wire.expect_tag r "CACHE";
+  let tags = Wire.r_int_array r in
+  let stamps = Wire.r_int_array r in
+  if Array.length tags <> Array.length t.tags || Array.length stamps <> Array.length t.stamps
+  then Wire.corrupt "cache geometry mismatch: image has %d tags, this cache has %d"
+      (Array.length tags) (Array.length t.tags);
+  Array.blit tags 0 t.tags 0 (Array.length tags);
+  Array.blit stamps 0 t.stamps 0 (Array.length stamps);
+  t.clock <- Wire.r_int r;
+  t.hits <- Wire.r_int r;
+  t.misses <- Wire.r_int r;
+  t.last_line <- Wire.r_int r;
+  t.last_idx <- Wire.r_int r

@@ -18,3 +18,11 @@ val misses : t -> int
 val reset_stats : t -> unit
 val flush : t -> unit
 (** Invalidate all lines (used when the PSR code cache is flushed). *)
+
+val save : Hipstr_util.Wire.w -> t -> unit
+(** Serialize the exact tag/stamp/counter state (snapshots). *)
+
+val restore : t -> Hipstr_util.Wire.r -> unit
+(** Overwrite this cache's state from a {!save} image.
+    @raise Hipstr_util.Wire.Corrupt on a geometry mismatch or a
+    malformed image. *)

@@ -205,3 +205,103 @@ let seconds t =
   account_cycles t;
   (t.cisc_cycles /. (Core_desc.x86.freq_ghz *. 1e9))
   +. (t.risc_cycles /. (Core_desc.arm.freq_ghz *. 1e9))
+
+(* --- snapshot ------------------------------------------------------ *)
+
+module Wire = Hipstr_util.Wire
+
+(* Drop host-side decoded state on both cores. Taking a checkpoint
+   quiesces the machine: the decode caches are host structures whose
+   contents cannot travel in an image (and are model-invisible
+   anyway), so BOTH the saved run and a run restored from the image
+   must continue from an equally cold decode cache — that is what
+   makes their host-counter trajectories, and therefore their metrics
+   exports, byte-identical. The cycle-visible microarchitecture
+   (i/d-caches, predictors, RAT) is untouched; it serializes
+   exactly. *)
+let quiesce t =
+  invalidate_decoded t Desc.Cisc;
+  invalidate_decoded t Desc.Risc
+
+let save_ctx w (c : core_ctx) =
+  Cache.save w c.icache;
+  Cache.save w c.dcache;
+  Bpred.save w c.bpred;
+  match c.rat with
+  | None -> Wire.bool w false
+  | Some rat ->
+    Wire.bool w true;
+    Rat.save w rat
+
+let restore_ctx (c : core_ctx) r =
+  Cache.restore c.icache r;
+  Cache.restore c.dcache r;
+  Bpred.restore c.bpred r;
+  match (Wire.r_bool r, c.rat) with
+  | false, None -> ()
+  | true, Some rat -> Rat.restore rat r
+  | has, _ ->
+    Wire.corrupt "RAT presence mismatch: image %s one, this machine %s"
+      (if has then "carries" else "lacks")
+      (if c.rat = None then "lacks" else "carries")
+
+let save w t =
+  Wire.tag w "MACH";
+  (* architectural CPU state *)
+  Wire.int w t.cpu.Cpu.pc;
+  Wire.int_array w t.cpu.Cpu.regs;
+  Wire.bool w t.cpu.Cpu.flags.Cpu.zf;
+  Wire.bool w t.cpu.Cpu.flags.Cpu.sf;
+  Wire.bool w t.cpu.Cpu.flags.Cpu.cf;
+  Wire.bool w t.cpu.Cpu.flags.Cpu.vf;
+  (* performance counters; the cycle accumulator travels bit-exact *)
+  Wire.float w t.cpu.Cpu.perf.Cpu.cycles.Cpu.c;
+  Wire.int w t.cpu.Cpu.perf.Cpu.instructions;
+  Wire.int w t.cpu.Cpu.perf.Cpu.loads;
+  Wire.int w t.cpu.Cpu.perf.Cpu.stores;
+  Wire.int w t.cpu.Cpu.perf.Cpu.branches;
+  Wire.int w t.cpu.Cpu.perf.Cpu.calls;
+  Wire.int w t.cpu.Cpu.perf.Cpu.returns;
+  Wire.int w t.cpu.Cpu.perf.Cpu.indirects;
+  Wire.int w t.cpu.Cpu.perf.Cpu.syscalls;
+  Sys.save w t.os_state;
+  save_ctx w t.cisc_ctx;
+  save_ctx w t.risc_ctx;
+  Wire.u8 w (match t.active with Desc.Cisc -> 0 | Desc.Risc -> 1);
+  Wire.int w t.migrations;
+  Wire.float w t.cisc_cycles;
+  Wire.float w t.risc_cycles;
+  Wire.float w t.cycle_mark
+
+let restore t r =
+  Wire.expect_tag r "MACH";
+  t.cpu.Cpu.pc <- Wire.r_int r;
+  let regs = Wire.r_int_array r in
+  if Array.length regs <> Array.length t.cpu.Cpu.regs then
+    Wire.corrupt "register file size mismatch (%d)" (Array.length regs);
+  Array.blit regs 0 t.cpu.Cpu.regs 0 (Array.length regs);
+  t.cpu.Cpu.flags.Cpu.zf <- Wire.r_bool r;
+  t.cpu.Cpu.flags.Cpu.sf <- Wire.r_bool r;
+  t.cpu.Cpu.flags.Cpu.cf <- Wire.r_bool r;
+  t.cpu.Cpu.flags.Cpu.vf <- Wire.r_bool r;
+  t.cpu.Cpu.perf.Cpu.cycles.Cpu.c <- Wire.r_float r;
+  t.cpu.Cpu.perf.Cpu.instructions <- Wire.r_int r;
+  t.cpu.Cpu.perf.Cpu.loads <- Wire.r_int r;
+  t.cpu.Cpu.perf.Cpu.stores <- Wire.r_int r;
+  t.cpu.Cpu.perf.Cpu.branches <- Wire.r_int r;
+  t.cpu.Cpu.perf.Cpu.calls <- Wire.r_int r;
+  t.cpu.Cpu.perf.Cpu.returns <- Wire.r_int r;
+  t.cpu.Cpu.perf.Cpu.indirects <- Wire.r_int r;
+  t.cpu.Cpu.perf.Cpu.syscalls <- Wire.r_int r;
+  Sys.restore t.os_state r;
+  restore_ctx t.cisc_ctx r;
+  restore_ctx t.risc_ctx r;
+  (t.active <-
+     (match Wire.r_u8 r with
+     | 0 -> Desc.Cisc
+     | 1 -> Desc.Risc
+     | v -> Wire.corrupt "bad active-ISA tag %d" v));
+  t.migrations <- Wire.r_int r;
+  t.cisc_cycles <- Wire.r_float r;
+  t.risc_cycles <- Wire.r_float r;
+  t.cycle_mark <- Wire.r_float r

@@ -104,3 +104,25 @@ val seconds : t -> float
 (** Wall-clock seconds of simulated execution, respecting each core's
     clock frequency: cycles are converted at the frequency of the core
     they were accumulated on. *)
+
+val quiesce : t -> unit
+(** Drop the host-side decode caches of both cores — the checkpoint
+    quiesce. Model-invisible (outputs, cycle floats and guest
+    counters are unchanged), but it aligns the host decode-counter
+    trajectory of the run that *took* a checkpoint with a run
+    *restored* from it: both continue decode-cold, so their metrics
+    exports stay byte-identical. Called by the snapshot layer before
+    serializing. *)
+
+val save : Hipstr_util.Wire.w -> t -> unit
+(** Serialize the architectural state (pc, registers, flags, perf
+    counters), the OS surface, both cores' cycle-visible
+    microarchitecture (i/d-caches, branch predictors, RATs) and the
+    per-core cycle attribution. Guest memory is NOT included — the
+    snapshot layer delta-compresses it against the fat binary. *)
+
+val restore : t -> Hipstr_util.Wire.r -> unit
+(** Overwrite this machine's state from a {!save} image. The machine
+    must have been created with the same shape (RAT presence, cache
+    geometry) as the saved one.
+    @raise Hipstr_util.Wire.Corrupt on any mismatch. *)

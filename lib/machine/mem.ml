@@ -4,6 +4,8 @@ exception Fault of int
 
 exception Cstring_unterminated of int
 
+exception Bad_span of int * int
+
 (* A watched span of the address space with a write generation. The
    decode cache keys predecoded blocks to the generation their bytes
    were read under; any write landing in the region bumps it, so a
@@ -132,16 +134,29 @@ let write32 t a v =
     assert false
   end
 
+(* Span validation for the bulk accessors. The old per-endpoint
+   [check] pair accepted a negative length outright (for [n <= 0]
+   the second check probes [a + n - 1] *below* [a], which is still
+   in bounds for most addresses) and then fell into the host's
+   [Bytes] primitives — the same class of hole [read_cstring]'s
+   [Cstring_unterminated] hardening closed for unterminated scans.
+   [a > t.size - n] keeps the comparison overflow-safe. *)
+let check_span t a n =
+  if n < 0 || a < 0 || a > t.size - n then raise (Bad_span (a, n))
+
 let blit_string t a s =
-  check t a;
-  check t (a + String.length s - 1);
-  Bytes.blit_string s 0 t.bytes a (String.length s);
-  touch_range t a (a + String.length s - 1)
+  let n = String.length s in
+  check_span t a n;
+  if n > 0 then begin
+    Bytes.blit_string s 0 t.bytes a n;
+    touch_range t a (a + n - 1)
+  end
+
+let write_string = blit_string
 
 let read_string t a n =
-  check t a;
-  check t (a + n - 1);
-  Bytes.sub_string t.bytes a n
+  check_span t a n;
+  if n = 0 then "" else Bytes.sub_string t.bytes a n
 
 let read_cstring ?(limit = 4096) t a =
   let buf = Buffer.create 16 in

@@ -20,6 +20,11 @@ exception Cstring_unterminated of int
 (** Raised by {!read_cstring} with the string's start address when no
     NUL terminator appears within the limit. *)
 
+exception Bad_span of int * int
+(** Raised by the bulk accessors ({!read_string}, {!blit_string},
+    {!write_string}) with [(addr, len)] when the requested span has a
+    negative length or crosses the end of the address space. *)
+
 type t
 
 type region
@@ -75,9 +80,18 @@ val read32 : t -> int -> int
 val write32 : t -> int -> int -> unit
 
 val blit_string : t -> int -> string -> unit
-(** Copy a string into memory at an address. *)
+(** Copy a string into memory at an address.
+    @raise Bad_span when the destination span crosses the end of the
+    address space. *)
+
+val write_string : t -> int -> string -> unit
+(** Alias of {!blit_string}, named for symmetry with
+    {!read_string}. *)
 
 val read_string : t -> int -> int -> string
+(** [read_string t a n] is the [n] bytes at [a].
+    @raise Bad_span when [n] is negative or [a..a+n-1] crosses the
+    end of the address space. *)
 
 val read_cstring : ?limit:int -> t -> int -> string
 (** Read a NUL-terminated string.

@@ -52,3 +52,46 @@ let remove_in_range t ~lo ~hi =
       t.table []
   in
   List.iter (Hashtbl.remove t.table) stale
+
+(* --- snapshot ------------------------------------------------------ *)
+(* The RAT is model-visible (a miss traps to the VM), so entries and
+   their LRU stamps are carried exactly. Stamps are unique (the clock
+   is monotone), so [evict_lru]'s iteration-order-independent victim
+   choice is preserved whatever the hashtable's internal layout after
+   the rebuild. Entries are written sorted by source address to keep
+   the image bytes deterministic. *)
+
+module Wire = Hipstr_util.Wire
+
+let save w t =
+  Wire.tag w "RAT";
+  let entries =
+    List.sort compare
+      (Hashtbl.fold (fun src (tr, stamp) acc -> (src, tr, !stamp) :: acc) t.table [])
+  in
+  Wire.list w
+    (fun w (src, tr, stamp) ->
+      Wire.int w src;
+      Wire.int w tr;
+      Wire.int w stamp)
+    entries;
+  Wire.int w t.clock;
+  Wire.int w t.hits;
+  Wire.int w t.misses
+
+let restore t r =
+  Wire.expect_tag r "RAT";
+  let entries =
+    Wire.r_list r (fun r ->
+        let src = Wire.r_int r in
+        let tr = Wire.r_int r in
+        let stamp = Wire.r_int r in
+        (src, tr, stamp))
+  in
+  if List.length entries > t.capacity then
+    Wire.corrupt "RAT image holds %d entries but capacity is %d" (List.length entries) t.capacity;
+  Hashtbl.reset t.table;
+  List.iter (fun (src, tr, stamp) -> Hashtbl.replace t.table src (tr, ref stamp)) entries;
+  t.clock <- Wire.r_int r;
+  t.hits <- Wire.r_int r;
+  t.misses <- Wire.r_int r

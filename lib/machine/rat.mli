@@ -31,3 +31,11 @@ val remove_in_range : t -> lo:int -> hi:int -> unit
     call macro-op for fall-through continuations) are covered too,
     which a source-keyed removal would miss. Does not touch hit/miss
     statistics. *)
+
+val save : Hipstr_util.Wire.w -> t -> unit
+(** Serialize entries (with LRU stamps) and counters (snapshots). *)
+
+val restore : t -> Hipstr_util.Wire.r -> unit
+(** Overwrite this RAT from a {!save} image.
+    @raise Hipstr_util.Wire.Corrupt when the image holds more entries
+    than this RAT's capacity or is malformed. *)

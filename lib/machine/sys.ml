@@ -39,3 +39,31 @@ let handle t ~number ~args:(a1, a2, a3) =
     (0, Halt_shell)
   end
   else (-1, Continue)
+
+(* --- snapshot ------------------------------------------------------ *)
+
+module Wire = Hipstr_util.Wire
+
+let save w t =
+  Wire.tag w "OS";
+  Wire.int w t.brk;
+  Wire.list w Wire.int t.output;
+  Wire.option w
+    (fun w (a, b, c) ->
+      Wire.int w a;
+      Wire.int w b;
+      Wire.int w c)
+    t.shell;
+  Wire.option w Wire.int t.exit_code
+
+let restore t r =
+  Wire.expect_tag r "OS";
+  t.brk <- Wire.r_int r;
+  t.output <- Wire.r_list r Wire.r_int;
+  t.shell <-
+    Wire.r_option r (fun r ->
+        let a = Wire.r_int r in
+        let b = Wire.r_int r in
+        let c = Wire.r_int r in
+        (a, b, c));
+  t.exit_code <- Wire.r_option r Wire.r_int

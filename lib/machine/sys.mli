@@ -38,3 +38,11 @@ val sys_exit : int
 val sys_brk : int
 val sys_print_int : int
 val sys_execve : int
+
+val save : Hipstr_util.Wire.w -> t -> unit
+(** Serialize the OS surface: break, output trace, shell/exit state
+    (snapshots). *)
+
+val restore : t -> Hipstr_util.Wire.r -> unit
+(** Overwrite this OS state from a {!save} image.
+    @raise Hipstr_util.Wire.Corrupt on a malformed image. *)

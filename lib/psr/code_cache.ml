@@ -183,3 +183,73 @@ let flushes t = t.nflushes
 let evictions t = t.nevictions
 let policy t = t.cc_policy
 let base t = t.cc_base
+
+(* --- snapshot ------------------------------------------------------ *)
+(* The allocator state travels exactly — cursor, live blocks, Clock
+   reference bits and the flush/eviction counters — but not the
+   translated bytes themselves: the VM re-materializes those from the
+   relocation maps via the translator. [by_src] is derived (one entry
+   per live block), so it is rebuilt rather than shipped. Blocks
+   serialize in ascending cache-address order (the [Addr_map] fold
+   order), keeping image bytes deterministic. *)
+
+module Wire = Hipstr_util.Wire
+
+let save w t =
+  Wire.tag w "CCACHE";
+  Wire.int w t.cursor;
+  Wire.list w
+    (fun w b ->
+      Wire.int w b.cb_src;
+      Wire.int w b.cb_cache;
+      Wire.int w b.cb_size;
+      Wire.str w b.cb_func;
+      Wire.list w
+        (fun w (lo, hi) ->
+          Wire.int w lo;
+          Wire.int w hi)
+        b.cb_src_spans)
+    (blocks t);
+  Wire.list w Wire.int
+    (List.sort compare (Hashtbl.fold (fun a () acc -> a :: acc) t.referenced []));
+  Wire.int w t.nflushes;
+  Wire.int w t.nevictions
+
+let restore t r =
+  Wire.expect_tag r "CCACHE";
+  let cursor = Wire.r_int r in
+  let bs =
+    Wire.r_list r (fun r ->
+        let cb_src = Wire.r_int r in
+        let cb_cache = Wire.r_int r in
+        let cb_size = Wire.r_int r in
+        let cb_func = Wire.r_str r in
+        let cb_src_spans =
+          Wire.r_list r (fun r ->
+              let lo = Wire.r_int r in
+              let hi = Wire.r_int r in
+              (lo, hi))
+        in
+        { cb_src; cb_cache; cb_size; cb_func; cb_src_spans })
+  in
+  let referenced = Wire.r_list r Wire.r_int in
+  let nflushes = Wire.r_int r in
+  let nevictions = Wire.r_int r in
+  List.iter
+    (fun b ->
+      if b.cb_cache < t.cc_base || b.cb_cache + b.cb_size > t.cc_base + t.cc_capacity then
+        Wire.corrupt "code-cache block [0x%x, +%d) outside this cache's region" b.cb_cache
+          b.cb_size)
+    bs;
+  t.cursor <- cursor;
+  Hashtbl.reset t.by_src;
+  Hashtbl.reset t.referenced;
+  t.by_addr <- Addr_map.empty;
+  List.iter
+    (fun b ->
+      Hashtbl.replace t.by_src b.cb_src b.cb_cache;
+      t.by_addr <- Addr_map.add b.cb_cache b t.by_addr)
+    bs;
+  List.iter (fun a -> Hashtbl.replace t.referenced a ()) referenced;
+  t.nflushes <- nflushes;
+  t.nevictions <- nevictions

@@ -102,3 +102,13 @@ val flushes : t -> int
 val evictions : t -> int
 val policy : t -> policy
 val base : t -> int
+
+val save : Hipstr_util.Wire.w -> t -> unit
+(** Serialize the allocator state — cursor, live-block directory,
+    Clock reference bits, flush/eviction counts. Translated bytes do
+    NOT travel; the VM re-materializes them on restore. *)
+
+val restore : t -> Hipstr_util.Wire.r -> unit
+(** Overwrite this cache's allocator state from a {!save} image.
+    @raise Hipstr_util.Wire.Corrupt when a block falls outside this
+    cache's region or the image is malformed. *)

@@ -171,3 +171,109 @@ let randomized_locations t =
   !acc
 
 let fingerprint t = t.rm_hash_key
+
+(* --- snapshot ------------------------------------------------------ *)
+(* A relocation map is pure data drawn from the VM's rng stream; a
+   snapshot carries every field verbatim (including the embedded
+   [Frame.t], so loading needs no fat binary lookup) plus the rng
+   state separately at the VM level, so maps generated *after* a
+   restore continue the donor's stream exactly. Hashtable contents
+   are written sorted to keep image bytes deterministic. *)
+
+module Wire = Hipstr_util.Wire
+
+let save_frame w (f : Frame.t) =
+  Wire.int w f.Frame.outgoing_words;
+  Wire.int w f.Frame.locals_off;
+  Wire.int w f.Frame.locals_bytes;
+  Wire.int_array w f.Frame.slot_off;
+  Wire.int w f.Frame.scratch_off;
+  Wire.int w f.Frame.ret_off;
+  Wire.int w f.Frame.frame_bytes
+
+let load_frame r : Frame.t =
+  let outgoing_words = Wire.r_int r in
+  let locals_off = Wire.r_int r in
+  let locals_bytes = Wire.r_int r in
+  let slot_off = Wire.r_int_array r in
+  let scratch_off = Wire.r_int r in
+  let ret_off = Wire.r_int r in
+  let frame_bytes = Wire.r_int r in
+  { Frame.outgoing_words; locals_off; locals_bytes; slot_off; scratch_off; ret_off; frame_bytes }
+
+let save_loc w = function
+  | Lreg n ->
+    Wire.u8 w 0;
+    Wire.int w n
+  | Lpad n ->
+    Wire.u8 w 1;
+    Wire.int w n
+
+let load_loc r =
+  match Wire.r_u8 r with
+  | 0 -> Lreg (Wire.r_int r)
+  | 1 -> Lpad (Wire.r_int r)
+  | v -> Wire.corrupt "bad reloc-map location tag %d" v
+
+let save w t =
+  Wire.tag w "RMAP";
+  Wire.str w t.rm_fname;
+  save_frame w t.rm_frame;
+  Wire.int w t.rm_pad;
+  Wire.int w t.rm_frame';
+  Wire.int w t.rm_ret_off;
+  Wire.int w t.rm_out_off;
+  Wire.int w t.rm_locals_off;
+  Wire.int w t.rm_scratch_off;
+  Wire.int w t.rm_vm_temp;
+  Wire.list w
+    (fun w (k, v) ->
+      Wire.int w k;
+      Wire.int w v)
+    (List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.rm_slot_off []));
+  Wire.int_array w t.rm_arg_off;
+  Wire.int w (Array.length t.rm_reg_map);
+  Array.iter (save_loc w) t.rm_reg_map;
+  Wire.int w t.rm_hash_key;
+  Wire.int w t.rm_nregs_in_regs
+
+let load r =
+  Wire.expect_tag r "RMAP";
+  let rm_fname = Wire.r_str r in
+  let rm_frame = load_frame r in
+  let rm_pad = Wire.r_int r in
+  let rm_frame' = Wire.r_int r in
+  let rm_ret_off = Wire.r_int r in
+  let rm_out_off = Wire.r_int r in
+  let rm_locals_off = Wire.r_int r in
+  let rm_scratch_off = Wire.r_int r in
+  let rm_vm_temp = Wire.r_int r in
+  let slots = Wire.r_list r (fun r ->
+      let k = Wire.r_int r in
+      let v = Wire.r_int r in
+      (k, v))
+  in
+  let rm_slot_off = Hashtbl.create (max 8 (List.length slots)) in
+  List.iter (fun (k, v) -> Hashtbl.replace rm_slot_off k v) slots;
+  let rm_arg_off = Wire.r_int_array r in
+  let nregs = Wire.r_int r in
+  if nregs <> 16 then Wire.corrupt "bad reloc-map register count %d" nregs;
+  let rm_reg_map = Array.init nregs (fun _ -> load_loc r) in
+  let rm_hash_key = Wire.r_int r in
+  let rm_nregs_in_regs = Wire.r_int r in
+  {
+    rm_fname;
+    rm_frame;
+    rm_pad;
+    rm_frame';
+    rm_ret_off;
+    rm_out_off;
+    rm_locals_off;
+    rm_scratch_off;
+    rm_vm_temp;
+    rm_slot_off;
+    rm_arg_off;
+    rm_reg_map;
+    rm_hash_key;
+    rm_nregs_in_regs;
+  }

@@ -80,3 +80,11 @@ val fingerprint : t -> int
 val entropy_bits_per_param : Config.t -> float
 (** log2 of the number of positions one relocated parameter can take
     (word-granular within the pad). *)
+
+val save : Hipstr_util.Wire.w -> t -> unit
+(** Serialize the complete map, embedded frame layout included
+    (snapshots; deterministic byte layout). *)
+
+val load : Hipstr_util.Wire.r -> t
+(** Rebuild a map from a {!save} image.
+    @raise Hipstr_util.Wire.Corrupt on a malformed image. *)

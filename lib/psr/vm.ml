@@ -631,3 +631,227 @@ let drain_new_units t =
   let units = List.rev t.new_units in
   t.new_units <- [];
   units
+
+(* --- snapshot ------------------------------------------------------ *)
+(* What travels: the rng word, the map generation, the relocation maps
+   (live frames hold state at their offsets — these are the one thing
+   that MUST be exact), the memo key set, the translation history, the
+   code-cache allocator state, the chain-patch records, the un-drained
+   unit list and the counters. What does NOT travel: translated bytes,
+   stub registrations, block metadata and the hot-register ranking —
+   all derived, re-materialized below from the maps + source bytes.
+   Re-materialization is cycle-free and observation-free: the
+   translation work was already charged when it first happened, and
+   the restored run must not re-count it. *)
+
+module Wire = Hipstr_util.Wire
+
+let sorted_keys tbl = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+let save_maps w t =
+  Wire.list w
+    (fun w name ->
+      Wire.str w name;
+      Reloc_map.save w (Hashtbl.find t.maps name))
+    (sorted_keys t.maps)
+
+let load_maps t r =
+  let ms =
+    Wire.r_list r (fun r ->
+        let name = Wire.r_str r in
+        let m = Reloc_map.load r in
+        (name, m))
+  in
+  Hashtbl.reset t.maps;
+  List.iter (fun (n, m) -> Hashtbl.replace t.maps n m) ms
+
+let save_memo_keys w t =
+  Wire.list w
+    (fun w (src, fp) ->
+      Wire.int w src;
+      Wire.int w fp)
+    (List.sort compare
+       (Hashtbl.fold
+          (fun src e acc -> if e.me_gen = t.map_gen then (src, e.me_fp) :: acc else acc)
+          t.memo []))
+
+(* Rebuild memo entries by re-running the (pure) translator scan
+   against the restored maps; the saved fingerprint cross-checks that
+   the maps in the image really are the maps the memo was built
+   against. *)
+let rebuild_memo t keys =
+  Hashtbl.reset t.memo;
+  let read = Mem.reader (mem t) in
+  List.iter
+    (fun (src, fp) ->
+      match Fatbin.func_at t.fatbin t.which src with
+      | None -> Wire.corrupt "memo entry 0x%x lies in no function of this binary" src
+      | Some fs ->
+        if Reloc_map.fingerprint (map_of t fs) <> fp then
+          Wire.corrupt "memo entry 0x%x disagrees with its relocation map" src;
+        let prep =
+          Translator.prepare t.cfg t.desc ~read ~fatbin:t.fatbin
+            ~map_of:(fun fs -> map_of t fs)
+            ~src
+        in
+        Hashtbl.replace t.memo src { me_gen = t.map_gen; me_fp = fp; me_prep = prep })
+    keys
+
+(* Re-encode every live block at its recorded cache address and
+   re-register its stubs. Preparation is deterministic given the maps
+   and source bytes, so the bytes come out identical to what was
+   running at checkpoint time; the size cross-check catches any image
+   that lies about either. *)
+let rematerialize t =
+  Hashtbl.reset t.stub_at;
+  Hashtbl.reset t.block_meta;
+  let read = Mem.reader (mem t) in
+  List.iter
+    (fun (b : Code_cache.block) ->
+      let prep =
+        match Hashtbl.find_opt t.memo b.cb_src with
+        | Some e when e.me_gen = t.map_gen -> e.me_prep
+        | _ ->
+          Translator.prepare t.cfg t.desc ~read ~fatbin:t.fatbin
+            ~map_of:(fun fs -> map_of t fs)
+            ~src:b.cb_src
+      in
+      if Translator.prepared_size prep <> b.cb_size then
+        Wire.corrupt "re-materialized unit for 0x%x measures %d bytes, image says %d" b.cb_src
+          (Translator.prepared_size prep) b.cb_size;
+      let unit = Translator.layout prep ~base:b.cb_cache in
+      Mem.blit_string (mem t) b.cb_cache unit.u_bytes;
+      let trap_pcs = ref [] in
+      List.iter
+        (fun (s : Translator.exit_stub) ->
+          let pc = b.cb_cache + s.es_off in
+          Hashtbl.replace t.stub_at pc (Sexit s.es_target_src);
+          trap_pcs := pc :: !trap_pcs)
+        unit.u_stubs;
+      List.iter
+        (fun (ic : Translator.icall_site) ->
+          let pc = b.cb_cache + ic.is_off in
+          Hashtbl.replace t.stub_at pc (Sicall ic);
+          trap_pcs := pc :: !trap_pcs)
+        unit.u_icalls;
+      Hashtbl.replace t.block_meta b.cb_cache !trap_pcs)
+    (Code_cache.blocks t.cache)
+
+let save_state w t =
+  Wire.tag w "PSRVM";
+  Wire.i64 w (Rng.state t.rng);
+  Wire.int w t.map_gen;
+  save_maps w t;
+  save_memo_keys w t;
+  Wire.list w Wire.int (sorted_keys t.ever_translated);
+  Code_cache.save w t.cache;
+  Wire.list w
+    (fun w (pc, (p : patch_rec)) ->
+      Wire.int w pc;
+      Wire.int w p.pt_src;
+      Wire.int w p.pt_cache)
+    (List.sort compare (Hashtbl.fold (fun pc p acc -> (pc, p) :: acc) t.patches []));
+  Wire.list w Wire.int t.new_units;
+  let s = t.st in
+  Wire.int w s.translations;
+  Wire.int w s.source_instrs;
+  Wire.int w s.emitted_instrs;
+  Wire.int w s.traps;
+  Wire.int w s.patches;
+  Wire.int w s.rat_miss_translated;
+  Wire.int w s.icalls;
+  Wire.int w s.suspicious;
+  Wire.int w s.compulsory_misses;
+  Wire.int w s.capacity_misses;
+  Wire.int w s.evictions;
+  Wire.int w s.memo_installs;
+  Wire.float w s.retranslate_cycles
+
+let restore_state t r =
+  Wire.expect_tag r "PSRVM";
+  Rng.set_state t.rng (Wire.r_i64 r);
+  t.map_gen <- Wire.r_int r;
+  load_maps t r;
+  let memo_keys =
+    Wire.r_list r (fun r ->
+        let src = Wire.r_int r in
+        let fp = Wire.r_int r in
+        (src, fp))
+  in
+  let ever = Wire.r_list r Wire.r_int in
+  Code_cache.restore t.cache r;
+  let patch_list =
+    Wire.r_list r (fun r ->
+        let pc = Wire.r_int r in
+        let pt_src = Wire.r_int r in
+        let pt_cache = Wire.r_int r in
+        (pc, { pt_src; pt_cache }))
+  in
+  let new_units = Wire.r_list r Wire.r_int in
+  let s = t.st in
+  s.translations <- Wire.r_int r;
+  s.source_instrs <- Wire.r_int r;
+  s.emitted_instrs <- Wire.r_int r;
+  s.traps <- Wire.r_int r;
+  s.patches <- Wire.r_int r;
+  s.rat_miss_translated <- Wire.r_int r;
+  s.icalls <- Wire.r_int r;
+  s.suspicious <- Wire.r_int r;
+  s.compulsory_misses <- Wire.r_int r;
+  s.capacity_misses <- Wire.r_int r;
+  s.evictions <- Wire.r_int r;
+  s.memo_installs <- Wire.r_int r;
+  s.retranslate_cycles <- Wire.r_float r;
+  Hashtbl.reset t.ever_translated;
+  List.iter (fun src -> Hashtbl.replace t.ever_translated src ()) ever;
+  Hashtbl.reset t.hot;
+  rebuild_memo t memo_keys;
+  rematerialize t;
+  Hashtbl.reset t.patches;
+  List.iter
+    (fun (pc, (p : patch_rec)) ->
+      (match Hashtbl.find_opt t.stub_at pc with
+      | Some (Sexit s) when s = p.pt_src -> ()
+      | _ -> Wire.corrupt "chain patch at 0x%x does not cover an exit stub for 0x%x" pc p.pt_src);
+      Mem.blit_string (mem t) pc (encode_at t ~at:pc (Minstr.Jmp p.pt_cache));
+      Hashtbl.remove t.stub_at pc;
+      Hashtbl.replace t.patches pc p)
+    patch_list;
+  t.new_units <- new_units;
+  t.span_quiet <- false
+
+(* Warm-start metadata: the map/memo/history slice of the state,
+   without any machine coupling — loadable into a *fresh* VM so a new
+   run re-installs previously translated units from the memo at
+   [memo_install_per_instr] instead of re-translating at
+   [translate_per_instr]. *)
+let save_meta w t =
+  Wire.tag w "PSRMETA";
+  Wire.i64 w (Rng.state t.rng);
+  Wire.int w t.map_gen;
+  save_maps w t;
+  save_memo_keys w t;
+  Wire.list w Wire.int (sorted_keys t.ever_translated)
+
+let load_meta t r =
+  Wire.expect_tag r "PSRMETA";
+  Rng.set_state t.rng (Wire.r_i64 r);
+  t.map_gen <- Wire.r_int r;
+  load_maps t r;
+  let memo_keys =
+    Wire.r_list r (fun r ->
+        let src = Wire.r_int r in
+        let fp = Wire.r_int r in
+        (src, fp))
+  in
+  let ever = Wire.r_list r Wire.r_int in
+  Hashtbl.reset t.ever_translated;
+  List.iter (fun src -> Hashtbl.replace t.ever_translated src ()) ever;
+  Hashtbl.reset t.hot;
+  rebuild_memo t memo_keys
+
+(* Cold-start control: drop the memo but keep the translation history,
+   so both arms of a warm/cold comparison classify their misses
+   identically (capacity) and differ only in what servicing them
+   costs. *)
+let forget_memo t = Hashtbl.reset t.memo

@@ -126,3 +126,41 @@ val complete_call : t -> callee_src:int -> src_ret:int -> unit
 val drain_new_units : t -> int list
 (** Source unit addresses translated since the last drain (the HIPStR
     layer mirrors compulsory translations onto the other ISA). *)
+
+val flush : t -> unit
+(** Flush the code cache wholesale: drop every translation, stub
+    registration and chain patch, clear the RAT, and charge the flush
+    cost. Relocation maps and the translation memo survive. *)
+
+val save_state : Hipstr_util.Wire.w -> t -> unit
+(** Serialize the VM: rng word, map generation, relocation maps, memo
+    key set, translation history, code-cache allocator state, chain
+    patches, un-drained units, counters. Translated code bytes do NOT
+    travel — {!restore_state} re-materializes them. *)
+
+val restore_state : t -> Hipstr_util.Wire.r -> unit
+(** Overwrite this VM from a {!save_state} image taken on a VM with
+    the same config/ISA, re-encoding every live cache block at its
+    recorded address (and re-applying chain patches) so the cache
+    bytes in guest memory come out identical to checkpoint time.
+    Charges no cycles and records no observations — the work was
+    already accounted when it first happened. Requires the guest
+    memory image (source code bytes) to be restored first.
+    @raise Hipstr_util.Wire.Corrupt on malformed or inconsistent
+    images (memo/map fingerprint mismatch, block size mismatch,
+    patch targeting a non-stub). *)
+
+val save_meta : Hipstr_util.Wire.w -> t -> unit
+(** Serialize only the warm-start slice — rng word, map generation,
+    relocation maps, memo keys, translation history — with no machine
+    coupling, for persisting the translation memo across runs. *)
+
+val load_meta : t -> Hipstr_util.Wire.r -> unit
+(** Load {!save_meta} output into a freshly created VM (after the fat
+    binary is in memory): subsequent translations of memoized units
+    are served as memo installs.
+    @raise Hipstr_util.Wire.Corrupt on malformed images. *)
+
+val forget_memo : t -> unit
+(** Drop the translation memo, keeping the translation history — the
+    cold arm of a warm/cold start comparison. *)

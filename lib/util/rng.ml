@@ -57,3 +57,11 @@ let sample_distinct g k n =
     acc := v :: !acc
   done;
   !acc
+
+(* Snapshot support: the whole generator is one 64-bit word, so
+   save/restore is exact by construction. *)
+let state g = g.state
+
+let of_state s = { state = s }
+
+let set_state g s = g.state <- s

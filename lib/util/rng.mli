@@ -39,3 +39,14 @@ val permutation : t -> int -> int array
 val sample_distinct : t -> int -> int -> int list
 (** [sample_distinct g k n] draws [k] distinct values from [0, n).
     Requires [k <= n]. *)
+
+val state : t -> int64
+(** The full generator state — SplitMix64 is a single 64-bit word,
+    so this captures the stream position exactly (snapshots). *)
+
+val of_state : int64 -> t
+(** Rebuild a generator from {!state}; the two then produce
+    identical streams. *)
+
+val set_state : t -> int64 -> unit
+(** Overwrite a generator's state in place (snapshot restore). *)

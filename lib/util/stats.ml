@@ -26,7 +26,7 @@ let median xs =
 let percentile xs q =
   if q < 0. || q > 100. then invalid_arg "Stats.percentile: q outside [0, 100]";
   match List.sort compare xs with
-  | [] -> 0.
+  | [] -> invalid_arg "Stats.percentile: empty data"
   | sorted ->
     let a = Array.of_list sorted in
     let n = Array.length a in

@@ -163,6 +163,59 @@ let test_rerun_bit_identical () =
   Alcotest.(check string) "replayed metrics identical" m1 m2;
   Alcotest.(check string) "replayed audit identical" a1 a2
 
+(* --- live migration ------------------------------------------------- *)
+
+let test_live_migration_bit_identical () =
+  (* a fast open-loop trace piles arrivals up, so shard queues drain
+     unevenly and rebalancing every wave forces cross-shard moves; the
+     decision runs in the sequential post-barrier section, so -j4 must
+     stay byte-identical to -j1 *)
+  let conns = gen ~procs:40 ~arrival:(Traffic.Poisson 500.) () in
+  let run jobs =
+    let obs = Obs.create () in
+    let cfg = { (fleet_cfg ()) with Fleet.fl_migrate_every = 1 } in
+    let r = Fleet.run ~jobs ~obs cfg conns in
+    (r, Obs.Export.metrics_json obs, Obs.Export.audit_jsonl obs)
+  in
+  let r1, m1, a1 = run 1 in
+  let r4, m4, a4 = run 4 in
+  Alcotest.(check bool) "at least one live migration" true (r1.Fleet.r_live_migrations > 0);
+  Alcotest.(check int) "same migration count across jobs" r1.Fleet.r_live_migrations
+    r4.Fleet.r_live_migrations;
+  Alcotest.(check bool) "-j4 records = -j1 records" true (r1.Fleet.r_records = r4.Fleet.r_records);
+  Alcotest.(check (float 1e-9)) "same makespan" r1.Fleet.r_makespan r4.Fleet.r_makespan;
+  Alcotest.(check string) "metrics_json bytes identical" m1 m4;
+  Alcotest.(check string) "audit_jsonl bytes identical" a1 a4;
+  (* migration moves work, it never loses it *)
+  Alcotest.(check int) "every connection served" 40 (List.length r1.Fleet.r_records);
+  Alcotest.(check int) "outcome counts partition the trace" 40
+    (r1.Fleet.r_completed + r1.Fleet.r_killed + r1.Fleet.r_shell + r1.Fleet.r_out_of_fuel);
+  Alcotest.(check int) "no shells" 0 r1.Fleet.r_shell;
+  Alcotest.(check int) "nothing spins" 0 r1.Fleet.r_out_of_fuel
+
+let test_live_migration_counter () =
+  let obs = Obs.create () in
+  let cfg = { (fleet_cfg ()) with Fleet.fl_migrate_every = 1 } in
+  let r = Fleet.run ~obs cfg (gen ~procs:40 ~arrival:(Traffic.Poisson 500.) ()) in
+  let snap = Obs.metrics obs |> Obs.Metrics.snapshot in
+  Alcotest.(check int) "fleet.live_migrations counter matches the result"
+    r.Fleet.r_live_migrations
+    (Obs.Metrics.counter_value snap "fleet.live_migrations");
+  match List.assoc_opt "fleet.migration.cost_cycles" snap.Obs.Metrics.snap_histograms with
+  | None -> Alcotest.fail "fleet.migration.cost_cycles histogram missing"
+  | Some h ->
+    Alcotest.(check int) "one cost sample per migration" r.Fleet.r_live_migrations
+      h.Obs.Metrics.hs_count
+
+let test_latency_percentile_empty_raises () =
+  (* regression: a percentile over zero served requests used to read
+     as a silent 0.; it must refuse instead *)
+  let r = Fleet.run (fleet_cfg ()) [] in
+  Alcotest.(check int) "no records on an empty trace" 0 (List.length r.Fleet.r_records);
+  Alcotest.check_raises "empty percentile refuses"
+    (Invalid_argument "Fleet.latency_percentile: no completed requests") (fun () ->
+      ignore (Fleet.latency_percentile r 99.))
+
 (* --- serving semantics --------------------------------------------- *)
 
 let check_record_invariants r =
@@ -396,6 +449,14 @@ let () =
           Alcotest.test_case "stealing bit-identical to static" `Quick
             test_stealing_bit_identical;
           Alcotest.test_case "replay bit-identical" `Quick test_rerun_bit_identical;
+        ] );
+      ( "live migration",
+        [
+          Alcotest.test_case "migration bit-identical across jobs" `Quick
+            test_live_migration_bit_identical;
+          Alcotest.test_case "migration counters reconcile" `Quick test_live_migration_counter;
+          Alcotest.test_case "empty percentile refuses" `Quick
+            test_latency_percentile_empty_raises;
         ] );
       ( "serving",
         [

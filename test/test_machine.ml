@@ -37,6 +37,26 @@ let test_mem_strings () =
   Alcotest.(check string) "cstring" "hello" (Mem.read_cstring m 10);
   Alcotest.(check string) "substring" "ell" (Mem.read_string m 11 3)
 
+let test_mem_bad_span () =
+  (* regression: negative or end-crossing string spans must refuse up
+     front rather than fault mid-copy or index a negative length *)
+  let m = Mem.create 64 in
+  Alcotest.check_raises "negative length" (Mem.Bad_span (10, -1)) (fun () ->
+      ignore (Mem.read_string m 10 (-1)));
+  Alcotest.check_raises "read crosses the end" (Mem.Bad_span (60, 8)) (fun () ->
+      ignore (Mem.read_string m 60 8));
+  Alcotest.check_raises "negative address" (Mem.Bad_span (-4, 2)) (fun () ->
+      ignore (Mem.read_string m (-4) 2));
+  Alcotest.check_raises "blit crosses the end" (Mem.Bad_span (62, 5)) (fun () ->
+      Mem.blit_string m 62 "hello");
+  Alcotest.check_raises "write crosses the end" (Mem.Bad_span (62, 3)) (fun () ->
+      Mem.write_string m 62 "hey");
+  (* zero-length spans at any in-bounds address are fine, including
+     one-past-the-end, and a refused blit must not have written *)
+  Alcotest.(check string) "zero-length read ok" "" (Mem.read_string m 64 0);
+  Mem.blit_string m 62 "";
+  Alcotest.(check int) "refused blit left memory untouched" 0 (Mem.read8 m 62)
+
 let test_cache_behavior () =
   let c = Cache.create ~line:64 ~size_kb:1 ~assoc:2 ~miss_penalty:10 () in
   Alcotest.(check bool) "first access misses" false (Cache.access c 0);
@@ -279,6 +299,7 @@ let () =
           Alcotest.test_case "read write" `Quick test_mem_rw;
           Alcotest.test_case "faults" `Quick test_mem_fault;
           Alcotest.test_case "strings" `Quick test_mem_strings;
+          Alcotest.test_case "bad spans refuse" `Quick test_mem_bad_span;
         ] );
       ( "timing-structures",
         [

@@ -80,6 +80,20 @@ let prop_unsigned_range =
       let u = W32.unsigned v in
       u >= 0 && u <= 0xFFFFFFFF)
 
+let test_percentile () =
+  let xs = [ 15.; 20.; 35.; 40.; 50. ] in
+  Alcotest.(check (float 1e-9)) "p0 is the minimum" 15. (Stats.percentile xs 0.);
+  Alcotest.(check (float 1e-9)) "p100 is the maximum" 50. (Stats.percentile xs 100.);
+  Alcotest.(check (float 1e-9)) "p50 matches median" (Stats.median xs) (Stats.percentile xs 50.);
+  Alcotest.(check (float 1e-9)) "interpolates between order stats" 29. (Stats.percentile xs 40.);
+  (* regression: a percentile of no data used to read as a silent 0.,
+     which hid zero-admission fleet runs; it must refuse instead *)
+  Alcotest.check_raises "empty data refuses" (Invalid_argument "Stats.percentile: empty data")
+    (fun () -> ignore (Stats.percentile [] 50.));
+  Alcotest.check_raises "q out of range refuses"
+    (Invalid_argument "Stats.percentile: q outside [0, 100]") (fun () ->
+      ignore (Stats.percentile xs 100.5))
+
 let test_stats () =
   Alcotest.(check (float 1e-9)) "mean" 2. (Stats.mean [ 1.; 2.; 3. ]);
   Alcotest.(check (float 1e-9)) "geomean" 2. (Stats.geomean [ 1.; 2.; 4. ]);
@@ -177,6 +191,7 @@ let () =
       ( "stats",
         [
           Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "percentile" `Quick test_percentile;
           Alcotest.test_case "table" `Quick test_table_render;
         ] );
       ( "json",

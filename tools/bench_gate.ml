@@ -11,6 +11,9 @@
                             latency p99 (lower)
      hipstr-bench-cache/1   per workload x capacity x policy:
                             retranslate_cycles (lower)
+     hipstr-bench-migrate/1 per workload: image_bytes, total warm/cold
+                            migration cycles (all lower is better),
+                            plus the fleet-wide totals
 
    Usage:
      bench_gate [--max-drop PCT] [--max-rise PCT] OLD.json NEW.json
@@ -112,15 +115,37 @@ let cache_metrics doc =
         (list "capacities" w))
     (list "workloads" doc)
 
+let migrate_metrics doc =
+  let totals =
+    List.map
+      (fun field ->
+        { m_key = "migrate." ^ field; m_value = num field doc; m_dir = Lower_better })
+      [ "total_warm_cycles"; "total_cold_cycles" ]
+  in
+  totals
+  @ List.concat_map
+      (fun p ->
+        let name = str "workload" p in
+        List.map
+          (fun field ->
+            {
+              m_key = Printf.sprintf "migrate.%s.%s" name field;
+              m_value = num field p;
+              m_dir = Lower_better;
+            })
+          [ "image_bytes"; "total_warm_cycles"; "total_cold_cycles" ])
+      (list "points" doc)
+
 let extract path doc =
   match str "schema" doc with
   | "hipstr-bench-interp/2" -> interp_metrics doc
   | "hipstr-bench-fleet/1" -> fleet_metrics doc
   | "hipstr-bench-cache/1" -> cache_metrics doc
+  | "hipstr-bench-migrate/1" -> migrate_metrics doc
   | s ->
     fail
-      "%s: unsupported schema '%s' (expected hipstr-bench-interp/2, hipstr-bench-fleet/1 or \
-       hipstr-bench-cache/1)"
+      "%s: unsupported schema '%s' (expected hipstr-bench-interp/2, hipstr-bench-fleet/1, \
+       hipstr-bench-cache/1 or hipstr-bench-migrate/1)"
       path s
 
 let load path =
@@ -135,34 +160,65 @@ let load path =
    a higher-is-better metric past --max-drop (or a rise of a
    lower-is-better one past --max-rise) is a failure. A metric that
    vanished from the new file is too — silently losing coverage must
-   not read as "no regression". *)
+   not read as "no regression".
+
+   A zero or NaN baseline admits no percent-change at all: such a
+   metric is reported as "new/incomparable" and excluded from the
+   gate rather than crashing or — worse — passing silently (NaN
+   poisons every float comparison to false, which used to read as
+   "no regression"). A finite baseline going to NaN, by contrast, IS
+   a failure: the metric stopped being measurable. *)
+
+type verdict =
+  | Regression of string
+  | Incomparable of string  (* reported, never silent, never fatal *)
 
 let compare_metrics ~max_drop ~max_rise olds news =
   List.filter_map
     (fun om ->
       match List.find_opt (fun nm -> nm.m_key = om.m_key) news with
-      | None -> Some (Printf.sprintf "%s: present in old file, missing from new" om.m_key)
+      | None ->
+        Some (Regression (Printf.sprintf "%s: present in old file, missing from new" om.m_key))
       | Some nm ->
-        if om.m_value = 0. then None
+        if Float.is_nan om.m_value || om.m_value = 0. then
+          Some
+            (Incomparable
+               (Printf.sprintf "%s: baseline is %s — new/incomparable metric, not gated"
+                  om.m_key
+                  (if Float.is_nan om.m_value then "NaN" else "0")))
+        else if Float.is_nan nm.m_value then
+          Some
+            (Regression
+               (Printf.sprintf "%s: %.6g -> NaN (metric stopped being measurable)" om.m_key
+                  om.m_value))
         else begin
           let pct = 100. *. (nm.m_value -. om.m_value) /. om.m_value in
           match om.m_dir with
           | Higher_better when pct < -.max_drop ->
             Some
-              (Printf.sprintf "%s: %.6g -> %.6g (%.1f%% drop, max %.1f%%)" om.m_key
-                 om.m_value nm.m_value (-.pct) max_drop)
+              (Regression
+                 (Printf.sprintf "%s: %.6g -> %.6g (%.1f%% drop, max %.1f%%)" om.m_key
+                    om.m_value nm.m_value (-.pct) max_drop))
           | Lower_better when pct > max_rise ->
             Some
-              (Printf.sprintf "%s: %.6g -> %.6g (%.1f%% rise, max %.1f%%)" om.m_key
-                 om.m_value nm.m_value pct max_rise)
+              (Regression
+                 (Printf.sprintf "%s: %.6g -> %.6g (%.1f%% rise, max %.1f%%)" om.m_key
+                    om.m_value nm.m_value pct max_rise))
           | _ -> None
         end)
     olds
 
+let split verdicts =
+  List.partition_map
+    (function Regression m -> Either.Left m | Incomparable m -> Either.Right m)
+    verdicts
+
 let selftest ~max_drop ~max_rise path =
   let metrics = extract path (load path) in
   if metrics = [] then fail "%s: no metrics extracted" path;
-  let clean = compare_metrics ~max_drop ~max_rise metrics metrics in
+  let comparable = List.filter (fun m -> m.m_value <> 0. && not (Float.is_nan m.m_value)) metrics in
+  if comparable = [] then fail "%s: no comparable (non-zero, non-NaN) metrics" path;
+  let clean, _ = split (compare_metrics ~max_drop ~max_rise metrics metrics) in
   let degraded =
     List.map
       (fun m ->
@@ -173,9 +229,9 @@ let selftest ~max_drop ~max_rise path =
             | Higher_better -> m.m_value *. 0.9
             | Lower_better -> m.m_value *. 1.1);
         })
-      metrics
+      comparable
   in
-  let caught = compare_metrics ~max_drop ~max_rise metrics degraded in
+  let caught, _ = split (compare_metrics ~max_drop ~max_rise comparable degraded) in
   Printf.printf
     "selftest %s: %d metrics, self-compare failures=%d, 10%%-degradation failures=%d\n" path
     (List.length metrics) (List.length clean) (List.length caught);
@@ -183,10 +239,26 @@ let selftest ~max_drop ~max_rise path =
     List.iter (fun f -> Printf.eprintf "  unexpected self-compare failure: %s\n" f) clean;
     exit 1
   end;
-  if caught = [] then begin
-    Printf.eprintf "  injected 10%% degradation was not detected\n";
+  if List.length caught <> List.length comparable then begin
+    Printf.eprintf "  injected 10%% degradation was not detected on every comparable metric\n";
     exit 1
   end;
+  (* Zero and NaN baselines must be reported as incomparable — neither a
+     crash, a regression, nor (the old bug) a silent pass. *)
+  let probe = List.hd comparable in
+  List.iter
+    (fun (what, baseline) ->
+      match compare_metrics ~max_drop ~max_rise [ { probe with m_value = baseline } ] [ probe ] with
+      | [ Incomparable _ ] -> ()
+      | [] -> fail "selftest: %s baseline passed silently" what
+      | _ -> fail "selftest: %s baseline was not reported as incomparable" what)
+    [ ("zero", 0.); ("NaN", Float.nan) ];
+  (* ...and a comparable metric going to NaN is a regression. *)
+  (match
+     compare_metrics ~max_drop ~max_rise [ probe ] [ { probe with m_value = Float.nan } ]
+   with
+  | [ Regression _ ] -> ()
+  | _ -> fail "selftest: metric going to NaN was not reported as a regression");
   print_endline "selftest: ok"
 
 let gate ~max_drop ~max_rise old_path new_path =
@@ -195,10 +267,13 @@ let gate ~max_drop ~max_rise old_path new_path =
   if old_schema <> new_schema then
     fail "schema mismatch: %s is %s, %s is %s" old_path old_schema new_path new_schema;
   let olds = extract old_path old_doc and news = extract new_path new_doc in
-  match compare_metrics ~max_drop ~max_rise olds news with
+  let failures, notes = split (compare_metrics ~max_drop ~max_rise olds news) in
+  List.iter (fun n -> Printf.printf "bench_gate: note: %s\n" n) notes;
+  match failures with
   | [] ->
     Printf.printf "bench_gate: ok — %d metrics within max-drop %.1f%% / max-rise %.1f%%\n"
-      (List.length olds) max_drop max_rise
+      (List.length olds - List.length notes)
+      max_drop max_rise
   | failures ->
     Printf.eprintf "bench_gate: %d regression(s) %s -> %s\n" (List.length failures) old_path
       new_path;
