@@ -3,7 +3,7 @@
 
 FUZZ_SEEDS ?= 1-25
 
-.PHONY: all build test fuzz micro cmp-smoke profile-smoke cache-smoke interp-smoke chain-smoke fleet-smoke timeline-smoke migrate-smoke check clean
+.PHONY: all build test fuzz micro cmp-smoke profile-smoke cache-smoke interp-smoke chain-smoke alloc-smoke fleet-smoke timeline-smoke migrate-smoke check clean
 
 all: build
 
@@ -61,8 +61,16 @@ cache-smoke:
 # cache disabled whose --verify re-runs every process standalone with
 # the cache on — an end-to-end on/off differential — with -j 1 and
 # -j 4 metrics exports demanded byte-identical.
+#
+# The throughput sweep runs the release-profile build: the dev
+# profile compiles with -opaque, which turns every cross-module call
+# in the hot loop into an unknown-arity indirect call and suppresses
+# the [@inline] fast paths, understating MIPS by ~30%. A separate
+# build dir keeps the release artifacts from invalidating the dev
+# ones used by everything else in `check`.
 interp-smoke:
-	dune exec bench/main.exe -- --interp-only
+	dune build --build-dir=_build-release --profile release bench/main.exe
+	./_build-release/default/bench/main.exe --interp-only
 	dune exec bin/hipstr_cli.exe -- cmp-run gobmk bzip2 mcf --no-decode-cache \
 	  --quantum 2000 --verify -j 1 --metrics-out /tmp/hipstr-interp-j1.json
 	dune exec bin/hipstr_cli.exe -- cmp-run gobmk bzip2 mcf --no-decode-cache \
@@ -160,7 +168,25 @@ migrate-smoke:
 	dune exec tools/bench_gate.exe -- --selftest BENCH_migrate.json
 	dune exec tools/bench_gate.exe -- BENCH_migrate.json BENCH_migrate.json
 
-check: build test fuzz micro cmp-smoke profile-smoke cache-smoke interp-smoke chain-smoke fleet-smoke timeline-smoke migrate-smoke
+# The allocation-free hot loop end-to-end: a gobmk/hipstr run with
+# host allocation profiling on, asserting minor GC words per retired
+# instruction stays below the committed threshold (the hot loop
+# itself is allocation-free; the residue is boot, migration edges and
+# the profiler's own bookkeeping), then CMP runs with the packed
+# dispatcher disabled whose --verify re-runs every process standalone
+# with packing *on* — an end-to-end packed/no-packed differential —
+# at -j 1 and -j 4 with metrics exports demanded byte-identical,
+# mirroring chain-smoke.
+alloc-smoke:
+	dune exec bin/hipstr_cli.exe -- run gobmk --mode hipstr \
+	  --hostprof --assert-alloc 1.0
+	dune exec bin/hipstr_cli.exe -- cmp-run gobmk bzip2 mcf --no-packed \
+	  --quantum 2000 --verify -j 1 --metrics-out /tmp/hipstr-nopacked-j1.json
+	dune exec bin/hipstr_cli.exe -- cmp-run gobmk bzip2 mcf --no-packed \
+	  --quantum 2000 --verify -j 4 --metrics-out /tmp/hipstr-nopacked-j4.json
+	cmp /tmp/hipstr-nopacked-j1.json /tmp/hipstr-nopacked-j4.json
+
+check: build test fuzz micro cmp-smoke profile-smoke cache-smoke interp-smoke chain-smoke alloc-smoke fleet-smoke timeline-smoke migrate-smoke
 
 clean:
 	dune clean

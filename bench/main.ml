@@ -285,20 +285,27 @@ let interp_workloads = [ "gobmk"; "bzip2"; "mcf" ]
 let interp_modes =
   [ ("native", System.Native); ("psr", System.Psr_only); ("hipstr", System.Hipstr) ]
 
-(* (json key, decode_cache, chain) — chained first so it is the
-   reference the others are diffed against *)
+(* (json key, decode_cache, chain, packed) — chained first so it is
+   the reference the others are diffed against. [no_packed] is the
+   Minstr.t-dispatch escape hatch with everything else equal, so
+   chained/no_packed is the packed-dispatch win in isolation. *)
 let interp_variants =
-  [ ("chained", true, true); ("no_chain", true, false); ("no_decode_cache", false, false) ]
+  [
+    ("chained", true, true, true);
+    ("no_packed", true, true, false);
+    ("no_chain", true, false, true);
+    ("no_decode_cache", false, false, false);
+  ]
 
-let interp_point ~name ~mode ~decode_cache ~chain =
+let interp_point ~name ~mode ~decode_cache ~chain ~packed =
   let w = Workloads.find name in
   let fb = Workloads.fatbin w in
   let best = ref infinity in
   let last = ref None in
   for _ = 1 to interp_repeats do
     let sys =
-      System.of_fatbin ~obs:Obs.disabled ~seed:9 ~start_isa:Desc.Cisc ~decode_cache ~chain ~mode
-        fb
+      System.of_fatbin ~obs:Obs.disabled ~seed:9 ~start_isa:Desc.Cisc ~decode_cache ~chain
+        ~packed ~mode fb
     in
     let t0 = Unix.gettimeofday () in
     ignore (System.run sys ~fuel:interp_fuel);
@@ -308,6 +315,31 @@ let interp_point ~name ~mode ~decode_cache ~chain =
   done;
   let sys = Option.get !last in
   (sys, !best, float_of_int (System.instructions sys) /. !best /. 1e6)
+
+(* One hostprof run per variant: host minor words per retired guest
+   instruction under that variant's dispatch configuration. Host
+   allocation depends on the OCaml runtime, so the block is flagged
+   non-deterministic in-band and bench_gate treats it as
+   lower-is-better with its own --max-rise slack. *)
+let interp_alloc ~name ~mode ~decode_cache ~chain ~packed =
+  let w = Workloads.find name in
+  let obs = Obs.create () in
+  let hp = Obs.Hostprof.create () in
+  Obs.set_hostprof obs hp;
+  let sys =
+    System.of_fatbin ~obs ~seed:9 ~start_isa:Desc.Cisc ~decode_cache ~chain ~packed ~mode
+      (Workloads.fatbin w)
+  in
+  Obs.Hostprof.start_run hp;
+  ignore (System.run sys ~fuel:interp_fuel);
+  Obs.Hostprof.stop_run hp ~instructions:(System.instructions sys);
+  let wpi = Obs.Hostprof.minor_words_per_instr hp in
+  Json.Obj
+    [
+      ("deterministic", Json.Bool false);
+      ( "minor_words_per_instr",
+        match wpi with Some v -> Json.Num v | None -> Json.Null );
+    ]
 
 (* One extra instrumented run per workload: an enabled context with a
    hostprof attached, so the sweep also reports host minor words per
@@ -319,11 +351,12 @@ let interp_hostprof ~name =
   let obs = Obs.create () in
   let hp = Obs.Hostprof.create () in
   Obs.set_hostprof obs hp;
-  Obs.Hostprof.start_run hp;
   let sys =
     System.of_fatbin ~obs ~seed:9 ~start_isa:Desc.Cisc ~mode:System.Psr_only
       (Workloads.fatbin w)
   in
+  (* baseline after boot so words/instr measures the run itself *)
+  Obs.Hostprof.start_run hp;
   ignore (System.run sys ~fuel:interp_fuel);
   Obs.Hostprof.stop_run hp ~instructions:(System.instructions sys);
   let wpi = Obs.Hostprof.minor_words_per_instr hp in
@@ -357,8 +390,8 @@ let run_interp () =
             (fun (mode_name, mode) ->
               let runs =
                 List.map
-                  (fun (vname, decode_cache, chain) ->
-                    (vname, interp_point ~name ~mode ~decode_cache ~chain))
+                  (fun (vname, decode_cache, chain, packed) ->
+                    (vname, interp_point ~name ~mode ~decode_cache ~chain ~packed))
                   interp_variants
               in
               let ref_name, (ref_sys, _, ref_mips) = List.hd runs in
@@ -385,12 +418,12 @@ let run_interp () =
               in
               let slow = mips_of "no_decode_cache" in
               Printf.printf
-                "  %-8s %-7s %9d instrs  chained %7.2f  no-chain %7.2f  no-dcache %7.2f MIPS  \
-                 speedup %.2fx\n\
+                "  %-8s %-7s %9d instrs  chained %7.2f  no-packed %7.2f  no-chain %7.2f  \
+                 no-dcache %7.2f MIPS  speedup %.2fx\n\
                  %!"
                 name mode_name
                 (System.instructions ref_sys)
-                ref_mips (mips_of "no_chain") slow
+                ref_mips (mips_of "no_packed") (mips_of "no_chain") slow
                 (if slow > 0. then ref_mips /. slow else 0.);
               Json.Obj
                 [
@@ -401,12 +434,25 @@ let run_interp () =
                     Json.Obj
                       (List.map
                          (fun (vname, (_, dt, mips)) ->
+                           let _, decode_cache, chain, packed =
+                             List.find (fun (n, _, _, _) -> n = vname) interp_variants
+                           in
                            ( vname,
-                             Json.Obj [ ("seconds", Json.Num dt); ("mips", Json.Num mips) ] ))
+                             Json.Obj
+                               [
+                                 ("seconds", Json.Num dt);
+                                 ("mips", Json.Num mips);
+                                 ( "alloc",
+                                   interp_alloc ~name ~mode ~decode_cache ~chain ~packed );
+                               ] ))
                          runs) );
                   ( "speedup",
                     Json.Obj
                       [
+                        ( "packed_over_no_packed",
+                          Json.Num
+                            (let np = mips_of "no_packed" in
+                             if np > 0. then ref_mips /. np else 0.) );
                         ( "chained_over_no_chain",
                           Json.Num
                             (let nc = mips_of "no_chain" in
@@ -428,7 +474,7 @@ let run_interp () =
   let doc =
     Json.Obj
       [
-        ("schema", Json.Str "hipstr-bench-interp/2");
+        ("schema", Json.Str "hipstr-bench-interp/3");
         ("seed", Json.num_of_int 9);
         ("fuel", Json.num_of_int interp_fuel);
         ("repeats", Json.num_of_int interp_repeats);

@@ -206,6 +206,16 @@ let no_chain_arg =
            predecoded-block cache (escape hatch; simulation results are bit-identical either \
            way, only slower). Implied by $(b,--no-decode-cache).")
 
+let no_packed_arg =
+  Arg.(
+    value & flag
+    & info [ "no-packed" ]
+        ~doc:
+          "Retire cached blocks from their boxed decoded-instruction arrays instead of the \
+           packed flat int-array form (escape hatch and differential oracle; simulation \
+           results are bit-identical either way, only slower and with more host allocation). \
+           Implied by $(b,--no-decode-cache).")
+
 let jobs_arg =
   Arg.(
     value
@@ -539,14 +549,45 @@ let print_hostprof = function
         Printf.printf "  phase %-28s spans=%-7d minor-words=%.0f\n" name spans words)
       (Obs.Hostprof.phases hp)
 
+let assert_alloc_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "assert-alloc" ] ~docv:"WORDS"
+        ~doc:
+          "With $(b,--hostprof): exit non-zero unless host minor words allocated per retired \
+           instruction stayed at or below $(docv). The alloc-smoke CI gate drives this to pin \
+           the allocation-free hot path.")
+
+(* The CI allocation gate: --hostprof measures, this enforces. *)
+let check_alloc hp limit =
+  match limit with
+  | None -> ()
+  | Some limit -> (
+    match hp with
+    | None ->
+      prerr_endline "--assert-alloc requires --hostprof";
+      exit 2
+    | Some hp -> (
+      match Obs.Hostprof.minor_words_per_instr hp with
+      | None ->
+        prerr_endline "--assert-alloc: no retired instructions measured";
+        exit 2
+      | Some w ->
+        if w > limit then begin
+          Printf.eprintf "alloc gate: %.3f minor words/instr exceeds the %.3f budget\n" w limit;
+          exit 1
+        end
+        else Printf.printf "alloc gate: %.3f minor words/instr <= %.3f budget\n" w limit))
+
 let run_cmd =
   let mode_arg =
     Arg.(value & opt mode_conv System.Hipstr & info [ "mode" ] ~doc:"native, psr or hipstr.")
   in
   let opt_arg = Arg.(value & opt opt_conv 3 & info [ "opt" ] ~doc:"PSR optimization level (0-3).") in
   let action (w : Workloads.t) mode isa seed opt_level migrate_prob cc_capacity cc_policy
-      no_dcache no_chain metrics trace hostprof checkpoint_every checkpoint_out memo_in memo_out
-      state_out exports =
+      no_dcache no_chain no_packed metrics trace hostprof assert_alloc checkpoint_every
+      checkpoint_out memo_in memo_out state_out exports =
     let cfg =
       let base = { Config.default with opt_level } in
       let base =
@@ -558,7 +599,7 @@ let run_cmd =
     let hp = start_hostprof ~obs hostprof in
     let sys =
       System.of_fatbin ~obs ~cfg ~seed ~start_isa:isa ~decode_cache:(not no_dcache)
-        ~chain:(not no_chain) ~mode (Workloads.fatbin w)
+        ~chain:(not no_chain) ~packed:(not no_packed) ~mode (Workloads.fatbin w)
     in
     (match memo_in with
     | None -> ()
@@ -567,6 +608,9 @@ let run_cmd =
       | () -> Printf.printf "loaded memo: %s\n" path
       | exception e -> corrupt_exit ("memo " ^ path) e));
     let fuel = 3 * w.w_fuel in
+    (* rebaseline so words/instr measures the run itself, not the
+       compile/link/boot allocations that precede it *)
+    Option.iter Obs.Hostprof.start_run hp;
     let outcome =
       match checkpoint_every with
       | None -> System.run sys ~fuel
@@ -608,6 +652,7 @@ let run_cmd =
     end;
     if metrics then print_metrics sys;
     print_hostprof hp;
+    check_alloc hp assert_alloc;
     (match memo_out with
     | None -> ()
     | Some path ->
@@ -621,8 +666,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a workload on the simulated heterogeneous-ISA CMP.")
     Term.(
       const action $ workload_arg $ mode_arg $ isa_arg $ seed_arg $ opt_arg $ migrate_prob_arg
-      $ cc_capacity_arg $ cc_policy_arg $ no_dcache_arg $ no_chain_arg $ metrics_arg $ trace_arg
-      $ hostprof_arg $ checkpoint_every_arg
+      $ cc_capacity_arg $ cc_policy_arg $ no_dcache_arg $ no_chain_arg $ no_packed_arg
+      $ metrics_arg $ trace_arg $ hostprof_arg $ assert_alloc_arg $ checkpoint_every_arg
       $ checkpoint_out_arg "checkpoint"
       $ memo_in_arg $ memo_out_arg $ state_out_arg $ export_args)
 
@@ -869,14 +914,14 @@ let run_file_cmd =
     Arg.(value & opt mode_conv System.Hipstr & info [ "mode" ] ~doc:"native, psr or hipstr.")
   in
   let fuel_arg = Arg.(value & opt fuel_conv 10_000_000 & info [ "fuel" ] ~doc:"Instruction budget.") in
-  let action file mode isa seed fuel cc_capacity cc_policy no_dcache no_chain metrics trace
-      exports =
+  let action file mode isa seed fuel cc_capacity cc_policy no_dcache no_chain no_packed metrics
+      trace exports =
     let src = In_channel.with_open_text file In_channel.input_all in
     let obs = make_obs ~trace in
     let cfg = apply_cc_args Config.default cc_capacity cc_policy in
     match
       System.create ~obs ~cfg ~seed ~start_isa:isa ~decode_cache:(not no_dcache)
-        ~chain:(not no_chain) ~mode ~src ()
+        ~chain:(not no_chain) ~packed:(not no_packed) ~mode ~src ()
     with
     | exception Hipstr_compiler.Compile.Error m ->
       Printf.eprintf "%s: %s\n" file m;
@@ -895,7 +940,8 @@ let run_file_cmd =
     (Cmd.info "run-file" ~doc:"Compile and run a MiniC source file.")
     Term.(
       const action $ file_arg $ mode_arg $ isa_arg $ seed_arg $ fuel_arg $ cc_capacity_arg
-      $ cc_policy_arg $ no_dcache_arg $ no_chain_arg $ metrics_arg $ trace_arg $ export_args)
+      $ cc_policy_arg $ no_dcache_arg $ no_chain_arg $ no_packed_arg $ metrics_arg $ trace_arg
+      $ export_args)
 
 (* ------------------------------------------------------------------ *)
 (* cmp-run: boot K workloads as processes and time-slice them across
@@ -955,7 +1001,7 @@ let cmp_run_cmd =
   in
   let isa_label = function Desc.Cisc -> "cisc" | Desc.Risc -> "risc" in
   let action ws mode policy cores quantum fuel seed migrate_prob cc_capacity cc_policy no_dcache
-      no_chain jobs metrics sched verify checkpoint_every checkpoint_out tl_args exports =
+      no_chain no_packed jobs metrics sched verify checkpoint_every checkpoint_out tl_args exports =
     let cfg =
       let base =
         match migrate_prob with
@@ -972,7 +1018,8 @@ let cmp_run_cmd =
       List.mapi
         (fun i (w : Workloads.t) ->
           Process.create ~obs ~cfg ~seed:(seed + i) ~start_isa:(start_isa i)
-            ~decode_cache:(not no_dcache) ~chain:(not no_chain) ~mode ~pid:i ~name:w.w_name
+            ~decode_cache:(not no_dcache) ~chain:(not no_chain) ~packed:(not no_packed) ~mode
+            ~pid:i ~name:w.w_name
             ~fuel:(budget w) (Workloads.fatbin w))
         ws
     in
@@ -1036,10 +1083,10 @@ let cmp_run_cmd =
       List.iteri
         (fun i (w : Workloads.t) ->
           let p = Cmp.proc cmp i in
-          (* deliberately created with the *default* decode-cache and
-             chaining settings: under --no-decode-cache or --no-chain
-             this doubles as an end-to-end differential check of the
-             corresponding fast path *)
+          (* deliberately created with the *default* decode-cache,
+             chaining and packing settings: under --no-decode-cache,
+             --no-chain or --no-packed this doubles as an end-to-end
+             differential check of the corresponding fast path *)
           let alone =
             System.of_fatbin ~obs:Obs.disabled ~cfg ~seed:(seed + i) ~start_isa:(start_isa i)
               ~mode (Workloads.fatbin w)
@@ -1081,7 +1128,8 @@ let cmp_run_cmd =
     Term.(
       const action $ workloads_arg $ mode_arg $ policy_arg $ cores_arg $ quantum_arg $ fuel_arg
       $ seed_arg $ migrate_prob_arg $ cc_capacity_arg $ cc_policy_arg $ no_dcache_arg
-      $ no_chain_arg $ jobs_arg $ metrics_arg $ sched_arg $ verify_arg $ checkpoint_every_arg
+      $ no_chain_arg $ no_packed_arg $ jobs_arg $ metrics_arg $ sched_arg $ verify_arg
+      $ checkpoint_every_arg
       $ checkpoint_out_arg "cmp" $ timeline_args $ export_args)
 
 (* ------------------------------------------------------------------ *)

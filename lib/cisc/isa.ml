@@ -37,19 +37,6 @@ let binop_index : Minstr.binop -> int = function
   | Shr -> 9
   | Sar -> 10
 
-let binop_of_index = function
-  | 0 -> Some Minstr.Add
-  | 1 -> Some Minstr.Sub
-  | 2 -> Some Minstr.Mul
-  | 3 -> Some Minstr.Divs
-  | 4 -> Some Minstr.Rems
-  | 5 -> Some Minstr.And
-  | 6 -> Some Minstr.Or
-  | 7 -> Some Minstr.Xor
-  | 8 -> Some Minstr.Shl
-  | 9 -> Some Minstr.Shr
-  | 10 -> Some Minstr.Sar
-  | _ -> None
 
 let cond_index : Minstr.cond -> int = function
   | Eq -> 0
@@ -61,16 +48,6 @@ let cond_index : Minstr.cond -> int = function
   | Ult -> 6
   | Uge -> 7
 
-let cond_of_index = function
-  | 0 -> Some Minstr.Eq
-  | 1 -> Some Minstr.Ne
-  | 2 -> Some Minstr.Lt
-  | 3 -> Some Minstr.Ge
-  | 4 -> Some Minstr.Gt
-  | 5 -> Some Minstr.Le
-  | 6 -> Some Minstr.Ult
-  | 7 -> Some Minstr.Uge
-  | _ -> None
 
 let length (i : Minstr.t) =
   match i with
@@ -145,10 +122,16 @@ let add_rm buf a b =
   check_reg b;
   Buffer.add_char buf (Char.chr (modrm a b))
 
-let encode ~at (i : Minstr.t) =
-  let buf = Buffer.create 10 in
-  let rel target len = target - (at + len) in
-  (match i with
+(* Relative displacement of [target] from the end of a [len]-byte
+   instruction at [at]. Top-level (not a closure over [at]): encoding
+   runs per emitted instruction in [Translator.layout]. *)
+let rel at target len = target - (at + len)
+
+(* Encode into a caller-owned buffer: [layout] encodes whole units,
+   and a per-instruction [Buffer.create]/[Buffer.contents] pair was a
+   measurable slice of translation-time allocation. *)
+let encode_into buf ~at (i : Minstr.t) =
+  match i with
   | Mov (Reg d, Reg s) ->
     add_op buf 0x01;
     add_rr buf d s
@@ -237,10 +220,10 @@ let encode ~at (i : Minstr.t) =
   | Pop (Imm _) -> invalid_arg "cisc: pop imm"
   | Jmp t ->
     add_op buf 0x80;
-    add_i32 buf (rel t 5)
+    add_i32 buf (rel at t 5)
   | Jcc (c, t) ->
     add_op buf (0x81 + cond_index c);
-    add_i32 buf (rel t 5)
+    add_i32 buf (rel at t 5)
   | Jmpr (Reg r) ->
     add_op buf 0x90;
     add_rr buf r 0
@@ -251,7 +234,7 @@ let encode ~at (i : Minstr.t) =
   | Jmpr (Imm _) -> invalid_arg "cisc: jmpr imm"
   | Call t ->
     add_op buf 0x92;
-    add_i32 buf (rel t 5)
+    add_i32 buf (rel at t 5)
   | Callr (Reg r) ->
     add_op buf 0x93;
     add_rr buf r 0
@@ -278,79 +261,157 @@ let encode ~at (i : Minstr.t) =
     add_op buf 0xA4;
     add_rm buf 0 base;
     add_i32 buf disp
-  | Retrat (Imm _) -> invalid_arg "cisc: retrat imm");
+  | Retrat (Imm _) -> invalid_arg "cisc: retrat imm"
+
+let encode ~at (i : Minstr.t) =
+  let buf = Buffer.create 10 in
+  encode_into buf ~at i;
   Buffer.contents buf
 
 (* Decoding. Any byte sequence may be presented (Galileo decodes at
    every offset), so every field is validated and [None] returned on
    anything malformed. *)
 
+(* Decode helpers are top-level functions fully applied at every use
+   site: a local closure over [read]/[addr] would allocate per decode
+   call, and decode runs per block build with the decode cache on and
+   per retired instruction with it off. *)
+let d_byte read addr k = read (addr + k) land 0xFF
+
+let d_i32 read addr k =
+  W32.of_bytes (d_byte read addr k)
+    (d_byte read addr (k + 1))
+    (d_byte read addr (k + 2))
+    (d_byte read addr (k + 3))
+
+(* Operand byte at offset [k]: the two mode bits must equal [want]
+   (3 = reg/reg form, 1 = reg/mem form). Returns the low six bits
+   ((first lsl 3) lor second) — an int instead of an option pair so
+   the malformed case (-1) costs nothing. *)
+let d_pair read addr k want =
+  let b = d_byte read addr k in
+  if b lsr 6 <> want then -1 else b land 0x3F
+
 let decode ~read addr =
-  let byte k = read (addr + k) land 0xFF in
-  let i32 k = W32.of_bytes (byte k) (byte (k + 1)) (byte (k + 2)) (byte (k + 3)) in
-  let operand_byte k ~mem =
-    let b = byte k in
-    let mode = b lsr 6 in
-    let want = if mem then 1 else 3 in
-    if mode <> want then None else Some ((b lsr 3) land 7, b land 7)
-  in
-  let reg_pair k f = match operand_byte k ~mem:false with None -> None | Some (a, b) -> f a b in
-  let rm_pair k f = match operand_byte k ~mem:true with None -> None | Some (a, b) -> f a b in
-  let mem base disp = Minstr.Mem { base; disp } in
-  let abs len = addr + len + i32 1 in
-  let op = byte 0 in
+  let op = d_byte read addr 0 in
   match op with
-  | 0x01 -> reg_pair 1 (fun d s -> Some (Minstr.Mov (Reg d, Reg s), 2))
-  | 0x02 -> reg_pair 1 (fun d z -> if z <> 0 then None else Some (Minstr.Mov (Reg d, Imm (i32 2)), 6))
-  | 0x03 -> rm_pair 1 (fun d b -> Some (Minstr.Mov (Reg d, mem b (i32 2)), 6))
-  | 0x04 -> rm_pair 1 (fun s b -> Some (Minstr.Mov (mem b (i32 2), Reg s), 6))
+  | 0x01 ->
+    let x = d_pair read addr 1 3 in
+    if x < 0 then None else Some (Minstr.Mov (Reg (x lsr 3), Reg (x land 7)), 2)
+  | 0x02 ->
+    let x = d_pair read addr 1 3 in
+    if x < 0 || x land 7 <> 0 then None
+    else Some (Minstr.Mov (Reg (x lsr 3), Imm (d_i32 read addr 2)), 6)
+  | 0x03 ->
+    let x = d_pair read addr 1 1 in
+    if x < 0 then None
+    else Some (Minstr.Mov (Reg (x lsr 3), Mem { base = x land 7; disp = d_i32 read addr 2 }), 6)
+  | 0x04 ->
+    let x = d_pair read addr 1 1 in
+    if x < 0 then None
+    else Some (Minstr.Mov (Mem { base = x land 7; disp = d_i32 read addr 2 }, Reg (x lsr 3)), 6)
   | 0x05 ->
-    rm_pair 1 (fun z b -> if z <> 0 then None else Some (Minstr.Mov (mem b (i32 2), Imm (i32 6)), 10))
-  | 0x06 -> rm_pair 1 (fun d b -> Some (Minstr.Lea (d, b, i32 2), 6))
-  | _ when op >= 0x10 && op <= 0x1A -> (
-    match binop_of_index (op - 0x10) with
-    | None -> None
-    | Some bop -> reg_pair 1 (fun d s -> Some (Minstr.Binop (bop, Reg d, Reg s), 2)))
-  | _ when op >= 0x20 && op <= 0x2A -> (
-    match binop_of_index (op - 0x20) with
-    | None -> None
-    | Some bop ->
-      reg_pair 1 (fun d z -> if z <> 0 then None else Some (Minstr.Binop (bop, Reg d, Imm (i32 2)), 6)))
-  | _ when op >= 0x30 && op <= 0x3A -> (
-    match binop_of_index (op - 0x30) with
-    | None -> None
-    | Some bop -> rm_pair 1 (fun d b -> Some (Minstr.Binop (bop, Reg d, mem b (i32 2)), 6)))
-  | _ when op >= 0x40 && op <= 0x4A -> (
-    match binop_of_index (op - 0x40) with
-    | None -> None
-    | Some bop -> rm_pair 1 (fun s b -> Some (Minstr.Binop (bop, mem b (i32 2), Reg s), 6)))
-  | _ when op >= 0x50 && op <= 0x5A -> (
-    match binop_of_index (op - 0x50) with
-    | None -> None
-    | Some bop ->
-      rm_pair 1 (fun z b ->
-          if z <> 0 then None else Some (Minstr.Binop (bop, mem b (i32 2), Imm (i32 6)), 10)))
-  | 0x60 -> reg_pair 1 (fun a b -> Some (Minstr.Cmp (Reg a, Reg b), 2))
-  | 0x61 -> reg_pair 1 (fun a z -> if z <> 0 then None else Some (Minstr.Cmp (Reg a, Imm (i32 2)), 6))
-  | 0x62 -> rm_pair 1 (fun a b -> Some (Minstr.Cmp (Reg a, mem b (i32 2)), 6))
+    let x = d_pair read addr 1 1 in
+    if x < 0 || x lsr 3 <> 0 then None
+    else
+      Some
+        ( Minstr.Mov (Mem { base = x land 7; disp = d_i32 read addr 2 }, Imm (d_i32 read addr 6)),
+          10 )
+  | 0x06 ->
+    let x = d_pair read addr 1 1 in
+    if x < 0 then None else Some (Minstr.Lea (x lsr 3, x land 7, d_i32 read addr 2), 6)
+  | _ when op >= 0x10 && op <= 0x1A ->
+    let x = d_pair read addr 1 3 in
+    if x < 0 then None
+    else Some (Minstr.Binop (Minstr.all_binops.(op - 0x10), Reg (x lsr 3), Reg (x land 7)), 2)
+  | _ when op >= 0x20 && op <= 0x2A ->
+    let x = d_pair read addr 1 3 in
+    if x < 0 || x land 7 <> 0 then None
+    else
+      Some (Minstr.Binop (Minstr.all_binops.(op - 0x20), Reg (x lsr 3), Imm (d_i32 read addr 2)), 6)
+  | _ when op >= 0x30 && op <= 0x3A ->
+    let x = d_pair read addr 1 1 in
+    if x < 0 then None
+    else
+      Some
+        ( Minstr.Binop
+            (Minstr.all_binops.(op - 0x30), Reg (x lsr 3), Mem { base = x land 7; disp = d_i32 read addr 2 }),
+          6 )
+  | _ when op >= 0x40 && op <= 0x4A ->
+    let x = d_pair read addr 1 1 in
+    if x < 0 then None
+    else
+      Some
+        ( Minstr.Binop
+            (Minstr.all_binops.(op - 0x40), Mem { base = x land 7; disp = d_i32 read addr 2 }, Reg (x lsr 3)),
+          6 )
+  | _ when op >= 0x50 && op <= 0x5A ->
+    let x = d_pair read addr 1 1 in
+    if x < 0 || x lsr 3 <> 0 then None
+    else
+      Some
+        ( Minstr.Binop
+            ( Minstr.all_binops.(op - 0x50),
+              Mem { base = x land 7; disp = d_i32 read addr 2 },
+              Imm (d_i32 read addr 6) ),
+          10 )
+  | 0x60 ->
+    let x = d_pair read addr 1 3 in
+    if x < 0 then None else Some (Minstr.Cmp (Reg (x lsr 3), Reg (x land 7)), 2)
+  | 0x61 ->
+    let x = d_pair read addr 1 3 in
+    if x < 0 || x land 7 <> 0 then None
+    else Some (Minstr.Cmp (Reg (x lsr 3), Imm (d_i32 read addr 2)), 6)
+  | 0x62 ->
+    let x = d_pair read addr 1 1 in
+    if x < 0 then None
+    else Some (Minstr.Cmp (Reg (x lsr 3), Mem { base = x land 7; disp = d_i32 read addr 2 }), 6)
   | 0x63 ->
-    rm_pair 1 (fun z b -> if z <> 0 then None else Some (Minstr.Cmp (mem b (i32 2), Imm (i32 6)), 10))
-  | 0x64 -> rm_pair 1 (fun r b -> Some (Minstr.Cmp (mem b (i32 2), Reg r), 6))
-  | 0x70 -> reg_pair 1 (fun r z -> if z <> 0 then None else Some (Minstr.Push (Reg r), 2))
-  | 0x71 -> reg_pair 1 (fun z z' -> if z <> 0 || z' <> 0 then None else Some (Minstr.Push (Imm (i32 2)), 6))
-  | 0x72 -> rm_pair 1 (fun z b -> if z <> 0 then None else Some (Minstr.Push (mem b (i32 2)), 6))
-  | 0x73 -> reg_pair 1 (fun r z -> if z <> 0 then None else Some (Minstr.Pop (Reg r), 2))
-  | 0x74 -> rm_pair 1 (fun z b -> if z <> 0 then None else Some (Minstr.Pop (mem b (i32 2)), 6))
-  | 0x80 -> Some (Minstr.Jmp (abs 5), 5)
-  | _ when op >= 0x81 && op <= 0x88 -> (
-    match cond_of_index (op - 0x81) with
-    | None -> None
-    | Some c -> Some (Minstr.Jcc (c, abs 5), 5))
-  | 0x90 -> reg_pair 1 (fun r z -> if z <> 0 then None else Some (Minstr.Jmpr (Reg r), 2))
-  | 0x91 -> rm_pair 1 (fun z b -> if z <> 0 then None else Some (Minstr.Jmpr (mem b (i32 2)), 6))
-  | 0x92 -> Some (Minstr.Call (abs 5), 5)
-  | 0x93 -> reg_pair 1 (fun r z -> if z <> 0 then None else Some (Minstr.Callr (Reg r), 2))
-  | 0x94 -> rm_pair 1 (fun z b -> if z <> 0 then None else Some (Minstr.Callr (mem b (i32 2)), 6))
+    let x = d_pair read addr 1 1 in
+    if x < 0 || x lsr 3 <> 0 then None
+    else
+      Some
+        ( Minstr.Cmp (Mem { base = x land 7; disp = d_i32 read addr 2 }, Imm (d_i32 read addr 6)),
+          10 )
+  | 0x64 ->
+    let x = d_pair read addr 1 1 in
+    if x < 0 then None
+    else Some (Minstr.Cmp (Mem { base = x land 7; disp = d_i32 read addr 2 }, Reg (x lsr 3)), 6)
+  | 0x70 ->
+    let x = d_pair read addr 1 3 in
+    if x < 0 || x land 7 <> 0 then None else Some (Minstr.Push (Reg (x lsr 3)), 2)
+  | 0x71 ->
+    let x = d_pair read addr 1 3 in
+    if x <> 0 then None else Some (Minstr.Push (Imm (d_i32 read addr 2)), 6)
+  | 0x72 ->
+    let x = d_pair read addr 1 1 in
+    if x < 0 || x lsr 3 <> 0 then None
+    else Some (Minstr.Push (Mem { base = x land 7; disp = d_i32 read addr 2 }), 6)
+  | 0x73 ->
+    let x = d_pair read addr 1 3 in
+    if x < 0 || x land 7 <> 0 then None else Some (Minstr.Pop (Reg (x lsr 3)), 2)
+  | 0x74 ->
+    let x = d_pair read addr 1 1 in
+    if x < 0 || x lsr 3 <> 0 then None
+    else Some (Minstr.Pop (Mem { base = x land 7; disp = d_i32 read addr 2 }), 6)
+  | 0x80 -> Some (Minstr.Jmp (addr + 5 + d_i32 read addr 1), 5)
+  | _ when op >= 0x81 && op <= 0x88 ->
+    Some (Minstr.Jcc (Minstr.all_conds.(op - 0x81), addr + 5 + d_i32 read addr 1), 5)
+  | 0x90 ->
+    let x = d_pair read addr 1 3 in
+    if x < 0 || x land 7 <> 0 then None else Some (Minstr.Jmpr (Reg (x lsr 3)), 2)
+  | 0x91 ->
+    let x = d_pair read addr 1 1 in
+    if x < 0 || x lsr 3 <> 0 then None
+    else Some (Minstr.Jmpr (Mem { base = x land 7; disp = d_i32 read addr 2 }), 6)
+  | 0x92 -> Some (Minstr.Call (addr + 5 + d_i32 read addr 1), 5)
+  | 0x93 ->
+    let x = d_pair read addr 1 3 in
+    if x < 0 || x land 7 <> 0 then None else Some (Minstr.Callr (Reg (x lsr 3)), 2)
+  | 0x94 ->
+    let x = d_pair read addr 1 1 in
+    if x < 0 || x lsr 3 <> 0 then None
+    else Some (Minstr.Callr (Mem { base = x land 7; disp = d_i32 read addr 2 }), 6)
   | 0xC3 -> Some (Minstr.Ret, 1)
   | 0xA0 -> Some (Minstr.Syscall, 1)
   | 0x99 -> Some (Minstr.Nop, 1)
@@ -361,59 +422,61 @@ let decode ~read addr =
      density. *)
   | _ when op >= 0xC8 && op <= 0xCF -> Some (Minstr.Pop (Reg (op - 0xC8)), 1)
   | _ when op >= 0xD0 && op <= 0xD7 -> Some (Minstr.Push (Reg (op - 0xD0)), 1)
-  | _ when op >= 0xB8 && op <= 0xBF -> Some (Minstr.Mov (Reg (op - 0xB8), Imm (i32 1)), 5)
+  | _ when op >= 0xB8 && op <= 0xBF -> Some (Minstr.Mov (Reg (op - 0xB8), Imm (d_i32 read addr 1)), 5)
   | _ when op >= 0xB0 && op <= 0xB7 ->
-    let v = byte 1 in
+    let v = d_byte read addr 1 in
     let v = if v land 0x80 <> 0 then v - 0x100 else v in
     Some (Minstr.Mov (Reg (op - 0xB0), Imm v), 2)
   | 0xC2 -> Some (Minstr.Ret, 3) (* ret imm16: pops shown as plain ret *)
   | _ when op >= 0x04 && op <= 0x0B ->
-    let v = byte 1 in
+    let v = d_byte read addr 1 in
     let v = if v land 0x80 <> 0 then v - 0x100 else v in
     Some (Minstr.Binop (Minstr.Add, Reg (op - 0x04), Imm v), 2)
   | _ when op >= 0xE0 && op <= 0xE7 ->
-    let v = byte 1 in
+    let v = d_byte read addr 1 in
     let v = if v land 0x80 <> 0 then v - 0x100 else v in
     Some (Minstr.Binop (Minstr.Xor, Reg (op - 0xE0), Imm v), 2)
   | _ when op >= 0xF0 && op <= 0xFF ->
-    Some (Minstr.Mov (Reg (op land 7), Mem { base = 7; disp = byte 1 land 0x7C }), 2)
+    Some (Minstr.Mov (Reg (op land 7), Mem { base = 7; disp = d_byte read addr 1 land 0x7C }), 2)
     (* short stack load: mov r, [sp+disp7] *)
   | 0x00 -> Some (Minstr.Binop (Minstr.Add, Reg 0, Reg 0), 1)
   | _ when op >= 0x0C && op <= 0x0F ->
-    Some (Minstr.Binop (Minstr.Or, Reg (op land 3), Imm (byte 1)), 2)
+    Some (Minstr.Binop (Minstr.Or, Reg (op land 3), Imm (d_byte read addr 1)), 2)
   | _ when op >= 0x1B && op <= 0x1F ->
-    Some (Minstr.Binop (Minstr.Sub, Reg (op land 7), Imm (byte 1)), 2)
+    Some (Minstr.Binop (Minstr.Sub, Reg (op land 7), Imm (d_byte read addr 1)), 2)
   | _ when op >= 0x2B && op <= 0x2F ->
-    Some (Minstr.Binop (Minstr.And, Reg (op land 7), Imm (byte 1)), 2)
-  | _ when op >= 0x3B && op <= 0x3F -> Some (Minstr.Cmp (Reg (op land 7), Imm (byte 1)), 2)
+    Some (Minstr.Binop (Minstr.And, Reg (op land 7), Imm (d_byte read addr 1)), 2)
+  | _ when op >= 0x3B && op <= 0x3F -> Some (Minstr.Cmp (Reg (op land 7), Imm (d_byte read addr 1)), 2)
   | _ when op >= 0x4B && op <= 0x4F -> Some (Minstr.Mov (Reg (op land 7), Reg (op land 3)), 1)
   | _ when op >= 0x5B && op <= 0x5F ->
     (* like x86's one-byte 58+r pops *)
     Some (Minstr.Pop (Reg (op land 7)), 1)
   | _ when op >= 0x65 && op <= 0x6F ->
     Some (Minstr.Binop (Minstr.Xor, Reg (op land 7), Reg ((op lsr 1) land 7)), 1)
-  | _ when op >= 0x75 && op <= 0x79 -> (
-    match cond_of_index (op - 0x75) with
-    | None -> None
-    | Some c ->
-      let rel = byte 1 in
-      let rel = if rel land 0x80 <> 0 then rel - 0x100 else rel in
-      Some (Minstr.Jcc (c, addr + 2 + rel), 2))
+  | _ when op >= 0x75 && op <= 0x79 ->
+    let rel = d_byte read addr 1 in
+    let rel = if rel land 0x80 <> 0 then rel - 0x100 else rel in
+    Some (Minstr.Jcc (Minstr.all_conds.(op - 0x75), addr + 2 + rel), 2)
   | _ when op >= 0x7A && op <= 0x7F ->
-    Some (Minstr.Binop (Minstr.Or, Reg (op land 7), Imm (byte 1)), 2)
+    Some (Minstr.Binop (Minstr.Or, Reg (op land 7), Imm (d_byte read addr 1)), 2)
   | _ when op >= 0x89 && op <= 0x8F ->
-    Some (Minstr.Mov (Reg (op land 7), Mem { base = 7; disp = byte 1 land 0x7C }), 2)
+    Some (Minstr.Mov (Reg (op land 7), Mem { base = 7; disp = d_byte read addr 1 land 0x7C }), 2)
   | _ when op >= 0x95 && op <= 0x9F && op <> 0x99 -> Some (Minstr.Push (Reg (op land 7)), 1)
-  | _ when op >= 0xA5 && op <= 0xAF -> Some (Minstr.Lea (op land 7, 7, byte 1 land 0x7C), 2)
+  | _ when op >= 0xA5 && op <= 0xAF -> Some (Minstr.Lea (op land 7, 7, d_byte read addr 1 land 0x7C), 2)
   | 0xC0 | 0xC1 -> Some (Minstr.Nop, 1)
   | _ when op >= 0xC4 && op <= 0xC7 ->
     Some (Minstr.Binop (Minstr.Add, Reg (op land 3), Reg ((op lsr 1) land 3)), 1)
   | _ when op >= 0xD8 && op <= 0xDF ->
-    Some (Minstr.Binop (Minstr.Mul, Reg (op land 7), Imm (byte 1)), 2)
+    Some (Minstr.Binop (Minstr.Mul, Reg (op land 7), Imm (d_byte read addr 1)), 2)
   | _ when op >= 0xE8 && op <= 0xEF ->
-    Some (Minstr.Mov (Mem { base = 7; disp = byte 1 land 0x7C }, Reg (op land 7)), 2)
-  | 0xA1 -> Some (Minstr.Trap (i32 1), 5)
-  | 0xA2 -> Some (Minstr.Callrat { target = i32 1; src_ret = i32 5 }, 9)
-  | 0xA3 -> reg_pair 1 (fun r z -> if z <> 0 then None else Some (Minstr.Retrat (Reg r), 2))
-  | 0xA4 -> rm_pair 1 (fun z b -> if z <> 0 then None else Some (Minstr.Retrat (mem b (i32 2)), 6))
+    Some (Minstr.Mov (Mem { base = 7; disp = d_byte read addr 1 land 0x7C }, Reg (op land 7)), 2)
+  | 0xA1 -> Some (Minstr.Trap (d_i32 read addr 1), 5)
+  | 0xA2 -> Some (Minstr.Callrat { target = d_i32 read addr 1; src_ret = d_i32 read addr 5 }, 9)
+  | 0xA3 ->
+    let x = d_pair read addr 1 3 in
+    if x < 0 || x land 7 <> 0 then None else Some (Minstr.Retrat (Reg (x lsr 3)), 2)
+  | 0xA4 ->
+    let x = d_pair read addr 1 1 in
+    if x < 0 || x lsr 3 <> 0 then None
+    else Some (Minstr.Retrat (Mem { base = x land 7; disp = d_i32 read addr 2 }), 6)
   | _ -> None

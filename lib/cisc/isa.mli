@@ -24,6 +24,11 @@ val encode : at:int -> Hipstr_isa.Minstr.t -> string
     [at] (control-flow targets become PC-relative displacements).
     @raise Invalid_argument on operand shapes the ISA cannot encode. *)
 
+val encode_into : Buffer.t -> at:int -> Hipstr_isa.Minstr.t -> unit
+(** [encode] appending to a caller-owned buffer — what
+    [Translator.layout] uses so encoding a unit allocates one buffer,
+    not one per instruction. *)
+
 val decode : read:(int -> int) -> int -> (Hipstr_isa.Minstr.t * int) option
 (** [decode ~read addr] decodes one instruction at [addr], where
     [read a] fetches the byte at [a]. [None] if the bytes do not form

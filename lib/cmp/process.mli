@@ -19,6 +19,7 @@ val create :
   ?start_isa:Hipstr_isa.Desc.which ->
   ?decode_cache:bool ->
   ?chain:bool ->
+  ?packed:bool ->
   mode:Hipstr.System.mode ->
   pid:int ->
   name:string ->
@@ -39,6 +40,7 @@ val of_source :
   ?start_isa:Hipstr_isa.Desc.which ->
   ?decode_cache:bool ->
   ?chain:bool ->
+  ?packed:bool ->
   mode:Hipstr.System.mode ->
   pid:int ->
   name:string ->

@@ -172,17 +172,29 @@ let load t mem =
     t.fb_inits
 
 let find_func t name =
-  match Array.to_seq t.fb_funcs |> Seq.find (fun fs -> fs.fs_name = name) with
-  | Some fs -> fs
-  | None -> raise Not_found
+  let n = Array.length t.fb_funcs in
+  let rec go i =
+    if i >= n then raise Not_found
+    else if t.fb_funcs.(i).fs_name = name then t.fb_funcs.(i)
+    else go (i + 1)
+  in
+  go 0
 
 let entry t which = (image (find_func t "main") which).im_entry
 
+(* Plain indexed scan: this runs on every VM trap (stub service,
+   icall validation, mirror lookup), so it must not allocate per
+   element the way a [Seq] pipeline does — only the final [Some]. *)
 let func_at t which addr =
-  Array.to_seq t.fb_funcs
-  |> Seq.find (fun fs ->
-         let im = image fs which in
-         addr >= im.im_entry && addr < im.im_entry + im.im_size)
+  let n = Array.length t.fb_funcs in
+  let rec go i =
+    if i >= n then None
+    else
+      let fs = t.fb_funcs.(i) in
+      let im = image fs which in
+      if addr >= im.im_entry && addr < im.im_entry + im.im_size then Some fs else go (i + 1)
+  in
+  go 0
 
 let block_at t which addr =
   match func_at t which addr with
@@ -211,16 +223,37 @@ let block_starting_at t which addr =
     done;
     !found
 
+(* Indexed scans, not [Array.iter] closures: this runs on migration
+   resolution and translation-unit entry, where a pair of closures per
+   function searched was a measurable allocation source. *)
+let rec callsite_scan fs sites n addr j =
+  if j >= n then None
+  else
+    let site, ret = Array.unsafe_get sites j in
+    if ret = addr then Some (fs, site) else callsite_scan fs sites n addr (j + 1)
+
 let callsite_of_ret t which addr =
-  let result = ref None in
-  Array.iter
-    (fun fs ->
-      if !result = None then
-        Array.iter
-          (fun (site, ret) -> if ret = addr && !result = None then result := Some (fs, site))
-          (image fs which).im_callsite_ret)
-    t.fb_funcs;
-  !result
+  let nf = Array.length t.fb_funcs in
+  let rec go i =
+    if i >= nf then None
+    else
+      let fs = t.fb_funcs.(i) in
+      let sites = (image fs which).im_callsite_ret in
+      match callsite_scan fs sites (Array.length sites) addr 0 with
+      | Some _ as r -> r
+      | None -> go (i + 1)
+  in
+  go 0
+
+let rec site_scan sites n site j =
+  if j >= n then None
+  else
+    let s, ret = Array.unsafe_get sites j in
+    if s = site then Some ret else site_scan sites n site (j + 1)
+
+let callsite_ret fs which site =
+  let sites = (image fs which).im_callsite_ret in
+  site_scan sites (Array.length sites) site 0
 
 let global_addr t name =
   match List.assoc_opt name t.fb_globals with Some a -> a | None -> raise Not_found

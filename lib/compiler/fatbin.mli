@@ -64,6 +64,11 @@ val block_starting_at : t -> Hipstr_isa.Desc.which -> int -> (func_sym * int) op
 val callsite_of_ret : t -> Hipstr_isa.Desc.which -> int -> (func_sym * int) option
 (** Map a source return address back to (function, site id). *)
 
+val callsite_ret : func_sym -> Hipstr_isa.Desc.which -> int -> int option
+(** The return address of call site [site] in the given image — the
+    forward direction of {!callsite_of_ret}, as an indexed scan so the
+    migration stack walk does not allocate an assoc list per frame. *)
+
 val global_addr : t -> string -> int
 (** @raise Not_found *)
 

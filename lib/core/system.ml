@@ -34,14 +34,15 @@ type t = {
   sys_start_isa : Desc.which;
   sys_decode_cache : bool;
   sys_chain : bool;
+  sys_packed : bool;
 }
 
 let isa_label = function Desc.Cisc -> "cisc" | Desc.Risc -> "risc"
 
 let boot_system ?(obs = Obs.global) ?(cfg = Config.default) ?(seed = 1) ?(start_isa = Desc.Cisc)
-    ?(pid = 0) ?(decode_cache = true) ?(chain = true) ?(boot = true) ~mode fb =
+    ?(pid = 0) ?(decode_cache = true) ?(chain = true) ?(packed = true) ?(boot = true) ~mode fb =
   let rat_capacity = match mode with Native -> None | Psr_only | Hipstr -> Some cfg.rat_capacity in
-  let m = Machine.create ~obs ~rat_capacity ~decode_cache ~chain ~active:start_isa () in
+  let m = Machine.create ~obs ~rat_capacity ~decode_cache ~chain ~packed ~active:start_isa () in
   Machine.set_owner m pid;
   Fatbin.load fb (Machine.mem m);
   if boot then Machine.boot m ~entry:(Fatbin.entry fb start_isa);
@@ -74,13 +75,14 @@ let boot_system ?(obs = Obs.global) ?(cfg = Config.default) ?(seed = 1) ?(start_
     sys_start_isa = start_isa;
     sys_decode_cache = decode_cache;
     sys_chain = chain;
+    sys_packed = packed;
   }
 
-let of_fatbin ?obs ?cfg ?seed ?start_isa ?pid ?decode_cache ?chain ?boot ~mode fb =
-  boot_system ?obs ?cfg ?seed ?start_isa ?pid ?decode_cache ?chain ?boot ~mode fb
+let of_fatbin ?obs ?cfg ?seed ?start_isa ?pid ?decode_cache ?chain ?packed ?boot ~mode fb =
+  boot_system ?obs ?cfg ?seed ?start_isa ?pid ?decode_cache ?chain ?packed ?boot ~mode fb
 
-let create ?obs ?cfg ?seed ?start_isa ?pid ?decode_cache ?chain ?boot ~mode ~src () =
-  boot_system ?obs ?cfg ?seed ?start_isa ?pid ?decode_cache ?chain ?boot ~mode
+let create ?obs ?cfg ?seed ?start_isa ?pid ?decode_cache ?chain ?packed ?boot ~mode ~src () =
+  boot_system ?obs ?cfg ?seed ?start_isa ?pid ?decode_cache ?chain ?packed ?boot ~mode
     (Compile.to_fatbin src)
 
 let fatbin t = t.fb
@@ -91,6 +93,7 @@ let seed t = t.sys_seed
 let start_isa t = t.sys_start_isa
 let decode_cache_enabled t = t.sys_decode_cache
 let chain_enabled t = t.sys_chain
+let packed_enabled t = t.sys_packed
 let obs t = t.observ
 let metrics t = Obs.Metrics.snapshot (Obs.metrics t.observ)
 
@@ -163,9 +166,7 @@ let mirror_translations t =
           | Some (fs, l) -> Some (Fatbin.image fs to_isa).Fatbin.im_block_addr.(l)
           | None -> (
             match Fatbin.callsite_of_ret t.fb from_isa src with
-            | Some (fs, site) ->
-              Array.to_list (Fatbin.image fs to_isa).Fatbin.im_callsite_ret
-              |> List.assoc_opt site
+            | Some (fs, site) -> Fatbin.callsite_ret fs to_isa site
             | None -> None)
         in
         match counterpart with
@@ -223,10 +224,7 @@ let migrate_inner t ~forced kind target_src =
         let src_ret' =
           match Fatbin.callsite_of_ret t.fb from_isa src_ret with
           | Some (fs, site) -> (
-            match
-              Array.to_list (Fatbin.image fs (Machine.active t.m)).Fatbin.im_callsite_ret
-              |> List.assoc_opt site
-            with
+            match Fatbin.callsite_ret fs (Machine.active t.m) site with
             | Some r -> r
             | None -> src_ret)
           | None -> src_ret
@@ -286,6 +284,8 @@ let run_native t ~fuel =
   | Some (Exec.Fault _ as trap) -> Killed (Exec.string_of_trap trap)
   | Some (Exec.Trap_stub _ | Exec.Rat_miss _) -> killed t "unexpected trap in native mode"
 
+
+
 let run_protected t ~fuel =
   if not t.started then begin
     t.started <- true;
@@ -329,6 +329,7 @@ let run_protected t ~fuel =
       | _ -> (
       match Vm.on_trap v trap with
       | Vm.Benign r -> finish_resolution r
+
       | Vm.Suspicious { target_src; kind; resolve } ->
         let forced = t.migration_requested in
         let probabilistic =

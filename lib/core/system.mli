@@ -38,6 +38,7 @@ val create :
   ?pid:int ->
   ?decode_cache:bool ->
   ?chain:bool ->
+  ?packed:bool ->
   ?boot:bool ->
   mode:mode ->
   src:string ->
@@ -55,7 +56,10 @@ val create :
     bit-identical either way. [chain] (default [true]) controls
     block-to-block chaining and the indirect-branch inline caches on
     top of that cache, with the same bit-identity guarantee (and no
-    effect at all when [decode_cache] is off). [boot] (default [true])
+    effect at all when [decode_cache] is off). [packed] (default
+    [true]) retires cached blocks from their packed flat int-array
+    form; [false] is the [--no-packed] escape hatch taking the boxed
+    instruction path, again bit-identical. [boot] (default [true])
     writes the initial stack/pc; snapshot restore passes [false] and
     overwrites the whole machine state instead.
     @raise Hipstr_compiler.Compile.Error on bad source. *)
@@ -68,6 +72,7 @@ val of_fatbin :
   ?pid:int ->
   ?decode_cache:bool ->
   ?chain:bool ->
+  ?packed:bool ->
   ?boot:bool ->
   mode:mode ->
   Hipstr_compiler.Fatbin.t ->
@@ -88,6 +93,7 @@ val seed : t -> int
 val start_isa : t -> Hipstr_isa.Desc.which
 val decode_cache_enabled : t -> bool
 val chain_enabled : t -> bool
+val packed_enabled : t -> bool
 (** The creation flags, recorded so a snapshot can reconstruct an
     identically configured system. *)
 

@@ -25,7 +25,7 @@ let run_workload ?cfg ?(seed = 1) ?(isa = Desc.Cisc) ~mode (w : Workloads.t) =
   let p = (Machine.cpu m).Cpu.perf in
   ( sys,
     {
-      pf_cycles = p.cycles.Cpu.c;
+      pf_cycles = Cpu.cycles p;
       pf_instructions = p.instructions;
       pf_calls = p.calls;
       pf_returns = p.returns;
@@ -36,7 +36,7 @@ let perf_now sys =
   let m = System.machine sys in
   let p = (Machine.cpu m).Cpu.perf in
   {
-    pf_cycles = p.cycles.Cpu.c;
+    pf_cycles = Cpu.cycles p;
     pf_instructions = p.instructions;
     pf_calls = p.calls;
     pf_returns = p.returns;

@@ -49,17 +49,19 @@ let create ?(line = 64) ~size_kb ~assoc ~miss_penalty () =
    allows ([line] is non-negative by construction: it is a logical
    right shift) and the way scan is bounds-check-free ([set < nsets]
    and [i < assoc] keep every index inside [nsets * assoc]). *)
+(* Top-level way scan (not a local [let rec], which would close over
+   [tags]/[base] and allocate on every non-memoized probe). *)
+let rec find_way tags base assoc line i =
+  if i >= assoc then -1
+  else if Array.unsafe_get tags (base + i) = line then i
+  else find_way tags base assoc line (i + 1)
+
 let access_scan t line =
   begin
     let set = if t.set_mask >= 0 then line land t.set_mask else line mod t.nsets in
     let base = set * t.assoc in
     let tags = t.tags in
-    let rec find i =
-      if i >= t.assoc then -1
-      else if Array.unsafe_get tags (base + i) = line then i
-      else find (i + 1)
-    in
-    let i = find 0 in
+    let i = find_way tags base t.assoc line 0 in
     if i >= 0 then begin
       Array.unsafe_set t.stamps (base + i) t.clock;
       t.hits <- t.hits + 1;

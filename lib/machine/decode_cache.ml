@@ -8,23 +8,39 @@ module Obs = Hipstr_obs.Obs
    last instruction faults there, exactly as per-instruction decode
    would have.
 
+   Alongside the boxed [db_instrs] the block carries [db_code]: the
+   same instructions flattened into an unboxed int array, four words
+   per instruction — {!Packed} meta word, two payload words, and the
+   precomputed per-retirement femtocycle charge. The flat dispatcher
+   in [Exec.run_cached] retires from [db_code] without touching a
+   variant block; [db_instrs] remains the [--no-packed] escape hatch
+   and the differential oracle.
+
    Validity invariant: every byte any cached decode depended on lies
-   inside [db_region] (instructions are only admitted when their full
-   encoding fits; a [db_bad] verdict is only cached with
-   [max_decode_window] bytes of headroom). A write anywhere in the
-   region bumps its generation, so [db_gen <> generation db_region]
-   is a sound, complete staleness test — checked before every
+   inside [db_region] between [db_start] and [db_end] plus
+   [max_decode_window] bytes of trailing headroom (instructions are
+   only admitted when their full encoding fits; a [db_bad] verdict is
+   only cached with that headroom in-region). A write anywhere in the
+   region bumps its generation, so [db_gen = generation db_region]
+   proves freshness with one compare — checked before every
    instruction, which makes cached execution bit-identical to
    per-instruction decode even for code that rewrites itself
-   mid-block. *)
+   mid-block. On a generation mismatch {!stale} consults the region's
+   page stamps ([Mem.span_clean]): if no write actually landed on the
+   block's own bytes the block re-stamps [db_gen] and lives on —
+   without this, every stub patch the VM writes would flush every
+   decoded block of the code-cache region. *)
 type block = {
   db_start : int;
   db_instrs : Minstr.t array;
   db_lens : int array;
+  db_code : int array;
+      (** packed flat encoding: 4 ints per instruction
+          (meta, payload1, payload2, femtocycle charge) *)
   db_end : int;  (** first address past the last decoded instruction *)
   db_bad : bool;  (** decode failed at [db_end] *)
   db_region : Mem.region;
-  db_gen : int;
+  mutable db_gen : int;
   db_indirect : bool;
       (** terminator is an indirect transfer (register jump/call or
           return): successor links form an inline cache keyed by the
@@ -71,13 +87,29 @@ type t = {
   which : Desc.which;
   mem : Mem.t;
   read : int -> int;  (** preallocated reader over [mem] *)
+  read_unsafe : int -> int;
+      (** bounds-check-free byte reader over the backing arena; only
+          handed to the decoder when the whole decode window provably
+          lies inside a watched region (see [decode_block]) *)
   blocks : (int, block) Hashtbl.t;
   chained : bool;  (** follow/patch successor links at block boundaries *)
   mutable epoch : int;
       (** bumped by every wholesale invalidation; links recorded under
           an older epoch are dead even though their target block object
           may look fresh *)
+  (* Per-retirement femtocycle charges for this ISA's core, baked into
+     [db_code] at decode time. Computed through {!Cpu.fc_quotient},
+     the same function [Machine.env_of] memoizes for the unpacked
+     path, so both paths charge identical integers. *)
+  q1 : int;
+  q2 : int;
+  qmul : int;
+  qdiv : int;
   st : stats;
+  dep : stats;
+      (** counter values already deposited into [ctrs]; [deposit]
+          adds the [st] - [dep] deltas and catches [dep] up, so the
+          hot paths above never touch an atomic *)
   obs : Obs.t;
   ctrs : counters;
 }
@@ -99,6 +131,20 @@ let max_decode_window = 16
    without bound. *)
 let max_entries = 1 lsl 16
 
+let zero_stats () =
+  {
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+    flushes = 0;
+    chain_follows = 0;
+    chain_breaks = 0;
+    chain_patches = 0;
+    ic_mono_hits = 0;
+    ic_poly_hits = 0;
+    ic_misses = 0;
+  }
+
 let create ?(obs = Obs.global) ~isa ?(chain = true) which mem =
   (* The four standard code-bearing regions; [Mem.watch] dedupes, so
      the CISC and RISC caches of one machine share region handles. *)
@@ -115,26 +161,21 @@ let create ?(obs = Obs.global) ~isa ?(chain = true) which mem =
     (Mem.watch mem ~lo:Layout.risc_cache_base
        ~hi:(Layout.risc_cache_base + Layout.cache_region_size));
   let counter ns n = Obs.Metrics.counter (Obs.metrics obs) ("machine." ^ isa ^ "." ^ ns ^ "." ^ n) in
+  let core = Core_desc.for_isa which in
   {
     which;
     mem;
     read = Mem.reader mem;
+    read_unsafe = (fun a -> Mem.unsafe_read8 mem a);
     blocks = Hashtbl.create 1024;
     chained = chain;
     epoch = 0;
-    st =
-      {
-        hits = 0;
-        misses = 0;
-        invalidations = 0;
-        flushes = 0;
-        chain_follows = 0;
-        chain_breaks = 0;
-        chain_patches = 0;
-        ic_mono_hits = 0;
-        ic_poly_hits = 0;
-        ic_misses = 0;
-      };
+    q1 = Cpu.fc_quotient ~lat:1 ~throughput:core.throughput;
+    q2 = Cpu.fc_quotient ~lat:2 ~throughput:core.throughput;
+    qmul = Cpu.fc_quotient ~lat:core.mul_latency ~throughput:core.throughput;
+    qdiv = Cpu.fc_quotient ~lat:core.div_latency ~throughput:core.throughput;
+    st = zero_stats ();
+    dep = zero_stats ();
     obs;
     ctrs =
       {
@@ -154,7 +195,52 @@ let stats t = t.st
 let chained t = t.chained
 let epoch t = t.epoch
 
-let stale b = Mem.generation b.db_region <> b.db_gen
+(* Deposit the counter deltas accumulated (in plain mutable ints)
+   since the last deposit. Called at run exit and after wholesale
+   invalidations — i.e. before any point where the metrics registry
+   can be exported — so exported values are identical to what
+   per-event increments would have produced, without the hot paths
+   ever touching an atomic. *)
+let deposit t =
+  let st = t.st and d = t.dep and c = t.ctrs in
+  Obs.Metrics.add c.cn_hits (st.hits - d.hits);
+  d.hits <- st.hits;
+  Obs.Metrics.add c.cn_misses (st.misses - d.misses);
+  d.misses <- st.misses;
+  Obs.Metrics.add c.cn_invalidations (st.invalidations - d.invalidations);
+  d.invalidations <- st.invalidations;
+  Obs.Metrics.add c.cn_chain_follows (st.chain_follows - d.chain_follows);
+  d.chain_follows <- st.chain_follows;
+  Obs.Metrics.add c.cn_chain_breaks (st.chain_breaks - d.chain_breaks);
+  d.chain_breaks <- st.chain_breaks;
+  Obs.Metrics.add c.cn_chain_patches (st.chain_patches - d.chain_patches);
+  d.chain_patches <- st.chain_patches;
+  Obs.Metrics.add c.cn_ic_mono (st.ic_mono_hits - d.ic_mono_hits);
+  d.ic_mono_hits <- st.ic_mono_hits;
+  Obs.Metrics.add c.cn_ic_poly (st.ic_poly_hits - d.ic_poly_hits);
+  d.ic_poly_hits <- st.ic_poly_hits;
+  Obs.Metrics.add c.cn_ic_misses (st.ic_misses - d.ic_misses);
+  d.ic_misses <- st.ic_misses
+
+(* Slow path, reached only on a generation mismatch: survive if the
+   block's own bytes (decode span plus trailing headroom) are
+   untouched; the re-stamp restores the fast path until the region's
+   next write. ([span_clean] never moves the region generation, so
+   re-reading it here sees the same value the caller compared.) *)
+let stale_slow b =
+  if
+    Mem.span_clean b.db_region ~lo:b.db_start ~hi:(b.db_end + max_decode_window)
+      ~since:b.db_gen
+  then begin
+    b.db_gen <- Mem.generation b.db_region;
+    false
+  end
+  else true
+
+(* Fast path: one compare, [@inline] so the per-instruction staleness
+   check in the dispatch loops is two loads and a branch rather than a
+   cross-module call. *)
+let[@inline] stale b = Mem.generation b.db_region <> b.db_gen && stale_slow b
 
 let is_terminator (i : Minstr.t) =
   match i with
@@ -172,10 +258,22 @@ let is_indirect_terminator (i : Minstr.t) =
   | Jmp _ | Jcc _ | Call _ | Callrat _ | Trap _ -> false
   | Nop | Mov _ | Lea _ | Binop _ | Cmp _ | Push _ | Pop _ | Syscall -> false
 
-let decode_one t addr =
+let decode_with t ~read addr =
   match t.which with
-  | Desc.Cisc -> Hipstr_cisc.Isa.decode ~read:t.read addr
-  | Desc.Risc -> Hipstr_risc.Isa.decode ~read:t.read addr
+  | Desc.Cisc -> Hipstr_cisc.Isa.decode ~read addr
+  | Desc.Risc -> Hipstr_risc.Isa.decode ~read addr
+
+(* The per-retirement charge the execution engine levies for [i],
+   in femtocycles — must mirror [Exec]'s charge selection exactly
+   (Syscall and Trap charge nothing at retirement: the syscall fee
+   is levied inside the handler, a trap stops before charging). *)
+let charge_fc t (i : Minstr.t) =
+  match i with
+  | Syscall | Trap _ -> 0
+  | Binop (Mul, _, _) -> t.qmul
+  | Binop ((Divs | Rems), _, _) -> t.qdiv
+  | Call _ | Callr _ | Ret | Retr _ | Retrat _ | Callrat _ -> t.q2
+  | Nop | Mov _ | Lea _ | Binop _ | Cmp _ | Push _ | Pop _ | Jmp _ | Jcc _ | Jmpr _ -> t.q1
 
 (* Decode a block starting at [start] inside [region]. Returns [None]
    when nothing cacheable could be formed (first instruction does not
@@ -192,8 +290,16 @@ let decode_block t region start =
   let stop = ref false in
   while not !stop do
     if !count >= max_block_instrs then stop := true
-    else
-      match decode_one t !pos with
+    else begin
+      (* Block-local sequential fetch: while the whole decode window
+         fits under the region top it also fits the arena ([watch]
+         checked the region bounds at registration), so the per-byte
+         bounds test in [probe8] is provably redundant and the
+         unchecked reader is sound. Near the region edge, fall back
+         to the checked reader, whose out-of-range contract ([-1],
+         i.e. 0xFF bytes) the decoders rely on. *)
+      let read = if !pos + max_decode_window <= hi then t.read_unsafe else t.read in
+      match decode_with t ~read !pos with
       | None ->
         (* cache the bad verdict only when every byte the decoder may
            have looked at is inside the region *)
@@ -208,17 +314,31 @@ let decode_block t region start =
           pos := !pos + len;
           if is_terminator i then stop := true
         end
+    end
   done;
   if !count = 0 && not !bad then None
-  else
+  else begin
     let indirect =
       match !instrs with last :: _ -> is_indirect_terminator last | [] -> false
     in
+    let instrs = Array.of_list (List.rev !instrs) in
+    let lens = Array.of_list (List.rev !lens) in
+    let n = Array.length instrs in
+    let code = Array.make (4 * n) 0 in
+    for k = 0 to n - 1 do
+      let i = instrs.(k) in
+      let m, v1, v2 = Packed.pack i lens.(k) in
+      code.(4 * k) <- m;
+      code.((4 * k) + 1) <- v1;
+      code.((4 * k) + 2) <- v2;
+      code.((4 * k) + 3) <- charge_fc t i
+    done;
     Some
       {
         db_start = start;
-        db_instrs = Array.of_list (List.rev !instrs);
-        db_lens = Array.of_list (List.rev !lens);
+        db_instrs = instrs;
+        db_lens = lens;
+        db_code = code;
         db_end = !pos;
         db_bad = !bad;
         db_region = region;
@@ -226,62 +346,69 @@ let decode_block t region start =
         db_indirect = indirect;
         db_succs = [||];
       }
+  end
 
-(* Find (or decode and install) the block starting at [addr]. [None]
-   means the address is not cacheable — not inside a watched region,
-   or no cacheable block forms there — and the caller must fall back
-   to plain single-step execution. Hits are generation-checked here;
-   a stale entry is dropped and re-decoded under the current
-   generation. *)
-let lookup t addr =
-  match Hashtbl.find_opt t.blocks addr with
-  | Some b when not (stale b) ->
-    t.st.hits <- t.st.hits + 1;
-    if Obs.on t.obs then Obs.Metrics.incr t.ctrs.cn_hits;
-    Some b
-  | found -> (
-    (match found with
-    | Some _ ->
+(* Decode-and-install slow path of [find].
+   @raise Not_found when the address is not cacheable. *)
+let decode_install t addr =
+  match Mem.region_of t.mem addr with
+  | None -> raise Not_found
+  | Some region -> (
+    match decode_block t region addr with
+    | None -> raise Not_found
+    | Some b ->
+      if Hashtbl.length t.blocks >= max_entries then begin
+        Hashtbl.reset t.blocks;
+        (* the reset unroots every block, so kill chain links into
+           them too instead of letting them pin the old table alive *)
+        t.epoch <- t.epoch + 1
+      end;
+      Hashtbl.replace t.blocks addr b;
+      t.st.misses <- t.st.misses + 1;
+      b)
+
+(* Find (or decode and install) the block starting at [addr] —
+   the dispatcher's allocation-free probe. Hits are generation-checked
+   here; a stale entry is dropped and re-decoded under the current
+   generation.
+   @raise Not_found when the address is not cacheable — not inside a
+   watched region, or no cacheable block forms there — and the caller
+   must fall back to plain single-step execution. *)
+let find t addr =
+  match Hashtbl.find t.blocks addr with
+  | b ->
+    if not (stale b) then begin
+      t.st.hits <- t.st.hits + 1;
+      b
+    end
+    else begin
       Hashtbl.remove t.blocks addr;
       t.st.invalidations <- t.st.invalidations + 1;
-      if Obs.on t.obs then Obs.Metrics.incr t.ctrs.cn_invalidations
-    | None -> ());
-    match Mem.region_of t.mem addr with
-    | None -> None
-    | Some region -> (
-      match decode_block t region addr with
-      | None -> None
-      | Some b ->
-        if Hashtbl.length t.blocks >= max_entries then begin
-          Hashtbl.reset t.blocks;
-          (* the reset unroots every block, so kill chain links into
-             them too instead of letting them pin the old table alive *)
-          t.epoch <- t.epoch + 1
-        end;
-        Hashtbl.replace t.blocks addr b;
-        t.st.misses <- t.st.misses + 1;
-        if Obs.on t.obs then Obs.Metrics.incr t.ctrs.cn_misses;
-        Some b))
+      decode_install t addr
+    end
+  | exception Not_found -> decode_install t addr
+
+let lookup t addr = match find t addr with b -> Some b | exception Not_found -> None
 
 (* Drop one stale block (the interpreter noticed a mid-block
    generation change). *)
 let drop t (b : block) =
   if Hashtbl.mem t.blocks b.db_start then begin
     Hashtbl.remove t.blocks b.db_start;
-    t.st.invalidations <- t.st.invalidations + 1;
-    if Obs.on t.obs then Obs.Metrics.incr t.ctrs.cn_invalidations
+    t.st.invalidations <- t.st.invalidations + 1
   end
 
 (* Wholesale invalidation: context-switch flushes, relocation-map
    renewal and code-cache flushes all call this. Generations already
    make every write safe; dropping the table additionally models the
-   cold-start and frees memory eagerly. *)
+   cold-start and frees memory eagerly. Callers outside a run (the
+   machine's flush paths) follow up with [deposit] so the batched
+   invalidation counts are visible to the next export. *)
 let invalidate_all t =
   let n = Hashtbl.length t.blocks in
   if n > 0 then begin
     Hashtbl.reset t.blocks;
-    t.st.invalidations <- t.st.invalidations + n;
-    if Obs.on t.obs then Obs.Metrics.incr ~by:n t.ctrs.cn_invalidations
+    t.st.invalidations <- t.st.invalidations + n
   end;
   (* Epoch bump: every link installed before this point dies at its
      next probe, even when its target block object still looks fresh
@@ -317,57 +444,47 @@ let remove_succ (b : block) i =
     b.db_succs <- s'
   end
 
-(* Follow [b]'s link for [pc]. A matching entry is followed iff its
-   epoch is current and its target is fresh (see [succ]); a dead
-   entry is severed on sight so it cannot pin a dropped block, and
-   the caller falls back to [lookup] (which re-decodes and then
-   [patch]es the new block back in). *)
-let follow t (b : block) pc =
-  if not t.chained then None
-  else begin
-    let succs = b.db_succs in
-    let n = Array.length succs in
-    let st = t.st in
-    let miss () =
-      if b.db_indirect then begin
-        st.ic_misses <- st.ic_misses + 1;
-        if Obs.on t.obs then Obs.Metrics.incr t.ctrs.cn_ic_misses
-      end
-    in
-    let rec scan i =
-      if i >= n then begin
-        miss ();
-        None
-      end
-      else
-        let s = Array.unsafe_get succs i in
-        if s.sc_pc <> pc then scan (i + 1)
-        else if s.sc_epoch = t.epoch && not (stale s.sc_blk) then begin
-          (if b.db_indirect then
-             if n = 1 then begin
-               st.ic_mono_hits <- st.ic_mono_hits + 1;
-               if Obs.on t.obs then Obs.Metrics.incr t.ctrs.cn_ic_mono
-             end
-             else begin
-               st.ic_poly_hits <- st.ic_poly_hits + 1;
-               if Obs.on t.obs then Obs.Metrics.incr t.ctrs.cn_ic_poly
-             end
-           else begin
-             st.chain_follows <- st.chain_follows + 1;
-             if Obs.on t.obs then Obs.Metrics.incr t.ctrs.cn_chain_follows
-           end);
-          Some s.sc_blk
-        end
-        else begin
-          remove_succ b i;
-          st.chain_breaks <- st.chain_breaks + 1;
-          if Obs.on t.obs then Obs.Metrics.incr t.ctrs.cn_chain_breaks;
-          miss ();
-          None
-        end
-    in
-    scan 0
+(* The link scan behind [follow_idx]: a top-level function (a local
+   [let rec] would allocate a closure per block dispatch). Returns
+   the index of a followable link in [succs], or [-1]; stats are
+   bumped exactly as the option-returning [follow] always did. *)
+let rec follow_scan t (b : block) succs n pc i =
+  if i >= n then begin
+    if b.db_indirect then t.st.ic_misses <- t.st.ic_misses + 1;
+    -1
   end
+  else
+    let s = Array.unsafe_get succs i in
+    if s.sc_pc <> pc then follow_scan t b succs n pc (i + 1)
+    else if s.sc_epoch = t.epoch && not (stale s.sc_blk) then begin
+      (if b.db_indirect then
+         if n = 1 then t.st.ic_mono_hits <- t.st.ic_mono_hits + 1
+         else t.st.ic_poly_hits <- t.st.ic_poly_hits + 1
+       else t.st.chain_follows <- t.st.chain_follows + 1);
+      i
+    end
+    else begin
+      remove_succ b i;
+      t.st.chain_breaks <- t.st.chain_breaks + 1;
+      if b.db_indirect then t.st.ic_misses <- t.st.ic_misses + 1;
+      -1
+    end
+
+(* Probe [b]'s link for [pc]; the index form the dispatcher uses
+   (the target block is [b.db_succs.(i).sc_blk]). A matching entry is
+   followable iff its epoch is current and its target is fresh (see
+   [succ]); a dead entry is severed on sight so it cannot pin a
+   dropped block, and the caller falls back to [find] (which
+   re-decodes and then [patch]es the new block back in). *)
+let follow_idx t (b : block) pc =
+  if not t.chained then -1
+  else
+    let succs = b.db_succs in
+    follow_scan t b succs (Array.length succs) pc 0
+
+let follow t (b : block) pc =
+  let i = follow_idx t b pc in
+  if i < 0 then None else Some (Array.unsafe_get b.db_succs i).sc_blk
 
 (* Install [pred] --[pc]--> [b] after a follow miss. Dead entries are
    pruned first. A full direct set replaces its oldest slot (only
@@ -399,8 +516,5 @@ let patch t (pred : block) ~pc (b : block) =
         false
       end
     in
-    if installed then begin
-      t.st.chain_patches <- t.st.chain_patches + 1;
-      if Obs.on t.obs then Obs.Metrics.incr t.ctrs.cn_chain_patches
-    end
+    if installed then t.st.chain_patches <- t.st.chain_patches + 1
   end

@@ -40,12 +40,20 @@ type block = {
   db_start : int;
   db_instrs : Hipstr_isa.Minstr.t array;
   db_lens : int array;
+  db_code : int array;
+      (** packed flat encoding, 4 ints per instruction: {!Packed}
+          meta word, two payload words, and the precomputed
+          femtocycle retirement charge — what the flat dispatcher
+          executes; [db_instrs] is the [--no-packed] oracle *)
   db_end : int;  (** first address past the last decoded instruction *)
   db_bad : bool;
       (** decode fails at [db_end]: executing past the last
           instruction is a bad fetch there *)
   db_region : Mem.region;
-  db_gen : int;  (** region generation the block was decoded under *)
+  mutable db_gen : int;
+      (** region generation the block's bytes are known valid under —
+          re-stamped by {!stale} when a generation bump proves to have
+          missed the block's pages *)
   db_indirect : bool;
       (** terminator is an indirect transfer: links form an inline
           cache rather than a direct successor pair *)
@@ -90,9 +98,19 @@ val lookup : t -> int -> block option
     no cacheable block forms there — in which case the caller must
     single-step. *)
 
+val find : t -> int -> block
+(** Exactly {!lookup}, but raising instead of optioning — the
+    allocation-free probe the dispatcher uses.
+    @raise Not_found when the address is not cacheable. *)
+
 val stale : block -> bool
-(** The block's region has been written since it was decoded. Checked
-    by the interpreter before every cached instruction. *)
+(** The block's bytes may have been written since it was decoded.
+    Checked by the interpreter before every cached instruction, so
+    the fast path is one integer compare against the region
+    generation; on a mismatch the block's page span is consulted
+    ({!Mem.span_clean}) and [db_gen] re-stamped if the write landed
+    elsewhere in the region — a stub patch in another part of the
+    code cache no longer evicts every decoded block. *)
 
 val drop : t -> block -> unit
 (** Remove one (stale) block. *)
@@ -108,12 +126,26 @@ val follow : t -> block -> int -> block option
     as breaks; an indirect probe that finds no valid entry counts an
     IC miss. Always [None] when chaining is off. *)
 
+val follow_idx : t -> block -> int -> int
+(** {!follow} in index form — the allocation-free probe the
+    dispatcher uses: the index [i] of a followable link (the target
+    is [pred.db_succs.(i).sc_blk]), or [-1]. *)
+
 val patch : t -> block -> pc:int -> block -> unit
 (** [patch t pred ~pc b] installs [pred] --[pc]--> [b] after a follow
     miss. No-op when chaining is off or [pred] is stale; a full
     (megamorphic) IC refuses new entries. *)
 
 val stats : t -> stats
+
+val deposit : t -> unit
+(** Deposit the counter deltas accumulated since the last deposit
+    into the observability registry. Hit/miss/chain/IC events are
+    counted in plain mutable ints on the hot paths ({!stats}) and
+    only reach the atomic [Obs.Metrics] counters here — called at
+    run exit and after out-of-run invalidations, i.e. before any
+    point an export can observe the registry, so exported values are
+    unchanged by the batching. *)
 
 val chained : t -> bool
 

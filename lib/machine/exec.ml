@@ -26,15 +26,24 @@ type env = {
   dcode : Decode_cache.t option;
   obs : Obs.t;
   ctrs : counters;
-  (* Memoized charge quotients: [lat /. core.throughput] for the four
-     latencies the decoder can produce. Each is the bit-identical
-     result of the division the per-instruction path used to redo —
-     float division is deterministic, so precomputing it once per
-     core is invisible to the cycle model. *)
-  q1 : float;  (** 1.  /. throughput *)
-  q2 : float;  (** 2.  /. throughput *)
-  qmul : float;  (** mul_latency /. throughput *)
-  qdiv : float;  (** div_latency /. throughput *)
+  packed : bool;
+      (** retire from the packed [db_code] words; [false] is the
+          [--no-packed] escape hatch taking the boxed [Minstr.t]
+          path (the differential oracle) *)
+  (* Memoized integer charges, in femtocycles ({!Cpu.fc_scale}):
+     the [lat / throughput] quotients for the four latencies the
+     decoder can produce, and the flat penalties. Each is converted
+     exactly once per core (through {!Cpu.fc_quotient} — the same
+     function the decode cache uses to bake charges into packed
+     blocks), so per-retirement accounting is a single integer
+     add. *)
+  q1 : int;  (** 1 / throughput *)
+  q2 : int;  (** 2 / throughput *)
+  qmul : int;  (** mul_latency / throughput *)
+  qdiv : int;  (** div_latency / throughput *)
+  p_mispredict : int;
+  p_icache_miss : int;
+  p_dcache_miss : int;
 }
 
 type outcome = Running | Stopped of trap
@@ -57,22 +66,24 @@ let decode which mem addr = decode_with ~read:(Mem.reader mem) which addr
 
 exception Stop of trap
 
-(* Charge [lat / throughput] cycles via a memoized quotient (see the
-   [q*] fields of [env]): the division is precomputed once per core,
-   which is bit-identical to redoing it at every retirement. The
-   accumulator is a flat float cell ({!Cpu.fcell}), so the store
-   mutates in place instead of boxing. *)
-let charge_q env q =
-  let cy = env.cpu.perf.cycles in
-  cy.Cpu.c <- cy.Cpu.c +. q
+(* The syscall service fee and the RAT-lookup cycle are whole cycles,
+   so their femtocycle forms are exact constants. *)
+let fc_syscall = 40 * Cpu.fc_scale
+let fc_rat_lookup = Cpu.fc_scale
 
-let charge_flat env lat =
-  let cy = env.cpu.perf.cycles in
-  cy.Cpu.c <- cy.Cpu.c +. lat
+(* Charge a memoized femtocycle amount (see the [q*]/[p_*] fields of
+   [env] and {!Cpu.fc_scale}): one integer add on a mutable int
+   field — no float work, no allocation, and an exact fold-back to
+   the canonical float cycle count at every boundary. *)
+let charge env fc =
+  let p = env.cpu.perf in
+  p.cycles_fc <- p.cycles_fc + fc
 
 let dcache_access env addr =
-  if not (Cache.access env.dcache addr) then
-    charge_flat env (float_of_int env.core.dcache_miss_penalty)
+  if not (Cache.access env.dcache addr) then charge env env.p_dcache_miss
+
+let[@inline] icache_probe env pc =
+  if not (Cache.access env.icache pc) then charge env env.p_icache_miss
 
 let read_mem32 env addr =
   dcache_access env addr;
@@ -167,9 +178,9 @@ let apply_binop env (op : Minstr.binop) a b =
   set_zs env r;
   r
 
-(* Per-op charge quotient: mul/div pay their configured latencies
-   (over throughput), everything else one issue slot. *)
-let binop_quotient env : Minstr.binop -> float = function
+(* Per-op charge: mul/div pay their configured latencies (over
+   throughput), everything else one issue slot. *)
+let binop_charge env : Minstr.binop -> int = function
   | Mul -> env.qmul
   | Divs | Rems -> env.qdiv
   | Add | Sub | And | Or | Xor | Shl | Shr | Sar -> env.q1
@@ -196,16 +207,17 @@ let return_to env src_target =
   | None ->
     if Layout.in_cache_region src_target then raise (Stop (Fault (Cache_jump src_target)));
     if not (Bpred.predict_return env.bpred ~target:src_target) then
-      charge_flat env (float_of_int env.core.mispredict_penalty);
+      charge env env.p_mispredict;
     goto env src_target
-  | Some rat -> (
-    charge_flat env 1. (* the extra RAT-lookup cycle *);
-    match Rat.lookup rat src_target with
-    | Some translated ->
+  | Some rat ->
+    charge env fc_rat_lookup (* the extra RAT-lookup cycle *);
+    let translated = Rat.find_translated rat src_target in
+    if translated >= 0 then begin
       if not (Bpred.predict_return env.bpred ~target:translated) then
-        charge_flat env (float_of_int env.core.mispredict_penalty);
+        charge env env.p_mispredict;
       goto env translated
-    | None -> raise (Stop (Rat_miss src_target)))
+    end
+    else raise (Stop (Rat_miss src_target))
 
 let do_call env ~ret_addr ~target =
   env.cpu.perf.calls <- env.cpu.perf.calls + 1;
@@ -216,10 +228,13 @@ let do_call env ~ret_addr ~target =
     | None -> assert false);
   goto env target
 
+(* The per-run observability counters (instructions, syscalls) are
+   batched: retirement only bumps the plain [perf] ints, and [run] /
+   [step] deposit the deltas once at exit ([Obs.Metrics.add]), so
+   [Obs.on] is consulted per run, not per instruction. *)
 let do_syscall env =
   env.cpu.perf.syscalls <- env.cpu.perf.syscalls + 1;
-  if Obs.on env.obs then Obs.Metrics.incr env.ctrs.cn_syscalls;
-  charge_flat env 40.;
+  charge env fc_syscall;
   let number = env.cpu.regs.(0) in
   let args = (env.cpu.regs.(1), env.cpu.regs.(2), env.cpu.regs.(3)) in
   let result, outcome = Sys.handle env.os ~number ~args in
@@ -234,25 +249,25 @@ let exec env (i : Minstr.t) len =
   let next = pc + len in
   match i with
   | Nop ->
-    charge_q env env.q1;
+    charge env env.q1;
     goto env next
   | Mov (d, s) ->
-    charge_q env env.q1;
+    charge env env.q1;
     let v = rval env s in
     wval env d v;
     goto env next
   | Lea (d, b, k) ->
-    charge_q env env.q1;
+    charge env env.q1;
     env.cpu.regs.(d) <- W32.add env.cpu.regs.(b) k;
     goto env next
   | Binop (op, d, s) ->
-    charge_q env (binop_quotient env op);
+    charge env (binop_charge env op);
     let a = rval env d in
     let b = rval env s in
     wval env d (apply_binop env op a b);
     goto env next
   | Cmp (a, b) ->
-    charge_q env env.q1;
+    charge env env.q1;
     let va = rval env a in
     let vb = rval env b in
     let f = env.cpu.flags in
@@ -261,60 +276,57 @@ let exec env (i : Minstr.t) len =
     set_zs env (W32.sub va vb);
     goto env next
   | Push s ->
-    charge_q env env.q1;
+    charge env env.q1;
     let v = rval env s in
     push env v;
     goto env next
   | Pop d ->
-    charge_q env env.q1;
+    charge env env.q1;
     let v = pop env in
     wval env d v;
     goto env next
   | Jmp t ->
-    charge_q env env.q1;
+    charge env env.q1;
     env.cpu.perf.branches <- env.cpu.perf.branches + 1;
     goto env t
   | Jcc (c, t) ->
-    charge_q env env.q1;
+    charge env env.q1;
     env.cpu.perf.branches <- env.cpu.perf.branches + 1;
     let taken = eval_cond env c in
-    if not (Bpred.predict_cond env.bpred ~pc ~taken) then
-      charge_flat env (float_of_int env.core.mispredict_penalty);
+    if not (Bpred.predict_cond env.bpred ~pc ~taken) then charge env env.p_mispredict;
     goto env (if taken then t else next)
   | Jmpr s ->
-    charge_q env env.q1;
+    charge env env.q1;
     env.cpu.perf.indirects <- env.cpu.perf.indirects + 1;
     let t = rval env s in
     if Layout.in_cache_region t then raise (Stop (Fault (Cache_jump t)));
-    if not (Bpred.predict_indirect env.bpred ~pc ~target:t) then
-      charge_flat env (float_of_int env.core.mispredict_penalty);
+    if not (Bpred.predict_indirect env.bpred ~pc ~target:t) then charge env env.p_mispredict;
     goto env t
   | Call t ->
-    charge_q env env.q2;
+    charge env env.q2;
     Bpred.push_ras env.bpred next;
     do_call env ~ret_addr:next ~target:t
   | Callr s ->
-    charge_q env env.q2;
+    charge env env.q2;
     env.cpu.perf.indirects <- env.cpu.perf.indirects + 1;
     let t = rval env s in
     if Layout.in_cache_region t then raise (Stop (Fault (Cache_jump t)));
-    if not (Bpred.predict_indirect env.bpred ~pc ~target:t) then
-      charge_flat env (float_of_int env.core.mispredict_penalty);
+    if not (Bpred.predict_indirect env.bpred ~pc ~target:t) then charge env env.p_mispredict;
     Bpred.push_ras env.bpred next;
     do_call env ~ret_addr:next ~target:t
   | Ret ->
-    charge_q env env.q2;
+    charge env env.q2;
     let v = pop env in
     return_to env v
   | Retr r ->
-    charge_q env env.q2;
+    charge env env.q2;
     return_to env env.cpu.regs.(r)
   | Retrat s ->
-    charge_q env env.q2;
+    charge env env.q2;
     let v = rval env s in
     return_to env v
   | Callrat { target; src_ret } ->
-    charge_q env env.q2;
+    charge env env.q2;
     (match env.rat with
     | Some rat -> Rat.insert rat ~src:src_ret ~translated:next
     | None -> ());
@@ -324,6 +336,237 @@ let exec env (i : Minstr.t) len =
     do_syscall env;
     goto env next
   | Trap a -> raise (Stop (Trap_stub a))
+
+(* ------------------------------------------------------------------ *)
+(* The flat packed dispatcher, fused with its block loop: retire
+   instructions from a block's [db_code] words until the fuel runs
+   out, the block goes stale, or its tail is reached. Per retired
+   instruction it performs *exactly* the model-visible work of the
+   unpacked loop — staleness check, icache probe, instruction
+   counter, then [exec]'s semantics on the equivalent [Minstr.t]:
+   same charge first, same operand-effect order (source reads before
+   destination writes, destination-first for binop reads), same
+   counters, same faults — switching on the packed tag instead of
+   matching variant blocks, with operands read straight from the int
+   array. Tag numbering is {!Packed}'s; the generic [*_g] arms
+   rebuild operands from the kind bits via the same helpers'
+   semantics. Fusing the match into the loop is the packed format's
+   host-level payoff: the boxed oracle pays a dispatch call per
+   instruction, the packed loop a direct self tail-call. Any change
+   to [exec] MUST be mirrored here (and in the
+   [exec_one]/[exec_block] retire paths); the packed-vs-unpacked
+   differential suite exists to catch drift. *)
+
+let pk_rval env k r v =
+  if k = 1 then Array.unsafe_get env.cpu.regs r
+  else if k = 2 then v
+  else read_mem32 env (Array.unsafe_get env.cpu.regs r + v)
+
+let pk_wval env k r v x =
+  if k = 1 then Array.unsafe_set env.cpu.regs r x
+  else if k = 3 then write_mem32 env (Array.unsafe_get env.cpu.regs r + v) x
+  else raise (Stop (Fault (Bad_fetch env.cpu.pc)))
+
+(* Loop result codes (plain ints so a block exit allocates nothing):
+   0 = out of fuel, 1 = block stale, 2 = tail reached. The caller
+   recovers the remaining fuel from the instruction-counter delta —
+   the loop retires exactly one instruction per fuel unit consumed.
+   Stop/Fault exceptions propagate to the caller's per-block handler,
+   which applies the same conversion [exec_one] does. Top-level [let
+   rec] with all state as arguments, not a local closure — the self
+   tail-call must not allocate. *)
+let rec packed_loop env (b : Decode_cache.block) code len k n =
+  if n <= 0 then 0
+  else if Decode_cache.stale b then 1
+  else if k >= len then 2
+  else begin
+    let j = k lsl 2 in
+    let pc = env.cpu.pc in
+    icache_probe env pc;
+    env.cpu.perf.instructions <- env.cpu.perf.instructions + 1;
+    let m = Array.unsafe_get code j in
+    let next = pc + ((m lsr 6) land 15) in
+    (* the precomputed retirement charge (0 for Syscall/Trap, whose
+       charging happens past this point), added before any operand
+       effect — the same order as [exec]'s leading [charge] *)
+    let p = env.cpu.perf in
+    p.cycles_fc <- p.cycles_fc + Array.unsafe_get code (j + 3);
+    let regs = env.cpu.regs in
+    (match m land 63 with
+    | 0 (* nop *) -> goto env next
+    | 1 (* mov r,r *) ->
+      Array.unsafe_set regs ((m lsr 18) land 15) (Array.unsafe_get regs ((m lsr 22) land 15));
+      goto env next
+    | 2 (* mov r,i *) ->
+      Array.unsafe_set regs ((m lsr 18) land 15) (Array.unsafe_get code (j + 2));
+      goto env next
+    | 3 (* mov r,m *) ->
+      let v =
+        read_mem32 env (Array.unsafe_get regs ((m lsr 22) land 15) + Array.unsafe_get code (j + 2))
+      in
+      Array.unsafe_set regs ((m lsr 18) land 15) v;
+      goto env next
+    | 4 (* mov m,r *) ->
+      let v = Array.unsafe_get regs ((m lsr 22) land 15) in
+      write_mem32 env (Array.unsafe_get regs ((m lsr 18) land 15) + Array.unsafe_get code (j + 1)) v;
+      goto env next
+    | 5 (* mov m,i *) ->
+      let v = Array.unsafe_get code (j + 2) in
+      write_mem32 env (Array.unsafe_get regs ((m lsr 18) land 15) + Array.unsafe_get code (j + 1)) v;
+      goto env next
+    | 6 (* mov generic *) ->
+      let v = pk_rval env ((m lsr 16) land 3) ((m lsr 22) land 15) (Array.unsafe_get code (j + 2)) in
+      pk_wval env ((m lsr 14) land 3) ((m lsr 18) land 15) (Array.unsafe_get code (j + 1)) v;
+      goto env next
+    | 7 (* lea *) ->
+      Array.unsafe_set regs ((m lsr 18) land 15)
+        (W32.add (Array.unsafe_get regs ((m lsr 22) land 15)) (Array.unsafe_get code (j + 1)));
+      goto env next
+    | 8 (* binop r,r *) ->
+      let d = (m lsr 18) land 15 in
+      let a = Array.unsafe_get regs d in
+      let b = Array.unsafe_get regs ((m lsr 22) land 15) in
+      Array.unsafe_set regs d
+        (apply_binop env (Array.unsafe_get Minstr.all_binops ((m lsr 10) land 15)) a b);
+      goto env next
+    | 9 (* binop r,i *) ->
+      let d = (m lsr 18) land 15 in
+      let a = Array.unsafe_get regs d in
+      let b = Array.unsafe_get code (j + 2) in
+      Array.unsafe_set regs d
+        (apply_binop env (Array.unsafe_get Minstr.all_binops ((m lsr 10) land 15)) a b);
+      goto env next
+    | 10 (* binop generic *) ->
+      let k1 = (m lsr 14) land 3 and r1 = (m lsr 18) land 15 in
+      let v1 = Array.unsafe_get code (j + 1) in
+      let a = pk_rval env k1 r1 v1 in
+      let b = pk_rval env ((m lsr 16) land 3) ((m lsr 22) land 15) (Array.unsafe_get code (j + 2)) in
+      pk_wval env k1 r1 v1
+        (apply_binop env (Array.unsafe_get Minstr.all_binops ((m lsr 10) land 15)) a b);
+      goto env next
+    | 11 (* cmp r,r *) ->
+      let va = Array.unsafe_get regs ((m lsr 18) land 15) in
+      let vb = Array.unsafe_get regs ((m lsr 22) land 15) in
+      let f = env.cpu.flags in
+      f.cf <- W32.borrow_sub va vb;
+      f.vf <- W32.overflow_sub va vb;
+      set_zs env (W32.sub va vb);
+      goto env next
+    | 12 (* cmp r,i *) ->
+      let va = Array.unsafe_get regs ((m lsr 18) land 15) in
+      let vb = Array.unsafe_get code (j + 2) in
+      let f = env.cpu.flags in
+      f.cf <- W32.borrow_sub va vb;
+      f.vf <- W32.overflow_sub va vb;
+      set_zs env (W32.sub va vb);
+      goto env next
+    | 13 (* cmp r,m *) ->
+      let va = Array.unsafe_get regs ((m lsr 18) land 15) in
+      let vb =
+        read_mem32 env (Array.unsafe_get regs ((m lsr 22) land 15) + Array.unsafe_get code (j + 2))
+      in
+      let f = env.cpu.flags in
+      f.cf <- W32.borrow_sub va vb;
+      f.vf <- W32.overflow_sub va vb;
+      set_zs env (W32.sub va vb);
+      goto env next
+    | 14 (* cmp generic *) ->
+      let va =
+        pk_rval env ((m lsr 14) land 3) ((m lsr 18) land 15) (Array.unsafe_get code (j + 1))
+      in
+      let vb =
+        pk_rval env ((m lsr 16) land 3) ((m lsr 22) land 15) (Array.unsafe_get code (j + 2))
+      in
+      let f = env.cpu.flags in
+      f.cf <- W32.borrow_sub va vb;
+      f.vf <- W32.overflow_sub va vb;
+      set_zs env (W32.sub va vb);
+      goto env next
+    | 15 (* push r *) ->
+      push env (Array.unsafe_get regs ((m lsr 18) land 15));
+      goto env next
+    | 16 (* push i *) ->
+      push env (Array.unsafe_get code (j + 1));
+      goto env next
+    | 17 (* push generic *) ->
+      let v =
+        pk_rval env ((m lsr 14) land 3) ((m lsr 18) land 15) (Array.unsafe_get code (j + 1))
+      in
+      push env v;
+      goto env next
+    | 18 (* pop r *) ->
+      let v = pop env in
+      Array.unsafe_set regs ((m lsr 18) land 15) v;
+      goto env next
+    | 19 (* pop generic *) ->
+      let v = pop env in
+      pk_wval env ((m lsr 14) land 3) ((m lsr 18) land 15) (Array.unsafe_get code (j + 1)) v;
+      goto env next
+    | 20 (* jmp *) ->
+      p.branches <- p.branches + 1;
+      goto env (Array.unsafe_get code (j + 1))
+    | 21 (* jcc *) ->
+      p.branches <- p.branches + 1;
+      let taken = eval_cond env (Array.unsafe_get Minstr.all_conds ((m lsr 10) land 15)) in
+      if not (Bpred.predict_cond env.bpred ~pc ~taken) then charge env env.p_mispredict;
+      goto env (if taken then Array.unsafe_get code (j + 1) else next)
+    | 22 (* jmp *r *) ->
+      p.indirects <- p.indirects + 1;
+      let t = Array.unsafe_get regs ((m lsr 18) land 15) in
+      if Layout.in_cache_region t then raise (Stop (Fault (Cache_jump t)));
+      if not (Bpred.predict_indirect env.bpred ~pc ~target:t) then charge env env.p_mispredict;
+      goto env t
+    | 23 (* jmp * generic *) ->
+      p.indirects <- p.indirects + 1;
+      let t =
+        pk_rval env ((m lsr 14) land 3) ((m lsr 18) land 15) (Array.unsafe_get code (j + 1))
+      in
+      if Layout.in_cache_region t then raise (Stop (Fault (Cache_jump t)));
+      if not (Bpred.predict_indirect env.bpred ~pc ~target:t) then charge env env.p_mispredict;
+      goto env t
+    | 24 (* call *) ->
+      Bpred.push_ras env.bpred next;
+      do_call env ~ret_addr:next ~target:(Array.unsafe_get code (j + 1))
+    | 25 (* call *r *) ->
+      p.indirects <- p.indirects + 1;
+      let t = Array.unsafe_get regs ((m lsr 18) land 15) in
+      if Layout.in_cache_region t then raise (Stop (Fault (Cache_jump t)));
+      if not (Bpred.predict_indirect env.bpred ~pc ~target:t) then charge env env.p_mispredict;
+      Bpred.push_ras env.bpred next;
+      do_call env ~ret_addr:next ~target:t
+    | 26 (* call * generic *) ->
+      p.indirects <- p.indirects + 1;
+      let t =
+        pk_rval env ((m lsr 14) land 3) ((m lsr 18) land 15) (Array.unsafe_get code (j + 1))
+      in
+      if Layout.in_cache_region t then raise (Stop (Fault (Cache_jump t)));
+      if not (Bpred.predict_indirect env.bpred ~pc ~target:t) then charge env env.p_mispredict;
+      Bpred.push_ras env.bpred next;
+      do_call env ~ret_addr:next ~target:t
+    | 27 (* ret *) ->
+      let v = pop env in
+      return_to env v
+    | 28 (* ret r *) -> return_to env (Array.unsafe_get regs ((m lsr 18) land 15))
+    | 29 (* ret.rat r *) -> return_to env (Array.unsafe_get regs ((m lsr 18) land 15))
+    | 30 (* ret.rat generic *) ->
+      let v =
+        pk_rval env ((m lsr 14) land 3) ((m lsr 18) land 15) (Array.unsafe_get code (j + 1))
+      in
+      return_to env v
+    | 31 (* call.rat *) ->
+      let src_ret = Array.unsafe_get code (j + 2) in
+      (match env.rat with
+      | Some rat -> Rat.insert rat ~src:src_ret ~translated:next
+      | None -> ());
+      Bpred.push_ras env.bpred next;
+      do_call env ~ret_addr:src_ret ~target:(Array.unsafe_get code (j + 1))
+    | 32 (* syscall *) ->
+      do_syscall env;
+      goto env next
+    | 33 (* trap *) -> raise (Stop (Trap_stub (Array.unsafe_get code (j + 1))))
+    | _ -> assert false);
+    packed_loop env b code len (k + 1) (n - 1)
+  end
 
 let isa_label env = match env.desc.which with Desc.Cisc -> "cisc" | Desc.Risc -> "risc"
 
@@ -339,20 +582,17 @@ let stopped env t =
 
 (* Retire one already-decoded instruction: counters, execution, trap
    conversion. Shared verbatim by the single-step and cached-block
-   paths so both count and fault identically. *)
+   paths so both count and fault identically. (The observability
+   instruction counter is batched — deposited from the perf delta at
+   run exit — so retirement itself only bumps the plain int.) *)
 let exec_one env (i : Minstr.t) len =
   env.cpu.perf.instructions <- env.cpu.perf.instructions + 1;
-  if Obs.on env.obs then Obs.Metrics.incr env.ctrs.cn_instrs;
   try
     exec env i len;
     Running
   with
   | Stop t -> stopped env t
   | Mem.Fault a -> stopped env (Fault (Bad_access a))
-
-let icache_probe env pc =
-  if not (Cache.access env.icache pc) then
-    charge_flat env (float_of_int env.core.icache_miss_penalty)
 
 (* The inter-block boundary gate, shared verbatim by the slow loop,
    the cached dispatcher and (through the dispatcher) every followed
@@ -361,8 +601,8 @@ let icache_probe env pc =
    inspecting pc — the quantum boundary is model-visible), then the
    exit sentinel, then execution at pc. The cached path additionally
    re-checks block staleness before every instruction; that check
-   lives in [run_cached.exec_block], after this gate, standing in for
-   the byte re-decode the slow path does implicitly. *)
+   lives in [run_cached]'s block loops, after this gate, standing in
+   for the byte re-decode the slow path does implicitly. *)
 type gate = Out_of_fuel | At_exit | Proceed
 
 let boundary_gate env n =
@@ -379,7 +619,7 @@ let step_here env =
   | None -> stopped env (Fault (Bad_fetch pc))
   | Some (i, len) -> exec_one env i len
 
-let step env =
+let step_gated env =
   match boundary_gate env 1 with
   | At_exit -> Stopped (Exit env.cpu.regs.(env.desc.ret_reg))
   | Proceed -> step_here env
@@ -406,70 +646,86 @@ let run_slow env ~fuel =
    anything is charged, so self-modifying code sees exactly the
    semantics of per-instruction decode.
 
-   [exec_block]'s retire sequence (instruction counter, obs counter,
-   execute, Stop/Fault conversion) mirrors [exec_one] instruction for
-   instruction — inlined rather than called so the hottest loop in
-   the simulator pays neither the call nor a second fetch of the
-   block arrays. Any change to one retire path MUST be made to the
-   other; test/test_interp.ml's differentials exist to catch a
-   mismatch.
+   Two block loops share the dispatch skeleton: [exec_un] retires
+   from the boxed [db_instrs] (the [--no-packed] oracle), [exec_pk]
+   from the packed [db_code] words via the flat dispatcher. Both
+   inline [exec_one]'s retire sequence (instruction counter, execute,
+   Stop/Fault conversion) instruction for instruction — inlined
+   rather than called so the hottest loop in the simulator pays
+   neither the call nor a second fetch of the block arrays. Any
+   change to one retire path MUST be made to the others;
+   test/test_interp.ml's and test/test_packed.ml's differentials
+   exist to catch a mismatch.
 
-   Chaining: when a block finishes cleanly it becomes [pred] for the
-   next dispatch, which first probes [pred]'s successor links
-   ([Decode_cache.follow]) and only falls back to the hashtable probe
-   ([lookup], then [patch]ing the link in) on a miss. Neither probe
-   nor link maintenance does any model-visible work, so chained and
-   unchained execution are bit-identical by construction; the gate
-   runs before the link probe, so chaining cannot reorder the
-   fuel/sentinel checks either. *)
+   Nothing on this path allocates: block probes are the exception- or
+   index-style [find]/[follow_idx] (no options), the predecessor
+   block is threaded as a plain argument ([dispatch_pred]) instead of
+   an option, and counter work is plain int stores.
+
+   Chaining: when a block finishes cleanly it becomes the
+   predecessor for the next dispatch, which first probes its
+   successor links ([Decode_cache.follow_idx]) and only falls back to
+   the hashtable probe ([find], then [patch]ing the link in) on a
+   miss. Neither probe nor link maintenance does any model-visible
+   work, so chained and unchained execution are bit-identical by
+   construction; the gate runs before the link probe, so chaining
+   cannot reorder the fuel/sentinel checks either. *)
 let run_cached env dc ~fuel =
   let open Decode_cache in
-  let rec dispatch pred n =
+  let rec dispatch_first n =
     match boundary_gate env n with
     | Out_of_fuel -> None
     | At_exit -> Some (Exit env.cpu.regs.(env.desc.ret_reg))
-    | Proceed -> (
+    | Proceed -> probe_first env.cpu.pc n
+  and dispatch_pred (pred : block) n =
+    match boundary_gate env n with
+    | Out_of_fuel -> None
+    | At_exit -> Some (Exit env.cpu.regs.(env.desc.ret_reg))
+    | Proceed ->
       let pc = env.cpu.pc in
-      match pred with
-      | Some p -> (
-        match follow dc p pc with
-        | Some b -> exec_block b 0 n
-        | None -> probe pred pc n)
-      | None -> probe pred pc n)
-  and probe pred pc n =
-    match lookup dc pc with
-    | Some b ->
-      (match pred with Some p -> patch dc p ~pc b | None -> ());
+      let i = follow_idx dc pred pc in
+      if i >= 0 then exec_block (Array.unsafe_get pred.db_succs i).sc_blk 0 n
+      else probe_pred pred pc n
+  and probe_first pc n =
+    match find dc pc with
+    | b -> exec_block b 0 n
+    | exception Not_found -> single n
+  and probe_pred pred pc n =
+    match find dc pc with
+    | b ->
+      patch dc pred ~pc b;
       exec_block b 0 n
-    | None -> (
-      (* uncacheable address (outside watched regions, or no block
-         forms): plain single step, and no link to install *)
-      match step_here env with
-      | Running -> dispatch None (n - 1)
-      | Stopped t -> Some t)
-  and exec_block b k n =
+    | exception Not_found -> single n
+  and single n =
+    (* uncacheable address (outside watched regions, or no block
+       forms): plain single step, and no link to install *)
+    match step_here env with
+    | Running -> dispatch_first (n - 1)
+    | Stopped t -> Some t
+  and exec_block b k n = if env.packed then exec_pk b k n else exec_un b k n
+  and block_tail b n =
+    if b.db_bad then begin
+      (* decode fails at [db_end], where pc now points: replicate the
+         failed-decode step (probe, then fault) without re-decoding *)
+      icache_probe env b.db_end;
+      match stopped env (Fault (Bad_fetch b.db_end)) with
+      | Stopped t -> Some t
+      | Running -> assert false
+    end
+    else dispatch_pred b n
+  and exec_un b k n =
     if n <= 0 then None
     else if stale b then begin
       drop dc b;
-      dispatch None n
+      dispatch_first n
     end
-    else if k >= Array.length b.db_instrs then
-      if b.db_bad then begin
-        (* decode fails at [db_end], where pc now points: replicate the
-           failed-decode step (probe, then fault) without re-decoding *)
-        icache_probe env b.db_end;
-        match stopped env (Fault (Bad_fetch b.db_end)) with
-        | Stopped t -> Some t
-        | Running -> assert false
-      end
-      else dispatch (Some b) n
+    else if k >= Array.length b.db_instrs then block_tail b n
     else begin
       icache_probe env env.cpu.pc;
       (* inlined [exec_one] — keep in lockstep with it *)
       env.cpu.perf.instructions <- env.cpu.perf.instructions + 1;
-      if Obs.on env.obs then Obs.Metrics.incr env.ctrs.cn_instrs;
       match exec env (Array.unsafe_get b.db_instrs k) (Array.unsafe_get b.db_lens k) with
-      | () -> exec_block b (k + 1) (n - 1)
+      | () -> exec_un b (k + 1) (n - 1)
       | exception Stop t -> (
         match stopped env t with Stopped t -> Some t | Running -> assert false)
       | exception Mem.Fault a -> (
@@ -477,10 +733,57 @@ let run_cached env dc ~fuel =
         | Stopped t -> Some t
         | Running -> assert false)
     end
+  and exec_pk b k n =
+    (* the whole per-instruction loop, staleness and boundary checks
+       included, lives in [packed_loop]; remaining fuel is the entry
+       fuel minus the retired-instruction delta *)
+    let p = env.cpu.perf in
+    let i0 = p.instructions in
+    match packed_loop env b b.db_code (Array.length b.db_instrs) k n with
+    | st -> (
+      let n = n - (p.instructions - i0) in
+      match st with
+      | 0 -> None
+      | 1 ->
+        drop dc b;
+        dispatch_first n
+      | _ -> block_tail b n)
+    | exception Stop t -> (
+      match stopped env t with Stopped t -> Some t | Running -> assert false)
+    | exception Mem.Fault a -> (
+      match stopped env (Fault (Bad_access a)) with
+      | Stopped t -> Some t
+      | Running -> assert false)
   in
-  dispatch None fuel
+  dispatch_first fuel
+
+(* Deposit the batched observability counts: the per-run deltas of
+   the plain perf ints, plus the decode cache's batched stat deltas.
+   Runs (and single steps) are the only places retirement happens,
+   and exports only ever read the registry between runs, so exported
+   values are identical to per-instruction increments. *)
+let deposit_obs env ~instrs0 ~syscalls0 =
+  if Obs.on env.obs then begin
+    let p = env.cpu.perf in
+    Obs.Metrics.add env.ctrs.cn_instrs (p.instructions - instrs0);
+    Obs.Metrics.add env.ctrs.cn_syscalls (p.syscalls - syscalls0);
+    match env.dcode with Some dc -> Decode_cache.deposit dc | None -> ()
+  end
+
+let step env =
+  let p = env.cpu.perf in
+  let instrs0 = p.instructions and syscalls0 = p.syscalls in
+  let r = step_gated env in
+  deposit_obs env ~instrs0 ~syscalls0;
+  r
 
 let run env ~fuel =
-  match env.dcode with
-  | Some dc -> run_cached env dc ~fuel
-  | None -> run_slow env ~fuel
+  let p = env.cpu.perf in
+  let instrs0 = p.instructions and syscalls0 = p.syscalls in
+  let r =
+    match env.dcode with
+    | Some dc -> run_cached env dc ~fuel
+    | None -> run_slow env ~fuel
+  in
+  deposit_obs env ~instrs0 ~syscalls0;
+  r

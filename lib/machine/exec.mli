@@ -52,14 +52,23 @@ type env = {
           hatch) *)
   obs : Hipstr_obs.Obs.t;
   ctrs : counters;
-  q1 : float;
-  q2 : float;
-  qmul : float;
-  qdiv : float;
-      (** memoized [latency /. core.throughput] quotients for the
-          fixed latencies (1, 2, mul, div): float division is
-          deterministic, so adding a precomputed quotient is
-          bit-identical to dividing at every retirement *)
+  packed : bool;
+      (** retire from the packed flat [db_code] words; [false] is the
+          [--no-packed] escape hatch taking the boxed [Minstr.t] path
+          (the differential oracle). Bit-identical either way. *)
+  q1 : int;
+  q2 : int;
+  qmul : int;
+  qdiv : int;
+      (** memoized [latency / throughput] quotients for the fixed
+          latencies (1, 2, mul, div), in femtocycles
+          ({!Cpu.fc_scale}): each retirement is one integer add, and
+          the fold-back to float cycles is exact, so accounting is
+          bit-identical across slow, cached and packed paths *)
+  p_mispredict : int;
+  p_icache_miss : int;
+  p_dcache_miss : int;
+      (** flat penalties, pre-scaled to femtocycles *)
 }
 
 type outcome = Running | Stopped of trap

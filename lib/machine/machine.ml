@@ -19,15 +19,25 @@ type t = {
   os_state : Sys.t;
   cisc_ctx : core_ctx;
   risc_ctx : core_ctx;
+  (* Execution environments are built once here and reused for every
+     run: [Exec.env] is immutable and its construction computes the
+     femtocycle quotients, so rebuilding it per quantum would both
+     allocate and redo float->int conversion on the hot control
+     path. *)
+  cisc_env : Exec.env;
+  risc_env : Exec.env;
   observ : Obs.t;
   c_ctx_flush : Obs.Metrics.counter;
+  packed : bool;
   mutable active : Desc.which;
   mutable owner_pid : int;
   mutable migrations : int;
-  (* cycle attribution for converting to seconds per-core *)
-  mutable cisc_cycles : float;
-  mutable risc_cycles : float;
-  mutable cycle_mark : float;
+  (* cycle attribution for converting to seconds per-core, in
+     femtocycles (see {!Cpu.fc_scale}) like the perf accumulator they
+     are marked against *)
+  mutable cisc_fc : int;
+  mutable risc_fc : int;
+  mutable fc_mark : int;
 }
 
 let make_ctx ~obs ~rat_capacity ~icache_kb ~dcache_kb ~decode_cache ~chain ~memory which =
@@ -55,26 +65,63 @@ let make_ctx ~obs ~rat_capacity ~icache_kb ~dcache_kb ~decode_cache ~chain ~memo
       };
   }
 
-let create ?(obs = Obs.global) ?(rat_capacity = None) ?(icache_kb = 32) ?(dcache_kb = 32)
-    ?(decode_cache = true) ?(chain = true) ~active () =
-  let memory = Mem.create Layout.mem_size in
+let make_env ~cpu ~memory ~mem_reader ~os_state ~observ ~packed (c : core_ctx) =
   {
-    cpu = Cpu.create ();
+    Exec.cpu;
+    mem = memory;
+    reader = mem_reader;
+    desc = c.desc;
+    core = c.core;
+    icache = c.icache;
+    dcache = c.dcache;
+    bpred = c.bpred;
+    rat = c.rat;
+    os = os_state;
+    dcode = c.dcode;
+    obs = observ;
+    ctrs = c.ctrs;
+    packed;
+    (* the same quotient function the decode cache bakes block charges
+       with, so cached and slow-path accounting agree to the bit *)
+    q1 = Cpu.fc_quotient ~lat:1 ~throughput:c.core.throughput;
+    q2 = Cpu.fc_quotient ~lat:2 ~throughput:c.core.throughput;
+    qmul = Cpu.fc_quotient ~lat:c.core.mul_latency ~throughput:c.core.throughput;
+    qdiv = Cpu.fc_quotient ~lat:c.core.div_latency ~throughput:c.core.throughput;
+    p_mispredict = c.core.mispredict_penalty * Cpu.fc_scale;
+    p_icache_miss = Cache.miss_penalty c.icache * Cpu.fc_scale;
+    p_dcache_miss = Cache.miss_penalty c.dcache * Cpu.fc_scale;
+  }
+
+let create ?(obs = Obs.global) ?(rat_capacity = None) ?(icache_kb = 32) ?(dcache_kb = 32)
+    ?(decode_cache = true) ?(chain = true) ?(packed = true) ~active () =
+  let memory = Mem.create Layout.mem_size in
+  let cpu = Cpu.create () in
+  let mem_reader = Mem.reader memory in
+  let os_state = Sys.create () in
+  let cisc_ctx =
+    make_ctx ~obs ~rat_capacity ~icache_kb ~dcache_kb ~decode_cache ~chain ~memory Desc.Cisc
+  in
+  let risc_ctx =
+    make_ctx ~obs ~rat_capacity ~icache_kb ~dcache_kb ~decode_cache ~chain ~memory Desc.Risc
+  in
+  {
+    cpu;
     memory;
-    mem_reader = Mem.reader memory;
-    os_state = Sys.create ();
-    cisc_ctx =
-      make_ctx ~obs ~rat_capacity ~icache_kb ~dcache_kb ~decode_cache ~chain ~memory Desc.Cisc;
-    risc_ctx =
-      make_ctx ~obs ~rat_capacity ~icache_kb ~dcache_kb ~decode_cache ~chain ~memory Desc.Risc;
+    mem_reader;
+    os_state;
+    cisc_ctx;
+    risc_ctx;
+    cisc_env = make_env ~cpu ~memory ~mem_reader ~os_state ~observ:obs ~packed cisc_ctx;
+    risc_env = make_env ~cpu ~memory ~mem_reader ~os_state ~observ:obs ~packed risc_ctx;
     observ = obs;
     c_ctx_flush = Obs.Metrics.counter (Obs.metrics obs) "machine.context_switch_flushes";
+    packed;
     active;
     owner_pid = 0;
     migrations = 0;
-    cisc_cycles = 0.;
-    risc_cycles = 0.;
-    cycle_mark = 0.;
+    cisc_fc = 0;
+    risc_fc = 0;
+    fc_mark = 0;
   }
 
 let mem t = t.memory
@@ -84,6 +131,7 @@ let active t = t.active
 let obs t = t.observ
 let owner t = t.owner_pid
 let set_owner t pid = t.owner_pid <- pid
+let packed t = t.packed
 
 let isa_name t = match t.active with Desc.Cisc -> "cisc" | Desc.Risc -> "risc"
 
@@ -91,38 +139,19 @@ let ctx t = match t.active with Desc.Cisc -> t.cisc_ctx | Risc -> t.risc_ctx
 
 let desc t = (ctx t).desc
 
-let env_of t which =
-  let c = match which with Desc.Cisc -> t.cisc_ctx | Desc.Risc -> t.risc_ctx in
-  {
-    Exec.cpu = t.cpu;
-    mem = t.memory;
-    reader = t.mem_reader;
-    desc = c.desc;
-    core = c.core;
-    icache = c.icache;
-    dcache = c.dcache;
-    bpred = c.bpred;
-    rat = c.rat;
-    os = t.os_state;
-    dcode = c.dcode;
-    obs = t.observ;
-    ctrs = c.ctrs;
-    q1 = 1. /. c.core.throughput;
-    q2 = 2. /. c.core.throughput;
-    qmul = float_of_int c.core.mul_latency /. c.core.throughput;
-    qdiv = float_of_int c.core.div_latency /. c.core.throughput;
-  }
+let env_of t which = match which with Desc.Cisc -> t.cisc_env | Desc.Risc -> t.risc_env
 
 let env t = env_of t t.active
 
 let rat t = (ctx t).rat
 
 let account_cycles t =
-  let delta = t.cpu.perf.cycles.Cpu.c -. t.cycle_mark in
+  let fc = t.cpu.perf.cycles_fc in
+  let delta = fc - t.fc_mark in
   (match t.active with
-  | Desc.Cisc -> t.cisc_cycles <- t.cisc_cycles +. delta
-  | Desc.Risc -> t.risc_cycles <- t.risc_cycles +. delta);
-  t.cycle_mark <- t.cpu.perf.cycles.Cpu.c
+  | Desc.Cisc -> t.cisc_fc <- t.cisc_fc + delta
+  | Desc.Risc -> t.risc_fc <- t.risc_fc + delta);
+  t.fc_mark <- fc
 
 let switch_core t which =
   if which <> t.active then begin
@@ -133,21 +162,27 @@ let switch_core t which =
 
 let migrations t = t.migrations
 
-(* A CMP scheduler calls this when the process is scheduled onto a
-   core whose microarchitectural state it does not own anymore: the
-   caches and predictors it warmed up belong to whoever ran since.
-   Cycle/instruction counters are untouched — only learned state
-   goes. *)
 let ctx_of t which = match which with Desc.Cisc -> t.cisc_ctx | Desc.Risc -> t.risc_ctx
+
+(* Decode-cache stat counters are batched (plain ints, deposited into
+   the metrics registry in bulk); any entry point that mutates cache
+   state outside [Exec.run] must deposit before the registry can be
+   read. *)
+let deposit_decoded t =
+  if Obs.on t.observ then begin
+    (match t.cisc_ctx.dcode with Some dc -> Decode_cache.deposit dc | None -> ());
+    match t.risc_ctx.dcode with Some dc -> Decode_cache.deposit dc | None -> ()
+  end
 
 (* Drop every predecoded block of one core's cache — the PSR VM calls
    this when it rewrites its code-cache region wholesale (flush,
    relocation-map renewal). Generations already keep stale blocks from
    executing; this models the cold start and frees the table. *)
 let invalidate_decoded t which =
-  match (ctx_of t which).dcode with
+  (match (ctx_of t which).dcode with
   | Some dc -> Decode_cache.invalidate_all dc
-  | None -> ()
+  | None -> ());
+  deposit_decoded t
 
 let decode_cache_stats t which =
   match (ctx_of t which).dcode with
@@ -164,11 +199,12 @@ let context_switch_flush t =
   cold t.cisc_ctx;
   cold t.risc_ctx;
   if Obs.on t.observ then begin
+    deposit_decoded t;
     Obs.Metrics.incr t.c_ctx_flush;
     (* zero-duration span: the flush itself is free in the cycle model
        (the cost is the refill), but the profile should show when and
        where cold reschedules happened *)
-    let cycle = t.cpu.perf.cycles.Cpu.c in
+    let cycle = Cpu.cycles t.cpu.perf in
     let sp =
       Obs.enter_span t.observ ~name:"context_switch_flush"
         ~attrs:[ ("isa", isa_name t); ("pid", string_of_int t.owner_pid) ]
@@ -197,14 +233,14 @@ let run t ~fuel =
   account_cycles t;
   r
 
-let cycles t = t.cpu.perf.cycles.Cpu.c
+let cycles t = Cpu.cycles t.cpu.perf
 
 let instructions t = t.cpu.perf.instructions
 
 let seconds t =
   account_cycles t;
-  (t.cisc_cycles /. (Core_desc.x86.freq_ghz *. 1e9))
-  +. (t.risc_cycles /. (Core_desc.arm.freq_ghz *. 1e9))
+  (Cpu.cycles_of_fc t.cisc_fc /. (Core_desc.x86.freq_ghz *. 1e9))
+  +. (Cpu.cycles_of_fc t.risc_fc /. (Core_desc.arm.freq_ghz *. 1e9))
 
 (* --- snapshot ------------------------------------------------------ *)
 
@@ -254,8 +290,9 @@ let save w t =
   Wire.bool w t.cpu.Cpu.flags.Cpu.sf;
   Wire.bool w t.cpu.Cpu.flags.Cpu.cf;
   Wire.bool w t.cpu.Cpu.flags.Cpu.vf;
-  (* performance counters; the cycle accumulator travels bit-exact *)
-  Wire.float w t.cpu.Cpu.perf.Cpu.cycles.Cpu.c;
+  (* performance counters; the femtocycle accumulator is an int and
+     travels bit-exact by construction *)
+  Wire.int w t.cpu.Cpu.perf.Cpu.cycles_fc;
   Wire.int w t.cpu.Cpu.perf.Cpu.instructions;
   Wire.int w t.cpu.Cpu.perf.Cpu.loads;
   Wire.int w t.cpu.Cpu.perf.Cpu.stores;
@@ -269,9 +306,9 @@ let save w t =
   save_ctx w t.risc_ctx;
   Wire.u8 w (match t.active with Desc.Cisc -> 0 | Desc.Risc -> 1);
   Wire.int w t.migrations;
-  Wire.float w t.cisc_cycles;
-  Wire.float w t.risc_cycles;
-  Wire.float w t.cycle_mark
+  Wire.int w t.cisc_fc;
+  Wire.int w t.risc_fc;
+  Wire.int w t.fc_mark
 
 let restore t r =
   Wire.expect_tag r "MACH";
@@ -284,7 +321,7 @@ let restore t r =
   t.cpu.Cpu.flags.Cpu.sf <- Wire.r_bool r;
   t.cpu.Cpu.flags.Cpu.cf <- Wire.r_bool r;
   t.cpu.Cpu.flags.Cpu.vf <- Wire.r_bool r;
-  t.cpu.Cpu.perf.Cpu.cycles.Cpu.c <- Wire.r_float r;
+  t.cpu.Cpu.perf.Cpu.cycles_fc <- Wire.r_int r;
   t.cpu.Cpu.perf.Cpu.instructions <- Wire.r_int r;
   t.cpu.Cpu.perf.Cpu.loads <- Wire.r_int r;
   t.cpu.Cpu.perf.Cpu.stores <- Wire.r_int r;
@@ -302,6 +339,6 @@ let restore t r =
      | 1 -> Desc.Risc
      | v -> Wire.corrupt "bad active-ISA tag %d" v));
   t.migrations <- Wire.r_int r;
-  t.cisc_cycles <- Wire.r_float r;
-  t.risc_cycles <- Wire.r_float r;
-  t.cycle_mark <- Wire.r_float r
+  t.cisc_fc <- Wire.r_int r;
+  t.risc_fc <- Wire.r_int r;
+  t.fc_mark <- Wire.r_int r

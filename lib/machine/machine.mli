@@ -20,6 +20,7 @@ val create :
   ?dcache_kb:int ->
   ?decode_cache:bool ->
   ?chain:bool ->
+  ?packed:bool ->
   active:Hipstr_isa.Desc.which ->
   unit ->
   t
@@ -32,8 +33,11 @@ val create :
     predecoded-basic-block cache; [false] is the [--no-decode-cache]
     escape hatch forcing per-instruction decode. [chain] (default
     [true]) lets those caches chain blocks and inline-cache indirect
-    targets; [false] is the [--no-chain] escape hatch. Results are
-    bit-identical in all four combinations. *)
+    targets; [false] is the [--no-chain] escape hatch. [packed]
+    (default [true]) retires cached blocks from their packed flat
+    int-array form; [false] is the [--no-packed] escape hatch taking
+    the boxed [Minstr.t] path (the differential oracle). Results are
+    bit-identical in all combinations. *)
 
 val mem : t -> Mem.t
 val cpu : t -> Cpu.t
@@ -60,6 +64,11 @@ val isa_name : t -> string
 (** ["cisc"] or ["risc"], for the active core. *)
 
 val env_of : t -> Hipstr_isa.Desc.which -> Exec.env
+(** Memoized: built once per core at {!create}, so calling this per
+    quantum neither allocates nor recomputes charge quotients. *)
+
+val packed : t -> bool
+(** Whether cached blocks retire from their packed form. *)
 
 val invalidate_decoded : t -> Hipstr_isa.Desc.which -> unit
 (** Drop every predecoded block of one core's decode cache. The PSR

@@ -9,11 +9,24 @@ exception Bad_span of int * int
 (* A watched span of the address space with a write generation. The
    decode cache keys predecoded blocks to the generation their bytes
    were read under; any write landing in the region bumps it, so a
-   stale block is detectable with one integer compare. Regions are
-   few (the two code sections and the two code-cache regions), fixed
-   at registration, disjoint, and kept sorted by [r_lo] so the write
-   hook can stop at the first region starting above the address. *)
-type region = { r_lo : int; r_hi : int; mutable r_gen : int }
+   stale block is detectable with one integer compare. Alongside the
+   region-wide counter each 64-byte page records the generation of
+   the last write that touched it, so a block whose region moved on
+   can still prove its own bytes untouched ({!span_clean}) instead of
+   being re-decoded — without that, every stub patch the VM writes
+   into a code cache would throw away every decoded block of the
+   region. Regions are few (the two code sections and the two
+   code-cache regions), fixed at registration, disjoint, and kept
+   sorted by [r_lo] so the write hook can stop at the first region
+   starting above the address. *)
+let page_bits = 6
+
+type region = {
+  r_lo : int;
+  r_hi : int;
+  mutable r_gen : int;
+  r_pages : int array; (* last-write generation per 64-byte page *)
+}
 
 type t = { bytes : Bytes.t; size : int; mutable regions : region array }
 
@@ -28,59 +41,93 @@ let watch t ~lo ~hi =
   | None ->
     if Array.exists (fun r -> lo < r.r_hi && r.r_lo < hi) t.regions then
       invalid_arg "Mem.watch: overlapping region";
-    let r = { r_lo = lo; r_hi = hi; r_gen = 0 } in
+    let npages = ((hi - 1) lsr page_bits) - (lo lsr page_bits) + 1 in
+    let r = { r_lo = lo; r_hi = hi; r_gen = 0; r_pages = Array.make npages 0 } in
     let rs = Array.append t.regions [| r |] in
     Array.sort (fun a b -> compare a.r_lo b.r_lo) rs;
     t.regions <- rs;
     r
 
-let generation r = r.r_gen
+(* [@inline] so the decode cache's one-compare staleness fast path
+   collapses to two loads and a compare inside the dispatch loops. *)
+let[@inline] generation r = r.r_gen
 
 let region_lo r = r.r_lo
 let region_hi r = r.r_hi
 
-let region_of t a =
-  let rec go i =
-    if i >= Array.length t.regions then None
-    else
-      let r = Array.unsafe_get t.regions i in
-      if a < r.r_lo then None else if a < r.r_hi then Some r else go (i + 1)
-  in
-  go 0
+(* Record a write to [lo, hi] (inclusive, clamped) in [r]'s page
+   stamps under the already-bumped generation. *)
+let stamp_pages r lo hi =
+  let lo = if lo < r.r_lo then r.r_lo else lo in
+  let hi = if hi >= r.r_hi then r.r_hi - 1 else hi in
+  let base = r.r_lo lsr page_bits in
+  for p = (lo lsr page_bits) - base to (hi lsr page_bits) - base do
+    Array.unsafe_set r.r_pages p r.r_gen
+  done
+
+let rec pages_clean pages p p1 since =
+  p > p1 || (Array.unsafe_get pages p <= since && pages_clean pages (p + 1) p1 since)
+
+(* No write has touched [lo, hi) (clamped to the region) since
+   generation [since]. *)
+let span_clean r ~lo ~hi ~since =
+  let lo = if lo < r.r_lo then r.r_lo else lo in
+  let hi = if hi > r.r_hi then r.r_hi else hi in
+  lo >= hi
+  ||
+  let base = r.r_lo lsr page_bits in
+  pages_clean r.r_pages ((lo lsr page_bits) - base) (((hi - 1) lsr page_bits) - base) since
+
+(* The scan loops below are top-level functions taking all their
+   state as arguments: a local [let rec] capturing the surrounding
+   bindings is a closure, and on this path — the write hook runs on
+   every store — that was the hot loop's single biggest allocation
+   (7 minor words per write). *)
+let rec region_scan rs n a i =
+  if i >= n then None
+  else
+    let r = Array.unsafe_get rs i in
+    if a < r.r_lo then None else if a < r.r_hi then Some r else region_scan rs n a (i + 1)
+
+let region_of t a = region_scan t.regions (Array.length t.regions) a 0
 
 (* The code-region write hook: bump the generation of the region
    containing [a], if any. Regions are sorted and disjoint, so the
    scan exits at the first region starting above [a]; with the four
    standard regions a stack or heap write costs at most three
    compares on top of the store itself. *)
+let rec touch_scan rs n a i =
+  if i < n then begin
+    let r = Array.unsafe_get rs i in
+    if a < r.r_lo then ()
+    else if a < r.r_hi then begin
+      r.r_gen <- r.r_gen + 1;
+      Array.unsafe_set r.r_pages ((a lsr page_bits) - (r.r_lo lsr page_bits)) r.r_gen
+    end
+    else touch_scan rs n a (i + 1)
+  end
+
 let touch t a =
   let rs = t.regions in
-  let n = Array.length rs in
-  let rec go i =
-    if i < n then begin
-      let r = Array.unsafe_get rs i in
-      if a < r.r_lo then ()
-      else if a < r.r_hi then r.r_gen <- r.r_gen + 1
-      else go (i + 1)
-    end
-  in
-  go 0
+  touch_scan rs (Array.length rs) a 0
 
 (* Bump every region overlapping [lo, hi] (inclusive), each once. *)
+let rec touch_range_scan rs n lo hi i =
+  if i < n then begin
+    let r = Array.unsafe_get rs i in
+    if hi < r.r_lo then ()
+    else begin
+      if lo < r.r_hi then begin
+        r.r_gen <- r.r_gen + 1;
+        stamp_pages r lo hi
+      end;
+      touch_range_scan rs n lo hi (i + 1)
+    end
+  end
+
 let touch_range t lo hi =
   let rs = t.regions in
-  let n = Array.length rs in
-  let rec go i =
-    if i < n then begin
-      let r = Array.unsafe_get rs i in
-      if hi < r.r_lo then ()
-      else begin
-        if lo < r.r_hi then r.r_gen <- r.r_gen + 1;
-        go (i + 1)
-      end
-    end
-  in
-  go 0
+  touch_range_scan rs (Array.length rs) lo hi 0
 
 let check t a = if a < 0 || a >= t.size then raise (Fault a)
 
@@ -110,13 +157,35 @@ let probe8 t a = if a < 0 || a >= t.size then -1 else unsafe_read8 t a
 
 let reader t = probe8 t
 
-(* Word accesses span-check once, then use the runtime's word
-   load/store. [Bytes.get_int32_le] sign-extends through
-   [Int32.to_int], which is exactly [W32]'s canonical signed form.
-   The slow path re-runs the per-byte checks only to raise [Fault]
-   with the same offending address as always. *)
+(* Word load/store composed from unsafe byte accesses. The runtime's
+   [Bytes.get_int32_le]/[set_int32_le] primitives traffic in boxed
+   [int32] values — three minor words per guest load on a non-flambda
+   build, the second-largest allocation source the hot loop had — so
+   the word accessors compose the value from four byte reads and
+   sign-extend manually, which is bit-for-bit what
+   [Int32.to_int (Bytes.get_int32_le ...)] produced. Callers have
+   bounds-checked [a .. a+3]. *)
+let get32 b a =
+  let v =
+    Char.code (Bytes.unsafe_get b a)
+    lor (Char.code (Bytes.unsafe_get b (a + 1)) lsl 8)
+    lor (Char.code (Bytes.unsafe_get b (a + 2)) lsl 16)
+    lor (Char.code (Bytes.unsafe_get b (a + 3)) lsl 24)
+  in
+  if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let set32 b a v =
+  let u = v land 0xFFFFFFFF in
+  Bytes.unsafe_set b a (Char.unsafe_chr (u land 0xFF));
+  Bytes.unsafe_set b (a + 1) (Char.unsafe_chr ((u lsr 8) land 0xFF));
+  Bytes.unsafe_set b (a + 2) (Char.unsafe_chr ((u lsr 16) land 0xFF));
+  Bytes.unsafe_set b (a + 3) (Char.unsafe_chr ((u lsr 24) land 0xFF))
+
+(* Word accesses span-check once, then load/store through the unboxed
+   word helpers. The slow path re-runs the per-byte checks only to
+   raise [Fault] with the same offending address as always. *)
 let read32 t a =
-  if a >= 0 && a + 3 < t.size then Int32.to_int (Bytes.get_int32_le t.bytes a)
+  if a >= 0 && a + 3 < t.size then get32 t.bytes a
   else begin
     check t a;
     check t (a + 3);
@@ -125,7 +194,7 @@ let read32 t a =
 
 let write32 t a v =
   if a >= 0 && a + 3 < t.size then begin
-    Bytes.set_int32_le t.bytes a (Int32.of_int (W32.unsigned v));
+    set32 t.bytes a v;
     touch_range t a (a + 3)
   end
   else begin
@@ -133,6 +202,17 @@ let write32 t a v =
     check t (a + 3);
     assert false
   end
+
+(* Unchecked word accessors over the backing arena: callers must hold
+   a proof that [a, a+3] is in bounds — a span already validated with
+   [check_span], or a region whose registration bounds cover the
+   access ([watch] rejects out-of-range regions at creation). Like
+   [unsafe_write8], the write still runs the region hook. *)
+let unsafe_read32 t a = get32 t.bytes a
+
+let unsafe_write32 t a v =
+  set32 t.bytes a v;
+  touch_range t a (a + 3)
 
 (* Span validation for the bulk accessors. The old per-endpoint
    [check] pair accepted a negative length outright (for [n <= 0]

@@ -47,6 +47,16 @@ val generation : region -> int
     region. Equality with a remembered value proves the region's
     bytes are unchanged since then. *)
 
+val span_clean : region -> lo:int -> hi:int -> since:int -> bool
+(** No write has landed in [\[lo, hi)] (clamped to the region) since
+    generation [since]. Writes are tracked at 64-byte-page
+    granularity, so this lets a decoded block survive writes
+    elsewhere in its region (e.g. the VM patching a stub in another
+    part of the code cache) — the caller re-stamps its remembered
+    generation on a clean result and re-decodes on a dirty one. May
+    report a clean span dirty when a neighbouring write shares its
+    edge pages (conservative, never the reverse). *)
+
 val region_of : t -> int -> region option
 (** The watched region containing an address, if any. *)
 
@@ -78,6 +88,15 @@ val read32 : t -> int -> int
     load). *)
 
 val write32 : t -> int -> int -> unit
+
+val unsafe_read32 : t -> int -> int
+(** No bounds check: for arena sites where the span is provably in
+    bounds already — a span validated by the caller, or an address
+    inside a watched region (region bounds are checked at {!watch}
+    time). *)
+
+val unsafe_write32 : t -> int -> int -> unit
+(** No bounds check, but still runs the region write hook. *)
 
 val blit_string : t -> int -> string -> unit
 (** Copy a string into memory at an address.

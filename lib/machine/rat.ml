@@ -1,6 +1,13 @@
+(* One RAT entry. Mutable so the hot paths — [insert] on every
+   [Callrat] retirement, [find_translated] on every [Retrat] — update
+   translated address and LRU stamp in place instead of allocating a
+   fresh tuple/ref pair (and a hashtable cons) per call. A record is
+   only allocated the first time a source return address is seen. *)
+type entry = { mutable e_tr : int; mutable e_stamp : int }
+
 type t = {
   capacity : int;
-  table : (int, int * int ref) Hashtbl.t; (* src -> translated, last-use stamp *)
+  table : (int, entry) Hashtbl.t; (* src -> translated, last-use stamp *)
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
@@ -11,30 +18,52 @@ let create ~capacity = { capacity; table = Hashtbl.create 64; clock = 0; hits = 
 let capacity t = t.capacity
 
 let evict_lru t =
-  let victim = ref None in
+  let victim_src = ref (-1) and victim_stamp = ref max_int in
   Hashtbl.iter
-    (fun src (_, stamp) ->
-      match !victim with
-      | None -> victim := Some (src, !stamp)
-      | Some (_, s) -> if !stamp < s then victim := Some (src, !stamp))
+    (fun src e ->
+      if e.e_stamp < !victim_stamp then begin
+        victim_src := src;
+        victim_stamp := e.e_stamp
+      end)
     t.table;
-  match !victim with None -> () | Some (src, _) -> Hashtbl.remove t.table src
+  if !victim_src >= 0 then Hashtbl.remove t.table !victim_src
 
 let insert t ~src ~translated =
   t.clock <- t.clock + 1;
-  if (not (Hashtbl.mem t.table src)) && Hashtbl.length t.table >= t.capacity then evict_lru t;
-  Hashtbl.replace t.table src (translated, ref t.clock)
+  match Hashtbl.find t.table src with
+  | e ->
+    e.e_tr <- translated;
+    e.e_stamp <- t.clock
+  | exception Not_found ->
+    if Hashtbl.length t.table >= t.capacity then evict_lru t;
+    Hashtbl.add t.table src { e_tr = translated; e_stamp = t.clock }
 
 let lookup t src =
   t.clock <- t.clock + 1;
   match Hashtbl.find_opt t.table src with
-  | Some (translated, stamp) ->
-    stamp := t.clock;
+  | Some e ->
+    e.e_stamp <- t.clock;
     t.hits <- t.hits + 1;
-    Some translated
+    Some e.e_tr
   | None ->
     t.misses <- t.misses + 1;
     None
+
+(* Allocation-free lookup for the return hot path: [-1] for a miss
+   instead of an option (translated addresses are non-negative).
+   [Hashtbl.find]'s [Not_found] is a constant exception, so neither
+   arm allocates; [lookup] above keeps the option API for callers off
+   the hot path. *)
+let find_translated t src =
+  t.clock <- t.clock + 1;
+  match Hashtbl.find t.table src with
+  | e ->
+    e.e_stamp <- t.clock;
+    t.hits <- t.hits + 1;
+    e.e_tr
+  | exception Not_found ->
+    t.misses <- t.misses + 1;
+    -1
 
 let hits t = t.hits
 let misses t = t.misses
@@ -48,7 +77,7 @@ let clear t = Hashtbl.reset t.table
 let remove_in_range t ~lo ~hi =
   let stale =
     Hashtbl.fold
-      (fun src (translated, _) acc -> if translated >= lo && translated < hi then src :: acc else acc)
+      (fun src e acc -> if e.e_tr >= lo && e.e_tr < hi then src :: acc else acc)
       t.table []
   in
   List.iter (Hashtbl.remove t.table) stale
@@ -67,7 +96,7 @@ let save w t =
   Wire.tag w "RAT";
   let entries =
     List.sort compare
-      (Hashtbl.fold (fun src (tr, stamp) acc -> (src, tr, !stamp) :: acc) t.table [])
+      (Hashtbl.fold (fun src e acc -> (src, e.e_tr, e.e_stamp) :: acc) t.table [])
   in
   Wire.list w
     (fun w (src, tr, stamp) ->
@@ -91,7 +120,9 @@ let restore t r =
   if List.length entries > t.capacity then
     Wire.corrupt "RAT image holds %d entries but capacity is %d" (List.length entries) t.capacity;
   Hashtbl.reset t.table;
-  List.iter (fun (src, tr, stamp) -> Hashtbl.replace t.table src (tr, ref stamp)) entries;
+  List.iter
+    (fun (src, tr, stamp) -> Hashtbl.replace t.table src { e_tr = tr; e_stamp = stamp })
+    entries;
   t.clock <- Wire.r_int r;
   t.hits <- Wire.r_int r;
   t.misses <- Wire.r_int r

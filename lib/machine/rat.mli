@@ -19,6 +19,11 @@ val lookup : t -> int -> int option
 (** Looks up a source return address; updates recency and hit/miss
     statistics. *)
 
+val find_translated : t -> int -> int
+(** Exactly {!lookup}, but returns [-1] for a miss instead of an
+    option — the allocation-free form the per-return hot path uses
+    (translated targets are always non-negative addresses). *)
+
 val hits : t -> int
 val misses : t -> int
 val reset_stats : t -> unit

@@ -68,68 +68,85 @@ let xlate_ret fb ~from_isa ~to_isa ret =
   else
     match Fatbin.callsite_of_ret fb from_isa ret with
     | None -> None
-    | Some (fs, site) ->
-      let im = Fatbin.image fs to_isa in
-      Array.to_list im.im_callsite_ret |> List.assoc_opt site
+    | Some (fs, site) -> Fatbin.callsite_ret fs to_isa site
 
-(* Translate a function-pointer value (a source-ISA entry address). *)
+(* Translate a function-pointer value (a source-ISA entry address).
+   Indexed scan over the function table — this runs once per
+   fp-tainted slot of every frame walked, so the closure-per-function
+   [Array.iter] form was a measurable allocation source. *)
+let rec xlate_fp_scan funcs n to_isa v i =
+  if i >= n then None
+  else
+    let fs = Array.unsafe_get funcs i in
+    if
+      (Fatbin.image fs Desc.Cisc).Fatbin.im_entry = v
+      || (Fatbin.image fs Desc.Risc).Fatbin.im_entry = v
+    then Some (Fatbin.image fs to_isa).Fatbin.im_entry
+    else xlate_fp_scan funcs n to_isa v (i + 1)
+
 let xlate_fp fb ~to_isa v =
-  let found = ref None in
-  Array.iter
-    (fun fs ->
-      if !found = None then
-        Array.iter
-          (fun which ->
-            if (Fatbin.image fs which).Fatbin.im_entry = v then
-              found := Some (Fatbin.image fs to_isa).Fatbin.im_entry)
-          [| Desc.Cisc; Desc.Risc |])
-    fb.Fatbin.fb_funcs;
-  !found
+  let funcs = fb.Fatbin.fb_funcs in
+  xlate_fp_scan funcs (Array.length funcs) to_isa v 0
 
 (* Transform one frame in place: read everything at from-offsets,
-   then write at to-offsets. Returns (ret_src, words_moved, ret_ok). *)
+   then write at to-offsets. Returns (ret_src, words_moved, ret_ok).
+
+   The from- and to-offset ranges may overlap (randomized maps), so
+   the reads are staged into a pair of preallocated arrays and the
+   writes replayed afterwards in the same order the old list pipeline
+   produced: value slots, locals block, outgoing block, return slot.
+   Two flat int arrays per frame replace several cons cells and a
+   tuple per word moved. *)
 let transform_frame machine fb mode ~from_isa ~to_isa (fs : Fatbin.func_sym) sp =
   let m = Machine.mem machine in
   let vf = view_of mode `From fs in
   let vt = view_of mode `To fs in
   let f = fs.fs_frame in
-  let words = ref 0 in
   let fp_tainted = fs.fs_ir.Ir.fn_fp_values in
+  let nslots = Array.length f.slot_off in
+  let nloc = f.locals_bytes / 4 in
+  let nout = f.outgoing_words in
+  let cap = nslots + nloc + nout + 1 in
+  let offs = Array.make cap 0 in
+  let vals = Array.make cap 0 in
+  let n = ref 0 in
   (* value slots *)
-  let slot_moves =
-    Array.to_list f.slot_off
-    |> List.mapi (fun v off -> (v, off))
-    |> List.filter (fun (_, off) -> off >= 0)
-    |> List.map (fun (v, off) ->
-           let raw = Mem.read32 m (sp + vf.slot off) in
-           let value =
-             if List.mem v fp_tainted then
-               match xlate_fp fb ~to_isa raw with Some v' -> v' | None -> raw
-             else raw
-           in
-           (vt.slot off, value))
-  in
+  for v = 0 to nslots - 1 do
+    let off = Array.unsafe_get f.slot_off v in
+    if off >= 0 then begin
+      let raw = Mem.read32 m (sp + vf.slot off) in
+      let value =
+        if List.mem v fp_tainted then
+          match xlate_fp fb ~to_isa raw with Some v' -> v' | None -> raw
+        else raw
+      in
+      offs.(!n) <- vt.slot off;
+      vals.(!n) <- value;
+      incr n
+    end
+  done;
   (* locals and outgoing regions as blocks *)
-  let region_moves =
-    let region from_off to_off bytes =
-      List.init (bytes / 4) (fun i ->
-          (to_off + (4 * i), Mem.read32 m (sp + from_off + (4 * i))))
-    in
-    region vf.locals_off vt.locals_off f.locals_bytes
-    @ region vf.out_off vt.out_off (4 * f.outgoing_words)
-  in
+  for i = 0 to nloc - 1 do
+    offs.(!n) <- vt.locals_off + (4 * i);
+    vals.(!n) <- Mem.read32 m (sp + vf.locals_off + (4 * i));
+    incr n
+  done;
+  for i = 0 to nout - 1 do
+    offs.(!n) <- vt.out_off + (4 * i);
+    vals.(!n) <- Mem.read32 m (sp + vf.out_off + (4 * i));
+    incr n
+  done;
   (* return address *)
   let ret_src = Mem.read32 m (sp + vf.ret_off) in
   let ret_to = xlate_ret fb ~from_isa ~to_isa ret_src in
-  let ret_move =
-    match ret_to with Some r -> [ (vt.ret_off, r) ] | None -> [ (vt.ret_off, ret_src) ]
-  in
-  List.iter
-    (fun (off, v) ->
-      incr words;
-      Mem.write32 m (sp + off) v)
-    (slot_moves @ region_moves @ ret_move);
-  (ret_src, !words, ret_to <> None)
+  offs.(!n) <- vt.ret_off;
+  vals.(!n) <- (match ret_to with Some r -> r | None -> ret_src);
+  incr n;
+  let words = !n in
+  for i = 0 to words - 1 do
+    Mem.write32 m (sp + Array.unsafe_get offs i) (Array.unsafe_get vals i)
+  done;
+  (ret_src, words, ret_to <> None)
 
 (* Walk and transform the whole stack starting from the frame of
    [top_fs] at [sp]. *)
@@ -152,9 +169,12 @@ let transform_stack machine fb mode ~from_isa ~to_isa top_fs sp0 =
   walk top_fs sp0;
   (!frames, !words, !complete)
 
+(* Transform costs are whole cycles (fixed drain + integer per-word
+   copies), so the femtocycle conversion is exact. *)
 let charge_destination machine cycles =
-  let cpu = Machine.cpu machine in
-  cpu.Hipstr_machine.Cpu.perf.cycles.Hipstr_machine.Cpu.c <- cpu.Hipstr_machine.Cpu.perf.cycles.Hipstr_machine.Cpu.c +. cycles
+  let p = (Machine.cpu machine).Hipstr_machine.Cpu.perf in
+  p.Hipstr_machine.Cpu.cycles_fc <-
+    p.Hipstr_machine.Cpu.cycles_fc + Hipstr_machine.Cpu.fc_of_cycles cycles
 
 let desc_of which =
   match which with Desc.Cisc -> Hipstr_cisc.Isa.desc | Desc.Risc -> Hipstr_risc.Isa.desc
@@ -168,7 +188,7 @@ let finish machine ~to_isa ~frames ~words ~resume ~complete =
   let from_sp = (desc_of (Machine.active machine)).sp in
   let to_sp = (desc_of to_isa).sp in
   let sp_value = cpu.regs.(from_sp) in
-  let cycle_before = cpu.Hipstr_machine.Cpu.perf.cycles.Hipstr_machine.Cpu.c in
+  let cycle_before = Hipstr_machine.Cpu.cycles cpu.Hipstr_machine.Cpu.perf in
   Machine.switch_core machine to_isa;
   cpu.regs.(to_sp) <- sp_value;
   let cycles = fixed_cycles +. (per_word_cycles *. float_of_int words) in
@@ -194,7 +214,7 @@ let finish machine ~to_isa ~frames ~words ~resume ~complete =
           ]
         ~cycle:cycle_before ()
     in
-    Obs.exit_span obs sp ~cycle:cpu.Hipstr_machine.Cpu.perf.cycles.Hipstr_machine.Cpu.c
+    Obs.exit_span obs sp ~cycle:(Hipstr_machine.Cpu.cycles cpu.Hipstr_machine.Cpu.perf)
   end;
   { r_frames = frames; r_words = words; r_resume_src = resume; r_complete = complete; r_cycles = cycles }
 

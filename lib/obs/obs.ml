@@ -91,6 +91,15 @@ module Metrics = struct
     if by < 0 then invalid_arg "Obs.Metrics.incr: counters are monotonic";
     ignore (Atomic.fetch_and_add c.c_cell by)
 
+  (* Batched deposit: like [incr ~by] but with a plain int argument —
+     no option construction — and tolerant of zero. The interpreter
+     accumulates per-block/per-run counts in plain mutable ints and
+     deposits them here at run boundaries, so per-instruction
+     retirement does no counter work at all. *)
+  let add c n =
+    if n < 0 then invalid_arg "Obs.Metrics.add: counters are monotonic";
+    if n > 0 then ignore (Atomic.fetch_and_add c.c_cell n)
+
   let value c = Atomic.get c.c_cell
   let counter_name c = c.c_name
 

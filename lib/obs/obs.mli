@@ -42,6 +42,15 @@ module Metrics : sig
   (** @raise Invalid_argument if [by] is negative: counters are
       monotonic. *)
 
+  val add : counter -> int -> unit
+  (** [add c n] deposits a batch of [n] events ([n = 0] is a no-op).
+      The allocation-free form of [incr ~by:n], for hot paths that
+      accumulate counts in plain ints and deposit at block or run
+      boundaries. Exported values are unchanged by batching: deposits
+      land before any export can read the registry (exports happen
+      between runs, deposits at run exit).
+      @raise Invalid_argument if [n] is negative. *)
+
   val value : counter -> int
   val counter_name : counter -> string
 

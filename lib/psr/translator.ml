@@ -37,12 +37,18 @@ let jmp_same_size (desc : Desc.t) =
 (* Emission state: items carry an optional symbolic reference to an
    out-of-line stub whose address is known only after layout.         *)
 
-type ref_ = Rnone | Rstub of int
+(* Stub references are plain ints: [no_ref] for none, the stub index
+   otherwise. Items live in a pair of growable parallel arrays rather
+   than a cons list — [emit] runs per emitted instruction and the
+   per-item cons + tuple (plus the final reverse-and-convert) were a
+   measurable slice of translation-time allocation. *)
+let no_ref = -1
 
 type st = {
   cfg : Config.t;
   desc : Desc.t;
-  mutable items : (Minstr.t * ref_) list; (* reverse *)
+  mutable it_instr : Minstr.t array; (* emitted instructions, [0, emitted) *)
+  mutable it_ref : int array; (* parallel stub refs, [no_ref] if none *)
   mutable nstub : int;
   mutable stub_targets : (int * int) list; (* stub idx -> target src, reverse *)
   mutable emitted : int;
@@ -58,9 +64,20 @@ let ilen st i =
   | Desc.Cisc -> Hipstr_cisc.Isa.length i
   | Desc.Risc -> Hipstr_risc.Isa.length i
 
-let emit st ?(rf = Rnone) i =
-  st.items <- (i, rf) :: st.items;
-  st.emitted <- st.emitted + 1
+let emit st ?(rf = no_ref) i =
+  let n = st.emitted in
+  if n = Array.length st.it_instr then begin
+    let cap = 2 * n in
+    let instr' = Array.make cap Minstr.Nop in
+    let ref' = Array.make cap no_ref in
+    Array.blit st.it_instr 0 instr' 0 n;
+    Array.blit st.it_ref 0 ref' 0 n;
+    st.it_instr <- instr';
+    st.it_ref <- ref'
+  end;
+  st.it_instr.(n) <- i;
+  st.it_ref.(n) <- rf;
+  st.emitted <- n + 1
 
 let new_stub st target =
   let idx = st.nstub in
@@ -86,19 +103,29 @@ type temps = {
 let fresh_temps avoid = { t_assigned = []; t_saved = []; t_avoid = avoid }
 
 (* Registers the instruction touches: every operand register plus its
-   relocation target. *)
+   relocation target. Direct matches rather than a fold over
+   [Minstr.operands]: this runs per source instruction, and the
+   operand list plus the two capturing closures of the fold were a
+   measurable slice of translation-time allocation. Only the avoid
+   list itself (a membership set — order does not matter to
+   [get_temp]) is allocated. *)
+let avoid_add (map : Reloc_map.t) acc r =
+  let acc = r :: acc in
+  match Reloc_map.map_reg map r with Reloc_map.Lreg r' -> r' :: acc | Reloc_map.Lpad _ -> acc
+
+let avoid_operand map acc (op : operand) =
+  match op with
+  | Reg r -> avoid_add map acc r
+  | Mem { base; _ } -> avoid_add map acc base
+  | Imm _ -> acc
+
 let avoid_of_instr (map : Reloc_map.t) (i : Minstr.t) =
-  let add acc r =
-    let acc = r :: acc in
-    match Reloc_map.map_reg map r with Reloc_map.Lreg r' -> r' :: acc | Reloc_map.Lpad _ -> acc
-  in
-  let of_operand acc (op : operand) =
-    match op with
-    | Reg r -> add acc r
-    | Mem { base; _ } -> add acc base
-    | Imm _ -> acc
-  in
-  List.fold_left of_operand [] (Minstr.operands i)
+  match i with
+  | Mov (d, s) | Binop (_, d, s) | Cmp (d, s) -> avoid_operand map (avoid_operand map [] d) s
+  | Lea (d, b, _) -> avoid_add map (avoid_add map [] d) b
+  | Push s | Pop s | Jmpr s | Callr s | Retrat s -> avoid_operand map [] s
+  | Retr r -> avoid_add map [] r
+  | Jmp _ | Jcc _ | Call _ | Ret | Syscall | Nop | Trap _ | Callrat _ -> []
 
 let get_temp st (map : Reloc_map.t) temps key =
   match List.assoc_opt key temps.t_assigned with
@@ -170,12 +197,14 @@ let xop st (map : Reloc_map.t) temps ?(phys = false) ?override (op : operand) : 
    through a temp when the shape is not encodable. *)
 let emit_mov_x st map temps dst src =
   if dst = src then ()
-  else if legal st (Mov (dst, src)) then emit st (Mov (dst, src))
-  else begin
-    let t = get_temp st map temps 1 in
-    emit st (Mov (Reg t, src));
-    emit st (Mov (dst, Reg t))
-  end
+  else
+    let m = Mov (dst, src) in
+    if legal st m then emit st m
+    else begin
+      let t = get_temp st map temps 1 in
+      emit st (Mov (Reg t, src));
+      emit st (Mov (dst, Reg t))
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Per-instruction rewriting. [marks] may tag the instruction as part
@@ -186,7 +215,6 @@ type mark = Mnone | Mphys_dst | Margstore of int (* relocated displacement *)
 
 let rewrite_instr st (map : Reloc_map.t) mark (i : Minstr.t) =
   let temps = fresh_temps (avoid_of_instr map i) in
-  let x ?phys ?override op = xop st map temps ?phys ?override op in
   (match i with
   | Nop -> emit st Nop
   | Syscall -> emit st Syscall
@@ -194,15 +222,15 @@ let rewrite_instr st (map : Reloc_map.t) mark (i : Minstr.t) =
     match mark with
     | Mphys_dst ->
       (* syscall argument load: physical destination register *)
-      let s' = x s in
+      let s' = xop st map temps s in
       emit_mov_x st map temps d s'
     | Margstore disp' ->
-      let s' = x s in
-      let d' = x ~override:disp' d in
+      let s' = xop st map temps s in
+      let d' = xop st map temps ~override:disp' d in
       emit_mov_x st map temps d' s'
     | Mnone ->
-      let s' = x s in
-      let d' = x d in
+      let s' = xop st map temps s in
+      let d' = xop st map temps d in
       emit_mov_x st map temps d' s')
   | Lea (d, b, k) ->
     let sp = st.desc.sp in
@@ -229,9 +257,10 @@ let rewrite_instr st (map : Reloc_map.t) mark (i : Minstr.t) =
       emit_lea t;
       emit st (Mov (Mem { base = sp; disp = off }, Reg t)))
   | Binop (op, d, s) -> (
-    let s' = x s in
-    let d' = x d in
-    if legal st (Binop (op, d', s')) then emit st (Binop (op, d', s'))
+    let s' = xop st map temps s in
+    let d' = xop st map temps d in
+    let b' = Binop (op, d', s') in
+    if legal st b' then emit st b'
     else
       match (d, d') with
       | Mem { base = b0; disp }, Mem { base = bt; disp = _ }
@@ -270,9 +299,10 @@ let rewrite_instr st (map : Reloc_map.t) mark (i : Minstr.t) =
           emit st (Binop (op, Reg t1, Reg t0)));
         emit st (Mov (d', Reg t1)))
   | Cmp (a, b) ->
-    let a' = x a in
-    let b' = x b in
-    if legal st (Cmp (a', b')) then emit st (Cmp (a', b'))
+    let a' = xop st map temps a in
+    let b' = xop st map temps b in
+    let c' = Cmp (a', b') in
+    if legal st c' then emit st c'
     else begin
       let t1 = get_temp st map temps 1 in
       emit st (Mov (Reg t1, a'));
@@ -284,16 +314,18 @@ let rewrite_instr st (map : Reloc_map.t) mark (i : Minstr.t) =
       end
     end
   | Push s ->
-    let s' = x s in
-    if legal st (Push s') then emit st (Push s')
+    let s' = xop st map temps s in
+    let p' = Push s' in
+    if legal st p' then emit st p'
     else begin
       let t1 = get_temp st map temps 1 in
       emit st (Mov (Reg t1, s'));
       emit st (Push (Reg t1))
     end
   | Pop d ->
-    let d' = x d in
-    if legal st (Pop d') then emit st (Pop d')
+    let d' = xop st map temps d in
+    let p' = Pop d' in
+    if legal st p' then emit st p'
     else begin
       let t1 = get_temp st map temps 1 in
       emit st (Pop (Reg t1));
@@ -313,65 +345,84 @@ let decode_for which ~read addr =
   | Desc.Cisc -> Hipstr_cisc.Isa.decode ~read addr
   | Desc.Risc -> Hipstr_risc.Isa.decode ~read addr
 
-(* Decode a straight-line segment (terminator inclusive). *)
+(* Decode a straight-line segment (terminator inclusive). Returns the
+   body in *reverse* with its length — the caller fills an array
+   backwards, which skips the [List.rev] copy the old interface
+   paid per scanned instruction. *)
 let scan_segment st ~read pc ~max_instrs =
   let rec go addr n acc =
-    if n >= max_instrs then (List.rev acc, None, addr)
+    if n >= max_instrs then (acc, n, None, addr)
     else
       match decode_for st.desc.which ~read addr with
-      | None -> (List.rev acc, None, addr)
+      | None -> (acc, n, None, addr)
       | Some (i, len) ->
-        if Minstr.is_control i then (List.rev acc, Some (addr, i, len), addr + len)
+        if Minstr.is_control i then (acc, n, Some (addr, i, len), addr + len)
         else go (addr + len) (n + 1) ((addr, i, len) :: acc)
   in
   go pc 0 []
 
-(* Identify syscall windows and terminal-call argument stores. *)
+let rec fill_rev a l i =
+  match l with
+  | [] -> ()
+  | hd :: tl ->
+    a.(i) <- hd;
+    fill_rev a tl (i - 1)
+
+let body_array rev n =
+  match rev with
+  | [] -> [||]
+  | hd :: _ ->
+    let a = Array.make n hd in
+    fill_rev a rev (n - 1);
+    a
+
+(* Identify syscall windows and terminal-call argument stores. The
+   scans are top-level recursive functions, not local closures —
+   [compute_marks] runs per segment and the only allocations it
+   should make are the marks array and the [Margstore] payloads. *)
+
+(* Syscall windows: the run of [mov (reg j), [sp+4j]] loads just
+   before each syscall keeps physical destinations; the first
+   following [mov _, (reg ret)] keeps a physical source. *)
+let rec syscall_back sp (body : (int * Minstr.t * int) array) marks k =
+  if k >= 0 then
+    match body.(k) with
+    | _, Mov (Reg r, Mem { base; disp }), _ when base = sp && r <= 3 && disp = 4 * r ->
+      marks.(k) <- Mphys_dst;
+      syscall_back sp body marks (k - 1)
+    | _ -> ()
+
+(* Terminal direct call: the stores into the outgoing region in the
+   trailing run of moves (which may interleave temp loads) are that
+   callee's arguments. The scan stops at the first non-move or at a
+   syscall, whose own staging must stay under the generic slot
+   coloring. *)
+let rec argstore_back sp out_words callee_map fpad (body : (int * Minstr.t * int) array) marks k =
+  if k >= 0 && marks.(k) = Mnone then
+    match body.(k) with
+    | _, Mov (Mem { base; disp }, _), _ when base = sp && disp >= 0 && disp < 4 * out_words ->
+      let j = disp / 4 in
+      marks.(k) <- Margstore (Reloc_map.arg_off callee_map j - fpad);
+      argstore_back sp out_words callee_map fpad body marks (k - 1)
+    | _, Mov _, _ -> argstore_back sp out_words callee_map fpad body marks (k - 1)
+    | _ -> ()
+
 let compute_marks st (map_of_callee : int -> Reloc_map.t option) frame_out_words body term =
   let n = Array.length body in
   let marks = Array.make n Mnone in
-  (* Syscall windows: the run of [mov (reg j), [sp+4j]] loads just
-     before each syscall keeps physical destinations; the first
-     following [mov _, (reg ret)] keeps a physical source. *)
-  Array.iteri
-    (fun idx (_, i, _) ->
-      match i with
-      | Syscall ->
-        let rec back k =
-          if k >= 0 then
-            match body.(k) with
-            | _, Mov (Reg r, Mem { base; disp }), _
-              when base = st.desc.sp && r <= 3 && disp = 4 * r ->
-              marks.(k) <- Mphys_dst;
-              back (k - 1)
-            | _ -> ()
-        in
-        back (idx - 1)
-      | _ -> ())
-    body;
-  (* Terminal direct call: the stores into the outgoing region in the
-     trailing run of moves (which may interleave temp loads) are that
-     callee's arguments. The scan stops at the first non-move or at a
-     syscall, whose own staging must stay under the generic slot
-     coloring. *)
+  let sp = st.desc.sp in
+  for idx = 0 to n - 1 do
+    match body.(idx) with
+    | _, Syscall, _ -> syscall_back sp body marks (idx - 1)
+    | _ -> ()
+  done;
   (match term with
   | Some (_, Call target, _) -> (
     match map_of_callee target with
     | None -> ()
     | Some callee_map ->
       let fpad = Reloc_map.padded_frame callee_map in
-      let rec back k =
-        if k >= 0 && marks.(k) = Mnone then
-          match body.(k) with
-          | _, Mov (Mem { base; disp }, _), _
-            when base = st.desc.sp && disp >= 0 && disp < 4 * frame_out_words ->
-            let j = disp / 4 in
-            marks.(k) <- Margstore (Reloc_map.arg_off callee_map j - fpad);
-            back (k - 1)
-          | _, Mov _, _ -> back (k - 1)
-          | _ -> ()
-      in
-      back (n - 1))
+      argstore_back sp frame_out_words callee_map fpad body marks (n - 1))
   | _ -> ());
   marks
 
@@ -406,7 +457,8 @@ let emit_result_fixup st (map : Reloc_map.t) ~outgoing =
 type prepared = {
   p_st : st;
   p_src : int;
-  p_items : (Minstr.t * ref_) array;
+  p_items : Minstr.t array;
+  p_refs : int array; (* parallel stub refs, [no_ref] if none *)
   p_offsets : int array;
   p_stub_targets : int array;
   p_stub_offs : int array;
@@ -416,8 +468,20 @@ type prepared = {
   p_instrs : int;
 }
 
+
+
 let prepare (cfg : Config.t) desc ~read ~fatbin ~map_of ~src =
-  let st = { cfg; desc; items = []; nstub = 0; stub_targets = []; emitted = 0 } in
+  let st =
+    {
+      cfg;
+      desc;
+      it_instr = Array.make 64 Minstr.Nop;
+      it_ref = Array.make 64 no_ref;
+      nstub = 0;
+      stub_targets = [];
+      emitted = 0;
+    }
+  in
   let sp = desc.sp in
   let fs0 =
     match Fatbin.func_at fatbin desc.which src with Some fs -> fs | None -> raise (Wild src)
@@ -437,6 +501,13 @@ let prepare (cfg : Config.t) desc ~read ~fatbin ~map_of ~src =
     icall_records := info :: !icall_records;
     emit st (Trap (info.is_src lor icall_flag))
   in
+  (* One closure per prepare, not per segment: [compute_marks] asks
+     for the callee map on call-terminated segments. *)
+  let callee_map_of target =
+    match Fatbin.func_at fatbin desc.which target with
+    | Some cfs when (Fatbin.image cfs desc.which).im_entry = target -> Some (map_of cfs)
+    | Some _ | None -> None
+  in
   (* Translate one segment chain (superblocks follow direct jumps and
      conditional fall-through). *)
   let first_segment = ref true in
@@ -447,18 +518,11 @@ let prepare (cfg : Config.t) desc ~read ~fatbin ~map_of ~src =
     else begin
       Hashtbl.replace visited pc ();
       let im = Fatbin.image fs desc.which in
-      let body, term, seg_end = scan_segment st ~read pc ~max_instrs:64 in
+      let rev, nbody, term, seg_end = scan_segment st ~read pc ~max_instrs:64 in
       spans := (pc, seg_end - pc) :: !spans;
-      let body = Array.of_list body in
-      consumed := !consumed + Array.length body + (match term with Some _ -> 1 | None -> 0);
-      let marks =
-        compute_marks st
-          (fun target ->
-            match Fatbin.func_at fatbin desc.which target with
-            | Some cfs when (Fatbin.image cfs desc.which).im_entry = target -> Some (map_of cfs)
-            | Some _ | None -> None)
-          fs.fs_frame.outgoing_words body term
-      in
+      let body = body_array rev nbody in
+      consumed := !consumed + nbody + (match term with Some _ -> 1 | None -> 0);
+      let marks = compute_marks st callee_map_of fs.fs_frame.outgoing_words body term in
       let fbytes = fs.fs_frame.frame_bytes in
       let fbytes' = Reloc_map.padded_frame map in
       let skip = ref 0 in
@@ -540,7 +604,7 @@ let prepare (cfg : Config.t) desc ~read ~fatbin ~map_of ~src =
           else emit_exit_trap target
         | Jcc (c, target) ->
           let stub = new_stub st target in
-          emit st ~rf:(Rstub stub) (Jcc (c, 0));
+          emit st ~rf:stub (Jcc (c, 0));
           if !inline_budget > 0 then begin
             inline_budget := !inline_budget - Array.length body - 1;
             do_segment fs map next_src
@@ -548,7 +612,7 @@ let prepare (cfg : Config.t) desc ~read ~fatbin ~map_of ~src =
           else emit_exit_trap next_src
         | Call target ->
           let stub = new_stub st target in
-          emit st ~rf:(Rstub stub) (Callrat { target = 0; src_ret = next_src });
+          emit st ~rf:stub (Callrat { target = 0; src_ret = next_src });
           emit_exit_trap next_src
         | Callr op ->
           (* Spill the (relocated) target into the VM temp slot, then
@@ -623,7 +687,8 @@ let prepare (cfg : Config.t) desc ~read ~fatbin ~map_of ~src =
   in
   do_segment fs0 map0 src;
   (* Layout: main items first, then one out-of-line Trap per stub. *)
-  let items = Array.of_list (List.rev st.items) in
+  let items = Array.sub st.it_instr 0 st.emitted in
+  let refs = Array.sub st.it_ref 0 st.emitted in
   let stub_targets =
     let a = Array.make st.nstub 0 in
     List.iter (fun (i, t) -> a.(i) <- t) st.stub_targets;
@@ -632,7 +697,7 @@ let prepare (cfg : Config.t) desc ~read ~fatbin ~map_of ~src =
   let offsets = Array.make (Array.length items) 0 in
   let off = ref 0 in
   Array.iteri
-    (fun i (ins, _) ->
+    (fun i ins ->
       offsets.(i) <- !off;
       off := !off + ilen st ins)
     items;
@@ -647,6 +712,7 @@ let prepare (cfg : Config.t) desc ~read ~fatbin ~map_of ~src =
     p_st = st;
     p_src = src;
     p_items = items;
+    p_refs = refs;
     p_offsets = offsets;
     p_stub_targets = stub_targets;
     p_stub_offs = stub_offs;
@@ -667,26 +733,29 @@ let layout p ~base =
   let offsets = p.p_offsets in
   let stub_offs = p.p_stub_offs in
   let buf = Buffer.create 256 in
+  (* One buffer for the whole unit — [encode_into] appends in place,
+     where a per-instruction [encode] cost a buffer and a string
+     each. *)
   let encode ~at ins =
     match st.desc.which with
-    | Desc.Cisc -> Hipstr_cisc.Isa.encode ~at ins
-    | Desc.Risc -> Hipstr_risc.Isa.encode ~at ins
+    | Desc.Cisc -> Hipstr_cisc.Isa.encode_into buf ~at ins
+    | Desc.Risc -> Hipstr_risc.Isa.encode_into buf ~at ins
   in
   let stubs = ref [] in
   let icall_out = ref [] in
   let pending_icalls = ref p.p_icalls in
   Array.iteri
-    (fun i (ins, rf) ->
+    (fun i ins ->
       let at = base + offsets.(i) in
       let ins' =
-        match rf with
-        | Rnone -> ins
-        | Rstub s -> (
-          let stub_addr = base + stub_offs.(s) in
+        let rf = p.p_refs.(i) in
+        if rf = no_ref then ins
+        else
+          let stub_addr = base + stub_offs.(rf) in
           match ins with
           | Jcc (c, _) -> Jcc (c, stub_addr)
           | Callrat { src_ret; _ } -> Callrat { target = stub_addr; src_ret }
-          | _ -> assert false)
+          | _ -> assert false
       in
       (match ins' with
       | Trap target when target land icall_flag <> 0 -> (
@@ -698,13 +767,13 @@ let layout p ~base =
         | [] -> assert false)
       | Trap target -> stubs := { es_off = offsets.(i); es_target_src = target } :: !stubs
       | _ -> ());
-      Buffer.add_string buf (encode ~at ins'))
+      encode ~at ins')
     items;
   Array.iteri
     (fun s target ->
       let at = base + stub_offs.(s) in
       stubs := { es_off = stub_offs.(s); es_target_src = target } :: !stubs;
-      Buffer.add_string buf (encode ~at (Trap target)))
+      encode ~at (Trap target))
     p.p_stub_targets;
   let bytes = Buffer.contents buf in
   assert (String.length bytes = p.p_total);

@@ -3,6 +3,7 @@ module Fatbin = Hipstr_compiler.Fatbin
 module Machine = Hipstr_machine.Machine
 module Mem = Hipstr_machine.Mem
 module Exec = Hipstr_machine.Exec
+module Cpu = Hipstr_machine.Cpu
 module Rat = Hipstr_machine.Rat
 module Layout = Hipstr_machine.Layout
 module Rng = Hipstr_util.Rng
@@ -174,9 +175,11 @@ let env t = Machine.env_of t.machine t.which
 let mem t = Machine.mem t.machine
 let cpu t = Machine.cpu t.machine
 
+(* VM costs are whole cycles, so the femtocycle conversion is exact
+   and one integer add charges the executing core. *)
 let charge t c =
-  let e = env t in
-  e.Exec.cpu.perf.cycles.Hipstr_machine.Cpu.c <- e.Exec.cpu.perf.cycles.Hipstr_machine.Cpu.c +. c
+  let p = (env t).Exec.cpu.perf in
+  p.Cpu.cycles_fc <- p.Cpu.cycles_fc + Cpu.fc_of_cycles c
 
 let rat t =
   match (env t).Exec.rat with
@@ -314,7 +317,7 @@ let translate_unit t src =
     end;
     cache_addr
   | None ->
-    let cycle_before = (cpu t).perf.cycles.Hipstr_machine.Cpu.c in
+    let fc_before = (cpu t).perf.Cpu.cycles_fc in
     let align = if t.cfg.opt_level >= 1 then 64 else 1 in
     if
       t.cfg.cc_policy = Code_cache.Flush
@@ -408,7 +411,7 @@ let translate_unit t src =
     end;
     if not compulsory then
       t.st.retranslate_cycles <-
-        t.st.retranslate_cycles +. ((cpu t).perf.cycles.Hipstr_machine.Cpu.c -. cycle_before);
+        t.st.retranslate_cycles +. Cpu.cycles_of_fc ((cpu t).perf.Cpu.cycles_fc - fc_before);
     (* span entered after the work so a Wild_target raise above never
        leaves it dangling on the domain stack; the stamps still cover
        the whole miss path (flush + translate charges) *)
@@ -421,9 +424,9 @@ let translate_unit t src =
               ("func", fs.fs_name);
               ("pid", string_of_int (Machine.owner t.machine));
             ]
-          ~cycle:cycle_before ()
+          ~cycle:(Cpu.cycles_of_fc fc_before) ()
       in
-      Obs.exit_span t.pr.obs sp ~cycle:(cpu t).perf.cycles.Hipstr_machine.Cpu.c
+      Obs.exit_span t.pr.obs sp ~cycle:(Cpu.cycles (cpu t).perf)
     end;
     base
 
@@ -535,7 +538,7 @@ let suspicious_probe t target_src =
   if Obs.on t.pr.obs then begin
     Obs.Metrics.incr t.pr.c_suspicious;
     Obs.emit t.pr.obs (Obs.Trace.Suspicious { isa = t.pr.isa; target_src });
-    Obs.audit_emit t.pr.obs ~cycle:(cpu t).perf.cycles.Hipstr_machine.Cpu.c ~isa:t.pr.isa
+    Obs.audit_emit t.pr.obs ~cycle:(Cpu.cycles (cpu t).perf) ~isa:t.pr.isa
       ~pid:(Machine.owner t.machine)
       (Obs.Audit.Suspicious { target_src })
   end
@@ -605,11 +608,11 @@ let on_trap t (trap : Exec.trap) =
     end
 
 let pretranslate t src =
-  let before = (cpu t).perf.cycles.Hipstr_machine.Cpu.c in
+  let before = (cpu t).perf.Cpu.cycles_fc in
   t.span_quiet <- true;
   let ok = match translate_unit t src with _ -> true | exception Wild_target _ -> false in
   t.span_quiet <- false;
-  (cpu t).perf.cycles.Hipstr_machine.Cpu.c <- before;
+  (cpu t).perf.Cpu.cycles_fc <- before;
   ok
 
 let complete_call t ~callee_src ~src_ret =

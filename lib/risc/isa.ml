@@ -36,19 +36,6 @@ let binop_index : Minstr.binop -> int = function
   | Shr -> 9
   | Sar -> 10
 
-let binop_of_index = function
-  | 0 -> Some Minstr.Add
-  | 1 -> Some Minstr.Sub
-  | 2 -> Some Minstr.Mul
-  | 3 -> Some Minstr.Divs
-  | 4 -> Some Minstr.Rems
-  | 5 -> Some Minstr.And
-  | 6 -> Some Minstr.Or
-  | 7 -> Some Minstr.Xor
-  | 8 -> Some Minstr.Shl
-  | 9 -> Some Minstr.Shr
-  | 10 -> Some Minstr.Sar
-  | _ -> None
 
 let cond_index : Minstr.cond -> int = function
   | Eq -> 0
@@ -60,16 +47,6 @@ let cond_index : Minstr.cond -> int = function
   | Ult -> 6
   | Uge -> 7
 
-let cond_of_index = function
-  | 0 -> Some Minstr.Eq
-  | 1 -> Some Minstr.Ne
-  | 2 -> Some Minstr.Lt
-  | 3 -> Some Minstr.Ge
-  | 4 -> Some Minstr.Gt
-  | 5 -> Some Minstr.Le
-  | 6 -> Some Minstr.Ult
-  | 7 -> Some Minstr.Uge
-  | _ -> None
 
 let fits16 k = k >= -32768 && k <= 32767
 
@@ -141,9 +118,11 @@ let imm_form buf op a b k =
     extra buf k
   end
 
-let encode ~at:_ (i : Minstr.t) =
-  let buf = Buffer.create 8 in
-  (match i with
+(* Encode into a caller-owned buffer: [layout] encodes whole units,
+   and a per-instruction [Buffer.create]/[Buffer.contents] pair was a
+   measurable slice of translation-time allocation. *)
+let encode_into buf ~at:_ (i : Minstr.t) =
+  match i with
   | Mov (Reg d, Reg s) -> word buf 0x01 d s 0
   | Mov (Reg d, Imm k) -> imm_form buf 0x02 d 0 k
   | Mov (Reg d, Mem { base; disp }) -> imm_form buf 0x03 d base disp
@@ -178,61 +157,71 @@ let encode ~at:_ (i : Minstr.t) =
     extra buf src_ret
   | Retrat (Reg r) -> word buf 0x51 r 0 0
   | Mov _ | Binop _ | Cmp _ | Push _ | Pop _ | Jmpr _ | Callr _ | Ret | Retrat _ ->
-    invalid_arg "risc: unencodable instruction");
+    invalid_arg "risc: unencodable instruction"
+
+let encode ~at (i : Minstr.t) =
+  let buf = Buffer.create 8 in
+  encode_into buf ~at i;
   Buffer.contents buf
 
+(* Decode helpers are top-level functions fully applied at every use
+   site: a local closure over [read]/[addr] would allocate per decode
+   call, and decode runs per block build with the decode cache on and
+   per retired instruction with it off. *)
+let d_byte read addr k = read (addr + k) land 0xFF
+
+let d_i32 read addr k =
+  W32.of_bytes (d_byte read addr k)
+    (d_byte read addr (k + 1))
+    (d_byte read addr (k + 2))
+    (d_byte read addr (k + 3))
+
+(* Narrow/wide immediate: imm16 for the narrow form, the second word
+   for the wide one. *)
+let d_imm read addr wide imm16 = if wide then d_i32 read addr 4 else imm16
+
 let decode ~read addr =
-  let byte k = read (addr + k) land 0xFF in
-  let op = byte 0 in
-  let ab = byte 1 in
+  let op = d_byte read addr 0 in
+  let ab = d_byte read addr 1 in
   let a = ab lsr 4 and b = ab land 0xF in
   let imm16 =
-    let v = byte 2 lor (byte 3 lsl 8) in
+    let v = d_byte read addr 2 lor (d_byte read addr 3 lsl 8) in
     if v land 0x8000 <> 0 then v - 0x10000 else v
   in
-  let imm32 k = W32.of_bytes (byte k) (byte (k + 1)) (byte (k + 2)) (byte (k + 3)) in
   let wide = op land 0x80 <> 0 in
   let base_op = op land 0x7F in
+  let len = if wide then 8 else 4 in
   (* Wide forms must carry a zero imm16 field; the payload is the
      second word. *)
-  let imm () = if wide then imm32 4 else imm16 in
-  let len = if wide then 8 else 4 in
   let ok_wide = (not wide) || imm16 = 0 in
   if not ok_wide then None
   else
-    let mem base disp = Minstr.Mem { base; disp } in
     match base_op with
     | 0x01 when (not wide) && imm16 = 0 -> Some (Minstr.Mov (Reg a, Reg b), 4)
-    | 0x02 when b = 0 -> Some (Minstr.Mov (Reg a, Imm (imm ())), len)
-    | 0x03 -> Some (Minstr.Mov (Reg a, mem b (imm ())), len)
-    | 0x04 -> Some (Minstr.Mov (mem b (imm ()), Reg a), len)
-    | 0x06 -> Some (Minstr.Lea (a, b, imm ()), len)
-    | _ when base_op >= 0x10 && base_op <= 0x1A && (not wide) && imm16 = 0 -> (
-      match binop_of_index (base_op - 0x10) with
-      | None -> None
-      | Some bop -> Some (Minstr.Binop (bop, Reg a, Reg b), 4))
-    | _ when base_op >= 0x20 && base_op <= 0x2A && b = 0 -> (
-      match binop_of_index (base_op - 0x20) with
-      | None -> None
-      | Some bop -> Some (Minstr.Binop (bop, Reg a, Imm (imm ())), len))
+    | 0x02 when b = 0 -> Some (Minstr.Mov (Reg a, Imm (d_imm read addr wide imm16)), len)
+    | 0x03 -> Some (Minstr.Mov (Reg a, Mem { base = b; disp = d_imm read addr wide imm16 }), len)
+    | 0x04 -> Some (Minstr.Mov (Mem { base = b; disp = d_imm read addr wide imm16 }, Reg a), len)
+    | 0x06 -> Some (Minstr.Lea (a, b, d_imm read addr wide imm16), len)
+    | _ when base_op >= 0x10 && base_op <= 0x1A && (not wide) && imm16 = 0 ->
+      Some (Minstr.Binop (Minstr.all_binops.(base_op - 0x10), Reg a, Reg b), 4)
+    | _ when base_op >= 0x20 && base_op <= 0x2A && b = 0 ->
+      Some (Minstr.Binop (Minstr.all_binops.(base_op - 0x20), Reg a, Imm (d_imm read addr wide imm16)), len)
     | 0x60 when (not wide) && imm16 = 0 -> Some (Minstr.Cmp (Reg a, Reg b), 4)
-    | 0x61 when b = 0 -> Some (Minstr.Cmp (Reg a, Imm (imm ())), len)
+    | 0x61 when b = 0 -> Some (Minstr.Cmp (Reg a, Imm (d_imm read addr wide imm16)), len)
     | 0x70 when (not wide) && b = 0 && imm16 = 0 -> Some (Minstr.Push (Reg a), 4)
     | 0x73 when (not wide) && b = 0 && imm16 = 0 -> Some (Minstr.Pop (Reg a), 4)
-    | 0x7B when (not wide) && a = 0 && b = 0 && imm16 = 0 -> Some (Minstr.Jmp (imm32 4), 8)
-    | _ when base_op >= 0x40 && base_op <= 0x47 && (not wide) && a = 0 && b = 0 && imm16 = 0 -> (
-      match cond_of_index (base_op - 0x40) with
-      | None -> None
-      | Some c -> Some (Minstr.Jcc (c, imm32 4), 8))
-    | 0x48 when (not wide) && a = 0 && b = 0 && imm16 = 0 -> Some (Minstr.Call (imm32 4), 8)
+    | 0x7B when (not wide) && a = 0 && b = 0 && imm16 = 0 -> Some (Minstr.Jmp (d_i32 read addr 4), 8)
+    | _ when base_op >= 0x40 && base_op <= 0x47 && (not wide) && a = 0 && b = 0 && imm16 = 0 ->
+      Some (Minstr.Jcc (Minstr.all_conds.(base_op - 0x40), d_i32 read addr 4), 8)
+    | 0x48 when (not wide) && a = 0 && b = 0 && imm16 = 0 -> Some (Minstr.Call (d_i32 read addr 4), 8)
     | 0x49 when (not wide) && b = 0 && imm16 = 0 -> Some (Minstr.Jmpr (Reg a), 4)
     | 0x4A when (not wide) && b = 0 && imm16 = 0 -> Some (Minstr.Callr (Reg a), 4)
     | 0x4B when (not wide) && b = 0 && imm16 = 0 -> Some (Minstr.Retr a, 4)
     | 0x4C when (not wide) && a = 0 && b = 0 && imm16 = 0 -> Some (Minstr.Syscall, 4)
     | 0x4D when (not wide) && a = 0 && b = 0 && imm16 = 0 -> Some (Minstr.Nop, 4)
-    | 0x4E when (not wide) && a = 0 && b = 0 && imm16 = 0 -> Some (Minstr.Trap (imm32 4), 8)
+    | 0x4E when (not wide) && a = 0 && b = 0 && imm16 = 0 -> Some (Minstr.Trap (d_i32 read addr 4), 8)
     | 0x4F when (not wide) && a = 0 && b = 0 && imm16 = 0 ->
-      Some (Minstr.Callrat { target = imm32 4; src_ret = imm32 8 }, 12)
+      Some (Minstr.Callrat { target = d_i32 read addr 4; src_ret = d_i32 read addr 8 }, 12)
     | 0x51 when (not wide) && b = 0 && imm16 = 0 -> Some (Minstr.Retrat (Reg a), 4)
     | _ -> None
 

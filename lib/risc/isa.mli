@@ -24,6 +24,11 @@ val encode : at:int -> Hipstr_isa.Minstr.t -> string
 (** @raise Invalid_argument on operand shapes the ISA cannot encode
     (memory operands on ALU ops, push of immediate, etc.). *)
 
+val encode_into : Buffer.t -> at:int -> Hipstr_isa.Minstr.t -> unit
+(** [encode] appending to a caller-owned buffer — what
+    [Translator.layout] uses so encoding a unit allocates one buffer,
+    not one per instruction. *)
+
 val decode : read:(int -> int) -> int -> (Hipstr_isa.Minstr.t * int) option
 
 val encodable : Hipstr_isa.Minstr.t -> bool

@@ -43,7 +43,7 @@ module Wire = Hipstr_util.Wire
 
 let magic = "HIPSNAP"
 let memo_magic = "HIPMEMO"
-let version = 1
+let version = 2
 
 let page_bytes = 4096
 
@@ -154,6 +154,7 @@ type manifest = {
   mf_start_isa : Desc.which;
   mf_decode_cache : bool;
   mf_chain : bool;
+  mf_packed : bool;
   mf_cfg : Config.t;
   mf_fingerprint : int;
   mf_instructions : int;
@@ -173,6 +174,7 @@ let read_header r =
   let mf_start_isa = isa_of_tag (Wire.r_u8 r) in
   let mf_decode_cache = Wire.r_bool r in
   let mf_chain = Wire.r_bool r in
+  let mf_packed = Wire.r_bool r in
   let mf_cfg = load_config r in
   let mf_fingerprint = Wire.r_int r in
   let mf_instructions = Wire.r_int r in
@@ -186,6 +188,7 @@ let read_header r =
     mf_start_isa;
     mf_decode_cache;
     mf_chain;
+    mf_packed;
     mf_cfg;
     mf_fingerprint;
     mf_instructions;
@@ -294,6 +297,7 @@ let write_image w ?(workload = "custom") sys =
   Wire.u8 w (isa_tag (System.start_isa sys));
   Wire.bool w (System.decode_cache_enabled sys);
   Wire.bool w (System.chain_enabled sys);
+  Wire.bool w (System.packed_enabled sys);
   save_config w (System.config sys);
   Wire.int w (fingerprint fb);
   Wire.int w (System.instructions sys);
@@ -315,8 +319,8 @@ let read_image r ?obs ?(merge_obs = true) ~fatbin () =
       mf.mf_fingerprint;
   let sys =
     System.of_fatbin ?obs ~cfg:mf.mf_cfg ~seed:mf.mf_seed ~start_isa:mf.mf_start_isa
-      ~pid:mf.mf_pid ~decode_cache:mf.mf_decode_cache ~chain:mf.mf_chain ~boot:false
-      ~mode:mf.mf_mode fatbin
+      ~pid:mf.mf_pid ~decode_cache:mf.mf_decode_cache ~chain:mf.mf_chain ~packed:mf.mf_packed
+      ~boot:false ~mode:mf.mf_mode fatbin
   in
   load_delta r (Machine.mem (System.machine sys));
   System.restore_state sys r;

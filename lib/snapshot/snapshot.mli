@@ -27,6 +27,7 @@ type manifest = {
   mf_start_isa : Hipstr_isa.Desc.which;
   mf_decode_cache : bool;
   mf_chain : bool;
+  mf_packed : bool;
   mf_cfg : Hipstr_psr.Config.t;
   mf_fingerprint : int;
   mf_instructions : int;  (** at checkpoint time *)
